@@ -1,0 +1,187 @@
+"""Extension: Fenrir on control-plane (RouteViews-style) data.
+
+The paper names control-plane input as future work (§5). This bench
+feeds Fenrir from a simulated route collector instead of active
+probing and checks two things:
+
+1. control-plane catchments agree with the data-plane oracle, and the
+   mode structure over the B-Root timeline matches the scripted events
+   without measurement noise (no unknowns, so within-mode Φ ≈ 1);
+2. AS-hegemony (Fontugne et al., the metric behind RIPE's country
+   reports) quantifies the USC reconfiguration: ARN-A's hegemony
+   collapses while NTT's and HE's rise.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime
+
+import pytest
+
+import numpy as np
+
+from repro.core import Fenrir
+from repro.controlplane import (
+    RouteCollector,
+    country_crossings,
+    hegemony_scores,
+    origin_series,
+    transit_diversity,
+)
+from repro.datasets import baltic, broot, usc
+from repro.latency.model import path_rtt_ms
+
+from common import emit
+
+
+@pytest.fixture(scope="module")
+def broot_study():
+    return broot.generate(num_blocks=1200)
+
+
+@pytest.fixture(scope="module")
+def usc_study():
+    return usc.generate(num_blocks=500)
+
+
+def test_ext_controlplane_fenrir(broot_study, benchmark):
+    scenario = broot_study.service.scenario
+    rng = random.Random(7)
+    vantages = rng.sample(sorted(scenario.topology.nodes), 300)
+    collector = RouteCollector(scenario, vantages)
+
+    series = origin_series(collector, broot_study.sample_times)
+    report = Fenrir().run(series)
+
+    # Oracle agreement at one instant.
+    when = broot_study.sample_times[10]
+    outcome = scenario.outcome_at(when)
+    vector = series[10]
+    agreement = sum(
+        1
+        for asn in vantages
+        if vector.state_of(f"as{asn}") == outcome.label_of(asn)
+    ) / len(vantages)
+
+    within = report.modes.phi_within(0)
+    lines = [
+        "Extension: Fenrir on control-plane collector data (B-Root timeline)",
+        "",
+        report.mode_timeline(),
+        "",
+        f"vantage/oracle agreement: {agreement:.1%}",
+        f"modes found: {len(report.modes)} (data-plane Verfploeter run finds ~6-8)",
+        f"within-mode Φ of mode (i): [{within[0]:.2f}, {within[1]:.2f}] "
+        "(≈1: no measurement noise on the control plane)",
+    ]
+    emit("ext_controlplane", "\n".join(lines))
+
+    assert agreement == 1.0
+    assert 4 <= len(report.modes) <= 10
+    assert within[0] > 0.95
+
+    benchmark(origin_series, collector, broot_study.sample_times[:40])
+
+
+def test_ext_hegemony_shift(usc_study, benchmark):
+    scenario = usc_study.enterprise.scenario
+    stubs = [
+        asn
+        for asn, node in scenario.topology.nodes.items()
+        if node.tier == 3 and asn != usc.USC
+    ]
+    vantages = random.Random(3).sample(stubs, 150)
+    collector = RouteCollector(scenario, vantages)
+
+    before = collector.paths_at(datetime(2024, 10, 1))
+    after = collector.paths_at(datetime(2025, 2, 15))
+    hegemony_before = hegemony_scores(before)
+    hegemony_after = hegemony_scores(after)
+
+    names = {usc.ARN_A: "ARN-A", usc.ARN_B: "ARN-B", usc.ANN: "ANN",
+             usc.NTT: "NTT", usc.HE: "HE"}
+    lines = [
+        "Extension: AS hegemony toward the enterprise, before/after 2025-01-16",
+        "",
+        f"{'AS':>8} {'before':>8} {'after':>8}",
+    ]
+    for asn, name in names.items():
+        lines.append(
+            f"{name:>8} {hegemony_before.get(asn, 0.0):8.2f} "
+            f"{hegemony_after.get(asn, 0.0):8.2f}"
+        )
+    emit("ext_hegemony", "\n".join(lines))
+
+    assert hegemony_before.get(usc.ARN_A, 0) > 0.8  # everyone relied on ARN-A
+    assert hegemony_after.get(usc.ARN_A, 0) < 0.3
+    assert hegemony_after.get(usc.NTT, 0) > hegemony_before.get(usc.NTT, 0)
+    assert hegemony_after.get(usc.HE, 0) > hegemony_before.get(usc.HE, 0)
+    # ARN-B remains the first hop for everything: hegemony stays high.
+    assert hegemony_after.get(usc.ARN_B, 0) > 0.8
+
+    benchmark(hegemony_scores, before)
+
+
+def test_ext_baltic_cable_cut(benchmark):
+    """The paper's motivating example, detected and quantified.
+
+    A country reached through two submarine cables loses one on
+    2024-11-18 (the real Baltic cuts). Fenrir's country-ingress vectors
+    flag the event; transit diversity collapses to a single point of
+    failure; and path-length latency shows the detour cost for the
+    networks that moved.
+    """
+    study = baltic.generate()
+    report = Fenrir().run(study.series)
+
+    from datetime import datetime
+
+    before_when = datetime(2024, 11, 10)
+    after_when = datetime(2024, 11, 25)
+    before = country_crossings(
+        study.collector.paths_at(before_when), study.country_ases
+    )
+    after = country_crossings(
+        study.collector.paths_at(after_when), study.country_ases
+    )
+    diversity_before = transit_diversity(before)
+    diversity_after = transit_diversity(after)
+
+    # Latency detour: per-vantage path RTT before vs after, for the
+    # vantages that changed transit.
+    moved = {
+        crossing.vantage_asn
+        for crossing in before
+        if crossing.outside_asn == baltic.CABLE_WEST
+    }
+    paths_before = study.collector.paths_at(before_when)
+    paths_after = study.collector.paths_at(after_when)
+    deltas = [
+        path_rtt_ms(study.topology, paths_after[asn])
+        - path_rtt_ms(study.topology, paths_before[asn])
+        for asn in moved
+        if asn in paths_before and asn in paths_after
+    ]
+    median_delta = float(np.median(deltas))
+
+    lines = [
+        "Extension: the Baltic cable-cut scenario (paper §1/§4.1 motivation)",
+        "",
+        report.mode_timeline(),
+        "",
+        f"events detected: {len(report.events)} (cut on {baltic.CABLE_CUT:%Y-%m-%d})",
+        f"transit diversity: {diversity_before:.2f} -> {diversity_after:.2f} "
+        "(single point of failure after the cut)",
+        f"median path-RTT change for rerouted networks: +{median_delta:.1f} ms "
+        "(the detour the paper's example saw as European latency shifts)",
+    ]
+    emit("ext_baltic", "\n".join(lines))
+
+    assert len(report.events) == 1
+    assert report.events[0].start.date() <= baltic.CABLE_CUT.date()
+    assert diversity_before > 1.3
+    assert diversity_after == pytest.approx(1.0)
+    assert median_delta > 0  # the detour costs latency
+
+    benchmark(study.collector.paths_at, before_when)

@@ -1,0 +1,61 @@
+"""Extension: statistical uncertainty on the paper's headline numbers.
+
+The paper reports Φ point estimates; this bench attaches network-level
+bootstrap confidence intervals to the Wikipedia drain comparison and a
+permutation p-value to the drain-day step change — the machinery an
+operator needs before acting on "routing is 73% like yesterday".
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import pytest
+
+from repro.core import phi, step_changes
+from repro.core.stats import bootstrap_phi, permutation_change_test
+from repro.datasets import wikipedia
+
+from common import emit
+
+
+@pytest.fixture(scope="module")
+def study():
+    return wikipedia.generate()
+
+
+def test_ext_bootstrap_and_permutation(study, benchmark):
+    series = study.series
+    pre = series.index_at(wikipedia.DRAIN_START - timedelta(days=1))
+    during = series.index_at(wikipedia.DRAIN_START + timedelta(days=1))
+
+    estimate = bootstrap_phi(series[pre], series[during], samples=2000)
+    quiet = bootstrap_phi(series[0], series[1], samples=2000)
+
+    changes = step_changes(series)
+    drain_step = pre  # the step from the last pre-drain day into the drain
+    p_drain = permutation_change_test(changes, drain_step)
+    p_quiet = permutation_change_test(changes, 0)
+
+    lines = [
+        "Extension: bootstrap CIs and permutation tests (Wikipedia drain)",
+        "",
+        f"Φ(pre-drain, drain) = {estimate.point:.3f} "
+        f"95% CI [{estimate.low:.3f}, {estimate.high:.3f}]",
+        f"Φ(quiet day pair)   = {quiet.point:.3f} "
+        f"95% CI [{quiet.low:.3f}, {quiet.high:.3f}]",
+        f"permutation p-value, drain step: {p_drain:.4f}",
+        f"permutation p-value, quiet step: {p_quiet:.4f}",
+        "",
+        "the drain is statistically unambiguous; the CIs quantify how much",
+        "of each Φ is vantage-sampling noise",
+    ]
+    emit("ext_stats", "\n".join(lines))
+
+    assert estimate.high < quiet.low  # the drain Φ drop exceeds sampling noise
+    assert estimate.width < 0.1
+    assert p_drain < 0.05
+    assert p_quiet > 0.1
+    assert estimate.point == pytest.approx(phi(series[pre], series[during]))
+
+    benchmark(bootstrap_phi, series[pre], series[during], None)

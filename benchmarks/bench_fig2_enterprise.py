@@ -1,0 +1,68 @@
+"""Figure 2: USC enterprise catchments at hop 3 over eight months.
+
+Paper shape: two strong routing modes separated by 2025-01-16; the
+cross-mode Φ(Mi,Mii) range tops out around 0.1 ("at most 90% of
+catchments changed"); before the change the hop-3 catchment is
+dominated by ARN-A with ANN present; after, NTT and HE take over and
+ANN vanishes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from datetime import datetime
+
+import pytest
+
+from repro.core import Fenrir
+from repro.datasets import usc
+
+from common import emit, fmt_range
+
+
+@pytest.fixture(scope="module")
+def study():
+    return usc.generate()
+
+
+def test_fig2_enterprise_modes(study, benchmark):
+    fenrir = Fenrir()
+    report = fenrir.run(study.series)
+    modes = report.modes
+
+    before_index = study.series.index_at(datetime(2024, 10, 1))
+    after_index = study.series.index_at(datetime(2025, 3, 1))
+    before = Counter(study.series[before_index].to_mapping().values())
+    after = Counter(study.series[after_index].to_mapping().values())
+    total = len(study.series.networks)
+
+    lines = ["Figure 2: enterprise catchments at hop 3 (USC-like)", ""]
+    lines.append(report.mode_timeline())
+    lines.append("")
+    lines.append(f"modes found: {len(modes)} (paper: 2, split at 2025-01-16)")
+    if len(modes) >= 2:
+        lines.append(
+            f"Φ(Mi,Mii) = {fmt_range(modes.phi_between(0, 1))} "
+            "(paper: [0.11, 0.48]; 'at most 90% changed')"
+        )
+    lines.append("")
+    lines.append("hop-3 shares before (2024-10) and after (2025-03):")
+    for name in ["ARN-A", "ARN-B", "ANN", "NTT", "HE"]:
+        lines.append(
+            f"  {name:>6}: {before.get(name, 0) / total:6.1%}  ->  "
+            f"{after.get(name, 0) / total:6.1%}"
+        )
+    lines.append("")
+    lines.append(report.heatmap(max_size=40))
+    emit("fig2_enterprise", "\n".join(lines))
+
+    assert len(modes) == 2
+    assert modes.phi_between(0, 1)[1] <= 0.35
+    assert before["ARN-A"] > 0.5 * total  # ARN-A dominates before
+    assert after.get("ARN-A", 0) < 0.1 * total  # and collapses after
+    assert after["NTT"] + after["HE"] > 0.4 * total
+    assert after.get("ANN", 0) < 0.02 * total
+
+    benchmark.pedantic(
+        lambda: fenrir.run(study.series), rounds=2, iterations=1
+    )

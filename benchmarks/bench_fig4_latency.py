@@ -1,0 +1,96 @@
+"""Figure 4: p90 latency per B-Root catchment, 2022-01 .. 2023-12.
+
+Paper shape: ARI serves distant (North American/European) networks and
+shows p90 over 200 ms until its 2023-03-06 shutdown; SCL appears
+briefly in May 2023, then resumes on 2023-06-29 with very low latency.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.latency import percentile_by_catchment
+from repro.core.vector import RoutingVector, StateCatalog
+from repro.datasets import broot
+from repro.latency.model import RttModel
+
+from common import emit
+
+
+@pytest.fixture(scope="module")
+def study():
+    return broot.generate()
+
+
+def _p90_series(study, start, end):
+    model = RttModel(jitter_ms=0)
+    catalog = StateCatalog()
+    results = {}
+    for when in study.sample_times:
+        if not start <= when < end:
+            continue
+        assignment = study.true_assignment(when)
+        rtts = model.table(assignment, study.block_locations, study.site_locations)
+        vector = RoutingVector.from_mapping(assignment, catalog=catalog, time=when)
+        results[when] = percentile_by_catchment(vector, rtts, q=90)
+    return results
+
+
+def test_fig4_latency_per_catchment(study, benchmark):
+    start, end = datetime(2022, 1, 1), datetime(2024, 1, 1)
+    per_round = _p90_series(study, start, end)
+
+    ari_values = [p["ARI"] for p in per_round.values() if "ARI" in p]
+    scl_values = [p["SCL"] for p in per_round.values() if "SCL" in p]
+    ari_last_seen = max(w for w, p in per_round.items() if "ARI" in p)
+    scl_first_seen = min((w for w, p in per_round.items() if "SCL" in p), default=None)
+
+    lines = ["Figure 4: p90 latency per catchment, 2022-01 .. 2023-12", ""]
+    site_names = sorted({site for p in per_round.values() for site in p})
+    header = "date        " + "".join(f"{s:>8}" for s in site_names)
+    lines.append(header)
+    for when, percentiles in list(per_round.items())[::4]:
+        row = f"{when:%Y-%m-%d}  " + "".join(
+            f"{percentiles.get(s, float('nan')):>8.0f}" for s in site_names
+        )
+        lines.append(row)
+    # Why is ARI slow? Polarization: its catchment is far from Arica.
+    from repro.anycast.polarization import analyze_polarization
+
+    assignment = study.true_assignment(datetime(2022, 6, 1))
+    polarization = analyze_polarization(
+        assignment,
+        study.block_locations,
+        study.site_locations,
+        active_sites={"LAX", "MIA", "ARI", "SIN", "IAD", "AMS"},
+    )
+    ari_polarized = polarization.by_site().get("ARI", 0)
+
+    lines += [
+        "",
+        f"ARI p90 median while active: {np.median(ari_values):.0f} ms (paper: >200 ms)",
+        f"polarized networks assigned to ARI: {ari_polarized} "
+        "(the paper's 'few North American and European networks routed to it')",
+        f"ARI last seen: {ari_last_seen:%Y-%m-%d} (paper: 2023-03-06 shutdown)",
+        f"SCL first seen: {scl_first_seen:%Y-%m-%d} (paper: 2023-05)",
+        f"SCL p90 median once active: {np.median(scl_values):.0f} ms (paper: very low)",
+    ]
+    emit("fig4_latency", "\n".join(lines))
+
+    # Paper shape: ARI slow (polarized), gone by spring 2023; SCL fast.
+    assert ari_polarized > 0
+    assert np.median(ari_values) > 150
+    assert ari_last_seen < datetime(2023, 3, 15)
+    assert scl_first_seen is not None and scl_first_seen < datetime(2023, 5, 15)
+    assert np.median(scl_values) < np.median(ari_values) / 2
+
+    model = RttModel(jitter_ms=0)
+    assignment = study.true_assignment(datetime(2022, 6, 1))
+
+    def build_table():
+        return model.table(assignment, study.block_locations, study.site_locations)
+
+    benchmark(build_table)

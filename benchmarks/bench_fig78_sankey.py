@@ -1,0 +1,70 @@
+"""Figures 7/8: Sankey flow diagrams of USC egress before/after the change.
+
+Paper shape (appendix): before 2025-01-16 the dominant transit at the
+early hops is ARN-A (AS 2152, ~80% at hop 3) feeding ANN; after the
+reconfiguration ARN-A drops to ~13% and the flows shift onto NTT
+(AS 2914), HE (AS 6939) and ARN-B (AS 226).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.viz import render_sankey, sankey_flows
+from repro.datasets import usc
+
+from common import emit
+
+
+@pytest.fixture(scope="module")
+def study():
+    return usc.generate(num_blocks=800)
+
+
+def _paths(study, when):
+    records = study.enterprise.sweep(when)
+    return [
+        [study.enterprise.name_of(asn) or "private" for asn in record.as_path()]
+        for record in records.values()
+    ]
+
+
+def _share(flows, level, node):
+    level_flows = [f for f in flows if f[0] == level]
+    total = sum(f[3] for f in level_flows)
+    onto = sum(f[3] for f in level_flows if f[2] == node)
+    return onto / total if total else 0.0
+
+
+def test_fig78_sankey_flows(study, benchmark):
+    before_when = datetime(2024, 10, 1)
+    after_when = datetime(2025, 2, 15)
+    before_paths = _paths(study, before_when)
+    after_paths = _paths(study, after_when)
+    before_flows = sankey_flows(before_paths, max_hops=4)
+    after_flows = sankey_flows(after_paths, max_hops=4)
+
+    lines = ["Figure 7: flow topology before the change (2024-10)", ""]
+    lines.append(render_sankey(before_flows, top_per_level=5))
+    lines += ["", "Figure 8: flow topology after the change (2025-02)", ""]
+    lines.append(render_sankey(after_flows, top_per_level=5))
+    lines += [
+        "",
+        f"share into ARN-A at the second transit hop: "
+        f"{_share(before_flows, 0, 'ARN-A'):.0%} -> {_share(after_flows, 0, 'ARN-A'):.0%} "
+        "(paper: 80% -> 13% at hop 3)",
+        f"share into NTT:  {_share(before_flows, 1, 'NTT'):.0%} -> "
+        f"{_share(after_flows, 0, 'NTT'):.0%} (paper: rises to ~31%)",
+        f"share into HE:   {_share(before_flows, 1, 'HE'):.0%} -> "
+        f"{_share(after_flows, 0, 'HE'):.0%} (paper: rises to ~29%)",
+    ]
+    emit("fig78_sankey", "\n".join(lines))
+
+    assert _share(before_flows, 0, "ARN-A") > 0.6
+    assert _share(after_flows, 0, "ARN-A") < 0.2
+    assert _share(after_flows, 0, "NTT") > 0.2
+    assert _share(after_flows, 0, "HE") > 0.15
+
+    benchmark(sankey_flows, before_paths, 4)

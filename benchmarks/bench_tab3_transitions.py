@@ -1,0 +1,64 @@
+"""Table 3: transition matrices for the G-Root STR drain.
+
+Paper shape, over two adjacent 4-minute rounds:
+
+* (a) a large STR→NAP flow plus a large STR→err flow (networks that
+  momentarily reach no site during convergence);
+* (b) the drain completes: the err networks land on NAP (err→NAP), STR
+  is empty.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transition import transition_matrix
+from repro.core.viz import render_transition_table
+from repro.datasets import groot
+
+from common import emit
+
+
+@pytest.fixture(scope="module")
+def study():
+    return groot.generate()
+
+
+def _drain_step(series):
+    """Index of the zoom step with the largest STR outflow."""
+    best_index, best_flow = 0, -1.0
+    for index in range(len(series) - 1):
+        tm = transition_matrix(series[index], series[index + 1])
+        flow = tm.count("STR", "NAP") + tm.count("STR", "err")
+        if flow > best_flow:
+            best_index, best_flow = index, flow
+    return best_index
+
+
+def test_tab3_transition_matrices(study, benchmark):
+    series = study.zoom
+    step = _drain_step(series)
+    first = transition_matrix(series[step], series[step + 1])
+    second = transition_matrix(series[step + 1], series[min(step + 2, len(series) - 1)])
+
+    lines = ["Table 3(a): large shift out of STR (4-minute step)", ""]
+    lines.append(render_transition_table(first))
+    lines += ["", "Table 3(b): drain completes, err networks land on NAP", ""]
+    lines.append(render_transition_table(second))
+    lines += [
+        "",
+        f"(a) STR->NAP = {first.count('STR', 'NAP'):.0f}, "
+        f"STR->err = {first.count('STR', 'err'):.0f}",
+        f"(b) err->NAP = {second.count('err', 'NAP'):.0f}, "
+        f"STR column total after = {second.column_sums().get('STR', 0):.0f}",
+    ]
+    emit("tab3_transitions", "\n".join(lines))
+
+    # Paper shape: big STR->NAP and STR->err in (a); err->NAP dominates
+    # (b); STR is (nearly) empty afterwards.
+    assert first.count("STR", "NAP") > 50
+    assert first.count("STR", "err") > 20
+    assert second.count("err", "NAP") > 20
+    assert second.column_sums().get("STR", 0.0) < 10
+
+    benchmark(transition_matrix, series[step], series[step + 1])

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it builds the scenario, runs the Fenrir analysis, prints the
+paper-shaped rows (also archived under ``benchmarks/out/``), asserts
+the qualitative shape, and benchmarks the core computation involved.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a reproduction block and archive it to benchmarks/out/."""
+    banner = f"\n=== {experiment} " + "=" * max(1, 70 - len(experiment)) + "\n"
+    print(banner + text + "\n")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def fmt_range(pair: tuple[float, float]) -> str:
+    return f"[{pair[0]:.2f}, {pair[1]:.2f}]"

@@ -1,0 +1,67 @@
+"""B-Root anycast study: five years of modes, transitions and latency.
+
+Regenerates a scaled version of the paper's Figure 3 scenario — the
+B-Root anycast service measured with a Verfploeter-style mapper — then
+answers the three operator questions the paper poses:
+
+1. How quickly do catchments change, and when?
+2. Do routing results re-occur later? (mode v vs mode i)
+3. What did each change do to latency? (the ARI shutdown)
+
+Run:  python examples/anycast_broot.py
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+from repro.core import Fenrir, transition_matrix
+from repro.core.latency import percentile_by_catchment
+from repro.core.vector import RoutingVector, StateCatalog
+from repro.core.viz import render_transition_table
+from repro.datasets import broot
+from repro.latency.model import RttModel
+
+
+def main() -> None:
+    print("generating the B-Root scenario (five years, weekly rounds)...")
+    study = broot.generate(num_blocks=1500)
+    report = Fenrir().run(study.series)
+
+    print()
+    print("== mode timeline (paper Figure 3b) ==")
+    print(report.mode_timeline())
+
+    print()
+    print("== does routing re-occur? ==")
+    modes = report.modes
+    v_mode = modes.mode_at(study.series.index_at(datetime(2024, 2, 1))).mode_id
+    prior = modes.closest_prior_mode(v_mode)
+    assert prior is not None
+    print(
+        f"mode {v_mode} (2023-07 onward) most resembles prior mode {prior[0]} "
+        f"(mean Φ {prior[1]:.2f}) — the original deployment recurs."
+    )
+
+    print()
+    print("== the ARI shutdown (paper Figure 4) ==")
+    model = RttModel(jitter_ms=0)
+    catalog = StateCatalog()
+    for when in (datetime(2023, 2, 1), datetime(2024, 2, 1)):
+        assignment = study.true_assignment(when)
+        rtts = model.table(assignment, study.block_locations, study.site_locations)
+        vector = RoutingVector.from_mapping(assignment, catalog=catalog)
+        percentiles = percentile_by_catchment(vector, rtts, q=90)
+        row = ", ".join(f"{site}={value:.0f}ms" for site, value in sorted(percentiles.items()))
+        print(f"  p90 per catchment on {when:%Y-%m-%d}: {row}")
+
+    print()
+    print("== what moved when SIN/IAD/AMS came online (2020-02)? ==")
+    before = study.series.index_at(broot.SITE_ADD_DATE - timedelta(days=1))
+    after = study.series.index_at(broot.SITE_ADD_DATE + timedelta(days=21))
+    table = transition_matrix(report.cleaned[before], report.cleaned[after])
+    print(render_transition_table(table, min_total=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""The Baltic cable-cut story, end to end.
+
+The paper opens with a question no operator could answer in real time:
+when submarine cables in the Baltic were cut in November 2024, which
+networks' routing changed, by how much, and what did it cost in
+latency? The answers came from one-off manual analysis; Fenrir's point
+is that they should fall out of routine monitoring.
+
+This example replays the scenario: a country reached through two
+submarine-cable transits loses one. Fenrir's country-ingress vectors
+flag the event the day it happens; the transit-diversity index shows
+the country now has a single point of failure; and the per-network
+path-RTT join quantifies the detour.
+
+Run:  python examples/cable_cut.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from datetime import timedelta
+
+import numpy as np
+
+from repro.controlplane.country import country_crossings, transit_diversity
+from repro.core import Fenrir, explain_event
+from repro.datasets import baltic
+from repro.latency.model import path_rtt_ms
+
+
+def main() -> None:
+    print("generating the cable-cut scenario...")
+    study = baltic.generate()
+    report = Fenrir().run(study.series)
+
+    print()
+    print("== country ingress modes ==")
+    print(report.mode_timeline())
+
+    print()
+    print("== the event, as the country's NOC would see it ==")
+    event = report.events[0]
+    explanation = explain_event(report, event)
+    print(" ", explanation.headline())
+
+    before_when = baltic.CABLE_CUT - timedelta(days=3)
+    after_when = baltic.CABLE_CUT + timedelta(days=3)
+    for label, when in (("before", before_when), ("after", after_when)):
+        crossings = country_crossings(
+            study.collector.paths_at(when), study.country_ases
+        )
+        shares = Counter(
+            baltic.AS_NAMES.get(c.outside_asn, f"AS{c.outside_asn}")
+            for c in crossings
+        )
+        diversity = transit_diversity(crossings)
+        print(
+            f"  {label:>6}: transits {dict(shares)}  "
+            f"diversity index {diversity:.2f}"
+        )
+
+    print()
+    print("== the latency detour ==")
+    paths_before = study.collector.paths_at(before_when)
+    paths_after = study.collector.paths_at(after_when)
+    moved = [
+        asn for asn, path in paths_before.items() if baltic.CABLE_WEST in path
+    ]
+    deltas = [
+        path_rtt_ms(study.topology, paths_after[asn])
+        - path_rtt_ms(study.topology, paths_before[asn])
+        for asn in moved
+    ]
+    print(
+        f"  {len(moved)} networks rerouted; path-RTT change "
+        f"median +{np.median(deltas):.0f} ms, p90 +{np.percentile(deltas, 90):.0f} ms"
+    )
+    print(
+        "  (the paper's motivating observation: latency shifts in European\n"
+        "   networks, caused several hops away, visible without any manual\n"
+        "   analysis)"
+    )
+
+
+if __name__ == "__main__":
+    main()

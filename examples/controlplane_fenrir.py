@@ -1,0 +1,73 @@
+"""Fenrir on control-plane data: collectors, update streams, hegemony.
+
+The paper's future work, running: instead of active probing, feed
+Fenrir from a RouteViews-style route collector watching the B-Root
+prefix, watch the BGP update stream around a site drain, and use
+AS-hegemony to quantify who an enterprise depends on before and after
+its reconfiguration.
+
+Run:  python examples/controlplane_fenrir.py
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timedelta
+
+from repro.bgp.updates import update_stream
+from repro.controlplane import RouteCollector, hegemony_scores, origin_series
+from repro.core import Fenrir
+from repro.datasets import broot, usc
+from repro.net.addr import parse_prefix
+
+
+def main() -> None:
+    print("building the B-Root scenario and a 200-peer collector...")
+    study = broot.generate(num_blocks=600, cadence=timedelta(days=14))
+    scenario = study.service.scenario
+    vantages = random.Random(11).sample(sorted(scenario.topology.nodes), 200)
+    collector = RouteCollector(scenario, vantages)
+
+    print()
+    print("== Fenrir on collector-derived catchments ==")
+    series = origin_series(collector, study.sample_times)
+    report = Fenrir().run(series)
+    print(report.mode_timeline())
+
+    print()
+    print("== the update stream around the ARI shutdown ==")
+    window = [
+        broot.ARI_SHUTDOWN + timedelta(days=offset) for offset in (-7, -1, 0, 1, 7)
+    ]
+    prefix = parse_prefix("199.9.14.0/24")  # B-Root's real prefix
+    updates = list(update_stream(scenario, vantages[:50], window, prefix))
+    initial = sum(1 for u in updates if u.timestamp == int(window[0].timestamp()))
+    churn = len(updates) - initial
+    print(f"  {initial} session-establishment announcements, then {churn} updates")
+    for update in updates[initial:][:5]:
+        print(f"  {update.to_line()}")
+
+    print()
+    print("== AS hegemony across the USC reconfiguration ==")
+    usc_study = usc.generate(num_blocks=500, cadence=timedelta(days=30))
+    usc_scenario = usc_study.enterprise.scenario
+    stubs = [
+        asn
+        for asn, node in usc_scenario.topology.nodes.items()
+        if node.tier == 3 and asn != usc.USC
+    ]
+    peers = random.Random(5).sample(stubs, 120)
+    usc_collector = RouteCollector(usc_scenario, peers)
+    names = {usc.ARN_A: "ARN-A", usc.ARN_B: "ARN-B", usc.ANN: "ANN",
+             usc.NTT: "NTT", usc.HE: "HE"}
+    for label, when in (("before", datetime(2024, 10, 1)), ("after", datetime(2025, 2, 15))):
+        scores = hegemony_scores(usc_collector.paths_at(when))
+        named = {
+            names[asn]: score for asn, score in scores.items() if asn in names
+        }
+        row = ", ".join(f"{k}={v:.2f}" for k, v in sorted(named.items()))
+        print(f"  {label:>6}: {row}")
+
+
+if __name__ == "__main__":
+    main()

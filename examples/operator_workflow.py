@@ -1,0 +1,111 @@
+"""An operator's day with Fenrir: stream, detect, explain, act.
+
+Chains the operator-facing extensions end to end on a B-Root-like
+anycast service:
+
+1. stream measurement rounds through :class:`OnlineFenrir` and get
+   told, live, when routing changes and whether it matches a known mode;
+2. ask :func:`explain_event` for the triage briefing (who moved where,
+   is this a recurrence, what happened to latency);
+3. build a TE *playbook* of available actions and ask which one would
+   return routing to the pre-event mode.
+
+Run:  python examples/operator_workflow.py
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timedelta
+
+from repro.anycast import (
+    AnycastService,
+    AnycastSite,
+    AtlasFleet,
+    build_playbook,
+    recommend,
+)
+from repro.bgp import SiteDrain
+from repro.bgp.topology import stub_ases
+from repro.core import Fenrir, OnlineFenrir, explain_event
+from repro.core.series import VectorSeries
+from repro.core.vector import StateCatalog
+from repro.datasets.builders import SiteSpec, attach_sites, build_topology
+from repro.latency.model import RttModel
+
+
+def main() -> None:
+    rng = random.Random(99)
+    topo = build_topology(rng, num_tier1=5, num_tier2=24, num_stubs=240)
+    sites = attach_sites(
+        topo, [SiteSpec("LAX", "LAX", 3), SiteSpec("AMS", "AMS", 2), SiteSpec("SIN", "SIN", 2)]
+    )
+    service = AnycastService(topo, sites)
+    t0 = datetime(2025, 6, 1)
+    # A third party will break a transit link mid-month; the operator
+    # does not know this yet.
+    drain = SiteDrain("AMS", t0 + timedelta(days=10), t0 + timedelta(days=16))
+    service.add_event(drain)
+
+    fleet = AtlasFleet.place_vps(service, stub_ases(topo), count=400, rng=rng)
+
+    print("== live stream through OnlineFenrir ==")
+    tracker = OnlineFenrir(
+        networks=fleet.network_ids(), event_threshold=0.05, mode_threshold=0.85
+    )
+    series = VectorSeries(fleet.network_ids(), StateCatalog())
+    for day in range(30):
+        when = t0 + timedelta(days=day)
+        observations = fleet.measure(when)
+        series.append_mapping(observations, when)
+        update = tracker.ingest(observations, when)
+        if update.is_event or update.recurred:
+            flavor = []
+            if update.is_new_mode:
+                flavor.append("NEW mode")
+            if update.recurred:
+                flavor.append(f"returned to mode {update.mode_id}")
+            print(
+                f"  {when:%Y-%m-%d}: step change {update.step_change:.2f} "
+                f"-> mode {update.mode_id} ({', '.join(flavor) or 'known mode'})"
+            )
+
+    print()
+    print("== offline triage of the first event ==")
+    report = Fenrir().run(series)
+    event = report.events[0]
+    model = RttModel(jitter_ms=0)
+    locations = {
+        f"vp{vp.vp_id}": topo.nodes[vp.asn].location for vp in fleet.vps
+    }
+    site_points = {site.label: site.location for site in sites}
+
+    def rtts_at(index):
+        assignment = report.cleaned[index].to_mapping()
+        return model.table(assignment, locations, site_points)
+
+    explanation = explain_event(
+        report, event, rtts_at(event.start_index), rtts_at(event.end_index)
+    )
+    print(" ", explanation.headline())
+    for source, target, count in explanation.top_movements[:3]:
+        print(f"    {source} -> {target}: {count:.0f} VPs")
+
+    print()
+    print("== what action restores the pre-event routing? ==")
+    during = t0 + timedelta(days=12)
+    target = service.catchment_map(t0)  # the mode we want back
+    playbook = build_playbook(service, during)
+    entry, similarity = recommend(playbook, target)
+    print(f"  best action: {entry.name!r} (predicted Φ to target {similarity:.2f})")
+    print(f"  predicted catchments: {entry.aggregates}")
+    if entry.action is None:
+        print(
+        "  (the drained site is simply gone: no TE action can recover the old\n"
+        "   mode, and the playbook says so before the operator burns a change\n"
+        "   window finding out)"
+        )
+
+
+if __name__ == "__main__":
+    main()

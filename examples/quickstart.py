@@ -1,0 +1,64 @@
+"""Quickstart: run Fenrir on a hand-made routing series.
+
+Builds a tiny study — eight networks observed daily for three weeks,
+with one site drained for a week in the middle — and walks the full
+pipeline: cleaning, comparison, mode discovery, event detection,
+transition matrices and text visualizations.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+from repro.core import Fenrir, VectorSeries, transition_matrix
+from repro.core.viz import render_transition_table
+
+
+def build_series() -> VectorSeries:
+    networks = [f"192.0.2.{i * 8}/29" for i in range(8)]
+    series = VectorSeries(networks)
+    start = datetime(2025, 1, 1)
+    for day in range(21):
+        when = start + timedelta(days=day)
+        if 7 <= day < 14:  # the AMS site drains for a week
+            assignment = {n: "LAX" for n in networks}
+        else:
+            assignment = {
+                n: ("AMS" if index < 3 else "LAX")
+                for index, n in enumerate(networks)
+            }
+        if day == 10:  # one missed measurement: stays unknown until cleaned
+            assignment.pop(networks[-1])
+        series.append_mapping(assignment, when)
+    return series
+
+
+def main() -> None:
+    series = build_series()
+    report = Fenrir().run(series)
+
+    print("== summary ==")
+    print(report.summary())
+    print()
+    print("== mode timeline ==")
+    print(report.mode_timeline())
+    print()
+    print("== similarity heatmap ==")
+    print(report.heatmap(max_size=21))
+    print()
+    print("== catchment stack plot ==")
+    print(report.stackplot(width=32))
+    print()
+
+    if report.events:
+        event = report.events[0]
+        print(f"== first detected event: {event.start:%Y-%m-%d} ==")
+        before = report.cleaned[event.start_index]
+        after = report.cleaned[min(event.end_index, len(report.cleaned) - 1)]
+        print(render_transition_table(transition_matrix(before, after)))
+
+
+if __name__ == "__main__":
+    main()

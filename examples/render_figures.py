@@ -1,0 +1,127 @@
+"""Render every paper figure as an SVG file.
+
+Generates scaled versions of the evaluation scenarios and writes one
+self-contained SVG per figure into ``figures/`` — the vector-graphic
+counterpart of the text renderings the benchmarks print.
+
+Run:  python examples/render_figures.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from datetime import datetime, timedelta
+from pathlib import Path
+
+from repro.core import Fenrir, latency_timeseries
+from repro.core.viz import sankey_flows
+from repro.datasets import broot, groot, usc, wikipedia
+from repro.latency.model import RttModel
+from repro.viz_svg import heatmap_svg, latency_svg, sankey_svg, stackplot_svg
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def save(svg, name: str) -> None:
+        path = out / name
+        svg.save(path)
+        written.append(path)
+        print(f"  wrote {path}")
+
+    print("Figure 1: G-Root catchment sizes...")
+    groot_study = groot.generate(num_vps=800, coarse_interval=timedelta(hours=4))
+    aggregates = groot_study.series.aggregate_over_time()
+    save(
+        stackplot_svg(aggregates, groot_study.series.times,
+                      title="Fig 1: G-Root catchments (VP counts)"),
+        "fig1_groot_stackplot.svg",
+    )
+
+    print("Figures 2/7/8: USC enterprise...")
+    usc_study = usc.generate(num_blocks=700, cadence=timedelta(days=4))
+    usc_report = Fenrir().run(usc_study.series)
+    save(
+        heatmap_svg(usc_report.similarity, usc_report.cleaned.times, cell=5,
+                    title="Fig 2b: USC hop-3 similarity"),
+        "fig2b_usc_heatmap.svg",
+    )
+    save(
+        stackplot_svg(usc_report.cleaned.aggregate_over_time(),
+                      usc_report.cleaned.times,
+                      title="Fig 2a: USC hop-3 catchments"),
+        "fig2a_usc_stackplot.svg",
+    )
+    for tag, when, figure in (
+        ("before", datetime(2024, 10, 1), "fig7"),
+        ("after", datetime(2025, 2, 15), "fig8"),
+    ):
+        records = usc_study.enterprise.sweep(when)
+        paths = [
+            [usc_study.enterprise.name_of(asn) or "?" for asn in r.as_path()]
+            for r in records.values()
+        ]
+        save(
+            sankey_svg(sankey_flows(paths, max_hops=4),
+                       title=f"{figure}: USC flows {tag} ({when:%Y-%m-%d})"),
+            f"{figure}_usc_sankey_{tag}.svg",
+        )
+
+    print("Figures 3/4: B-Root...")
+    broot_study = broot.generate(num_blocks=1200)
+    broot_report = Fenrir().run(broot_study.series)
+    save(
+        heatmap_svg(broot_report.similarity, broot_report.cleaned.times, cell=3,
+                    title="Fig 3b: B-Root similarity, 2019-2024"),
+        "fig3b_broot_heatmap.svg",
+    )
+    save(
+        stackplot_svg(broot_report.cleaned.aggregate_over_time(),
+                      broot_report.cleaned.times,
+                      title="Fig 3a: B-Root catchments"),
+        "fig3a_broot_stackplot.svg",
+    )
+    from repro.viz_svg import timeline_svg
+
+    save(
+        timeline_svg(broot_report.modes, broot_report.events,
+                     title="B-Root routing modes (i)..(vi)"),
+        "fig3_broot_mode_timeline.svg",
+    )
+    window = broot_study.series.between(datetime(2022, 1, 1), datetime(2024, 1, 1))
+    model = RttModel(jitter_ms=0)
+
+    def rtts_at(index: int):
+        assignment = broot_study.true_assignment(window.times[index])
+        return model.table(assignment, broot_study.block_locations,
+                           broot_study.site_locations)
+
+    latency = latency_timeseries(window, rtts_at, q=90)
+    save(
+        latency_svg(latency, window.times,
+                    title="Fig 4: B-Root p90 latency per catchment"),
+        "fig4_broot_latency.svg",
+    )
+
+    print("Figure 6: Wikipedia...")
+    wiki_study = wikipedia.generate(num_prefixes=900)
+    wiki_report = Fenrir().run(wiki_study.series)
+    save(
+        heatmap_svg(wiki_report.similarity, wiki_report.cleaned.times, cell=8,
+                    title="Fig 6b: Wikipedia similarity"),
+        "fig6b_wikipedia_heatmap.svg",
+    )
+    save(
+        stackplot_svg(wiki_report.cleaned.aggregate_over_time(),
+                      wiki_report.cleaned.times,
+                      title="Fig 6a: Wikipedia catchments"),
+        "fig6a_wikipedia_stackplot.svg",
+    )
+
+    print(f"\n{len(written)} figures in {out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Fenrir: rediscovering recurring routing results.
+
+A from-scratch reproduction of the Fenrir system (IMC 2025): routing
+vectors over network catchments, Gower-similarity comparison,
+HAC mode discovery, transition matrices, event detection and latency
+joins — plus every measurement substrate the paper's evaluation uses
+(BGP policy routing, anycast catchment mapping, traceroute, EDNS
+Client-Subnet website mapping), simulated.
+
+Quick start::
+
+    from repro.core import Fenrir, VectorSeries
+
+    series = VectorSeries(networks=["192.0.2.0/24", "198.51.100.0/24"])
+    series.append_mapping({"192.0.2.0/24": "LAX"}, time=t0)
+    series.append_mapping({"192.0.2.0/24": "AMS"}, time=t1)
+    report = Fenrir().run(series)
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

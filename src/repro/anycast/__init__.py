@@ -1,0 +1,26 @@
+"""Anycast substrate: services, Verfploeter and Atlas catchment mapping."""
+
+from .atlas import AtlasFleet, AtlasVP
+from .manycast import AnycastVerdict, detect_anycast
+from .playbook import PlaybookEntry, build_playbook, candidate_actions, recommend
+from .polarization import PolarizationReport, PolarizedNetwork, analyze_polarization
+from .service import UNREACHABLE, AnycastService, AnycastSite
+from .verfploeter import VerfploeterMapper
+
+__all__ = [
+    "AnycastService",
+    "AnycastSite",
+    "AtlasFleet",
+    "AtlasVP",
+    "AnycastVerdict",
+    "PlaybookEntry",
+    "PolarizationReport",
+    "PolarizedNetwork",
+    "UNREACHABLE",
+    "VerfploeterMapper",
+    "analyze_polarization",
+    "build_playbook",
+    "candidate_actions",
+    "detect_anycast",
+    "recommend",
+]

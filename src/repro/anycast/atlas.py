@@ -1,0 +1,165 @@
+"""A RIPE Atlas-style vantage point fleet measuring anycast catchments.
+
+Each VP issues a CHAOS TXT ``hostname.bind`` query (real wire-format
+bytes, via :mod:`repro.dns`), the site answering is determined by the
+VP's AS catchment, and the returned server identifier is mapped back to
+a site label. Failure modes follow the measurement reality the paper
+cleans up: query loss yields ``err`` (no reply from any site), and
+identifiers the mapping does not know yield ``other``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional, Sequence
+
+from ..dns.chaos import IdentifierMap, make_chaos_query, make_chaos_response
+from ..dns.edns import add_nsid_request, add_nsid_response, extract_nsid
+from ..dns.message import DnsMessage, Question, TYPE_A
+from ..measure.loss import LossModel
+from .service import UNREACHABLE, AnycastService
+
+__all__ = ["AtlasVP", "AtlasFleet"]
+
+
+@dataclass(frozen=True, slots=True)
+class AtlasVP:
+    """One vantage point: an id and the AS hosting it."""
+
+    vp_id: int
+    asn: int
+
+    @property
+    def network_id(self) -> str:
+        return f"vp{self.vp_id}"
+
+
+@dataclass
+class AtlasFleet:
+    """A fleet of VPs running the built-in root-server measurement.
+
+    ``identifier_style`` renders a site's per-server identifier, e.g.
+    ``"b1-lax.root"``; the default is mappable by
+    :class:`~repro.dns.chaos.IdentifierMap`. Sites listed in
+    ``odd_identifier_sites`` answer with unmappable identifiers and thus
+    surface as ``other`` — the paper's "incorrect data".
+    """
+
+    service: AnycastService
+    vps: Sequence[AtlasVP]
+    rng: random.Random
+    loss: Optional[LossModel] = None
+    odd_identifier_sites: frozenset[str] = frozenset()
+    identifier_map: IdentifierMap = field(default_factory=IdentifierMap)
+    # "chaos" (hostname.bind TXT, RFC 4892) or "nsid" (RFC 5001): the
+    # two identification mechanisms the paper names (§2.3.1).
+    method: str = "chaos"
+    # A small share of VPs sit behind middleboxes that mangle the
+    # server identifier; they answer but map to nothing — the paper's
+    # constant "other" population in Figure 1 and Table 3.
+    mangled_vp_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.method not in ("chaos", "nsid"):
+            raise ValueError(f"unknown identification method {self.method!r}")
+        if not self.identifier_map.known_sites:
+            self.identifier_map = IdentifierMap.for_sites(set(self.service.sites))
+        # Identifiers are deterministic per (site, server instance), so the
+        # wire round-trip result can be cached across measurement rounds.
+        self._identifier_cache: dict[tuple[str, int], Optional[str]] = {}
+
+    @classmethod
+    def place_vps(
+        cls,
+        service: AnycastService,
+        candidate_ases: Sequence[int],
+        count: int,
+        rng: random.Random,
+        loss: Optional[LossModel] = None,
+        odd_identifier_sites: frozenset[str] = frozenset(),
+    ) -> "AtlasFleet":
+        """Place ``count`` VPs in ASes sampled (with reuse) from candidates."""
+        if not candidate_ases:
+            raise ValueError("no candidate ASes to place VPs in")
+        vps = [
+            AtlasVP(vp_id, rng.choice(list(candidate_ases))) for vp_id in range(count)
+        ]
+        return cls(service, vps, rng, loss, odd_identifier_sites)
+
+    def _identifier_for(self, site: str, vp: AtlasVP) -> str:
+        instance = 1 + (vp.vp_id % 3)  # sites run several replicated servers
+        if site in self.odd_identifier_sites:
+            return f"edge{instance}.{site.lower()}.example.net"  # unmappable
+        return f"b{instance}-{site.lower()}"
+
+    def _query_site(self, site: str, vp: AtlasVP) -> Optional[str]:
+        """One identification query against ``site``, over real bytes."""
+        identifier = self._identifier_for(site, vp)
+        if self.method == "chaos":
+            query = make_chaos_query(msg_id=vp.vp_id & 0xFFFF)
+            wire = make_chaos_response(query, identifier).encode()
+            return DnsMessage.decode(wire).first_txt()
+        # NSID: an ordinary query carrying an empty NSID option; the
+        # server echoes its identifier in the response's OPT record.
+        query = DnsMessage(msg_id=vp.vp_id & 0xFFFF)
+        query.questions.append(Question("id.server.example", TYPE_A))
+        add_nsid_request(query)
+        response = DnsMessage(msg_id=query.msg_id, is_response=True)
+        response.questions = list(query.questions)
+        add_nsid_response(response, identifier)
+        decoded = DnsMessage.decode(response.encode())
+        nsid = extract_nsid(decoded)
+        return nsid if nsid else None
+
+    def measure(
+        self,
+        when: datetime,
+        catchment_override: Optional[dict[int, str]] = None,
+    ) -> dict[str, str]:
+        """One measurement round: ``{vp network id: state label}``.
+
+        States are site labels, ``err`` for query loss/unreachable
+        service, or ``other`` for unmappable identifiers.
+        ``catchment_override`` substitutes the per-AS catchment map —
+        used to measure mid-convergence transients rather than the
+        steady state.
+        """
+        catchments = (
+            catchment_override
+            if catchment_override is not None
+            else self.service.catchment_map(when)
+        )
+        observations: dict[str, str] = {}
+        from ..webmap.frontends import stable_fraction
+
+        for vp in self.vps:
+            if self.loss is not None and self.loss.lost():
+                observations[vp.network_id] = "err"
+                continue
+            if (
+                self.mangled_vp_fraction > 0
+                and stable_fraction("mangled-vp", vp.vp_id) < self.mangled_vp_fraction
+            ):
+                observations[vp.network_id] = "other"
+                continue
+            site = catchments.get(vp.asn, UNREACHABLE)
+            if site == UNREACHABLE:
+                observations[vp.network_id] = "err"
+                continue
+            cache_key = (site, 1 + (vp.vp_id % 3))
+            if cache_key in self._identifier_cache:
+                identifier = self._identifier_cache[cache_key]
+            else:
+                identifier = self._query_site(site, vp)
+                self._identifier_cache[cache_key] = identifier
+            if identifier is None:
+                observations[vp.network_id] = "err"
+                continue
+            mapped = self.identifier_map.site_of(identifier)
+            observations[vp.network_id] = mapped if mapped is not None else "other"
+        return observations
+
+    def network_ids(self) -> list[str]:
+        return [vp.network_id for vp in self.vps]

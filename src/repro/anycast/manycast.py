@@ -1,0 +1,64 @@
+"""MAnycast²-style anycast detection (Sommese et al. 2020, cited in §5).
+
+Given an arbitrary announced prefix, is it anycast — and from roughly
+how many sites? The MAnycast² insight: probe the prefix from many
+vantage points and look at which *instance* answers each; a unicast
+prefix answers identically everywhere, an anycast prefix partitions
+the vantages. In the simulator the instance identity is the origin
+label of each vantage AS's selected route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Sequence
+
+from ..bgp.events import RoutingScenario
+
+__all__ = ["AnycastVerdict", "detect_anycast"]
+
+
+@dataclass(frozen=True)
+class AnycastVerdict:
+    """The detection outcome for one prefix."""
+
+    is_anycast: bool
+    observed_sites: tuple[str, ...]  # distinct instances seen
+    vantage_count: int
+    unreachable_vantages: int
+
+    @property
+    def site_count(self) -> int:
+        return len(self.observed_sites)
+
+
+def detect_anycast(
+    scenario: RoutingScenario,
+    vantages: Sequence[int],
+    when: datetime,
+    min_sites: int = 2,
+) -> AnycastVerdict:
+    """Classify the scenario's prefix by probing from many vantages.
+
+    ``min_sites`` distinct answering instances ⇒ anycast. Vantages
+    without a route are counted separately (MAnycast² similarly loses
+    some of its probing prefixes' visibility).
+    """
+    if not vantages:
+        raise ValueError("need at least one vantage")
+    outcome = scenario.outcome_at(when)
+    seen: set[str] = set()
+    unreachable = 0
+    for vantage in vantages:
+        route = outcome.get(vantage)
+        if route is None:
+            unreachable += 1
+            continue
+        seen.add(route.label)
+    return AnycastVerdict(
+        is_anycast=len(seen) >= min_sites,
+        observed_sites=tuple(sorted(seen)),
+        vantage_count=len(vantages),
+        unreachable_vantages=unreachable,
+    )

@@ -1,0 +1,137 @@
+"""Anycast traffic-engineering playbooks.
+
+The paper situates Fenrir as the *situational awareness* layer that
+triggers tools like anycast playbooks (Rizvi et al. 2022, cited in
+§5): a playbook precomputes, for each available TE action, the routing
+result it would produce, so that during an incident the operator can
+jump straight to the action whose outcome matches a desired mode.
+
+:func:`build_playbook` evaluates candidate actions against the routing
+oracle; :func:`recommend` picks the action whose predicted vector is
+most similar (by Φ) to a target routing result — for example, a past
+mode's exemplar from Fenrir.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..bgp.events import Event, ScopeChange, SiteDrain, TrafficEngineering
+from ..bgp.policy import Scope
+from ..core.compare import UnknownPolicy, phi
+from ..core.vector import RoutingVector, StateCatalog
+from .service import AnycastService
+
+__all__ = ["PlaybookEntry", "build_playbook", "candidate_actions", "recommend"]
+
+
+@dataclass
+class PlaybookEntry:
+    """One TE action and the routing result it produces."""
+
+    name: str
+    action: Optional[Event]  # None = the do-nothing baseline
+    assignment: dict[int, str]  # AS -> site under this action
+    aggregates: dict[str, int]  # site -> AS count
+
+    def vector(
+        self, catalog: StateCatalog, networks: Sequence[str]
+    ) -> RoutingVector:
+        mapping = {f"as{asn}": site for asn, site in self.assignment.items()}
+        return RoutingVector.from_mapping(mapping, catalog=catalog, networks=networks)
+
+
+def candidate_actions(
+    service: AnycastService,
+    when: datetime,
+    horizon: timedelta = timedelta(days=1),
+    prepend: int = 3,
+) -> list[tuple[str, Event]]:
+    """The standard action menu: per-site drain, scope-down, prepend."""
+    actions: list[tuple[str, Event]] = []
+    end = when + horizon
+    for label in service.site_labels():
+        if label not in service.active_sites(when):
+            continue
+        actions.append((f"drain {label}", SiteDrain(label, when, end)))
+        actions.append(
+            (f"scope {label} to customer cone", ScopeChange(label, Scope.CUSTOMER_CONE, when, end))
+        )
+        origin = service.sites[label].origin_asn
+        for provider in sorted(service.scenario.topology.providers_of(origin)):
+            actions.append(
+                (
+                    f"prepend {label} x{prepend} toward AS{provider}",
+                    TrafficEngineering(label, provider, prepend, when, end),
+                )
+            )
+    return actions
+
+
+def build_playbook(
+    service: AnycastService,
+    when: datetime,
+    actions: Optional[Sequence[tuple[str, Event]]] = None,
+) -> list[PlaybookEntry]:
+    """Evaluate every action's routing result against the oracle.
+
+    Actions are applied one at a time on top of the current
+    configuration (scenario events are restored afterwards), so entries
+    are independent what-if outcomes, baseline first.
+    """
+    if actions is None:
+        actions = candidate_actions(service, when)
+    scenario = service.scenario
+
+    def snapshot(name: str, action: Optional[Event]) -> PlaybookEntry:
+        assignment = service.catchment_map(when + timedelta(seconds=1))
+        aggregates: dict[str, int] = {}
+        for site in assignment.values():
+            aggregates[site] = aggregates.get(site, 0) + 1
+        return PlaybookEntry(name, action, assignment, aggregates)
+
+    entries = [snapshot("baseline (no action)", None)]
+    for name, action in actions:
+        scenario.add_event(action)
+        try:
+            entries.append(snapshot(name, action))
+        finally:
+            scenario.events.remove(action)
+            scenario.invalidate_cache()
+    return entries
+
+
+def recommend(
+    playbook: Sequence[PlaybookEntry],
+    target: Mapping[int, str],
+    weights: Optional[np.ndarray] = None,
+) -> tuple[PlaybookEntry, float]:
+    """The playbook entry whose outcome best matches ``target``.
+
+    ``target`` maps ASes to desired sites (e.g. a past mode's oracle
+    assignment). Returns the entry and its Φ against the target.
+    """
+    if not playbook:
+        raise ValueError("empty playbook")
+    catalog = StateCatalog()
+    networks = sorted({f"as{asn}" for entry in playbook for asn in entry.assignment})
+    target_vector = RoutingVector.from_mapping(
+        {f"as{asn}": site for asn, site in target.items()},
+        catalog=catalog,
+        networks=networks,
+    )
+    best_entry: Optional[PlaybookEntry] = None
+    best_phi = -1.0
+    for entry in playbook:
+        candidate = entry.vector(catalog, networks)
+        similarity = phi(
+            target_vector, candidate, weights=weights, policy=UnknownPolicy.PESSIMISTIC
+        )
+        if similarity > best_phi:
+            best_entry, best_phi = entry, similarity
+    assert best_entry is not None
+    return best_entry, best_phi

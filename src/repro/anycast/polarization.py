@@ -1,0 +1,104 @@
+"""Anycast polarization analysis.
+
+Polarization (Moura et al. 2022, cited in §4.2) is when BGP routes a
+client to a distant anycast site even though a much nearer one exists —
+the B-Root ARI site of the paper's Figure 4 is exactly that: a Chilean
+site whose catchment was a few North American and European networks at
+200+ ms. Given per-network geography and a catchment assignment, this
+module scores each network's *excess distance* over its nearest active
+site and summarizes the polarized population per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..net.geo import GeoPoint
+
+__all__ = ["PolarizedNetwork", "PolarizationReport", "analyze_polarization"]
+
+
+@dataclass(frozen=True, slots=True)
+class PolarizedNetwork:
+    """One network routed far past its nearest site."""
+
+    network: str
+    assigned_site: str
+    assigned_km: float
+    nearest_site: str
+    nearest_km: float
+
+    @property
+    def excess_km(self) -> float:
+        return self.assigned_km - self.nearest_km
+
+
+@dataclass
+class PolarizationReport:
+    """Polarization summary for one catchment assignment."""
+
+    polarized: list[PolarizedNetwork]
+    total_networks: int
+    threshold_km: float
+
+    @property
+    def fraction_polarized(self) -> float:
+        if not self.total_networks:
+            return 0.0
+        return len(self.polarized) / self.total_networks
+
+    def by_site(self) -> dict[str, int]:
+        """Polarized-network counts per assigned site, descending."""
+        counts: dict[str, int] = {}
+        for entry in self.polarized:
+            counts[entry.assigned_site] = counts.get(entry.assigned_site, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+    def worst(self, limit: int = 10) -> list[PolarizedNetwork]:
+        return sorted(self.polarized, key=lambda e: -e.excess_km)[:limit]
+
+
+def analyze_polarization(
+    assignment: Mapping[str, str],
+    network_locations: Mapping[str, GeoPoint],
+    site_locations: Mapping[str, GeoPoint],
+    threshold_km: float = 3000.0,
+    active_sites: Optional[set[str]] = None,
+) -> PolarizationReport:
+    """Find networks assigned ≥ ``threshold_km`` past their nearest site.
+
+    Networks lacking geography, or assigned to a non-site state
+    (err/other/unknown), are skipped but still counted in the total.
+    """
+    sites = {
+        label: point
+        for label, point in site_locations.items()
+        if active_sites is None or label in active_sites
+    }
+    if not sites:
+        raise ValueError("no active sites to compare against")
+    polarized: list[PolarizedNetwork] = []
+    total = 0
+    for network, assigned in assignment.items():
+        total += 1
+        location = network_locations.get(network)
+        assigned_point = sites.get(assigned)
+        if location is None or assigned_point is None:
+            continue
+        nearest_label, nearest_point = min(
+            sites.items(), key=lambda item: location.distance_km(item[1])
+        )
+        assigned_km = location.distance_km(assigned_point)
+        nearest_km = location.distance_km(nearest_point)
+        if assigned_km - nearest_km >= threshold_km:
+            polarized.append(
+                PolarizedNetwork(
+                    network=network,
+                    assigned_site=assigned,
+                    assigned_km=assigned_km,
+                    nearest_site=nearest_label,
+                    nearest_km=nearest_km,
+                )
+            )
+    return PolarizationReport(polarized, total, threshold_km)

@@ -1,0 +1,88 @@
+"""Anycast services: sites, announcements, and the catchment oracle.
+
+An anycast service announces one prefix from several origin ASes
+("sites"). BGP policy routing at every other AS then induces the
+*catchment*: the site whose announcement that AS selects. This module
+wires site definitions into a :class:`~repro.bgp.events.RoutingScenario`
+and exposes per-time catchment lookups that the measurement simulators
+(Verfploeter, Atlas) observe through their own imperfect instruments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional, Sequence
+
+from ..bgp.events import Event, RoutingScenario
+from ..bgp.policy import Announcement, Scope
+from ..bgp.topology import ASTopology
+from ..net.geo import GeoPoint, city
+
+__all__ = ["AnycastSite", "AnycastService", "UNREACHABLE"]
+
+UNREACHABLE = "unreach"
+
+
+@dataclass(frozen=True, slots=True)
+class AnycastSite:
+    """One anycast site: a label, its origin AS and its location."""
+
+    label: str
+    origin_asn: int
+    location: GeoPoint
+    local_only: bool = False  # paper's micro-catchment local sites
+
+    @classmethod
+    def at_city(
+        cls, label: str, origin_asn: int, code: Optional[str] = None, local_only: bool = False
+    ) -> "AnycastSite":
+        return cls(label, origin_asn, city(code or label), local_only)
+
+
+class AnycastService:
+    """An anycast deployment over a topology, with scripted events."""
+
+    def __init__(
+        self,
+        topology: ASTopology,
+        sites: Sequence[AnycastSite],
+        events: Sequence[Event] = (),
+    ) -> None:
+        labels = [site.label for site in sites]
+        if len(set(labels)) != len(labels):
+            raise ValueError("duplicate site labels")
+        self.sites: dict[str, AnycastSite] = {site.label: site for site in sites}
+        announcements = [
+            Announcement(
+                origin=site.origin_asn,
+                label=site.label,
+                scope=Scope.CUSTOMER_CONE if site.local_only else Scope.GLOBAL,
+            )
+            for site in sites
+        ]
+        self.scenario = RoutingScenario(topology, announcements, list(events))
+
+    def add_event(self, event: Event) -> None:
+        self.scenario.add_event(event)
+
+    def site_labels(self) -> list[str]:
+        return sorted(self.sites)
+
+    def location_of(self, label: str) -> GeoPoint:
+        return self.sites[label].location
+
+    def catchment_of(self, asn: int, when: datetime) -> str:
+        """The site AS ``asn`` routes to at ``when`` (or ``unreach``)."""
+        return self.scenario.outcome_at(when).label_of(asn, UNREACHABLE)
+
+    def catchment_map(self, when: datetime) -> dict[int, str]:
+        """Site per AS for every AS in the topology at ``when``."""
+        outcome = self.scenario.outcome_at(when)
+        return {
+            asn: outcome.label_of(asn, UNREACHABLE)
+            for asn in self.scenario.topology.nodes
+        }
+
+    def active_sites(self, when: datetime) -> list[str]:
+        return self.scenario.active_sites_at(when)

@@ -1,0 +1,61 @@
+"""Verfploeter: anycast catchment mapping from inside the service.
+
+Verfploeter (de Vries et al. 2017) pings one target per /24 block from
+the anycast prefix and observes which site the echo reply enters — the
+block's catchment. Coverage is broad (millions of blocks) but noisy:
+a block is only mapped when its hitlist target answers, and roughly
+half do not on a given day. The simulator reproduces exactly that
+property — the paper leans on it when explaining why a perfectly stable
+B-Root still shows Φ ≈ 0.5–0.6.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Optional
+
+from ..measure.campaign import Campaign, ProbeStats
+from ..measure.loss import LossModel
+from ..net.hitlist import Hitlist, HitlistEntry
+from .service import UNREACHABLE, AnycastService
+
+__all__ = ["VerfploeterMapper"]
+
+
+@dataclass
+class VerfploeterMapper:
+    """Runs Verfploeter sweeps against an :class:`AnycastService`.
+
+    ``measure(when)`` returns ``{block: site_label}`` for the blocks
+    whose target answered; unanswered blocks are simply absent, which
+    the vector layer records as ``unknown``.
+    """
+
+    service: AnycastService
+    hitlist: Hitlist
+    clients: "object"  # ClientSpace; typed loosely to avoid an import cycle
+    rng: random.Random
+    loss: Optional[LossModel] = None
+    retries: int = 0
+    last_stats: Optional[ProbeStats] = None
+
+    def measure(self, when: datetime) -> dict[str, str]:
+        catchments = self.service.catchment_map(when)
+
+        def probe(entry: HitlistEntry) -> Optional[str]:
+            if self.rng.random() >= entry.score:
+                return None  # target silent today
+            asn = self.clients.as_of(entry.block)
+            site = catchments.get(asn, UNREACHABLE)
+            if site == UNREACHABLE:
+                return None  # no return path: reply never arrives
+            return site
+
+        campaign: Campaign[HitlistEntry, str] = Campaign(
+            probe=probe, loss=self.loss, retries=self.retries
+        )
+        results = campaign.run(self.hitlist.entries)
+        self.last_stats = campaign.stats
+        return {str(entry.block): site for entry, site in results.items()}

@@ -1,0 +1,60 @@
+"""AS-level BGP substrate: topology, Gao-Rexford policy routing, events."""
+
+from .clients import ClientSpace, allocate_clients, synthetic_traffic, zipf_block_counts
+from .convergence import convergence_steps
+from .updates import UpdateMessage, diff_outcomes, update_stream
+from .events import (
+    InternalMaintenance,
+    LinkAdd,
+    LinkOutage,
+    LinkRemove,
+    RoutingScenario,
+    ScopeChange,
+    SiteAdd,
+    SiteDrain,
+    SiteMove,
+    SiteRemove,
+    TrafficEngineering,
+)
+from .policy import Announcement, Route, RouteKind, Scope
+from .routing import RoutingOutcome, catchments_from_routes, compute_routes
+from .table import RibEntry, RoutingTable, dump_table, parse_table, routable_blocks
+from .topology import ASNode, ASTopology, Relationship, generate_internet_like
+
+__all__ = [
+    "Announcement",
+    "ClientSpace",
+    "allocate_clients",
+    "zipf_block_counts",
+    "ASNode",
+    "ASTopology",
+    "InternalMaintenance",
+    "LinkAdd",
+    "LinkOutage",
+    "LinkRemove",
+    "Relationship",
+    "RibEntry",
+    "Route",
+    "RouteKind",
+    "RoutingOutcome",
+    "RoutingScenario",
+    "RoutingTable",
+    "Scope",
+    "ScopeChange",
+    "SiteAdd",
+    "SiteDrain",
+    "SiteMove",
+    "SiteRemove",
+    "TrafficEngineering",
+    "UpdateMessage",
+    "catchments_from_routes",
+    "convergence_steps",
+    "diff_outcomes",
+    "synthetic_traffic",
+    "update_stream",
+    "compute_routes",
+    "dump_table",
+    "generate_internet_like",
+    "parse_table",
+    "routable_blocks",
+]

@@ -1,0 +1,138 @@
+"""Client address space: /24 blocks homed in stub ASes.
+
+Every study in the paper identifies "networks" with /24 blocks and asks
+which catchment each block lands in. In the simulator a block's routing
+is its home AS's routing, so this module owns the block↔AS assignment:
+a Zipf-ish allocation of /24 blocks to stub ASes (eyeball networks are
+much bigger than small enterprises) carved out of globally unique
+address space.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..net.addr import IPv4Address, IPv4Prefix
+from ..net.trie import PrefixTrie
+from .table import RibEntry, RoutingTable
+from .topology import ASTopology
+
+__all__ = ["ClientSpace", "allocate_clients"]
+
+
+@dataclass
+class ClientSpace:
+    """The /24 blocks of a scenario and their home ASes."""
+
+    blocks: list[IPv4Prefix]
+    home_as: dict[IPv4Prefix, int]
+    _trie: PrefixTrie[int] = field(default_factory=PrefixTrie, repr=False)
+
+    def __post_init__(self) -> None:
+        for block, asn in self.home_as.items():
+            self._trie.insert(block, asn)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[IPv4Prefix]:
+        return iter(self.blocks)
+
+    def as_of(self, block: IPv4Prefix) -> int:
+        return self.home_as[block]
+
+    def as_of_address(self, address: IPv4Address | int) -> Optional[int]:
+        return self._trie.lookup(address)
+
+    def blocks_of(self, asn: int) -> list[IPv4Prefix]:
+        return [block for block in self.blocks if self.home_as[block] == asn]
+
+    def network_ids(self) -> list[str]:
+        """Block identifiers in the string form routing vectors use."""
+        return [str(block) for block in self.blocks]
+
+    def routing_table(self, topology: ASTopology) -> RoutingTable:
+        """A RouteViews-style table announcing each AS's aggregate space.
+
+        Contiguous runs of blocks homed in one AS are merged into their
+        covering prefixes, with a synthetic (provider, origin) AS path.
+        """
+        table = RoutingTable()
+        for block in self.blocks:
+            asn = self.home_as[block]
+            providers = sorted(topology.providers_of(asn)) if asn in topology else []
+            path = (providers[0], asn) if providers else (asn,)
+            table.add(RibEntry(block, path))
+        return table
+
+
+def allocate_clients(
+    ases: Sequence[int],
+    blocks_per_as: Sequence[int],
+    base: IPv4Prefix = IPv4Prefix.from_string("20.0.0.0/8"),
+) -> ClientSpace:
+    """Assign each AS a contiguous run of /24 blocks out of ``base``."""
+    if len(ases) != len(blocks_per_as):
+        raise ValueError("ases and blocks_per_as differ in length")
+    total = sum(blocks_per_as)
+    if total > base.num_blocks24:
+        raise ValueError(
+            f"{total} blocks do not fit in {base} ({base.num_blocks24} /24s)"
+        )
+    blocks: list[IPv4Prefix] = []
+    home: dict[IPv4Prefix, int] = {}
+    cursor = base.network
+    for asn, count in zip(ases, blocks_per_as):
+        for _ in range(count):
+            block = IPv4Prefix(cursor, 24)
+            blocks.append(block)
+            home[block] = asn
+            cursor += 1 << 8
+    return ClientSpace(blocks, home)
+
+
+def synthetic_traffic(
+    rng: random.Random,
+    blocks: Sequence[IPv4Prefix],
+    alpha: float = 1.2,
+    total_volume: float = 1_000_000.0,
+) -> dict[str, float]:
+    """A Zipf-like per-block traffic table for §2.5-style weighting.
+
+    Real services weight networks by historical traffic; the heavy tail
+    (a few eyeball blocks send most queries) is the property that makes
+    traffic weighting differ from address counting, so the synthetic
+    table is deliberately skewed. Keys are block strings, matching
+    routing-vector network ids.
+    """
+    if not blocks:
+        return {}
+    ranks = list(range(1, len(blocks) + 1))
+    rng.shuffle(ranks)
+    raw = [1.0 / (rank**alpha) for rank in ranks]
+    scale = total_volume / sum(raw)
+    return {str(block): value * scale for block, value in zip(blocks, raw)}
+
+
+def zipf_block_counts(
+    rng: random.Random,
+    num_ases: int,
+    total_blocks: int,
+    alpha: float = 1.1,
+) -> list[int]:
+    """A Zipf-like split of ``total_blocks`` across ``num_ases`` (each ≥ 1)."""
+    if num_ases <= 0:
+        raise ValueError("need at least one AS")
+    if total_blocks < num_ases:
+        raise ValueError("need at least one block per AS")
+    raw = [1.0 / (rank ** alpha) for rank in range(1, num_ases + 1)]
+    rng.shuffle(raw)
+    scale = (total_blocks - num_ases) / sum(raw)
+    counts = [1 + int(value * scale) for value in raw]
+    # Distribute the rounding remainder deterministically.
+    shortfall = total_blocks - sum(counts)
+    for index in range(abs(shortfall)):
+        counts[index % num_ases] += 1 if shortfall > 0 else -1
+    return counts

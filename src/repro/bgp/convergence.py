@@ -1,0 +1,94 @@
+"""BGP convergence transients: path exploration between two steady states.
+
+Steady-state routing computations jump instantaneously from one
+configuration to the next, but real BGP converges over seconds to
+minutes, and during convergence some networks transiently lose
+reachability — the paper's Table 3 shows exactly this as a large
+STR→err→NAP two-step. This module synthesizes the intermediate
+catchment maps between two outcomes:
+
+* ASes whose selected route is unchanged never flap (BGP is
+  incremental);
+* ASes whose route changes pass through a transient state before
+  adopting the new route; the farther their *new* route's origin, the
+  later they settle (update propagation is hop-by-hop);
+* while unsettled, an AS either still uses its stale route or has
+  withdrawn it and has none (``unreach``), the mix controlled by
+  ``withdraw_first`` (path-hunting vs make-before-break).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .routing import RoutingOutcome
+
+__all__ = ["convergence_steps"]
+
+UNREACHABLE = "unreach"
+
+
+def convergence_steps(
+    before: RoutingOutcome,
+    after: RoutingOutcome,
+    rng: random.Random,
+    rounds: int = 2,
+    withdraw_first: float = 0.5,
+) -> list[dict[int, str]]:
+    """Intermediate catchment maps between two steady states.
+
+    Returns ``rounds`` maps; the last one equals the ``after`` steady
+    state. Earlier maps show changed ASes either still on their stale
+    label or transiently unreachable.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one convergence round")
+    if not 0.0 <= withdraw_first <= 1.0:
+        raise ValueError("withdraw_first must be in [0, 1]")
+
+    ases = sorted(set(before.routes) | set(after.routes))
+    changed = [
+        asn
+        for asn in ases
+        if (before.get(asn).path if before.get(asn) else None)
+        != (after.get(asn).path if after.get(asn) else None)
+    ]
+
+    # Settling round per changed AS: proportional to its new path
+    # length (updates propagate outward from the change), jittered.
+    settle_round: dict[int, int] = {}
+    max_len = max(
+        (len(after[asn].path) for asn in changed if after.get(asn)), default=1
+    )
+    for asn in changed:
+        route = after.get(asn)
+        depth = len(route.path) / max_len if route else 1.0
+        base = depth * (rounds - 1)
+        settle_round[asn] = min(
+            rounds - 1, max(0, int(base + rng.uniform(0.0, 1.0)))
+        )
+
+    withdrawn = {asn for asn in changed if rng.random() < withdraw_first}
+
+    steps: list[dict[int, str]] = []
+    for round_index in range(rounds):
+        catchments: dict[int, str] = {}
+        for asn in ases:
+            new_route = after.get(asn)
+            new_label = new_route.label if new_route else UNREACHABLE
+            if asn not in changed or round_index >= settle_round[asn]:
+                catchments[asn] = new_label
+                continue
+            old_route = before.get(asn)
+            if asn in withdrawn or old_route is None:
+                catchments[asn] = UNREACHABLE
+            else:
+                catchments[asn] = old_route.label  # stale but still used
+        steps.append(catchments)
+    if steps:
+        steps[-1] = {
+            asn: (after.get(asn).label if after.get(asn) else UNREACHABLE)
+            for asn in ases
+        }
+    return steps

@@ -1,0 +1,269 @@
+"""Scripted routing events and scenario evolution.
+
+The paper's datasets contain operator actions (site drains, traffic
+engineering, site adds/moves) and third-party changes (transit link
+failures, cable cuts). This module expresses those as typed events over
+a base topology + announcement set, and evaluates the effective routing
+configuration at any time.
+
+Windowed events (drains, TE, link outages) are active during
+``[start, end)``; permanent events (site add/remove/move, link
+add/remove) take effect at ``at`` and persist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import datetime
+from typing import Optional, Sequence
+
+from .policy import Announcement, Scope
+from .routing import RoutingOutcome, compute_routes
+from .topology import ASTopology
+
+__all__ = [
+    "SiteDrain",
+    "TrafficEngineering",
+    "ScopeChange",
+    "LinkOutage",
+    "SiteAdd",
+    "SiteRemove",
+    "SiteMove",
+    "LinkAdd",
+    "LinkRemove",
+    "InternalMaintenance",
+    "RoutingScenario",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SiteDrain:
+    """Anycast site withdrawn during a maintenance window."""
+
+    site: str
+    start: datetime
+    end: datetime
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficEngineering:
+    """Origin-side prepending toward one neighbor during a window."""
+
+    site: str
+    neighbor: int
+    prepend: int
+    start: datetime
+    end: datetime
+
+
+@dataclass(frozen=True, slots=True)
+class ScopeChange:
+    """An announcement's propagation scope changes during a window.
+
+    Scoping a site to its customer cone (community/no-export tricks in
+    the real world) is how operators actually shrink an anycast site's
+    catchment — prepending cannot defeat the customer>peer>provider
+    preference hierarchy.
+    """
+
+    site: str
+    scope: Scope
+    start: datetime
+    end: datetime
+
+
+@dataclass(frozen=True, slots=True)
+class LinkOutage:
+    """An AS-AS link down during a window (cable cut, maintenance)."""
+
+    a: int
+    b: int
+    start: datetime
+    end: datetime
+
+
+@dataclass(frozen=True, slots=True)
+class SiteAdd:
+    """A new anycast site comes online at ``at`` and stays."""
+
+    announcement: Announcement
+    at: datetime
+
+
+@dataclass(frozen=True, slots=True)
+class SiteRemove:
+    """A site is permanently decommissioned at ``at``."""
+
+    site: str
+    at: datetime
+
+
+@dataclass(frozen=True, slots=True)
+class SiteMove:
+    """A site moves to a new origin AS (same label) at ``at``."""
+
+    site: str
+    new_origin: int
+    at: datetime
+
+
+@dataclass(frozen=True, slots=True)
+class LinkAdd:
+    """A permanent new link from ``at`` on; relationship given by kind."""
+
+    provider: int
+    customer: int
+    at: datetime
+    peer: bool = False  # when True, provider/customer are just endpoints
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRemove:
+    """A link permanently removed at ``at``."""
+
+    a: int
+    b: int
+    at: datetime
+
+
+@dataclass(frozen=True, slots=True)
+class InternalMaintenance:
+    """An operator action with no externally visible routing effect.
+
+    Used by the validation scenario (Table 4): these events appear in
+    the ground-truth log but must *not* change catchments.
+    """
+
+    site: str
+    start: datetime
+    end: datetime
+
+
+Event = (
+    SiteDrain
+    | TrafficEngineering
+    | ScopeChange
+    | LinkOutage
+    | SiteAdd
+    | SiteRemove
+    | SiteMove
+    | LinkAdd
+    | LinkRemove
+    | InternalMaintenance
+)
+
+
+@dataclass
+class RoutingScenario:
+    """A base configuration plus a script of events.
+
+    ``outcome_at(t)`` computes (and caches by effective-configuration
+    signature) the routing outcome at time ``t``, so long stretches with
+    no active events cost one computation total.
+    """
+
+    topology: ASTopology
+    announcements: list[Announcement]
+    events: list[Event] = field(default_factory=list)
+    _cache: dict[object, RoutingOutcome] = field(default_factory=dict, repr=False)
+
+    def add_event(self, event: Event) -> None:
+        self.events.append(event)
+        # Cache keys are event-index tuples; any edit invalidates them.
+        self._cache.clear()
+
+    def active_events_at(self, when: datetime) -> tuple[int, ...]:
+        """Indices of events in effect at ``when`` — the config signature.
+
+        The effective configuration is a pure function of the base
+        configuration and this tuple, so it keys the outcome cache
+        without structural topology comparisons.
+        """
+        active = []
+        for index, event in enumerate(self.events):
+            if isinstance(event, (SiteAdd, SiteRemove, SiteMove, LinkAdd, LinkRemove)):
+                if event.at <= when:
+                    active.append(index)
+            elif isinstance(event, InternalMaintenance):
+                continue
+            else:
+                if event.start <= when < event.end:
+                    active.append(index)
+        return tuple(active)
+
+    def configuration_at(
+        self, when: datetime
+    ) -> tuple[ASTopology, list[Announcement], frozenset[frozenset[int]]]:
+        """The effective topology, announcements and down links at ``when``."""
+        topo = self.topology
+        topo_mutated = False
+        anns: dict[str, Announcement] = {}
+        for ann in self.announcements:
+            anns[ann.label] = ann
+        down: set[frozenset[int]] = set()
+
+        def mutable_topo() -> ASTopology:
+            nonlocal topo, topo_mutated
+            if not topo_mutated:
+                topo = topo.copy()
+                topo_mutated = True
+            return topo
+
+        for event in self.events:
+            if isinstance(event, SiteAdd):
+                if event.at <= when:
+                    anns[event.announcement.label] = event.announcement
+            elif isinstance(event, SiteRemove):
+                if event.at <= when:
+                    anns.pop(event.site, None)
+            elif isinstance(event, SiteMove):
+                if event.at <= when and event.site in anns:
+                    anns[event.site] = replace(anns[event.site], origin=event.new_origin)
+            elif isinstance(event, SiteDrain):
+                if event.start <= when < event.end:
+                    anns.pop(event.site, None)
+            elif isinstance(event, TrafficEngineering):
+                if event.start <= when < event.end and event.site in anns:
+                    ann = anns[event.site]
+                    prepend = dict(ann.prepend)
+                    prepend[event.neighbor] = event.prepend
+                    anns[event.site] = replace(ann, prepend=prepend)
+            elif isinstance(event, ScopeChange):
+                if event.start <= when < event.end and event.site in anns:
+                    anns[event.site] = replace(anns[event.site], scope=event.scope)
+            elif isinstance(event, LinkOutage):
+                if event.start <= when < event.end:
+                    down.add(frozenset((event.a, event.b)))
+            elif isinstance(event, LinkAdd):
+                if event.at <= when:
+                    t = mutable_topo()
+                    if event.peer:
+                        t.add_peer_link(event.provider, event.customer)
+                    else:
+                        t.add_customer_link(event.provider, event.customer)
+            elif isinstance(event, LinkRemove):
+                if event.at <= when:
+                    mutable_topo().remove_link(event.a, event.b)
+            elif isinstance(event, InternalMaintenance):
+                pass  # by definition, no routing effect
+            else:  # pragma: no cover - exhaustive over Event
+                raise TypeError(f"unknown event type: {event!r}")
+
+        return topo, sorted(anns.values(), key=lambda a: a.label), frozenset(down)
+
+    def outcome_at(self, when: datetime) -> RoutingOutcome:
+        key = self.active_events_at(when)
+        outcome = self._cache.get(key)
+        if outcome is None:
+            topo, anns, down = self.configuration_at(when)
+            outcome = compute_routes(topo, anns, disabled_links=[tuple(pair) for pair in down])
+            self._cache[key] = outcome
+        return outcome
+
+    def invalidate_cache(self) -> None:
+        """Drop cached outcomes — required after editing ``events`` in place."""
+        self._cache.clear()
+
+    def active_sites_at(self, when: datetime) -> list[str]:
+        _topo, anns, _down = self.configuration_at(when)
+        return [ann.label for ann in anns]

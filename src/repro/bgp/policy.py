@@ -1,0 +1,77 @@
+"""Gao–Rexford routing policy: preference ranks and export rules.
+
+The simulator implements the canonical economic policy model:
+
+* **Preference**: routes learned from customers beat routes learned from
+  peers, which beat routes learned from providers; ties break on shorter
+  AS path, then on lower next-hop ASN (deterministic).
+* **Export** (valley-free): routes learned from customers (and
+  originated routes) are exported to everyone; routes learned from peers
+  or providers are exported only to customers.
+
+Announcements can carry traffic-engineering state: per-neighbor AS-path
+prepending and a propagation scope, which the evaluation scenarios use
+to model site drains, TE shifts and local-only anycast sites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["RouteKind", "Route", "Announcement", "Scope"]
+
+
+class RouteKind(enum.IntEnum):
+    """How a route was learned; lower value = more preferred."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+class Scope(enum.Enum):
+    """How far an announcement propagates from its origin."""
+
+    GLOBAL = "global"
+    CUSTOMER_CONE = "customer-cone"  # local-only anycast site
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """A selected route at some AS toward an announcement's origin."""
+
+    label: str  # catchment label (site name) of the origin
+    origin: int  # origin ASN
+    path: tuple[int, ...]  # AS path, self first, origin last
+    kind: RouteKind
+    metric: int  # effective path length including prepending
+
+    @property
+    def next_hop(self) -> int:
+        """The neighbor this route was learned from (self for origins)."""
+        return self.path[1] if len(self.path) > 1 else self.path[0]
+
+    def preference_key(self) -> tuple[int, int, int]:
+        """Sort key: most-preferred route sorts first."""
+        return (int(self.kind), self.metric, self.next_hop)
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A prefix announcement from one origin AS, labelled with a site."""
+
+    origin: int
+    label: str
+    prepend: dict[int, int] = field(default_factory=dict)  # neighbor -> extra hops
+    scope: Scope = Scope.GLOBAL
+
+    def export_metric(self, base_metric: int, neighbor: int) -> int:
+        """Metric as seen by ``neighbor`` after origin-side prepending."""
+        return base_metric + 1 + self.prepend.get(neighbor, 0)
+
+
+def better(a: Route, b: Route) -> Route:
+    """The more preferred of two routes to the same destination."""
+    return a if a.preference_key() <= b.preference_key() else b

@@ -1,0 +1,211 @@
+"""Per-announcement best-path computation over an AS topology.
+
+Given a set of :class:`~repro.bgp.policy.Announcement` objects for one
+destination prefix (several, for anycast), :func:`compute_routes` runs
+the standard three-phase valley-free propagation and returns the route
+each AS selects. The AS-level catchment of the prefix is then simply
+``route.label`` per AS.
+
+The three phases implement Gao–Rexford preference exactly:
+
+1. **Customer routes** ride up provider links from the origins; each AS
+   adopts the best (shortest metric, lowest next-hop) customer route,
+   processed in metric order with a heap so adopted routes are final.
+2. **Peer routes** travel one hop across peer links from ASes holding
+   origin/customer routes; only ASes without a route adopt them.
+3. **Provider routes** ride down customer links from every routed AS,
+   again in metric order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .policy import Announcement, Route, RouteKind, Scope
+from .topology import ASTopology
+
+__all__ = ["compute_routes", "catchments_from_routes", "RoutingOutcome"]
+
+
+class RoutingOutcome:
+    """Result of a routing computation: per-AS selected routes."""
+
+    def __init__(self, routes: dict[int, Route]) -> None:
+        self.routes = routes
+
+    def __getitem__(self, asn: int) -> Route:
+        return self.routes[asn]
+
+    def get(self, asn: int) -> Optional[Route]:
+        return self.routes.get(asn)
+
+    def label_of(self, asn: int, default: str = "unreach") -> str:
+        route = self.routes.get(asn)
+        return route.label if route else default
+
+    def path_of(self, asn: int) -> Optional[tuple[int, ...]]:
+        route = self.routes.get(asn)
+        return route.path if route else None
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+
+def compute_routes(
+    topo: ASTopology,
+    announcements: Sequence[Announcement],
+    disabled_links: Optional[Iterable[tuple[int, int]]] = None,
+) -> RoutingOutcome:
+    """Select a best route at every AS for one (possibly anycast) prefix.
+
+    ``disabled_links`` is a set of AS pairs (order-insensitive) that are
+    down for this computation — the hook used by cable-cut and
+    maintenance events.
+    """
+    down: set[frozenset[int]] = (
+        {frozenset(pair) for pair in disabled_links} if disabled_links else set()
+    )
+
+    def link_up(a: int, b: int) -> bool:
+        return frozenset((a, b)) not in down
+
+    routes: dict[int, Route] = {}
+
+    by_origin: dict[int, Announcement] = {}
+    for ann in announcements:
+        if ann.origin not in topo:
+            raise KeyError(f"announcement origin AS{ann.origin} not in topology")
+        if ann.origin in by_origin:
+            raise ValueError(f"duplicate announcement from AS{ann.origin}")
+        by_origin[ann.origin] = ann
+        routes[ann.origin] = Route(
+            label=ann.label,
+            origin=ann.origin,
+            path=(ann.origin,),
+            kind=RouteKind.ORIGIN,
+            metric=0,
+        )
+
+    # Heap entries: (metric, next_hop_asn, at_asn, route). The heap pops
+    # candidate routes in preference order within a phase, so the first
+    # candidate an AS sees is its best and can be committed immediately.
+    Candidate = tuple[int, int, int, Route]
+
+    def offer_from_origin(heap: list[Candidate], origin: int, to_asn: int) -> None:
+        ann = by_origin[origin]
+        metric = ann.export_metric(0, to_asn)
+        route = Route(ann.label, origin, (to_asn, origin), RouteKind.CUSTOMER, metric)
+        heapq.heappush(heap, (metric, origin, to_asn, route))
+
+    # -- phase 1: customer routes ride up provider links ------------------
+    heap: list[Candidate] = []
+    for origin, ann in by_origin.items():
+        if ann.scope is Scope.CUSTOMER_CONE:
+            continue  # local-only sites do not export to providers
+        for provider in topo.providers_of(origin):
+            if link_up(origin, provider):
+                offer_from_origin(heap, origin, provider)
+
+    while heap:
+        metric, _next_hop, at_asn, route = heapq.heappop(heap)
+        existing = routes.get(at_asn)
+        if existing is not None:
+            continue  # origins and already-committed ASes keep their route
+        routes[at_asn] = Route(route.label, route.origin, route.path, RouteKind.CUSTOMER, metric)
+        for provider in topo.providers_of(at_asn):
+            if provider not in routes and link_up(at_asn, provider):
+                heapq.heappush(
+                    heap,
+                    (
+                        metric + 1,
+                        at_asn,
+                        provider,
+                        Route(
+                            route.label,
+                            route.origin,
+                            (provider,) + route.path,
+                            RouteKind.CUSTOMER,
+                            metric + 1,
+                        ),
+                    ),
+                )
+
+    # -- phase 2: peer routes, one hop across peer links ------------------
+    peer_candidates: dict[int, Route] = {}
+    for asn in sorted(routes):
+        route = routes[asn]
+        if route.kind not in (RouteKind.ORIGIN, RouteKind.CUSTOMER):
+            continue
+        ann = by_origin.get(asn) if route.kind is RouteKind.ORIGIN else None
+        if ann is not None and ann.scope is Scope.CUSTOMER_CONE:
+            continue
+        for peer in topo.peers_of(asn):
+            if peer in routes or not link_up(asn, peer):
+                continue
+            if ann is not None:
+                metric = ann.export_metric(route.metric, peer)
+            else:
+                metric = route.metric + 1
+            candidate = Route(
+                route.label, route.origin, (peer,) + route.path, RouteKind.PEER, metric
+            )
+            best = peer_candidates.get(peer)
+            if best is None or candidate.preference_key() < best.preference_key():
+                peer_candidates[peer] = candidate
+    routes.update(peer_candidates)
+
+    # -- phase 3: provider routes ride down customer links -----------------
+    heap = []
+    for asn in sorted(routes):
+        route = routes[asn]
+        ann = by_origin.get(asn) if route.kind is RouteKind.ORIGIN else None
+        for customer in topo.customers_of(asn):
+            if customer in routes or not link_up(asn, customer):
+                continue
+            if ann is not None:
+                metric = ann.export_metric(route.metric, customer)
+            else:
+                metric = route.metric + 1
+            candidate = Route(
+                route.label,
+                route.origin,
+                (customer,) + route.path,
+                RouteKind.PROVIDER,
+                metric,
+            )
+            heapq.heappush(heap, (metric, asn, customer, candidate))
+
+    while heap:
+        metric, _next_hop, at_asn, route = heapq.heappop(heap)
+        if at_asn in routes:
+            continue
+        routes[at_asn] = route
+        for customer in topo.customers_of(at_asn):
+            if customer not in routes and link_up(at_asn, customer):
+                heapq.heappush(
+                    heap,
+                    (
+                        metric + 1,
+                        at_asn,
+                        customer,
+                        Route(
+                            route.label,
+                            route.origin,
+                            (customer,) + route.path,
+                            RouteKind.PROVIDER,
+                            metric + 1,
+                        ),
+                    ),
+                )
+
+    return RoutingOutcome(routes)
+
+
+def catchments_from_routes(
+    outcome: RoutingOutcome,
+    ases: Iterable[int],
+    unreachable: str = "unreach",
+) -> dict[int, str]:
+    """Map each requested AS to the label (site) of its selected route."""
+    return {asn: outcome.label_of(asn, unreachable) for asn in ases}

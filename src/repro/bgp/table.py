@@ -1,0 +1,108 @@
+"""RIB entries and RouteViews-style table dumps.
+
+The paper derives its set of routable /24 blocks from a RouteViews BGP
+table. We mirror that workflow: prefix ownership in a scenario can be
+dumped to (and parsed back from) a pipe-separated text format modelled
+on ``bgpdump -m`` TABLE_DUMP2 lines, and the set of routable /24s is
+extracted from such a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, TextIO
+
+from ..net.addr import IPv4Prefix
+from ..net.trie import PrefixTrie
+
+__all__ = ["RibEntry", "RoutingTable", "dump_table", "parse_table", "routable_blocks"]
+
+
+@dataclass(frozen=True, slots=True)
+class RibEntry:
+    """One best-path RIB entry as a collector would record it."""
+
+    prefix: IPv4Prefix
+    as_path: tuple[int, ...]
+    timestamp: int = 0
+
+    @property
+    def origin_as(self) -> int:
+        return self.as_path[-1]
+
+    def to_line(self) -> str:
+        """TABLE_DUMP2-style pipe-separated line."""
+        path = " ".join(str(asn) for asn in self.as_path)
+        return f"TABLE_DUMP2|{self.timestamp}|B|{self.prefix}|{path}|IGP"
+
+    @classmethod
+    def from_line(cls, line: str) -> "RibEntry":
+        fields = line.strip().split("|")
+        if len(fields) < 5 or fields[0] != "TABLE_DUMP2":
+            raise ValueError(f"not a TABLE_DUMP2 line: {line!r}")
+        prefix = IPv4Prefix.from_string(fields[3])
+        as_path = tuple(int(tok) for tok in fields[4].split())
+        if not as_path:
+            raise ValueError(f"empty AS path in line: {line!r}")
+        return cls(prefix, as_path, int(fields[1]))
+
+
+class RoutingTable:
+    """A collection of RIB entries with longest-prefix-match lookup."""
+
+    def __init__(self, entries: Iterable[RibEntry] = ()) -> None:
+        self._trie: PrefixTrie[RibEntry] = PrefixTrie()
+        self._entries: list[RibEntry] = []
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: RibEntry) -> None:
+        self._entries.append(entry)
+        self._trie.insert(entry.prefix, entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RibEntry]:
+        return iter(self._entries)
+
+    def lookup(self, address: int) -> RibEntry | None:
+        return self._trie.lookup(address)
+
+    def origin_of(self, prefix: IPv4Prefix) -> int | None:
+        """Origin AS of the most-specific covering entry, if any."""
+        match = self._trie.covering(prefix)
+        return match[1].origin_as if match else None
+
+
+def dump_table(table: RoutingTable, stream: TextIO) -> int:
+    """Write a table as TABLE_DUMP2 lines; returns entry count."""
+    count = 0
+    for entry in table:
+        stream.write(entry.to_line() + "\n")
+        count += 1
+    return count
+
+
+def parse_table(stream: TextIO) -> RoutingTable:
+    """Parse TABLE_DUMP2 lines, skipping blanks and comments."""
+    table = RoutingTable()
+    for line in stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        table.add(RibEntry.from_line(line))
+    return table
+
+
+def routable_blocks(table: RoutingTable) -> list[IPv4Prefix]:
+    """All /24 blocks covered by any table entry, deduplicated, sorted.
+
+    This mirrors the paper's derivation of its 1.6M-target hitlist from
+    the RouteViews table.
+    """
+    seen: set[IPv4Prefix] = set()
+    for entry in table:
+        for block in entry.prefix.blocks24():
+            seen.add(block)
+    return sorted(seen)

@@ -1,0 +1,248 @@
+"""AS-level topology with business relationships.
+
+Inter-domain routing in the paper's world is the product of per-AS
+policies over customer/provider/peer relationships (Gao–Rexford). This
+module provides the graph those policies run over:
+
+* :class:`ASTopology` — a mutable AS graph with typed edges and
+  per-AS geographic placement;
+* :func:`generate_internet_like` — a seeded generator producing a
+  tiered, regionally structured topology (tier-1 clique, mid-tier
+  transit, stub eyeball/enterprise ASes) of configurable size.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..net.geo import CITIES, GeoPoint
+
+__all__ = ["Relationship", "ASNode", "ASTopology", "generate_internet_like"]
+
+
+class Relationship(enum.Enum):
+    """Business relationship of a directed AS link, from ``a``'s view."""
+
+    CUSTOMER = "customer"  # the neighbor is a's customer
+    PROVIDER = "provider"  # the neighbor is a's provider
+    PEER = "peer"
+
+    def inverse(self) -> "Relationship":
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+@dataclass(slots=True)
+class ASNode:
+    """One autonomous system."""
+
+    asn: int
+    name: str = ""
+    tier: int = 3  # 1 = tier-1 transit, 2 = regional transit, 3 = stub
+    location: Optional[GeoPoint] = None
+
+
+@dataclass
+class ASTopology:
+    """A mutable AS-relationship graph."""
+
+    nodes: dict[int, ASNode] = field(default_factory=dict)
+    _providers: dict[int, set[int]] = field(default_factory=dict)
+    _customers: dict[int, set[int]] = field(default_factory=dict)
+    _peers: dict[int, set[int]] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    def add_as(
+        self,
+        asn: int,
+        name: str = "",
+        tier: int = 3,
+        location: Optional[GeoPoint] = None,
+    ) -> ASNode:
+        if asn in self.nodes:
+            raise ValueError(f"AS{asn} already present")
+        node = ASNode(asn, name or f"AS{asn}", tier, location)
+        self.nodes[asn] = node
+        self._providers[asn] = set()
+        self._customers[asn] = set()
+        self._peers[asn] = set()
+        return node
+
+    def _check(self, asn: int) -> None:
+        if asn not in self.nodes:
+            raise KeyError(f"unknown AS{asn}")
+
+    def add_customer_link(self, provider: int, customer: int) -> None:
+        """Add a provider→customer edge (customer pays provider)."""
+        self._check(provider)
+        self._check(customer)
+        if provider == customer:
+            raise ValueError("self links not allowed")
+        self._customers[provider].add(customer)
+        self._providers[customer].add(provider)
+
+    def add_peer_link(self, a: int, b: int) -> None:
+        self._check(a)
+        self._check(b)
+        if a == b:
+            raise ValueError("self links not allowed")
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    def remove_link(self, a: int, b: int) -> bool:
+        """Remove any relationship between a and b. True if one existed."""
+        removed = False
+        if b in self._customers.get(a, ()):
+            self._customers[a].discard(b)
+            self._providers[b].discard(a)
+            removed = True
+        if b in self._providers.get(a, ()):
+            self._providers[a].discard(b)
+            self._customers[b].discard(a)
+            removed = True
+        if b in self._peers.get(a, ()):
+            self._peers[a].discard(b)
+            self._peers[b].discard(a)
+            removed = True
+        return removed
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def providers_of(self, asn: int) -> frozenset[int]:
+        self._check(asn)
+        return frozenset(self._providers[asn])
+
+    def customers_of(self, asn: int) -> frozenset[int]:
+        self._check(asn)
+        return frozenset(self._customers[asn])
+
+    def peers_of(self, asn: int) -> frozenset[int]:
+        self._check(asn)
+        return frozenset(self._peers[asn])
+
+    def relationship(self, a: int, b: int) -> Optional[Relationship]:
+        """Relationship of b from a's point of view, or None."""
+        self._check(a)
+        self._check(b)
+        if b in self._customers[a]:
+            return Relationship.CUSTOMER
+        if b in self._providers[a]:
+            return Relationship.PROVIDER
+        if b in self._peers[a]:
+            return Relationship.PEER
+        return None
+
+    def neighbors(self, asn: int) -> Iterator[tuple[int, Relationship]]:
+        self._check(asn)
+        for customer in self._customers[asn]:
+            yield customer, Relationship.CUSTOMER
+        for peer in self._peers[asn]:
+            yield peer, Relationship.PEER
+        for provider in self._providers[asn]:
+            yield provider, Relationship.PROVIDER
+
+    def edge_count(self) -> int:
+        customer_edges = sum(len(v) for v in self._customers.values())
+        peer_edges = sum(len(v) for v in self._peers.values()) // 2
+        return customer_edges + peer_edges
+
+    def copy(self) -> "ASTopology":
+        clone = ASTopology()
+        clone.nodes = {asn: ASNode(n.asn, n.name, n.tier, n.location) for asn, n in self.nodes.items()}
+        clone._providers = {k: set(v) for k, v in self._providers.items()}
+        clone._customers = {k: set(v) for k, v in self._customers.items()}
+        clone._peers = {k: set(v) for k, v in self._peers.items()}
+        return clone
+
+
+def generate_internet_like(
+    rng: random.Random,
+    num_tier1: int = 8,
+    num_tier2: int = 60,
+    num_stubs: int = 800,
+    stub_multihome_fraction: float = 0.3,
+    tier2_peer_degree: int = 4,
+    first_asn: int = 100,
+) -> ASTopology:
+    """Generate a tiered, regionally structured AS topology.
+
+    Structure mirrors the measured Internet at small scale:
+
+    * tier-1 ASes form a full peering clique and sell transit broadly;
+    * tier-2 (regional) ASes buy transit from 1–3 tier-1s, peer
+      regionally, and sell to stubs in their region;
+    * stub ASes buy from 1 regional provider (or 2, when multihomed).
+
+    Every AS is placed in a city; regional structure follows city
+    proximity so that policy routing produces geographically plausible
+    catchments.
+    """
+    topo = ASTopology()
+    cities = list(CITIES.values())
+    next_asn = first_asn
+
+    tier1s = []
+    for _ in range(num_tier1):
+        node = topo.add_as(next_asn, tier=1, location=rng.choice(cities))
+        tier1s.append(node.asn)
+        next_asn += 1
+    for i, a in enumerate(tier1s):
+        for b in tier1s[i + 1 :]:
+            topo.add_peer_link(a, b)
+
+    tier2s = []
+    for _ in range(num_tier2):
+        node = topo.add_as(next_asn, tier=2, location=rng.choice(cities))
+        tier2s.append(node.asn)
+        next_asn += 1
+        for provider in rng.sample(tier1s, k=rng.randint(1, min(3, len(tier1s)))):
+            topo.add_customer_link(provider, node.asn)
+
+    # Regional tier-2 peering: peer with the geographically nearest tier-2s.
+    for asn in tier2s:
+        here = topo.nodes[asn].location
+        assert here is not None
+        others = sorted(
+            (other for other in tier2s if other != asn),
+            key=lambda other: here.distance_km(topo.nodes[other].location),  # type: ignore[arg-type]
+        )
+        for other in others[:tier2_peer_degree]:
+            if topo.relationship(asn, other) is None:
+                topo.add_peer_link(asn, other)
+
+    for _ in range(num_stubs):
+        node = topo.add_as(next_asn, tier=3, location=rng.choice(cities))
+        next_asn += 1
+        here = node.location
+        assert here is not None
+        nearby = sorted(
+            tier2s,
+            key=lambda other: here.distance_km(topo.nodes[other].location),  # type: ignore[arg-type]
+        )
+        # Prefer a nearby regional provider, with some noise.
+        primary = nearby[rng.randint(0, min(4, len(nearby) - 1))]
+        topo.add_customer_link(primary, node.asn)
+        if rng.random() < stub_multihome_fraction:
+            secondary = nearby[rng.randint(0, min(9, len(nearby) - 1))]
+            if secondary != primary:
+                topo.add_customer_link(secondary, node.asn)
+
+    return topo
+
+
+def stub_ases(topo: ASTopology) -> list[int]:
+    """All tier-3 (stub) ASes, sorted by ASN."""
+    return sorted(asn for asn, node in topo.nodes.items() if node.tier == 3)

@@ -1,0 +1,105 @@
+"""BGP UPDATE streams: the dynamic view a route collector archives.
+
+RIB snapshots (``repro.bgp.table``) are the paper's RouteViews input;
+collectors also archive the *update stream* — per-peer announcements
+and withdrawals as routing changes. This module diffs two routing
+outcomes into the updates a collector's peers would have sent, and
+serializes them in a ``bgpdump``-style BGP4MP line format.
+
+The stream view is what makes short-lived events (the paper's
+tens-of-minutes drains) visible between RIB snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Iterator, Optional, Sequence
+
+from ..net.addr import IPv4Prefix
+from .events import RoutingScenario
+from .routing import RoutingOutcome
+
+__all__ = ["UpdateMessage", "diff_outcomes", "update_stream"]
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateMessage:
+    """One announcement or withdrawal as seen from one peer."""
+
+    peer_asn: int
+    prefix: IPv4Prefix
+    announce: bool  # False = withdrawal
+    as_path: tuple[int, ...] = ()
+    timestamp: int = 0
+
+    def to_line(self) -> str:
+        if self.announce:
+            path = " ".join(str(asn) for asn in self.as_path)
+            return f"BGP4MP|{self.timestamp}|A|{self.peer_asn}|{self.prefix}|{path}"
+        return f"BGP4MP|{self.timestamp}|W|{self.peer_asn}|{self.prefix}|"
+
+    @classmethod
+    def from_line(cls, line: str) -> "UpdateMessage":
+        fields = line.strip().split("|")
+        if len(fields) != 6 or fields[0] != "BGP4MP":
+            raise ValueError(f"not a BGP4MP line: {line!r}")
+        announce = fields[2] == "A"
+        if not announce and fields[2] != "W":
+            raise ValueError(f"unknown update type {fields[2]!r}")
+        path = tuple(int(token) for token in fields[5].split()) if fields[5] else ()
+        if announce and not path:
+            raise ValueError(f"announcement without a path: {line!r}")
+        return cls(
+            peer_asn=int(fields[3]),
+            prefix=IPv4Prefix.from_string(fields[4]),
+            announce=announce,
+            as_path=path,
+            timestamp=int(fields[1]),
+        )
+
+
+def diff_outcomes(
+    before: Optional[RoutingOutcome],
+    after: RoutingOutcome,
+    peers: Sequence[int],
+    prefix: IPv4Prefix,
+    timestamp: int = 0,
+) -> list[UpdateMessage]:
+    """Updates each peer emits moving from ``before`` to ``after``.
+
+    ``before=None`` models a session reset: every routed peer
+    re-announces. A peer whose selected path is unchanged emits
+    nothing, matching real BGP's incremental behaviour.
+    """
+    updates: list[UpdateMessage] = []
+    for peer in peers:
+        old = before.get(peer) if before is not None else None
+        new = after.get(peer)
+        if new is None:
+            if old is not None:
+                updates.append(UpdateMessage(peer, prefix, False, (), timestamp))
+            continue
+        if old is None or old.path != new.path:
+            updates.append(UpdateMessage(peer, prefix, True, new.path, timestamp))
+    return updates
+
+
+def update_stream(
+    scenario: RoutingScenario,
+    peers: Sequence[int],
+    times: Sequence[datetime],
+    prefix: IPv4Prefix,
+) -> Iterator[UpdateMessage]:
+    """The full update stream over a schedule of evaluation times.
+
+    The first time behaves as a session establishment (all announce);
+    subsequent times yield only the diffs.
+    """
+    previous: Optional[RoutingOutcome] = None
+    for when in times:
+        outcome = scenario.outcome_at(when)
+        yield from diff_outcomes(
+            previous, outcome, peers, prefix, timestamp=int(when.timestamp())
+        )
+        previous = outcome

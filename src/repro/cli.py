@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze FILE`` — run the Fenrir pipeline on a serialized series
+  (``.jsonl`` or ``.csv``) and print the report.
+* ``demo NAME`` — generate one of the paper's scenarios at a reduced
+  scale and run Fenrir on it.
+* ``convert IN OUT`` — convert a series between JSONL and CSV.
+* ``catalog`` — print the Table 2 dataset catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import timedelta
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core.compare import UnknownPolicy
+from .core.pipeline import Fenrir, FenrirConfig
+from .core.series import VectorSeries
+from .io.catalog import CATALOG
+from .io.formats import (
+    read_series_csv,
+    read_series_jsonl,
+    write_series_csv,
+    write_series_jsonl,
+)
+
+__all__ = ["main", "build_parser"]
+
+DEMOS = ("groot", "broot", "usc", "wikipedia", "google")
+
+
+def _load_series(path: Path) -> VectorSeries:
+    if path.suffix == ".jsonl":
+        with path.open() as stream:
+            return read_series_jsonl(stream)
+    if path.suffix == ".csv":
+        with path.open() as stream:
+            return read_series_csv(stream)
+    raise SystemExit(f"unsupported series format: {path.suffix!r} (use .jsonl or .csv)")
+
+
+def _save_series(series: VectorSeries, path: Path) -> None:
+    if path.suffix == ".jsonl":
+        with path.open("w") as stream:
+            write_series_jsonl(series, stream)
+    elif path.suffix == ".csv":
+        with path.open("w") as stream:
+            write_series_csv(series, stream)
+    else:
+        raise SystemExit(f"unsupported series format: {path.suffix!r}")
+
+
+def _demo_series(name: str) -> VectorSeries:
+    if name == "groot":
+        from .datasets import groot
+
+        return groot.generate(num_vps=600, coarse_interval=timedelta(hours=6)).series
+    if name == "broot":
+        from .datasets import broot
+
+        return broot.generate(num_blocks=900, cadence=timedelta(days=14)).series
+    if name == "usc":
+        from .datasets import usc
+
+        return usc.generate(num_blocks=400, cadence=timedelta(days=8)).series
+    if name == "wikipedia":
+        from .datasets import wikipedia
+
+        return wikipedia.generate(num_prefixes=700, cadence=timedelta(days=2)).series
+    if name == "google":
+        from .datasets import google
+
+        return google.generate(num_prefixes=600, cadence=timedelta(days=2)).series
+    raise SystemExit(f"unknown demo {name!r}; choose from {', '.join(DEMOS)}")
+
+
+def _config_from(args: argparse.Namespace) -> FenrirConfig:
+    return FenrirConfig(
+        interpolation_limit=0 if args.no_interpolate else args.interpolation_limit,
+        unknown_policy=(
+            UnknownPolicy.EXCLUDE if args.policy == "exclude" else UnknownPolicy.PESSIMISTIC
+        ),
+        linkage=args.linkage,
+        max_clusters=args.max_clusters,
+    )
+
+
+def _print_report(series: VectorSeries, args: argparse.Namespace) -> None:
+    report = Fenrir(_config_from(args)).run(series)
+    print(report.summary())
+    print()
+    print(report.mode_timeline())
+    if args.heatmap:
+        print()
+        print(report.heatmap(max_size=args.heatmap_size))
+    if args.stackplot:
+        print()
+        print(report.stackplot())
+    if report.events and args.events:
+        print()
+        print("events:")
+        for event in report.events:
+            print(
+                f"  {event.start:%Y-%m-%d %H:%M} .. {event.end:%Y-%m-%d %H:%M} "
+                f"max step change {event.max_change:.2f}"
+            )
+
+
+def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy", choices=["pessimistic", "exclude"], default="pessimistic",
+        help="how unknown catchments enter Φ (default: paper's pessimistic)",
+    )
+    parser.add_argument(
+        "--linkage", choices=["single", "complete", "average"], default="single",
+        help="HAC linkage (default: single, the paper's SLINK)",
+    )
+    parser.add_argument("--max-clusters", type=int, default=15)
+    parser.add_argument("--interpolation-limit", type=int, default=3)
+    parser.add_argument("--no-interpolate", action="store_true")
+    parser.add_argument("--heatmap", action="store_true", help="print the Φ heatmap")
+    parser.add_argument("--heatmap-size", type=int, default=50)
+    parser.add_argument("--stackplot", action="store_true")
+    parser.add_argument("--events", action="store_true", help="list detected events")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Fenrir: rediscover recurring routing results"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="run Fenrir on a series file")
+    analyze.add_argument("series", type=Path)
+    _add_analysis_options(analyze)
+
+    demo = commands.add_parser("demo", help="run Fenrir on a paper scenario")
+    demo.add_argument("name", choices=DEMOS)
+    _add_analysis_options(demo)
+
+    convert = commands.add_parser("convert", help="convert a series between formats")
+    convert.add_argument("source", type=Path)
+    convert.add_argument("destination", type=Path)
+
+    export = commands.add_parser(
+        "export", help="write a series' heatmap/stackplot CSVs for plotting"
+    )
+    export.add_argument("series", type=Path)
+    export.add_argument("directory", type=Path)
+    export.add_argument(
+        "--svg", action="store_true", help="also write heatmap.svg / stackplot.svg"
+    )
+    _add_analysis_options(export)
+
+    explain = commands.add_parser(
+        "explain", help="triage briefing for every detected event in a series"
+    )
+    explain.add_argument("series", type=Path)
+    _add_analysis_options(explain)
+
+    online = commands.add_parser(
+        "online", help="replay a series through the streaming tracker"
+    )
+    online.add_argument("series", type=Path)
+    online.add_argument("--event-threshold", type=float, default=0.1)
+    online.add_argument("--mode-threshold", type=float, default=0.7)
+
+    bundle = commands.add_parser(
+        "bundle", help="write a demo scenario as a verifiable dataset bundle"
+    )
+    bundle.add_argument("name", choices=DEMOS)
+    bundle.add_argument("directory", type=Path)
+
+    commands.add_parser("catalog", help="print the paper's dataset catalog")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "analyze":
+        _print_report(_load_series(args.series), args)
+    elif args.command == "demo":
+        print(f"generating scaled scenario {args.name!r}...", file=sys.stderr)
+        _print_report(_demo_series(args.name), args)
+    elif args.command == "convert":
+        _save_series(_load_series(args.source), args.destination)
+        print(f"wrote {args.destination}")
+    elif args.command == "export":
+        from .io.plotdata import export_report
+
+        report = Fenrir(_config_from(args)).run(_load_series(args.series))
+        written = export_report(report, args.directory)
+        if args.svg:
+            written |= {
+                f"{name}-svg": path
+                for name, path in report.export_svg(args.directory).items()
+            }
+        for artifact, path in written.items():
+            print(f"{artifact}: {path}")
+    elif args.command == "explain":
+        from .core.explain import explain_event
+
+        report = Fenrir(_config_from(args)).run(_load_series(args.series))
+        if not report.events:
+            print("no events detected")
+        for event in report.events:
+            print(explain_event(report, event).headline())
+    elif args.command == "online":
+        from .core.online import OnlineFenrir
+
+        series = _load_series(args.series)
+        tracker = OnlineFenrir(
+            networks=series.networks,
+            event_threshold=args.event_threshold,
+            mode_threshold=args.mode_threshold,
+        )
+        for vector in series:
+            update = tracker.ingest(vector.to_mapping(), vector.time)
+            if update.is_event or update.is_new_mode or update.recurred:
+                notes = []
+                if update.is_new_mode:
+                    notes.append("new mode")
+                if update.recurred:
+                    notes.append("recurrence")
+                print(
+                    f"{update.time:%Y-%m-%d %H:%M} change={update.step_change:.2f} "
+                    f"mode={update.mode_id} {' '.join(notes)}".rstrip()
+                )
+        print(
+            f"done: {len(tracker.updates)} rounds, {tracker.num_modes} modes, "
+            f"{len(tracker.events())} events, {len(tracker.recurrences())} recurrences"
+        )
+    elif args.command == "bundle":
+        from .io.bundle import write_bundle
+
+        print(f"generating scaled scenario {args.name!r}...", file=sys.stderr)
+        series = _demo_series(args.name)
+        directory = write_bundle(
+            args.directory,
+            args.name,
+            series,
+            {"generator": f"repro.datasets.{args.name}", "scale": "demo"},
+        )
+        print(f"bundle written to {directory}")
+    elif args.command == "catalog":
+        for info in CATALOG:
+            print(
+                f"{info.name:<20} {info.case_study:<24} start {info.start} "
+                f"~{info.duration_days}d  -> {info.generator}"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Control-plane substrate: route collectors, catchments, AS hegemony.
+
+The paper's stated future work — feeding Fenrir from control-plane
+(RouteViews/RIS) data instead of active probing — implemented against
+the same routing scenarios the data-plane simulators observe.
+"""
+
+from .catchments import origin_series, transit_series
+from .collector import CollectorView, RouteCollector
+from .country import (
+    BorderCrossing,
+    country_crossings,
+    country_series,
+    transit_diversity,
+)
+from .hegemony import hegemony_scores, hegemony_series
+
+__all__ = [
+    "BorderCrossing",
+    "CollectorView",
+    "RouteCollector",
+    "country_crossings",
+    "country_series",
+    "hegemony_scores",
+    "hegemony_series",
+    "origin_series",
+    "transit_diversity",
+    "transit_series",
+]

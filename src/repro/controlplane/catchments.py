@@ -1,0 +1,75 @@
+"""Control-plane routing vectors: Fenrir on collector data.
+
+Two distillations of collector views into routing vectors:
+
+* :func:`origin_series` — the anycast view: each vantage AS's state is
+  the site (origin label) its selected path leads to. This is the
+  control-plane analogue of an Atlas CHAOS measurement.
+* :func:`transit_series` — the enterprise/country view: each vantage's
+  state is the AS found ``focus_hop`` steps along its path toward the
+  destination, mirroring the paper's "adjust the focus of the study to
+  consider more or fewer hops" (§2.3.2). This is how RIPE's country
+  reports read transit structure out of RIS data.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Mapping, Optional, Sequence
+
+from ..core.series import VectorSeries
+from ..core.vector import StateCatalog
+from .collector import RouteCollector
+
+__all__ = ["origin_series", "transit_series"]
+
+
+def _network_ids(collector: RouteCollector) -> list[str]:
+    return [f"as{asn}" for asn in collector.vantages]
+
+
+def origin_series(
+    collector: RouteCollector,
+    times: Sequence[datetime],
+) -> VectorSeries:
+    """Per-vantage anycast catchments from control-plane views.
+
+    Vantages with no route at a time are recorded as ``unknown`` —
+    collector feed gaps, like measurement loss, are cleaned downstream.
+    """
+    series = VectorSeries(_network_ids(collector), StateCatalog())
+    for when in times:
+        views = collector.views_at(when)
+        assignment = {f"as{v.vantage_asn}": v.origin_label for v in views}
+        series.append_mapping(assignment, when)
+    return series
+
+
+def transit_series(
+    collector: RouteCollector,
+    times: Sequence[datetime],
+    focus_hop: int = 1,
+    as_names: Optional[Mapping[int, str]] = None,
+) -> VectorSeries:
+    """Per-vantage transit catchments at ``focus_hop`` steps along paths.
+
+    ``focus_hop`` counts AS hops from the vantage (1 = its next hop
+    toward the destination). Paths shorter than the focus use their
+    last transit AS before the origin, so stub vantages adjacent to the
+    origin still contribute.
+    """
+    if focus_hop < 1:
+        raise ValueError("focus_hop is 1-based")
+    names = as_names or {}
+    series = VectorSeries(_network_ids(collector), StateCatalog())
+    for when in times:
+        assignment: dict[str, str] = {}
+        for view in collector.views_at(when):
+            path = view.as_path
+            if len(path) < 2:
+                continue  # the vantage IS the origin: no transit
+            index = min(focus_hop, len(path) - 1)
+            transit = path[index]
+            assignment[f"as{view.vantage_asn}"] = names.get(transit, f"AS{transit}")
+        series.append_mapping(assignment, when)
+    return series

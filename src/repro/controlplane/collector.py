@@ -1,0 +1,89 @@
+"""BGP route collectors: RouteViews/RIS-style control-plane views.
+
+The paper uses data-plane measurements and names control-plane input as
+future work ("in principle, our approach could use control-plane
+information as a data source"). This module implements that: a
+:class:`RouteCollector` peers with a set of vantage ASes and records,
+per collection time, the AS path each vantage has selected toward the
+monitored prefix — exactly what a RouteViews RIB dump provides.
+
+Views can be exported as TABLE_DUMP2 lines (via :mod:`repro.bgp.table`)
+and distilled into routing vectors for Fenrir (see
+:mod:`repro.controlplane.catchments`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Optional, Sequence
+
+from ..bgp.events import RoutingScenario
+from ..bgp.table import RibEntry, RoutingTable
+from ..net.addr import IPv4Prefix
+
+__all__ = ["CollectorView", "RouteCollector"]
+
+
+@dataclass(frozen=True, slots=True)
+class CollectorView:
+    """One vantage AS's view of the monitored prefix at one time."""
+
+    vantage_asn: int
+    as_path: tuple[int, ...]  # vantage first, origin last
+    origin_label: str
+    when: datetime
+
+
+@dataclass
+class RouteCollector:
+    """Collects per-vantage best paths from a routing scenario.
+
+    ``vantages`` are the ASes feeding the collector (RouteViews peers).
+    A vantage with no route contributes nothing for that time — the
+    same visibility gap a real collector has during an outage.
+    """
+
+    scenario: RoutingScenario
+    vantages: Sequence[int]
+    prefix: IPv4Prefix = IPv4Prefix.from_string("192.0.2.0/24")
+
+    def __post_init__(self) -> None:
+        for asn in self.vantages:
+            if asn not in self.scenario.topology:
+                raise KeyError(f"vantage AS{asn} not in topology")
+
+    def views_at(self, when: datetime) -> list[CollectorView]:
+        """The collector's RIB for the monitored prefix at ``when``."""
+        outcome = self.scenario.outcome_at(when)
+        views = []
+        for asn in self.vantages:
+            route = outcome.get(asn)
+            if route is None:
+                continue
+            views.append(
+                CollectorView(
+                    vantage_asn=asn,
+                    as_path=route.path,
+                    origin_label=route.label,
+                    when=when,
+                )
+            )
+        return views
+
+    def rib_at(self, when: datetime) -> RoutingTable:
+        """Views as a RouteViews-style table (one entry per vantage)."""
+        table = RoutingTable()
+        for view in self.views_at(when):
+            table.add(
+                RibEntry(
+                    self.prefix,
+                    view.as_path,
+                    timestamp=int(when.timestamp()),
+                )
+            )
+        return table
+
+    def paths_at(self, when: datetime) -> dict[int, tuple[int, ...]]:
+        """``{vantage: as_path}`` convenience view."""
+        return {view.vantage_asn: view.as_path for view in self.views_at(when)}

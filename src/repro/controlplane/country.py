@@ -1,0 +1,101 @@
+"""Country-level transit analysis, RIPE-country-report style.
+
+The paper lists country-level Internet access as a Fenrir application
+(§2.1, §2.3.2): RIPE studies a country's resilience by looking at the
+transit providers its prefixes are reached through in RIS data. Here a
+*country* is a set of ASes; for every external vantage path into the
+country we record the **border crossing** — the last AS outside paired
+with the first AS inside — and derive:
+
+* per-border-AS shares (a routing vector over vantages, so the whole
+  Fenrir pipeline applies to a country's ingress);
+* a transit-diversity index (the inverse Herfindahl of external
+  transit shares): ~1 means a single-provider country, higher is more
+  resilient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Mapping, Optional, Sequence
+
+from ..core.series import VectorSeries
+from ..core.vector import StateCatalog
+from .collector import RouteCollector
+
+__all__ = ["BorderCrossing", "country_crossings", "country_series", "transit_diversity"]
+
+
+@dataclass(frozen=True, slots=True)
+class BorderCrossing:
+    """Where one vantage's path enters the country."""
+
+    vantage_asn: int
+    outside_asn: int  # the external transit delivering the traffic
+    inside_asn: int  # the border AS inside the country
+
+
+def country_crossings(
+    paths: Mapping[int, Sequence[int]],
+    country_ases: set[int],
+) -> list[BorderCrossing]:
+    """Border crossings for every external vantage path into the country.
+
+    Paths from vantages inside the country, and paths that never enter
+    it, contribute nothing. The crossing is the first outside→inside
+    transition along the path (vantage first, origin last).
+    """
+    crossings = []
+    for vantage, path in sorted(paths.items()):
+        if vantage in country_ases:
+            continue
+        for outside, inside in zip(path, path[1:]):
+            if outside not in country_ases and inside in country_ases:
+                crossings.append(BorderCrossing(vantage, outside, inside))
+                break
+    return crossings
+
+
+def transit_diversity(crossings: Sequence[BorderCrossing]) -> float:
+    """Inverse-Herfindahl diversity of external transits (≥ 1, or 0).
+
+    1.0 = a single external transit carries everything (the paper's
+    cable-cut nightmare); N equal transits score N.
+    """
+    if not crossings:
+        return 0.0
+    counts: dict[int, int] = {}
+    for crossing in crossings:
+        counts[crossing.outside_asn] = counts.get(crossing.outside_asn, 0) + 1
+    total = sum(counts.values())
+    herfindahl = sum((count / total) ** 2 for count in counts.values())
+    return 1.0 / herfindahl
+
+
+def country_series(
+    collector: RouteCollector,
+    country_ases: set[int],
+    times: Sequence[datetime],
+    as_names: Optional[Mapping[int, str]] = None,
+) -> VectorSeries:
+    """A Fenrir series of per-vantage external-transit catchments.
+
+    Each external vantage's state is the outside AS its path crosses
+    the border through — the country-ingress analogue of an anycast
+    catchment. Vantages whose path misses the country go ``unknown``.
+    """
+    names = as_names or {}
+    external = [asn for asn in collector.vantages if asn not in country_ases]
+    series = VectorSeries([f"as{asn}" for asn in external], StateCatalog())
+    for when in times:
+        paths = collector.paths_at(when)
+        crossings = country_crossings(paths, country_ases)
+        assignment = {
+            f"as{crossing.vantage_asn}": names.get(
+                crossing.outside_asn, f"AS{crossing.outside_asn}"
+            )
+            for crossing in crossings
+        }
+        series.append_mapping(assignment, when)
+    return series

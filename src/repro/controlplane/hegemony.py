@@ -1,0 +1,80 @@
+"""AS hegemony: transit dependency scores from path sets.
+
+Implements the AS-hegemony metric of Fontugne, Shah and Aben (PAM
+2018), which the paper cites for RIPE's country-level analyses: the
+hegemony of a transit AS toward a destination is the mean fraction of
+vantage paths that traverse it, after trimming the most- and
+least-biased vantages (by default 10% from each end) so that no single
+vantage's peculiar view dominates.
+
+Scores range over [0, 1]: 1.0 means every (trimmed) vantage depends on
+that AS to reach the destination — a single point of failure; values
+near 0 mean marginal involvement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["hegemony_scores", "hegemony_series"]
+
+
+def hegemony_scores(
+    paths: Mapping[int, Sequence[int]],
+    trim: float = 0.1,
+    include_origin: bool = False,
+) -> dict[int, float]:
+    """Hegemony of every transit AS over a set of vantage paths.
+
+    ``paths`` maps each vantage AS to its AS path (vantage first,
+    origin last). The vantage itself never counts toward its own path's
+    transits; the origin is excluded unless requested (its hegemony is
+    trivially 1).
+
+    Trimming follows the paper: for each candidate AS, the per-vantage
+    dependency indicators are sorted and the top and bottom ``trim``
+    fractions removed before averaging.
+    """
+    if not 0.0 <= trim < 0.5:
+        raise ValueError(f"trim must be in [0, 0.5), got {trim}")
+    if not paths:
+        return {}
+
+    vantages = sorted(paths)
+    candidates: set[int] = set()
+    for vantage in vantages:
+        path = list(paths[vantage])
+        transits = path[1:] if include_origin else path[1:-1]
+        candidates.update(transits)
+
+    scores: dict[int, float] = {}
+    count = len(vantages)
+    lo = int(np.floor(trim * count))
+    hi = count - lo
+    for candidate in sorted(candidates):
+        indicators = np.array(
+            [
+                1.0
+                if candidate
+                in (paths[v][1:] if include_origin else paths[v][1:-1])
+                else 0.0
+                for v in vantages
+            ]
+        )
+        trimmed = np.sort(indicators)[lo:hi]
+        if len(trimmed) == 0:
+            continue
+        score = float(trimmed.mean())
+        if score > 0:
+            scores[candidate] = score
+    return scores
+
+
+def hegemony_series(
+    path_snapshots: Iterable[Mapping[int, Sequence[int]]],
+    trim: float = 0.1,
+) -> list[dict[int, float]]:
+    """Hegemony scores for each snapshot of collector paths."""
+    return [hegemony_scores(snapshot, trim=trim) for snapshot in path_snapshots]

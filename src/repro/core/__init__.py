@@ -1,0 +1,105 @@
+"""Fenrir core: routing vectors, comparison, clustering, modes, detection."""
+
+from .cleaning import (
+    drop_networks,
+    fold_micro_catchments,
+    interpolate_series,
+    map_unmapped_states,
+    nearest_viable_hop,
+)
+from .cluster import AdaptiveResult, Linkage, adaptive_clusters, cut_linkage, hac_linkage
+from .compare import (
+    UnknownPolicy,
+    distance_matrix,
+    phi,
+    similarity_matrix,
+    similarity_to_reference,
+)
+from .detect import (
+    DetectedEvent,
+    EventGroup,
+    GroundTruthEntry,
+    MaintenanceKind,
+    ValidationReport,
+    detect_events,
+    group_entries,
+    step_changes,
+    validate_events,
+)
+from .latency import (
+    compare_latency,
+    latency_by_catchment,
+    latency_timeseries,
+    mean_latency,
+    percentile_by_catchment,
+)
+from .explain import EventExplanation, explain_event
+from .modes import Mode, ModeSet, find_modes, match_across, mode_exemplar
+from .online import OnlineFenrir, OnlineUpdate
+from .pipeline import Fenrir, FenrirConfig, FenrirReport
+from .seasonality import SeasonalityReport, analyze_seasonality, estimate_period, lag_profile
+from .series import VectorSeries
+from .transition import TransitionMatrix, transition_matrix
+from .vector import ERROR, OTHER, SPECIAL_STATES, UNKNOWN, RoutingVector, StateCatalog
+from .weighting import address_weights, normalized, table_weights, uniform_weights
+
+__all__ = [
+    "AdaptiveResult",
+    "DetectedEvent",
+    "ERROR",
+    "EventExplanation",
+    "EventGroup",
+    "explain_event",
+    "Fenrir",
+    "FenrirConfig",
+    "FenrirReport",
+    "GroundTruthEntry",
+    "Linkage",
+    "MaintenanceKind",
+    "Mode",
+    "ModeSet",
+    "OnlineFenrir",
+    "OnlineUpdate",
+    "OTHER",
+    "RoutingVector",
+    "SeasonalityReport",
+    "SPECIAL_STATES",
+    "StateCatalog",
+    "TransitionMatrix",
+    "UNKNOWN",
+    "UnknownPolicy",
+    "ValidationReport",
+    "VectorSeries",
+    "adaptive_clusters",
+    "address_weights",
+    "analyze_seasonality",
+    "compare_latency",
+    "cut_linkage",
+    "detect_events",
+    "distance_matrix",
+    "drop_networks",
+    "estimate_period",
+    "find_modes",
+    "fold_micro_catchments",
+    "group_entries",
+    "hac_linkage",
+    "interpolate_series",
+    "lag_profile",
+    "latency_by_catchment",
+    "latency_timeseries",
+    "map_unmapped_states",
+    "match_across",
+    "mean_latency",
+    "mode_exemplar",
+    "nearest_viable_hop",
+    "normalized",
+    "percentile_by_catchment",
+    "phi",
+    "similarity_matrix",
+    "similarity_to_reference",
+    "step_changes",
+    "table_weights",
+    "transition_matrix",
+    "uniform_weights",
+    "validate_events",
+]

@@ -1,0 +1,190 @@
+"""Data cleaning: incorrect data, micro-catchments, gap filling (§2.4).
+
+Raw active measurements arrive with three defects the paper cleans
+before analysis:
+
+1. **Incorrect data** — observations naming a state that cannot be
+   right (an unmapped server identifier, a bogus site). These become
+   ``other`` via :func:`map_unmapped_states`.
+2. **Micro-catchments** — sites serving almost no networks (local-only
+   anycast sites, enterprise-internal prefixes). Folded into ``other``
+   by :func:`fold_micro_catchments`, or the networks dropped entirely by
+   :func:`drop_networks`.
+3. **Missing data** — unanswered probes. Temporal gaps are repaired by
+   nearest-neighbour interpolation with a reach limit (default 3
+   observations, per the paper): the first half of a gap copies the
+   last value before it, the second half the first value after it.
+   Traceroute gaps are instead repaired *spatially*, copying the
+   nearest responsive hop (:func:`nearest_viable_hop`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .series import VectorSeries
+from .vector import OTHER, OTHER_CODE, UNKNOWN_CODE, RoutingVector
+
+__all__ = [
+    "map_unmapped_states",
+    "fold_micro_catchments",
+    "drop_networks",
+    "interpolate_series",
+    "nearest_viable_hop",
+]
+
+
+def map_unmapped_states(series: VectorSeries, known_sites: set[str]) -> VectorSeries:
+    """Fold states outside ``known_sites`` (and specials) into ``other``.
+
+    Mirrors the identifier-mapping step: a CHAOS/NSID reply whose server
+    identifier maps to no known site is real data but not a usable
+    catchment, so it is kept as ``other`` rather than dropped.
+    """
+    catalog = series.catalog
+    remap = np.arange(len(catalog), dtype=np.int32)
+    for code in range(3, len(catalog)):  # specials occupy 0..2
+        if catalog.label(code) not in known_sites:
+            remap[code] = OTHER_CODE
+    cleaned = VectorSeries(series.networks, catalog)
+    for vector in series:
+        cleaned.append(vector.replace_codes(remap[vector.codes]))
+    return cleaned
+
+
+def fold_micro_catchments(
+    series: VectorSeries,
+    min_networks: int = 0,
+    min_fraction: float = 0.0,
+    weights: Optional[np.ndarray] = None,
+) -> tuple[VectorSeries, list[str]]:
+    """Fold sites that never serve a meaningful share into ``other``.
+
+    A site is micro when its *peak* (weighted) share over the whole
+    series stays below both thresholds. Returns the cleaned series and
+    the list of folded site labels.
+    """
+    totals = series.aggregate_over_time(weights)
+    if weights is None:
+        denominator = float(len(series.networks))
+    else:
+        denominator = float(np.asarray(weights, dtype=np.float64).sum())
+    micro: list[str] = []
+    for site in series.catalog.site_labels:
+        peak = float(np.max(totals[site])) if site in totals else 0.0
+        if peak < min_networks or (denominator and peak / denominator < min_fraction):
+            micro.append(site)
+    if not micro:
+        return series.copy(), []
+    catalog = series.catalog
+    remap = np.arange(len(catalog), dtype=np.int32)
+    for site in micro:
+        code = catalog.lookup(site)
+        assert code is not None
+        remap[code] = OTHER_CODE
+    cleaned = VectorSeries(series.networks, catalog)
+    for vector in series:
+        cleaned.append(vector.replace_codes(remap[vector.codes]))
+    return cleaned, micro
+
+
+def drop_networks(
+    series: VectorSeries, predicate: Callable[[str], bool]
+) -> VectorSeries:
+    """Remove networks for which ``predicate`` is true (e.g. internal prefixes)."""
+    keep = [network for network in series.networks if not predicate(network)]
+    return series.select_networks(keep)
+
+
+def interpolate_series(series: VectorSeries, limit: int = 3) -> VectorSeries:
+    """Nearest-neighbour interpolation of unknown runs (§2.4).
+
+    Each unknown cell copies the nearer of the previous/next known
+    observation of the same network, provided that neighbour is at most
+    ``limit`` steps away; ties go to the earlier observation, matching
+    the paper's first-half/second-half rule. Cells with no known
+    neighbour within reach stay unknown.
+    """
+    if limit < 0:
+        raise ValueError("limit must be non-negative")
+    codes = series.matrix.copy()
+    num_times, num_networks = codes.shape
+    if num_times == 0 or limit == 0:
+        return series.copy()
+
+    known = codes != UNKNOWN_CODE
+    time_index = np.arange(num_times)[:, None]
+
+    # Forward pass: index of the most recent known observation at or
+    # before each cell (-1 when none).
+    forward_source = np.where(known, time_index, -1)
+    forward_source = np.maximum.accumulate(forward_source, axis=0)
+    # Backward pass, mirrored.
+    backward_source = np.where(known, time_index, num_times)
+    backward_source = np.flip(
+        np.minimum.accumulate(np.flip(backward_source, axis=0), axis=0), axis=0
+    )
+
+    forward_distance = np.where(
+        forward_source >= 0, time_index - forward_source, np.iinfo(np.int64).max
+    )
+    backward_distance = np.where(
+        backward_source < num_times, backward_source - time_index, np.iinfo(np.int64).max
+    )
+
+    use_forward = (
+        ~known
+        & (forward_distance <= limit)
+        & (forward_distance <= backward_distance)
+    )
+    use_backward = (
+        ~known
+        & ~use_forward
+        & (backward_distance <= limit)
+    )
+
+    columns = np.broadcast_to(np.arange(num_networks), codes.shape)
+    filled = codes.copy()
+    filled[use_forward] = codes[
+        forward_source[use_forward], columns[use_forward]
+    ]
+    filled[use_backward] = codes[
+        np.clip(backward_source[use_backward], 0, num_times - 1),
+        columns[use_backward],
+    ]
+
+    cleaned = VectorSeries(series.networks, series.catalog)
+    for index, time in enumerate(series.times):
+        cleaned.append(
+            RoutingVector(series.networks, filled[index], series.catalog, time)
+        )
+    return cleaned
+
+
+def nearest_viable_hop(
+    hop_states: Sequence[Optional[str]],
+    focus: int,
+    max_offset: int = 2,
+) -> Optional[str]:
+    """Spatial gap filling for traceroutes (§2.4).
+
+    When the hop of interest did not answer (private address, filtered
+    ICMP), the paper propagates the nearest responsive hop. ``focus`` is
+    a zero-based hop index; hops up to ``max_offset`` away are
+    considered, nearer first, with the earlier (closer to the source)
+    hop winning ties.
+    """
+    if not 0 <= focus < len(hop_states):
+        raise IndexError(f"focus hop {focus} outside 0..{len(hop_states) - 1}")
+    if hop_states[focus] is not None:
+        return hop_states[focus]
+    for offset in range(1, max_offset + 1):
+        before = focus - offset
+        if before >= 0 and hop_states[before] is not None:
+            return hop_states[before]
+        after = focus + offset
+        if after < len(hop_states) and hop_states[after] is not None:
+            return hop_states[after]
+    return None

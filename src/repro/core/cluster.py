@@ -1,0 +1,170 @@
+"""Hierarchical agglomerative clustering over routing vectors (§2.6.2).
+
+Fenrir finds routing "modes" by clustering the vectors of a series
+under the Gower distance. This module implements HAC from scratch
+(single, complete and average linkage via Lance–Williams updates) on a
+precomputed distance matrix, plus the paper's adaptive threshold rule:
+sweep thresholds from 0 to 1 in steps of 0.01 and keep the first model
+with fewer than 15 clusters, each backed by at least 2 observations.
+
+The linkage output matches :func:`scipy.cluster.hierarchy.linkage`
+conventions, which the test suite uses as an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+__all__ = ["Linkage", "hac_linkage", "cut_linkage", "AdaptiveResult", "adaptive_clusters"]
+
+LinkageMethod = Literal["single", "complete", "average"]
+
+
+@dataclass(frozen=True)
+class Linkage:
+    """A dendrogram: rows of (cluster_a, cluster_b, height, size)."""
+
+    merges: np.ndarray  # (T-1, 4) float64, scipy linkage convention
+    num_points: int
+
+
+def hac_linkage(distance: np.ndarray, method: LinkageMethod = "average") -> Linkage:
+    """Agglomerate a full distance matrix into a dendrogram.
+
+    ``distance`` must be a square symmetric matrix with zero diagonal.
+    """
+    distance = np.asarray(distance, dtype=np.float64)
+    if distance.ndim != 2 or distance.shape[0] != distance.shape[1]:
+        raise ValueError(f"distance matrix must be square, got {distance.shape}")
+    if not np.allclose(distance, distance.T, atol=1e-12):
+        raise ValueError("distance matrix must be symmetric")
+    num_points = distance.shape[0]
+    if num_points == 0:
+        raise ValueError("cannot cluster zero points")
+
+    working = distance.copy()
+    np.fill_diagonal(working, np.inf)
+    active = np.ones(num_points * 2 - 1, dtype=bool)
+    active[num_points:] = False
+    sizes = np.ones(num_points * 2 - 1, dtype=np.int64)
+    # Map matrix row index -> current cluster id.
+    cluster_id = np.arange(num_points, dtype=np.int64)
+    merges = np.zeros((max(num_points - 1, 0), 4), dtype=np.float64)
+
+    # The matrix stays num_points wide; merged-away rows are disabled with inf.
+    alive = np.ones(num_points, dtype=bool)
+
+    for step in range(num_points - 1):
+        flat = np.argmin(working)
+        i, j = divmod(int(flat), num_points)
+        height = working[i, j]
+        if not np.isfinite(height):
+            raise RuntimeError("ran out of finite distances before full merge")
+        if i > j:
+            i, j = j, i
+        id_i, id_j = cluster_id[i], cluster_id[j]
+        new_id = num_points + step
+        size_i, size_j = sizes[id_i], sizes[id_j]
+        merges[step] = (min(id_i, id_j), max(id_i, id_j), height, size_i + size_j)
+
+        # Lance-Williams update into row/column i; retire row/column j.
+        row_i, row_j = working[i].copy(), working[j].copy()
+        if method == "single":
+            updated = np.minimum(row_i, row_j)
+        elif method == "complete":
+            updated = np.maximum(row_i, row_j)
+        elif method == "average":
+            updated = (size_i * row_i + size_j * row_j) / (size_i + size_j)
+        else:
+            raise ValueError(f"unknown linkage method: {method}")
+        updated[i] = np.inf
+        updated[j] = np.inf
+        updated[~alive] = np.inf
+        working[i, :] = updated
+        working[:, i] = updated
+        working[j, :] = np.inf
+        working[:, j] = np.inf
+        alive[j] = False
+        cluster_id[i] = new_id
+        sizes[new_id] = size_i + size_j
+
+    return Linkage(merges, num_points)
+
+
+def cut_linkage(linkage: Linkage, threshold: float) -> np.ndarray:
+    """Flat cluster labels from merges with height <= threshold.
+
+    Labels are renumbered 0..k-1 in order of first appearance, so label
+    0 is always the cluster of the first observation.
+    """
+    num_points = linkage.num_points
+    parent = np.arange(num_points * 2 - 1, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for step, (a, b, height, _size) in enumerate(linkage.merges):
+        if height <= threshold:
+            new_id = num_points + step
+            parent[find(int(a))] = new_id
+            parent[find(int(b))] = new_id
+
+    raw = np.array([find(i) for i in range(num_points)])
+    labels = np.empty(num_points, dtype=np.int64)
+    relabel: dict[int, int] = {}
+    for index, root in enumerate(raw):
+        if root not in relabel:
+            relabel[root] = len(relabel)
+        labels[index] = relabel[root]
+    return labels
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of the adaptive threshold sweep."""
+
+    labels: np.ndarray
+    threshold: float
+    num_clusters: int
+    linkage: Linkage
+
+
+def adaptive_clusters(
+    distance: np.ndarray,
+    method: LinkageMethod = "single",
+    max_clusters: int = 15,
+    min_cluster_size: int = 2,
+    step: float = 0.01,
+    linkage: Optional[Linkage] = None,
+) -> AdaptiveResult:
+    """The paper's adaptive distance-threshold selection (§2.6.2).
+
+    Sweeps thresholds ``0, step, 2*step, ... 1`` and returns the first
+    clustering with fewer than ``max_clusters`` clusters where every
+    cluster holds at least ``min_cluster_size`` observations. A single
+    all-encompassing cluster always satisfies the rule, so the sweep
+    terminates.
+    """
+    if linkage is None:
+        linkage = hac_linkage(distance, method)
+    num_points = linkage.num_points
+    thresholds = np.arange(0.0, 1.0 + step / 2, step)
+    for threshold in thresholds:
+        labels = cut_linkage(linkage, float(threshold))
+        counts = np.bincount(labels)
+        num_clusters = len(counts)
+        if num_clusters < max_clusters and (
+            num_points < min_cluster_size or counts.min() >= min_cluster_size
+        ):
+            return AdaptiveResult(labels, float(threshold), num_clusters, linkage)
+    # Unreachable for threshold=1.0 with >=2 points, but keep a safe fallback.
+    labels = np.zeros(num_points, dtype=np.int64)
+    return AdaptiveResult(labels, 1.0, 1, linkage)

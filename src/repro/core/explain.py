@@ -1,0 +1,102 @@
+"""Event explanations: turning a detection into an operator briefing.
+
+The paper's closing loop (§2.7-§2.8, §4) is: Fenrir flags a change →
+the operator asks *what moved, how much, is it a mode I know, and did
+latency change?* :func:`explain_event` assembles exactly that briefing
+from a pipeline report and an optional RTT source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Mapping, Optional
+
+from .detect import DetectedEvent
+from .latency import compare_latency
+from .pipeline import FenrirReport
+from .transition import TransitionMatrix, transition_matrix
+
+__all__ = ["EventExplanation", "explain_event"]
+
+
+@dataclass
+class EventExplanation:
+    """Everything an operator needs to triage one detected event."""
+
+    event: DetectedEvent
+    moved_fraction: float
+    top_movements: list[tuple[str, str, float]]
+    transition: TransitionMatrix
+    mode_before: int
+    mode_after: int
+    known_mode: bool  # did routing land in a previously seen mode?
+    recurred_mode: Optional[int]  # that mode's id, when it is an old one
+    latency: dict[str, float] = field(default_factory=dict)
+
+    def headline(self) -> str:
+        """A one-line summary, the paper's operator question answered."""
+        parts = [
+            f"{self.event.start:%Y-%m-%d %H:%M}:",
+            f"{self.moved_fraction:.0%} of networks changed catchment",
+        ]
+        if self.top_movements:
+            source, target, count = self.top_movements[0]
+            parts.append(f"(largest flow {source}->{target}, {count:.0f} networks)")
+        if self.recurred_mode is not None:
+            parts.append(f"- routing returned to known mode {self.recurred_mode}")
+        elif not self.known_mode:
+            parts.append("- this is a NEW routing mode")
+        if "delta_ms" in self.latency:
+            delta = self.latency["delta_ms"]
+            direction = "slower" if delta > 0 else "faster"
+            parts.append(f"- mean latency {abs(delta):.1f} ms {direction}")
+        return " ".join(parts)
+
+
+def explain_event(
+    report: FenrirReport,
+    event: DetectedEvent,
+    rtts_before: Optional[Mapping[str, float]] = None,
+    rtts_after: Optional[Mapping[str, float]] = None,
+) -> EventExplanation:
+    """Build the triage briefing for one detected event.
+
+    Compares the vectors on either side of the event window, checks
+    whether the post-event routing matches a mode seen *before* the
+    event (recurrence), and, when RTTs are supplied, quantifies the
+    latency impact for the networks that moved.
+    """
+    series = report.cleaned
+    before_index = event.start_index
+    after_index = min(event.end_index, len(series) - 1)
+    before = series[before_index]
+    after = series[after_index]
+
+    table = transition_matrix(before, after, weights=report.weights)
+    moved_fraction = table.moved() / table.total if table.total else 0.0
+
+    labels = report.modes.labels
+    mode_before = int(labels[before_index])
+    mode_after = int(labels[after_index])
+    earlier_modes = set(int(label) for label in labels[:before_index])
+    known = mode_after in earlier_modes
+    recurred = mode_after if (known and mode_after != mode_before) else None
+
+    latency: dict[str, float] = {}
+    if rtts_before is not None:
+        latency = compare_latency(
+            before, after, rtts_before, rtts_after, weights=report.weights
+        )
+
+    return EventExplanation(
+        event=event,
+        moved_fraction=float(moved_fraction),
+        top_movements=table.top_movements(5),
+        transition=table,
+        mode_before=mode_before,
+        mode_after=mode_after,
+        known_mode=known,
+        recurred_mode=recurred,
+        latency=latency,
+    )

@@ -1,0 +1,150 @@
+"""From similarity to performance: latency analysis of vectors (§2.8).
+
+Routing changes matter to operators because they move users onto
+faster or slower paths. This module joins per-network RTT observations
+(from any source — Atlas built-ins, Trinocular, the simulator) with
+routing vectors to report per-catchment latency distributions, the p90
+series of Figure 4, and weighted mean latency differences between two
+vectors or modes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from .series import VectorSeries
+from .vector import SPECIAL_STATES, RoutingVector
+
+__all__ = [
+    "latency_by_catchment",
+    "percentile_by_catchment",
+    "mean_latency",
+    "latency_timeseries",
+    "compare_latency",
+]
+
+RttTable = Mapping[str, float]  # network -> RTT in ms
+
+
+def latency_by_catchment(
+    vector: RoutingVector,
+    rtts: RttTable,
+    include_special: bool = False,
+) -> dict[str, np.ndarray]:
+    """Group known per-network RTTs by the catchment the vector assigns.
+
+    Networks without an RTT observation are skipped. Special states
+    (unknown/err/other) are excluded unless requested.
+    """
+    groups: dict[str, list[float]] = {}
+    for network, code in zip(vector.networks, vector.codes):
+        rtt = rtts.get(network)
+        if rtt is None:
+            continue
+        label = vector.catalog.label(int(code))
+        if not include_special and label in SPECIAL_STATES:
+            continue
+        groups.setdefault(label, []).append(float(rtt))
+    return {label: np.asarray(values) for label, values in groups.items()}
+
+
+def percentile_by_catchment(
+    vector: RoutingVector,
+    rtts: RttTable,
+    q: float = 90.0,
+) -> dict[str, float]:
+    """Per-catchment RTT percentile (Figure 4 uses p90)."""
+    return {
+        label: float(np.percentile(values, q))
+        for label, values in latency_by_catchment(vector, rtts).items()
+    }
+
+
+def mean_latency(
+    vector: RoutingVector,
+    rtts: RttTable,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Weighted mean RTT over networks with both an RTT and a catchment.
+
+    This is the paper's "mean overall latency": each network's RTT
+    weighted by the operational-importance weight Dw (§2.5).
+    """
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(vector),):
+            raise ValueError("weights length does not match networks")
+    total = 0.0
+    total_weight = 0.0
+    for index, (network, code) in enumerate(zip(vector.networks, vector.codes)):
+        rtt = rtts.get(network)
+        if rtt is None:
+            continue
+        label = vector.catalog.label(int(code))
+        if label in SPECIAL_STATES:
+            continue
+        weight = float(weights[index]) if weights is not None else 1.0
+        total += float(rtt) * weight
+        total_weight += weight
+    return total / total_weight if total_weight else float("nan")
+
+
+def latency_timeseries(
+    series: VectorSeries,
+    rtt_provider: Callable[[int], RttTable],
+    q: float = 90.0,
+) -> dict[str, np.ndarray]:
+    """Per-catchment latency percentile over time (Figure 4).
+
+    ``rtt_provider(index)`` returns the RTT table in effect for the
+    series' ``index``-th observation; sites absent at a step get NaN
+    (e.g. ARI after its shutdown).
+    """
+    sites = series.catalog.site_labels
+    result = {site: np.full(len(series), np.nan) for site in sites}
+    for index in range(len(series)):
+        percentiles = percentile_by_catchment(series[index], rtt_provider(index), q)
+        for site, value in percentiles.items():
+            if site in result:
+                result[site][index] = value
+    return {site: values for site, values in result.items() if not np.isnan(values).all()}
+
+
+def compare_latency(
+    before: RoutingVector,
+    after: RoutingVector,
+    rtts_before: RttTable,
+    rtts_after: Optional[RttTable] = None,
+    weights: Optional[np.ndarray] = None,
+) -> dict[str, float]:
+    """Mean-latency impact of a routing change.
+
+    Returns the weighted mean RTT before and after, the delta, and the
+    delta restricted to networks that changed catchment — the question
+    an operator asks right after Fenrir flags an event.
+    """
+    rtts_after = rtts_after if rtts_after is not None else rtts_before
+    mean_before = mean_latency(before, rtts_before, weights)
+    mean_after = mean_latency(after, rtts_after, weights)
+
+    moved = before.codes != after.codes
+    moved_networks = [
+        network for network, did_move in zip(before.networks, moved) if did_move
+    ]
+    moved_set = set(moved_networks)
+    rtts_moved_before = {n: rtts_before[n] for n in moved_set if n in rtts_before}
+    rtts_moved_after = {n: rtts_after[n] for n in moved_set if n in rtts_after}
+    moved_before = mean_latency(before, rtts_moved_before, weights)
+    moved_after = mean_latency(after, rtts_moved_after, weights)
+
+    return {
+        "mean_before_ms": mean_before,
+        "mean_after_ms": mean_after,
+        "delta_ms": mean_after - mean_before,
+        "moved_networks": float(len(moved_networks)),
+        "moved_mean_before_ms": moved_before,
+        "moved_mean_after_ms": moved_after,
+        "moved_delta_ms": moved_after - moved_before,
+    }

@@ -1,0 +1,151 @@
+"""Online Fenrir: streaming event detection and mode matching.
+
+The batch pipeline answers "what happened over the last five years";
+operators also need the stream form of the paper's question: *as each
+measurement round arrives*, did routing just change, and is the new
+routing a mode I have seen before?
+
+:class:`OnlineFenrir` ingests one observation at a time and reports,
+per round: the step change ``1 - Φ`` against the previous round,
+whether that crosses the event threshold, and which known mode the new
+vector matches (a new mode is opened when none matches). Mode
+exemplars are fixed at mode birth so that slow drift cannot chain two
+genuinely different routing results into one mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from .compare import UnknownPolicy, phi
+from .vector import RoutingVector, StateCatalog
+
+__all__ = ["OnlineUpdate", "OnlineFenrir"]
+
+
+@dataclass(frozen=True)
+class OnlineUpdate:
+    """What one ingested observation told us."""
+
+    time: datetime
+    step_change: float  # 1 - Φ vs the previous observation (0 for the first)
+    is_event: bool
+    mode_id: int
+    is_new_mode: bool
+    mode_similarity: float  # Φ against the matched mode's exemplar
+    recurred: bool  # matched a mode that was not the previous one
+
+
+@dataclass
+class OnlineFenrir:
+    """Streaming mode tracker over a fixed network universe.
+
+    * ``event_threshold`` — step change above which a round is an event;
+    * ``mode_threshold`` — minimum Φ against a mode's exemplar to join
+      that mode (the online analogue of the HAC distance threshold).
+    """
+
+    networks: Sequence[str]
+    event_threshold: float = 0.1
+    mode_threshold: float = 0.7
+    policy: UnknownPolicy = UnknownPolicy.PESSIMISTIC
+    weights: Optional[np.ndarray] = None
+    catalog: StateCatalog = field(default_factory=StateCatalog)
+
+    def __post_init__(self) -> None:
+        self.networks = tuple(self.networks)
+        if not 0.0 <= self.event_threshold <= 1.0:
+            raise ValueError("event_threshold must be in [0, 1]")
+        if not 0.0 <= self.mode_threshold <= 1.0:
+            raise ValueError("mode_threshold must be in [0, 1]")
+        self._exemplars: list[RoutingVector] = []
+        self._previous: Optional[RoutingVector] = None
+        self._previous_mode: Optional[int] = None
+        self._last_time: Optional[datetime] = None
+        self.updates: list[OnlineUpdate] = []
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def num_modes(self) -> int:
+        return len(self._exemplars)
+
+    def events(self) -> list[OnlineUpdate]:
+        return [update for update in self.updates if update.is_event]
+
+    def recurrences(self) -> list[OnlineUpdate]:
+        """Rounds where routing returned to an older known mode."""
+        return [update for update in self.updates if update.recurred]
+
+    # -- ingestion ------------------------------------------------------------
+
+    def ingest(self, assignment: Mapping[str, str], when: datetime) -> OnlineUpdate:
+        """Process one measurement round and classify it."""
+        if self._last_time is not None and when <= self._last_time:
+            raise ValueError(f"observations must move forward in time: {when}")
+        vector = RoutingVector.from_mapping(
+            dict(assignment), catalog=self.catalog, networks=self.networks, time=when
+        )
+
+        if self._previous is None:
+            step_change = 0.0
+        else:
+            step_change = 1.0 - phi(
+                self._previous, vector, weights=self.weights, policy=self.policy
+            )
+        is_event = step_change > self.event_threshold
+
+        mode_id, similarity = self._match_mode(vector)
+        is_new_mode = mode_id is None
+        if mode_id is None:
+            self._exemplars.append(vector)
+            mode_id = len(self._exemplars) - 1
+            similarity = 1.0
+        recurred = (
+            self._previous_mode is not None
+            and mode_id != self._previous_mode
+            and not is_new_mode
+        )
+
+        update = OnlineUpdate(
+            time=when,
+            step_change=float(step_change),
+            is_event=is_event,
+            mode_id=mode_id,
+            is_new_mode=is_new_mode,
+            mode_similarity=float(similarity),
+            recurred=recurred,
+        )
+        self.updates.append(update)
+        self._previous = vector
+        self._previous_mode = mode_id
+        self._last_time = when
+        return update
+
+    def _match_mode(self, vector: RoutingVector) -> tuple[Optional[int], float]:
+        best_mode: Optional[int] = None
+        best_similarity = -1.0
+        for mode_id, exemplar in enumerate(self._exemplars):
+            similarity = phi(
+                exemplar, vector, weights=self.weights, policy=self.policy
+            )
+            if similarity > best_similarity:
+                best_mode, best_similarity = mode_id, similarity
+        if best_mode is not None and best_similarity >= self.mode_threshold:
+            return best_mode, best_similarity
+        return None, best_similarity
+
+    def mode_timeline(self) -> list[tuple[int, datetime, datetime]]:
+        """Contiguous (mode_id, start, end) segments seen so far."""
+        segments: list[tuple[int, datetime, datetime]] = []
+        for update in self.updates:
+            if segments and segments[-1][0] == update.mode_id:
+                mode_id, start, _end = segments[-1]
+                segments[-1] = (mode_id, start, update.time)
+            else:
+                segments.append((update.mode_id, update.time, update.time))
+        return segments

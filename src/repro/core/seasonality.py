@@ -1,0 +1,111 @@
+"""Seasonality: periodic structure in similarity matrices.
+
+Figure 5's Google heatmap shows a *scheduled* pattern — strong
+similarity within each week, weak across weeks. This module makes that
+observation quantitative: the mean of the similarity matrix's k-th
+diagonal is the average Φ between observations k steps apart, and a
+scheduled reshuffle shows up as a flat-then-cliff profile whose cliff
+spacing is the schedule period.
+
+:func:`lag_profile` computes the mean-Φ-by-lag curve and
+:func:`estimate_period` finds the dominant cliff spacing, if any.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["lag_profile", "estimate_period", "SeasonalityReport", "analyze_seasonality"]
+
+
+def lag_profile(similarity: np.ndarray, max_lag: Optional[int] = None) -> np.ndarray:
+    """Mean Φ between observations ``k`` apart, for k = 0..max_lag."""
+    similarity = np.asarray(similarity, dtype=np.float64)
+    if similarity.ndim != 2 or similarity.shape[0] != similarity.shape[1]:
+        raise ValueError("similarity must be a square matrix")
+    size = similarity.shape[0]
+    if max_lag is None:
+        max_lag = size - 1
+    max_lag = min(max_lag, size - 1)
+    profile = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        profile[lag] = float(np.nanmean(np.diag(similarity, k=lag)))
+    return profile
+
+
+def estimate_period(
+    similarity: np.ndarray,
+    min_period: int = 2,
+    max_period: Optional[int] = None,
+    min_contrast: float = 0.05,
+) -> Optional[int]:
+    """The schedule period, or None when routing is unscheduled.
+
+    A scheduled reshuffle of period p makes the lag profile fall
+    linearly until lag p (the probability two observations share a
+    schedule block is ``1 - k/p``) and then sit flat at the cross-block
+    floor. The estimator therefore finds the *knee*: the first lag at
+    which the profile reaches the long-lag floor — and only accepts it
+    when the profile genuinely stays at the floor afterwards, which
+    separates schedules from slow drift and from mode structure (whose
+    long-lag similarities are non-flat: old modes recur).
+    """
+    profile = lag_profile(similarity)
+    size = len(profile)
+    if max_period is None:
+        max_period = max(min_period, size // 3)
+    if size < 3 * min_period:
+        return None
+
+    peak = float(profile[1]) if size > 1 else float(profile[0])
+    floor = float(np.median(profile[size // 2 :]))
+    contrast = peak - floor
+    if contrast < min_contrast:
+        return None  # no structure: stable or noisy-flat routing
+
+    knee_threshold = floor + 0.1 * contrast
+    period: Optional[int] = None
+    for lag in range(min_period, max_period + 1):
+        if profile[lag] <= knee_threshold:
+            period = lag
+            break
+    if period is None:
+        return None
+
+    # Flatness beyond the knee: a true schedule never climbs back up.
+    tail = profile[period:]
+    if float(tail.max()) - floor > 0.3 * contrast:
+        return None
+    return period
+
+
+@dataclass(frozen=True)
+class SeasonalityReport:
+    """Summary of periodic structure in one similarity matrix."""
+
+    period: Optional[int]
+    profile: np.ndarray
+    phi_within_period: float
+    phi_across_period: float
+
+    @property
+    def scheduled(self) -> bool:
+        return self.period is not None
+
+
+def analyze_seasonality(similarity: np.ndarray) -> SeasonalityReport:
+    """Full seasonality analysis: period plus within/across Φ levels."""
+    profile = lag_profile(similarity)
+    period = estimate_period(similarity)
+    within = float(profile[1]) if len(profile) > 1 else float(profile[0])
+    if period is None:
+        across = within
+    else:
+        across_lags = [
+            lag for lag in range(period, len(profile)) if lag % period == 0
+        ]
+        across = float(np.mean([profile[lag] for lag in across_lags]))
+    return SeasonalityReport(period, profile, within, across)

@@ -1,0 +1,154 @@
+"""Time series of routing vectors.
+
+A :class:`VectorSeries` stacks the vectors of one study into a single
+T×N code matrix over a shared network list and state catalog. All of
+Fenrir's analyses (similarity matrices, clustering, mode discovery,
+transition matrices) operate on this container.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from .vector import RoutingVector, StateCatalog
+
+__all__ = ["VectorSeries"]
+
+
+class VectorSeries:
+    """An ordered, time-indexed collection of routing vectors."""
+
+    def __init__(
+        self,
+        networks: Sequence[str],
+        catalog: Optional[StateCatalog] = None,
+    ) -> None:
+        self.networks: tuple[str, ...] = tuple(networks)
+        self.catalog = catalog or StateCatalog()
+        self._rows: list[np.ndarray] = []
+        self.times: list[datetime] = []
+        self._matrix: Optional[np.ndarray] = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_vectors(cls, vectors: Sequence[RoutingVector]) -> "VectorSeries":
+        """Stack pre-built vectors; they must share networks and catalog."""
+        if not vectors:
+            raise ValueError("cannot build a series from zero vectors")
+        first = vectors[0]
+        series = cls(first.networks, first.catalog)
+        for vector in vectors:
+            series.append(vector)
+        return series
+
+    def append(self, vector: RoutingVector) -> None:
+        if vector.networks != self.networks:
+            raise ValueError("vector networks do not match series networks")
+        if vector.catalog is not self.catalog:
+            raise ValueError("vector catalog is not the series catalog")
+        if vector.time is None:
+            raise ValueError("series vectors need a timestamp")
+        if self.times and vector.time <= self.times[-1]:
+            raise ValueError(
+                f"timestamps must increase: {vector.time} after {self.times[-1]}"
+            )
+        self._rows.append(np.asarray(vector.codes, dtype=np.int32))
+        self.times.append(vector.time)
+        self._matrix = None
+
+    def append_mapping(self, assignment: dict[str, str], time: datetime) -> None:
+        """Append from a ``{network: state}`` mapping (unlisted → unknown)."""
+        vector = RoutingVector.from_mapping(
+            assignment, catalog=self.catalog, networks=self.networks, time=time
+        )
+        self.append(vector)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """T×N int32 matrix of state codes (cached)."""
+        if self._matrix is None:
+            if not self._rows:
+                self._matrix = np.empty((0, len(self.networks)), dtype=np.int32)
+            else:
+                self._matrix = np.vstack(self._rows)
+        return self._matrix
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, index: int) -> RoutingVector:
+        return RoutingVector(
+            self.networks, self._rows[index], self.catalog, self.times[index]
+        )
+
+    def __iter__(self) -> Iterator[RoutingVector]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def index_at(self, when: datetime) -> int:
+        """Index of the last vector at or before ``when``."""
+        candidates = [i for i, t in enumerate(self.times) if t <= when]
+        if not candidates:
+            raise KeyError(f"no vector at or before {when}")
+        return candidates[-1]
+
+    def between(self, start: datetime, end: datetime) -> "VectorSeries":
+        """Sub-series of vectors with ``start <= time < end``."""
+        subset = VectorSeries(self.networks, self.catalog)
+        for index, time in enumerate(self.times):
+            if start <= time < end:
+                subset._rows.append(self._rows[index])
+                subset.times.append(time)
+        return subset
+
+    def select_networks(self, keep: Iterable[str]) -> "VectorSeries":
+        """Sub-series restricted to the given networks (order preserved)."""
+        keep_set = set(keep)
+        indices = [i for i, network in enumerate(self.networks) if network in keep_set]
+        subset = VectorSeries(
+            tuple(self.networks[i] for i in indices), self.catalog
+        )
+        for row, time in zip(self._rows, self.times):
+            subset._rows.append(row[indices])
+            subset.times.append(time)
+        return subset
+
+    def aggregate_over_time(
+        self, weights: Optional[np.ndarray] = None
+    ) -> dict[str, np.ndarray]:
+        """Per-state totals for every time step: the stack-plot data.
+
+        Returns ``{state_label: array of length T}`` including only
+        states that ever occur.
+        """
+        matrix = self.matrix
+        num_states = len(self.catalog)
+        if weights is None:
+            totals = np.stack(
+                [np.bincount(row, minlength=num_states) for row in matrix]
+            ).astype(np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            totals = np.stack(
+                [
+                    np.bincount(row, weights=weights, minlength=num_states)
+                    for row in matrix
+                ]
+            )
+        return {
+            self.catalog.label(code): totals[:, code]
+            for code in range(num_states)
+            if totals[:, code].any()
+        }
+
+    def copy(self) -> "VectorSeries":
+        clone = VectorSeries(self.networks, self.catalog)
+        clone._rows = [row.copy() for row in self._rows]
+        clone.times = list(self.times)
+        return clone

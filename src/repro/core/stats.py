@@ -1,0 +1,118 @@
+"""Statistical uncertainty for routing-vector comparisons.
+
+The paper reports Φ point estimates; an operator acting on "routing is
+80% like last month" should also know how tight that number is given
+the vantage sample. This module provides network-level bootstrap
+confidence intervals for Φ and a permutation test for "did routing
+change more at t than typical round-to-round churn?".
+
+Both procedures resample *networks* (the measurement units), matching
+the sampling structure of VP-based studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .compare import UnknownPolicy
+from .vector import RoutingVector, UNKNOWN_CODE
+
+__all__ = ["PhiEstimate", "bootstrap_phi", "permutation_change_test"]
+
+
+@dataclass(frozen=True)
+class PhiEstimate:
+    """A Φ point estimate with a bootstrap confidence interval."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+    samples: int
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, (int, float)) and self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def _match_indicator(
+    a: RoutingVector, b: RoutingVector, policy: UnknownPolicy
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-network (match, in-denominator) indicator arrays."""
+    match = (a.codes == b.codes) & (a.codes != UNKNOWN_CODE)
+    if policy is UnknownPolicy.PESSIMISTIC:
+        denominator = np.ones(len(a), dtype=bool)
+    else:
+        denominator = (a.codes != UNKNOWN_CODE) & (b.codes != UNKNOWN_CODE)
+    return match, denominator
+
+
+def bootstrap_phi(
+    a: RoutingVector,
+    b: RoutingVector,
+    weights: Optional[np.ndarray] = None,
+    policy: UnknownPolicy = UnknownPolicy.PESSIMISTIC,
+    confidence: float = 0.95,
+    samples: int = 2000,
+    seed: int = 0,
+) -> PhiEstimate:
+    """Bootstrap CI for Φ(a, b), resampling networks with replacement."""
+    if a.networks != b.networks:
+        raise ValueError("vectors cover different networks")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if samples < 10:
+        raise ValueError("need at least 10 bootstrap samples")
+    match, denominator = _match_indicator(a, b, policy)
+    count = len(a)
+    w = (
+        np.ones(count)
+        if weights is None
+        else np.asarray(weights, dtype=np.float64)
+    )
+    match_weight = np.where(match, w, 0.0)
+    denom_weight = np.where(denominator, w, 0.0)
+    total_denominator = denom_weight.sum()
+    point = float(match_weight.sum() / total_denominator) if total_denominator else float("nan")
+
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, count, size=(samples, count))
+    numerators = match_weight[indices].sum(axis=1)
+    denominators = denom_weight[indices].sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        values = np.where(denominators > 0, numerators / denominators, np.nan)
+    alpha = (1.0 - confidence) / 2
+    low = float(np.nanquantile(values, alpha))
+    high = float(np.nanquantile(values, 1.0 - alpha))
+    return PhiEstimate(point, low, high, confidence, samples)
+
+
+def permutation_change_test(
+    changes: np.ndarray,
+    index: int,
+    samples: int = 5000,
+    seed: int = 0,
+) -> float:
+    """P-value that the step change at ``index`` is ordinary churn.
+
+    Under the null, the step changes are exchangeable: the p-value is
+    the fraction of steps (resampled with replacement) at least as
+    large as the observed one. Small values mean "this step is not
+    routine churn" — the statistical cousin of the detector threshold.
+    """
+    changes = np.asarray(changes, dtype=np.float64)
+    if not 0 <= index < len(changes):
+        raise IndexError(f"index {index} outside 0..{len(changes) - 1}")
+    observed = changes[index]
+    others = np.delete(changes, index)
+    if len(others) == 0:
+        return 1.0
+    rng = np.random.default_rng(seed)
+    draws = rng.choice(others, size=samples, replace=True)
+    return float((np.count_nonzero(draws >= observed) + 1) / (samples + 1))

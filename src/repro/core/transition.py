@@ -1,0 +1,120 @@
+"""Transition matrices between two routing vectors (§2.7).
+
+``T(t,t',s,s')`` counts the networks that were in state ``s`` at time
+``t`` and are in state ``s'`` at ``t'``. A quiescent network yields a
+diagonal matrix equal to the aggregates A(t) = A(t'); catchment shifts
+show up off the diagonal (Table 3's STR→NAP drain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .vector import RoutingVector, StateCatalog
+
+__all__ = ["TransitionMatrix", "transition_matrix"]
+
+
+@dataclass
+class TransitionMatrix:
+    """An |S|×|S| matrix of network movements between two vectors."""
+
+    counts: np.ndarray  # float64 (weighted) or int64 counts
+    catalog: StateCatalog
+
+    def count(self, initial: str, subsequent: str) -> float:
+        """Networks moving from ``initial`` to ``subsequent``."""
+        i = self.catalog.lookup(initial)
+        j = self.catalog.lookup(subsequent)
+        if i is None or j is None:
+            raise KeyError(f"unknown state: {initial!r} or {subsequent!r}")
+        return float(self.counts[i, j])
+
+    @property
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    def stayed(self) -> float:
+        """Total weight on the diagonal (networks that did not move)."""
+        return float(np.trace(self.counts))
+
+    def moved(self) -> float:
+        return self.total - self.stayed()
+
+    def departures_from(self, state: str) -> dict[str, float]:
+        """Where networks starting in ``state`` ended up (excluding stays)."""
+        i = self.catalog.lookup(state)
+        if i is None:
+            raise KeyError(f"unknown state: {state!r}")
+        return {
+            self.catalog.label(j): float(self.counts[i, j])
+            for j in range(len(self.catalog))
+            if j != i and self.counts[i, j]
+        }
+
+    def arrivals_to(self, state: str) -> dict[str, float]:
+        """Where networks ending in ``state`` came from (excluding stays)."""
+        j = self.catalog.lookup(state)
+        if j is None:
+            raise KeyError(f"unknown state: {state!r}")
+        return {
+            self.catalog.label(i): float(self.counts[i, j])
+            for i in range(len(self.catalog))
+            if i != j and self.counts[i, j]
+        }
+
+    def top_movements(self, limit: int = 5) -> list[tuple[str, str, float]]:
+        """The largest off-diagonal flows, descending."""
+        flows = []
+        size = len(self.catalog)
+        for i in range(size):
+            for j in range(size):
+                if i != j and self.counts[i, j]:
+                    flows.append(
+                        (self.catalog.label(i), self.catalog.label(j), float(self.counts[i, j]))
+                    )
+        flows.sort(key=lambda item: -item[2])
+        return flows[:limit]
+
+    def row_sums(self) -> dict[str, float]:
+        """Initial-state totals; equals the aggregate A(t)."""
+        sums = self.counts.sum(axis=1)
+        return {
+            self.catalog.label(i): float(sums[i])
+            for i in range(len(self.catalog))
+            if sums[i]
+        }
+
+    def column_sums(self) -> dict[str, float]:
+        """Subsequent-state totals; equals the aggregate A(t')."""
+        sums = self.counts.sum(axis=0)
+        return {
+            self.catalog.label(j): float(sums[j])
+            for j in range(len(self.catalog))
+            if sums[j]
+        }
+
+
+def transition_matrix(
+    a: RoutingVector,
+    b: RoutingVector,
+    weights: Optional[np.ndarray] = None,
+) -> TransitionMatrix:
+    """Build ``T(t, t')`` between two vectors over the same networks."""
+    if a.networks != b.networks:
+        raise ValueError("vectors cover different networks")
+    if a.catalog is not b.catalog:
+        raise ValueError("vectors use different state catalogs")
+    size = len(a.catalog)
+    flat = a.codes.astype(np.int64) * size + b.codes.astype(np.int64)
+    if weights is None:
+        counts = np.bincount(flat, minlength=size * size).astype(np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != a.codes.shape:
+            raise ValueError("weights length does not match networks")
+        counts = np.bincount(flat, weights=weights, minlength=size * size)
+    return TransitionMatrix(counts.reshape(size, size), a.catalog)

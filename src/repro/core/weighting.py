@@ -1,0 +1,99 @@
+"""Observation weighting (§2.5).
+
+Raw observations count vantage points; operators care about what each
+vantage point *represents* — addresses, users or traffic. A weight
+vector ``Dw`` parallels the routing vector, and every comparison and
+aggregate in the library accepts one.
+
+Schemes:
+
+* :func:`uniform_weights` — every observation equal (the default).
+* :func:`address_weights` — each network weighted by the number of /24
+  blocks its prefix spans (one Atlas VP in a /16 counts as 256 blocks).
+* :func:`table_weights` — weights from an explicit per-network table of
+  traffic volumes or user counts, with a default for absentees.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..net.addr import AddressError, IPv4Prefix
+
+__all__ = [
+    "uniform_weights",
+    "address_weights",
+    "representation_weights",
+    "table_weights",
+    "normalized",
+]
+
+
+def uniform_weights(networks: Sequence[str]) -> np.ndarray:
+    """All-ones weights: each observation counts the same."""
+    return np.ones(len(networks), dtype=np.float64)
+
+
+def address_weights(networks: Sequence[str]) -> np.ndarray:
+    """Weight each network by the /24 blocks its prefix covers.
+
+    Network identifiers that parse as prefixes get ``2**(24 - length)``
+    (minimum 1); non-prefix identifiers (e.g. Atlas probe ids) get 1.
+    """
+    weights = np.ones(len(networks), dtype=np.float64)
+    for index, network in enumerate(networks):
+        try:
+            prefix = IPv4Prefix.from_string(network)
+        except AddressError:
+            continue
+        weights[index] = float(prefix.num_blocks24)
+    return weights
+
+
+def representation_weights(
+    networks: Sequence[str],
+    represented: Mapping[str, IPv4Prefix],
+) -> np.ndarray:
+    """Weight each observer by the address space it *represents* (§2.5).
+
+    Atlas VPs are not uniformly spread: when one VP is the only
+    observer inside a /16, its observation stands for 256 /24 blocks,
+    not one. ``represented`` maps an observer id to the prefix it is
+    the sole representative of; observers absent from the map weigh 1.
+    """
+    weights = np.ones(len(networks), dtype=np.float64)
+    for index, network in enumerate(networks):
+        prefix = represented.get(network)
+        if prefix is not None:
+            weights[index] = float(prefix.num_blocks24)
+    return weights
+
+
+def table_weights(
+    networks: Sequence[str],
+    table: Mapping[str, float],
+    default: float = 0.0,
+) -> np.ndarray:
+    """Weights from a per-network table (historical traffic, users).
+
+    Negative table entries are rejected; networks absent from the table
+    receive ``default``.
+    """
+    weights = np.empty(len(networks), dtype=np.float64)
+    for index, network in enumerate(networks):
+        value = float(table.get(network, default))
+        if value < 0:
+            raise ValueError(f"negative weight for {network!r}: {value}")
+        weights[index] = value
+    return weights
+
+
+def normalized(weights: np.ndarray) -> np.ndarray:
+    """Scale weights to sum to 1 (Φ is scale-invariant; plots are not)."""
+    weights = np.asarray(weights, dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive total")
+    return weights / total

@@ -1,0 +1,12 @@
+"""Scenario generators reproducing each dataset of the paper (Table 2).
+
+Each module builds a deterministic synthetic equivalent of one paper
+dataset — topology, service, scripted events, measurement instruments —
+and returns a study object holding the measured
+:class:`~repro.core.series.VectorSeries` plus everything the
+corresponding benchmark needs.
+"""
+
+from . import baltic, broot, builders, google, groot, groundtruth, usc, wikipedia
+
+__all__ = ["baltic", "broot", "builders", "google", "groot", "groundtruth", "usc", "wikipedia"]

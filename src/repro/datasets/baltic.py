@@ -1,0 +1,136 @@
+"""The Baltic cable-cut scenario: the paper's motivating example.
+
+The paper opens with it (§1) and returns to it in §4.1: unexpected
+submarine cable cuts in the Baltic Sea changed latency for European
+networks, a third-party event several hops away from everyone it
+affected, explained at the time only by one-off manual analysis.
+
+This scenario builds a "country" — a cluster of ASes reached through
+two submarine-cable transit providers — and cuts one cable mid-study.
+Fenrir sees the event in the country's ingress-transit vectors; the
+transit-diversity index drops toward 1 (single point of failure), and
+the latency join shows the affected networks slowing down as their
+traffic detours through the surviving cable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from ..bgp.events import LinkOutage
+from ..bgp.policy import Announcement
+from ..bgp.events import RoutingScenario
+from ..bgp.topology import ASTopology
+from ..controlplane.collector import RouteCollector
+from ..controlplane.country import country_series
+from ..core.series import VectorSeries
+from ..net.geo import GeoPoint, city
+from .builders import build_topology
+
+__all__ = ["BalticStudy", "generate", "CABLE_CUT"]
+
+START = datetime(2024, 11, 1)
+END = datetime(2024, 12, 15)
+CABLE_CUT = datetime(2024, 11, 18)  # the real cuts: 2024-11-17/18
+
+# The named players: two submarine-cable transits and the country ASes.
+CABLE_WEST = 3320  # the cable that gets cut
+CABLE_EAST = 1299  # the surviving cable
+COUNTRY_IX = 64700  # the country's main IXP/border AS
+COUNTRY_ISPS = (64701, 64702, 64703)
+ORIGIN = 64710  # a service hosted inside the country
+
+AS_NAMES = {
+    CABLE_WEST: "cable-west",
+    CABLE_EAST: "cable-east",
+    COUNTRY_IX: "country-ix",
+}
+
+
+@dataclass
+class BalticStudy:
+    """The generated cable-cut dataset."""
+
+    topology: ASTopology
+    scenario: RoutingScenario
+    collector: RouteCollector
+    series: VectorSeries  # country ingress transits per external vantage
+    country_ases: set[int]
+    sample_times: list[datetime]
+    vantage_locations: dict[str, GeoPoint]
+    service_location: GeoPoint
+
+
+def generate(
+    seed: int = 20241118,
+    num_vantages: int = 250,
+    cadence: timedelta = timedelta(days=1),
+) -> BalticStudy:
+    """Build the cable-cut study (deterministic in ``seed``)."""
+    rng = random.Random(seed)
+    topo = build_topology(rng, num_tier1=5, num_tier2=30, num_stubs=300)
+    tier1s = sorted(asn for asn, node in topo.nodes.items() if node.tier == 1)
+
+    # Two submarine-cable transit ASes, peered into the global core.
+    topo.add_as(CABLE_WEST, name="cable-west", tier=2, location=city("ARN"))
+    topo.add_as(CABLE_EAST, name="cable-east", tier=2, location=city("WAW"))
+    topo.add_customer_link(tier1s[0], CABLE_WEST)
+    topo.add_customer_link(tier1s[1], CABLE_WEST)
+    topo.add_customer_link(tier1s[2], CABLE_EAST)
+    topo.add_customer_link(tier1s[3], CABLE_EAST)
+
+    # The country: a border IX buying from both cables, ISPs below it.
+    topo.add_as(COUNTRY_IX, name="country-ix", tier=2, location=city("ARN"))
+    topo.add_customer_link(CABLE_WEST, COUNTRY_IX)
+    topo.add_customer_link(CABLE_EAST, COUNTRY_IX)
+    for isp in COUNTRY_ISPS:
+        topo.add_as(isp, name=f"isp-{isp}", tier=3, location=city("ARN"))
+        topo.add_customer_link(COUNTRY_IX, isp)
+    topo.add_as(ORIGIN, name="service", tier=3, location=city("ARN"))
+    topo.add_customer_link(COUNTRY_IX, ORIGIN)
+
+    country = {COUNTRY_IX, ORIGIN, *COUNTRY_ISPS}
+
+    scenario = RoutingScenario(
+        topo,
+        [Announcement(origin=ORIGIN, label="service")],
+        [
+            # The anchor drags: cable-west severs from the country and
+            # from its own transits, and stays down through the study.
+            LinkOutage(CABLE_WEST, COUNTRY_IX, CABLE_CUT, END + timedelta(days=30)),
+        ],
+    )
+
+    stubs = [
+        asn
+        for asn, node in topo.nodes.items()
+        if node.tier == 3 and asn not in country
+    ]
+    vantages = rng.sample(stubs, min(num_vantages, len(stubs)))
+    collector = RouteCollector(scenario, vantages)
+
+    sample_times = []
+    when = START
+    while when < END:
+        sample_times.append(when)
+        when += cadence
+
+    series = country_series(collector, country, sample_times, as_names=AS_NAMES)
+
+    vantage_locations = {
+        f"as{asn}": topo.nodes[asn].location
+        for asn in vantages
+        if topo.nodes[asn].location is not None
+    }
+    return BalticStudy(
+        topology=topo,
+        scenario=scenario,
+        collector=collector,
+        series=series,
+        country_ases=country,
+        sample_times=sample_times,
+        vantage_locations=vantage_locations,
+        service_location=city("ARN"),
+    )

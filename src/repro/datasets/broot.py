@@ -1,0 +1,229 @@
+"""B-Root scenario: Figure 3 (five years of modes) and Figure 4 (latency).
+
+Scripted timeline, following §4.2 of the paper:
+
+* 2019-09 — initial deployment: LAX (dominant), MIA, ARI. Mode (i).
+* 2020-02 — three sites added: SIN, IAD, AMS. Mode (ii).
+* 2020-04 — traffic engineering moves ~70% of LAX's catchment onto the
+  new sites. Mode (iii).
+* 2021-03 — the TE is retuned. Mode (iv), the longest-lasting mode.
+* 2022-09-16 / 2023-02-12 / 2023-04-13 — small third-party transit
+  changes: the sub-mode boundaries iv.a–iv.d.
+* 2023-03-06 — ARI (Arica, Chile; polarized to European clients and
+  therefore slow) shuts down. 2023-05-01 and 2023-05-24 — SCL appears
+  briefly (routing experiments); 2023-06-29 — SCL resumes for good and
+  the LAX TE is removed, so routing falls back toward the original
+  mode: Φ(mode i, mode v) exceeds Φ with mode (v)'s neighbours.
+* 2023-07-05 .. 2023-12-01 — collection outage (no observations).
+* 2024-07 — a new TE configuration: mode (vi).
+
+Measured with Verfploeter over a /24 hitlist whose targets answer
+~55% of the time, reproducing the paper's ~half-unknown property that
+caps stable Φ at ≈0.5–0.6.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Optional
+
+from ..anycast.service import AnycastService, AnycastSite
+from ..anycast.verfploeter import VerfploeterMapper
+from ..bgp.clients import ClientSpace
+from ..bgp.events import (
+    LinkOutage,
+    ScopeChange,
+    SiteAdd,
+    SiteDrain,
+    SiteRemove,
+    TrafficEngineering,
+)
+from ..bgp.policy import Announcement, Scope
+from ..bgp.topology import ASTopology
+from ..core.series import VectorSeries
+from ..core.vector import StateCatalog
+from ..net.geo import GeoPoint, city
+from ..net.hitlist import Hitlist
+from .builders import attach_origin, block_locations, build_topology, clients_for_stubs
+
+__all__ = ["BRootStudy", "generate", "OUTAGE_START", "OUTAGE_END"]
+
+START = datetime(2019, 9, 1)
+END = datetime(2024, 12, 31)
+OUTAGE_START = datetime(2023, 7, 5)
+OUTAGE_END = datetime(2023, 12, 1)
+
+SITE_ADD_DATE = datetime(2020, 2, 1)
+TE1_DATE = datetime(2020, 4, 1)
+TE2_DATE = datetime(2021, 3, 1)
+SUBMODE_DATES = (
+    datetime(2022, 9, 16),
+    datetime(2023, 2, 12),
+    datetime(2023, 4, 13),
+)
+ARI_SHUTDOWN = datetime(2023, 3, 6)
+SCL_FIRST_BLIP = datetime(2023, 5, 1)
+SCL_SECOND_BLIP = datetime(2023, 5, 24)
+SCL_RESUME = datetime(2023, 6, 29)
+TE3_DATE = datetime(2024, 7, 1)
+
+
+@dataclass
+class BRootStudy:
+    """The generated B-Root dataset plus everything Figure 4 needs."""
+
+    topology: ASTopology
+    service: AnycastService
+    clients: ClientSpace
+    mapper: VerfploeterMapper
+    series: VectorSeries  # observed via Verfploeter (≈half unknown)
+    sample_times: list[datetime]
+    block_locations: dict[str, GeoPoint]
+    site_locations: dict[str, GeoPoint]
+
+    def true_assignment(self, when: datetime) -> dict[str, str]:
+        """Oracle catchments per block (no measurement noise)."""
+        catchments = self.service.catchment_map(when)
+        return {
+            str(block): catchments[self.clients.as_of(block)]
+            for block in self.clients.blocks
+        }
+
+
+def _tier1s(topo: ASTopology) -> list[int]:
+    return sorted(asn for asn, node in topo.nodes.items() if node.tier == 1)
+
+
+def _nearest_tier2s(topo: ASTopology, location: GeoPoint, count: int) -> list[int]:
+    tier2s = [asn for asn, node in topo.nodes.items() if node.tier == 2]
+    return sorted(
+        tier2s,
+        key=lambda asn: location.distance_km(topo.nodes[asn].location),  # type: ignore[arg-type]
+    )[:count]
+
+
+def generate(
+    seed: int = 20190901,
+    num_blocks: int = 2500,
+    cadence: timedelta = timedelta(days=7),
+) -> BRootStudy:
+    """Build the five-year B-Root study (deterministic in ``seed``)."""
+    rng = random.Random(seed)
+    topo = build_topology(rng, num_tier1=6, num_tier2=40, num_stubs=420)
+    tier1s = _tier1s(topo)
+
+    # LAX: broad connectivity (it should dominate in modes i and v).
+    lax_providers = tier1s[:2] + _nearest_tier2s(topo, city("LAX"), 2)
+    lax = attach_origin(topo, 64601, city("LAX"), providers=lax_providers, name="site-LAX")
+    mia = attach_origin(topo, 64602, city("MIA"), num_providers=2, name="site-MIA")
+    # ARI is intentionally polarized: homed to European transit, so its
+    # (small) catchment is far away and slow — the paper's >200 ms site.
+    ari_providers = _nearest_tier2s(topo, city("MAD"), 1)
+    ari = attach_origin(topo, 64603, city("ARI"), providers=ari_providers, name="site-ARI")
+
+    sites = [
+        AnycastSite("LAX", lax, city("LAX")),
+        AnycastSite("MIA", mia, city("MIA")),
+        AnycastSite("ARI", ari, city("ARI")),
+    ]
+    service = AnycastService(topo, sites)
+
+    # 2020-02: SIN, IAD, AMS come online. Their natural catchments are
+    # kept small (single regional provider): without traffic
+    # engineering LAX stays dominant, which is what later makes mode (v)
+    # resemble mode (i) once the TE is withdrawn.
+    new_site_origins: dict[str, int] = {}
+    for label, asn_offset in (("SIN", 4), ("IAD", 5), ("AMS", 6)):
+        origin = attach_origin(
+            topo, 64600 + asn_offset, city(label), num_providers=1, name=f"site-{label}"
+        )
+        new_site_origins[label] = origin
+        service.add_event(
+            SiteAdd(Announcement(origin=origin, label=label), SITE_ADD_DATE)
+        )
+
+    # 2020-04 .. 2021-03: TE phase 1 — prepend LAX toward its tier-1
+    # providers, shifting most of its catchment to the new sites.
+    for provider in lax_providers[:2]:
+        service.add_event(TrafficEngineering("LAX", provider, 4, TE1_DATE, TE2_DATE))
+    # 2021-03 .. 2023-06-29: TE phase 2 — retuned: the prepend toward
+    # the second tier-1 is withdrawn, so LAX partially recaptures its
+    # cone. This is the paper's mode (iii) → mode (iv) boundary.
+    service.add_event(
+        TrafficEngineering("LAX", lax_providers[0], 4, TE2_DATE, SCL_RESUME)
+    )
+
+    # Third-party transit changes: the iv.a–iv.d sub-mode boundaries.
+    # Each is a long-lived outage of one tier2↔tier1 link, shifting a
+    # modest share of catchments without operator involvement.
+    tier2s = sorted(asn for asn, node in topo.nodes.items() if node.tier == 2)
+    for index, date in enumerate(SUBMODE_DATES):
+        tier2 = tier2s[5 + 7 * index]
+        providers = sorted(topo.providers_of(tier2))
+        if not providers:
+            continue
+        service.add_event(LinkOutage(tier2, providers[0], date, END))
+
+    # ARI shuts down; SCL blips twice, then resumes.
+    service.add_event(SiteRemove("ARI", ARI_SHUTDOWN))
+    scl_providers = _nearest_tier2s(topo, city("SCL"), 2)
+    scl = attach_origin(topo, 64607, city("SCL"), providers=scl_providers, name="site-SCL")
+    # The blip windows span a full sampling cadence so the brief
+    # appearances are visible even in weekly data.
+    service.add_event(SiteAdd(Announcement(origin=scl, label="SCL"), SCL_FIRST_BLIP))
+    service.add_event(
+        SiteDrain("SCL", SCL_FIRST_BLIP + cadence, SCL_SECOND_BLIP)
+    )
+    service.add_event(
+        SiteDrain("SCL", SCL_SECOND_BLIP + cadence, SCL_RESUME)
+    )
+
+    # 2023-06-29 .. 2024-07: the operator rebalances toward LAX by
+    # scoping the 2020 sites down to their customer cones — routing
+    # falls back toward the original mode (the paper's "mode (v) is
+    # somewhat like mode (i)").
+    for label in new_site_origins:
+        service.add_event(
+            ScopeChange(label, Scope.CUSTOMER_CONE, SCL_RESUME, TE3_DATE)
+        )
+
+    # 2024-07: TE phase 3 — a fresh configuration, mode (vi).
+    for provider in lax_providers[2:]:
+        service.add_event(TrafficEngineering("LAX", provider, 3, TE3_DATE, END))
+    service.add_event(
+        TrafficEngineering("MIA", sorted(topo.providers_of(mia))[0], 3, TE3_DATE, END)
+    )
+
+    clients = clients_for_stubs(topo, rng, num_blocks)
+    hitlist = Hitlist.from_blocks_bimodal(clients.blocks, rng, alive_fraction=0.58)
+    mapper = VerfploeterMapper(service, hitlist, clients, rng)
+
+    sample_times = []
+    when = START
+    while when <= END:
+        if not OUTAGE_START <= when < OUTAGE_END:
+            sample_times.append(when)
+        when += cadence
+
+    series = VectorSeries(clients.network_ids(), StateCatalog())
+    for when in sample_times:
+        series.append_mapping(mapper.measure(when), when)
+
+    return BRootStudy(
+        topology=topo,
+        service=service,
+        clients=clients,
+        mapper=mapper,
+        series=series,
+        sample_times=sample_times,
+        block_locations=block_locations(clients, topo),
+        site_locations={site.label: site.location for site in sites}
+        | {
+            "SIN": city("SIN"),
+            "IAD": city("IAD"),
+            "AMS": city("AMS"),
+            "SCL": city("SCL"),
+        },
+    )

@@ -1,0 +1,140 @@
+"""Shared scenario-construction helpers for the dataset generators.
+
+Every evaluation scenario needs the same ingredients: an Internet-like
+topology, anycast origin ASes placed in the right cities, a client
+address space homed in the stub ASes, and per-block geography for the
+latency model. These builders keep the per-dataset modules focused on
+their scripted event timelines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..anycast.service import AnycastSite
+from ..bgp.clients import ClientSpace, allocate_clients, zipf_block_counts
+from ..bgp.topology import ASTopology, generate_internet_like, stub_ases
+from ..net.geo import GeoPoint, city
+
+__all__ = [
+    "SiteSpec",
+    "build_topology",
+    "attach_origin",
+    "attach_sites",
+    "clients_for_stubs",
+    "block_locations",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SiteSpec:
+    """Declarative anycast site: label, city, and provider fan-out."""
+
+    label: str
+    city_code: str
+    num_providers: int = 2
+    local_only: bool = False
+
+
+def build_topology(
+    rng: random.Random,
+    num_tier1: int = 6,
+    num_tier2: int = 40,
+    num_stubs: int = 400,
+    first_asn: int = 20000,
+) -> ASTopology:
+    """An Internet-like topology at the default reproduction scale.
+
+    Generated ASNs start at 20000 so scenario modules can wire in
+    well-known low ASNs (2152, 226, 2914, ...) without collisions.
+    """
+    return generate_internet_like(
+        rng,
+        num_tier1=num_tier1,
+        num_tier2=num_tier2,
+        num_stubs=num_stubs,
+        first_asn=first_asn,
+    )
+
+
+def _nearest_tier2s(topo: ASTopology, location: GeoPoint) -> list[int]:
+    tier2s = [asn for asn, node in topo.nodes.items() if node.tier == 2]
+    return sorted(
+        tier2s,
+        key=lambda asn: location.distance_km(topo.nodes[asn].location),  # type: ignore[arg-type]
+    )
+
+
+def attach_origin(
+    topo: ASTopology,
+    asn: int,
+    location: GeoPoint,
+    num_providers: int = 2,
+    providers: Optional[Sequence[int]] = None,
+    name: str = "",
+) -> int:
+    """Add an origin AS at ``location``, homed to nearby tier-2 transit.
+
+    Passing explicit ``providers`` overrides the proximity choice —
+    used when two sites must share providers so that draining one
+    deterministically shifts its catchment to the other.
+    """
+    topo.add_as(asn, name=name or f"origin-{asn}", tier=3, location=location)
+    chosen = (
+        list(providers)
+        if providers is not None
+        else _nearest_tier2s(topo, location)[:num_providers]
+    )
+    if not chosen:
+        raise ValueError("origin needs at least one provider")
+    for provider in chosen:
+        topo.add_customer_link(provider, asn)
+    return asn
+
+
+def attach_sites(
+    topo: ASTopology,
+    specs: Sequence[SiteSpec],
+    first_asn: int = 64500,
+    shared_providers: Optional[dict[str, Sequence[int]]] = None,
+) -> list[AnycastSite]:
+    """Create one origin AS per site spec and return the site objects."""
+    sites = []
+    shared_providers = shared_providers or {}
+    for offset, spec in enumerate(specs):
+        location = city(spec.city_code)
+        asn = first_asn + offset
+        attach_origin(
+            topo,
+            asn,
+            location,
+            num_providers=spec.num_providers,
+            providers=shared_providers.get(spec.label),
+            name=f"site-{spec.label}",
+        )
+        sites.append(AnycastSite(spec.label, asn, location, spec.local_only))
+    return sites
+
+
+def clients_for_stubs(
+    topo: ASTopology,
+    rng: random.Random,
+    total_blocks: int,
+    alpha: float = 1.1,
+) -> ClientSpace:
+    """Home ``total_blocks`` /24s across the topology's stub ASes."""
+    stubs = stub_ases(topo)
+    counts = zipf_block_counts(rng, len(stubs), total_blocks, alpha)
+    return allocate_clients(stubs, counts)
+
+
+def block_locations(clients: ClientSpace, topo: ASTopology) -> dict[str, GeoPoint]:
+    """Per-block geography: each block sits at its home AS's city."""
+    locations: dict[str, GeoPoint] = {}
+    for block in clients.blocks:
+        node = topo.nodes.get(clients.as_of(block))
+        if node is not None and node.location is not None:
+            locations[str(block)] = node.location
+    return locations

@@ -1,0 +1,150 @@
+"""G-Root scenario: Figure 1 and Table 3.
+
+Ten days of anycast catchments measured by an Atlas-style VP fleet,
+with the paper's three scripted phenomena:
+
+* STR drains to NAP around midnight 2020-03-03 for 4.5 h, again on
+  2020-03-05, and a third time from 2020-03-07 through the end;
+* a smaller CMH→SAT shift for two days starting 2020-03-06 (modelled
+  as origin-side prepending, with CMH and SAT sharing providers so the
+  displaced networks land on SAT deterministically);
+* transition-convergence errors: VPs whose catchment just moved may
+  briefly answer ``err`` (Table 3's large STR→err column), recovering
+  the next round.
+
+Two series are produced: a coarse one covering all ten days (Figure 1)
+and a 4-minute-resolution zoom around the first drain edge (Table 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from ..anycast.atlas import AtlasFleet
+from ..anycast.service import AnycastService
+from ..bgp.convergence import convergence_steps
+from ..bgp.events import SiteDrain, TrafficEngineering
+from ..bgp.topology import ASTopology, stub_ases
+from ..core.series import VectorSeries
+from ..core.vector import StateCatalog
+from ..measure.loss import IidLoss
+from .builders import SiteSpec, attach_sites, build_topology
+
+__all__ = ["GRootStudy", "generate"]
+
+START = datetime(2020, 3, 1)
+# Provider fan-out shapes catchment sizes: STR is the dominant European
+# site (it drains into NAP, its regional neighbour, exactly as Figure 1
+# shows), HNL is local-only and barely observed.
+SITES = [
+    SiteSpec("STR", "STR", num_providers=4),
+    SiteSpec("NAP", "NAP", num_providers=3),
+    SiteSpec("CMH", "CMH", num_providers=2),
+    SiteSpec("NRT", "NRT", num_providers=2),
+    SiteSpec("SAT", "SAT", num_providers=2),
+    SiteSpec("HNL", "HNL", num_providers=1, local_only=True),
+]
+
+
+@dataclass
+class GRootStudy:
+    """The generated G-Root dataset and its instruments."""
+
+    topology: ASTopology
+    service: AnycastService
+    fleet: AtlasFleet
+    series: VectorSeries  # coarse, 10 days (Figure 1)
+    zoom: VectorSeries  # 4-minute rounds around the first drain (Table 3)
+
+
+def _drain(site: str, day: int, hour: int, hours: float) -> SiteDrain:
+    start = START + timedelta(days=day, hours=hour)
+    return SiteDrain(site, start, start + timedelta(hours=hours))
+
+
+def _measure_series(
+    fleet: AtlasFleet,
+    times: list[datetime],
+    rng: random.Random,
+) -> VectorSeries:
+    """Run rounds, measuring mid-convergence state at config changes.
+
+    When the routing configuration changed since the previous round,
+    this round observes a BGP convergence transient
+    (:func:`repro.bgp.convergence.convergence_steps`): some moved
+    networks still answer from the stale site, others are transiently
+    unreachable (→ ``err``) — Table 3's STR→err→NAP two-step.
+    """
+    scenario = fleet.service.scenario
+    series = VectorSeries(fleet.network_ids(), StateCatalog())
+    previous_signature = None
+    previous_outcome = None
+    for when in times:
+        signature = scenario.active_events_at(when)
+        outcome = scenario.outcome_at(when)
+        override = None
+        if previous_signature is not None and signature != previous_signature:
+            steps = convergence_steps(
+                previous_outcome, outcome, rng, rounds=2, withdraw_first=0.5
+            )
+            override = steps[0]
+        series.append_mapping(fleet.measure(when, catchment_override=override), when)
+        previous_signature = signature
+        previous_outcome = outcome
+    return series
+
+
+def generate(
+    seed: int = 20200301,
+    num_vps: int = 1500,
+    coarse_interval: timedelta = timedelta(hours=2),
+) -> GRootStudy:
+    """Build the full G-Root study (deterministic in ``seed``)."""
+    rng = random.Random(seed)
+    topo = build_topology(rng, num_tier1=6, num_tier2=36, num_stubs=360)
+    sites = attach_sites(topo, SITES)
+
+    events = [
+        _drain("STR", day=2, hour=0, hours=4.5),  # 2020-03-03 midnight
+        _drain("STR", day=4, hour=1, hours=5.0),  # 2020-03-05
+        SiteDrain(
+            "STR",
+            START + timedelta(days=6, hours=3),  # 2020-03-07 onward
+            START + timedelta(days=30),
+        ),
+    ]
+    service = AnycastService(topo, sites, events)
+    # The secondary CMH shift: prepend CMH's announcement toward its
+    # providers for two days, pushing part of its catchment to nearby
+    # sites (SAT picks up most of it).
+    cmh_origin = service.sites["CMH"].origin_asn
+    te_start = START + timedelta(days=5)  # 2020-03-06
+    for provider in sorted(topo.providers_of(cmh_origin)):
+        service.add_event(
+            TrafficEngineering(
+                "CMH", provider, 2, te_start, te_start + timedelta(days=2)
+            )
+        )
+
+    fleet = AtlasFleet.place_vps(
+        service,
+        stub_ases(topo),
+        count=num_vps,
+        rng=rng,
+        loss=IidLoss(0.02, rng),
+    )
+    # Figure 1's small, constant "other" population: VPs behind
+    # identifier-mangling middleboxes.
+    fleet.mangled_vp_fraction = 0.03
+
+    num_coarse = int(timedelta(days=10) / coarse_interval)
+    coarse_times = [START + coarse_interval * i for i in range(num_coarse)]
+    series = _measure_series(fleet, coarse_times, rng)
+
+    zoom_start = START + timedelta(days=2) - timedelta(minutes=8)
+    zoom_times = [zoom_start + timedelta(minutes=4) * i for i in range(6)]
+    zoom = _measure_series(fleet, zoom_times, rng)
+
+    return GRootStudy(topo, service, fleet, series, zoom)

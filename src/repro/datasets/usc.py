@@ -1,0 +1,188 @@
+"""USC multi-homed enterprise scenario: Figure 2 and Figures 7/8.
+
+Eight months of daily traceroute sweeps out of a USC-like enterprise,
+with the paper's named players:
+
+* ARN-A — Academic Regional Network A (CENIC, AS 2152);
+* ARN-B — Academic Regional Network B (Los Nettos, AS 226);
+* ANN — Academic National Network (Internet2, AS 11537);
+* NTT (AS 2914) and Hurricane Electric (AS 6939).
+
+Before 2025-01-16 nearly all egress rides ARN-B → ARN-A → ANN, so the
+hop-3 catchment is dominated by ARN-A. The 2025-01-16 reconfiguration
+rehomes ARN-B onto NTT and HE and drops ANN from ARN-A's transit: at
+hop 3, ARN-A collapses and NTT/HE take over — the paper's "at most 90%
+of catchments changed" event, visible only in Fenrir's heatmap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from ..bgp.clients import ClientSpace
+from ..bgp.events import LinkAdd, LinkRemove
+from ..bgp.topology import ASTopology
+from ..core.series import VectorSeries
+from ..core.vector import StateCatalog
+from ..net.geo import city
+from ..traceroute.enterprise import MultihomedEnterprise
+from .builders import build_topology, clients_for_stubs
+
+__all__ = ["UscStudy", "generate", "RECONFIGURATION_DATE", "AS_NAMES"]
+
+START = datetime(2024, 8, 1)
+END = datetime(2025, 4, 1)
+RECONFIGURATION_DATE = datetime(2025, 1, 16)
+
+USC = 73
+ARN_A = 2152  # CENIC
+ARN_B = 226  # Los Nettos
+ANN = 11537  # Internet2
+NTT = 2914
+HE = 6939
+
+AS_NAMES = {
+    USC: "USC",
+    ARN_A: "ARN-A",
+    ARN_B: "ARN-B",
+    ANN: "ANN",
+    NTT: "NTT",
+    HE: "HE",
+}
+
+
+@dataclass
+class UscStudy:
+    """The generated USC dataset and its instruments."""
+
+    topology: ASTopology
+    enterprise: MultihomedEnterprise
+    clients: ClientSpace
+    series: VectorSeries  # hop-3 catchments per destination /24
+    sample_times: list[datetime]
+    focus_hop: int
+
+
+def _build_named_ases(topo: ASTopology, rng: random.Random) -> None:
+    """Wire the paper's named ASes into the generated topology."""
+    tier1s = sorted(asn for asn, node in topo.nodes.items() if node.tier == 1)
+    tier2s = sorted(asn for asn, node in topo.nodes.items() if node.tier == 2)
+
+    la = city("LAX")
+    topo.add_as(ANN, name="ANN", tier=1, location=city("ORD"))
+    topo.add_as(NTT, name="NTT", tier=1, location=city("NRT"))
+    topo.add_as(HE, name="HE", tier=1, location=city("SEA"))
+    for asn in (ANN, NTT, HE):
+        for tier1 in tier1s:
+            topo.add_peer_link(asn, tier1)
+    topo.add_peer_link(ANN, NTT)
+    topo.add_peer_link(ANN, HE)
+    topo.add_peer_link(NTT, HE)
+    # Give the new tier-1s customer cones so they carry routes.
+    for index, tier2 in enumerate(tier2s):
+        topo.add_customer_link((ANN, NTT, HE)[index % 3], tier2)
+
+    topo.add_as(ARN_A, name="ARN-A", tier=2, location=la)
+    topo.add_customer_link(ANN, ARN_A)
+    topo.add_customer_link(tier1s[0], ARN_A)
+    for tier2 in tier2s[:3]:
+        topo.add_peer_link(ARN_A, tier2)
+
+    topo.add_as(ARN_B, name="ARN-B", tier=2, location=la)
+    topo.add_customer_link(ARN_A, ARN_B)
+
+    topo.add_as(USC, name="USC", tier=3, location=la)
+    topo.add_customer_link(ARN_B, USC)
+    topo.add_customer_link(ARN_A, USC)
+
+    # A slice of regional networks buys directly from ARN-B; their paths
+    # from USC never leave the region, so they ride out the 2025-01-16
+    # reconfiguration unchanged (the paper's Φ(Mi,Mii) stays above ~0.1).
+    stubs = sorted(asn for asn, node in topo.nodes.items() if node.tier == 3 and asn != USC)
+    for stub in stubs[:: max(1, len(stubs) // 40)]:
+        topo.add_customer_link(ARN_B, stub)
+
+
+def _generate(
+    seed: int,
+    num_blocks: int,
+    cadence: timedelta,
+    start: datetime,
+    end: datetime,
+    reconfigure: bool,
+) -> UscStudy:
+    rng = random.Random(seed)
+    topo = build_topology(rng, num_tier1=5, num_tier2=36, num_stubs=380)
+    _build_named_ases(topo, rng)
+
+    events = []
+    if reconfigure:
+        events = [
+            # The 2025-01-16 reconfiguration: ARN-B rehomes from ARN-A
+            # onto NTT and HE; ARN-A drops ANN as transit.
+            LinkAdd(NTT, ARN_B, RECONFIGURATION_DATE),
+            LinkAdd(HE, ARN_B, RECONFIGURATION_DATE),
+            LinkRemove(ARN_A, ARN_B, RECONFIGURATION_DATE),
+            LinkRemove(ANN, ARN_A, RECONFIGURATION_DATE),
+        ]
+
+    clients = clients_for_stubs(topo, rng, num_blocks)
+    enterprise = MultihomedEnterprise(
+        topology=topo,
+        enterprise_asn=USC,
+        clients=clients,
+        rng=rng,
+        as_names=AS_NAMES,
+        events=events,
+        # USC steers traffic onto ARN-B (its low-cost regional path) by
+        # prepending toward its ARN-A link.
+        announcement_prepend={ARN_A: 3},
+    )
+
+    sample_times = []
+    when = start
+    while when < end:
+        sample_times.append(when)
+        when += cadence
+
+    series = VectorSeries(clients.network_ids(), StateCatalog())
+    for when in sample_times:
+        series.append_mapping(enterprise.catchments_at_hop(when, focus_hop=3), when)
+
+    return UscStudy(
+        topology=topo,
+        enterprise=enterprise,
+        clients=clients,
+        series=series,
+        sample_times=sample_times,
+        focus_hop=3,
+    )
+
+
+def generate(
+    seed: int = 20240801,
+    num_blocks: int = 1200,
+    cadence: timedelta = timedelta(days=2),
+) -> UscStudy:
+    """Build the USC enterprise study (deterministic in ``seed``)."""
+    return _generate(seed, num_blocks, cadence, START, END, reconfigure=True)
+
+
+def generate_stable(
+    seed: int = 20240601,
+    num_blocks: int = 1200,
+    cadence: timedelta = timedelta(days=4),
+) -> UscStudy:
+    """The paper's *second* enterprise: ten quiet months.
+
+    §4 notes a second enterprise observed for 10 months with no
+    significant routing change — the negative control. Same topology
+    class, no scripted events: Fenrir should find a single mode and a
+    clean heatmap.
+    """
+    start = datetime(2024, 6, 1)
+    return _generate(
+        seed, num_blocks, cadence, start, start + timedelta(days=300), reconfigure=False
+    )

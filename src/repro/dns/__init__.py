@@ -1,0 +1,50 @@
+"""DNS substrate: wire format, CHAOS identification, EDNS Client-Subnet."""
+
+from .chaos import HOSTNAME_BIND, IdentifierMap, make_chaos_query, make_chaos_response
+from .edns import ClientSubnet, add_client_subnet, extract_client_subnet, make_opt_record
+from .message import (
+    CLASS_CHAOS,
+    CLASS_IN,
+    DnsError,
+    DnsMessage,
+    Question,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    RCODE_REFUSED,
+    RCODE_SERVFAIL,
+    ResourceRecord,
+    TYPE_A,
+    TYPE_OPT,
+    TYPE_TXT,
+    decode_name,
+    encode_name,
+)
+from .resolver import Authoritative, RecursiveResolver
+
+__all__ = [
+    "Authoritative",
+    "CLASS_CHAOS",
+    "CLASS_IN",
+    "ClientSubnet",
+    "DnsError",
+    "DnsMessage",
+    "HOSTNAME_BIND",
+    "IdentifierMap",
+    "Question",
+    "RCODE_NOERROR",
+    "RCODE_NXDOMAIN",
+    "RCODE_REFUSED",
+    "RCODE_SERVFAIL",
+    "RecursiveResolver",
+    "ResourceRecord",
+    "TYPE_A",
+    "TYPE_OPT",
+    "TYPE_TXT",
+    "add_client_subnet",
+    "decode_name",
+    "encode_name",
+    "extract_client_subnet",
+    "make_chaos_query",
+    "make_chaos_response",
+    "make_opt_record",
+]

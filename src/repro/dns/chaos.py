@@ -1,0 +1,78 @@
+"""CHAOS-class server identification (hostname.bind / NSID).
+
+Root DNS anycast sites answer CHAOS TXT ``hostname.bind`` queries with a
+per-server identifier (RFC 4892). The Atlas measurement path uses this:
+a VP's query returns an identifier like ``"b1-lax"``, which a mapping
+table turns into a site label, following Fan et al.'s methodology.
+
+Identifiers follow the loose real-world convention
+``<service><instance>-<site>[.<suffix>]``; unmapped identifiers are the
+paper's "incorrect data" that cleaning turns into ``other``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .message import (
+    CLASS_CHAOS,
+    DnsMessage,
+    Question,
+    RCODE_NOERROR,
+    ResourceRecord,
+    TYPE_TXT,
+)
+
+__all__ = ["HOSTNAME_BIND", "make_chaos_query", "make_chaos_response", "IdentifierMap"]
+
+HOSTNAME_BIND = "hostname.bind"
+
+_IDENTIFIER = re.compile(r"^[a-z]+\d*-(?P<site>[a-z0-9]+)")
+
+
+def make_chaos_query(msg_id: int = 0) -> DnsMessage:
+    """A CHAOS TXT hostname.bind query, as Atlas sends."""
+    message = DnsMessage(msg_id=msg_id)
+    message.questions.append(Question(HOSTNAME_BIND, TYPE_TXT, CLASS_CHAOS))
+    return message
+
+
+def make_chaos_response(query: DnsMessage, identifier: str) -> DnsMessage:
+    """The server's TXT response carrying its instance identifier."""
+    response = DnsMessage(msg_id=query.msg_id, is_response=True, rcode=RCODE_NOERROR)
+    response.questions = list(query.questions)
+    response.answers.append(
+        ResourceRecord.txt(HOSTNAME_BIND, identifier, rclass=CLASS_CHAOS)
+    )
+    return response
+
+
+@dataclass
+class IdentifierMap:
+    """Maps organization-specific server identifiers to site labels.
+
+    Exact entries take priority; otherwise the conventional
+    ``<host>-<site>`` pattern is parsed and the site token upper-cased
+    when it appears in ``known_sites``. Everything else maps to None
+    (later cleaned to ``other``).
+    """
+
+    known_sites: set[str] = field(default_factory=set)
+    exact: dict[str, str] = field(default_factory=dict)
+
+    def site_of(self, identifier: str) -> Optional[str]:
+        identifier = identifier.strip().lower()
+        if identifier in self.exact:
+            return self.exact[identifier]
+        match = _IDENTIFIER.match(identifier)
+        if match:
+            site = match.group("site").upper()
+            if not self.known_sites or site in self.known_sites:
+                return site
+        return None
+
+    @classmethod
+    def for_sites(cls, sites: set[str]) -> "IdentifierMap":
+        return cls(known_sites={site.upper() for site in sites})

@@ -1,0 +1,304 @@
+"""Minimal DNS wire format: header, question, resource records.
+
+The Atlas and EDNS-CS measurement simulators speak real DNS messages so
+that the identifier-extraction and Client-Subnet code paths exercise
+actual encode/decode logic (including name compression on decode),
+rather than passing Python objects around. Only the record types the
+paper's measurements need are fully modelled: A, TXT, OPT.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "DnsError",
+    "CLASS_IN",
+    "CLASS_CHAOS",
+    "TYPE_A",
+    "TYPE_TXT",
+    "TYPE_OPT",
+    "RCODE_NOERROR",
+    "RCODE_SERVFAIL",
+    "RCODE_NXDOMAIN",
+    "RCODE_REFUSED",
+    "Question",
+    "ResourceRecord",
+    "DnsMessage",
+    "encode_name",
+    "decode_name",
+    "NameCompressor",
+]
+
+CLASS_IN = 1
+CLASS_CHAOS = 3
+
+TYPE_A = 1
+TYPE_TXT = 16
+TYPE_OPT = 41
+
+RCODE_NOERROR = 0
+RCODE_SERVFAIL = 2
+RCODE_NXDOMAIN = 3
+RCODE_REFUSED = 5
+
+_MAX_LABEL = 63
+_MAX_NAME = 255
+
+
+class DnsError(ValueError):
+    """Raised on malformed DNS messages."""
+
+
+def _split_labels(name: str) -> list[bytes]:
+    name = name.rstrip(".")
+    if not name:
+        return []
+    labels = []
+    for label in name.split("."):
+        raw = label.encode("ascii")
+        if not raw:
+            raise DnsError(f"empty label in {name!r}")
+        if len(raw) > _MAX_LABEL:
+            raise DnsError(f"label too long in {name!r}")
+        labels.append(raw)
+    return labels
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a domain name into length-prefixed labels (no compression)."""
+    encoded = bytearray()
+    for raw in _split_labels(name):
+        encoded.append(len(raw))
+        encoded.extend(raw)
+    encoded.append(0)
+    if len(encoded) > _MAX_NAME:
+        raise DnsError(f"name too long: {name!r}")
+    return bytes(encoded)
+
+
+class NameCompressor:
+    """RFC 1035 §4.1.4 name compression for message encoding.
+
+    Remembers, per message, the offset at which every name suffix was
+    written; later names reuse the longest known suffix via a 2-byte
+    pointer, exactly as production servers do. Offsets beyond the
+    14-bit pointer range are simply not recorded.
+    """
+
+    def __init__(self) -> None:
+        self._offsets: dict[tuple[bytes, ...], int] = {}
+
+    def encode(self, name: str, offset: int) -> bytes:
+        """Encode ``name`` as written at ``offset`` in the message."""
+        labels = _split_labels(name)
+        encoded = bytearray()
+        position = offset
+        for index in range(len(labels)):
+            suffix = tuple(label.lower() for label in labels[index:])
+            known = self._offsets.get(suffix)
+            if known is not None:
+                encoded.extend(bytes([0xC0 | (known >> 8), known & 0xFF]))
+                return bytes(encoded)
+            if position < 0x3FFF:
+                self._offsets[suffix] = position
+            encoded.append(len(labels[index]))
+            encoded.extend(labels[index])
+            position += 1 + len(labels[index])
+        encoded.append(0)
+        if len(encoded) > _MAX_NAME:
+            raise DnsError(f"name too long: {name!r}")
+        return bytes(encoded)
+
+
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a (possibly compressed) name; returns (name, next_offset)."""
+    labels: list[str] = []
+    jumps = 0
+    next_offset: Optional[int] = None
+    while True:
+        if offset >= len(data):
+            raise DnsError("truncated name")
+        length = data[offset]
+        if length & 0xC0 == 0xC0:  # compression pointer
+            if offset + 1 >= len(data):
+                raise DnsError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if next_offset is None:
+                next_offset = offset + 2
+            offset = pointer
+            jumps += 1
+            if jumps > 64:
+                raise DnsError("compression loop")
+            continue
+        if length & 0xC0:
+            raise DnsError(f"bad label length byte {length:#x}")
+        offset += 1
+        if length == 0:
+            break
+        if offset + length > len(data):
+            raise DnsError("truncated label")
+        try:
+            labels.append(data[offset : offset + length].decode("ascii"))
+        except UnicodeDecodeError as exc:
+            raise DnsError(f"non-ASCII label at offset {offset}") from exc
+        offset += length
+    return ".".join(labels), (next_offset if next_offset is not None else offset)
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    name: str
+    qtype: int
+    qclass: int = CLASS_IN
+
+    def encode(self) -> bytes:
+        return encode_name(self.name) + struct.pack("!HH", self.qtype, self.qclass)
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    name: str
+    rtype: int
+    rclass: int
+    ttl: int
+    rdata: bytes
+
+    def encode(self) -> bytes:
+        return (
+            encode_name(self.name)
+            + struct.pack("!HHIH", self.rtype, self.rclass, self.ttl, len(self.rdata))
+            + self.rdata
+        )
+
+    @classmethod
+    def txt(cls, name: str, text: str, rclass: int = CLASS_IN, ttl: int = 0) -> "ResourceRecord":
+        raw = text.encode("ascii")
+        if len(raw) > 255:
+            raise DnsError("TXT string too long")
+        return cls(name, TYPE_TXT, rclass, ttl, bytes([len(raw)]) + raw)
+
+    def txt_strings(self) -> list[str]:
+        if self.rtype != TYPE_TXT:
+            raise DnsError("not a TXT record")
+        strings = []
+        offset = 0
+        while offset < len(self.rdata):
+            length = self.rdata[offset]
+            offset += 1
+            if offset + length > len(self.rdata):
+                raise DnsError("truncated TXT string")
+            strings.append(self.rdata[offset : offset + length].decode("ascii"))
+            offset += length
+        return strings
+
+    @classmethod
+    def a(cls, name: str, address: int, ttl: int = 60) -> "ResourceRecord":
+        return cls(name, TYPE_A, CLASS_IN, ttl, struct.pack("!I", address))
+
+    def a_address(self) -> int:
+        if self.rtype != TYPE_A or len(self.rdata) != 4:
+            raise DnsError("not an A record")
+        return struct.unpack("!I", self.rdata)[0]
+
+
+@dataclass
+class DnsMessage:
+    """A DNS message with the fields the simulators use."""
+
+    msg_id: int = 0
+    is_response: bool = False
+    rcode: int = RCODE_NOERROR
+    recursion_desired: bool = True
+    questions: list[Question] = field(default_factory=list)
+    answers: list[ResourceRecord] = field(default_factory=list)
+    additionals: list[ResourceRecord] = field(default_factory=list)
+
+    def encode(self, compress: bool = False) -> bytes:
+        """Wire bytes; ``compress=True`` applies RFC 1035 name compression."""
+        flags = 0
+        if self.is_response:
+            flags |= 0x8000
+        if self.recursion_desired:
+            flags |= 0x0100
+        flags |= self.rcode & 0xF
+        header = struct.pack(
+            "!HHHHHH",
+            self.msg_id,
+            flags,
+            len(self.questions),
+            len(self.answers),
+            0,
+            len(self.additionals),
+        )
+        if not compress:
+            body = b"".join(q.encode() for q in self.questions)
+            body += b"".join(r.encode() for r in self.answers)
+            body += b"".join(r.encode() for r in self.additionals)
+            return header + body
+
+        compressor = NameCompressor()
+        out = bytearray(header)
+        for question in self.questions:
+            out += compressor.encode(question.name, len(out))
+            out += struct.pack("!HH", question.qtype, question.qclass)
+        for record in [*self.answers, *self.additionals]:
+            out += compressor.encode(record.name, len(out))
+            out += struct.pack(
+                "!HHIH", record.rtype, record.rclass, record.ttl, len(record.rdata)
+            )
+            out += record.rdata
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DnsMessage":
+        if len(data) < 12:
+            raise DnsError("message shorter than header")
+        msg_id, flags, qd, an, ns, ar = struct.unpack("!HHHHHH", data[:12])
+        message = cls(
+            msg_id=msg_id,
+            is_response=bool(flags & 0x8000),
+            rcode=flags & 0xF,
+            recursion_desired=bool(flags & 0x0100),
+        )
+        offset = 12
+        for _ in range(qd):
+            name, offset = decode_name(data, offset)
+            if offset + 4 > len(data):
+                raise DnsError("truncated question")
+            qtype, qclass = struct.unpack("!HH", data[offset : offset + 4])
+            offset += 4
+            message.questions.append(Question(name, qtype, qclass))
+
+        def read_records(count: int, offset: int) -> tuple[list[ResourceRecord], int]:
+            records = []
+            for _ in range(count):
+                name, offset = decode_name(data, offset)
+                if offset + 10 > len(data):
+                    raise DnsError("truncated record header")
+                rtype, rclass, ttl, rdlength = struct.unpack(
+                    "!HHIH", data[offset : offset + 10]
+                )
+                offset += 10
+                if offset + rdlength > len(data):
+                    raise DnsError("truncated rdata")
+                rdata = data[offset : offset + rdlength]
+                offset += rdlength
+                records.append(ResourceRecord(name, rtype, rclass, ttl, rdata))
+            return records, offset
+
+        message.answers, offset = read_records(an, offset)
+        _authority, offset = read_records(ns, offset)
+        message.additionals, offset = read_records(ar, offset)
+        return message
+
+    def first_txt(self) -> Optional[str]:
+        """First TXT string in the answer section, if any."""
+        for record in self.answers:
+            if record.rtype == TYPE_TXT:
+                strings = record.txt_strings()
+                if strings:
+                    return strings[0]
+        return None

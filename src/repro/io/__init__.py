@@ -1,0 +1,48 @@
+"""Dataset I/O: series serialization and the Table 2 catalog."""
+
+from .atlasjson import (
+    AtlasDnsResult,
+    AtlasPingResult,
+    dns_results_to_series,
+    read_results,
+    write_results,
+)
+from .bundle import Bundle, BundleError, read_bundle, write_bundle
+from .catalog import CATALOG, DatasetInfo, dataset
+from .plotdata import (
+    export_report,
+    write_heatmap_csv,
+    write_latency_csv,
+    write_sankey_csv,
+    write_stackplot_csv,
+)
+from .formats import (
+    read_series_csv,
+    read_series_jsonl,
+    write_series_csv,
+    write_series_jsonl,
+)
+
+__all__ = [
+    "AtlasDnsResult",
+    "AtlasPingResult",
+    "Bundle",
+    "dns_results_to_series",
+    "read_results",
+    "write_results",
+    "BundleError",
+    "CATALOG",
+    "read_bundle",
+    "write_bundle",
+    "DatasetInfo",
+    "dataset",
+    "export_report",
+    "read_series_csv",
+    "write_heatmap_csv",
+    "write_latency_csv",
+    "write_sankey_csv",
+    "write_stackplot_csv",
+    "read_series_jsonl",
+    "write_series_csv",
+    "write_series_jsonl",
+]

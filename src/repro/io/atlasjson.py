@@ -1,0 +1,188 @@
+"""RIPE Atlas result-format I/O.
+
+Atlas archives measurement results as JSON objects with a stable,
+documented shape; the paper's B-Root/Atlas pipeline consumes a decade
+of them. This module writes and reads the subset Fenrir needs — DNS
+(TXT/NSID server identification) and ping (RTT) results — and distills
+a stream of DNS results into a routing-vector series using the same
+identifier mapping as the live Atlas simulator.
+
+The field names follow the real API (``prb_id``, ``msm_id``,
+``timestamp``, ``result.abuf``-free simplified answers), so tooling
+written against these files transfers to real archives with minimal
+changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Iterable, Iterator, Optional, TextIO
+
+from ..core.series import VectorSeries
+from ..core.vector import StateCatalog
+from ..dns.chaos import IdentifierMap
+
+__all__ = [
+    "AtlasDnsResult",
+    "AtlasPingResult",
+    "write_results",
+    "read_results",
+    "dns_results_to_series",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AtlasDnsResult:
+    """One DNS identification result from one probe."""
+
+    prb_id: int
+    msm_id: int
+    timestamp: int  # epoch seconds
+    identifier: Optional[str]  # None = timeout / no answer
+    rt_ms: Optional[float] = None
+
+    def to_json(self) -> dict:
+        record: dict = {
+            "type": "dns",
+            "prb_id": self.prb_id,
+            "msm_id": self.msm_id,
+            "timestamp": self.timestamp,
+        }
+        if self.identifier is None:
+            record["error"] = {"timeout": 5000}
+        else:
+            result: dict = {
+                "answers": [{"TYPE": "TXT", "RDATA": [self.identifier]}],
+            }
+            if self.rt_ms is not None:
+                result["rt"] = self.rt_ms
+            record["result"] = result
+        return record
+
+    @classmethod
+    def from_json(cls, record: dict) -> "AtlasDnsResult":
+        if record.get("type") != "dns":
+            raise ValueError(f"not a dns result: {record.get('type')!r}")
+        identifier: Optional[str] = None
+        rt: Optional[float] = None
+        result = record.get("result")
+        if result is not None:
+            rt = float(result["rt"]) if "rt" in result else None
+            answers = result.get("answers", [])
+            if answers and answers[0].get("RDATA"):
+                identifier = str(answers[0]["RDATA"][0])
+        return cls(
+            prb_id=int(record["prb_id"]),
+            msm_id=int(record["msm_id"]),
+            timestamp=int(record["timestamp"]),
+            identifier=identifier,
+            rt_ms=rt,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AtlasPingResult:
+    """One ping result: min/avg/max RTT from one probe."""
+
+    prb_id: int
+    msm_id: int
+    timestamp: int
+    rtts_ms: tuple[float, ...]  # per-packet; empty = all lost
+
+    def to_json(self) -> dict:
+        return {
+            "type": "ping",
+            "prb_id": self.prb_id,
+            "msm_id": self.msm_id,
+            "timestamp": self.timestamp,
+            "sent": max(len(self.rtts_ms), 3),
+            "rcvd": len(self.rtts_ms),
+            "result": [
+                {"rtt": rtt} for rtt in self.rtts_ms
+            ] + [{"x": "*"} for _ in range(max(0, 3 - len(self.rtts_ms)))],
+            "min": min(self.rtts_ms) if self.rtts_ms else -1,
+            "avg": (sum(self.rtts_ms) / len(self.rtts_ms)) if self.rtts_ms else -1,
+            "max": max(self.rtts_ms) if self.rtts_ms else -1,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict) -> "AtlasPingResult":
+        if record.get("type") != "ping":
+            raise ValueError(f"not a ping result: {record.get('type')!r}")
+        rtts = tuple(
+            float(item["rtt"])
+            for item in record.get("result", [])
+            if isinstance(item, dict) and "rtt" in item
+        )
+        return cls(
+            prb_id=int(record["prb_id"]),
+            msm_id=int(record["msm_id"]),
+            timestamp=int(record["timestamp"]),
+            rtts_ms=rtts,
+        )
+
+
+def write_results(
+    results: Iterable[AtlasDnsResult | AtlasPingResult], stream: TextIO
+) -> int:
+    """Write results as JSONL (the bulk-download format)."""
+    count = 0
+    for result in results:
+        stream.write(json.dumps(result.to_json(), separators=(",", ":")) + "\n")
+        count += 1
+    return count
+
+
+def read_results(stream: TextIO) -> Iterator[AtlasDnsResult | AtlasPingResult]:
+    """Stream results back, dispatching on the ``type`` field."""
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "dns":
+            yield AtlasDnsResult.from_json(record)
+        elif kind == "ping":
+            yield AtlasPingResult.from_json(record)
+        else:
+            raise ValueError(f"unknown result type {kind!r}")
+
+
+def dns_results_to_series(
+    results: Iterable[AtlasDnsResult],
+    identifier_map: IdentifierMap,
+    round_seconds: int = 240,
+) -> VectorSeries:
+    """Distill archived DNS results into a routing-vector series.
+
+    Results are bucketed into ``round_seconds`` rounds (Atlas's 4-minute
+    cadence by default); per round, each probe's identifier maps to a
+    site (unmappable → ``other``, timeout → ``err``), exactly as the
+    paper's §2.3.1 pipeline does on the real archive.
+    """
+    buckets: dict[int, dict[int, Optional[str]]] = {}
+    probes: set[int] = set()
+    for result in results:
+        bucket = result.timestamp // round_seconds
+        buckets.setdefault(bucket, {})[result.prb_id] = result.identifier
+        probes.add(result.prb_id)
+
+    networks = [f"vp{prb_id}" for prb_id in sorted(probes)]
+    series = VectorSeries(networks, StateCatalog())
+    for bucket in sorted(buckets):
+        assignment: dict[str, str] = {}
+        for prb_id, identifier in buckets[bucket].items():
+            if identifier is None:
+                state = "err"
+            else:
+                mapped = identifier_map.site_of(identifier)
+                state = mapped if mapped is not None else "other"
+            assignment[f"vp{prb_id}"] = state
+        when = datetime.fromtimestamp(bucket * round_seconds, tz=timezone.utc).replace(
+            tzinfo=None
+        )
+        series.append_mapping(assignment, when)
+    return series

@@ -1,0 +1,98 @@
+"""The dataset catalog: Table 2 of the paper, as data.
+
+Each entry records the case study, the service measured, what a
+catchment means there, the network universe, and the collection window
+— and names the scenario generator in :mod:`repro.datasets` that
+produces this repository's synthetic equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+__all__ = ["DatasetInfo", "CATALOG", "dataset"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetInfo:
+    name: str
+    case_study: str
+    service: str
+    catchment: str
+    network_universe: str
+    start: date
+    duration_days: int
+    generator: str  # module path of the scenario generator
+
+
+CATALOG: tuple[DatasetInfo, ...] = (
+    DatasetInfo(
+        name="B-Root/Verfploeter",
+        case_study="anycast",
+        service="DNS or anycasted services",
+        catchment="anycast sites",
+        network_universe="5M IPv4 /24 blocks",
+        start=date(2019, 9, 1),
+        duration_days=5 * 365,
+        generator="repro.datasets.broot",
+    ),
+    DatasetInfo(
+        name="B-Root/Atlas",
+        case_study="anycast",
+        service="DNS or anycasted services",
+        catchment="anycast sites",
+        network_universe="13k RIPE Atlas VPs",
+        start=date(2019, 9, 1),
+        duration_days=5 * 365,
+        generator="repro.datasets.groundtruth",
+    ),
+    DatasetInfo(
+        name="USC/traceroute",
+        case_study="multi-homed enterprise",
+        service="an enterprise",
+        catchment="upstream providers",
+        network_universe="1.6M IPv4 /24 blocks",
+        start=date(2024, 8, 1),
+        duration_days=8 * 30,
+        generator="repro.datasets.usc",
+    ),
+    DatasetInfo(
+        name="Google/EDNS-CS",
+        case_study="top websites",
+        service="a hypergiant website",
+        catchment="website instances",
+        network_universe="global networks",
+        start=date(2024, 2, 17),
+        duration_days=60,
+        generator="repro.datasets.google",
+    ),
+    DatasetInfo(
+        name="Wiki/EDNS-CS",
+        case_study="top websites",
+        service="a non-profit website",
+        catchment="website instances",
+        network_universe="global networks",
+        start=date(2025, 3, 15),
+        duration_days=45,
+        generator="repro.datasets.wikipedia",
+    ),
+    DatasetInfo(
+        name="G-Root/Atlas",
+        case_study="anycast",
+        service="DNS root service",
+        catchment="anycast sites",
+        network_universe="~9k RIPE Atlas VPs",
+        start=date(2020, 3, 1),
+        duration_days=10,
+        generator="repro.datasets.groot",
+    ),
+)
+
+
+def dataset(name: str) -> DatasetInfo:
+    """Catalog lookup by dataset name."""
+    for info in CATALOG:
+        if info.name == name:
+            return info
+    raise KeyError(f"unknown dataset {name!r}; known: {[d.name for d in CATALOG]}")

@@ -1,0 +1,109 @@
+"""Serialization of routing vectors and series.
+
+Two formats:
+
+* **JSONL** — one observation per line: timestamp plus the
+  network→state assignment (sparse: unknown networks omitted). The
+  format round-trips a :class:`~repro.core.series.VectorSeries`
+  losslessly and diffs cleanly in version control.
+* **CSV** — a dense matrix (rows = observations, columns = networks),
+  convenient for spreadsheets and external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from datetime import datetime
+from typing import TextIO
+
+from ..core.series import VectorSeries
+from ..core.vector import UNKNOWN, StateCatalog
+
+__all__ = ["write_series_jsonl", "read_series_jsonl", "write_series_csv", "read_series_csv"]
+
+_TIME_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+
+def write_series_jsonl(series: VectorSeries, stream: TextIO) -> int:
+    """Write one JSON object per observation; returns lines written.
+
+    A header line carries the network universe so sparse rows can omit
+    unknown networks without losing them.
+    """
+    header = {"type": "header", "networks": list(series.networks)}
+    stream.write(json.dumps(header, separators=(",", ":")) + "\n")
+    count = 0
+    for vector in series:
+        assignment = {
+            network: state
+            for network, state in vector.to_mapping().items()
+            if state != UNKNOWN
+        }
+        row = {
+            "type": "observation",
+            "time": vector.time.strftime(_TIME_FORMAT),  # type: ignore[union-attr]
+            "states": assignment,
+        }
+        stream.write(json.dumps(row, separators=(",", ":")) + "\n")
+        count += 1
+    return count
+
+
+def read_series_jsonl(stream: TextIO) -> VectorSeries:
+    """Read a series written by :func:`write_series_jsonl`."""
+    series: VectorSeries | None = None
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("type") == "header":
+            series = VectorSeries(obj["networks"], StateCatalog())
+        elif obj.get("type") == "observation":
+            if series is None:
+                raise ValueError("observation before header line")
+            time = datetime.strptime(obj["time"], _TIME_FORMAT)
+            series.append_mapping(obj["states"], time)
+        else:
+            raise ValueError(f"unknown line type: {obj.get('type')!r}")
+    if series is None:
+        raise ValueError("empty stream: no header line")
+    return series
+
+
+def write_series_csv(series: VectorSeries, stream: TextIO) -> int:
+    """Dense CSV: header of networks, one row per observation."""
+    writer = csv.writer(stream)
+    writer.writerow(["time", *series.networks])
+    count = 0
+    for vector in series:
+        mapping = vector.to_mapping()
+        writer.writerow(
+            [
+                vector.time.strftime(_TIME_FORMAT),  # type: ignore[union-attr]
+                *(mapping[network] for network in series.networks),
+            ]
+        )
+        count += 1
+    return count
+
+
+def read_series_csv(stream: TextIO) -> VectorSeries:
+    """Read a series written by :func:`write_series_csv`."""
+    reader = csv.reader(stream)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV") from None
+    if not header or header[0] != "time":
+        raise ValueError("CSV header must start with 'time'")
+    networks = header[1:]
+    series = VectorSeries(networks, StateCatalog())
+    for row in reader:
+        if not row:
+            continue
+        time = datetime.strptime(row[0], _TIME_FORMAT)
+        assignment = dict(zip(networks, row[1:]))
+        series.append_mapping(assignment, time)
+    return series

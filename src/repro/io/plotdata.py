@@ -1,0 +1,111 @@
+"""Plot-data exporters: CSV series behind each paper figure.
+
+The library renders text visualizations (``repro.core.viz``); for real
+figures, analysts want the underlying data in a plotting tool. These
+exporters write the exact series each figure type needs:
+
+* heatmap matrix (Figure 2b/3b/5/6b) — a dense CSV of Φ values with
+  timestamps on both axes;
+* stack plot (Figure 1/2a/3a/6a) — per-state counts over time;
+* latency timeseries (Figure 4) — per-catchment percentile over time;
+* Sankey links (Figures 7/8) — ``level,source,target,value`` rows.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Mapping, Sequence, TextIO
+
+import numpy as np
+
+from ..core.pipeline import FenrirReport
+
+__all__ = [
+    "write_heatmap_csv",
+    "write_stackplot_csv",
+    "write_latency_csv",
+    "write_sankey_csv",
+    "export_report",
+]
+
+_TIME_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+
+def write_heatmap_csv(report: FenrirReport, stream: TextIO) -> int:
+    """Dense Φ matrix with time labels; returns rows written."""
+    times = [t.strftime(_TIME_FORMAT) for t in report.cleaned.times]
+    writer = csv.writer(stream)
+    writer.writerow(["time", *times])
+    for label, row in zip(times, report.similarity):
+        writer.writerow([label, *(f"{value:.6f}" for value in row)])
+    return len(times)
+
+
+def write_stackplot_csv(report: FenrirReport, stream: TextIO) -> int:
+    """Per-state (weighted) totals over time."""
+    aggregates = report.cleaned.aggregate_over_time(report.weights)
+    states = sorted(aggregates)
+    writer = csv.writer(stream)
+    writer.writerow(["time", *states])
+    count = 0
+    for index, when in enumerate(report.cleaned.times):
+        writer.writerow(
+            [
+                when.strftime(_TIME_FORMAT),
+                *(f"{aggregates[state][index]:.3f}" for state in states),
+            ]
+        )
+        count += 1
+    return count
+
+
+def write_latency_csv(
+    latency: Mapping[str, np.ndarray],
+    times: Sequence,
+    stream: TextIO,
+) -> int:
+    """Per-catchment latency series (as from ``latency_timeseries``)."""
+    sites = sorted(latency)
+    writer = csv.writer(stream)
+    writer.writerow(["time", *sites])
+    count = 0
+    for index, when in enumerate(times):
+        row = [when.strftime(_TIME_FORMAT)]
+        for site in sites:
+            value = latency[site][index]
+            row.append("" if np.isnan(value) else f"{value:.3f}")
+        writer.writerow(row)
+        count += 1
+    return count
+
+
+def write_sankey_csv(
+    flows: Sequence[tuple[int, str, str, float]], stream: TextIO
+) -> int:
+    """Sankey links as ``level,source,target,value`` rows."""
+    writer = csv.writer(stream)
+    writer.writerow(["level", "source", "target", "value"])
+    for level, source, target, value in flows:
+        writer.writerow([level, source, target, f"{value:.3f}"])
+    return len(flows)
+
+
+def export_report(report: FenrirReport, directory) -> dict[str, str]:
+    """Write a report's heatmap + stackplot CSVs into ``directory``.
+
+    Returns ``{artifact: path}`` for the files written.
+    """
+    from pathlib import Path
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = {}
+    heatmap_path = directory / "heatmap.csv"
+    with heatmap_path.open("w", newline="") as stream:
+        write_heatmap_csv(report, stream)
+    written["heatmap"] = str(heatmap_path)
+    stack_path = directory / "stackplot.csv"
+    with stack_path.open("w", newline="") as stream:
+        write_stackplot_csv(report, stream)
+    written["stackplot"] = str(stack_path)
+    return written

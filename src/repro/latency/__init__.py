@@ -1,0 +1,8 @@
+"""Latency substrate: geodesic RTT model, Trinocular, Atlas RTT streams."""
+
+from .atlasrtt import AtlasRttMeasurement
+from .model import RttModel, path_rtt_ms
+from .trinocular import PROBE_INTERVAL, TrinocularProber
+
+__all__ = ["AtlasRttMeasurement", "PROBE_INTERVAL", "RttModel",
+    "path_rtt_ms", "TrinocularProber"]

@@ -1,0 +1,48 @@
+"""Atlas built-in RTT measurements toward an anycast service (§2.8.1).
+
+RIPE Atlas VPs continuously measure RTT to the root servers; each
+response carries the end-host-to-anycast-site RTT. The simulator
+samples, per VP, the RTT to whichever site the VP's AS currently
+routes to — so a catchment change moves a VP's latency, which is
+exactly the signal Figure 4 visualizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Mapping, Sequence
+
+from ..anycast.atlas import AtlasVP
+from ..anycast.service import UNREACHABLE, AnycastService
+from ..net.geo import GeoPoint
+from .model import RttModel
+
+__all__ = ["AtlasRttMeasurement"]
+
+
+@dataclass
+class AtlasRttMeasurement:
+    """Per-VP RTT samples to the current anycast site."""
+
+    service: AnycastService
+    vps: Sequence[AtlasVP]
+    vp_locations: Mapping[int, GeoPoint]  # keyed by hosting ASN
+    rng: random.Random
+    model: RttModel = field(default_factory=RttModel)
+
+    def measure(self, when: datetime) -> dict[str, float]:
+        """One round: ``{vp network id: rtt_ms}`` for reachable VPs."""
+        catchments = self.service.catchment_map(when)
+        rtts: dict[str, float] = {}
+        for vp in self.vps:
+            site_label = catchments.get(vp.asn, UNREACHABLE)
+            if site_label == UNREACHABLE or site_label not in self.service.sites:
+                continue
+            client = self.vp_locations.get(vp.asn)
+            if client is None:
+                continue
+            site = self.service.location_of(site_label)
+            rtts[vp.network_id] = self.model.sample(vp.network_id, client, site)
+        return rtts

@@ -1,0 +1,83 @@
+"""Geodesic RTT model with deterministic per-path dispersion.
+
+Latency between a client network and a service site is dominated by
+geography: great-circle propagation at fiber speed, inflated for real
+path stretch, plus a per-path access/queueing component. The per-path
+component is drawn deterministically from the (network, site) pair so
+repeated measurements are stable, with optional per-sample jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..net.geo import GeoPoint
+from ..webmap.frontends import stable_fraction
+
+__all__ = ["RttModel", "path_rtt_ms"]
+
+
+def path_rtt_ms(topology, as_path, per_hop_ms: float = 1.0) -> float:
+    """Round-trip propagation along an AS path's geography.
+
+    Unlike the endpoint model, this accumulates the great-circle RTT of
+    every inter-AS segment, so a *detour* (the Baltic cable-cut effect:
+    same endpoints, longer path) shows up as added latency.
+    """
+    total = 0.0
+    previous: GeoPoint | None = None
+    for asn in as_path:
+        node = topology.nodes.get(asn)
+        location = node.location if node is not None else None
+        if location is None:
+            continue
+        if previous is not None:
+            total += previous.rtt_ms(location)
+        previous = location
+    return total + per_hop_ms * max(len(as_path) - 1, 0)
+
+
+@dataclass
+class RttModel:
+    """Samples RTTs between located networks and located sites."""
+
+    access_ms_min: float = 2.0
+    access_ms_max: float = 30.0
+    jitter_ms: float = 1.5
+    rng: Optional[random.Random] = None
+
+    def base_rtt(self, network_id: str, client: GeoPoint, site: GeoPoint) -> float:
+        """The stable component for one network-site path."""
+        propagation = client.rtt_ms(site)
+        spread = self.access_ms_max - self.access_ms_min
+        access = self.access_ms_min + spread * stable_fraction(network_id, site.code)
+        return propagation + access
+
+    def sample(self, network_id: str, client: GeoPoint, site: GeoPoint) -> float:
+        """One measured RTT: base plus (optional) symmetric jitter."""
+        rtt = self.base_rtt(network_id, client, site)
+        if self.rng is not None and self.jitter_ms > 0:
+            rtt += self.rng.uniform(0.0, self.jitter_ms)
+        return rtt
+
+    def table(
+        self,
+        assignment: Mapping[str, str],
+        client_locations: Mapping[str, GeoPoint],
+        site_locations: Mapping[str, GeoPoint],
+    ) -> dict[str, float]:
+        """RTT per network under a catchment ``assignment``.
+
+        Networks whose state is not a located site (err/other/unknown)
+        are skipped — they have no service RTT.
+        """
+        rtts: dict[str, float] = {}
+        for network, site_label in assignment.items():
+            client = client_locations.get(network)
+            site = site_locations.get(site_label)
+            if client is None or site is None:
+                continue
+            rtts[network] = self.sample(network, client, site)
+        return rtts

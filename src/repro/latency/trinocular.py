@@ -1,0 +1,81 @@
+"""A Trinocular-style block prober (§2.8.2).
+
+Trinocular probes 1–16 targets per /24 block every 11 minutes from a
+fixed pseudorandom target list, primarily for outage detection; the
+paper reuses its echo-reply RTTs as the enterprise's latency source.
+The simulator reproduces the schedule and the per-block availability
+model, returning per-round RTT tables keyed by block.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Mapping, Optional
+
+from ..net.addr import IPv4Prefix
+from ..net.geo import GeoPoint
+from .model import RttModel
+
+__all__ = ["TrinocularProber", "PROBE_INTERVAL"]
+
+PROBE_INTERVAL = timedelta(minutes=11)
+
+
+@dataclass
+class TrinocularProber:
+    """Probes blocks from one site and records echo-reply RTTs.
+
+    ``availability`` maps a block to its probability of having a
+    responsive target this round (defaults to 0.8 for all blocks).
+    """
+
+    site_location: GeoPoint
+    block_locations: Mapping[str, GeoPoint]
+    rng: random.Random
+    model: RttModel = field(default_factory=RttModel)
+    targets_per_block: int = 4
+    availability: Optional[Mapping[str, float]] = None
+    probes_sent: int = 0
+
+    def _available(self, block: str) -> float:
+        if self.availability is None:
+            return 0.8
+        return self.availability.get(block, 0.8)
+
+    def round(self, when: datetime) -> dict[str, float]:
+        """One 11-minute round: ``{block: rtt_ms}`` for answering blocks.
+
+        Per the real system, several targets per block are probed; the
+        round's RTT is the first (fastest-answering) response.
+        """
+        del when  # schedule bookkeeping is the caller's concern
+        results: dict[str, float] = {}
+        for block, location in self.block_locations.items():
+            answered = False
+            per_target_availability = self._available(block)
+            for _target in range(self.targets_per_block):
+                self.probes_sent += 1
+                if self.rng.random() < per_target_availability:
+                    answered = True
+                    break
+            if answered:
+                results[block] = self.model.sample(block, location, self.site_location)
+        return results
+
+    def rounds_between(
+        self, start: datetime, end: datetime
+    ) -> list[tuple[datetime, dict[str, float]]]:
+        """All rounds in ``[start, end)`` at the 11-minute cadence."""
+        rounds = []
+        when = start
+        while when < end:
+            rounds.append((when, self.round(when)))
+            when += PROBE_INTERVAL
+        return rounds
+
+
+def parse_block(block: str) -> IPv4Prefix:
+    """Convenience: block keys are /24 prefix strings."""
+    return IPv4Prefix.from_string(block)

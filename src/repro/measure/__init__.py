@@ -1,0 +1,13 @@
+"""Measurement campaign machinery: loss models, retries, scheduling."""
+
+from .campaign import Campaign, ProbeStats, round_times
+from .loss import GilbertElliott, IidLoss, LossModel
+
+__all__ = [
+    "Campaign",
+    "GilbertElliott",
+    "IidLoss",
+    "LossModel",
+    "ProbeStats",
+    "round_times",
+]

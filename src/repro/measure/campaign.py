@@ -1,0 +1,85 @@
+"""Measurement campaign machinery: scheduling, retries, bookkeeping.
+
+The paper's campaigns have operational parameters that matter for
+fidelity: USC traceroutes run at 550 packets/second and take ~8 hours
+per full sweep; Verfploeter pings millions of blocks; Atlas rounds
+repeat every 4 minutes. :class:`Campaign` models a sweep over targets
+with per-probe retries and loss, tracking the probe budget and the
+sweep duration the probing rate implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Callable, Generic, Optional, Sequence, TypeVar
+
+from .loss import LossModel
+
+__all__ = ["ProbeStats", "Campaign", "round_times"]
+
+Target = TypeVar("Target")
+Result = TypeVar("Result")
+
+
+@dataclass
+class ProbeStats:
+    """Counters of a finished sweep."""
+
+    targets: int = 0
+    probes_sent: int = 0
+    answered: int = 0
+    lost: int = 0
+
+    @property
+    def response_rate(self) -> float:
+        return self.answered / self.targets if self.targets else 0.0
+
+    def duration(self, probes_per_second: float) -> timedelta:
+        """Wall-clock length of the sweep at the given probing rate."""
+        if probes_per_second <= 0:
+            raise ValueError("probing rate must be positive")
+        return timedelta(seconds=self.probes_sent / probes_per_second)
+
+
+@dataclass
+class Campaign(Generic[Target, Result]):
+    """One measurement sweep: probe every target, retrying on loss.
+
+    ``probe`` performs a single attempt and returns a result or None
+    (no answer for reasons other than loss, e.g. unresponsive target).
+    The loss model drops attempts before they reach the target.
+    """
+
+    probe: Callable[[Target], Optional[Result]]
+    loss: Optional[LossModel] = None
+    retries: int = 1
+    stats: ProbeStats = field(default_factory=ProbeStats)
+
+    def run(self, targets: Sequence[Target]) -> dict[Target, Result]:
+        """Probe all targets; absent keys mean no response after retries."""
+        results: dict[Target, Result] = {}
+        self.stats = ProbeStats(targets=len(targets))
+        for target in targets:
+            for _attempt in range(1 + self.retries):
+                self.stats.probes_sent += 1
+                if self.loss is not None and self.loss.lost():
+                    self.stats.lost += 1
+                    continue
+                answer = self.probe(target)
+                if answer is not None:
+                    results[target] = answer
+                    self.stats.answered += 1
+                break  # an attempt that reached the target is final
+        return results
+
+
+def round_times(
+    start: datetime, interval: timedelta, count: int
+) -> list[datetime]:
+    """Timestamps of periodic measurement rounds (Atlas: every 4 minutes)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if interval <= timedelta(0):
+        raise ValueError("interval must be positive")
+    return [start + interval * index for index in range(count)]

@@ -1,0 +1,81 @@
+"""Packet-loss models for measurement simulation.
+
+One-shot active measurements miss data because of random loss and
+bursty outages (§2.4 motivates interpolation with exactly this). Two
+models are provided:
+
+* :class:`IidLoss` — independent per-probe loss;
+* :class:`GilbertElliott` — the classic two-state burst-loss chain,
+  which produces the *consecutive* gaps the interpolation stage must
+  repair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["LossModel", "IidLoss", "GilbertElliott"]
+
+
+class LossModel:
+    """Interface: ``lost()`` returns True when the next probe is lost."""
+
+    def lost(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class IidLoss(LossModel):
+    """Independent loss with fixed probability."""
+
+    probability: float
+    rng: random.Random
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"loss probability out of range: {self.probability}")
+
+    def lost(self) -> bool:
+        return self.rng.random() < self.probability
+
+
+@dataclass
+class GilbertElliott(LossModel):
+    """Two-state Markov burst loss.
+
+    In the *good* state probes survive with probability ``1 - good_loss``;
+    in the *bad* state they survive with probability ``1 - bad_loss``.
+    ``p_gb`` and ``p_bg`` are the per-probe transition probabilities.
+    """
+
+    p_gb: float  # good -> bad
+    p_bg: float  # bad -> good
+    rng: random.Random
+    good_loss: float = 0.0
+    bad_loss: float = 1.0
+    _bad: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("p_gb", "p_bg", "good_loss", "bad_loss"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of range: {value}")
+
+    def lost(self) -> bool:
+        if self._bad:
+            if self.rng.random() < self.p_bg:
+                self._bad = False
+        else:
+            if self.rng.random() < self.p_gb:
+                self._bad = True
+        loss_probability = self.bad_loss if self._bad else self.good_loss
+        return self.rng.random() < loss_probability
+
+    @property
+    def expected_loss(self) -> float:
+        """Stationary loss rate of the chain."""
+        if self.p_gb + self.p_bg == 0:
+            return self.good_loss
+        fraction_bad = self.p_gb / (self.p_gb + self.p_bg)
+        return fraction_bad * self.bad_loss + (1 - fraction_bad) * self.good_loss

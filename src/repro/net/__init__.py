@@ -1,0 +1,22 @@
+"""IP addressing, prefix lookup, hitlists and synthetic geography."""
+
+from .addr import AddressError, IPv4Address, IPv4Prefix, parse_address, parse_prefix
+from .geo import CITIES, GeoPoint, city, haversine_km, propagation_rtt_ms
+from .hitlist import Hitlist, HitlistEntry
+from .trie import PrefixTrie
+
+__all__ = [
+    "AddressError",
+    "IPv4Address",
+    "IPv4Prefix",
+    "parse_address",
+    "parse_prefix",
+    "CITIES",
+    "GeoPoint",
+    "city",
+    "haversine_km",
+    "propagation_rtt_ms",
+    "Hitlist",
+    "HitlistEntry",
+    "PrefixTrie",
+]

@@ -1,0 +1,125 @@
+"""Synthetic geography for latency and placement modelling.
+
+Anycast catchment latency in the paper (Figure 4) is driven by which
+geographic site each network lands on. We model locations as lat/lon
+points, provide a curated catalog of real city locations (airport-coded,
+matching the paper's site names such as LAX, AMS, SIN, ARI, SCL), and a
+propagation-delay model: great-circle distance at ~2/3 the speed of light
+plus a per-path overhead factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GeoPoint", "CITIES", "haversine_km", "propagation_rtt_ms", "city"]
+
+_EARTH_RADIUS_KM = 6371.0
+# Effective signal speed in fiber, km per ms (2/3 of c).
+_FIBER_KM_PER_MS = 199.86
+# Real paths are not great circles; typical inflation factor.
+_PATH_INFLATION = 1.6
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A location on Earth with an identifying code."""
+
+    code: str
+    lat: float
+    lon: float
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+    def rtt_ms(self, other: "GeoPoint") -> float:
+        return propagation_rtt_ms(self.distance_km(other))
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two lat/lon points in km."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    )
+    return 2 * _EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def propagation_rtt_ms(distance_km: float, inflation: float = _PATH_INFLATION) -> float:
+    """Round-trip propagation delay for a path of ``distance_km``."""
+    one_way_ms = distance_km * inflation / _FIBER_KM_PER_MS
+    return 2.0 * one_way_ms
+
+
+# Airport-coded city catalog. Codes match sites named in the paper plus a
+# spread of locations for synthetic topologies.
+CITIES: dict[str, GeoPoint] = {
+    point.code: point
+    for point in [
+        # B-Root / G-Root sites named in the paper.
+        GeoPoint("LAX", 33.94, -118.41),  # Los Angeles
+        GeoPoint("MIA", 25.79, -80.29),  # Miami
+        GeoPoint("ARI", -18.48, -70.31),  # Arica, Chile
+        GeoPoint("SCL", -33.39, -70.79),  # Santiago, Chile
+        GeoPoint("SIN", 1.36, 103.99),  # Singapore
+        GeoPoint("IAD", 38.95, -77.46),  # Washington-Dulles
+        GeoPoint("AMS", 52.31, 4.76),  # Amsterdam
+        GeoPoint("STR", 48.69, 9.22),  # Stuttgart
+        GeoPoint("NAP", 40.88, 14.29),  # Naples
+        GeoPoint("CMH", 40.00, -82.89),  # Columbus
+        GeoPoint("SAT", 29.53, -98.47),  # San Antonio
+        GeoPoint("NRT", 35.76, 140.39),  # Tokyo-Narita
+        GeoPoint("HNL", 21.32, -157.92),  # Honolulu
+        # Wikipedia data centers (codes from wikitech).
+        GeoPoint("EQIAD", 38.95, -77.46),  # Ashburn
+        GeoPoint("CODFW", 32.90, -97.04),  # Dallas
+        GeoPoint("ULSFO", 37.62, -122.38),  # San Francisco
+        GeoPoint("EQSIN", 1.36, 103.99),  # Singapore
+        GeoPoint("ESAMS", 52.31, 4.76),  # Amsterdam
+        GeoPoint("DRMRS", 43.44, 5.22),  # Marseille
+        GeoPoint("MAGRU", -23.43, -46.47),  # Sao Paulo
+        # Extra cities for synthetic client placement.
+        GeoPoint("NYC", 40.71, -74.01),
+        GeoPoint("ORD", 41.97, -87.91),
+        GeoPoint("SEA", 47.45, -122.31),
+        GeoPoint("DEN", 39.86, -104.67),
+        GeoPoint("YYZ", 43.68, -79.63),
+        GeoPoint("MEX", 19.44, -99.07),
+        GeoPoint("GRU", -23.43, -46.47),
+        GeoPoint("EZE", -34.82, -58.54),
+        GeoPoint("BOG", 4.70, -74.15),
+        GeoPoint("LHR", 51.47, -0.45),
+        GeoPoint("CDG", 49.01, 2.55),
+        GeoPoint("FRA", 50.04, 8.56),
+        GeoPoint("MAD", 40.47, -3.57),
+        GeoPoint("ARN", 59.65, 17.92),
+        GeoPoint("WAW", 52.17, 20.97),
+        GeoPoint("IST", 41.26, 28.74),
+        GeoPoint("JNB", -26.13, 28.24),
+        GeoPoint("CAI", 30.12, 31.41),
+        GeoPoint("LOS", 6.58, 3.32),
+        GeoPoint("DXB", 25.25, 55.36),
+        GeoPoint("BOM", 19.09, 72.87),
+        GeoPoint("DEL", 28.57, 77.10),
+        GeoPoint("BKK", 13.69, 100.75),
+        GeoPoint("HKG", 22.31, 113.91),
+        GeoPoint("PVG", 31.14, 121.81),
+        GeoPoint("ICN", 37.46, 126.44),
+        GeoPoint("SYD", -33.95, 151.18),
+        GeoPoint("AKL", -37.01, 174.79),
+    ]
+}
+
+
+def city(code: str) -> GeoPoint:
+    """Look up a city by airport code, raising KeyError with a hint."""
+    try:
+        return CITIES[code.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown city code {code!r}; known: {sorted(CITIES)}"
+        ) from None

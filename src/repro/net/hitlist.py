@@ -1,0 +1,120 @@
+"""IP hitlists: one representative target address per /24 block.
+
+The paper's traceroute and Verfploeter campaigns probe one address in
+each routable /24 (a "hitlist", following Fan et al.). A hitlist entry
+carries a score, mirroring the responsiveness history real hitlists
+track; measurement simulators use the score as the probability that the
+target answers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .addr import IPv4Address, IPv4Prefix
+
+__all__ = ["HitlistEntry", "Hitlist"]
+
+
+@dataclass(frozen=True, slots=True)
+class HitlistEntry:
+    """A probing target for one /24 block."""
+
+    block: IPv4Prefix
+    target: IPv4Address
+    score: float  # responsiveness probability in [0, 1]
+
+    def __post_init__(self) -> None:
+        if self.block.length != 24:
+            raise ValueError(f"hitlist blocks must be /24, got {self.block}")
+        if self.target not in self.block:
+            raise ValueError(f"target {self.target} outside block {self.block}")
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score out of range: {self.score}")
+
+
+@dataclass
+class Hitlist:
+    """An ordered collection of per-/24 probing targets."""
+
+    entries: list[HitlistEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[HitlistEntry]:
+        return iter(self.entries)
+
+    def blocks(self) -> list[IPv4Prefix]:
+        return [entry.block for entry in self.entries]
+
+    @classmethod
+    def from_blocks(
+        cls,
+        blocks: Iterable[IPv4Prefix],
+        rng: random.Random,
+        mean_score: float = 0.55,
+        score_spread: float = 0.35,
+    ) -> "Hitlist":
+        """Build a hitlist choosing one host and a score per block.
+
+        The default mean score of 0.55 mirrors the paper's report that
+        Verfploeter finds roughly half of its 5M target networks
+        unresponsive on any given day.
+        """
+        entries = []
+        for block in blocks:
+            if block.length != 24:
+                raise ValueError(f"hitlist blocks must be /24, got {block}")
+            # Hosts .1-.254; .0 and .255 are network/broadcast.
+            host = rng.randint(1, 254)
+            score = min(1.0, max(0.0, rng.gauss(mean_score, score_spread)))
+            entries.append(
+                HitlistEntry(block, IPv4Address(block.network | host), score)
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_blocks_bimodal(
+        cls,
+        blocks: Iterable[IPv4Prefix],
+        rng: random.Random,
+        alive_fraction: float = 0.55,
+        alive_score: float = 0.97,
+        dead_score: float = 0.02,
+    ) -> "Hitlist":
+        """A bimodal hitlist: blocks are mostly-responsive or mostly-dead.
+
+        This is how real hitlists behave — a block with dynamic
+        addressing or strict filtering stays unresponsive for months,
+        it does not flicker per-day. The bimodal shape is what caps
+        stable Verfploeter Φ at ~0.5-0.6 in the paper: interpolation
+        cannot repair a block that never answers within its reach.
+        """
+        entries = []
+        for block in blocks:
+            if block.length != 24:
+                raise ValueError(f"hitlist blocks must be /24, got {block}")
+            host = rng.randint(1, 254)
+            base = alive_score if rng.random() < alive_fraction else dead_score
+            score = min(1.0, max(0.0, rng.gauss(base, 0.02)))
+            entries.append(
+                HitlistEntry(block, IPv4Address(block.network | host), score)
+            )
+        return cls(entries)
+
+    def refresh_scores(
+        self, rng: random.Random, drift: float = 0.05
+    ) -> "Hitlist":
+        """Quarterly-style refresh: jitter scores, keep targets.
+
+        Mirrors real hitlists being regenerated periodically; returns a
+        new hitlist so campaigns can hold a stable reference.
+        """
+        entries = []
+        for entry in self.entries:
+            score = min(1.0, max(0.0, entry.score + rng.gauss(0.0, drift)))
+            entries.append(HitlistEntry(entry.block, entry.target, score))
+        return Hitlist(entries)

@@ -1,0 +1,156 @@
+"""Binary radix trie with longest-prefix match.
+
+BGP routing tables and hitlist lookups both need "which announced prefix
+covers this address" queries. This trie stores :class:`~repro.net.addr.IPv4Prefix`
+keys with arbitrary values and answers longest-prefix-match in O(32).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, Optional, TypeVar
+
+from .addr import IPv4Address, IPv4Prefix
+
+__all__ = ["PrefixTrie"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+def _bit(value: int, position: int) -> int:
+    """Bit of a 32-bit value, position 0 = most significant."""
+    return (value >> (31 - position)) & 1
+
+
+class PrefixTrie(Generic[V]):
+    """Maps IPv4 prefixes to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: IPv4Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for position in range(prefix.length):
+            bit = _bit(prefix.network, position)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def exact(self, prefix: IPv4Prefix) -> Optional[V]:
+        """Value stored exactly at ``prefix``, or None."""
+        node = self._root
+        for position in range(prefix.length):
+            child = node.children[_bit(prefix.network, position)]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def remove(self, prefix: IPv4Prefix) -> bool:
+        """Remove the entry at ``prefix``. Returns True if it existed."""
+        node = self._root
+        for position in range(prefix.length):
+            child = node.children[_bit(prefix.network, position)]
+            if child is None:
+                return False
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        return True
+
+    def longest_match(
+        self, address: IPv4Address | int
+    ) -> Optional[tuple[IPv4Prefix, V]]:
+        """The most-specific stored prefix covering ``address``, with value."""
+        value = int(address)
+        node = self._root
+        best: Optional[tuple[int, V]] = None
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[arg-type]
+        for position in range(32):
+            child = node.children[_bit(value, position)]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (position + 1, node.value)  # type: ignore[arg-type]
+        if best is None:
+            return None
+        length, stored = best
+        return IPv4Prefix.supernet_of(value, length), stored
+
+    def lookup(self, address: IPv4Address | int) -> Optional[V]:
+        """Value of the longest matching prefix, or None."""
+        match = self.longest_match(address)
+        return match[1] if match else None
+
+    def covering(self, prefix: IPv4Prefix) -> Optional[tuple[IPv4Prefix, V]]:
+        """The most-specific stored prefix that contains all of ``prefix``."""
+        node = self._root
+        best: Optional[tuple[int, V]] = None
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[arg-type]
+        for position in range(prefix.length):
+            child = node.children[_bit(prefix.network, position)]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (position + 1, node.value)  # type: ignore[arg-type]
+        if best is None:
+            return None
+        length, stored = best
+        return IPv4Prefix.supernet_of(prefix.network, length), stored
+
+    def items(self) -> Iterator[tuple[IPv4Prefix, V]]:
+        """All (prefix, value) pairs, in trie (address) order."""
+
+        def walk(node: _Node[V], network: int, length: int) -> Iterator[tuple[IPv4Prefix, V]]:
+            if node.has_value:
+                yield IPv4Prefix(network, length), node.value  # type: ignore[misc]
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    child_net = network | (bit << (31 - length))
+                    yield from walk(child, child_net, length + 1)
+
+        yield from walk(self._root, 0, 0)
+
+    def __contains__(self, prefix: object) -> bool:
+        if not isinstance(prefix, IPv4Prefix):
+            return False
+        return self.exact(prefix) is not None or (
+            # exact() returns None also for stored None values; check flag path
+            self._has_exact(prefix)
+        )
+
+    def _has_exact(self, prefix: IPv4Prefix) -> bool:
+        node = self._root
+        for position in range(prefix.length):
+            child = node.children[_bit(prefix.network, position)]
+            if child is None:
+                return False
+            node = child
+        return node.has_value

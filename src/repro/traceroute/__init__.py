@@ -1,0 +1,16 @@
+"""Traceroute substrate: scamper-like engine, enterprise sweeps, warts I/O."""
+
+from .engine import Hop, TracerouteEngine, TracerouteRecord
+from .enterprise import MultihomedEnterprise
+from .warts import read_records, record_from_json, record_to_json, write_records
+
+__all__ = [
+    "Hop",
+    "MultihomedEnterprise",
+    "TracerouteEngine",
+    "TracerouteRecord",
+    "read_records",
+    "record_from_json",
+    "record_to_json",
+    "write_records",
+]

@@ -1,0 +1,121 @@
+"""A scamper-like traceroute engine over the BGP simulator.
+
+Paths are AS-level: the forward path from the probing enterprise to a
+destination block is the reverse of the destination AS's selected route
+toward the enterprise prefix (symmetric-routing assumption, documented
+in DESIGN.md). Each AS on the path contributes one or more router hops;
+hops can fail to answer (ICMP filtering) or answer from private address
+space — precisely the gaps the paper's spatial interpolation repairs.
+
+Records mirror warts output: per-hop address, responding AS (when the
+address maps to one) and cumulative RTT, truncated at ``max_ttl``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..bgp.topology import ASTopology
+from ..net.addr import IPv4Address
+from ..net.geo import GeoPoint
+
+__all__ = ["Hop", "TracerouteRecord", "TracerouteEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class Hop:
+    """One responding traceroute hop."""
+
+    ttl: int
+    address: IPv4Address
+    asn: Optional[int]  # None when the address is private/unmappable
+    rtt_ms: float
+
+
+@dataclass
+class TracerouteRecord:
+    """One traceroute: destination plus per-TTL hops (None = no answer)."""
+
+    destination: IPv4Address
+    hops: list[Optional[Hop]] = field(default_factory=list)
+    reached: bool = False
+
+    def hop_ases(self) -> list[Optional[int]]:
+        """Per-TTL responding AS (None for silent or private hops)."""
+        return [hop.asn if hop is not None else None for hop in self.hops]
+
+    def as_path(self) -> list[int]:
+        """Deduplicated AS-level path from the responding hops."""
+        path: list[int] = []
+        for hop in self.hops:
+            if hop is not None and hop.asn is not None:
+                if not path or path[-1] != hop.asn:
+                    path.append(hop.asn)
+        return path
+
+
+def _router_address(asn: int, index: int) -> IPv4Address:
+    """A deterministic, globally unique-ish router address for an AS hop."""
+    return IPv4Address((198 << 24) | ((asn & 0xFFFF) << 8) | (index & 0xFF))
+
+
+_PRIVATE_BASE = 10 << 24
+
+
+def _private_address(asn: int, index: int) -> IPv4Address:
+    return IPv4Address(_PRIVATE_BASE | ((asn & 0xFFFF) << 8) | (index & 0xFF))
+
+
+@dataclass
+class TracerouteEngine:
+    """Issues traceroutes given AS-level paths and a response model.
+
+    * ``hop_response_probability`` — chance a router answers at all;
+    * ``private_hop_ases`` — ASes whose routers answer from RFC 1918
+      space (common inside enterprises), yielding unmappable hops;
+    * ``per_as_hops`` — router hops contributed by each AS (>=1).
+    """
+
+    topology: ASTopology
+    rng: random.Random
+    max_ttl: int = 10
+    hop_response_probability: float = 0.92
+    private_hop_ases: frozenset[int] = frozenset()
+    per_as_hops: int = 1
+    base_rtt_per_hop_ms: float = 1.5
+
+    def trace(
+        self,
+        as_path: Sequence[int],
+        destination: IPv4Address,
+    ) -> TracerouteRecord:
+        """Run one traceroute along ``as_path`` (source AS first)."""
+        record = TracerouteRecord(destination)
+        rtt = 0.0
+        previous_location: Optional[GeoPoint] = None
+        ttl = 0
+        for position, asn in enumerate(as_path):
+            location = self.topology.nodes[asn].location if asn in self.topology else None
+            if previous_location is not None and location is not None:
+                rtt += previous_location.rtt_ms(location)
+            previous_location = location or previous_location
+            for sub_hop in range(self.per_as_hops):
+                ttl += 1
+                if ttl > self.max_ttl:
+                    return record
+                rtt += self.base_rtt_per_hop_ms * (0.5 + self.rng.random())
+                if self.rng.random() >= self.hop_response_probability:
+                    record.hops.append(None)  # ICMP filtered / rate limited
+                    continue
+                if asn in self.private_hop_ases:
+                    record.hops.append(
+                        Hop(ttl, _private_address(asn, sub_hop), None, rtt)
+                    )
+                    continue
+                record.hops.append(
+                    Hop(ttl, _router_address(asn, position * 4 + sub_hop), asn, rtt)
+                )
+        record.reached = ttl <= self.max_ttl
+        return record

@@ -1,0 +1,80 @@
+"""A warts-like JSONL record format for traceroutes.
+
+scamper archives traceroutes in warts; its JSON rendering is the format
+analysis pipelines actually consume. We reproduce the relevant subset:
+one JSON object per line with destination, per-hop responses and
+whether the destination was reached. Round-trips losslessly through
+:func:`write_records` / :func:`read_records`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, TextIO
+
+from ..net.addr import IPv4Address
+from .engine import Hop, TracerouteRecord
+
+__all__ = ["record_to_json", "record_from_json", "write_records", "read_records"]
+
+
+def record_to_json(record: TracerouteRecord) -> dict:
+    """The JSON object for one traceroute record."""
+    return {
+        "type": "trace",
+        "dst": str(record.destination),
+        "stop_reason": "COMPLETED" if record.reached else "GAPLIMIT",
+        "hop_count": len(record.hops),
+        "hops": [
+            None
+            if hop is None
+            else {
+                "probe_ttl": hop.ttl,
+                "addr": str(hop.address),
+                "asn": hop.asn,
+                "rtt": round(hop.rtt_ms, 3),
+            }
+            for hop in record.hops
+        ],
+    }
+
+
+def record_from_json(obj: dict) -> TracerouteRecord:
+    """Rebuild a record from its JSON object."""
+    if obj.get("type") != "trace":
+        raise ValueError(f"not a trace object: {obj.get('type')!r}")
+    record = TracerouteRecord(
+        destination=IPv4Address.from_string(obj["dst"]),
+        reached=obj.get("stop_reason") == "COMPLETED",
+    )
+    for hop_obj in obj.get("hops", []):
+        if hop_obj is None:
+            record.hops.append(None)
+        else:
+            record.hops.append(
+                Hop(
+                    ttl=int(hop_obj["probe_ttl"]),
+                    address=IPv4Address.from_string(hop_obj["addr"]),
+                    asn=hop_obj.get("asn"),
+                    rtt_ms=float(hop_obj["rtt"]),
+                )
+            )
+    return record
+
+
+def write_records(records: Iterable[TracerouteRecord], stream: TextIO) -> int:
+    """Write records as JSONL; returns the count written."""
+    count = 0
+    for record in records:
+        stream.write(json.dumps(record_to_json(record), separators=(",", ":")) + "\n")
+        count += 1
+    return count
+
+
+def read_records(stream: TextIO) -> Iterator[TracerouteRecord]:
+    """Stream records back from JSONL, skipping blank lines."""
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        yield record_from_json(json.loads(line))

@@ -1,0 +1,16 @@
+"""SVG chart renderers for the paper's figure types (no dependencies)."""
+
+from .charts import PALETTE, heatmap_svg, latency_svg, sankey_svg, stackplot_svg
+from .timeline import timeline_svg
+from .svg import Element, Svg
+
+__all__ = [
+    "Element",
+    "PALETTE",
+    "Svg",
+    "heatmap_svg",
+    "latency_svg",
+    "sankey_svg",
+    "stackplot_svg",
+    "timeline_svg",
+]

@@ -1,0 +1,300 @@
+"""SVG renderings of the paper's figure types.
+
+Four chart builders mirroring what the paper plots:
+
+* :func:`heatmap_svg` — the all-pairs Φ matrix as a grayscale grid
+  (Figures 2b/3b/5/6b); darker cells mean more similar, as in print;
+* :func:`stackplot_svg` — per-catchment shares over time as stacked
+  areas (Figures 1/2a/3a/6a);
+* :func:`latency_svg` — per-catchment percentile lines (Figure 4);
+* :func:`sankey_svg` — hop-level flow bands (Figures 7/8).
+
+All builders return an :class:`~repro.viz_svg.svg.Svg` whose
+``to_string()`` is a self-contained SVG document.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from .svg import Svg
+
+__all__ = ["heatmap_svg", "stackplot_svg", "latency_svg", "sankey_svg", "PALETTE"]
+
+# A color-blind-safe categorical palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7",
+    "#56B4E9", "#D55E00", "#F0E442", "#999999",
+    "#332288", "#44AA99", "#882255", "#117733",
+)
+
+_MARGIN = 48
+_TITLE_SPACE = 22
+
+
+def _gray(value: float) -> str:
+    """Grayscale fill: Φ=1 → black (most similar), Φ=0 → white."""
+    if np.isnan(value):
+        return "#f4c1c1"  # flag missing comparisons softly
+    level = int(round((1.0 - float(np.clip(value, 0.0, 1.0))) * 255))
+    return f"#{level:02x}{level:02x}{level:02x}"
+
+
+def _time_labels(times: Optional[Sequence[datetime]], count: int) -> list[str]:
+    if times is None:
+        return [str(index) for index in range(count)]
+    return [f"{when:%Y-%m-%d}" for when in times]
+
+
+def heatmap_svg(
+    similarity: np.ndarray,
+    times: Optional[Sequence[datetime]] = None,
+    cell: int = 6,
+    title: str = "pairwise similarity Φ",
+    max_cells: int = 150,
+) -> Svg:
+    """The all-pairs Φ heatmap as an SVG grid with time ticks.
+
+    Matrices wider than ``max_cells`` are block-mean downsampled so a
+    five-year study does not emit tens of thousands of rects.
+    """
+    matrix = np.asarray(similarity, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("similarity must be a square matrix")
+    stride = max(1, -(-matrix.shape[0] // max_cells))
+    if stride > 1:
+        trim = matrix.shape[0] - matrix.shape[0] % stride or matrix.shape[0]
+        blocks = matrix[:trim, :trim].reshape(
+            trim // stride, stride, trim // stride, stride
+        )
+        with np.errstate(invalid="ignore"):
+            matrix = np.nanmean(blocks, axis=(1, 3))
+        if times is not None:
+            times = list(times)[::stride][: matrix.shape[0]]
+    size = matrix.shape[0]
+    plot = size * cell
+    svg = Svg(plot + 2 * _MARGIN, plot + 2 * _MARGIN + _TITLE_SPACE)
+    svg.label(_MARGIN, 16, title, size=13)
+    origin_y = _TITLE_SPACE + _MARGIN - 24
+    for row in range(size):
+        for column in range(size):
+            svg.rect(
+                _MARGIN + column * cell,
+                origin_y + row * cell,
+                cell,
+                cell,
+                fill=_gray(matrix[row, column]),
+            )
+    labels = _time_labels(times, size)
+    ticks = max(1, size // 6)
+    for index in range(0, size, ticks):
+        y = origin_y + index * cell + cell
+        svg.label(2, y, labels[index], size=8)
+        svg.label(
+            _MARGIN + index * cell,
+            origin_y + plot + 12,
+            labels[index],
+            size=8,
+            transform=f"rotate(45 {_MARGIN + index * cell} {origin_y + plot + 12})",
+        )
+    return svg
+
+
+def stackplot_svg(
+    aggregates: Mapping[str, np.ndarray],
+    times: Optional[Sequence[datetime]] = None,
+    width: int = 640,
+    height: int = 280,
+    title: str = "catchment shares",
+) -> Svg:
+    """Stacked per-state areas over time (absolute counts)."""
+    states = [state for state in aggregates]
+    if not states:
+        raise ValueError("no aggregates to plot")
+    length = len(next(iter(aggregates.values())))
+    if length < 2:
+        raise ValueError("need at least two observations to plot areas")
+    values = np.vstack([np.asarray(aggregates[state], dtype=np.float64) for state in states])
+    totals = values.sum(axis=0)
+    peak = float(totals.max()) or 1.0
+
+    svg = Svg(width, height + _TITLE_SPACE)
+    svg.label(_MARGIN, 16, title, size=13)
+    plot_w = width - 2 * _MARGIN
+    plot_h = height - 2 * _MARGIN
+    origin_y = _TITLE_SPACE + _MARGIN - 24
+
+    def x_at(index: int) -> float:
+        return _MARGIN + plot_w * index / (length - 1)
+
+    def y_at(value: float) -> float:
+        return origin_y + plot_h * (1.0 - value / peak)
+
+    cumulative = np.zeros(length)
+    for order, state in enumerate(states):
+        lower = cumulative.copy()
+        cumulative = cumulative + values[order]
+        upper_points = [f"{x_at(i):.2f},{y_at(cumulative[i]):.2f}" for i in range(length)]
+        lower_points = [
+            f"{x_at(i):.2f},{y_at(lower[i]):.2f}" for i in reversed(range(length))
+        ]
+        svg.add(
+            "polygon",
+            points=" ".join(upper_points + lower_points),
+            fill=PALETTE[order % len(PALETTE)],
+            fill_opacity=0.85,
+            stroke="none",
+        )
+    # Axes and legend.
+    svg.line(_MARGIN, origin_y, _MARGIN, origin_y + plot_h)
+    svg.line(_MARGIN, origin_y + plot_h, _MARGIN + plot_w, origin_y + plot_h)
+    svg.label(4, origin_y + 8, f"{peak:.0f}", size=9)
+    svg.label(4, origin_y + plot_h, "0", size=9)
+    labels = _time_labels(times, length)
+    svg.label(_MARGIN, origin_y + plot_h + 14, labels[0], size=9)
+    svg.label(_MARGIN + plot_w - 60, origin_y + plot_h + 14, labels[-1], size=9)
+    for order, state in enumerate(states):
+        x = _MARGIN + 8 + 90 * (order % 6)
+        y = origin_y + plot_h + 30 + 14 * (order // 6)
+        svg.rect(x, y - 8, 10, 10, fill=PALETTE[order % len(PALETTE)])
+        svg.label(x + 14, y, state, size=9)
+    return svg
+
+
+def latency_svg(
+    latency: Mapping[str, np.ndarray],
+    times: Optional[Sequence[datetime]] = None,
+    width: int = 640,
+    height: int = 280,
+    title: str = "p90 latency per catchment (ms)",
+) -> Svg:
+    """Per-catchment latency percentile lines with NaN gaps (Figure 4)."""
+    sites = [site for site in latency]
+    if not sites:
+        raise ValueError("no latency series to plot")
+    length = len(next(iter(latency.values())))
+    peak = float(np.nanmax(np.vstack(list(latency.values())))) or 1.0
+
+    svg = Svg(width, height + _TITLE_SPACE)
+    svg.label(_MARGIN, 16, title, size=13)
+    plot_w = width - 2 * _MARGIN
+    plot_h = height - 2 * _MARGIN
+    origin_y = _TITLE_SPACE + _MARGIN - 24
+
+    def x_at(index: int) -> float:
+        return _MARGIN + plot_w * index / max(length - 1, 1)
+
+    def y_at(value: float) -> float:
+        return origin_y + plot_h * (1.0 - value / peak)
+
+    for order, site in enumerate(sites):
+        series = np.asarray(latency[site], dtype=np.float64)
+        segment: list[str] = []
+        for index in range(length):
+            if np.isnan(series[index]):
+                if len(segment) > 1:
+                    svg.add(
+                        "polyline",
+                        points=" ".join(segment),
+                        fill="none",
+                        stroke=PALETTE[order % len(PALETTE)],
+                        stroke_width=1.6,
+                    )
+                segment = []
+                continue
+            segment.append(f"{x_at(index):.2f},{y_at(series[index]):.2f}")
+        if len(segment) > 1:
+            svg.add(
+                "polyline",
+                points=" ".join(segment),
+                fill="none",
+                stroke=PALETTE[order % len(PALETTE)],
+                stroke_width=1.6,
+            )
+        svg.label(width - _MARGIN + 4, origin_y + 12 + 13 * order, site, size=9,
+                  fill=PALETTE[order % len(PALETTE)])
+    svg.line(_MARGIN, origin_y, _MARGIN, origin_y + plot_h)
+    svg.line(_MARGIN, origin_y + plot_h, _MARGIN + plot_w, origin_y + plot_h)
+    svg.label(4, origin_y + 8, f"{peak:.0f}", size=9)
+    svg.label(4, origin_y + plot_h, "0", size=9)
+    labels = _time_labels(times, length)
+    svg.label(_MARGIN, origin_y + plot_h + 14, labels[0], size=9)
+    svg.label(_MARGIN + plot_w - 60, origin_y + plot_h + 14, labels[-1], size=9)
+    return svg
+
+
+def sankey_svg(
+    flows: Sequence[tuple[int, str, str, float]],
+    width: int = 720,
+    height: int = 360,
+    title: str = "flow topology",
+) -> Svg:
+    """Hop-level flow bands (Figures 7/8), nodes stacked per level."""
+    if not flows:
+        raise ValueError("no flows to plot")
+    levels = sorted({level for level, _s, _t, _v in flows})
+    num_columns = len(levels) + 1
+
+    # Node totals per column: sources at their level, targets at level+1.
+    columns: dict[int, dict[str, float]] = {index: {} for index in range(num_columns)}
+    for level, source, target, value in flows:
+        column = levels.index(level)
+        columns[column][source] = columns[column].get(source, 0.0) + value
+        columns[column + 1][target] = columns[column + 1].get(target, 0.0) + value
+
+    svg = Svg(width, height + _TITLE_SPACE)
+    svg.label(_MARGIN, 16, title, size=13)
+    plot_w = width - 2 * _MARGIN
+    plot_h = height - 2 * _MARGIN
+    origin_y = _TITLE_SPACE + _MARGIN - 24
+    node_w = 12
+
+    positions: dict[tuple[int, str], tuple[float, float, float]] = {}
+    colors: dict[str, str] = {}
+    for column in range(num_columns):
+        names = sorted(columns[column], key=lambda name: -columns[column][name])
+        total = sum(columns[column].values()) or 1.0
+        x = _MARGIN + plot_w * column / max(num_columns - 1, 1)
+        cursor = origin_y
+        for name in names:
+            share = columns[column][name] / total
+            node_h = max(share * (plot_h - 4 * len(names)), 2.0)
+            if name not in colors:
+                colors[name] = PALETTE[len(colors) % len(PALETTE)]
+            svg.rect(x, cursor, node_w, node_h, fill=colors[name])
+            if node_h > 9:
+                svg.label(x + node_w + 3, cursor + node_h / 2 + 3, name, size=8)
+            positions[(column, name)] = (x, cursor, node_h)
+            cursor += node_h + 4
+
+    # Bands: straight quads from source right edge to target left edge.
+    offsets: dict[tuple[int, str], float] = {}
+    for level, source, target, value in sorted(flows):
+        column = levels.index(level)
+        sx, sy, sh = positions[(column, source)]
+        tx, ty, th = positions[(column + 1, target)]
+        source_total = columns[column][source]
+        target_total = columns[column + 1][target]
+        s_off = offsets.get((column, source), 0.0)
+        t_off = offsets.get((column + 1, target), 0.0)
+        s_height = sh * value / source_total
+        t_height = th * value / target_total
+        points = (
+            f"{sx + node_w:.1f},{sy + s_off:.1f} "
+            f"{tx:.1f},{ty + t_off:.1f} "
+            f"{tx:.1f},{ty + t_off + t_height:.1f} "
+            f"{sx + node_w:.1f},{sy + s_off + s_height:.1f}"
+        )
+        svg.add(
+            "polygon",
+            points=points,
+            fill=colors[source],
+            fill_opacity=0.35,
+            stroke="none",
+        )
+        offsets[(column, source)] = s_off + s_height
+        offsets[(column + 1, target)] = t_off + t_height
+    return svg

@@ -1,0 +1,98 @@
+"""A minimal SVG document builder.
+
+Just enough scalable-vector scaffolding for the chart modules: an
+element tree with attribute escaping, a fluent ``add`` API and string
+serialization. No external dependencies, always well-formed XML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+from xml.sax.saxutils import escape, quoteattr
+
+__all__ = ["Element", "Svg"]
+
+Number = Union[int, float]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Element:
+    """One SVG element with attributes, children and optional text."""
+
+    tag: str
+    attributes: dict[str, object] = field(default_factory=dict)
+    children: list["Element"] = field(default_factory=list)
+    text: Optional[str] = None
+
+    def add(self, tag: str, **attributes: object) -> "Element":
+        """Append a child element and return it (for chaining)."""
+        child = Element(tag, dict(attributes))
+        self.children.append(child)
+        return child
+
+    def add_text(self, tag: str, content: str, **attributes: object) -> "Element":
+        child = self.add(tag, **attributes)
+        child.text = content
+        return child
+
+    def to_string(self) -> str:
+        rendered_attributes = "".join(
+            f" {name.replace('_', '-')}={quoteattr(_format_value(value))}"
+            for name, value in self.attributes.items()
+        )
+        if not self.children and self.text is None:
+            return f"<{self.tag}{rendered_attributes}/>"
+        inner = "".join(child.to_string() for child in self.children)
+        if self.text is not None:
+            inner += escape(self.text)
+        return f"<{self.tag}{rendered_attributes}>{inner}</{self.tag}>"
+
+
+class Svg:
+    """A top-level SVG document of fixed pixel size."""
+
+    def __init__(self, width: Number, height: Number) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("SVG dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.root = Element(
+            "svg",
+            {
+                "xmlns": "http://www.w3.org/2000/svg",
+                "width": width,
+                "height": height,
+                "viewBox": f"0 0 {_format_value(width)} {_format_value(height)}",
+                "font-family": "sans-serif",
+            },
+        )
+
+    def add(self, tag: str, **attributes: object) -> Element:
+        return self.root.add(tag, **attributes)
+
+    def add_text(self, tag: str, content: str, **attributes: object) -> Element:
+        return self.root.add_text(tag, content, **attributes)
+
+    def rect(self, x: Number, y: Number, w: Number, h: Number, fill: str, **extra: object) -> Element:
+        return self.add("rect", x=x, y=y, width=w, height=h, fill=fill, **extra)
+
+    def line(self, x1: Number, y1: Number, x2: Number, y2: Number, stroke: str = "#444", **extra: object) -> Element:
+        return self.add("line", x1=x1, y1=y1, x2=x2, y2=y2, stroke=stroke, **extra)
+
+    def label(self, x: Number, y: Number, content: str, size: int = 10, **extra: object) -> Element:
+        return self.add_text("text", content, x=x, y=y, font_size=size, **extra)
+
+    def to_string(self) -> str:
+        return self.root.to_string()
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_string())

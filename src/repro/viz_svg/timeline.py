@@ -1,0 +1,74 @@
+"""Mode-timeline SVG: the paper's (i)…(vi) annotations, as a chart.
+
+The paper annotates its heatmaps with mode spans by hand; this renders
+them directly: one colored bar per contiguous mode segment on a time
+axis, recurring modes sharing a color, with detected events drawn as
+vertical markers.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Optional, Sequence
+
+from ..core.detect import DetectedEvent
+from ..core.modes import ModeSet
+from .charts import PALETTE
+from .svg import Svg
+
+__all__ = ["timeline_svg"]
+
+_ROMAN = ["i", "ii", "iii", "iv", "v", "vi", "vii", "viii", "ix", "x",
+          "xi", "xii", "xiii", "xiv", "xv"]
+
+
+def timeline_svg(
+    modes: ModeSet,
+    events: Optional[Sequence[DetectedEvent]] = None,
+    width: int = 720,
+    height: int = 120,
+    title: str = "routing modes",
+) -> Svg:
+    """Render mode segments (and optional event markers) on a time axis."""
+    times = modes.series.times
+    if len(times) < 2:
+        raise ValueError("need at least two observations to draw a timeline")
+    start, end = times[0], times[-1]
+    span = (end - start).total_seconds() or 1.0
+
+    svg = Svg(width, height)
+    margin = 16
+    plot_w = width - 2 * margin
+    bar_y, bar_h = 42, 34
+
+    def x_at(when: datetime) -> float:
+        return margin + plot_w * (when - start).total_seconds() / span
+
+    svg.label(margin, 14, title, size=12)
+    for segment_start, segment_end, mode_id in _segments(modes):
+        x0 = x_at(segment_start)
+        x1 = max(x_at(segment_end), x0 + 2)
+        color = PALETTE[mode_id % len(PALETTE)]
+        svg.rect(x0, bar_y, x1 - x0, bar_h, fill=color, fill_opacity=0.85)
+        if x1 - x0 > 24:
+            name = _ROMAN[mode_id] if mode_id < len(_ROMAN) else str(mode_id)
+            svg.label(
+                (x0 + x1) / 2 - 6, bar_y + bar_h / 2 + 4, f"({name})", size=10,
+                fill="#ffffff",
+            )
+    for event in events or ():
+        x = x_at(event.start)
+        svg.line(x, bar_y - 8, x, bar_y + bar_h + 8, stroke="#cc0000")
+    svg.label(margin, height - 8, f"{start:%Y-%m-%d}", size=9)
+    svg.label(width - margin - 64, height - 8, f"{end:%Y-%m-%d}", size=9)
+    return svg
+
+
+def _segments(modes: ModeSet):
+    for mode in modes.modes:
+        for start_index, end_index in mode.segments:
+            yield (
+                modes.series.times[start_index],
+                modes.series.times[end_index],
+                mode.mode_id,
+            )

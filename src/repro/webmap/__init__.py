@@ -1,0 +1,16 @@
+"""Website front-end substrate: fleets and EDNS-CS catchment mapping."""
+
+from .affinity import AffinityReport, analyze_affinity
+from .frontends import ChurnFleet, GeoFleet, GeoSite, stable_fraction
+from .mapper import EcsMapper, FrontendSelector
+
+__all__ = [
+    "AffinityReport",
+    "ChurnFleet",
+    "analyze_affinity",
+    "EcsMapper",
+    "FrontendSelector",
+    "GeoFleet",
+    "GeoSite",
+    "stable_fraction",
+]

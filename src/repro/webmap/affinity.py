@@ -1,0 +1,67 @@
+"""Client-site affinity analysis (Fan, Katz-Bassett, Heidemann 2015).
+
+The paper's website studies build on earlier affinity work: how
+consistently does a client network land on the same front end over
+time? Per-network affinity is the fraction of observed rounds the
+network spent on its *modal* (most common) state; a fleet reshuffling
+weekly has low affinity, a geo-mapped fleet near 1.0 — the exact
+contrast between the paper's Google and Wikipedia subjects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.series import VectorSeries
+from ..core.vector import UNKNOWN_CODE
+
+__all__ = ["AffinityReport", "analyze_affinity"]
+
+
+@dataclass
+class AffinityReport:
+    """Per-network affinity scores over one series."""
+
+    affinity: dict[str, float]  # network -> fraction of rounds on modal state
+    modal_state: dict[str, str]
+
+    @property
+    def mean(self) -> float:
+        if not self.affinity:
+            return float("nan")
+        return float(np.mean(list(self.affinity.values())))
+
+    def quantile(self, q: float) -> float:
+        if not self.affinity:
+            return float("nan")
+        return float(np.quantile(list(self.affinity.values()), q))
+
+    def low_affinity_networks(self, threshold: float = 0.5) -> list[str]:
+        """Networks that bounce between states most of the time."""
+        return sorted(
+            network for network, value in self.affinity.items() if value < threshold
+        )
+
+
+def analyze_affinity(series: VectorSeries, min_observations: int = 2) -> AffinityReport:
+    """Affinity of every network with at least ``min_observations`` rounds.
+
+    Unknown rounds do not count toward the denominator — affinity
+    measures the consistency of *observed* placements, as in the
+    original methodology.
+    """
+    matrix = series.matrix
+    affinity: dict[str, float] = {}
+    modal: dict[str, str] = {}
+    for column, network in enumerate(series.networks):
+        codes = matrix[:, column]
+        known = codes[codes != UNKNOWN_CODE]
+        if len(known) < min_observations:
+            continue
+        counts = np.bincount(known)
+        modal_code = int(np.argmax(counts))
+        affinity[network] = float(counts[modal_code]) / float(len(known))
+        modal[network] = series.catalog.label(modal_code)
+    return AffinityReport(affinity, modal)

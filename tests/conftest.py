@@ -1,0 +1,70 @@
+"""Shared fixtures for the Fenrir reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.bgp.topology import ASTopology
+from repro.core.series import VectorSeries
+from repro.core.vector import StateCatalog
+from repro.net.geo import city
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def t0() -> datetime:
+    return datetime(2024, 1, 1)
+
+
+@pytest.fixture
+def small_topology() -> ASTopology:
+    """A hand-built topology with known structure::
+
+          T1 --- T2        (tier-1 peers)
+         /  \\   /  \\
+        R1   R2    R3      (regional providers, customers of tier-1s)
+        |    |     |
+        S1   S2    S3      (stubs; S2 also buys from R1)
+    """
+    topo = ASTopology()
+    topo.add_as(1, "T1", tier=1, location=city("NYC"))
+    topo.add_as(2, "T2", tier=1, location=city("LHR"))
+    topo.add_as(11, "R1", tier=2, location=city("ORD"))
+    topo.add_as(12, "R2", tier=2, location=city("LAX"))
+    topo.add_as(13, "R3", tier=2, location=city("FRA"))
+    topo.add_as(21, "S1", tier=3, location=city("ORD"))
+    topo.add_as(22, "S2", tier=3, location=city("LAX"))
+    topo.add_as(23, "S3", tier=3, location=city("FRA"))
+    topo.add_peer_link(1, 2)
+    topo.add_customer_link(1, 11)
+    topo.add_customer_link(1, 12)
+    topo.add_customer_link(2, 12)
+    topo.add_customer_link(2, 13)
+    topo.add_customer_link(11, 21)
+    topo.add_customer_link(12, 22)
+    topo.add_customer_link(13, 23)
+    topo.add_customer_link(11, 22)
+    return topo
+
+
+@pytest.fixture
+def simple_series(t0: datetime) -> VectorSeries:
+    """Four networks, five observations, one clear change after index 2."""
+    series = VectorSeries(["n1", "n2", "n3", "n4"], StateCatalog())
+    states = [
+        {"n1": "A", "n2": "A", "n3": "B", "n4": "B"},
+        {"n1": "A", "n2": "A", "n3": "B", "n4": "B"},
+        {"n1": "A", "n2": "A", "n3": "B", "n4": "B"},
+        {"n1": "B", "n2": "B", "n3": "A", "n4": "B"},
+        {"n1": "B", "n2": "B", "n3": "A", "n4": "B"},
+    ]
+    for index, assignment in enumerate(states):
+        series.append_mapping(assignment, t0 + timedelta(days=index))
+    return series

@@ -1,0 +1,170 @@
+"""Tests for the anycast substrate: service, Verfploeter, Atlas."""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.anycast.atlas import AtlasFleet, AtlasVP
+from repro.anycast.service import UNREACHABLE, AnycastService, AnycastSite
+from repro.anycast.verfploeter import VerfploeterMapper
+from repro.bgp.clients import allocate_clients
+from repro.bgp.events import SiteDrain
+from repro.measure.loss import IidLoss
+from repro.net.geo import city
+from repro.net.hitlist import Hitlist
+
+
+@pytest.fixture
+def service(small_topology):
+    sites = [
+        AnycastSite("A", 21, city("ORD")),
+        AnycastSite("B", 23, city("FRA")),
+    ]
+    return AnycastService(small_topology, sites)
+
+
+class TestService:
+    def test_duplicate_labels_rejected(self, small_topology):
+        sites = [AnycastSite("A", 21, city("ORD")), AnycastSite("A", 23, city("FRA"))]
+        with pytest.raises(ValueError):
+            AnycastService(small_topology, sites)
+
+    def test_catchment_map_covers_topology(self, service, small_topology, t0):
+        catchments = service.catchment_map(t0)
+        assert set(catchments) == set(small_topology.nodes)
+        assert set(catchments.values()) <= {"A", "B"}
+
+    def test_catchment_of(self, service, t0):
+        assert service.catchment_of(11, t0) == "A"
+        assert service.catchment_of(13, t0) == "B"
+
+    def test_drain_moves_catchments(self, service, t0):
+        service.add_event(SiteDrain("A", t0, t0 + timedelta(days=1)))
+        assert service.catchment_of(11, t0) == "B"
+        assert service.active_sites(t0) == ["B"]
+
+    def test_site_labels_and_location(self, service):
+        assert service.site_labels() == ["A", "B"]
+        assert service.location_of("A").code == "ORD"
+
+    def test_local_only_site(self, small_topology, t0):
+        sites = [
+            AnycastSite("GLOBAL", 21, city("ORD")),
+            AnycastSite("LOCAL", 13, city("FRA"), local_only=True),
+        ]
+        service = AnycastService(small_topology, sites)
+        # LOCAL only serves R3's customer cone (S3).
+        assert service.catchment_of(23, t0) == "LOCAL"
+        assert service.catchment_of(1, t0) == "GLOBAL"
+
+
+class TestVerfploeter:
+    def test_known_blocks_get_sites(self, service, t0, rng):
+        clients = allocate_clients([21, 22, 23], [3, 3, 3])
+        hitlist = Hitlist.from_blocks_bimodal(clients.blocks, rng, alive_fraction=1.0)
+        mapper = VerfploeterMapper(service, hitlist, clients, rng)
+        observations = mapper.measure(t0)
+        assert len(observations) == 9
+        assert set(observations.values()) <= {"A", "B"}
+        assert mapper.last_stats is not None
+        assert mapper.last_stats.answered == 9
+
+    def test_dead_blocks_are_absent(self, service, t0, rng):
+        clients = allocate_clients([21], [5])
+        hitlist = Hitlist.from_blocks_bimodal(
+            clients.blocks, rng, alive_fraction=0.0, dead_score=0.0
+        )
+        mapper = VerfploeterMapper(service, hitlist, clients, rng)
+        assert mapper.measure(t0) == {}
+
+    def test_unreachable_catchment_absent(self, small_topology, t0, rng):
+        # Partition S1's only provider link: its blocks get no reply path.
+        sites = [AnycastSite("B", 23, city("FRA"))]
+        small_topology.remove_link(11, 21)
+        small_topology.remove_link(1, 11)
+        small_topology.remove_link(11, 22)
+        service = AnycastService(small_topology, sites)
+        clients = allocate_clients([11], [2])
+        hitlist = Hitlist.from_blocks_bimodal(clients.blocks, rng, alive_fraction=1.0)
+        mapper = VerfploeterMapper(service, hitlist, clients, rng)
+        assert mapper.measure(t0) == {}
+
+
+class TestAtlas:
+    def test_vps_see_their_as_catchment(self, service, t0, rng):
+        fleet = AtlasFleet(service, [AtlasVP(0, 21), AtlasVP(1, 23)], rng)
+        observations = fleet.measure(t0)
+        assert observations == {"vp0": "A", "vp1": "B"}
+
+    def test_loss_yields_err(self, service, t0, rng):
+        fleet = AtlasFleet(service, [AtlasVP(0, 21)], rng, loss=IidLoss(1.0, rng))
+        assert fleet.measure(t0) == {"vp0": "err"}
+
+    def test_odd_identifier_yields_other(self, service, t0, rng):
+        fleet = AtlasFleet(
+            service,
+            [AtlasVP(0, 21)],
+            rng,
+            odd_identifier_sites=frozenset({"A"}),
+        )
+        assert fleet.measure(t0) == {"vp0": "other"}
+
+    def test_unreachable_yields_err(self, small_topology, t0, rng):
+        sites = [AnycastSite("A", 21, city("ORD"))]
+        small_topology.remove_link(11, 21)
+        service = AnycastService(small_topology, sites)
+        fleet = AtlasFleet(service, [AtlasVP(0, 23)], rng)
+        assert fleet.measure(t0) == {"vp0": "err"}
+
+    def test_place_vps(self, service, rng):
+        fleet = AtlasFleet.place_vps(service, [21, 22, 23], count=10, rng=rng)
+        assert len(fleet.vps) == 10
+        assert all(vp.asn in {21, 22, 23} for vp in fleet.vps)
+        assert fleet.network_ids() == [f"vp{i}" for i in range(10)]
+
+    def test_place_vps_requires_candidates(self, service, rng):
+        with pytest.raises(ValueError):
+            AtlasFleet.place_vps(service, [], count=2, rng=rng)
+
+    def test_drain_visible_through_fleet(self, service, t0, rng):
+        fleet = AtlasFleet(service, [AtlasVP(0, 11)], rng)
+        before = fleet.measure(t0)
+        service.add_event(SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        during = fleet.measure(t0 + timedelta(days=1))
+        assert before == {"vp0": "A"}
+        assert during == {"vp0": "B"}
+
+
+class TestMangledVps:
+    def test_mangled_fraction_yields_other(self, small_topology, t0, rng):
+        from repro.anycast.service import AnycastService, AnycastSite
+        from repro.net.geo import city
+
+        sites = [AnycastSite("A", 21, city("ORD"))]
+        service = AnycastService(small_topology, sites)
+        fleet = AtlasFleet.place_vps(service, [22, 23], count=200, rng=rng)
+        fleet.mangled_vp_fraction = 0.1
+        observations = fleet.measure(t0)
+        others = sum(1 for state in observations.values() if state == "other")
+        assert 5 < others < 40  # ~10% of 200, deterministic per VP
+
+    def test_mangled_set_is_stable_across_rounds(self, small_topology, t0, rng):
+        from datetime import timedelta
+
+        from repro.anycast.service import AnycastService, AnycastSite
+        from repro.net.geo import city
+
+        sites = [AnycastSite("A", 21, city("ORD"))]
+        service = AnycastService(small_topology, sites)
+        fleet = AtlasFleet.place_vps(service, [22], count=100, rng=rng)
+        fleet.mangled_vp_fraction = 0.1
+        first = {n for n, s in fleet.measure(t0).items() if s == "other"}
+        second = {
+            n
+            for n, s in fleet.measure(t0 + timedelta(days=1)).items()
+            if s == "other"
+        }
+        assert first == second  # a middlebox does not come and go

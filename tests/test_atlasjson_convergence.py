@@ -1,0 +1,171 @@
+"""Tests for Atlas JSON result I/O and BGP convergence transients."""
+
+from __future__ import annotations
+
+import io
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.bgp.convergence import convergence_steps
+from repro.bgp.events import RoutingScenario, SiteDrain
+from repro.bgp.policy import Announcement
+from repro.dns.chaos import IdentifierMap
+from repro.io.atlasjson import (
+    AtlasDnsResult,
+    AtlasPingResult,
+    dns_results_to_series,
+    read_results,
+    write_results,
+)
+
+BASE_TS = 1_700_000_000 - (1_700_000_000 % 240)  # aligned to a round
+
+
+class TestAtlasJson:
+    def test_dns_result_round_trip(self):
+        result = AtlasDnsResult(6021, 10310, BASE_TS, "b1-lax", rt_ms=23.4)
+        rebuilt = AtlasDnsResult.from_json(result.to_json())
+        assert rebuilt == result
+
+    def test_dns_timeout_round_trip(self):
+        result = AtlasDnsResult(6021, 10310, BASE_TS, None)
+        record = result.to_json()
+        assert "error" in record
+        assert AtlasDnsResult.from_json(record).identifier is None
+
+    def test_ping_result_round_trip(self):
+        result = AtlasPingResult(6021, 1001, BASE_TS, (10.0, 11.5, 10.2))
+        record = result.to_json()
+        assert record["rcvd"] == 3
+        assert AtlasPingResult.from_json(record) == result
+
+    def test_ping_all_lost(self):
+        result = AtlasPingResult(6021, 1001, BASE_TS, ())
+        record = result.to_json()
+        assert record["min"] == -1
+        assert AtlasPingResult.from_json(record).rtts_ms == ()
+
+    def test_stream_round_trip_mixed(self):
+        results = [
+            AtlasDnsResult(1, 10, BASE_TS, "b1-ams"),
+            AtlasPingResult(2, 11, BASE_TS, (5.0,)),
+            AtlasDnsResult(3, 10, BASE_TS + 240, None),
+        ]
+        buffer = io.StringIO()
+        assert write_results(results, buffer) == 3
+        buffer.seek(0)
+        rebuilt = list(read_results(buffer))
+        assert rebuilt == results
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            list(read_results(io.StringIO('{"type":"traceroute"}\n')))
+
+    def test_dns_results_to_series(self):
+        mapping = IdentifierMap.for_sites({"LAX", "AMS"})
+        results = [
+            AtlasDnsResult(1, 10, BASE_TS + 5, "b1-lax"),
+            AtlasDnsResult(2, 10, BASE_TS + 9, "b2-ams"),
+            AtlasDnsResult(3, 10, BASE_TS + 11, "weird!!"),
+            AtlasDnsResult(1, 10, BASE_TS + 245, None),  # next round, timeout
+            AtlasDnsResult(2, 10, BASE_TS + 250, "b2-ams"),
+        ]
+        series = dns_results_to_series(results, mapping)
+        assert len(series) == 2
+        assert series.networks == ("vp1", "vp2", "vp3")
+        first = series[0].to_mapping()
+        assert first == {"vp1": "LAX", "vp2": "AMS", "vp3": "other"}
+        second = series[1].to_mapping()
+        assert second["vp1"] == "err"
+        assert second["vp3"] == "unknown"  # not measured this round
+
+    def test_series_feeds_fenrir(self):
+        mapping = IdentifierMap.for_sites({"LAX", "AMS"})
+        results = []
+        for round_index in range(6):
+            site = "b1-lax" if round_index < 3 else "b1-ams"
+            for probe in range(5):
+                results.append(
+                    AtlasDnsResult(probe, 10, BASE_TS + 240 * round_index, site)
+                )
+        series = dns_results_to_series(results, mapping)
+        from repro.core import Fenrir
+
+        report = Fenrir().run(series)
+        assert len(report.modes) == 2
+
+
+class TestConvergence:
+    @pytest.fixture
+    def outcomes(self, small_topology, t0):
+        scenario = RoutingScenario(
+            small_topology,
+            [Announcement(origin=21, label="A"), Announcement(origin=23, label="B")],
+        )
+        before = scenario.outcome_at(t0)
+        scenario.add_event(SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        after = scenario.outcome_at(t0 + timedelta(days=1))
+        return before, after
+
+    def test_last_step_is_steady_state(self, outcomes, rng):
+        before, after = outcomes
+        steps = convergence_steps(before, after, rng, rounds=3)
+        assert len(steps) == 3
+        final = steps[-1]
+        for asn, label in final.items():
+            route = after.get(asn)
+            assert label == (route.label if route else "unreach")
+
+    def test_unchanged_ases_never_flap(self, outcomes, rng):
+        before, after = outcomes
+        steps = convergence_steps(before, after, rng, rounds=3)
+        stable = [
+            asn
+            for asn in before.routes
+            if after.get(asn) and before[asn].path == after[asn].path
+        ]
+        assert stable
+        for step in steps:
+            for asn in stable:
+                assert step[asn] == after[asn].label
+
+    def test_transients_appear(self, outcomes):
+        before, after = outcomes
+        rng = random.Random(0)
+        steps = convergence_steps(before, after, rng, rounds=3, withdraw_first=1.0)
+        first = steps[0]
+        transient = [
+            asn
+            for asn, label in first.items()
+            if label == "unreach" and after.get(asn) is not None
+        ]
+        assert transient  # some ASes pass through unreachability
+
+    def test_stale_routes_with_make_before_break(self, outcomes):
+        before, after = outcomes
+        rng = random.Random(0)
+        steps = convergence_steps(before, after, rng, rounds=4, withdraw_first=0.0)
+        first = steps[0]
+        stale = [
+            asn
+            for asn, label in first.items()
+            if before.get(asn) is not None
+            and after.get(asn) is not None
+            and label == before[asn].label != after[asn].label
+        ]
+        assert stale  # some ASes still answer from the old site
+
+    def test_validation(self, outcomes, rng):
+        before, after = outcomes
+        with pytest.raises(ValueError):
+            convergence_steps(before, after, rng, rounds=0)
+        with pytest.raises(ValueError):
+            convergence_steps(before, after, rng, withdraw_first=1.5)
+
+    def test_single_round_is_immediate(self, outcomes, rng):
+        before, after = outcomes
+        steps = convergence_steps(before, after, rng, rounds=1)
+        assert len(steps) == 1
+        assert steps[0][11] == after.label_of(11)

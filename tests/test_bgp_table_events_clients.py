@@ -1,0 +1,230 @@
+"""Tests for RIB tables, scripted events/scenarios and client space."""
+
+from __future__ import annotations
+
+import io
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.bgp.clients import ClientSpace, allocate_clients, zipf_block_counts
+from repro.bgp.events import (
+    InternalMaintenance,
+    LinkAdd,
+    LinkOutage,
+    LinkRemove,
+    RoutingScenario,
+    ScopeChange,
+    SiteAdd,
+    SiteDrain,
+    SiteMove,
+    SiteRemove,
+    TrafficEngineering,
+)
+from repro.bgp.policy import Announcement, Scope
+from repro.bgp.table import RibEntry, RoutingTable, dump_table, parse_table, routable_blocks
+from repro.net.addr import IPv4Prefix, parse_address, parse_prefix
+
+
+class TestRibTable:
+    def test_line_round_trip(self):
+        entry = RibEntry(parse_prefix("198.51.100.0/24"), (7018, 3356, 64512), 1700000000)
+        assert RibEntry.from_line(entry.to_line()) == entry
+
+    def test_from_line_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            RibEntry.from_line("BGP4MP|x|y")
+        with pytest.raises(ValueError):
+            RibEntry.from_line("TABLE_DUMP2|0|B|10.0.0.0/8||IGP")
+
+    def test_origin_as_is_last(self):
+        entry = RibEntry(parse_prefix("10.0.0.0/8"), (1, 2, 3))
+        assert entry.origin_as == 3
+
+    def test_table_lookup_longest_match(self):
+        table = RoutingTable(
+            [
+                RibEntry(parse_prefix("10.0.0.0/8"), (1, 100)),
+                RibEntry(parse_prefix("10.1.0.0/16"), (1, 200)),
+            ]
+        )
+        assert table.lookup(int(parse_address("10.1.2.3"))).origin_as == 200
+        assert table.lookup(int(parse_address("10.2.0.1"))).origin_as == 100
+        assert table.lookup(int(parse_address("11.0.0.1"))) is None
+
+    def test_origin_of_prefix(self):
+        table = RoutingTable([RibEntry(parse_prefix("10.0.0.0/8"), (1, 100))])
+        assert table.origin_of(parse_prefix("10.5.0.0/24")) == 100
+        assert table.origin_of(parse_prefix("11.0.0.0/24")) is None
+
+    def test_dump_and_parse_round_trip(self):
+        table = RoutingTable(
+            [
+                RibEntry(parse_prefix("10.0.0.0/8"), (1, 2), 5),
+                RibEntry(parse_prefix("192.0.2.0/24"), (3,), 9),
+            ]
+        )
+        buffer = io.StringIO()
+        assert dump_table(table, buffer) == 2
+        buffer.seek(0)
+        parsed = parse_table(buffer)
+        assert [e.prefix for e in parsed] == [e.prefix for e in table]
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# comment\n\n" + RibEntry(parse_prefix("10.0.0.0/24"), (1,)).to_line() + "\n"
+        parsed = parse_table(io.StringIO(text))
+        assert len(parsed) == 1
+
+    def test_routable_blocks_deduplicates(self):
+        table = RoutingTable(
+            [
+                RibEntry(parse_prefix("10.0.0.0/23"), (1,)),
+                RibEntry(parse_prefix("10.0.1.0/24"), (2,)),
+            ]
+        )
+        blocks = routable_blocks(table)
+        assert [str(b) for b in blocks] == ["10.0.0.0/24", "10.0.1.0/24"]
+
+
+class TestScenario:
+    @pytest.fixture
+    def scenario(self, small_topology, t0):
+        return RoutingScenario(
+            small_topology,
+            [Announcement(origin=21, label="A"), Announcement(origin=23, label="B")],
+        )
+
+    def test_no_events_is_stable(self, scenario, t0):
+        first = scenario.outcome_at(t0)
+        second = scenario.outcome_at(t0 + timedelta(days=100))
+        assert first is second  # cached: identical configuration
+
+    def test_site_drain_window(self, scenario, t0):
+        scenario.add_event(SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        assert "A" in scenario.active_sites_at(t0)
+        assert "A" not in scenario.active_sites_at(t0 + timedelta(days=1))
+        assert "A" in scenario.active_sites_at(t0 + timedelta(days=2))
+
+    def test_drain_shifts_catchment(self, scenario, t0):
+        scenario.add_event(SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        during = scenario.outcome_at(t0 + timedelta(days=1))
+        assert during.label_of(11) == "B"
+
+    def test_site_add_and_remove(self, scenario, t0, small_topology):
+        scenario.add_event(SiteAdd(Announcement(origin=22, label="C"), t0 + timedelta(days=5)))
+        scenario.add_event(SiteRemove("B", t0 + timedelta(days=7)))
+        assert scenario.active_sites_at(t0 + timedelta(days=4)) == ["A", "B"]
+        assert scenario.active_sites_at(t0 + timedelta(days=5)) == ["A", "B", "C"]
+        assert scenario.active_sites_at(t0 + timedelta(days=7)) == ["A", "C"]
+
+    def test_site_move(self, scenario, t0):
+        scenario.add_event(SiteMove("A", 22, t0 + timedelta(days=3)))
+        outcome = scenario.outcome_at(t0 + timedelta(days=3))
+        assert outcome[22].kind.name == "ORIGIN"
+        assert outcome.label_of(22) == "A"
+
+    def test_traffic_engineering_window(self, scenario, t0):
+        scenario.add_event(TrafficEngineering("A", 11, 5, t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        _topo, anns, _down = scenario.configuration_at(t0 + timedelta(days=1))
+        assert {a.label: a.prepend for a in anns}["A"] == {11: 5}
+        _topo, anns, _down = scenario.configuration_at(t0)
+        assert {a.label: a.prepend for a in anns}["A"] == {}
+
+    def test_scope_change_window(self, scenario, t0):
+        scenario.add_event(
+            ScopeChange("A", Scope.CUSTOMER_CONE, t0 + timedelta(days=1), t0 + timedelta(days=2))
+        )
+        during = scenario.outcome_at(t0 + timedelta(days=1))
+        assert during.label_of(2) == "B"  # A no longer visible at T2
+
+    def test_link_outage_window(self, scenario, t0):
+        scenario.add_event(LinkOutage(11, 21, t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        during = scenario.outcome_at(t0 + timedelta(days=1))
+        assert during.label_of(21) == "A"  # origin still itself
+        assert during.label_of(11) == "B"
+
+    def test_permanent_link_changes(self, scenario, t0, small_topology):
+        scenario.add_event(LinkRemove(11, 21, t0 + timedelta(days=1)))
+        assert scenario.outcome_at(t0 + timedelta(days=9)).label_of(11) == "B"
+        # Base topology is untouched.
+        assert small_topology.relationship(11, 21) is not None
+
+    def test_link_add_peer(self, scenario, t0):
+        scenario.add_event(LinkAdd(21, 23, t0, peer=True))
+        topo, _anns, _down = scenario.configuration_at(t0)
+        assert 23 in topo.peers_of(21)
+
+    def test_internal_maintenance_has_no_effect(self, scenario, t0):
+        before = scenario.outcome_at(t0)
+        scenario.add_event(
+            InternalMaintenance("A", t0 + timedelta(days=1), t0 + timedelta(days=1, hours=1))
+        )
+        during = scenario.outcome_at(t0 + timedelta(days=1))
+        assert {a: r.label for a, r in before.routes.items()} == {
+            a: r.label for a, r in during.routes.items()
+        }
+
+    def test_active_events_signature(self, scenario, t0):
+        scenario.add_event(SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        scenario.add_event(LinkRemove(11, 21, t0 + timedelta(days=5)))
+        assert scenario.active_events_at(t0) == ()
+        assert scenario.active_events_at(t0 + timedelta(days=1)) == (0,)
+        assert scenario.active_events_at(t0 + timedelta(days=6)) == (1,)
+
+    def test_cache_invalidation_on_add(self, scenario, t0):
+        first = scenario.outcome_at(t0)
+        scenario.add_event(SiteRemove("A", t0 - timedelta(days=1)))
+        second = scenario.outcome_at(t0)
+        assert second.get(21) is not None
+        assert second.label_of(11) == "B"
+        assert first is not second
+
+
+class TestClientSpace:
+    def test_allocation_contiguous(self):
+        clients = allocate_clients([10, 20], [2, 3])
+        assert len(clients) == 5
+        assert clients.as_of(clients.blocks[0]) == 10
+        assert clients.as_of(clients.blocks[2]) == 20
+        assert clients.blocks_of(20) == clients.blocks[2:]
+
+    def test_allocation_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            allocate_clients([1], [1, 2])
+
+    def test_allocation_overflow(self):
+        base = parse_prefix("10.0.0.0/22")  # only 4 /24s
+        with pytest.raises(ValueError):
+            allocate_clients([1], [5], base=base)
+
+    def test_as_of_address(self):
+        clients = allocate_clients([10], [2])
+        block = clients.blocks[1]
+        assert clients.as_of_address(block.first_address + 7) == 10
+        assert clients.as_of_address(parse_address("9.0.0.0")) is None
+
+    def test_network_ids_are_prefix_strings(self):
+        clients = allocate_clients([10], [1])
+        assert clients.network_ids() == [str(clients.blocks[0])]
+
+    def test_zipf_counts_sum_and_minimum(self):
+        rng = random.Random(5)
+        counts = zipf_block_counts(rng, 20, 500)
+        assert sum(counts) == 500
+        assert min(counts) >= 1
+        assert max(counts) > 500 // 20  # skewed, not uniform
+
+    def test_zipf_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            zipf_block_counts(random.Random(1), 10, 5)
+        with pytest.raises(ValueError):
+            zipf_block_counts(random.Random(1), 0, 5)
+
+    def test_routing_table_covers_blocks(self, small_topology):
+        clients = allocate_clients([21, 22], [2, 2])
+        table = clients.routing_table(small_topology)
+        assert len(table) == 4
+        assert table.origin_of(clients.blocks[0]) == 21
+        blocks = routable_blocks(table)
+        assert blocks == sorted(clients.blocks)

@@ -1,0 +1,134 @@
+"""Tests for the AS topology and the Internet-like generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp.topology import (
+    ASTopology,
+    Relationship,
+    generate_internet_like,
+    stub_ases,
+)
+
+
+class TestRelationship:
+    def test_inverse(self):
+        assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+
+
+class TestASTopology:
+    def test_add_and_query(self, small_topology):
+        assert 1 in small_topology
+        assert len(small_topology) == 8
+        assert small_topology.relationship(1, 11) is Relationship.CUSTOMER
+        assert small_topology.relationship(11, 1) is Relationship.PROVIDER
+        assert small_topology.relationship(1, 2) is Relationship.PEER
+        assert small_topology.relationship(1, 13) is None
+
+    def test_duplicate_as_rejected(self, small_topology):
+        with pytest.raises(ValueError):
+            small_topology.add_as(1)
+
+    def test_self_link_rejected(self, small_topology):
+        with pytest.raises(ValueError):
+            small_topology.add_customer_link(1, 1)
+        with pytest.raises(ValueError):
+            small_topology.add_peer_link(2, 2)
+
+    def test_unknown_as_rejected(self, small_topology):
+        with pytest.raises(KeyError):
+            small_topology.add_customer_link(1, 999)
+        with pytest.raises(KeyError):
+            small_topology.providers_of(999)
+
+    def test_providers_customers_peers(self, small_topology):
+        assert small_topology.providers_of(22) == {11, 12}
+        assert small_topology.customers_of(1) == {11, 12}
+        assert small_topology.peers_of(1) == {2}
+
+    def test_neighbors_include_all_relationships(self, small_topology):
+        neighbors = dict(small_topology.neighbors(12))
+        assert neighbors == {
+            22: Relationship.CUSTOMER,
+            1: Relationship.PROVIDER,
+            2: Relationship.PROVIDER,
+        }
+
+    def test_remove_link(self, small_topology):
+        assert small_topology.remove_link(1, 11)
+        assert small_topology.relationship(1, 11) is None
+        assert not small_topology.remove_link(1, 11)
+
+    def test_remove_peer_link_either_direction(self, small_topology):
+        assert small_topology.remove_link(2, 1)
+        assert small_topology.relationship(1, 2) is None
+
+    def test_edge_count(self, small_topology):
+        # 8 customer links + 1 peer link.
+        assert small_topology.edge_count() == 9
+
+    def test_copy_is_independent(self, small_topology):
+        clone = small_topology.copy()
+        clone.remove_link(1, 11)
+        assert small_topology.relationship(1, 11) is Relationship.CUSTOMER
+        clone.add_as(99)
+        assert 99 not in small_topology
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        return generate_internet_like(
+            random.Random(42), num_tier1=5, num_tier2=20, num_stubs=100
+        )
+
+    def test_sizes(self, generated):
+        assert len(generated) == 125
+        tiers = [node.tier for node in generated.nodes.values()]
+        assert tiers.count(1) == 5
+        assert tiers.count(2) == 20
+        assert tiers.count(3) == 100
+
+    def test_tier1_full_clique(self, generated):
+        tier1s = [asn for asn, node in generated.nodes.items() if node.tier == 1]
+        for a in tier1s:
+            assert generated.peers_of(a) >= set(tier1s) - {a}
+
+    def test_tier1s_have_no_providers(self, generated):
+        tier1s = [asn for asn, node in generated.nodes.items() if node.tier == 1]
+        for asn in tier1s:
+            assert not generated.providers_of(asn)
+
+    def test_every_tier2_has_tier1_provider(self, generated):
+        for asn, node in generated.nodes.items():
+            if node.tier == 2:
+                providers = generated.providers_of(asn)
+                assert providers
+                assert all(generated.nodes[p].tier == 1 for p in providers)
+
+    def test_every_stub_has_provider(self, generated):
+        for asn in stub_ases(generated):
+            providers = generated.providers_of(asn)
+            assert 1 <= len(providers) <= 2
+            assert all(generated.nodes[p].tier == 2 for p in providers)
+
+    def test_all_ases_have_locations(self, generated):
+        assert all(node.location is not None for node in generated.nodes.values())
+
+    def test_deterministic_in_seed(self):
+        a = generate_internet_like(random.Random(7), num_tier1=3, num_tier2=8, num_stubs=30)
+        b = generate_internet_like(random.Random(7), num_tier1=3, num_tier2=8, num_stubs=30)
+        assert sorted(a.nodes) == sorted(b.nodes)
+        for asn in a.nodes:
+            assert a.providers_of(asn) == b.providers_of(asn)
+            assert a.peers_of(asn) == b.peers_of(asn)
+
+    def test_stub_ases_helper(self, generated):
+        stubs = stub_ases(generated)
+        assert len(stubs) == 100
+        assert stubs == sorted(stubs)

@@ -1,0 +1,195 @@
+"""Tests for BGP update streams, synthetic traffic, and NSID identification."""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.bgp.clients import allocate_clients, synthetic_traffic
+from repro.bgp.events import RoutingScenario, SiteDrain
+from repro.bgp.policy import Announcement
+from repro.bgp.updates import UpdateMessage, diff_outcomes, update_stream
+from repro.net.addr import parse_prefix
+
+PREFIX = parse_prefix("192.0.2.0/24")
+
+
+@pytest.fixture
+def scenario(small_topology):
+    return RoutingScenario(
+        small_topology,
+        [Announcement(origin=21, label="A"), Announcement(origin=23, label="B")],
+    )
+
+
+class TestUpdateMessage:
+    def test_announce_line_round_trip(self):
+        update = UpdateMessage(7, PREFIX, True, (7, 2, 9), 1700000000)
+        assert UpdateMessage.from_line(update.to_line()) == update
+
+    def test_withdraw_line_round_trip(self):
+        update = UpdateMessage(7, PREFIX, False, (), 5)
+        assert UpdateMessage.from_line(update.to_line()) == update
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            UpdateMessage.from_line("TABLE_DUMP2|1|B|x")
+        with pytest.raises(ValueError):
+            UpdateMessage.from_line("BGP4MP|1|X|7|192.0.2.0/24|")
+        with pytest.raises(ValueError):
+            UpdateMessage.from_line("BGP4MP|1|A|7|192.0.2.0/24|")  # no path
+
+
+class TestDiffOutcomes:
+    def test_session_reset_announces_everything(self, scenario, t0):
+        outcome = scenario.outcome_at(t0)
+        updates = diff_outcomes(None, outcome, [22, 13], PREFIX)
+        assert len(updates) == 2
+        assert all(u.announce for u in updates)
+
+    def test_no_change_is_silent(self, scenario, t0):
+        outcome = scenario.outcome_at(t0)
+        assert diff_outcomes(outcome, outcome, [22, 13], PREFIX) == []
+
+    def test_path_change_announces(self, scenario, t0):
+        before = scenario.outcome_at(t0)
+        scenario.add_event(SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        after = scenario.outcome_at(t0 + timedelta(days=1))
+        updates = diff_outcomes(before, after, [11], PREFIX)
+        assert len(updates) == 1
+        assert updates[0].announce
+        assert updates[0].as_path == after[11].path
+
+    def test_lost_route_withdraws(self, small_topology, t0):
+        scenario = RoutingScenario(
+            small_topology, [Announcement(origin=21, label="A")]
+        )
+        before = scenario.outcome_at(t0)
+        from repro.bgp.events import LinkRemove
+
+        scenario.add_event(LinkRemove(11, 21, t0 + timedelta(days=1)))
+        after = scenario.outcome_at(t0 + timedelta(days=1))
+        updates = diff_outcomes(before, after, sorted(small_topology.nodes), PREFIX)
+        withdrawals = [u for u in updates if not u.announce]
+        assert withdrawals  # the partitioned side withdraws
+
+    def test_update_stream_first_time_announces(self, scenario, t0):
+        times = [t0, t0 + timedelta(days=1)]
+        stream = list(update_stream(scenario, [22, 13], times, PREFIX))
+        assert len(stream) == 2  # initial announcements, then silence
+        assert all(u.announce for u in stream)
+
+    def test_update_stream_captures_event(self, scenario, t0):
+        scenario.add_event(SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        times = [t0 + timedelta(days=offset) for offset in range(3)]
+        stream = list(update_stream(scenario, [11], times, PREFIX))
+        # initial announce, drain-induced announce, revert announce.
+        assert len(stream) == 3
+        assert stream[1].timestamp > stream[0].timestamp
+
+
+class TestSyntheticTraffic:
+    def test_total_volume_and_skew(self, rng):
+        clients = allocate_clients([1], [100])
+        table = synthetic_traffic(rng, clients.blocks, total_volume=1000.0)
+        assert sum(table.values()) == pytest.approx(1000.0)
+        values = sorted(table.values(), reverse=True)
+        assert values[0] > 10 * values[-1]  # heavy tail
+
+    def test_keys_match_network_ids(self, rng):
+        clients = allocate_clients([1], [5])
+        table = synthetic_traffic(rng, clients.blocks)
+        assert set(table) == set(clients.network_ids())
+
+    def test_empty(self, rng):
+        assert synthetic_traffic(rng, []) == {}
+
+    def test_traffic_weighting_changes_phi(self, rng, t0):
+        """Traffic weights make Φ sensitive to *which* networks moved."""
+        from repro.core import VectorSeries, phi
+        from repro.core.vector import StateCatalog
+        from repro.core.weighting import table_weights
+
+        clients = allocate_clients([1], [50])
+        table = synthetic_traffic(rng, clients.blocks)
+        heaviest = max(table, key=table.get)
+        series = VectorSeries(clients.network_ids(), StateCatalog())
+        base = {n: "X" for n in clients.network_ids()}
+        moved = dict(base)
+        moved[heaviest] = "Y"
+        series.append_mapping(base, t0)
+        series.append_mapping(moved, t0 + timedelta(days=1))
+        weights = table_weights(series.networks, table)
+        unweighted = phi(series[0], series[1])
+        weighted = phi(series[0], series[1], weights=weights)
+        assert weighted < unweighted  # the heavy block dominates
+
+
+class TestNsidAtlas:
+    def test_nsid_fleet_matches_chaos_fleet(self, small_topology, t0, rng):
+        from repro.anycast.atlas import AtlasFleet, AtlasVP
+        from repro.anycast.service import AnycastService, AnycastSite
+        from repro.net.geo import city
+
+        sites = [
+            AnycastSite("A", 21, city("ORD")),
+            AnycastSite("B", 23, city("FRA")),
+        ]
+        service = AnycastService(small_topology, sites)
+        vps = [AtlasVP(0, 22), AtlasVP(1, 13)]
+        chaos = AtlasFleet(service, vps, random.Random(1), method="chaos")
+        nsid = AtlasFleet(service, vps, random.Random(1), method="nsid")
+        assert chaos.measure(t0) == nsid.measure(t0)
+
+    def test_unknown_method_rejected(self, small_topology, rng):
+        from repro.anycast.atlas import AtlasFleet, AtlasVP
+        from repro.anycast.service import AnycastService, AnycastSite
+        from repro.net.geo import city
+
+        service = AnycastService(
+            small_topology, [AnycastSite("A", 21, city("ORD"))]
+        )
+        with pytest.raises(ValueError):
+            AtlasFleet(service, [AtlasVP(0, 22)], rng, method="telnet")
+
+
+class TestNsidWireFormat:
+    def test_request_response_round_trip(self):
+        from repro.dns.edns import add_nsid_request, add_nsid_response, extract_nsid
+        from repro.dns.message import DnsMessage, Question, TYPE_A
+
+        query = DnsMessage()
+        query.questions.append(Question("example.com", TYPE_A))
+        add_nsid_request(query)
+        decoded_query = DnsMessage.decode(query.encode())
+        assert extract_nsid(decoded_query) == ""  # empty = "identify yourself"
+
+        response = DnsMessage(is_response=True)
+        add_nsid_response(response, "b1-lax")
+        decoded = DnsMessage.decode(response.encode())
+        assert extract_nsid(decoded) == "b1-lax"
+
+    def test_nsid_coexists_with_ecs(self):
+        from repro.dns.edns import (
+            add_client_subnet,
+            add_nsid_response,
+            extract_client_subnet,
+            extract_nsid,
+        )
+        from repro.dns.message import DnsMessage
+
+        message = DnsMessage()
+        add_client_subnet(message, parse_prefix("10.0.0.0/24"))
+        add_nsid_response(message, "server-7")
+        decoded = DnsMessage.decode(message.encode())
+        assert extract_nsid(decoded) == "server-7"
+        ecs = extract_client_subnet(decoded)
+        assert ecs is not None and str(ecs.prefix) == "10.0.0.0/24"
+
+    def test_absent_nsid_is_none(self):
+        from repro.dns.edns import extract_nsid
+        from repro.dns.message import DnsMessage
+
+        assert extract_nsid(DnsMessage()) is None

@@ -1,0 +1,102 @@
+"""Tests for dataset release bundles."""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.series import VectorSeries
+from repro.core.vector import StateCatalog
+from repro.io.bundle import Bundle, BundleError, read_bundle, write_bundle
+
+
+@pytest.fixture
+def series():
+    series = VectorSeries(["n1", "n2"], StateCatalog())
+    t0 = datetime(2025, 1, 1)
+    for day in range(5):
+        series.append_mapping({"n1": "LAX", "n2": "AMS"}, t0 + timedelta(days=day))
+    return series
+
+
+class TestRoundTrip:
+    def test_write_and_read(self, series, tmp_path):
+        directory = write_bundle(
+            tmp_path / "usc", "USC/traceroute", series, {"seed": 42}
+        )
+        bundle = read_bundle(directory)
+        assert bundle.name == "USC/traceroute"
+        assert bundle.observations == 5
+        assert bundle.series.networks == series.networks
+        assert bundle.metadata["provenance"] == {"seed": 42}
+        assert bundle.metadata["networks"] == 2
+
+    def test_metadata_summarizes_series(self, series, tmp_path):
+        directory = write_bundle(tmp_path / "b", "x", series)
+        metadata = json.loads((directory / "metadata.json").read_text())
+        assert metadata["first_observation"].startswith("2025-01-01")
+        assert metadata["last_observation"].startswith("2025-01-05")
+        assert "LAX" in metadata["states"]
+
+
+class TestVerification:
+    def test_tampered_series_detected(self, series, tmp_path):
+        directory = write_bundle(tmp_path / "b", "x", series)
+        series_path = directory / "series.jsonl"
+        series_path.write_text(series_path.read_text().replace("LAX", "ZZZ"))
+        with pytest.raises(BundleError, match="checksum"):
+            read_bundle(directory)
+
+    def test_verification_skippable(self, series, tmp_path):
+        directory = write_bundle(tmp_path / "b", "x", series)
+        series_path = directory / "series.jsonl"
+        series_path.write_text(series_path.read_text().replace("LAX", "ZZZ"))
+        bundle = read_bundle(directory, verify=False)
+        assert isinstance(bundle, Bundle)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(BundleError, match="manifest"):
+            read_bundle(tmp_path)
+
+    def test_missing_file(self, series, tmp_path):
+        directory = write_bundle(tmp_path / "b", "x", series)
+        (directory / "series.jsonl").unlink()
+        with pytest.raises(BundleError, match="missing"):
+            read_bundle(directory)
+
+    def test_inconsistent_metadata(self, series, tmp_path):
+        directory = write_bundle(tmp_path / "b", "x", series)
+        metadata_path = directory / "metadata.json"
+        document = json.loads(metadata_path.read_text())
+        document["observations"] = 99
+        metadata_path.write_text(json.dumps(document))
+        with pytest.raises(BundleError, match="disagrees"):
+            read_bundle(directory, verify=False)
+
+    def test_corrupt_manifest(self, series, tmp_path):
+        directory = write_bundle(tmp_path / "b", "x", series)
+        (directory / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(BundleError, match="unreadable"):
+            read_bundle(directory)
+
+
+class TestDatasetBundles:
+    def test_bundle_a_generated_dataset(self, tmp_path):
+        """The release workflow end-to-end on a real scenario."""
+        from repro.datasets import wikipedia
+
+        study = wikipedia.generate(num_prefixes=120, cadence=timedelta(days=7))
+        directory = write_bundle(
+            tmp_path / "wiki",
+            "Wiki/EDNS-CS",
+            study.series,
+            {"generator": "repro.datasets.wikipedia", "num_prefixes": 120},
+        )
+        bundle = read_bundle(directory)
+        assert bundle.metadata["provenance"]["generator"] == "repro.datasets.wikipedia"
+        from repro.core import Fenrir
+
+        report = Fenrir().run(bundle.series)  # bundles feed straight back in
+        assert len(report.modes) >= 1

@@ -1,0 +1,162 @@
+"""Tests for the control-plane substrate: collectors, catchments, hegemony."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.bgp.events import RoutingScenario, SiteDrain
+from repro.bgp.policy import Announcement
+from repro.controlplane.catchments import origin_series, transit_series
+from repro.controlplane.collector import RouteCollector
+from repro.controlplane.hegemony import hegemony_scores, hegemony_series
+
+
+@pytest.fixture
+def scenario(small_topology):
+    return RoutingScenario(
+        small_topology,
+        [Announcement(origin=21, label="A"), Announcement(origin=23, label="B")],
+    )
+
+
+@pytest.fixture
+def collector(scenario):
+    return RouteCollector(scenario, vantages=[22, 23, 1, 2, 13])
+
+
+class TestCollector:
+    def test_unknown_vantage_rejected(self, scenario):
+        with pytest.raises(KeyError):
+            RouteCollector(scenario, vantages=[999])
+
+    def test_views_have_paths_to_origins(self, collector, t0):
+        views = collector.views_at(t0)
+        assert len(views) == 5
+        for view in views:
+            assert view.as_path[0] == view.vantage_asn
+            assert view.as_path[-1] in (21, 23)
+            assert view.origin_label in ("A", "B")
+
+    def test_views_follow_events(self, collector, scenario, t0):
+        scenario.add_event(SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        during = {v.vantage_asn: v.origin_label for v in collector.views_at(t0 + timedelta(days=1))}
+        assert set(during.values()) == {"B"}
+
+    def test_missing_routes_omitted(self, small_topology, t0):
+        small_topology.remove_link(13, 23)
+        small_topology.remove_link(2, 13)
+        scenario = RoutingScenario(
+            small_topology, [Announcement(origin=21, label="A")]
+        )
+        collector = RouteCollector(scenario, vantages=[13, 22])
+        views = collector.views_at(t0)
+        assert [v.vantage_asn for v in views] == [22]
+
+    def test_rib_export(self, collector, t0):
+        rib = collector.rib_at(t0)
+        assert len(rib) == 5
+        entry = next(iter(rib))
+        assert entry.prefix == collector.prefix
+
+    def test_paths_at(self, collector, t0):
+        paths = collector.paths_at(t0)
+        assert set(paths) == {22, 23, 1, 2, 13}
+
+
+class TestControlPlaneSeries:
+    def test_origin_series_matches_data_plane(self, collector, scenario, t0):
+        times = [t0 + timedelta(days=i) for i in range(3)]
+        series = origin_series(collector, times)
+        assert len(series) == 3
+        outcome = scenario.outcome_at(t0)
+        for vantage in collector.vantages:
+            assert series[0].state_of(f"as{vantage}") == outcome.label_of(vantage)
+
+    def test_origin_series_detects_drain(self, collector, scenario, t0):
+        scenario.add_event(SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        times = [t0 + timedelta(days=i) for i in range(3)]
+        series = origin_series(collector, times)
+        from repro.core import phi
+
+        assert phi(series[0], series[1]) < 1.0
+        assert phi(series[0], series[2]) == 1.0
+
+    def test_transit_series_focus_hop(self, collector, t0):
+        series = transit_series(collector, [t0], focus_hop=1)
+        # Vantage 13 (R3) reaches B via its customer 23 directly.
+        assert series[0].state_of("as13") == "AS23"
+
+    def test_transit_series_names(self, collector, t0):
+        series = transit_series(collector, [t0], focus_hop=1, as_names={23: "SITE-B"})
+        assert series[0].state_of("as13") == "SITE-B"
+
+    def test_transit_series_origin_vantage_unknown(self, scenario, t0):
+        collector = RouteCollector(scenario, vantages=[21])
+        series = transit_series(collector, [t0])
+        assert series[0].state_of("as21") == "unknown"
+
+    def test_transit_series_focus_validation(self, collector, t0):
+        with pytest.raises(ValueError):
+            transit_series(collector, [t0], focus_hop=0)
+
+
+class TestHegemony:
+    def test_single_transit_dominates(self):
+        paths = {v: (v, 100, 9) for v in (1, 2, 3, 4)}
+        scores = hegemony_scores(paths, trim=0.0)
+        assert scores == {100: 1.0}
+
+    def test_split_transit(self):
+        paths = {
+            1: (1, 100, 9),
+            2: (2, 100, 9),
+            3: (3, 200, 9),
+            4: (4, 200, 9),
+        }
+        scores = hegemony_scores(paths, trim=0.0)
+        assert scores == {100: 0.5, 200: 0.5}
+
+    def test_origin_excluded_by_default(self):
+        paths = {1: (1, 100, 9)}
+        assert 9 not in hegemony_scores(paths, trim=0.0)
+        assert 9 in hegemony_scores(paths, trim=0.0, include_origin=True)
+
+    def test_vantage_never_counts_itself(self):
+        paths = {1: (1, 9), 2: (2, 1, 9)}
+        scores = hegemony_scores(paths, trim=0.0)
+        # AS1 appears as transit only on vantage 2's path.
+        assert scores[1] == 0.5
+
+    def test_trimming_removes_extreme_vantages(self):
+        # 10 vantages, one of which uniquely uses AS 777.
+        paths = {v: (v, 100, 9) for v in range(1, 10)}
+        paths[10] = (10, 777, 9)
+        trimmed = hegemony_scores(paths, trim=0.1)
+        untrimmed = hegemony_scores(paths, trim=0.0)
+        assert 777 in untrimmed
+        assert 777 not in trimmed  # its single supporter was trimmed away
+        assert trimmed[100] == 1.0  # and 100's single dissenter too
+
+    def test_trim_validation(self):
+        with pytest.raises(ValueError):
+            hegemony_scores({1: (1, 2, 3)}, trim=0.5)
+
+    def test_empty_paths(self):
+        assert hegemony_scores({}) == {}
+
+    def test_hegemony_series(self):
+        snapshots = [
+            {1: (1, 100, 9), 2: (2, 100, 9)},
+            {1: (1, 200, 9), 2: (2, 200, 9)},
+        ]
+        series = hegemony_series(snapshots, trim=0.0)
+        assert series[0] == {100: 1.0}
+        assert series[1] == {200: 1.0}
+
+    def test_hegemony_on_simulated_scenario(self, collector, scenario, t0):
+        paths = collector.paths_at(t0)
+        scores = hegemony_scores(paths, trim=0.0)
+        assert scores
+        assert all(0.0 < value <= 1.0 for value in scores.values())

@@ -1,0 +1,186 @@
+"""Tests for event detection and ground-truth validation (Table 4 logic)."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.detect import (
+    DetectedEvent,
+    EventGroup,
+    GroundTruthEntry,
+    MaintenanceKind,
+    detect_events,
+    group_entries,
+    step_changes,
+    validate_events,
+)
+from repro.core.series import VectorSeries
+from repro.core.vector import StateCatalog
+
+T0 = datetime(2023, 3, 1)
+
+
+def series_from(maps, t0=T0, step=timedelta(minutes=4)):
+    networks = sorted(maps[0])
+    series = VectorSeries(networks, StateCatalog())
+    for index, mapping in enumerate(maps):
+        series.append_mapping(mapping, t0 + step * index)
+    return series
+
+
+def stable(n):
+    return [{"x": "A", "y": "B", "z": "A", "w": "B"}] * n
+
+
+def shifted(n):
+    return [{"x": "B", "y": "B", "z": "A", "w": "B"}] * n  # one network moved
+
+
+class TestStepChanges:
+    def test_quiescent_is_zero(self):
+        changes = step_changes(series_from(stable(4)))
+        assert changes.tolist() == [0.0, 0.0, 0.0]
+
+    def test_change_magnitude(self):
+        changes = step_changes(series_from(stable(2) + shifted(2)))
+        assert changes.tolist() == [0.0, 0.25, 0.0]
+
+    def test_empty_for_single_observation(self):
+        assert len(step_changes(series_from(stable(1)))) == 0
+
+
+class TestDetectEvents:
+    def test_single_event(self):
+        events = detect_events(series_from(stable(3) + shifted(3)), threshold=0.1)
+        assert len(events) == 1
+        event = events[0]
+        assert event.start_index == 2
+        assert event.start == T0 + timedelta(minutes=8)
+        assert event.max_change == pytest.approx(0.25)
+
+    def test_no_events_below_threshold(self):
+        events = detect_events(series_from(stable(3) + shifted(3)), threshold=0.5)
+        assert events == []
+
+    def test_merge_gap_joins_drain_and_revert(self):
+        maps = stable(3) + shifted(2) + stable(3)
+        events = detect_events(series_from(maps), threshold=0.1, merge_gap=3)
+        assert len(events) == 1
+        assert events[0].end_index >= 5
+
+    def test_merge_gap_one_splits_separated_events(self):
+        maps = stable(2) + shifted(2) + stable(2) + shifted(2)
+        # changes at steps 1->2... indexes: 1, 3 flagged? steps: 1 (stable->shift),
+        # 3 (shift->stable), 5 (stable->shift) with quiet gaps between.
+        events = detect_events(series_from(maps), threshold=0.1, merge_gap=1)
+        assert len(events) >= 2
+
+    def test_event_at_series_end(self):
+        maps = stable(3) + shifted(1)
+        events = detect_events(series_from(maps), threshold=0.1)
+        assert len(events) == 1
+        assert events[0].end_index == 3
+
+    def test_adaptive_threshold_flags_outlier(self):
+        maps = stable(20) + shifted(20)
+        events = detect_events(series_from(maps))  # adaptive
+        assert len(events) == 1
+
+    def test_overlaps(self):
+        event = DetectedEvent(T0, T0 + timedelta(minutes=10), 0, 1, 0.5)
+        assert event.overlaps(T0 + timedelta(minutes=5), T0 + timedelta(minutes=20))
+        assert not event.overlaps(T0 + timedelta(minutes=11), T0 + timedelta(minutes=20))
+
+
+class TestGrouping:
+    def test_groups_by_operator_within_window(self):
+        entries = [
+            GroundTruthEntry(T0, "alice", MaintenanceKind.INTERNAL),
+            GroundTruthEntry(T0 + timedelta(minutes=5), "alice", MaintenanceKind.SITE_DRAIN),
+            GroundTruthEntry(T0 + timedelta(minutes=5), "bob", MaintenanceKind.INTERNAL),
+            GroundTruthEntry(T0 + timedelta(minutes=30), "alice", MaintenanceKind.INTERNAL),
+        ]
+        groups = group_entries(entries)
+        assert len(groups) == 3
+        sizes = sorted(len(g.entries) for g in groups)
+        assert sizes == [1, 1, 2]
+
+    def test_chained_grouping(self):
+        # Entries 8 minutes apart chain into one group even past 10 total.
+        entries = [
+            GroundTruthEntry(T0 + timedelta(minutes=8 * i), "alice", MaintenanceKind.INTERNAL)
+            for i in range(4)
+        ]
+        groups = group_entries(entries)
+        assert len(groups) == 1
+        assert groups[0].end - groups[0].start == timedelta(minutes=24)
+
+    def test_group_external_if_any_member_external(self):
+        group = EventGroup(
+            [
+                GroundTruthEntry(T0, "a", MaintenanceKind.INTERNAL),
+                GroundTruthEntry(T0, "a", MaintenanceKind.SITE_DRAIN),
+            ]
+        )
+        assert group.external
+        assert MaintenanceKind.SITE_DRAIN in group.kinds
+
+    def test_kind_external_flags(self):
+        assert MaintenanceKind.SITE_DRAIN.external
+        assert MaintenanceKind.TRAFFIC_ENGINEERING.external
+        assert not MaintenanceKind.INTERNAL.external
+
+
+class TestValidation:
+    def make_group(self, when, kind, operator="op"):
+        return EventGroup([GroundTruthEntry(when, operator, kind)])
+
+    def make_event(self, when):
+        return DetectedEvent(when, when + timedelta(minutes=4), 0, 1, 0.5)
+
+    def test_confusion_matrix(self):
+        groups = [
+            self.make_group(T0, MaintenanceKind.SITE_DRAIN),  # detected -> TP
+            self.make_group(T0 + timedelta(hours=2), MaintenanceKind.SITE_DRAIN),  # missed -> FN
+            self.make_group(T0 + timedelta(hours=4), MaintenanceKind.INTERNAL),  # detected -> FP
+            self.make_group(T0 + timedelta(hours=6), MaintenanceKind.INTERNAL),  # quiet -> TN
+        ]
+        detected = [
+            self.make_event(T0),
+            self.make_event(T0 + timedelta(hours=4)),
+            self.make_event(T0 + timedelta(hours=9)),  # matches nothing
+        ]
+        report = validate_events(detected, groups)
+        assert report.true_positive == 1
+        assert report.false_negative == 1
+        assert report.false_positive == 1
+        assert report.true_negative == 1
+        assert report.unmatched_detections == 1
+        assert report.recall == 0.5
+        assert report.precision == 0.5
+        assert report.accuracy == 0.5
+        assert len(report.extra_events) == 1
+
+    def test_tolerance_widens_matching(self):
+        groups = [self.make_group(T0, MaintenanceKind.SITE_DRAIN)]
+        detected = [self.make_event(T0 + timedelta(minutes=15))]
+        strict = validate_events(detected, groups, tolerance=timedelta(minutes=5))
+        assert strict.true_positive == 0
+        loose = validate_events(detected, groups, tolerance=timedelta(minutes=20))
+        assert loose.true_positive == 1
+
+    def test_metrics_nan_when_empty(self):
+        report = validate_events([], [])
+        assert np.isnan(report.recall)
+        assert np.isnan(report.accuracy)
+
+    def test_perfect_recall_report(self):
+        groups = [self.make_group(T0, MaintenanceKind.SITE_DRAIN)]
+        report = validate_events([self.make_event(T0)], groups)
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+        assert report.matched_external == groups
+        assert report.missed_external == []

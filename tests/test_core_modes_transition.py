@@ -1,0 +1,155 @@
+"""Tests for mode discovery and transition matrices."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.modes import find_modes
+from repro.core.series import VectorSeries
+from repro.core.transition import transition_matrix
+from repro.core.vector import UNKNOWN, RoutingVector, StateCatalog
+
+
+def series_from(maps, t0=datetime(2024, 1, 1)):
+    networks = sorted(maps[0])
+    series = VectorSeries(networks, StateCatalog())
+    for index, mapping in enumerate(maps):
+        series.append_mapping(mapping, t0 + timedelta(days=index))
+    return series
+
+
+@pytest.fixture
+def recurring_series():
+    """A-mode, B-mode, then A-mode again: a recurring routing result."""
+    a = {"x": "LAX", "y": "LAX", "z": "AMS"}
+    b = {"x": "AMS", "y": "AMS", "z": "LAX"}
+    return series_from([a, a, a, b, b, b, a, a])
+
+
+class TestModes:
+    def test_two_modes_with_recurrence(self, recurring_series):
+        modes = find_modes(recurring_series)
+        assert len(modes) == 2
+        first = modes[0]
+        assert first.indices == (0, 1, 2, 6, 7)
+        assert first.recurring
+        assert first.segments == ((0, 2), (6, 7))
+        assert not modes[1].recurring
+        assert modes.recurring_modes() == [first]
+
+    def test_mode_at(self, recurring_series):
+        modes = find_modes(recurring_series)
+        assert modes.mode_at(4).mode_id == 1
+        assert modes.mode_at(7).mode_id == 0
+
+    def test_phi_within_identical(self, recurring_series):
+        modes = find_modes(recurring_series)
+        assert modes.phi_within(0) == (1.0, 1.0)
+
+    def test_phi_between_disjoint_states(self, recurring_series):
+        modes = find_modes(recurring_series)
+        low, high = modes.phi_between(0, 1)
+        assert low == high == 0.0
+
+    def test_timeline_chronological(self, recurring_series):
+        modes = find_modes(recurring_series)
+        timeline = modes.timeline()
+        assert [entry[0] for entry in timeline] == [0, 1, 0]
+        starts = [entry[1] for entry in timeline]
+        assert starts == sorted(starts)
+
+    def test_closest_prior_mode(self):
+        a = {"x": "LAX", "y": "LAX", "z": "LAX", "w": "AMS"}
+        b = {"x": "AMS", "y": "AMS", "z": "AMS", "w": "LAX"}
+        c = {"x": "LAX", "y": "LAX", "z": "AMS", "w": "AMS"}  # 75% like a, 25% like b
+        modes = find_modes(series_from([a, a, b, b, c, c]))
+        assert len(modes) == 3
+        best = modes.closest_prior_mode(2)
+        assert best is not None
+        prior_id, mean_phi = best
+        assert prior_id == 0  # c resembles a more than b
+        assert mean_phi == pytest.approx(0.75)
+        assert modes.closest_prior_mode(0) is None
+
+    def test_singleton_phi_within(self):
+        a = {"x": "A"}
+        b = {"x": "B"}
+        modes = find_modes(series_from([a, a, b, a, a]), min_cluster_size=1)
+        if len(modes) > 1:
+            singleton = next(m for m in modes.modes if m.size == 1)
+            assert modes.phi_within(singleton.mode_id) == (1.0, 1.0)
+
+    def test_labels_length_mismatch_rejected(self, recurring_series):
+        from repro.core.modes import ModeSet
+
+        with pytest.raises(ValueError):
+            ModeSet(recurring_series, np.zeros(3), np.zeros((3, 3)), 0.1)
+
+
+class TestTransitionMatrix:
+    def test_quiescent_is_diagonal(self):
+        catalog = StateCatalog()
+        a = RoutingVector.from_mapping({"x": "A", "y": "B"}, catalog=catalog)
+        b = RoutingVector.from_mapping({"x": "A", "y": "B"}, catalog=catalog)
+        tm = transition_matrix(a, b)
+        assert tm.stayed() == 2.0
+        assert tm.moved() == 0.0
+        assert tm.row_sums() == a.aggregate()
+        assert tm.column_sums() == b.aggregate()
+
+    def test_drain_shows_off_diagonal(self):
+        catalog = StateCatalog()
+        nets = [f"n{i}" for i in range(10)]
+        before = RoutingVector.from_mapping(
+            {n: ("STR" if i < 6 else "NAP") for i, n in enumerate(nets)},
+            catalog=catalog,
+            networks=nets,
+        )
+        after = RoutingVector.from_mapping(
+            {n: ("NAP" if i < 4 else "err" if i < 6 else "NAP") for i, n in enumerate(nets)},
+            catalog=catalog,
+            networks=nets,
+        )
+        tm = transition_matrix(before, after)
+        assert tm.count("STR", "NAP") == 4
+        assert tm.count("STR", "err") == 2
+        assert tm.count("NAP", "NAP") == 4
+        assert tm.departures_from("STR") == {"NAP": 4.0, "err": 2.0}
+        assert tm.arrivals_to("NAP") == {"STR": 4.0}
+        assert tm.top_movements(1) == [("STR", "NAP", 4.0)]
+
+    def test_weighted_transitions(self):
+        catalog = StateCatalog()
+        a = RoutingVector.from_mapping({"x": "A", "y": "A"}, catalog=catalog)
+        b = RoutingVector.from_mapping({"x": "B", "y": "A"}, catalog=catalog)
+        tm = transition_matrix(a, b, weights=np.array([5.0, 1.0]))
+        assert tm.count("A", "B") == 5.0
+        assert tm.total == 6.0
+
+    def test_row_sums_equal_initial_aggregate_always(self):
+        catalog = StateCatalog()
+        a = RoutingVector.from_mapping(
+            {"x": "A", "y": UNKNOWN, "z": "err"}, catalog=catalog
+        )
+        b = RoutingVector.from_mapping(
+            {"x": "B", "y": "A", "z": UNKNOWN}, catalog=catalog
+        )
+        tm = transition_matrix(a, b)
+        assert tm.row_sums() == a.aggregate()
+        assert tm.column_sums() == b.aggregate()
+
+    def test_unknown_state_rejected_in_count(self):
+        catalog = StateCatalog()
+        a = RoutingVector.from_mapping({"x": "A"}, catalog=catalog)
+        tm = transition_matrix(a, a)
+        with pytest.raises(KeyError):
+            tm.count("A", "NOPE")
+
+    def test_mismatched_vectors_rejected(self):
+        a = RoutingVector.from_mapping({"x": "A"})
+        b = RoutingVector.from_mapping({"x": "A"})
+        with pytest.raises(ValueError):
+            transition_matrix(a, b)  # different catalogs

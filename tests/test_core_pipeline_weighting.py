@@ -1,0 +1,116 @@
+"""Tests for the Fenrir pipeline and the weighting schemes."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Fenrir, FenrirConfig
+from repro.core.series import VectorSeries
+from repro.core.vector import OTHER, UNKNOWN, StateCatalog
+from repro.core.weighting import (
+    address_weights,
+    normalized,
+    table_weights,
+    uniform_weights,
+)
+
+
+class TestWeighting:
+    def test_uniform(self):
+        assert uniform_weights(["a", "b"]).tolist() == [1.0, 1.0]
+
+    def test_address_weights_by_prefix_size(self):
+        weights = address_weights(["10.0.0.0/16", "10.1.0.0/24", "vp42"])
+        assert weights.tolist() == [256.0, 1.0, 1.0]
+
+    def test_address_weights_longer_than_24_is_one(self):
+        assert address_weights(["10.0.0.0/30"]).tolist() == [1.0]
+
+    def test_table_weights(self):
+        weights = table_weights(["a", "b"], {"a": 7.5}, default=0.5)
+        assert weights.tolist() == [7.5, 0.5]
+
+    def test_table_weights_rejects_negative(self):
+        with pytest.raises(ValueError):
+            table_weights(["a"], {"a": -1.0})
+
+    def test_normalized(self):
+        weights = normalized(np.array([1.0, 3.0]))
+        assert weights.tolist() == [0.25, 0.75]
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_normalized_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            normalized(np.zeros(3))
+
+
+def build_series(maps, t0=datetime(2024, 1, 1)):
+    networks = sorted(maps[0])
+    series = VectorSeries(networks, StateCatalog())
+    for index, mapping in enumerate(maps):
+        series.append_mapping(mapping, t0 + timedelta(days=index))
+    return series
+
+
+class TestPipeline:
+    def test_full_run_produces_report(self, simple_series):
+        report = Fenrir().run(simple_series)
+        assert len(report.modes) == 2
+        assert len(report.events) == 1
+        assert report.similarity.shape == (5, 5)
+        assert "modes: 2" in report.summary()
+        assert "mode (i)" in report.mode_timeline()
+        assert report.heatmap()
+        assert report.stackplot()
+
+    def test_requires_two_observations(self):
+        series = build_series([{"x": "A"}])
+        with pytest.raises(ValueError):
+            Fenrir().run(series)
+
+    def test_known_sites_cleaning(self):
+        maps = [{"x": "A", "y": "weird"}] * 2
+        maps[1] = dict(maps[1])
+        config = FenrirConfig(known_sites=frozenset({"A"}))
+        report = Fenrir(config).run(build_series(maps))
+        assert report.cleaned[0].state_of("y") == OTHER
+
+    def test_micro_catchment_config(self):
+        maps = [{"a": "BIG", "b": "BIG", "c": "BIG", "d": "TINY"}] * 2
+        config = FenrirConfig(micro_catchment_min_networks=2)
+        report = Fenrir(config).run(build_series(maps))
+        assert report.folded_micro_catchments == ["TINY"]
+        assert "micro-catchments folded" in report.summary()
+
+    def test_interpolation_in_pipeline(self):
+        maps = [{"x": "A"}, {"x": UNKNOWN}, {"x": "A"}]
+        report = Fenrir().run(build_series(maps))
+        assert report.cleaned[1].state_of("x") == "A"
+        # Raw series is preserved unmodified.
+        assert report.raw[1].state_of("x") == UNKNOWN
+
+    def test_interpolation_disabled(self):
+        maps = [{"x": "A"}, {"x": UNKNOWN}, {"x": "A"}]
+        config = FenrirConfig(interpolation_limit=0)
+        report = Fenrir(config).run(build_series(maps))
+        assert report.cleaned[1].state_of("x") == UNKNOWN
+
+    def test_weight_fn_applied(self, simple_series):
+        fenrir = Fenrir(weight_fn=lambda networks: np.arange(1.0, len(networks) + 1))
+        report = fenrir.run(simple_series)
+        assert report.weights is not None
+        assert report.weights.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_detection_threshold_config(self, simple_series):
+        config = FenrirConfig(detection_threshold=0.9)
+        report = Fenrir(config).run(simple_series)
+        assert report.events == []
+
+    def test_recurring_summary(self):
+        a = {"x": "A", "y": "A"}
+        b = {"x": "B", "y": "B"}
+        report = Fenrir().run(build_series([a, a, b, b, a, a]))
+        assert "recurring modes" in report.summary()

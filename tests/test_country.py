@@ -1,0 +1,103 @@
+"""Tests for country-level transit analysis."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import pytest
+
+from repro.bgp.events import LinkOutage, RoutingScenario
+from repro.bgp.policy import Announcement
+from repro.controlplane.collector import RouteCollector
+from repro.controlplane.country import (
+    BorderCrossing,
+    country_crossings,
+    country_series,
+    transit_diversity,
+)
+
+
+class TestCrossings:
+    def test_first_border_crossing_found(self):
+        paths = {5: (5, 4, 3, 2, 1)}
+        crossings = country_crossings(paths, country_ases={2, 1})
+        assert crossings == [BorderCrossing(5, 3, 2)]
+
+    def test_internal_vantage_skipped(self):
+        paths = {2: (2, 1)}
+        assert country_crossings(paths, {2, 1}) == []
+
+    def test_path_missing_country_skipped(self):
+        paths = {5: (5, 4, 3)}
+        assert country_crossings(paths, {9}) == []
+
+    def test_only_first_crossing_counts(self):
+        # Path enters, exits, re-enters: only the first crossing counts.
+        paths = {5: (5, 1, 7, 1)}
+        crossings = country_crossings(paths, {1})
+        assert len(crossings) == 1
+        assert crossings[0].outside_asn == 5
+
+
+class TestDiversity:
+    def test_empty(self):
+        assert transit_diversity([]) == 0.0
+
+    def test_single_transit(self):
+        crossings = [BorderCrossing(v, 100, 1) for v in range(5)]
+        assert transit_diversity(crossings) == pytest.approx(1.0)
+
+    def test_two_equal_transits(self):
+        crossings = [BorderCrossing(v, 100 + v % 2, 1) for v in range(10)]
+        assert transit_diversity(crossings) == pytest.approx(2.0)
+
+    def test_skew_reduces_diversity(self):
+        balanced = [BorderCrossing(v, 100 + v % 2, 1) for v in range(10)]
+        skewed = [BorderCrossing(v, 100 if v else 101, 1) for v in range(10)]
+        assert transit_diversity(skewed) < transit_diversity(balanced)
+
+
+class TestCountrySeries:
+    @pytest.fixture
+    def setup(self, small_topology, t0):
+        # "Country" = R3 + S3 (ASes 13, 23); origin inside it.
+        scenario = RoutingScenario(
+            small_topology, [Announcement(origin=23, label="X")]
+        )
+        collector = RouteCollector(scenario, vantages=[21, 22, 11, 12, 23])
+        return scenario, collector
+
+    def test_series_shape(self, setup, t0):
+        _scenario, collector = setup
+        series = country_series(collector, {13, 23}, [t0])
+        # Internal vantage 23 excluded from the universe.
+        assert "as23" not in series.networks
+        assert len(series.networks) == 4
+        states = set(series[0].to_mapping().values())
+        assert states == {"AS2"}  # all ingress rides T2 into R3
+
+    def test_outage_shifts_border(self, setup, t0):
+        scenario, collector = setup
+        scenario.add_event(
+            LinkOutage(2, 13, t0 + timedelta(days=1), t0 + timedelta(days=2))
+        )
+        times = [t0, t0 + timedelta(days=1)]
+        series = country_series(collector, {13, 23}, times)
+        before = set(series[0].to_mapping().values())
+        during = set(series[1].to_mapping().values())
+        assert before != during  # country unreachable or rerouted
+        from repro.core import phi
+
+        assert phi(series[0], series[1]) < 1.0
+
+    def test_names_applied(self, setup, t0):
+        _scenario, collector = setup
+        series = country_series(
+            collector, {13, 23}, [t0], as_names={2: "TRANSIT-2"}
+        )
+        assert set(series[0].to_mapping().values()) == {"TRANSIT-2"}
+
+    def test_diversity_on_simulated_country(self, setup, t0):
+        _scenario, collector = setup
+        crossings = country_crossings(collector.paths_at(t0), {13, 23})
+        assert transit_diversity(crossings) == pytest.approx(1.0)  # single transit!

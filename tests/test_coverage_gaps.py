@@ -1,0 +1,229 @@
+"""Focused tests for paths the broader suites exercise only implicitly."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.cleaning import fold_micro_catchments
+from repro.core.series import VectorSeries
+from repro.core.vector import OTHER, StateCatalog
+from repro.core.viz import render_heatmap
+from repro.core.weighting import representation_weights
+from repro.net.addr import parse_prefix
+
+T0 = datetime(2025, 1, 1)
+
+
+class TestRepresentationWeights:
+    def test_sole_vp_in_big_prefix(self):
+        weights = representation_weights(
+            ["vp1", "vp2"], {"vp1": parse_prefix("10.0.0.0/16")}
+        )
+        assert weights.tolist() == [256.0, 1.0]
+
+    def test_longer_than_24_weighs_one(self):
+        weights = representation_weights(
+            ["vp1"], {"vp1": parse_prefix("10.0.0.0/26")}
+        )
+        assert weights.tolist() == [1.0]
+
+    def test_weighting_changes_phi_for_big_representatives(self):
+        from repro.core.compare import phi
+        from repro.core.vector import RoutingVector
+
+        catalog = StateCatalog()
+        networks = ["vp1", "vp2"]
+        a = RoutingVector.from_mapping(
+            {"vp1": "LAX", "vp2": "LAX"}, catalog=catalog, networks=networks
+        )
+        b = RoutingVector.from_mapping(
+            {"vp1": "AMS", "vp2": "LAX"}, catalog=catalog, networks=networks
+        )
+        weights = representation_weights(networks, {"vp1": parse_prefix("10.0.0.0/16")})
+        # vp1 represents 256 blocks, so its move dominates.
+        assert phi(a, b, weights=weights) < 0.01
+        assert phi(a, b) == 0.5
+
+
+class TestWeightedMicroCatchments:
+    def test_weights_decide_micro_status(self):
+        # One network on site SMALL, but that network is heavy: with
+        # weights it is not micro; without, it is.
+        series = VectorSeries(["a", "b", "c"], StateCatalog())
+        series.append_mapping({"a": "BIG", "b": "BIG", "c": "SMALL"}, T0)
+        series.append_mapping({"a": "BIG", "b": "BIG", "c": "SMALL"}, T0 + timedelta(days=1))
+        heavy = np.array([1.0, 1.0, 50.0])
+        _unweighted, folded = fold_micro_catchments(series, min_networks=2)
+        assert folded == ["SMALL"]
+        _weighted, folded_weighted = fold_micro_catchments(
+            series, min_networks=2, weights=heavy
+        )
+        assert folded_weighted == []
+
+
+class TestHeatmapDownsampling:
+    def test_stride_reduces_rows(self):
+        similarity = np.ones((130, 130))
+        text = render_heatmap(similarity, max_size=40)
+        rows = [line for line in text.splitlines() if not line.startswith("scale")]
+        assert len(rows) <= 44
+        assert "stride=4" in text
+
+    def test_block_mean_preserved(self):
+        # A half-similar matrix downsampled: shades reflect the mean.
+        similarity = np.zeros((60, 60))
+        similarity[:30, :30] = 1.0
+        text = render_heatmap(similarity, max_size=30)
+        lines = [line for line in text.splitlines() if not line.startswith("scale")]
+        assert lines[0].strip().startswith("@" * 10)
+
+
+class TestSvgHeatmapDownsampling:
+    def test_max_cells_respected(self):
+        import xml.etree.ElementTree as ET
+
+        from repro.viz_svg import heatmap_svg
+
+        similarity = np.random.default_rng(0).uniform(0, 1, (300, 300))
+        similarity = (similarity + similarity.T) / 2
+        svg = heatmap_svg(similarity, max_cells=50)
+        root = ET.fromstring(svg.to_string())
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect") or root.findall(".//rect")
+        assert len(rects) <= 151 * 151  # way below 300^2
+        assert len(rects) >= 49 * 49
+
+
+class TestVerfploeterRetries:
+    def test_loss_reduces_coverage_and_retries_recover(self, small_topology, t0, rng):
+        import random
+
+        from repro.anycast.service import AnycastService, AnycastSite
+        from repro.anycast.verfploeter import VerfploeterMapper
+        from repro.bgp.clients import allocate_clients
+        from repro.measure.loss import IidLoss
+        from repro.net.geo import city
+        from repro.net.hitlist import Hitlist
+
+        sites = [AnycastSite("A", 21, city("ORD"))]
+        service = AnycastService(small_topology, sites)
+        clients = allocate_clients([22], [60])
+        hitlist = Hitlist.from_blocks_bimodal(clients.blocks, rng, alive_fraction=1.0)
+
+        lossy = VerfploeterMapper(
+            service, hitlist, clients, random.Random(3),
+            loss=IidLoss(0.5, random.Random(4)), retries=0,
+        )
+        coverage_no_retry = len(lossy.measure(t0))
+
+        retrying = VerfploeterMapper(
+            service, hitlist, clients, random.Random(3),
+            loss=IidLoss(0.5, random.Random(4)), retries=3,
+        )
+        coverage_retry = len(retrying.measure(t0))
+        assert coverage_retry > coverage_no_retry
+        assert retrying.last_stats.probes_sent > 60
+
+
+class TestOutcomeAccessors:
+    def test_routing_outcome_misc(self, small_topology):
+        from repro.bgp.policy import Announcement
+        from repro.bgp.routing import compute_routes
+
+        outcome = compute_routes(small_topology, [Announcement(origin=21, label="A")])
+        assert outcome[21].next_hop == 21  # origin's next hop is itself
+        assert outcome[11].next_hop == 21
+        assert outcome.path_of(999) is None
+        assert outcome.label_of(999, "gone") == "gone"
+
+    def test_node_names_default(self, small_topology):
+        assert small_topology.nodes[1].name == "T1"
+
+
+class TestCliDemoSmoke:
+    @pytest.mark.parametrize("name", ["groot", "wikipedia"])
+    def test_demo_runs(self, name, capsys):
+        from repro.cli import main
+
+        assert main(["demo", name]) == 0
+        out = capsys.readouterr().out
+        assert "modes:" in out
+
+
+class TestConcentration:
+    def make(self, mapping, networks=None):
+        from repro.core.vector import RoutingVector
+
+        return RoutingVector.from_mapping(
+            mapping, catalog=StateCatalog(), networks=networks
+        )
+
+    def test_single_site_is_one(self):
+        vector = self.make({"a": "LAX", "b": "LAX"})
+        assert vector.concentration() == pytest.approx(1.0)
+        assert vector.effective_sites() == pytest.approx(1.0)
+
+    def test_even_split(self):
+        vector = self.make({"a": "LAX", "b": "AMS"})
+        assert vector.concentration() == pytest.approx(0.5)
+        assert vector.effective_sites() == pytest.approx(2.0)
+
+    def test_specials_excluded(self):
+        vector = self.make({"a": "LAX", "b": "err", "c": "unknown"})
+        assert vector.concentration() == pytest.approx(1.0)
+
+    def test_weighted(self):
+        import numpy as np
+
+        vector = self.make({"a": "LAX", "b": "AMS"}, networks=["a", "b"])
+        concentration = vector.concentration(np.array([3.0, 1.0]))
+        assert concentration == pytest.approx(0.75**2 + 0.25**2)
+
+    def test_all_unknown_is_nan(self):
+        import numpy as np
+
+        vector = self.make({"a": "unknown"})
+        assert np.isnan(vector.concentration())
+
+
+class TestEcsSupportProbe:
+    def make_mapper(self):
+        import random
+        from datetime import datetime
+
+        from repro.net.geo import city
+        from repro.webmap.frontends import GeoFleet, GeoSite
+        from repro.webmap.mapper import EcsMapper
+
+        fleet = GeoFleet(
+            sites=[GeoSite("us", city("NYC")), GeoSite("eu", city("LHR"))]
+        )
+        locations = {}
+
+        def select(prefix, when):
+            point = city("NYC") if (prefix.network >> 8) % 2 == 0 else city("LHR")
+            return fleet.select(prefix, point, when)
+
+        return EcsMapper(hostname="www.example.com", select=select,
+                         rng=random.Random(1)), datetime(2025, 1, 1)
+
+    def probe_prefixes(self):
+        return [parse_prefix("20.0.0.0/24"), parse_prefix("20.0.1.0/24"),
+                parse_prefix("20.0.2.0/24"), parse_prefix("20.0.3.0/24")]
+
+    def test_passing_resolver_detected(self):
+        mapper, when = self.make_mapper()
+        assert mapper.resolver_supports_ecs(when, self.probe_prefixes())
+
+    def test_stripping_resolver_detected(self):
+        mapper, when = self.make_mapper()
+        assert not mapper.resolver_supports_ecs(
+            when, self.probe_prefixes(), ecs_passthrough=False
+        )
+
+    def test_needs_two_probes(self):
+        mapper, when = self.make_mapper()
+        with pytest.raises(ValueError):
+            mapper.resolver_supports_ecs(when, [parse_prefix("20.0.0.0/24")])

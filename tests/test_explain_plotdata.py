@@ -1,0 +1,127 @@
+"""Tests for event explanations, plot-data export, the stable enterprise."""
+
+from __future__ import annotations
+
+import io
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core import Fenrir, VectorSeries, explain_event
+from repro.core.vector import StateCatalog
+from repro.io.plotdata import (
+    export_report,
+    write_heatmap_csv,
+    write_latency_csv,
+    write_sankey_csv,
+    write_stackplot_csv,
+)
+
+T0 = datetime(2025, 1, 1)
+
+
+def drained_series(num_networks=10, flip_at=5, length=10):
+    networks = [f"n{i}" for i in range(num_networks)]
+    series = VectorSeries(networks, StateCatalog())
+    for day in range(length):
+        site = "LAX" if day < flip_at else "AMS"
+        assignment = {n: (site if i < 6 else "NRT") for i, n in enumerate(networks)}
+        series.append_mapping(assignment, T0 + timedelta(days=day))
+    return series
+
+
+@pytest.fixture
+def report():
+    return Fenrir().run(drained_series())
+
+
+class TestExplainEvent:
+    def test_briefing_contents(self, report):
+        assert report.events
+        explanation = explain_event(report, report.events[0])
+        assert explanation.moved_fraction == pytest.approx(0.6)
+        source, target, count = explanation.top_movements[0]
+        assert (source, target, count) == ("LAX", "AMS", 6.0)
+        assert explanation.mode_before != explanation.mode_after
+        assert not explanation.known_mode  # AMS mode is new
+        assert explanation.recurred_mode is None
+        headline = explanation.headline()
+        assert "60%" in headline
+        assert "NEW routing mode" in headline
+
+    def test_recurrence_flagged(self):
+        networks = ["a", "b"]
+        series = VectorSeries(networks, StateCatalog())
+        pattern = ["X"] * 3 + ["Y"] * 3 + ["X"] * 3
+        for day, site in enumerate(pattern):
+            series.append_mapping({n: site for n in networks}, T0 + timedelta(days=day))
+        report = Fenrir().run(series)
+        # The second event returns routing to mode 0.
+        explanation = explain_event(report, report.events[-1])
+        assert explanation.known_mode
+        assert explanation.recurred_mode == 0
+        assert "returned to known mode 0" in explanation.headline()
+
+    def test_latency_impact(self, report):
+        rtts_before = {f"n{i}": 10.0 for i in range(10)}
+        rtts_after = {f"n{i}": (50.0 if i < 6 else 10.0) for i in range(10)}
+        explanation = explain_event(
+            report, report.events[0], rtts_before, rtts_after
+        )
+        assert explanation.latency["delta_ms"] > 0
+        assert "slower" in explanation.headline()
+
+
+class TestPlotData:
+    def test_heatmap_csv(self, report):
+        buffer = io.StringIO()
+        rows = write_heatmap_csv(report, buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        assert rows == 10
+        assert len(lines) == 11  # header + rows
+        header = lines[0].split(",")
+        assert header[0] == "time" and len(header) == 11
+
+    def test_stackplot_csv(self, report):
+        buffer = io.StringIO()
+        rows = write_stackplot_csv(report, buffer)
+        assert rows == 10
+        header = buffer.getvalue().splitlines()[0]
+        assert "LAX" in header and "AMS" in header
+
+    def test_latency_csv_handles_nan(self):
+        times = [T0, T0 + timedelta(days=1)]
+        latency = {"LAX": np.array([10.0, np.nan])}
+        buffer = io.StringIO()
+        write_latency_csv(latency, times, buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        assert lines[1].endswith("10.000")
+        assert lines[2].endswith(",")  # NaN -> empty cell
+
+    def test_sankey_csv(self):
+        buffer = io.StringIO()
+        count = write_sankey_csv([(0, "USC", "ARN", 5.0)], buffer)
+        assert count == 1
+        assert "USC,ARN,5.000" in buffer.getvalue()
+
+    def test_export_report(self, report, tmp_path):
+        written = export_report(report, tmp_path / "figs")
+        assert set(written) == {"heatmap", "stackplot"}
+        for path in written.values():
+            assert (tmp_path / "figs").samefile(
+                __import__("pathlib").Path(path).parent
+            )
+
+
+class TestStableEnterprise:
+    def test_second_enterprise_is_quiet(self):
+        """The paper's second enterprise: ten months, no changes."""
+        from repro.datasets import usc
+
+        study = usc.generate_stable(num_blocks=400, cadence=timedelta(days=15))
+        report = Fenrir().run(study.series)
+        assert len(report.modes) == 1
+        assert report.events == []
+        low, high = report.modes.phi_within(0)
+        assert low > 0.75  # only measurement noise

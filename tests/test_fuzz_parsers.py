@@ -1,0 +1,132 @@
+"""Fuzz tests: parsers must fail cleanly on malformed input.
+
+Every decoder in the library consumes wire bytes or archive lines that
+in production come from the network; none may crash with anything but
+its documented error type, and every round-trip must be stable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.table import RibEntry
+from repro.bgp.updates import UpdateMessage
+from repro.dns.edns import ClientSubnet, extract_client_subnet, extract_nsid
+from repro.dns.message import DnsError, DnsMessage, decode_name
+from repro.net.addr import AddressError, parse_address, parse_prefix
+
+
+class TestDnsFuzz:
+    @settings(max_examples=200)
+    @given(st.binary(max_size=200))
+    def test_message_decode_never_crashes(self, data):
+        try:
+            message = DnsMessage.decode(data)
+        except DnsError:
+            return
+        # A successful decode must re-encode without raising.
+        message.encode()
+
+    @settings(max_examples=200)
+    @given(st.binary(min_size=1, max_size=80), st.integers(min_value=0, max_value=40))
+    def test_name_decode_never_crashes(self, data, offset):
+        try:
+            decode_name(data, min(offset, len(data) - 1))
+        except DnsError:
+            pass
+
+    @settings(max_examples=100)
+    @given(st.binary(max_size=40))
+    def test_ecs_decode_never_crashes(self, payload):
+        try:
+            ClientSubnet.decode(payload)
+        except DnsError:
+            pass
+
+    @settings(max_examples=100)
+    @given(st.binary(max_size=120))
+    def test_option_extractors_never_crash(self, rdata):
+        from repro.dns.message import ResourceRecord, TYPE_OPT
+
+        message = DnsMessage()
+        message.additionals.append(ResourceRecord("", TYPE_OPT, 4096, 0, rdata))
+        for extractor in (extract_client_subnet, extract_nsid):
+            try:
+                extractor(message)
+            except DnsError:
+                pass
+
+    @settings(max_examples=100)
+    @given(st.binary(max_size=150))
+    def test_decode_encode_decode_stable(self, data):
+        try:
+            first = DnsMessage.decode(data)
+        except DnsError:
+            return
+        second = DnsMessage.decode(first.encode())
+        assert second.msg_id == first.msg_id
+        assert second.questions == first.questions
+        assert len(second.answers) == len(first.answers)
+
+
+class TestLineFormatsFuzz:
+    @settings(max_examples=200)
+    @given(st.text(max_size=120))
+    def test_rib_line_never_crashes(self, line):
+        try:
+            entry = RibEntry.from_line(line)
+        except (ValueError, AddressError):
+            return
+        assert RibEntry.from_line(entry.to_line()) == entry
+
+    @settings(max_examples=200)
+    @given(st.text(max_size=120))
+    def test_update_line_never_crashes(self, line):
+        try:
+            update = UpdateMessage.from_line(line)
+        except (ValueError, AddressError):
+            return
+        assert UpdateMessage.from_line(update.to_line()) == update
+
+    @settings(max_examples=200)
+    @given(st.text(max_size=60))
+    def test_address_parsers_never_crash(self, text):
+        for parser in (parse_address, parse_prefix):
+            try:
+                parser(text)
+            except AddressError:
+                pass
+
+
+class TestWartsFuzz:
+    @settings(max_examples=100)
+    @given(st.text(max_size=200))
+    def test_record_from_json_never_crashes_oddly(self, text):
+        from repro.traceroute.warts import record_from_json
+
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            return
+        try:
+            record_from_json(obj)
+        except (ValueError, KeyError, TypeError, AttributeError, AddressError):
+            pass
+
+
+class TestSeriesFuzz:
+    @settings(max_examples=50)
+    @given(st.text(max_size=300))
+    def test_jsonl_reader_fails_cleanly(self, text):
+        import io
+
+        from repro.io.formats import read_series_jsonl
+
+        try:
+            read_series_jsonl(io.StringIO(text))
+        except (ValueError, KeyError, TypeError, AttributeError):
+            pass

@@ -1,0 +1,207 @@
+"""Cross-module invariants and failure-injection integration tests.
+
+These tie the pieces together: Φ must be derivable from the transition
+matrix, cleaning must be idempotent, bursty loss must be repairable by
+interpolation, and weighting must commute with aggregation.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cleaning import interpolate_series
+from repro.core.compare import phi
+from repro.core.series import VectorSeries
+from repro.core.transition import transition_matrix
+from repro.core.vector import UNKNOWN, RoutingVector, StateCatalog
+
+T0 = datetime(2024, 1, 1)
+
+states = st.sampled_from(["A", "B", "C", UNKNOWN])
+
+
+@st.composite
+def vector_pair(draw):
+    count = draw(st.integers(min_value=1, max_value=15))
+    networks = [f"n{i}" for i in range(count)]
+    catalog = StateCatalog()
+    a = RoutingVector.from_mapping(
+        {n: draw(states) for n in networks}, catalog=catalog, networks=networks
+    )
+    b = RoutingVector.from_mapping(
+        {n: draw(states) for n in networks}, catalog=catalog, networks=networks
+    )
+    return a, b
+
+
+class TestPhiTransitionConsistency:
+    @given(vector_pair())
+    def test_phi_equals_known_diagonal_of_transition(self, pair):
+        """Φ·N = trace(T) minus the unknown→unknown cell.
+
+        M(t,t',n) is 1 exactly when the pair sits on a known diagonal
+        cell of the transition matrix, so the two §2 definitions must
+        agree numerically.
+        """
+        a, b = pair
+        table = transition_matrix(a, b)
+        known_diagonal = table.stayed() - table.count(UNKNOWN, UNKNOWN)
+        assert phi(a, b) * len(a) == pytest.approx(known_diagonal)
+
+    @given(vector_pair())
+    def test_transition_total_is_network_count(self, pair):
+        a, b = pair
+        assert transition_matrix(a, b).total == len(a)
+
+
+class TestCleaningMonotonicity:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.lists(states, min_size=3, max_size=3), min_size=2, max_size=12
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_interpolation_refines_monotonically(self, rows, limit):
+        """Re-cleaning never rewrites filled cells, only extends reach.
+
+        Interpolation limits reach relative to *observed* values, so a
+        second pass may fill further (filled cells count as observed),
+        but it must never change a value the first pass produced.
+        """
+        networks = ["x", "y", "z"]
+        series = VectorSeries(networks, StateCatalog())
+        for index, row in enumerate(rows):
+            series.append_mapping(
+                dict(zip(networks, row)), T0 + timedelta(days=index)
+            )
+        once = interpolate_series(series, limit=limit)
+        twice = interpolate_series(once, limit=limit)
+        known_once = once.matrix != 0  # UNKNOWN_CODE == 0
+        assert np.array_equal(once.matrix[known_once], twice.matrix[known_once])
+        # And the unknown set only shrinks.
+        assert np.all(known_once <= (twice.matrix != 0))
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.lists(states, min_size=2, max_size=2), min_size=2, max_size=10
+        ),
+    )
+    def test_larger_limit_fills_superset(self, rows):
+        networks = ["x", "y"]
+        series = VectorSeries(networks, StateCatalog())
+        for index, row in enumerate(rows):
+            series.append_mapping(
+                dict(zip(networks, row)), T0 + timedelta(days=index)
+            )
+        small = interpolate_series(series, limit=1)
+        large = interpolate_series(series, limit=4)
+        assert np.all((small.matrix != 0) <= (large.matrix != 0))
+
+
+class TestFailureInjection:
+    def test_bursty_loss_repaired_by_interpolation(self, rng):
+        """A Gilbert-Elliott loss burst leaves a gap interpolation closes.
+
+        This is the §2.4 motivation end-to-end: stable routing, bursty
+        measurement loss, and cleaning restoring Φ to ~1.
+        """
+        from repro.measure.loss import GilbertElliott
+
+        loss = GilbertElliott(p_gb=0.05, p_bg=0.4, rng=rng)
+        networks = [f"n{i}" for i in range(60)]
+        series = VectorSeries(networks, StateCatalog())
+        for day in range(30):
+            assignment = {}
+            for network in networks:
+                if not loss.lost():
+                    assignment[network] = "LAX"
+            series.append_mapping(assignment, T0 + timedelta(days=day))
+
+        raw_phi = np.mean(
+            [phi(series[i], series[i + 1]) for i in range(len(series) - 1)]
+        )
+        cleaned = interpolate_series(series, limit=3)
+        cleaned_phi = np.mean(
+            [phi(cleaned[i], cleaned[i + 1]) for i in range(len(cleaned) - 1)]
+        )
+        assert cleaned_phi > raw_phi
+        assert cleaned_phi > 0.97
+
+    def test_detection_robust_to_loss_noise(self, rng):
+        """Loss noise alone must not trip the detector; a real shift must."""
+        from repro.core.detect import detect_events
+        from repro.measure.loss import IidLoss
+
+        loss = IidLoss(0.02, rng)
+        networks = [f"n{i}" for i in range(200)]
+        series = VectorSeries(networks, StateCatalog())
+        for day in range(40):
+            site = "LAX" if day < 20 else "AMS"
+            assignment = {
+                n: site for n in networks if not loss.lost()
+            }
+            series.append_mapping(assignment, T0 + timedelta(days=day))
+        cleaned = interpolate_series(series, limit=3)
+        events = detect_events(cleaned, threshold=0.3)
+        assert len(events) == 1
+        assert events[0].start_index == 19
+
+
+class TestWeightingCommutes:
+    def test_weighted_aggregate_matches_manual_sum(self):
+        catalog = StateCatalog()
+        vector = RoutingVector.from_mapping(
+            {"a": "X", "b": "X", "c": "Y"}, catalog=catalog
+        )
+        weights = np.array([2.0, 3.0, 4.0])
+        aggregate = vector.aggregate(weights)
+        assert aggregate == {"X": 5.0, "Y": 4.0}
+
+    def test_phi_scale_invariant_in_weights(self):
+        catalog = StateCatalog()
+        networks = ["a", "b", "c"]
+        x = RoutingVector.from_mapping(
+            {"a": "X", "b": "Y", "c": "X"}, catalog=catalog, networks=networks
+        )
+        y = RoutingVector.from_mapping(
+            {"a": "X", "b": "X", "c": "X"}, catalog=catalog, networks=networks
+        )
+        weights = np.array([1.0, 5.0, 2.0])
+        assert phi(x, y, weights=weights) == pytest.approx(
+            phi(x, y, weights=weights * 17.0)
+        )
+
+
+class TestUserWeightedWikipedia:
+    def test_user_weights_change_drain_impact(self):
+        """§2.5: weighting by users changes how big the drain *feels*.
+
+        If codfw's clients happen to carry most users, a user-weighted
+        Φ dips further during the drain than the unweighted one.
+        """
+        from repro.core.weighting import table_weights
+        from repro.datasets import wikipedia
+
+        study = wikipedia.generate(num_prefixes=400, cadence=timedelta(days=2))
+        series = study.series
+        pre = series.index_at(wikipedia.DRAIN_START - timedelta(days=1))
+        during = series.index_at(wikipedia.DRAIN_START + timedelta(days=1))
+
+        # Put 10 users on codfw clients and 1 elsewhere.
+        baseline = series[pre].to_mapping()
+        users = {
+            network: 10.0 if site == "codfw" else 1.0
+            for network, site in baseline.items()
+        }
+        weights = table_weights(series.networks, users, default=1.0)
+        unweighted = phi(series[pre], series[during])
+        weighted = phi(series[pre], series[during], weights=weights)
+        assert weighted < unweighted

@@ -1,0 +1,103 @@
+"""Tests for series serialization and the dataset catalog."""
+
+from __future__ import annotations
+
+import io
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.series import VectorSeries
+from repro.core.vector import UNKNOWN, StateCatalog
+from repro.io.catalog import CATALOG, dataset
+from repro.io.formats import (
+    read_series_csv,
+    read_series_jsonl,
+    write_series_csv,
+    write_series_jsonl,
+)
+
+
+@pytest.fixture
+def series(t0):
+    series = VectorSeries(["n1", "n2", "n3"], StateCatalog())
+    series.append_mapping({"n1": "LAX", "n2": "AMS"}, t0)
+    series.append_mapping({"n1": "LAX", "n2": "err", "n3": "other"}, t0 + timedelta(days=1))
+    return series
+
+
+def assert_series_equal(a: VectorSeries, b: VectorSeries) -> None:
+    assert a.networks == b.networks
+    assert a.times == b.times
+    assert [v.to_mapping() for v in a] == [v.to_mapping() for v in b]
+
+
+class TestJsonl:
+    def test_round_trip(self, series):
+        buffer = io.StringIO()
+        assert write_series_jsonl(series, buffer) == 2
+        buffer.seek(0)
+        assert_series_equal(read_series_jsonl(buffer), series)
+
+    def test_unknowns_omitted_but_recovered(self, series):
+        buffer = io.StringIO()
+        write_series_jsonl(series, buffer)
+        text = buffer.getvalue()
+        assert UNKNOWN not in text
+        rebuilt = read_series_jsonl(io.StringIO(text))
+        assert rebuilt[0].state_of("n3") == UNKNOWN
+
+    def test_missing_header_rejected(self):
+        line = '{"type":"observation","time":"2024-01-01T00:00:00","states":{}}'
+        with pytest.raises(ValueError):
+            read_series_jsonl(io.StringIO(line + "\n"))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            read_series_jsonl(io.StringIO(""))
+
+    def test_unknown_line_type_rejected(self):
+        with pytest.raises(ValueError):
+            read_series_jsonl(io.StringIO('{"type":"mystery"}\n'))
+
+
+class TestCsv:
+    def test_round_trip(self, series):
+        buffer = io.StringIO()
+        assert write_series_csv(series, buffer) == 2
+        buffer.seek(0)
+        assert_series_equal(read_series_csv(buffer), series)
+
+    def test_header_validated(self):
+        with pytest.raises(ValueError):
+            read_series_csv(io.StringIO("wrong,a,b\n"))
+        with pytest.raises(ValueError):
+            read_series_csv(io.StringIO(""))
+
+
+class TestCatalog:
+    def test_all_paper_datasets_present(self):
+        names = {info.name for info in CATALOG}
+        assert {
+            "B-Root/Verfploeter",
+            "B-Root/Atlas",
+            "USC/traceroute",
+            "Google/EDNS-CS",
+            "Wiki/EDNS-CS",
+        } <= names
+
+    def test_lookup(self):
+        info = dataset("USC/traceroute")
+        assert info.case_study == "multi-homed enterprise"
+        assert info.generator == "repro.datasets.usc"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            dataset("nope")
+
+    def test_generators_importable(self):
+        import importlib
+
+        for info in CATALOG:
+            module = importlib.import_module(info.generator)
+            assert hasattr(module, "generate")

@@ -1,0 +1,190 @@
+"""Tests for measurement machinery and the latency substrate."""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.latency.atlasrtt import AtlasRttMeasurement
+from repro.latency.model import RttModel
+from repro.latency.trinocular import PROBE_INTERVAL, TrinocularProber
+from repro.measure.campaign import Campaign, round_times
+from repro.measure.loss import GilbertElliott, IidLoss
+from repro.net.geo import city
+
+
+class TestLossModels:
+    def test_iid_extremes(self, rng):
+        assert not IidLoss(0.0, rng).lost()
+        assert IidLoss(1.0, rng).lost()
+
+    def test_iid_rate(self, rng):
+        model = IidLoss(0.3, rng)
+        losses = sum(model.lost() for _ in range(20000)) / 20000
+        assert 0.27 < losses < 0.33
+
+    def test_iid_validation(self, rng):
+        with pytest.raises(ValueError):
+            IidLoss(1.5, rng)
+
+    def test_gilbert_elliott_bursts(self, rng):
+        model = GilbertElliott(p_gb=0.01, p_bg=0.2, rng=rng)
+        outcomes = [model.lost() for _ in range(50000)]
+        # Count mean burst length of losses; bursts should be > 1 on average.
+        bursts, current = [], 0
+        for lost in outcomes:
+            if lost:
+                current += 1
+            elif current:
+                bursts.append(current)
+                current = 0
+        assert bursts and sum(bursts) / len(bursts) > 2.0
+
+    def test_gilbert_elliott_stationary_rate(self, rng):
+        model = GilbertElliott(p_gb=0.02, p_bg=0.18, rng=rng)
+        expected = model.expected_loss
+        assert expected == pytest.approx(0.1)
+        observed = sum(model.lost() for _ in range(60000)) / 60000
+        assert abs(observed - expected) < 0.02
+
+    def test_gilbert_elliott_validation(self, rng):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_gb=2.0, p_bg=0.1, rng=rng)
+
+
+class TestCampaign:
+    def test_all_answer_without_loss(self):
+        campaign = Campaign(probe=lambda t: t * 2)
+        results = campaign.run([1, 2, 3])
+        assert results == {1: 2, 2: 4, 3: 6}
+        assert campaign.stats.response_rate == 1.0
+        assert campaign.stats.probes_sent == 3
+
+    def test_unresponsive_targets_absent(self):
+        campaign = Campaign(probe=lambda t: None if t == 2 else t)
+        results = campaign.run([1, 2, 3])
+        assert 2 not in results
+        assert campaign.stats.answered == 2
+
+    def test_retries_recover_loss(self, rng):
+        # Deterministic alternating loss: first attempt lost, retry OK.
+        class AlternatingLoss:
+            def __init__(self):
+                self.flag = False
+
+            def lost(self):
+                self.flag = not self.flag
+                return self.flag
+
+        campaign = Campaign(probe=lambda t: t, loss=AlternatingLoss(), retries=1)
+        results = campaign.run([1, 2, 3])
+        assert len(results) == 3
+        assert campaign.stats.probes_sent == 6
+        assert campaign.stats.lost == 3
+
+    def test_duration_at_rate(self):
+        campaign = Campaign(probe=lambda t: t)
+        campaign.run(list(range(550 * 60)))
+        assert campaign.stats.duration(550.0) == timedelta(minutes=1)
+        with pytest.raises(ValueError):
+            campaign.stats.duration(0)
+
+    def test_round_times(self):
+        t0 = datetime(2024, 1, 1)
+        times = round_times(t0, timedelta(minutes=4), 3)
+        assert times == [t0, t0 + timedelta(minutes=4), t0 + timedelta(minutes=8)]
+        with pytest.raises(ValueError):
+            round_times(t0, timedelta(0), 2)
+        with pytest.raises(ValueError):
+            round_times(t0, timedelta(minutes=1), -1)
+
+
+class TestRttModel:
+    def test_base_rtt_deterministic(self):
+        model = RttModel()
+        a = model.base_rtt("n1", city("NYC"), city("LHR"))
+        b = model.base_rtt("n1", city("NYC"), city("LHR"))
+        assert a == b
+
+    def test_base_rtt_distance_dominates(self):
+        model = RttModel(access_ms_min=2.0, access_ms_max=5.0)
+        near = model.base_rtt("n1", city("NYC"), city("IAD"))
+        far = model.base_rtt("n1", city("NYC"), city("SIN"))
+        assert far > near
+
+    def test_jitter_bounded(self, rng):
+        model = RttModel(jitter_ms=2.0, rng=rng)
+        base = model.base_rtt("n1", city("NYC"), city("LHR"))
+        for _ in range(50):
+            sample = model.sample("n1", city("NYC"), city("LHR"))
+            assert base <= sample <= base + 2.0
+
+    def test_table_skips_unlocated(self):
+        model = RttModel()
+        table = model.table(
+            {"n1": "LAX", "n2": "NOWHERE", "n3": "LAX"},
+            {"n1": city("NYC"), "n3": city("ORD")},
+            {"LAX": city("LAX")},
+        )
+        assert sorted(table) == ["n1", "n3"]
+        assert all(value > 0 for value in table.values())
+
+
+class TestTrinocular:
+    def test_round_rtts_for_available_blocks(self, rng):
+        prober = TrinocularProber(
+            site_location=city("LAX"),
+            block_locations={"b1": city("NYC"), "b2": city("LHR")},
+            rng=rng,
+            availability={"b1": 1.0, "b2": 0.0},
+        )
+        results = prober.round(datetime(2024, 1, 1))
+        assert "b1" in results and "b2" not in results
+        assert prober.probes_sent > 0
+
+    def test_rounds_between_cadence(self, rng):
+        prober = TrinocularProber(
+            site_location=city("LAX"),
+            block_locations={"b1": city("NYC")},
+            rng=rng,
+        )
+        start = datetime(2024, 1, 1)
+        rounds = prober.rounds_between(start, start + timedelta(minutes=60))
+        assert len(rounds) == 6  # 11-minute cadence
+        assert rounds[1][0] - rounds[0][0] == PROBE_INTERVAL
+
+
+class TestAtlasRtt:
+    def test_vp_rtt_follows_catchment(self, small_topology, t0, rng):
+        from repro.anycast.atlas import AtlasVP
+        from repro.anycast.service import AnycastService, AnycastSite
+        from repro.bgp.events import SiteDrain
+
+        sites = [
+            AnycastSite("NEAR", 21, city("ORD")),
+            AnycastSite("FAR", 23, city("SIN")),
+        ]
+        service = AnycastService(small_topology, sites)
+        vps = [AtlasVP(0, 11)]
+        measurement = AtlasRttMeasurement(
+            service, vps, {11: city("ORD")}, rng, model=RttModel(jitter_ms=0)
+        )
+        before = measurement.measure(t0)["vp0"]
+        service.add_event(SiteDrain("NEAR", t0 + timedelta(days=1), t0 + timedelta(days=2)))
+        during = measurement.measure(t0 + timedelta(days=1))["vp0"]
+        assert during > before * 3  # moved from ORD-local to Singapore
+
+    def test_unreachable_vps_skipped(self, small_topology, t0, rng):
+        from repro.anycast.atlas import AtlasVP
+        from repro.anycast.service import AnycastService, AnycastSite
+
+        small_topology.remove_link(11, 21)
+        service = AnycastService(
+            small_topology, [AnycastSite("A", 21, city("ORD"))]
+        )
+        measurement = AtlasRttMeasurement(
+            service, [AtlasVP(0, 13)], {13: city("FRA")}, rng
+        )
+        assert measurement.measure(t0) == {}

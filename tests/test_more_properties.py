@@ -1,0 +1,259 @@
+"""Additional property tests and leftover-path coverage."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import adaptive_clusters, cut_linkage, hac_linkage
+from repro.core.compare import phi, similarity_matrix
+from repro.core.series import VectorSeries
+from repro.core.vector import UNKNOWN, StateCatalog
+
+T0 = datetime(2025, 1, 1)
+
+
+@st.composite
+def random_series_and_weights(draw):
+    num_networks = draw(st.integers(min_value=2, max_value=10))
+    num_rounds = draw(st.integers(min_value=2, max_value=6))
+    networks = [f"n{i}" for i in range(num_networks)]
+    series = VectorSeries(networks, StateCatalog())
+    states = ["A", "B", "C", UNKNOWN]
+    for round_index in range(num_rounds):
+        assignment = {
+            n: draw(st.sampled_from(states)) for n in networks
+        }
+        series.append_mapping(assignment, T0 + timedelta(days=round_index))
+    weights = np.array(
+        [draw(st.floats(min_value=0.1, max_value=10.0)) for _ in networks]
+    )
+    return series, weights
+
+
+class TestWeightedSimilarityProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(random_series_and_weights())
+    def test_matrix_matches_pairwise_weighted_phi(self, data):
+        series, weights = data
+        matrix = similarity_matrix(series, weights=weights)
+        for i in range(len(series)):
+            for j in range(len(series)):
+                expected = phi(series[i], series[j], weights=weights)
+                assert matrix[i, j] == pytest.approx(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_series_and_weights())
+    def test_matrix_symmetric(self, data):
+        series, weights = data
+        matrix = similarity_matrix(series, weights=weights)
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestAdaptiveThresholdMinimality:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_threshold_is_first_qualifying(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 1, 20)
+        distance = np.abs(points[:, None] - points[None, :])
+        linkage = hac_linkage(distance, "single")
+        result = adaptive_clusters(distance, method="single", linkage=linkage)
+
+        def qualifies(threshold: float) -> bool:
+            labels = cut_linkage(linkage, threshold)
+            counts = np.bincount(labels)
+            return len(counts) < 15 and counts.min() >= 2
+
+        assert qualifies(result.threshold)
+        # No earlier grid threshold qualifies.
+        grid = np.arange(0.0, result.threshold - 1e-9, 0.01)
+        for threshold in grid:
+            assert not qualifies(float(threshold))
+
+
+class TestLeftoverPaths:
+    def test_te_on_missing_site_is_noop(self, small_topology, t0):
+        from repro.bgp.events import RoutingScenario, TrafficEngineering
+        from repro.bgp.policy import Announcement
+
+        scenario = RoutingScenario(
+            small_topology, [Announcement(origin=21, label="A")]
+        )
+        scenario.add_event(
+            TrafficEngineering("GHOST", 11, 3, t0, t0 + timedelta(days=1))
+        )
+        _topo, anns, _down = scenario.configuration_at(t0)
+        assert [a.label for a in anns] == ["A"]
+
+    def test_mode_timeline_roman_fallback(self):
+        from repro.core.modes import find_modes
+        from repro.core.viz import render_mode_timeline
+
+        series = VectorSeries(["x"], StateCatalog())
+        # 20 modes of 2 observations each, all mutually dissimilar.
+        for index in range(40):
+            series.append_mapping({"x": f"S{index // 2}"}, T0 + timedelta(days=index))
+        modes = find_modes(series, max_clusters=25, min_cluster_size=2)
+        text = render_mode_timeline(modes)
+        assert "mode (15)" in text or "mode (xv)" in text
+
+    def test_online_with_weights(self):
+        from repro.core.online import OnlineFenrir
+
+        tracker = OnlineFenrir(
+            networks=["big", "small"], weights=np.array([10.0, 1.0]),
+            event_threshold=0.5,
+        )
+        tracker.ingest({"big": "X", "small": "X"}, T0)
+        update = tracker.ingest({"big": "X", "small": "Y"}, T0 + timedelta(days=1))
+        assert not update.is_event  # the light network moving is sub-threshold
+        update = tracker.ingest({"big": "Y", "small": "Y"}, T0 + timedelta(days=2))
+        assert update.is_event  # the heavy one counts
+
+    def test_explain_uses_report_weights(self):
+        from repro.core import Fenrir, explain_event
+
+        fenrir = Fenrir(weight_fn=lambda networks: np.array([10.0, 1.0, 1.0]))
+        series = VectorSeries(["a", "b", "c"], StateCatalog())
+        for day in range(6):
+            state = "X" if day < 3 else "Y"
+            series.append_mapping(
+                {"a": state, "b": "X", "c": "X"}, T0 + timedelta(days=day)
+            )
+        report = fenrir.run(series)
+        explanation = explain_event(report, report.events[0])
+        # Only 'a' (weight 10 of 12) moved.
+        assert explanation.moved_fraction == pytest.approx(10 / 12)
+
+    def test_country_series_vantage_with_no_route(self, small_topology, t0):
+        from repro.bgp.events import LinkRemove, RoutingScenario
+        from repro.bgp.policy import Announcement
+        from repro.controlplane.collector import RouteCollector
+        from repro.controlplane.country import country_series
+
+        scenario = RoutingScenario(
+            small_topology, [Announcement(origin=23, label="X")]
+        )
+        scenario.add_event(LinkRemove(11, 21, t0 - timedelta(days=1)))
+        collector = RouteCollector(scenario, vantages=[21, 22])
+        series = country_series(collector, {13, 23}, [t0])
+        assert series[0].state_of("as21") == UNKNOWN  # partitioned vantage
+        assert series[0].state_of("as22") != UNKNOWN
+
+    def test_hitlist_refresh_drift_bounded(self, rng):
+        from repro.net.addr import IPv4Prefix
+        from repro.net.hitlist import Hitlist
+
+        blocks = [IPv4Prefix((10 << 24) + (i << 8), 24) for i in range(100)]
+        original = Hitlist.from_blocks(blocks, rng)
+        refreshed = original.refresh_scores(rng, drift=0.01)
+        deltas = [
+            abs(a.score - b.score) for a, b in zip(original, refreshed)
+        ]
+        assert max(deltas) < 0.1
+
+    def test_playbook_entry_vector_roundtrip(self, small_topology, t0):
+        from repro.anycast import AnycastService, AnycastSite, build_playbook
+        from repro.net.geo import city
+
+        service = AnycastService(
+            small_topology,
+            [AnycastSite("A", 21, city("ORD")), AnycastSite("B", 23, city("FRA"))],
+        )
+        playbook = build_playbook(service, t0)
+        entry = playbook[0]
+        catalog = StateCatalog()
+        networks = sorted(f"as{asn}" for asn in entry.assignment)
+        vector = entry.vector(catalog, networks)
+        assert len(vector) == len(entry.assignment)
+        assert sum(entry.aggregates.values()) == len(entry.assignment)
+
+
+class TestModeExemplarAndMatching:
+    def make_modes(self, pattern):
+        from repro.core.modes import find_modes
+
+        series = VectorSeries(["x", "y", "z"], StateCatalog())
+        for day, site in enumerate(pattern):
+            series.append_mapping(
+                {"x": site, "y": site, "z": "C"}, T0 + timedelta(days=day)
+            )
+        return find_modes(series)
+
+    def test_exemplar_is_a_member(self):
+        from repro.core.modes import mode_exemplar
+
+        modes = self.make_modes(["A", "A", "A", "B", "B", "B"])
+        exemplar = mode_exemplar(modes, 0)
+        assert exemplar.time in modes[0].times
+        assert exemplar.state_of("x") == "A"
+
+    def test_exemplar_singleton_mode(self):
+        from repro.core.modes import ModeSet, mode_exemplar
+
+        series = VectorSeries(["x"], StateCatalog())
+        series.append_mapping({"x": "A"}, T0)
+        series.append_mapping({"x": "B"}, T0 + timedelta(days=1))
+        modeset = ModeSet(series, np.array([0, 1]), np.eye(2), 0.0)
+        assert mode_exemplar(modeset, 1).state_of("x") == "B"
+
+    def test_match_across_studies(self):
+        from repro.core.modes import match_across
+
+        this_year = self.make_modes(["A", "A", "B", "B"])
+        last_year = self.make_modes(["B", "B", "A", "A"])
+        matches = match_across(this_year, last_year)
+        as_dict = {ours: (theirs, value) for ours, theirs, value in matches}
+        # Our A-mode (0) matches their A-mode (1), and vice versa.
+        assert as_dict[0][0] == 1 and as_dict[0][1] == pytest.approx(1.0)
+        assert as_dict[1][0] == 0 and as_dict[1][1] == pytest.approx(1.0)
+
+    def test_match_across_network_mismatch(self):
+        from repro.core.modes import find_modes, match_across
+
+        a = self.make_modes(["A", "A", "B", "B"])
+        other_series = VectorSeries(["p", "q"], StateCatalog())
+        other_series.append_mapping({"p": "A", "q": "A"}, T0)
+        other_series.append_mapping({"p": "A", "q": "A"}, T0 + timedelta(days=1))
+        b = find_modes(other_series)
+        with pytest.raises(ValueError):
+            match_across(a, b)
+
+
+class TestSimilarityToReference:
+    def test_profile_against_mode_exemplar(self):
+        from repro.core.compare import similarity_to_reference
+        from repro.core.modes import find_modes, mode_exemplar
+
+        series = VectorSeries(["x", "y"], StateCatalog())
+        pattern = ["A"] * 3 + ["B"] * 3 + ["A"] * 2
+        for day, site in enumerate(pattern):
+            series.append_mapping({"x": site, "y": site}, T0 + timedelta(days=day))
+        modes = find_modes(series)
+        reference = mode_exemplar(modes, 0)
+        profile = similarity_to_reference(series, reference)
+        assert profile.shape == (8,)
+        assert profile[:3].tolist() == [1.0, 1.0, 1.0]
+        assert profile[3:6].tolist() == [0.0, 0.0, 0.0]
+        assert profile[6:].tolist() == [1.0, 1.0]
+
+    def test_weights_respected(self):
+        from repro.core.compare import similarity_to_reference
+        from repro.core.vector import RoutingVector
+
+        series = VectorSeries(["big", "small"], StateCatalog())
+        series.append_mapping({"big": "A", "small": "B"}, T0)
+        reference = RoutingVector.from_mapping(
+            {"big": "A", "small": "C"},
+            catalog=series.catalog,
+            networks=series.networks,
+        )
+        profile = similarity_to_reference(
+            series, reference, weights=np.array([9.0, 1.0])
+        )
+        assert profile[0] == pytest.approx(0.9)

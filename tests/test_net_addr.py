@@ -1,0 +1,166 @@
+"""Tests for IPv4 address and prefix primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import (
+    AddressError,
+    IPv4Address,
+    IPv4Prefix,
+    parse_address,
+    parse_prefix,
+)
+
+
+class TestIPv4Address:
+    def test_parse_and_format(self):
+        addr = parse_address("192.0.2.1")
+        assert str(addr) == "192.0.2.1"
+        assert int(addr) == (192 << 24) | (2 << 8) | 1
+
+    def test_zero_and_max(self):
+        assert str(IPv4Address(0)) == "0.0.0.0"
+        assert str(IPv4Address(0xFFFFFFFF)) == "255.255.255.255"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "-1.0.0.0"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_address(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+
+    def test_ordering_matches_numeric(self):
+        assert parse_address("1.0.0.0") < parse_address("2.0.0.0")
+        assert parse_address("10.0.0.255") < parse_address("10.0.1.0")
+
+    def test_addition(self):
+        assert str(parse_address("10.0.0.1") + 255) == "10.0.1.0"
+
+    @pytest.mark.parametrize(
+        "text,private",
+        [
+            ("10.0.0.1", True),
+            ("172.16.0.1", True),
+            ("172.31.255.255", True),
+            ("172.32.0.0", False),
+            ("192.168.1.1", True),
+            ("192.169.0.0", False),
+            ("8.8.8.8", False),
+        ],
+    )
+    def test_is_private(self, text, private):
+        assert parse_address(text).is_private is private
+
+    def test_is_loopback(self):
+        assert parse_address("127.0.0.1").is_loopback
+        assert not parse_address("128.0.0.1").is_loopback
+
+    def test_block24(self):
+        assert str(parse_address("198.51.100.77").block24()) == "198.51.100.0/24"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_string_round_trip(self, value):
+        addr = IPv4Address(value)
+        assert parse_address(str(addr)) == addr
+
+
+class TestIPv4Prefix:
+    def test_parse_and_format(self):
+        prefix = parse_prefix("198.51.100.0/24")
+        assert str(prefix) == "198.51.100.0/24"
+        assert prefix.length == 24
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            parse_prefix("198.51.100.1/24")
+
+    @pytest.mark.parametrize("bad", ["1.2.3.0", "1.2.3.0/33", "1.2.3.0/-1", "1.2.3.0/x"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_prefix(bad)
+
+    def test_contains_address(self):
+        prefix = parse_prefix("10.0.0.0/8")
+        assert parse_address("10.255.0.1") in prefix
+        assert parse_address("11.0.0.0") not in prefix
+
+    def test_contains_prefix(self):
+        outer = parse_prefix("10.0.0.0/8")
+        assert parse_prefix("10.1.0.0/16") in outer
+        assert outer not in parse_prefix("10.1.0.0/16")
+        assert parse_prefix("10.0.0.0/8") in outer  # itself
+
+    def test_contains_int(self):
+        assert (10 << 24) in parse_prefix("10.0.0.0/8")
+
+    def test_zero_length_contains_everything(self):
+        everything = parse_prefix("0.0.0.0/0")
+        assert parse_address("255.255.255.255") in everything
+        assert everything.num_addresses == 1 << 32
+
+    def test_supernet_of(self):
+        prefix = IPv4Prefix.supernet_of(parse_address("198.51.100.77"), 16)
+        assert str(prefix) == "198.51.0.0/16"
+
+    def test_num_blocks24(self):
+        assert parse_prefix("10.0.0.0/16").num_blocks24 == 256
+        assert parse_prefix("10.0.0.0/24").num_blocks24 == 1
+        assert parse_prefix("10.0.0.0/30").num_blocks24 == 1
+
+    def test_blocks24_enumeration(self):
+        blocks = list(parse_prefix("10.0.0.0/22").blocks24())
+        assert [str(b) for b in blocks] == [
+            "10.0.0.0/24",
+            "10.0.1.0/24",
+            "10.0.2.0/24",
+            "10.0.3.0/24",
+        ]
+
+    def test_blocks24_of_longer_prefix_is_containing_block(self):
+        blocks = list(parse_prefix("10.0.0.128/25").blocks24())
+        assert [str(b) for b in blocks] == ["10.0.0.0/24"]
+
+    def test_first_last_address(self):
+        prefix = parse_prefix("198.51.100.0/24")
+        assert str(prefix.first_address) == "198.51.100.0"
+        assert str(prefix.last_address) == "198.51.100.255"
+
+    def test_subnets(self):
+        subs = list(parse_prefix("10.0.0.0/23").subnets(24))
+        assert [str(s) for s in subs] == ["10.0.0.0/24", "10.0.1.0/24"]
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            list(parse_prefix("10.0.0.0/24").subnets(23))
+
+    def test_overlaps(self):
+        a = parse_prefix("10.0.0.0/8")
+        b = parse_prefix("10.1.0.0/16")
+        c = parse_prefix("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_supernet_round_trip(self, value, length):
+        prefix = IPv4Prefix.supernet_of(value, length)
+        assert value in prefix
+        assert parse_prefix(str(prefix)) == prefix
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_block24_alignment(self, value):
+        block = IPv4Address(value).block24()
+        assert block.length == 24
+        assert block.network & 0xFF == 0
+        assert value in block

@@ -1,0 +1,126 @@
+"""Tests for geography and hitlists."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addr import IPv4Prefix, parse_prefix
+from repro.net.geo import CITIES, GeoPoint, city, haversine_km, propagation_rtt_ms
+from repro.net.hitlist import Hitlist, HitlistEntry
+
+
+class TestGeo:
+    def test_haversine_zero_for_same_point(self):
+        assert haversine_km(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_haversine_known_distance(self):
+        # LAX-AMS is about 8950 km great circle.
+        lax, ams = city("LAX"), city("AMS")
+        distance = lax.distance_km(ams)
+        assert 8500 < distance < 9400
+
+    def test_haversine_symmetry(self):
+        a, b = city("SIN"), city("GRU")
+        assert a.distance_km(b) == pytest.approx(b.distance_km(a))
+
+    def test_antipodal_is_half_circumference(self):
+        assert haversine_km(0, 0, 0, 180) == pytest.approx(20015, rel=0.01)
+
+    def test_rtt_scales_with_distance(self):
+        lax = city("LAX")
+        assert lax.rtt_ms(city("SEA")) < lax.rtt_ms(city("NYC")) < lax.rtt_ms(city("SIN"))
+
+    def test_rtt_plausible_transatlantic(self):
+        # NYC-LHR propagation RTT should land in the tens of ms.
+        rtt = city("NYC").rtt_ms(city("LHR"))
+        assert 40 < rtt < 120
+
+    def test_propagation_rtt_zero_distance(self):
+        assert propagation_rtt_ms(0.0) == 0.0
+
+    def test_city_lookup_case_insensitive(self):
+        assert city("lax") is city("LAX")
+
+    def test_city_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="unknown city"):
+            city("ZZZ")
+
+    def test_paper_sites_present(self):
+        for code in ["LAX", "MIA", "ARI", "SCL", "SIN", "IAD", "AMS", "STR", "NAP",
+                     "CMH", "SAT", "NRT", "HNL", "EQIAD", "CODFW", "ULSFO"]:
+            assert code in CITIES
+
+    @given(
+        st.floats(min_value=-90, max_value=90),
+        st.floats(min_value=-180, max_value=180),
+        st.floats(min_value=-90, max_value=90),
+        st.floats(min_value=-180, max_value=180),
+    )
+    def test_haversine_bounds(self, lat1, lon1, lat2, lon2):
+        distance = haversine_km(lat1, lon1, lat2, lon2)
+        assert 0 <= distance <= 20038  # half Earth circumference
+
+
+class TestHitlist:
+    def blocks(self, count: int) -> list[IPv4Prefix]:
+        base = parse_prefix("10.0.0.0/24")
+        return [IPv4Prefix(base.network + (i << 8), 24) for i in range(count)]
+
+    def test_entry_validation_rejects_non_slash24(self):
+        with pytest.raises(ValueError):
+            HitlistEntry(parse_prefix("10.0.0.0/16"), parse_prefix("10.0.0.0/24").first_address, 0.5)
+
+    def test_entry_validation_rejects_outside_target(self):
+        with pytest.raises(ValueError):
+            HitlistEntry(
+                parse_prefix("10.0.0.0/24"),
+                parse_prefix("10.0.1.0/24").first_address + 1,
+                0.5,
+            )
+
+    def test_entry_validation_rejects_bad_score(self):
+        block = parse_prefix("10.0.0.0/24")
+        with pytest.raises(ValueError):
+            HitlistEntry(block, block.first_address + 1, 1.5)
+
+    def test_from_blocks_targets_inside_blocks(self):
+        hitlist = Hitlist.from_blocks(self.blocks(50), random.Random(1))
+        assert len(hitlist) == 50
+        for entry in hitlist:
+            assert entry.target in entry.block
+            assert 0.0 <= entry.score <= 1.0
+            assert entry.target.value & 0xFF not in (0, 255)
+
+    def test_from_blocks_deterministic(self):
+        a = Hitlist.from_blocks(self.blocks(20), random.Random(7))
+        b = Hitlist.from_blocks(self.blocks(20), random.Random(7))
+        assert a.entries == b.entries
+
+    def test_bimodal_scores_cluster(self):
+        hitlist = Hitlist.from_blocks_bimodal(
+            self.blocks(400), random.Random(3), alive_fraction=0.5
+        )
+        mid = sum(1 for e in hitlist if 0.2 < e.score < 0.8)
+        assert mid < 20  # scores should avoid the middle
+
+    def test_bimodal_alive_fraction_respected(self):
+        hitlist = Hitlist.from_blocks_bimodal(
+            self.blocks(600), random.Random(3), alive_fraction=0.55
+        )
+        alive = sum(1 for e in hitlist if e.score > 0.5)
+        assert 0.45 < alive / len(hitlist) < 0.65
+
+    def test_refresh_keeps_targets(self):
+        original = Hitlist.from_blocks(self.blocks(30), random.Random(1))
+        refreshed = original.refresh_scores(random.Random(2))
+        assert [e.target for e in refreshed] == [e.target for e in original]
+        assert all(0.0 <= e.score <= 1.0 for e in refreshed)
+
+    def test_blocks_accessor(self):
+        blocks = self.blocks(5)
+        hitlist = Hitlist.from_blocks(blocks, random.Random(1))
+        assert hitlist.blocks() == blocks

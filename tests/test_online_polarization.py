@@ -1,0 +1,196 @@
+"""Tests for the online Fenrir tracker and polarization analysis."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.anycast.polarization import analyze_polarization
+from repro.core.online import OnlineFenrir
+from repro.net.geo import city
+
+T0 = datetime(2025, 1, 1)
+
+MODE_A = {"x": "LAX", "y": "LAX", "z": "AMS"}
+MODE_B = {"x": "AMS", "y": "AMS", "z": "LAX"}
+
+
+def feed(tracker: OnlineFenrir, assignments):
+    updates = []
+    for index, assignment in enumerate(assignments):
+        updates.append(tracker.ingest(assignment, T0 + timedelta(days=index)))
+    return updates
+
+
+class TestOnlineFenrir:
+    def make(self, **kwargs) -> OnlineFenrir:
+        return OnlineFenrir(networks=["x", "y", "z"], **kwargs)
+
+    def test_first_observation_opens_mode_zero(self):
+        tracker = self.make()
+        update = tracker.ingest(MODE_A, T0)
+        assert update.mode_id == 0
+        assert update.is_new_mode
+        assert not update.is_event
+        assert update.step_change == 0.0
+
+    def test_stable_stream_single_mode_no_events(self):
+        tracker = self.make()
+        updates = feed(tracker, [MODE_A] * 5)
+        assert tracker.num_modes == 1
+        assert all(not u.is_event for u in updates)
+        assert {u.mode_id for u in updates} == {0}
+
+    def test_change_opens_new_mode_and_event(self):
+        tracker = self.make()
+        updates = feed(tracker, [MODE_A, MODE_A, MODE_B, MODE_B])
+        assert tracker.num_modes == 2
+        assert updates[2].is_event
+        assert updates[2].is_new_mode
+        assert updates[2].mode_id == 1
+
+    def test_recurrence_detected(self):
+        tracker = self.make()
+        updates = feed(tracker, [MODE_A] * 3 + [MODE_B] * 3 + [MODE_A] * 2)
+        assert tracker.num_modes == 2
+        final = updates[-2]
+        assert final.mode_id == 0
+        assert final.recurred
+        assert not final.is_new_mode
+        assert len(tracker.recurrences()) == 1
+
+    def test_mode_timeline_segments(self):
+        tracker = self.make()
+        feed(tracker, [MODE_A] * 2 + [MODE_B] * 2 + [MODE_A])
+        timeline = tracker.mode_timeline()
+        assert [segment[0] for segment in timeline] == [0, 1, 0]
+
+    def test_partial_change_stays_in_mode(self):
+        tracker = self.make(mode_threshold=0.5, event_threshold=0.5)
+        slightly_off = dict(MODE_A)
+        slightly_off["z"] = "LAX"  # one network moved: Φ = 2/3
+        updates = feed(tracker, [MODE_A, slightly_off])
+        assert tracker.num_modes == 1
+        assert not updates[1].is_event
+
+    def test_exemplars_fixed_against_drift(self):
+        # Each round moves one more network; with fixed exemplars the
+        # cumulative drift eventually opens a new mode instead of
+        # silently chaining.
+        networks = [f"n{i}" for i in range(10)]
+        tracker = OnlineFenrir(networks=networks, mode_threshold=0.7)
+        for step in range(6):
+            assignment = {
+                n: ("B" if index < step * 2 else "A")
+                for index, n in enumerate(networks)
+            }
+            tracker.ingest(assignment, T0 + timedelta(days=step))
+        assert tracker.num_modes >= 2
+
+    def test_time_must_advance(self):
+        tracker = self.make()
+        tracker.ingest(MODE_A, T0)
+        with pytest.raises(ValueError):
+            tracker.ingest(MODE_A, T0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            OnlineFenrir(networks=["x"], event_threshold=2.0)
+        with pytest.raises(ValueError):
+            OnlineFenrir(networks=["x"], mode_threshold=-0.1)
+
+    def test_events_accessor(self):
+        tracker = self.make()
+        feed(tracker, [MODE_A, MODE_A, MODE_B])
+        assert len(tracker.events()) == 1
+
+    def test_matches_offline_modes_on_clean_series(self):
+        from repro.core import VectorSeries, find_modes
+        from repro.core.vector import StateCatalog
+
+        assignments = [MODE_A] * 4 + [MODE_B] * 4 + [MODE_A] * 4
+        series = VectorSeries(["x", "y", "z"], StateCatalog())
+        tracker = self.make()
+        for index, assignment in enumerate(assignments):
+            when = T0 + timedelta(days=index)
+            series.append_mapping(assignment, when)
+            tracker.ingest(assignment, when)
+        offline = find_modes(series)
+        online_labels = [u.mode_id for u in tracker.updates]
+        assert online_labels == list(offline.labels)
+
+
+class TestPolarization:
+    SITES = {"LAX": city("LAX"), "AMS": city("AMS"), "ARI": city("ARI")}
+
+    def test_well_routed_network_not_polarized(self):
+        report = analyze_polarization(
+            {"n1": "LAX"}, {"n1": city("SEA")}, self.SITES
+        )
+        assert report.polarized == []
+        assert report.fraction_polarized == 0.0
+
+    def test_polarized_network_found(self):
+        # A London network routed to Arica, Chile: the ARI pathology.
+        report = analyze_polarization(
+            {"n1": "ARI"}, {"n1": city("LHR")}, self.SITES
+        )
+        assert len(report.polarized) == 1
+        entry = report.polarized[0]
+        assert entry.assigned_site == "ARI"
+        assert entry.nearest_site == "AMS"
+        assert entry.excess_km > 3000
+
+    def test_threshold_respected(self):
+        report = analyze_polarization(
+            {"n1": "AMS"},
+            {"n1": city("LHR")},
+            {"LAX": city("LAX"), "AMS": city("AMS")},
+            threshold_km=10000,
+        )
+        assert report.polarized == []
+
+    def test_missing_geography_skipped_but_counted(self):
+        report = analyze_polarization(
+            {"n1": "ARI", "n2": "unknown"}, {"n1": city("LHR")}, self.SITES
+        )
+        assert report.total_networks == 2
+        assert len(report.polarized) == 1
+
+    def test_by_site_and_worst(self):
+        assignment = {"n1": "ARI", "n2": "ARI", "n3": "LAX"}
+        locations = {"n1": city("LHR"), "n2": city("FRA"), "n3": city("SEA")}
+        report = analyze_polarization(assignment, locations, self.SITES)
+        assert report.by_site() == {"ARI": 2}
+        worst = report.worst(1)
+        assert len(worst) == 1
+        assert worst[0].excess_km >= max(e.excess_km for e in report.polarized) - 1e-9
+
+    def test_active_sites_filter(self):
+        # With ARI decommissioned, an ARI assignment cannot be scored.
+        report = analyze_polarization(
+            {"n1": "ARI"},
+            {"n1": city("LHR")},
+            self.SITES,
+            active_sites={"LAX", "AMS"},
+        )
+        assert report.polarized == []
+
+    def test_no_sites_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_polarization({}, {}, {})
+
+    def test_broot_ari_polarization(self):
+        """The B-Root scenario's ARI site is polarized by construction."""
+        from datetime import datetime
+
+        from repro.datasets import broot
+
+        study = broot.generate(num_blocks=600, cadence=timedelta(days=60))
+        assignment = study.true_assignment(datetime(2022, 6, 1))
+        report = analyze_polarization(
+            assignment, study.block_locations, study.site_locations,
+            active_sites={"LAX", "MIA", "ARI", "SIN", "IAD", "AMS"},
+        )
+        assert "ARI" in report.by_site()

@@ -1,0 +1,180 @@
+"""Tests for seasonality estimation, TE playbooks, and affinity analysis."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.anycast.playbook import build_playbook, candidate_actions, recommend
+from repro.anycast.service import AnycastService, AnycastSite
+from repro.core.seasonality import analyze_seasonality, estimate_period, lag_profile
+from repro.core.series import VectorSeries
+from repro.core.vector import StateCatalog
+from repro.net.geo import city
+from repro.webmap.affinity import analyze_affinity
+
+T0 = datetime(2025, 1, 1)
+
+
+def block_similarity(num_blocks: int, period: int, high=0.8, low=0.2) -> np.ndarray:
+    """A synthetic heatmap: high within period-blocks, low across."""
+    size = num_blocks * period
+    matrix = np.full((size, size), low)
+    for block in range(num_blocks):
+        start = block * period
+        matrix[start : start + period, start : start + period] = high
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+class TestSeasonality:
+    def test_lag_profile_shape(self):
+        matrix = block_similarity(4, 5)
+        profile = lag_profile(matrix, max_lag=10)
+        assert len(profile) == 11
+        assert profile[0] == 1.0
+        assert profile[1] > profile[8]
+
+    def test_lag_profile_validation(self):
+        with pytest.raises(ValueError):
+            lag_profile(np.ones((2, 3)))
+
+    def test_period_detected_on_block_structure(self):
+        matrix = block_similarity(8, 7)
+        assert estimate_period(matrix) == 7
+
+    def test_period_none_on_stable_routing(self):
+        matrix = np.full((40, 40), 0.9)
+        np.fill_diagonal(matrix, 1.0)
+        assert estimate_period(matrix) is None
+
+    def test_period_none_on_recurring_modes(self):
+        # Two long modes that recur: similarity climbs back up at long
+        # lags, which a schedule never does.
+        size = 30
+        labels = np.array([0] * 10 + [1] * 10 + [0] * 10)
+        matrix = np.where(labels[:, None] == labels[None, :], 0.9, 0.2)
+        np.fill_diagonal(matrix, 1.0)
+        assert estimate_period(matrix) is None
+
+    def test_analyze_report(self):
+        matrix = block_similarity(8, 7)
+        report = analyze_seasonality(matrix)
+        assert report.scheduled
+        assert report.period == 7
+        assert report.phi_within_period > report.phi_across_period
+
+    def test_google_weekly_schedule(self):
+        from repro.core.compare import similarity_matrix
+        from repro.datasets import google
+
+        study = google.generate(num_prefixes=400)
+        era = similarity_matrix(study.series)[3:, 3:]
+        report = analyze_seasonality(era)
+        assert report.period == 7  # the paper's work-week cadence
+
+
+@pytest.fixture
+def service(small_topology):
+    sites = [
+        AnycastSite("A", 21, city("ORD")),
+        AnycastSite("B", 23, city("FRA")),
+    ]
+    return AnycastService(small_topology, sites)
+
+
+class TestPlaybook:
+    def test_candidate_menu(self, service, t0):
+        actions = candidate_actions(service, t0)
+        names = [name for name, _action in actions]
+        assert any(name.startswith("drain A") for name in names)
+        assert any("scope B" in name for name in names)
+        assert any("prepend" in name for name in names)
+
+    def test_build_playbook_restores_scenario(self, service, t0):
+        before_events = list(service.scenario.events)
+        before_map = service.catchment_map(t0)
+        playbook = build_playbook(service, t0)
+        assert service.scenario.events == before_events
+        assert service.catchment_map(t0) == before_map
+        assert playbook[0].action is None  # baseline first
+        assert len(playbook) >= 4
+
+    def test_entries_differ_from_baseline(self, service, t0):
+        playbook = build_playbook(service, t0)
+        baseline = playbook[0].assignment
+        drained = next(e for e in playbook if e.name == "drain A")
+        assert drained.assignment != baseline
+        assert "A" not in drained.aggregates
+
+    def test_recommend_matches_target(self, service, t0):
+        playbook = build_playbook(service, t0)
+        drained = next(e for e in playbook if e.name == "drain A")
+        entry, similarity = recommend(playbook, drained.assignment)
+        assert entry.name == "drain A"
+        assert similarity == 1.0
+
+    def test_recommend_baseline_for_current_state(self, service, t0):
+        playbook = build_playbook(service, t0)
+        entry, similarity = recommend(playbook, playbook[0].assignment)
+        assert entry.action is None
+        assert similarity == 1.0
+
+    def test_recommend_empty_rejected(self):
+        with pytest.raises(ValueError):
+            recommend([], {})
+
+
+class TestAffinity:
+    def make_series(self, columns):
+        networks = sorted(columns)
+        length = len(next(iter(columns.values())))
+        series = VectorSeries(networks, StateCatalog())
+        for index in range(length):
+            assignment = {
+                n: columns[n][index] for n in networks if columns[n][index] is not None
+            }
+            series.append_mapping(assignment, T0 + timedelta(days=index))
+        return series
+
+    def test_perfectly_sticky_network(self):
+        series = self.make_series({"a": ["X"] * 5})
+        report = analyze_affinity(series)
+        assert report.affinity["a"] == 1.0
+        assert report.modal_state["a"] == "X"
+
+    def test_bouncing_network(self):
+        series = self.make_series({"a": ["X", "Y", "X", "Y"]})
+        report = analyze_affinity(series)
+        assert report.affinity["a"] == 0.5
+        assert report.low_affinity_networks(threshold=0.6) == ["a"]
+
+    def test_unknown_rounds_excluded(self):
+        series = self.make_series({"a": ["X", None, None, "X"]})
+        report = analyze_affinity(series)
+        assert report.affinity["a"] == 1.0
+
+    def test_min_observations(self):
+        series = self.make_series({"a": ["X", None, None, None]})
+        report = analyze_affinity(series, min_observations=2)
+        assert "a" not in report.affinity
+
+    def test_summary_statistics(self):
+        series = self.make_series(
+            {"a": ["X"] * 4, "b": ["X", "Y", "Z", "W"]}
+        )
+        report = analyze_affinity(series)
+        assert report.mean == pytest.approx((1.0 + 0.25) / 2)
+        assert report.quantile(0.0) == 0.25
+
+    def test_google_vs_wikipedia_affinity_contrast(self):
+        from repro.datasets import google, wikipedia
+
+        google_study = google.generate(num_prefixes=250)
+        wiki_study = wikipedia.generate(num_prefixes=250)
+        google_affinity = analyze_affinity(google_study.series).mean
+        wiki_affinity = analyze_affinity(wiki_study.series).mean
+        assert wiki_affinity > 0.9
+        assert google_affinity < wiki_affinity - 0.2

@@ -1,0 +1,125 @@
+"""Tests for the mode-timeline SVG and MAnycast-style detection."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.anycast.manycast import detect_anycast
+from repro.bgp.events import RoutingScenario, SiteDrain
+from repro.bgp.policy import Announcement
+from repro.core import Fenrir
+from repro.core.series import VectorSeries
+from repro.core.vector import StateCatalog
+from repro.viz_svg import timeline_svg
+
+T0 = datetime(2025, 1, 1)
+
+
+@pytest.fixture
+def report():
+    series = VectorSeries(["a", "b"], StateCatalog())
+    pattern = ["X"] * 4 + ["Y"] * 4 + ["X"] * 4
+    for day, site in enumerate(pattern):
+        series.append_mapping({"a": site, "b": site}, T0 + timedelta(days=day))
+    return Fenrir().run(series)
+
+
+class TestTimelineSvg:
+    def test_segments_rendered(self, report):
+        svg = timeline_svg(report.modes, report.events)
+        root = ET.fromstring(svg.to_string())
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f".//{ns}rect") + root.findall(".//rect")
+        assert len(rects) == 3  # three contiguous segments
+        lines = root.findall(f".//{ns}line") + root.findall(".//line")
+        assert len(lines) == len(report.events)
+
+    def test_recurring_mode_shares_color(self, report):
+        text = timeline_svg(report.modes).to_string()
+        # Mode 0 appears twice; its palette color occurs in 2 rects.
+        from repro.viz_svg import PALETTE
+
+        assert text.count(PALETTE[0]) == 2
+        assert text.count(PALETTE[1]) == 1
+
+    def test_roman_labels(self, report):
+        text = timeline_svg(report.modes).to_string()
+        assert "(i)" in text and "(ii)" in text
+
+    def test_needs_two_observations(self):
+        series = VectorSeries(["a"], StateCatalog())
+        series.append_mapping({"a": "X"}, T0)
+        from repro.core.modes import ModeSet
+
+        import numpy as np
+
+        modeset = ModeSet(series, np.array([0]), np.eye(1), 0.0)
+        with pytest.raises(ValueError):
+            timeline_svg(modeset)
+
+
+class TestManycast:
+    @pytest.fixture
+    def anycast_scenario(self, small_topology):
+        return RoutingScenario(
+            small_topology,
+            [Announcement(origin=21, label="A"), Announcement(origin=23, label="B")],
+        )
+
+    @pytest.fixture
+    def unicast_scenario(self, small_topology):
+        return RoutingScenario(small_topology, [Announcement(origin=21, label="A")])
+
+    def test_anycast_detected(self, anycast_scenario, t0):
+        verdict = detect_anycast(anycast_scenario, [11, 12, 13, 22], t0)
+        assert verdict.is_anycast
+        assert set(verdict.observed_sites) == {"A", "B"}
+        assert verdict.site_count == 2
+
+    def test_unicast_not_flagged(self, unicast_scenario, t0):
+        verdict = detect_anycast(unicast_scenario, [11, 12, 13, 22], t0)
+        assert not verdict.is_anycast
+        assert verdict.observed_sites == ("A",)
+
+    def test_vantage_placement_matters(self, anycast_scenario, t0):
+        # All vantages inside one catchment cannot see the anycast.
+        verdict = detect_anycast(anycast_scenario, [11, 21], t0)
+        assert not verdict.is_anycast
+
+    def test_drained_anycast_looks_unicast(self, anycast_scenario, t0):
+        anycast_scenario.add_event(
+            SiteDrain("A", t0 + timedelta(days=1), t0 + timedelta(days=2))
+        )
+        verdict = detect_anycast(
+            anycast_scenario, [11, 12, 13, 22], t0 + timedelta(days=1)
+        )
+        assert not verdict.is_anycast
+
+    def test_unreachable_vantages_counted(self, unicast_scenario, t0, small_topology):
+        small_topology.remove_link(13, 23)
+        small_topology.remove_link(2, 13)
+        verdict = detect_anycast(unicast_scenario, [13, 11], t0)
+        assert verdict.unreachable_vantages == 1
+
+    def test_empty_vantages_rejected(self, unicast_scenario, t0):
+        with pytest.raises(ValueError):
+            detect_anycast(unicast_scenario, [], t0)
+
+    def test_broot_prefix_detected_as_anycast(self):
+        """Integration: the B-Root scenario's prefix is anycast."""
+        import random
+        from datetime import timedelta as td
+
+        from repro.datasets import broot
+
+        study = broot.generate(num_blocks=600, cadence=td(days=120))
+        rng = random.Random(5)
+        vantages = rng.sample(sorted(study.topology.nodes), 60)
+        verdict = detect_anycast(
+            study.service.scenario, vantages, datetime(2022, 6, 1)
+        )
+        assert verdict.is_anycast
+        assert verdict.site_count >= 3

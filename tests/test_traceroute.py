@@ -1,0 +1,162 @@
+"""Tests for the traceroute substrate: engine, warts I/O, enterprise."""
+
+from __future__ import annotations
+
+import io
+import random
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.bgp.clients import allocate_clients
+from repro.bgp.events import LinkRemove
+from repro.net.addr import parse_address
+from repro.traceroute.engine import TracerouteEngine, TracerouteRecord
+from repro.traceroute.enterprise import MultihomedEnterprise
+from repro.traceroute.warts import read_records, record_from_json, record_to_json, write_records
+
+
+@pytest.fixture
+def engine(small_topology, rng):
+    return TracerouteEngine(small_topology, rng, hop_response_probability=1.0)
+
+
+DEST = parse_address("20.0.0.1")
+
+
+class TestEngine:
+    def test_full_path_responds(self, engine):
+        record = engine.trace([21, 11, 1, 2, 13, 23], DEST)
+        assert record.reached
+        assert record.hop_ases() == [21, 11, 1, 2, 13, 23]
+        assert record.as_path() == [21, 11, 1, 2, 13, 23]
+
+    def test_rtt_monotonic(self, engine):
+        record = engine.trace([21, 11, 1, 2, 13, 23], DEST)
+        rtts = [hop.rtt_ms for hop in record.hops if hop]
+        assert rtts == sorted(rtts)
+        assert rtts[0] > 0
+
+    def test_ttl_truncation(self, small_topology, rng):
+        engine = TracerouteEngine(small_topology, rng, max_ttl=3, hop_response_probability=1.0)
+        record = engine.trace([21, 11, 1, 2, 13, 23], DEST)
+        assert len(record.hops) == 3
+        assert not record.reached
+
+    def test_loss_produces_gaps(self, small_topology, rng):
+        engine = TracerouteEngine(small_topology, rng, hop_response_probability=0.0)
+        record = engine.trace([21, 11], DEST)
+        assert record.hops == [None, None]
+        assert record.as_path() == []
+
+    def test_private_hops_unmapped(self, small_topology, rng):
+        engine = TracerouteEngine(
+            small_topology, rng, hop_response_probability=1.0,
+            private_hop_ases=frozenset({21}),
+        )
+        record = engine.trace([21, 11], DEST)
+        assert record.hops[0] is not None
+        assert record.hops[0].asn is None
+        assert record.hops[0].address.is_private
+        assert record.as_path() == [11]
+
+    def test_per_as_hops(self, small_topology, rng):
+        engine = TracerouteEngine(
+            small_topology, rng, hop_response_probability=1.0, per_as_hops=2
+        )
+        record = engine.trace([21, 11], DEST)
+        assert record.hop_ases() == [21, 21, 11, 11]
+        assert record.as_path() == [21, 11]  # deduplicated
+
+
+class TestWarts:
+    def make_record(self, engine):
+        return engine.trace([21, 11, 1], DEST)
+
+    def test_json_round_trip(self, engine):
+        record = self.make_record(engine)
+        rebuilt = record_from_json(record_to_json(record))
+        assert rebuilt.destination == record.destination
+        assert rebuilt.reached == record.reached
+        assert rebuilt.hop_ases() == record.hop_ases()
+
+    def test_round_trip_preserves_gaps(self, small_topology, rng):
+        engine = TracerouteEngine(small_topology, rng, hop_response_probability=0.5)
+        record = engine.trace([21, 11, 1, 2, 13], DEST)
+        rebuilt = record_from_json(record_to_json(record))
+        assert [h is None for h in rebuilt.hops] == [h is None for h in record.hops]
+
+    def test_stream_round_trip(self, engine):
+        records = [self.make_record(engine) for _ in range(3)]
+        buffer = io.StringIO()
+        assert write_records(records, buffer) == 3
+        buffer.seek(0)
+        rebuilt = list(read_records(buffer))
+        assert len(rebuilt) == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValueError):
+            record_from_json({"type": "ping"})
+
+    def test_stop_reason_encodes_reached(self, engine):
+        record = self.make_record(engine)
+        record.reached = False
+        assert record_to_json(record)["stop_reason"] == "GAPLIMIT"
+
+
+class TestEnterprise:
+    @pytest.fixture
+    def enterprise(self, small_topology, rng):
+        clients = allocate_clients([22, 23], [2, 2])
+        return MultihomedEnterprise(
+            topology=small_topology,
+            enterprise_asn=21,
+            clients=clients,
+            rng=rng,
+            as_names={11: "R1", 12: "R2", 13: "R3", 1: "T1", 2: "T2"},
+        )
+
+    def test_forward_path_starts_at_enterprise(self, enterprise, t0):
+        block = enterprise.clients.blocks[0]
+        path = enterprise.forward_as_path(block, t0)
+        assert path is not None
+        assert path[0] == 21
+        assert path[-1] == enterprise.clients.as_of(block)
+
+    def test_sweep_produces_records(self, enterprise, t0):
+        records = enterprise.sweep(t0)
+        assert len(records) == 4
+        for record in records.values():
+            assert isinstance(record, TracerouteRecord)
+
+    def test_catchments_at_hop2_are_upstreams(self, enterprise, t0):
+        enterprise.engine.hop_response_probability = 1.0
+        catchments = enterprise.catchments_at_hop(t0, focus_hop=2)
+        assert set(catchments.values()) <= {"R1", "R2", "R3", "T1", "T2"}
+
+    def test_hop1_is_spatially_filled(self, enterprise, t0):
+        # Hop 1 answers from private space; the nearest viable hop fills it.
+        enterprise.engine.hop_response_probability = 1.0
+        catchments = enterprise.catchments_at_hop(t0, focus_hop=1)
+        assert catchments  # filled from hop 2, not empty
+
+    def test_focus_hop_validation(self, enterprise, t0):
+        with pytest.raises(ValueError):
+            enterprise.catchments_at_hop(t0, focus_hop=0)
+
+    def test_event_changes_catchments(self, enterprise, t0):
+        # Before: 22's blocks ride USC(21) -> R1 -> 22 (hop 3 = dest AS).
+        # Cutting R1-22 forces the longer path via T1/R2, so the hop-3
+        # catchment of those blocks changes.
+        enterprise.engine.hop_response_probability = 1.0
+        before = enterprise.catchments_at_hop(t0, focus_hop=3)
+        enterprise.add_event(LinkRemove(11, 22, t0 + timedelta(days=1)))
+        after = enterprise.catchments_at_hop(t0 + timedelta(days=1), focus_hop=3)
+        assert before != after
+
+    def test_unreachable_destination_skipped(self, enterprise, t0, small_topology):
+        enterprise.add_event(LinkRemove(13, 23, t0))
+        enterprise.add_event(LinkRemove(2, 13, t0))
+        records = enterprise.sweep(t0)
+        blocks_of_23 = set(map(str, enterprise.clients.blocks_of(23)))
+        assert all(str(b) not in blocks_of_23 for b in records)
