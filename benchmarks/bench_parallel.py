@@ -1,0 +1,121 @@
+"""Parallel similarity engine: serial vs tiled-parallel vs warm cache.
+
+Not a paper table — this documents the speedup envelope of
+``repro.parallel`` (docs/performance.md) on a long daily series in the
+many-states regime (Google-style thousands of front ends), where the
+serial reference must fall back to per-pair row comparison:
+
+* the tiled sparse-factorization kernel dispatched over a process pool
+  must beat the serial reference by ≥2× at ``n_jobs=4``;
+* a warm content-addressed cache hit must beat recomputation by ≥10×.
+
+Archived in ``benchmarks/out/parallel.txt``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.compare import similarity_matrix
+from repro.core.series import VectorSeries
+from repro.core.vector import StateCatalog, UNKNOWN
+from repro.parallel import SimilarityEngine
+
+from common import emit
+
+NUM_ROUNDS = 1000  # T ≥ 200 required; the paper's studies run to 1.9k rounds
+NUM_NETWORKS = 300
+NUM_STATES = 5000  # >> 2T so the serial oracle uses its pairwise fallback
+REPEATS = 3
+
+
+def synthetic_series(seed: int = 7) -> VectorSeries:
+    rng = random.Random(seed)
+    networks = [f"n{i}" for i in range(NUM_NETWORKS)]
+    series = VectorSeries(networks, StateCatalog())
+    t0 = datetime(2024, 1, 1)
+
+    def draw() -> str:
+        if rng.random() < 0.05:
+            return UNKNOWN
+        return f"s{rng.randrange(NUM_STATES)}"
+
+    assignment = {network: draw() for network in networks}
+    for round_index in range(NUM_ROUNDS):
+        if round_index:
+            for network in networks:
+                if rng.random() < 0.3:
+                    assignment[network] = draw()
+        series.append_mapping(dict(assignment), t0 + timedelta(hours=round_index))
+    return series
+
+
+def best_of(callable_, repeats: int = REPEATS) -> tuple[float, np.ndarray]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def series() -> VectorSeries:
+    return synthetic_series()
+
+
+def test_parallel_speedup_and_cache(series, tmp_path_factory):
+    t_serial, reference = best_of(lambda: similarity_matrix(series))
+
+    rows = [
+        "Parallel similarity engine "
+        f"(T={NUM_ROUNDS}, N={NUM_NETWORKS}, |S|~{NUM_STATES}, best of {REPEATS})",
+        f"  serial reference:       {t_serial * 1e3:9.1f} ms",
+    ]
+    speedups = {}
+    for n_jobs in (2, 4):
+        engine = SimilarityEngine(n_jobs=n_jobs, tile_size=100)
+        t_parallel, result = best_of(
+            lambda engine=engine: engine.similarity_matrix(series)
+        )
+        assert np.allclose(reference, result, atol=1e-12, equal_nan=True)
+        speedups[n_jobs] = t_serial / t_parallel
+        rows.append(
+            f"  tiled engine n_jobs={n_jobs}:  {t_parallel * 1e3:9.1f} ms"
+            f"  ({speedups[n_jobs]:.1f}x vs serial)"
+        )
+
+    cache_dir = tmp_path_factory.mktemp("phi-cache")
+    cached_engine = SimilarityEngine(n_jobs=4, tile_size=100, cache_dir=cache_dir)
+    start = time.perf_counter()
+    first = cached_engine.similarity_matrix(series)
+    t_cold = time.perf_counter() - start
+    t_warm, warm = best_of(lambda: cached_engine.similarity_matrix(series))
+    assert np.array_equal(first, warm)
+    assert cached_engine.stats.cache_misses == 1
+    assert cached_engine.stats.cache_hits >= 1
+    cache_speedup = t_serial / t_warm
+    rows += [
+        f"  cold cache (compute+store): {t_cold * 1e3:5.1f} ms",
+        f"  warm cache hit:         {t_warm * 1e3:9.1f} ms"
+        f"  ({cache_speedup:.0f}x vs serial)",
+        f"  cache hits/misses:      {cached_engine.stats.cache_hits}"
+        f"/{cached_engine.stats.cache_misses}",
+    ]
+    emit("parallel", "\n".join(rows))
+
+    # Acceptance: ≥2x parallel at n_jobs=4, ≥10x warm-cache rerun.
+    assert speedups[4] >= 2.0, f"n_jobs=4 speedup {speedups[4]:.2f}x < 2x"
+    assert cache_speedup >= 10.0, f"warm cache {cache_speedup:.2f}x < 10x"
+
+
+def test_engine_benchmark_parallel(series, benchmark):
+    engine = SimilarityEngine(n_jobs=4, tile_size=100)
+    result = benchmark(engine.similarity_matrix, series)
+    assert result.shape == (NUM_ROUNDS, NUM_ROUNDS)

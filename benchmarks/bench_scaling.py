@@ -23,6 +23,7 @@ from repro.core.cluster import hac_linkage
 from repro.core.compare import similarity_matrix
 from repro.core.series import VectorSeries
 from repro.core.vector import StateCatalog
+from repro.parallel import SimilarityEngine
 
 T0 = datetime(2024, 1, 1)
 
@@ -41,16 +42,22 @@ def synthetic_series(num_networks: int, num_rounds: int, num_states: int = 8) ->
 
 
 @pytest.mark.parametrize("num_networks", [1000, 5000, 20000])
-def test_scaling_similarity_in_networks(benchmark, num_networks):
+@pytest.mark.parametrize("n_jobs", [1, 4])
+def test_scaling_similarity_in_networks(benchmark, num_networks, n_jobs):
+    # Routed through the similarity engine: n_jobs=1 is the serial
+    # reference path, n_jobs=4 the tiled process pool.
     series = synthetic_series(num_networks, 50)
-    result = benchmark(similarity_matrix, series)
+    engine = SimilarityEngine(n_jobs=n_jobs)
+    result = benchmark(engine.similarity_matrix, series)
     assert result.shape == (50, 50)
 
 
 @pytest.mark.parametrize("num_rounds", [50, 150, 300])
-def test_scaling_similarity_in_rounds(benchmark, num_rounds):
+@pytest.mark.parametrize("n_jobs", [1, 4])
+def test_scaling_similarity_in_rounds(benchmark, num_rounds, n_jobs):
     series = synthetic_series(2000, num_rounds)
-    result = benchmark(similarity_matrix, series)
+    engine = SimilarityEngine(n_jobs=n_jobs)
+    result = benchmark(engine.similarity_matrix, series)
     assert result.shape == (num_rounds, num_rounds)
 
 

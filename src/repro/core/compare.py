@@ -45,6 +45,11 @@ def _check_weights(weights: Optional[np.ndarray], length: int) -> np.ndarray:
         raise ValueError(f"weights shape {weights.shape} != ({length},)")
     if (weights < 0).any():
         raise ValueError("weights must be non-negative")
+    if length and not weights.any():
+        raise ValueError(
+            "weights are all zero: every Φ would be 0/0; "
+            "drop the weighting instead of zeroing every network"
+        )
     return weights
 
 

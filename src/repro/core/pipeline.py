@@ -41,6 +41,10 @@ class FenrirConfig:
     micro_catchment_min_fraction: float = 0.0
     # Comparison (§2.6.1)
     unknown_policy: UnknownPolicy = UnknownPolicy.PESSIMISTIC
+    # Similarity engine (docs/performance.md)
+    n_jobs: int = 1  # 1 = serial reference; >1 = tiled process pool; <=0 = all cores
+    tile_size: int = 64
+    cache_dir: Optional[str] = None  # None = no on-disk similarity cache
     # Clustering (§2.6.2)
     linkage: LinkageMethod = "single"  # the paper cites SLINK (Sibson 1973)
     max_clusters: int = 15
@@ -146,13 +150,35 @@ class Fenrir:
             cleaned = interpolate_series(cleaned, self.config.interpolation_limit)
         return cleaned, folded
 
+    def _similarity(
+        self, cleaned: VectorSeries, weights: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """All-pairs Φ via the configured engine.
+
+        ``n_jobs == 1`` with no cache stays on the serial reference
+        path; anything else routes through the tiled engine in
+        :mod:`repro.parallel` (imported lazily — the pools and shared
+        memory are only worth setting up when asked for).
+        """
+        config = self.config
+        if config.n_jobs == 1 and config.cache_dir is None:
+            return similarity_matrix(cleaned, weights, config.unknown_policy)
+        from ..parallel.engine import SimilarityEngine
+
+        engine = SimilarityEngine(
+            n_jobs=config.n_jobs,
+            tile_size=config.tile_size,
+            cache_dir=config.cache_dir,
+        )
+        return engine.similarity_matrix(cleaned, weights, config.unknown_policy)
+
     def run(self, series: VectorSeries) -> FenrirReport:
         """Run the full pipeline and return the report."""
         if len(series) < 2:
             raise ValueError("Fenrir needs at least two observations")
         cleaned, folded = self.clean(series)
         weights = self.weight_fn(cleaned.networks) if self.weight_fn else None
-        similarity = similarity_matrix(cleaned, weights, self.config.unknown_policy)
+        similarity = self._similarity(cleaned, weights)
         modes = find_modes(
             cleaned,
             weights=weights,

@@ -1,0 +1,44 @@
+"""Parallel similarity engine: tiled kernels, shared memory, caching.
+
+The all-pairs weighted Gower comparison Φ(t,t') (§2.6.1) is Fenrir's
+core cost — O(T²·N) over routing vectors. This package computes it as
+an upper-triangular tile plan dispatched to a process pool over a
+shared-memory copy of the series, with an optional content-addressed
+on-disk cache so repeated runs skip the computation entirely.
+
+``SimilarityEngine(n_jobs=1)`` runs the serial reference from
+:mod:`repro.core.compare`; every parallel configuration is tested to
+reproduce it to 1e-12. See ``docs/performance.md``.
+"""
+
+from .cache import MatrixCache, matrix_cache_key
+from .engine import EngineStats, SimilarityEngine, parallel_similarity_matrix
+from .sharedmem import AttachedBundle, BundleSpec, SharedBundle, attach
+from .tiling import (
+    DEFAULT_TILE_SIZE,
+    FactoredSeries,
+    Tile,
+    factor_series,
+    factored_from_arrays,
+    plan_tiles,
+    reflect_lower,
+)
+
+__all__ = [
+    "MatrixCache",
+    "matrix_cache_key",
+    "EngineStats",
+    "SimilarityEngine",
+    "parallel_similarity_matrix",
+    "AttachedBundle",
+    "BundleSpec",
+    "SharedBundle",
+    "attach",
+    "DEFAULT_TILE_SIZE",
+    "FactoredSeries",
+    "Tile",
+    "factor_series",
+    "factored_from_arrays",
+    "plan_tiles",
+    "reflect_lower",
+]

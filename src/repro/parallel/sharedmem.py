@@ -1,0 +1,117 @@
+"""Zero-copy transport of series data to worker processes.
+
+Workers must never receive the series by pickle — at the paper's scale
+(1.9k rounds × 5M blocks) that would serialize gigabytes per task.
+Instead the parent copies the arrays the tile kernels consume (the
+sparse factorization of the code matrix, plus the dense known-mask
+products under the EXCLUDE policy) into
+``multiprocessing.shared_memory`` segments once, ships only the tiny
+:class:`BundleSpec` (segment names + shapes + dtypes) to the pool
+initializer, and every worker maps the same physical pages.
+
+Lifecycle: the parent owns the segments (:class:`SharedBundle` is a
+context manager that unlinks on exit); workers :func:`attach` read-only
+views and close their handles when the pool dies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["SharedArraySpec", "BundleSpec", "SharedBundle", "AttachedBundle", "attach"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Everything needed to re-map one shared array in another process."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class BundleSpec:
+    """Picklable handle to a set of named arrays in shared memory."""
+
+    arrays: tuple[tuple[str, SharedArraySpec], ...]
+
+    def __getitem__(self, key: str) -> SharedArraySpec:
+        for name, spec in self.arrays:
+            if name == key:
+                return spec
+        raise KeyError(key)
+
+
+def _publish(array: np.ndarray) -> tuple[shared_memory.SharedMemory, SharedArraySpec]:
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[...] = array
+    return segment, SharedArraySpec(segment.name, array.shape, array.dtype.str)
+
+
+class SharedBundle:
+    """Parent-side owner of a named set of shared-memory arrays."""
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        published: list[tuple[str, SharedArraySpec]] = []
+        try:
+            for name, array in arrays.items():
+                segment, spec = _publish(array)
+                self._segments.append(segment)
+                published.append((name, spec))
+        except Exception:
+            self.close()
+            raise
+        self.spec = BundleSpec(arrays=tuple(published))
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedBundle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AttachedBundle:
+    """Worker-side read-only mapping of a published bundle."""
+
+    def __init__(self, spec: BundleSpec) -> None:
+        self._handles: list[shared_memory.SharedMemory] = []
+        self.arrays: dict[str, np.ndarray] = {}
+        for name, array_spec in spec.arrays:
+            handle = shared_memory.SharedMemory(name=array_spec.name)
+            self._handles.append(handle)
+            self.arrays[name] = np.ndarray(
+                array_spec.shape, dtype=np.dtype(array_spec.dtype), buffer=handle.buf
+            )
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.arrays[key]
+
+    def close(self) -> None:
+        # Views alias the mapped buffers, so drop them before closing.
+        self.arrays = {}
+        for handle in self._handles:
+            handle.close()
+        self._handles = []
+
+
+def attach(spec: BundleSpec) -> AttachedBundle:
+    """Map a published bundle in the current (worker) process."""
+    return AttachedBundle(spec)

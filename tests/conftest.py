@@ -2,15 +2,93 @@
 
 from __future__ import annotations
 
+import os
 import random
 from datetime import datetime, timedelta
+from typing import Callable
 
 import pytest
 
 from repro.bgp.topology import ASTopology
 from repro.core.series import VectorSeries
-from repro.core.vector import StateCatalog
+from repro.core.vector import RoutingVector, StateCatalog, UNKNOWN
 from repro.net.geo import city
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    """Skip ``slow``-marked tests unless RUN_SLOW=1 is exported.
+
+    Tier-1 runs stay fast and deterministic; the multi-process stress
+    tests opt in via the environment (see docs/performance.md).
+    """
+    if os.environ.get("RUN_SLOW"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: set RUN_SLOW=1 to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+def random_routing_series(
+    num_networks: int = 40,
+    num_rounds: int = 12,
+    num_states: int = 5,
+    unknown_fraction: float = 0.1,
+    churn: float = 0.05,
+    seed: int = 0,
+) -> VectorSeries:
+    """A seeded random series: persistent assignments with churn.
+
+    Shared by the phi property tests, the parallel-engine equivalence
+    grid, and the cache tests so every randomized input is reproducible
+    from its seed alone.
+    """
+    rng = random.Random(seed)
+    networks = [f"n{i}" for i in range(num_networks)]
+    series = VectorSeries(networks, StateCatalog())
+    t0 = datetime(2024, 1, 1)
+
+    def draw_state() -> str:
+        if rng.random() < unknown_fraction:
+            return UNKNOWN
+        return f"s{rng.randrange(num_states)}"
+
+    assignment = {network: draw_state() for network in networks}
+    for round_index in range(num_rounds):
+        if round_index:
+            for network in networks:
+                if rng.random() < churn:
+                    assignment[network] = draw_state()
+        series.append_mapping(dict(assignment), t0 + timedelta(hours=round_index))
+    return series
+
+
+def random_vector_pair(
+    num_networks: int = 30,
+    num_states: int = 4,
+    unknown_fraction: float = 0.15,
+    seed: int = 0,
+) -> tuple[RoutingVector, RoutingVector]:
+    """Two seeded random vectors over the same networks and catalog."""
+    series = random_routing_series(
+        num_networks=num_networks,
+        num_rounds=2,
+        num_states=num_states,
+        unknown_fraction=unknown_fraction,
+        churn=0.5,
+        seed=seed,
+    )
+    return series[0], series[1]
+
+
+@pytest.fixture
+def make_series() -> Callable[..., VectorSeries]:
+    return random_routing_series
+
+
+@pytest.fixture
+def make_vector_pair() -> Callable[..., tuple[RoutingVector, RoutingVector]]:
+    return random_vector_pair
 
 
 @pytest.fixture

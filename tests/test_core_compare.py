@@ -78,6 +78,18 @@ class TestPhi:
         with pytest.raises(ValueError):
             phi(a, b, weights=np.array([-1.0]))
 
+    def test_all_zero_weights_rejected(self):
+        # Regression: all-zero weights used to fall through to a silent
+        # NaN (0/0); they now raise so the misconfiguration is visible.
+        a, b = pair({"x": "A", "y": "B"}, {"x": "A", "y": "B"})
+        with pytest.raises(ValueError, match="all zero"):
+            phi(a, b, weights=np.zeros(2))
+
+    def test_all_zero_weights_rejected_in_matrix(self, make_series):
+        series = make_series(seed=2, num_networks=6, num_rounds=4)
+        with pytest.raises(ValueError, match="all zero"):
+            similarity_matrix(series, weights=np.zeros(6))
+
     def test_network_mismatch_rejected(self):
         catalog = StateCatalog()
         a = RoutingVector.from_mapping({"x": "A"}, catalog=catalog)

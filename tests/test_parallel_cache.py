@@ -1,0 +1,136 @@
+"""Cache correctness: hits, content-keyed misses, corruption recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compare import UnknownPolicy, similarity_matrix
+from repro.parallel import MatrixCache, SimilarityEngine, matrix_cache_key
+
+
+@pytest.fixture
+def cached_engine(tmp_path):
+    return SimilarityEngine(n_jobs=1, cache_dir=tmp_path / "phi-cache")
+
+
+class TestCacheHits:
+    def test_identical_inputs_hit(self, make_series, cached_engine):
+        series = make_series(seed=3)
+        first = cached_engine.similarity_matrix(series)
+        assert cached_engine.stats.cache_misses == 1
+        assert cached_engine.stats.cache_hits == 0
+        second = cached_engine.similarity_matrix(series)
+        assert cached_engine.stats.cache_hits == 1
+        assert np.array_equal(first, second)
+
+    def test_cache_shared_across_engine_instances(self, make_series, tmp_path):
+        series = make_series(seed=4)
+        writer = SimilarityEngine(n_jobs=1, cache_dir=tmp_path)
+        expected = writer.similarity_matrix(series)
+        reader = SimilarityEngine(n_jobs=2, tile_size=4, cache_dir=tmp_path)
+        result = reader.similarity_matrix(series)
+        assert reader.stats.cache_hits == 1
+        assert reader.stats.parallel_runs == 0  # no recomputation
+        assert np.array_equal(expected, result)
+
+    def test_cached_matrix_equals_serial_oracle(self, make_series, cached_engine):
+        series = make_series(seed=12, unknown_fraction=0.25)
+        cached_engine.similarity_matrix(series, policy=UnknownPolicy.EXCLUDE)
+        result = cached_engine.similarity_matrix(series, policy=UnknownPolicy.EXCLUDE)
+        reference = similarity_matrix(series, policy=UnknownPolicy.EXCLUDE)
+        assert np.array_equal(np.isnan(reference), np.isnan(result))
+        finite = ~np.isnan(reference)
+        assert np.array_equal(reference[finite], result[finite])
+
+
+class TestCacheMisses:
+    def test_different_codes_miss(self, make_series, cached_engine):
+        cached_engine.similarity_matrix(make_series(seed=5))
+        cached_engine.similarity_matrix(make_series(seed=6))
+        assert cached_engine.stats.cache_misses == 2
+        assert cached_engine.stats.cache_hits == 0
+
+    def test_different_weights_miss(self, make_series, cached_engine):
+        series = make_series(seed=5)
+        weights = np.full(len(series.networks), 2.0)
+        cached_engine.similarity_matrix(series, weights=weights)
+        cached_engine.similarity_matrix(series, weights=1.01 * weights)
+        cached_engine.similarity_matrix(series)  # unweighted is its own key
+        assert cached_engine.stats.cache_misses == 3
+        assert cached_engine.stats.cache_hits == 0
+
+    def test_different_policy_misses(self, make_series, cached_engine):
+        series = make_series(seed=5)
+        cached_engine.similarity_matrix(series, policy=UnknownPolicy.PESSIMISTIC)
+        cached_engine.similarity_matrix(series, policy=UnknownPolicy.EXCLUDE)
+        assert cached_engine.stats.cache_misses == 2
+
+    def test_key_function_is_content_addressed(self, make_series):
+        series = make_series(seed=8)
+        codes = series.matrix
+        key = matrix_cache_key(codes, None, UnknownPolicy.PESSIMISTIC)
+        assert key == matrix_cache_key(codes.copy(), None, UnknownPolicy.PESSIMISTIC)
+        mutated = codes.copy()
+        mutated[0, 0] += 1
+        assert key != matrix_cache_key(mutated, None, UnknownPolicy.PESSIMISTIC)
+
+
+class TestCacheCorruption:
+    def _entry_paths(self, cache_dir):
+        matrices = list(cache_dir.glob("*.npy"))
+        assert len(matrices) == 1
+        return matrices[0]
+
+    def test_truncated_file_recomputed(self, make_series, cached_engine):
+        series = make_series(seed=9)
+        expected = cached_engine.similarity_matrix(series)
+        matrix_path = self._entry_paths(cached_engine.cache.directory)
+        matrix_path.write_bytes(matrix_path.read_bytes()[:20])  # truncate
+        result = cached_engine.similarity_matrix(series)
+        assert cached_engine.stats.cache_hits == 0
+        assert cached_engine.cache.evictions == 1
+        assert np.array_equal(expected, result)
+        # The recomputed entry replaced the corrupt one and hits again.
+        cached_engine.similarity_matrix(series)
+        assert cached_engine.stats.cache_hits == 1
+
+    def test_bit_flipped_matrix_detected_by_digest(self, make_series, cached_engine):
+        series = make_series(seed=10)
+        expected = cached_engine.similarity_matrix(series)
+        matrix_path = self._entry_paths(cached_engine.cache.directory)
+        payload = bytearray(matrix_path.read_bytes())
+        payload[-1] ^= 0xFF  # flip bits inside the data section
+        matrix_path.write_bytes(bytes(payload))
+        result = cached_engine.similarity_matrix(series)
+        assert cached_engine.stats.cache_hits == 0
+        assert np.array_equal(expected, result)
+
+    def test_missing_digest_sidecar_is_a_miss(self, make_series, cached_engine):
+        series = make_series(seed=11)
+        cached_engine.similarity_matrix(series)
+        for sidecar in cached_engine.cache.directory.glob("*.sha256"):
+            sidecar.unlink()
+        cached_engine.similarity_matrix(series)
+        assert cached_engine.stats.cache_hits == 0
+        assert cached_engine.stats.cache_misses == 2
+
+    def test_wrong_shape_entry_evicted(self, make_series, tmp_path):
+        cache = MatrixCache(tmp_path)
+        key = "deadbeef"
+        cache.store(key, np.eye(4))
+        assert cache.load(key, expected_size=4) is not None
+        assert cache.load(key, expected_size=5) is None  # shape mismatch
+        assert cache.evictions == 1
+        assert cache.load(key, expected_size=4) is None  # evicted for good
+
+
+class TestCacheHousekeeping:
+    def test_clear_and_len(self, tmp_path):
+        cache = MatrixCache(tmp_path)
+        cache.store("a", np.zeros((2, 2)))
+        cache.store("b", np.ones((3, 3)))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.load("a", 2) is None

@@ -1,0 +1,132 @@
+"""Oracle equivalence: the parallel engine must reproduce the serial Φ.
+
+The serial :func:`repro.core.compare.similarity_matrix` is the
+reference implementation (the ``n_jobs=1`` path of the engine). Every
+parallel configuration — process counts, tile sizes, unknown policies,
+weighted or not — must agree with it to 1e-12, including where the
+NaNs land under :attr:`UnknownPolicy.EXCLUDE`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compare import UnknownPolicy, distance_matrix, similarity_matrix
+from repro.core.series import VectorSeries
+from repro.core.vector import StateCatalog, UNKNOWN
+from repro.parallel import SimilarityEngine, Tile, plan_tiles, reflect_lower
+
+TOLERANCE = 1e-12
+
+
+def _weights_for(series: VectorSeries, kind: str) -> np.ndarray | None:
+    if kind == "none":
+        return None
+    rng = np.random.default_rng(99)
+    return rng.uniform(0.1, 5.0, len(series.networks))
+
+
+def assert_equivalent(reference: np.ndarray, result: np.ndarray) -> None:
+    assert result.shape == reference.shape
+    assert np.array_equal(np.isnan(reference), np.isnan(result)), "NaN placement differs"
+    finite = ~np.isnan(reference)
+    assert np.all(np.abs(reference[finite] - result[finite]) <= TOLERANCE)
+
+
+class TestEquivalenceGrid:
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    @pytest.mark.parametrize("tile_size", [5, 16, 1000])
+    @pytest.mark.parametrize("policy", list(UnknownPolicy))
+    @pytest.mark.parametrize("weight_kind", ["none", "random"])
+    def test_matches_serial_oracle(
+        self, make_series, n_jobs, tile_size, policy, weight_kind
+    ):
+        series = make_series(
+            num_networks=60, num_rounds=18, num_states=6,
+            unknown_fraction=0.2, churn=0.2, seed=42,
+        )
+        weights = _weights_for(series, weight_kind)
+        reference = similarity_matrix(series, weights, policy)
+        engine = SimilarityEngine(n_jobs=n_jobs, tile_size=tile_size)
+        result = engine.similarity_matrix(series, weights, policy)
+        assert_equivalent(reference, result)
+
+    @pytest.mark.parametrize("n_jobs", [2, 3])
+    def test_many_states_regime(self, make_series, n_jobs):
+        """The serial fallback (per-pair rows) is also reproduced."""
+        series = make_series(
+            num_networks=80, num_rounds=10, num_states=120,
+            unknown_fraction=0.1, churn=0.6, seed=7,
+        )
+        reference = similarity_matrix(series)
+        result = SimilarityEngine(n_jobs=n_jobs, tile_size=4).similarity_matrix(series)
+        assert_equivalent(reference, result)
+
+    def test_nan_placement_under_exclude(self):
+        """A pair with no jointly known network is NaN in both engines."""
+        series = VectorSeries(["a", "b"], StateCatalog())
+        from datetime import datetime, timedelta
+
+        t0 = datetime(2024, 1, 1)
+        series.append_mapping({"a": "X", "b": UNKNOWN}, t0)
+        series.append_mapping({"a": UNKNOWN, "b": "Y"}, t0 + timedelta(days=1))
+        series.append_mapping({"a": "X", "b": "Y"}, t0 + timedelta(days=2))
+        reference = similarity_matrix(series, policy=UnknownPolicy.EXCLUDE)
+        assert np.isnan(reference[0, 1]) and np.isnan(reference[1, 0])
+        result = SimilarityEngine(n_jobs=2, tile_size=1).similarity_matrix(
+            series, policy=UnknownPolicy.EXCLUDE
+        )
+        assert_equivalent(reference, result)
+
+    def test_distance_matrix_matches(self, make_series):
+        series = make_series(seed=5, unknown_fraction=0.3)
+        reference = distance_matrix(series, policy=UnknownPolicy.EXCLUDE)
+        result = SimilarityEngine(n_jobs=2, tile_size=8).distance_matrix(
+            series, policy=UnknownPolicy.EXCLUDE
+        )
+        assert np.all(np.abs(reference - result) <= TOLERANCE)
+
+
+class TestTilePlan:
+    def test_plan_covers_upper_triangle_once(self):
+        tiles = plan_tiles(23, 5)
+        covered = np.zeros((23, 23), dtype=int)
+        for tile in tiles:
+            covered[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] += 1
+        upper = np.triu_indices(23)
+        assert np.all(covered[upper] >= 1)
+        # Diagonal blocks cover a little of the lower triangle, but no
+        # cell is ever computed twice.
+        assert covered.max() == 1
+
+    def test_single_tile_when_tile_size_dominates(self):
+        assert plan_tiles(10, 1000) == [Tile(0, 10, 0, 10)]
+
+    def test_empty_and_invalid(self):
+        assert plan_tiles(0, 8) == []
+        with pytest.raises(ValueError):
+            plan_tiles(10, 0)
+        with pytest.raises(ValueError):
+            SimilarityEngine(tile_size=-1)
+
+    def test_reflect_lower(self):
+        matrix = np.triu(np.arange(16, dtype=float).reshape(4, 4))
+        reflect_lower(matrix)
+        assert np.array_equal(matrix, matrix.T)
+
+
+@pytest.mark.slow
+def test_stress_large_series_multiprocess(make_series):
+    """Large-T multi-process run (RUN_SLOW=1 only): still oracle-exact."""
+    series = make_series(
+        num_networks=500, num_rounds=160, num_states=40,
+        unknown_fraction=0.15, churn=0.1, seed=11,
+    )
+    weights = np.random.default_rng(1).uniform(0.5, 2.0, 500)
+    for policy in UnknownPolicy:
+        reference = similarity_matrix(series, weights, policy)
+        result = SimilarityEngine(n_jobs=4, tile_size=32).similarity_matrix(
+            series, weights, policy
+        )
+        assert_equivalent(reference, result)

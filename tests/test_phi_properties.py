@@ -1,0 +1,105 @@
+"""Property-based tests for the Gower similarity Φ (§2.6.1).
+
+Randomized vectors come from the seeded generators in
+``tests/conftest.py``, so every failure reproduces from its seed. The
+properties are the ones the paper's definition implies:
+
+* symmetry: Φ(a, b) = Φ(b, a);
+* identity: Φ(a, a) = 1 for fully-known vectors;
+* monotonicity: breaking one agreeing network lowers Φ, fixing one
+  disagreeing network raises it;
+* scale invariance: rescaling every weight by c > 0 leaves Φ unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compare import UnknownPolicy, phi
+from repro.core.vector import UNKNOWN_CODE
+
+SEEDS = [0, 1, 2, 3, 17, 91]
+POLICIES = list(UnknownPolicy)
+
+
+def _random_weights(length: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.05, 10.0, length)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_phi_symmetry(make_vector_pair, seed, policy):
+    a, b = make_vector_pair(seed=seed)
+    weights = _random_weights(len(a), seed)
+    forward = phi(a, b, weights=weights, policy=policy)
+    backward = phi(b, a, weights=weights, policy=policy)
+    assert forward == pytest.approx(backward, abs=1e-15)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_phi_self_similarity_of_fully_known(make_vector_pair, seed, policy):
+    a, _ = make_vector_pair(seed=seed, unknown_fraction=0.0)
+    assert np.all(a.codes != UNKNOWN_CODE)
+    weights = _random_weights(len(a), seed)
+    assert phi(a, a, weights=weights, policy=policy) == pytest.approx(1.0, abs=1e-15)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_phi_self_similarity_with_unknowns(make_vector_pair, seed):
+    """Unknowns cap Φ(a,a) below 1 pessimistically, not when excluded."""
+    a, _ = make_vector_pair(seed=seed, unknown_fraction=0.4)
+    if np.all(a.codes != UNKNOWN_CODE):  # the draw happened to be clean
+        pytest.skip("seed produced no unknowns")
+    pessimistic = phi(a, a, policy=UnknownPolicy.PESSIMISTIC)
+    assert pessimistic < 1.0
+    excluded = phi(a, a, policy=UnknownPolicy.EXCLUDE)
+    assert excluded == pytest.approx(1.0, abs=1e-15)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_phi_monotone_in_single_network_flips(make_vector_pair, seed, policy):
+    a, b = make_vector_pair(seed=seed, num_states=3, unknown_fraction=0.1)
+    weights = _random_weights(len(a), seed)
+    base = phi(a, b, weights=weights, policy=policy)
+    agreeing = np.nonzero((a.codes == b.codes) & (a.codes != UNKNOWN_CODE))[0]
+    disagreeing = np.nonzero(
+        (a.codes != b.codes)
+        & (a.codes != UNKNOWN_CODE)
+        & (b.codes != UNKNOWN_CODE)
+    )[0]
+    if len(agreeing):
+        # Flip one agreeing network to a fresh catchment: Φ must drop.
+        index = int(agreeing[0])
+        codes = b.codes.copy()
+        codes[index] = b.catalog.code("elsewhere")
+        lowered = phi(a, b.replace_codes(codes), weights=weights, policy=policy)
+        assert lowered < base
+    if len(disagreeing):
+        # Align one disagreeing network with a: Φ must rise.
+        index = int(disagreeing[0])
+        codes = b.codes.copy()
+        codes[index] = a.codes[index]
+        raised = phi(a, b.replace_codes(codes), weights=weights, policy=policy)
+        assert raised > base
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("scale", [0.25, 3.0, 1e6])
+def test_phi_weight_rescaling_invariance(make_vector_pair, seed, policy, scale):
+    a, b = make_vector_pair(seed=seed)
+    weights = _random_weights(len(a), seed)
+    base = phi(a, b, weights=weights, policy=policy)
+    rescaled = phi(a, b, weights=scale * weights, policy=policy)
+    assert rescaled == pytest.approx(base, abs=1e-12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_phi_bounded(make_vector_pair, seed):
+    a, b = make_vector_pair(seed=seed, unknown_fraction=0.3)
+    for policy in POLICIES:
+        value = phi(a, b, policy=policy)
+        assert np.isnan(value) or 0.0 <= value <= 1.0
