@@ -1,0 +1,180 @@
+"""Load benchmark for the ``repro.serve`` monitoring service.
+
+Not a paper table — this documents the serving envelope of the durable
+streaming subsystem (docs/serving.md): N concurrent clients, each
+feeding its own monitor (a monitor's stream is totally ordered in
+time, so it has exactly one writer — the natural deployment shape),
+over real TCP connections on one laptop-class machine.
+
+Recorded in ``benchmarks/out/serve.txt``:
+
+* sustained ingest throughput (acknowledged = journaled rounds/sec),
+  required ≥ 1k/s;
+* client-observed p50/p99 ingest latency and the server's own
+  per-command percentiles from ``stats``;
+* cold-start replay: time for a restarted server to rebuild every
+  monitor's exact mode state from snapshot + journal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import threading
+import time
+from datetime import datetime, timedelta
+
+from repro.serve import FenrirServer, ServeClient, ServeConfig
+
+from common import emit
+
+NUM_CLIENTS = 8  # one monitor each
+ROUNDS_PER_CLIENT = 500
+NUM_NETWORKS = 50
+MIN_THROUGHPUT = 1000.0  # acked ingests/sec across the fleet
+
+T0 = datetime(2025, 1, 1)
+SITES = ["LAX", "AMS", "FRA", "NRT", "GRU"]
+
+
+class ServerThread:
+    """FenrirServer on a private event loop; blocking-client friendly."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self._ready = threading.Event()
+        self._holder: dict = {}
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            server = FenrirServer(self.config)
+            await server.start()
+            self._holder["address"] = server.address
+            self._holder["loop"] = asyncio.get_running_loop()
+            self._holder["stop"] = asyncio.Event()
+            self._ready.set()
+            await self._holder["stop"].wait()
+            await server.stop()
+
+        asyncio.run(main())
+
+    def start(self) -> tuple[str, int]:
+        self._thread.start()
+        assert self._ready.wait(timeout=30)
+        return self._holder["address"]
+
+    def stop(self) -> None:
+        self._holder["loop"].call_soon_threadsafe(self._holder["stop"].set)
+        self._thread.join(timeout=30)
+
+
+def monitor_rounds(monitor_index: int):
+    """One monitor's deterministic stream: stable with periodic shifts."""
+    networks = [f"n{i}" for i in range(NUM_NETWORKS)]
+    for round_index in range(ROUNDS_PER_CLIENT):
+        epoch = round_index // 97  # a routing shift every ~97 rounds
+        states = {
+            network: SITES[(monitor_index + epoch + (i % 7)) % len(SITES)]
+            for i, network in enumerate(networks)
+        }
+        yield states, T0 + timedelta(seconds=round_index)
+
+
+def feeder(
+    host: str, port: int, client_index: int, latencies: list, errors: list
+) -> None:
+    monitor = f"svc{client_index}"
+    try:
+        with ServeClient(host=host, port=port) as client:
+            for states, when in monitor_rounds(client_index):
+                started = time.perf_counter()
+                client.ingest(monitor, states, when)
+                latencies.append(time.perf_counter() - started)
+    except Exception as exc:  # noqa: BLE001 - recorded and failed below
+        errors.append(exc)
+
+
+def percentile(ordered: list[float], fraction: float) -> float:
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def test_serve_load() -> None:
+    data_dir = tempfile.mkdtemp(prefix="bench_serve_")
+    config = ServeConfig(data_dir=data_dir, port=0, snapshot_every=200)
+    server = ServerThread(config)
+    host, port = server.start()
+
+    networks = [f"n{i}" for i in range(NUM_NETWORKS)]
+    with ServeClient(host=host, port=port) as admin:
+        for client_index in range(NUM_CLIENTS):
+            admin.create(f"svc{client_index}", networks)
+
+    latencies: list[list[float]] = [[] for _ in range(NUM_CLIENTS)]
+    errors: list = []
+    threads = [
+        threading.Thread(
+            target=feeder, args=(host, port, index, latencies[index], errors)
+        )
+        for index in range(NUM_CLIENTS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    total_rounds = sum(len(client) for client in latencies)
+    throughput = total_rounds / elapsed
+    flat = sorted(sample for client in latencies for sample in client)
+
+    with ServeClient(host=host, port=port) as admin:
+        stats = admin.stats()
+    server.stop()
+
+    # Cold start: a fresh process-equivalent reopens the same data dir.
+    restart_started = time.perf_counter()
+    restarted = ServerThread(ServeConfig(data_dir=data_dir, port=0))
+    host2, port2 = restarted.start()
+    cold_start = time.perf_counter() - restart_started
+    with ServeClient(host=host2, port=port2) as admin:
+        after = admin.stats()
+        recovered_rounds = sum(
+            doc["rounds"] for doc in after["monitors"].values()
+        )
+        replay_seconds = sum(
+            doc["replay"]["elapsed_seconds"]
+            for doc in after["monitors"].values()
+            if doc["replay"]
+        )
+    restarted.stop()
+
+    server_ingest = stats["latency"].get("ingest", {})
+    lines = [
+        f"clients={NUM_CLIENTS} monitors={NUM_CLIENTS} "
+        f"networks={NUM_NETWORKS} rounds={total_rounds}",
+        f"wall time               {elapsed:8.2f} s",
+        f"ingest throughput       {throughput:8.0f} acked rounds/s "
+        f"(required >= {MIN_THROUGHPUT:.0f})",
+        f"client latency p50      {percentile(flat, 0.50) * 1000:8.3f} ms",
+        f"client latency p99      {percentile(flat, 0.99) * 1000:8.3f} ms",
+        f"server ingest p50       {server_ingest.get('p50_ms', 0.0):8.3f} ms",
+        f"server ingest p99       {server_ingest.get('p99_ms', 0.0):8.3f} ms",
+        f"overload rejections     {stats['counters'].get('overload_rejections', 0):8d}",
+        f"cold start (restart)    {cold_start:8.2f} s wall",
+        f"  replay work           {replay_seconds:8.3f} s "
+        f"for {recovered_rounds} rounds across {NUM_CLIENTS} monitors",
+    ]
+    emit("serve", "\n".join(lines))
+
+    assert not errors, f"feeder errors: {errors[:3]}"
+    assert total_rounds == NUM_CLIENTS * ROUNDS_PER_CLIENT
+    assert recovered_rounds == total_rounds, "replay lost acknowledged rounds"
+    assert throughput >= MIN_THROUGHPUT, (
+        f"throughput {throughput:.0f}/s below the {MIN_THROUGHPUT:.0f}/s floor"
+    )
+
+
+if __name__ == "__main__":
+    test_serve_load()

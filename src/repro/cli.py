@@ -8,6 +8,9 @@ Commands:
   scale and run Fenrir on it.
 * ``convert IN OUT`` — convert a series between JSONL and CSV.
 * ``catalog`` — print the Table 2 dataset catalog.
+* ``serve`` — run the durable streaming monitoring service
+  (``repro.serve``: many named monitors, journaled ingests).
+* ``client CMD`` — create/feed/query monitors on a running server.
 """
 
 from __future__ import annotations
@@ -201,7 +204,182 @@ def build_parser() -> argparse.ArgumentParser:
     bundle.add_argument("directory", type=Path)
 
     commands.add_parser("catalog", help="print the paper's dataset catalog")
+
+    serve = commands.add_parser(
+        "serve", help="run the durable streaming monitoring service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7339, help="TCP port (0 = OS-assigned)"
+    )
+    serve.add_argument(
+        "--data-dir", type=Path, required=True,
+        help="directory holding per-monitor journals and snapshots",
+    )
+    serve.add_argument(
+        "--queue-size", type=_positive_int, default=256,
+        help="bounded per-monitor ingest queue; full = overload response",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=1000, metavar="N",
+        help="auto-checkpoint each monitor every N ingests (0 = never)",
+    )
+    serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync each journal append (survives power loss, much slower)",
+    )
+
+    client = commands.add_parser(
+        "client", help="talk to a running repro serve instance"
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7339)
+    client_commands = client.add_subparsers(dest="client_command", required=True)
+
+    c_create = client_commands.add_parser("create", help="create a monitor")
+    c_create.add_argument("monitor")
+    c_create.add_argument(
+        "--networks", required=True,
+        help="comma-separated network universe, e.g. 'n1,n2,n3'",
+    )
+    c_create.add_argument("--event-threshold", type=float, default=0.1)
+    c_create.add_argument("--mode-threshold", type=float, default=0.7)
+    c_create.add_argument(
+        "--policy", choices=["pessimistic", "exclude"], default="pessimistic"
+    )
+
+    c_ingest = client_commands.add_parser(
+        "ingest", help="stream a series file into a monitor"
+    )
+    c_ingest.add_argument("monitor")
+    c_ingest.add_argument("series", type=Path)
+    c_ingest.add_argument(
+        "--create", action="store_true",
+        help="create the monitor from the series' networks first",
+    )
+
+    c_query = client_commands.add_parser("query", help="summarize a monitor")
+    c_query.add_argument("monitor")
+
+    c_timeline = client_commands.add_parser(
+        "timeline", help="print a monitor's mode timeline"
+    )
+    c_timeline.add_argument("monitor")
+
+    client_commands.add_parser("stats", help="print server counters and latency")
+
+    c_snapshot = client_commands.add_parser(
+        "snapshot", help="force a monitor checkpoint now"
+    )
+    c_snapshot.add_argument("monitor")
+
+    client_commands.add_parser("list", help="list monitors")
     return parser
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import FenrirServer, ServeConfig
+
+    config = ServeConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        snapshot_every=args.snapshot_every,
+        fsync=args.fsync,
+    )
+
+    async def run() -> None:
+        server = FenrirServer(config)
+        await server.start()
+        host, port = server.address
+        # Machine-readable readiness line: tests and the bench harness
+        # parse it to learn an OS-assigned port.
+        print(f"listening on {host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    from .serve import OverloadedError, ServeClient
+
+    with ServeClient(host=args.host, port=args.port) as client:
+        if args.client_command == "create":
+            response = client.create(
+                args.monitor,
+                networks=[n for n in args.networks.split(",") if n],
+                event_threshold=args.event_threshold,
+                mode_threshold=args.mode_threshold,
+                policy=args.policy,
+            )
+            print(f"created monitor {response['monitor']!r}")
+        elif args.client_command == "ingest":
+            series = _load_series(args.series)
+            if args.create:
+                client.create(args.monitor, networks=series.networks)
+            sent = 0
+            for vector in series:
+                while True:
+                    try:
+                        response = client.ingest(
+                            args.monitor, vector.to_mapping(), vector.time
+                        )
+                        break
+                    except OverloadedError:
+                        import time as _time
+
+                        _time.sleep(0.05)
+                sent += 1
+                update = response["update"]
+                if update["is_event"] or update["is_new_mode"] or update["recurred"]:
+                    notes = [
+                        note
+                        for flag, note in [
+                            (update["is_new_mode"], "new mode"),
+                            (update["recurred"], "recurrence"),
+                            (update["is_event"], "event"),
+                        ]
+                        if flag
+                    ]
+                    print(
+                        f"{update['time']} change={update['step_change']:.2f} "
+                        f"mode={update['mode_id']} {' '.join(notes)}"
+                    )
+            print(f"ingested {sent} rounds into {args.monitor!r}")
+        elif args.client_command == "query":
+            import json as _json
+
+            print(_json.dumps(client.query(args.monitor), indent=2, sort_keys=True))
+        elif args.client_command == "timeline":
+            response = client.timeline(args.monitor)
+            for segment in response["segments"]:
+                print(
+                    f"mode {segment['mode_id']:>3}  "
+                    f"{segment['start']} .. {segment['end']}"
+                )
+        elif args.client_command == "stats":
+            import json as _json
+
+            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.client_command == "snapshot":
+            response = client.snapshot(args.monitor)
+            print(f"snapshot of {args.monitor!r} at seq {response['seq']}")
+        elif args.client_command == "list":
+            for name in client.list_monitors():
+                print(name)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -272,6 +450,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             {"generator": f"repro.datasets.{args.name}", "scale": "demo"},
         )
         print(f"bundle written to {directory}")
+    elif args.command == "serve":
+        return _run_serve(args)
+    elif args.command == "client":
+        return _run_client(args)
     elif args.command == "catalog":
         for info in CATALOG:
             print(

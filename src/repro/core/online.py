@@ -22,9 +22,11 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from .compare import UnknownPolicy, phi
-from .vector import RoutingVector, StateCatalog
+from .vector import SPECIAL_STATES, RoutingVector, StateCatalog
 
 __all__ = ["OnlineUpdate", "OnlineFenrir"]
+
+STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -126,6 +128,27 @@ class OnlineFenrir:
         self._last_time = when
         return update
 
+    @property
+    def last_time(self) -> Optional[datetime]:
+        """Timestamp of the most recent ingested observation, if any."""
+        return self._last_time
+
+    def match(self, assignment: Mapping[str, str]) -> tuple[Optional[int], float]:
+        """Which known mode would ``assignment`` join? Non-mutating.
+
+        Returns ``(mode_id, similarity)``; ``mode_id`` is None when the
+        assignment would open a new mode. Unlike :meth:`ingest` this
+        does not advance the tracker (no mode is opened, no update is
+        recorded), so servers can answer "have we seen this routing
+        before?" without committing the observation. Unseen site labels
+        are still registered in the shared catalog; that is only an
+        identifier assignment and cannot change any Φ value.
+        """
+        vector = RoutingVector.from_mapping(
+            dict(assignment), catalog=self.catalog, networks=self.networks
+        )
+        return self._match_mode(vector)
+
     def _match_mode(self, vector: RoutingVector) -> tuple[Optional[int], float]:
         best_mode: Optional[int] = None
         best_similarity = -1.0
@@ -138,6 +161,97 @@ class OnlineFenrir:
         if best_mode is not None and best_similarity >= self.mode_threshold:
             return best_mode, best_similarity
         return None, best_similarity
+
+    # -- checkpointing --------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """A JSON-serializable snapshot of the full tracker state.
+
+        The snapshot is *exact*: ``from_state(to_state())`` yields a
+        tracker whose every subsequent :meth:`ingest` returns the same
+        updates (bit-identical floats — JSON round-trips Python floats
+        losslessly via their shortest repr) as the original would have.
+        """
+
+        def vector_state(vector: RoutingVector) -> dict:
+            return {
+                "time": vector.time.isoformat() if vector.time else None,
+                "codes": [int(code) for code in vector.codes],
+            }
+
+        return {
+            "version": STATE_VERSION,
+            "networks": list(self.networks),
+            "event_threshold": self.event_threshold,
+            "mode_threshold": self.mode_threshold,
+            "policy": self.policy.value,
+            "weights": None if self.weights is None else [float(w) for w in self.weights],
+            "catalog": list(self.catalog.labels),
+            "exemplars": [vector_state(exemplar) for exemplar in self._exemplars],
+            "previous": None if self._previous is None else vector_state(self._previous),
+            "previous_mode": self._previous_mode,
+            "last_time": self._last_time.isoformat() if self._last_time else None,
+            "updates": [
+                {
+                    "time": update.time.isoformat(),
+                    "step_change": update.step_change,
+                    "is_event": update.is_event,
+                    "mode_id": update.mode_id,
+                    "is_new_mode": update.is_new_mode,
+                    "mode_similarity": update.mode_similarity,
+                    "recurred": update.recurred,
+                }
+                for update in self.updates
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "OnlineFenrir":
+        """Rebuild a tracker from :meth:`to_state` output."""
+        version = state.get("version")
+        if version != STATE_VERSION:
+            raise ValueError(f"unsupported OnlineFenrir state version: {version!r}")
+        labels = list(state["catalog"])
+        if tuple(labels[: len(SPECIAL_STATES)]) != SPECIAL_STATES:
+            raise ValueError("state catalog does not start with the special states")
+        catalog = StateCatalog(labels[len(SPECIAL_STATES):])
+        weights = state.get("weights")
+        tracker = cls(
+            networks=state["networks"],
+            event_threshold=state["event_threshold"],
+            mode_threshold=state["mode_threshold"],
+            policy=UnknownPolicy(state["policy"]),
+            weights=None if weights is None else np.asarray(weights, dtype=np.float64),
+            catalog=catalog,
+        )
+
+        def restore_vector(doc: Mapping) -> RoutingVector:
+            return RoutingVector(
+                tracker.networks,
+                np.asarray(doc["codes"], dtype=np.int32),
+                catalog,
+                datetime.fromisoformat(doc["time"]) if doc["time"] else None,
+            )
+
+        tracker._exemplars = [restore_vector(doc) for doc in state["exemplars"]]
+        previous = state.get("previous")
+        tracker._previous = restore_vector(previous) if previous else None
+        tracker._previous_mode = state.get("previous_mode")
+        last_time = state.get("last_time")
+        tracker._last_time = datetime.fromisoformat(last_time) if last_time else None
+        tracker.updates = [
+            OnlineUpdate(
+                time=datetime.fromisoformat(doc["time"]),
+                step_change=doc["step_change"],
+                is_event=doc["is_event"],
+                mode_id=doc["mode_id"],
+                is_new_mode=doc["is_new_mode"],
+                mode_similarity=doc["mode_similarity"],
+                recurred=doc["recurred"],
+            )
+            for doc in state["updates"]
+        ]
+        return tracker
 
     def mode_timeline(self) -> list[tuple[int, datetime, datetime]]:
         """Contiguous (mode_id, start, end) segments seen so far."""

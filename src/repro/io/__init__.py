@@ -17,8 +17,10 @@ from .plotdata import (
     write_stackplot_csv,
 )
 from .formats import (
+    DroppedTail,
     read_series_csv,
     read_series_jsonl,
+    recover_series_jsonl,
     write_series_csv,
     write_series_jsonl,
 )
@@ -42,7 +44,9 @@ __all__ = [
     "write_latency_csv",
     "write_sankey_csv",
     "write_stackplot_csv",
+    "DroppedTail",
     "read_series_jsonl",
+    "recover_series_jsonl",
     "write_series_csv",
     "write_series_jsonl",
 ]

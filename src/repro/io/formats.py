@@ -14,13 +14,21 @@ from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass
 from datetime import datetime
-from typing import TextIO
+from typing import Optional, TextIO
 
 from ..core.series import VectorSeries
 from ..core.vector import UNKNOWN, StateCatalog
 
-__all__ = ["write_series_jsonl", "read_series_jsonl", "write_series_csv", "read_series_csv"]
+__all__ = [
+    "DroppedTail",
+    "write_series_jsonl",
+    "read_series_jsonl",
+    "recover_series_jsonl",
+    "write_series_csv",
+    "read_series_csv",
+]
 
 _TIME_FORMAT = "%Y-%m-%dT%H:%M:%S"
 
@@ -50,23 +58,96 @@ def write_series_jsonl(series: VectorSeries, stream: TextIO) -> int:
     return count
 
 
-def read_series_jsonl(stream: TextIO) -> VectorSeries:
-    """Read a series written by :func:`write_series_jsonl`."""
+@dataclass(frozen=True)
+class DroppedTail:
+    """What a recovering JSONL read threw away.
+
+    A truncated or garbage record means everything after it is suspect
+    (the writer died mid-stream), so recovery keeps the valid *prefix*
+    and reports the rest: the 1-based line number of the first bad
+    line, how many lines were dropped from there to EOF, and why the
+    first one failed to parse.
+    """
+
+    first_bad_line: int
+    dropped_lines: int
+    reason: str
+
+    def __str__(self) -> str:
+        plural = "s" if self.dropped_lines != 1 else ""
+        return (
+            f"dropped {self.dropped_lines} line{plural} from line "
+            f"{self.first_bad_line}: {self.reason}"
+        )
+
+
+def _parse_series_line(series: Optional[VectorSeries], line: str):
+    """Apply one JSONL line; returns the (possibly new) series."""
+    obj = json.loads(line)
+    if obj.get("type") == "header":
+        return VectorSeries(obj["networks"], StateCatalog())
+    if obj.get("type") == "observation":
+        if series is None:
+            raise ValueError("observation before header line")
+        time = datetime.strptime(obj["time"], _TIME_FORMAT)
+        series.append_mapping(obj["states"], time)
+        return series
+    raise ValueError(f"unknown line type: {obj.get('type')!r}")
+
+
+def recover_series_jsonl(
+    stream: TextIO,
+) -> tuple[VectorSeries, Optional[DroppedTail]]:
+    """Read as much valid prefix as the stream holds.
+
+    Unlike :func:`read_series_jsonl` this never raises on a truncated
+    or garbage tail (the usual aftermath of a crashed writer): reading
+    stops at the first invalid record and everything from there on is
+    dropped and reported. A stream whose *header* is unreadable still
+    raises — there is no universe to recover into.
+    """
+    series: Optional[VectorSeries] = None
+    dropped: Optional[DroppedTail] = None
+    for line_number, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            series = _parse_series_line(series, stripped)
+        except (ValueError, KeyError, TypeError) as exc:
+            if series is None:
+                raise ValueError(f"unreadable header line: {exc}") from exc
+            remaining = sum(1 for _ in stream)
+            dropped = DroppedTail(
+                first_bad_line=line_number,
+                dropped_lines=1 + remaining,
+                reason=str(exc),
+            )
+            break
+    if series is None:
+        raise ValueError("empty stream: no header line")
+    return series, dropped
+
+
+def read_series_jsonl(stream: TextIO, *, errors: str = "strict") -> VectorSeries:
+    """Read a series written by :func:`write_series_jsonl`.
+
+    ``errors="strict"`` (default) raises on any malformed line;
+    ``errors="recover"`` tolerates a truncated/garbage tail, keeping
+    the valid prefix (use :func:`recover_series_jsonl` to also learn
+    what was dropped).
+    """
+    if errors not in ("strict", "recover"):
+        raise ValueError(f"errors must be 'strict' or 'recover', got {errors!r}")
+    if errors == "recover":
+        series, _dropped = recover_series_jsonl(stream)
+        return series
     series: VectorSeries | None = None
     for line in stream:
         line = line.strip()
         if not line:
             continue
-        obj = json.loads(line)
-        if obj.get("type") == "header":
-            series = VectorSeries(obj["networks"], StateCatalog())
-        elif obj.get("type") == "observation":
-            if series is None:
-                raise ValueError("observation before header line")
-            time = datetime.strptime(obj["time"], _TIME_FORMAT)
-            series.append_mapping(obj["states"], time)
-        else:
-            raise ValueError(f"unknown line type: {obj.get('type')!r}")
+        series = _parse_series_line(series, line)
     if series is None:
         raise ValueError("empty stream: no header line")
     return series

@@ -1,0 +1,48 @@
+"""``repro.serve``: a durable streaming monitoring service.
+
+The paper's operator question is online — "did routing just change,
+and is it a mode we've seen before?" — and this package turns the
+in-memory :class:`~repro.core.online.OnlineFenrir` answer to it into a
+long-lived, queryable network service:
+
+* :mod:`~repro.serve.protocol` — length-prefixed JSON frames over TCP;
+* :mod:`~repro.serve.journal` — write-ahead journal + checksummed
+  snapshots so acknowledged ingests survive a kill;
+* :mod:`~repro.serve.monitor` — one durable OnlineFenrir per watched
+  service;
+* :mod:`~repro.serve.server` — the asyncio server multiplexing many
+  monitors with bounded queues and explicit overload responses;
+* :mod:`~repro.serve.client` — the blocking client used by the CLI,
+  tests, and load generator;
+* :mod:`~repro.serve.metrics` — counters and latency percentiles for
+  the ``stats`` command.
+
+See ``docs/serving.md`` for the wire protocol and durability model.
+"""
+
+from .client import OverloadedError, ServeClient, ServeClientError
+from .journal import JournalError, JournalRecord, JournalWriter, read_journal
+from .metrics import LatencyRecorder, ServerMetrics
+from .monitor import DurableMonitor, MonitorError, ReplayReport
+from .protocol import FrameError, FrameTooLarge, MAX_FRAME
+from .server import FenrirServer, ServeConfig
+
+__all__ = [
+    "DurableMonitor",
+    "FenrirServer",
+    "FrameError",
+    "FrameTooLarge",
+    "JournalError",
+    "JournalRecord",
+    "JournalWriter",
+    "LatencyRecorder",
+    "MAX_FRAME",
+    "MonitorError",
+    "OverloadedError",
+    "ReplayReport",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServerMetrics",
+    "read_journal",
+]

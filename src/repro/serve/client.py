@@ -1,0 +1,129 @@
+"""Blocking client for the ``repro serve`` wire protocol.
+
+A thin convenience layer over one TCP connection: requests are
+numbered, sent as length-prefixed JSON frames, and answered in order.
+Blocking sockets keep the client trivially usable from the CLI, tests,
+and thread-per-client load generators; the server side is where the
+concurrency lives.
+"""
+
+from __future__ import annotations
+
+import socket
+from datetime import datetime
+from typing import Iterable, Mapping, Optional, Sequence
+
+from . import protocol
+
+__all__ = ["ServeClientError", "OverloadedError", "ServeClient"]
+
+
+class ServeClientError(RuntimeError):
+    """An error response from the server."""
+
+    def __init__(self, code: str, message: str, response: dict) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.response = response
+
+
+class OverloadedError(ServeClientError):
+    """The monitor's ingest queue is full; back off and retry."""
+
+
+class ServeClient:
+    """One connection to a Fenrir server; use as a context manager."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7339,
+        timeout: Optional[float] = 30.0,
+        max_frame: int = protocol.MAX_FRAME,
+    ) -> None:
+        self.max_frame = max_frame
+        self._next_id = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------------
+
+    def request(self, command: str, **fields) -> dict:
+        """Send one command and return its ``ok`` response.
+
+        Error responses raise :class:`ServeClientError`
+        (:class:`OverloadedError` for explicit backpressure, so callers
+        can distinguish "retry later" from "you sent garbage").
+        """
+        self._next_id += 1
+        message = {"cmd": command, "id": self._next_id, **fields}
+        protocol.send_frame(self._sock, message, self.max_frame)
+        response = protocol.recv_frame(self._sock, self.max_frame)
+        if not response.get("ok"):
+            code = response.get("error", "unknown")
+            text = response.get("message", "")
+            if code == protocol.ERR_OVERLOADED:
+                raise OverloadedError(code, text, response)
+            raise ServeClientError(code, text, response)
+        return response
+
+    # -- commands ------------------------------------------------------------
+
+    def create(
+        self,
+        monitor: str,
+        networks: Sequence[str],
+        event_threshold: float = 0.1,
+        mode_threshold: float = 0.7,
+        policy: str = "pessimistic",
+    ) -> dict:
+        return self.request(
+            "create",
+            monitor=monitor,
+            networks=list(networks),
+            event_threshold=event_threshold,
+            mode_threshold=mode_threshold,
+            policy=policy,
+        )
+
+    def ingest(
+        self, monitor: str, states: Mapping[str, str], when: datetime | str
+    ) -> dict:
+        time_text = when.isoformat() if isinstance(when, datetime) else when
+        return self.request(
+            "ingest", monitor=monitor, states=dict(states), time=time_text
+        )
+
+    def ingest_series(
+        self, monitor: str, rounds: Iterable[tuple[Mapping[str, str], datetime]]
+    ) -> list[dict]:
+        """Ingest many rounds; returns the per-round responses."""
+        return [self.ingest(monitor, states, when) for states, when in rounds]
+
+    def query(
+        self, monitor: str, states: Optional[Mapping[str, str]] = None
+    ) -> dict:
+        if states is None:
+            return self.request("query", monitor=monitor)
+        return self.request("query", monitor=monitor, states=dict(states))
+
+    def timeline(self, monitor: str) -> dict:
+        return self.request("timeline", monitor=monitor)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def snapshot(self, monitor: str) -> dict:
+        return self.request("snapshot", monitor=monitor)
+
+    def list_monitors(self) -> list[str]:
+        return list(self.request("list")["monitors"])

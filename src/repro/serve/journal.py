@@ -1,0 +1,229 @@
+"""Write-ahead journal and snapshots for durable monitors.
+
+Durability model (per monitor directory)::
+
+    <data_dir>/<monitor>/
+        journal.jsonl    append-only ingest log since the last snapshot
+        snapshot.json    full OnlineFenrir.to_state() checkpoint
+        MANIFEST.json    sha256 of snapshot.json (the bundle idiom)
+
+Every acknowledged ingest is first appended to the journal — one JSON
+line carrying a monotonically increasing sequence number and a CRC32
+of its own canonical encoding — and flushed to the OS before the
+tracker applies it. A killed process therefore leaves at worst a
+*truncated final line*, which the reader detects (bad JSON, bad CRC,
+or a sequence gap) and drops, recovering the exact acknowledged
+prefix: the same last-valid-record semantics as
+:func:`repro.io.formats.recover_series_jsonl`.
+
+Snapshots are written atomically (temp file + ``os.replace``) together
+with a checksum manifest; the journal is then reset. A crash between
+the two leaves journal entries at or below the snapshot's sequence
+number, which replay skips — both orders of partial completion
+converge to the same state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from datetime import datetime
+from pathlib import Path
+from typing import Iterator, Optional
+
+__all__ = [
+    "JournalError",
+    "JournalRecord",
+    "JournalTail",
+    "JournalWriter",
+    "read_journal",
+    "write_snapshot",
+    "read_snapshot",
+]
+
+JOURNAL_FILE = "journal.jsonl"
+SNAPSHOT_FILE = "snapshot.json"
+MANIFEST_FILE = "MANIFEST.json"
+
+
+class JournalError(ValueError):
+    """Raised for corruption that recovery cannot skip (bad snapshot)."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable ingest: sequence number, timestamp, assignment."""
+
+    seq: int
+    time: datetime
+    states: dict[str, str]
+
+    def to_document(self) -> dict:
+        return {"seq": self.seq, "time": self.time.isoformat(), "states": self.states}
+
+    @classmethod
+    def from_document(cls, document: dict) -> "JournalRecord":
+        return cls(
+            seq=int(document["seq"]),
+            time=datetime.fromisoformat(document["time"]),
+            states=dict(document["states"]),
+        )
+
+
+@dataclass(frozen=True)
+class JournalTail:
+    """Report of what journal recovery dropped (None when clean)."""
+
+    first_bad_line: int
+    dropped_lines: int
+    reason: str
+
+
+def _canonical(document: dict) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _with_crc(document: dict) -> str:
+    body = _canonical(document)
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return _canonical({**document, "crc": f"{crc:08x}"})
+
+
+def _check_crc(obj: dict) -> dict:
+    crc = obj.pop("crc", None)
+    if crc is None:
+        raise ValueError("record missing crc")
+    body = _canonical(obj)
+    expected = f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x}"
+    if crc != expected:
+        raise ValueError(f"crc mismatch: {crc} != {expected}")
+    return obj
+
+
+class JournalWriter:
+    """Append-only writer; every append is flushed before returning.
+
+    ``fsync=True`` additionally forces the write to stable storage per
+    append (survives power loss, ~100x slower); the default flush
+    survives any death of the *process*, which is the failure mode the
+    kill-and-restart tests exercise.
+    """
+
+    def __init__(self, path: Path, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._stream = self.path.open("a", encoding="utf-8")
+
+    def append(self, record: JournalRecord) -> None:
+        self._stream.write(_with_crc(record.to_document()) + "\n")
+        self._stream.flush()
+        if self.fsync:
+            os.fsync(self._stream.fileno())
+
+    def reset(self) -> None:
+        """Atomically replace the journal with an empty one."""
+        self._stream.close()
+        temp = self.path.with_suffix(".tmp")
+        temp.write_text("")
+        os.replace(temp, self.path)
+        self._stream = self.path.open("a", encoding="utf-8")
+
+    def close(self) -> None:
+        self._stream.close()
+
+
+def read_journal(
+    path: Path, after_seq: int = 0
+) -> tuple[list[JournalRecord], Optional[JournalTail]]:
+    """Replay the journal's valid prefix, skipping records ≤ after_seq.
+
+    Stops at the first unparseable, checksum-failing, or out-of-order
+    line — everything a crashed writer can leave behind — and reports
+    the dropped tail instead of raising.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], None
+    records: list[JournalRecord] = []
+    tail: Optional[JournalTail] = None
+    expected = after_seq
+    with path.open("r", encoding="utf-8") as stream:
+        iterator: Iterator[tuple[int, str]] = enumerate(stream, start=1)
+        for line_number, line in iterator:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = JournalRecord.from_document(
+                    _check_crc(json.loads(stripped))
+                )
+                if record.seq <= after_seq:
+                    continue  # already folded into the snapshot
+                if record.seq != expected + 1:
+                    raise ValueError(
+                        f"sequence gap: expected {expected + 1}, got {record.seq}"
+                    )
+            except (ValueError, KeyError, TypeError) as exc:
+                remaining = sum(1 for _ in iterator)
+                tail = JournalTail(
+                    first_bad_line=line_number,
+                    dropped_lines=1 + remaining,
+                    reason=str(exc),
+                )
+                break
+            records.append(record)
+            expected = record.seq
+    return records, tail
+
+
+def write_snapshot(directory: Path, seq: int, state: dict) -> None:
+    """Atomically checkpoint ``state`` as the truth up to ``seq``."""
+    directory = Path(directory)
+    document = {"type": "fenrir-snapshot", "seq": seq, "state": state}
+    body = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    sha256 = hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    snapshot_temp = directory / (SNAPSHOT_FILE + ".tmp")
+    snapshot_temp.write_text(body + "\n", encoding="utf-8")
+    manifest_temp = directory / (MANIFEST_FILE + ".tmp")
+    manifest_temp.write_text(
+        json.dumps({"files": {SNAPSHOT_FILE: sha256}, "seq": seq}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    # Manifest first: a manifest without a matching snapshot fails
+    # verification loudly, a snapshot without a manifest would not.
+    os.replace(manifest_temp, directory / MANIFEST_FILE)
+    os.replace(snapshot_temp, directory / SNAPSHOT_FILE)
+
+
+def read_snapshot(directory: Path) -> tuple[int, dict]:
+    """Load and verify a checkpoint; returns (seq, state).
+
+    Raises :class:`JournalError` on checksum mismatch — a corrupt
+    snapshot cannot be partially recovered the way a journal tail can.
+    """
+    directory = Path(directory)
+    snapshot_path = directory / SNAPSHOT_FILE
+    manifest_path = directory / MANIFEST_FILE
+    if not snapshot_path.exists():
+        raise JournalError(f"no snapshot in {directory}")
+    body = snapshot_path.read_text(encoding="utf-8").rstrip("\n")
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            expected = manifest["files"][SNAPSHOT_FILE]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise JournalError(f"unreadable manifest in {directory}") from exc
+        actual = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if actual != expected:
+            raise JournalError(f"snapshot checksum mismatch in {directory}")
+    try:
+        document = json.loads(body)
+        if document.get("type") != "fenrir-snapshot":
+            raise ValueError(f"not a snapshot: {document.get('type')!r}")
+        return int(document["seq"]), document["state"]
+    except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+        raise JournalError(f"corrupt snapshot in {directory}: {exc}") from exc

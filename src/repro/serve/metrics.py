@@ -1,0 +1,67 @@
+"""Operational counters and latency percentiles for the server.
+
+Latencies are kept per command in a bounded ring (the most recent
+samples), so ``stats`` reports recent behaviour rather than a lifetime
+average that hides regressions, and memory stays constant under
+sustained load.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Dict
+
+__all__ = ["LatencyRecorder", "ServerMetrics"]
+
+_DEFAULT_WINDOW = 4096
+
+
+class LatencyRecorder:
+    """Per-command ring buffer of recent latencies, in seconds."""
+
+    def __init__(self, window: int = _DEFAULT_WINDOW) -> None:
+        self.window = window
+        self._samples: Dict[str, Deque[float]] = {}
+
+    def observe(self, command: str, seconds: float) -> None:
+        ring = self._samples.get(command)
+        if ring is None:
+            ring = self._samples[command] = deque(maxlen=self.window)
+        ring.append(seconds)
+
+    @staticmethod
+    def _percentile(ordered: list[float], fraction: float) -> float:
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        """``{command: {count, p50_ms, p99_ms, max_ms}}`` for stats."""
+        report = {}
+        for command, ring in sorted(self._samples.items()):
+            ordered = sorted(ring)
+            report[command] = {
+                "count": len(ordered),
+                "p50_ms": round(self._percentile(ordered, 0.50) * 1000, 3),
+                "p99_ms": round(self._percentile(ordered, 0.99) * 1000, 3),
+                "max_ms": round(ordered[-1] * 1000, 3) if ordered else 0.0,
+            }
+        return report
+
+
+class ServerMetrics:
+    """Everything the ``stats`` command reports about the server."""
+
+    def __init__(self, latency_window: int = _DEFAULT_WINDOW) -> None:
+        self.counters: Counter[str] = Counter()
+        self.latency = LatencyRecorder(latency_window)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "latency": self.latency.summary(),
+        }

@@ -1,0 +1,206 @@
+"""A durable monitor: one OnlineFenrir with a journal and snapshots.
+
+The monitor is the unit of multiplexing in ``repro serve`` — one per
+anycast service, enterprise, or website being watched. It owns a
+directory under the server's data dir and guarantees that every
+*acknowledged* ingest survives a process kill: the record is appended
+to the write-ahead journal and flushed before the in-memory tracker
+applies it, and recovery replays snapshot + journal back to exactly
+the acknowledged prefix.
+"""
+
+from __future__ import annotations
+
+import re
+import time as _time
+from dataclasses import dataclass, field
+from datetime import datetime
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.compare import UnknownPolicy
+from ..core.online import OnlineFenrir, OnlineUpdate
+from .journal import (
+    JOURNAL_FILE,
+    JournalRecord,
+    JournalTail,
+    JournalWriter,
+    read_journal,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = ["MonitorError", "ReplayReport", "DurableMonitor", "valid_monitor_name"]
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def valid_monitor_name(name: str) -> bool:
+    """Names become directory names, so they must be path-safe."""
+    return bool(_NAME_PATTERN.match(name)) and name not in (".", "..")
+
+
+class MonitorError(ValueError):
+    """Raised for invalid monitor operations (bad name, bad state)."""
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What recovery did when a monitor was opened from disk."""
+
+    snapshot_seq: int
+    replayed_records: int
+    dropped_lines: int
+    elapsed_seconds: float
+    tail: Optional[JournalTail] = None
+
+
+@dataclass
+class DurableMonitor:
+    """Crash-safe wrapper around one :class:`OnlineFenrir`."""
+
+    name: str
+    directory: Path
+    tracker: OnlineFenrir
+    seq: int = 0
+    snapshot_every: int = 0  # 0 = only explicit snapshots
+    fsync: bool = False
+    replay: Optional[ReplayReport] = None
+    _journal: JournalWriter = field(init=False, repr=False)
+    _since_snapshot: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._journal = JournalWriter(self.directory / JOURNAL_FILE, fsync=self.fsync)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        data_dir: Path | str,
+        name: str,
+        networks: Sequence[str],
+        event_threshold: float = 0.1,
+        mode_threshold: float = 0.7,
+        policy: UnknownPolicy = UnknownPolicy.PESSIMISTIC,
+        weights: Optional[Sequence[float]] = None,
+        snapshot_every: int = 0,
+        fsync: bool = False,
+    ) -> "DurableMonitor":
+        """Create a new monitor directory with an initial checkpoint."""
+        if not valid_monitor_name(name):
+            raise MonitorError(f"invalid monitor name: {name!r}")
+        directory = Path(data_dir) / name
+        if directory.exists():
+            raise MonitorError(f"monitor already exists: {name!r}")
+        directory.mkdir(parents=True)
+        tracker = OnlineFenrir(
+            networks=networks,
+            event_threshold=event_threshold,
+            mode_threshold=mode_threshold,
+            policy=policy,
+            weights=None if weights is None else np.asarray(weights, dtype=np.float64),
+        )
+        # Checkpoint the empty tracker immediately: a monitor that was
+        # created but never ingested still reopens with its config.
+        write_snapshot(directory, 0, tracker.to_state())
+        return cls(
+            name=name,
+            directory=directory,
+            tracker=tracker,
+            seq=0,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: Path | str,
+        name: str,
+        snapshot_every: int = 0,
+        fsync: bool = False,
+    ) -> "DurableMonitor":
+        """Recover a monitor from its snapshot plus journal replay."""
+        if not valid_monitor_name(name):
+            raise MonitorError(f"invalid monitor name: {name!r}")
+        directory = Path(data_dir) / name
+        started = _time.perf_counter()
+        snapshot_seq, state = read_snapshot(directory)
+        tracker = OnlineFenrir.from_state(state)
+        records, tail = read_journal(directory / JOURNAL_FILE, after_seq=snapshot_seq)
+        for record in records:
+            tracker.ingest(record.states, record.time)
+        seq = records[-1].seq if records else snapshot_seq
+        monitor = cls(
+            name=name,
+            directory=directory,
+            tracker=tracker,
+            seq=seq,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+            replay=ReplayReport(
+                snapshot_seq=snapshot_seq,
+                replayed_records=len(records),
+                dropped_lines=tail.dropped_lines if tail else 0,
+                elapsed_seconds=_time.perf_counter() - started,
+                tail=tail,
+            ),
+        )
+        if tail is not None:
+            # The dropped tail is unacknowledged garbage; rewrite the
+            # journal to the valid prefix so it cannot shadow new seqs.
+            monitor.snapshot()
+        return monitor
+
+    def close(self) -> None:
+        self._journal.close()
+
+    # -- operations ----------------------------------------------------------
+
+    def ingest(self, states: Mapping[str, str], when: datetime) -> OnlineUpdate:
+        """Durably apply one measurement round.
+
+        Order matters: validate, journal (flushed), then apply. The
+        tracker apply cannot fail after validation, so a record is
+        journaled iff its update is returned — an acknowledged round is
+        exactly a replayable round.
+        """
+        last = self.tracker.last_time
+        if last is not None and when <= last:
+            raise MonitorError(
+                f"observations must move forward in time: {when} after {last}"
+            )
+        record = JournalRecord(seq=self.seq + 1, time=when, states=dict(states))
+        self._journal.append(record)
+        update = self.tracker.ingest(record.states, record.time)
+        self.seq = record.seq
+        self._since_snapshot += 1
+        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
+            self.snapshot()
+        return update
+
+    def snapshot(self) -> int:
+        """Checkpoint now; returns the sequence number captured."""
+        write_snapshot(self.directory, self.seq, self.tracker.to_state())
+        self._journal.reset()
+        self._since_snapshot = 0
+        return self.seq
+
+    def describe(self) -> dict:
+        """Summary document served by the ``query`` command."""
+        tracker = self.tracker
+        last = tracker.last_time
+        return {
+            "monitor": self.name,
+            "networks": len(tracker.networks),
+            "rounds": len(tracker.updates),
+            "modes": tracker.num_modes,
+            "events": len(tracker.events()),
+            "recurrences": len(tracker.recurrences()),
+            "seq": self.seq,
+            "last_time": last.isoformat() if last else None,
+            "current_mode": tracker.updates[-1].mode_id if tracker.updates else None,
+        }

@@ -1,0 +1,149 @@
+"""Length-prefixed JSON wire protocol for ``repro serve``.
+
+Every message — request or response — is one *frame*: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON.
+Length prefixes (rather than newline delimiting) keep framing robust
+to payloads containing arbitrary text and make oversized-frame
+rejection possible before a byte of JSON is parsed.
+
+Requests carry ``{"cmd": ..., "id": ...}`` plus command arguments;
+responses echo the ``id`` and carry ``{"ok": true, ...}`` or
+``{"ok": false, "error": <code>, "message": ...}``. Error codes are
+the ``ERR_*`` constants below; ``ERR_OVERLOADED`` is the explicit
+backpressure signal (the monitor's bounded ingest queue is full — back
+off and retry rather than buffering server-side without limit).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional
+
+__all__ = [
+    "MAX_FRAME",
+    "COMMANDS",
+    "FrameError",
+    "FrameTooLarge",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "send_frame",
+    "recv_frame",
+    "error_response",
+    "ERR_BAD_FRAME",
+    "ERR_BAD_REQUEST",
+    "ERR_FRAME_TOO_LARGE",
+    "ERR_NO_SUCH_MONITOR",
+    "ERR_MONITOR_EXISTS",
+    "ERR_OVERLOADED",
+    "ERR_OUT_OF_ORDER",
+    "ERR_INTERNAL",
+]
+
+_LENGTH = struct.Struct(">I")
+
+#: Default cap on a single frame's payload (4 MiB). Large enough for an
+#: ingest round over hundreds of thousands of networks, small enough
+#: that a garbage length prefix cannot make the server buffer gigabytes.
+MAX_FRAME = 4 * 1024 * 1024
+
+COMMANDS = ("create", "ingest", "query", "timeline", "stats", "snapshot", "list")
+
+ERR_BAD_FRAME = "bad_frame"
+ERR_BAD_REQUEST = "bad_request"
+ERR_FRAME_TOO_LARGE = "frame_too_large"
+ERR_NO_SUCH_MONITOR = "no_such_monitor"
+ERR_MONITOR_EXISTS = "monitor_exists"
+ERR_OVERLOADED = "overloaded"
+ERR_OUT_OF_ORDER = "out_of_order"
+ERR_INTERNAL = "internal"
+
+
+class FrameError(ValueError):
+    """Malformed frame: bad length prefix, bad UTF-8, or bad JSON."""
+
+
+class FrameTooLarge(FrameError):
+    """Frame payload exceeds the configured maximum."""
+
+
+def encode_frame(message: dict, max_frame: int = MAX_FRAME) -> bytes:
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame:
+        raise FrameTooLarge(f"frame of {len(payload)} bytes exceeds {max_frame}")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return message
+
+
+def error_response(code: str, message: str, request_id=None, **extra) -> dict:
+    response = {"id": request_id, "ok": False, "error": code, "message": message}
+    response.update(extra)
+    return response
+
+
+# -- asyncio (server side) ----------------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
+) -> Optional[dict]:
+    """Read one frame; None on clean EOF before a length prefix."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid length prefix") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > max_frame:
+        raise FrameTooLarge(f"declared frame of {length} bytes exceeds {max_frame}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid frame") from exc
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: dict, max_frame: int = MAX_FRAME
+) -> None:
+    writer.write(encode_frame(message, max_frame))
+    await writer.drain()
+
+
+# -- blocking sockets (client side) ------------------------------------------
+
+
+def send_frame(sock: socket.socket, message: dict, max_frame: int = MAX_FRAME) -> None:
+    sock.sendall(encode_frame(message, max_frame))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            raise FrameError("connection closed mid frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, max_frame: int = MAX_FRAME) -> dict:
+    (length,) = _LENGTH.unpack(_recv_exactly(sock, _LENGTH.size))
+    if length > max_frame:
+        raise FrameTooLarge(f"declared frame of {length} bytes exceeds {max_frame}")
+    return decode_payload(_recv_exactly(sock, length))

@@ -1,0 +1,417 @@
+"""The ``repro serve`` asyncio server.
+
+One process multiplexes many named monitors. Each monitor gets a
+bounded ingest queue drained by a dedicated writer task, so one
+flooded monitor cannot stall the others and overload is an *explicit
+protocol answer* (``error: overloaded`` with the current queue depth)
+rather than unbounded server-side buffering. All other commands are
+answered inline on the connection handler.
+
+Durability contract: an ``ok`` ingest response is sent only after the
+record is journaled and applied, so every acknowledged round survives
+a kill — see :mod:`repro.serve.journal` for the recovery half.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from datetime import datetime
+from pathlib import Path
+from typing import Optional
+
+from ..core.compare import UnknownPolicy
+from .journal import SNAPSHOT_FILE, JournalError
+from .metrics import ServerMetrics
+from .monitor import DurableMonitor, MonitorError, valid_monitor_name
+from . import protocol
+from .protocol import (
+    ERR_BAD_FRAME,
+    ERR_BAD_REQUEST,
+    ERR_FRAME_TOO_LARGE,
+    ERR_INTERNAL,
+    ERR_MONITOR_EXISTS,
+    ERR_NO_SUCH_MONITOR,
+    ERR_OUT_OF_ORDER,
+    ERR_OVERLOADED,
+    FrameError,
+    FrameTooLarge,
+    error_response,
+)
+
+__all__ = ["ServeConfig", "FenrirServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one server process."""
+
+    data_dir: Path
+    host: str = "127.0.0.1"
+    port: int = 7339  # 0 = let the OS pick (printed/queryable after start)
+    queue_size: int = 256
+    snapshot_every: int = 1000  # auto-checkpoint cadence per monitor; 0 = never
+    max_frame: int = protocol.MAX_FRAME
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        self.data_dir = Path(self.data_dir)
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be at least 1")
+
+
+@dataclass
+class _MonitorRuntime:
+    """A monitor plus its ingest queue and writer task."""
+
+    monitor: DurableMonitor
+    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+    worker: Optional[asyncio.Task] = None
+
+
+class FenrirServer:
+    """Asyncio JSON-frames-over-TCP server around durable monitors."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.metrics = ServerMetrics()
+        self._monitors: dict[str, _MonitorRuntime] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.time()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover every monitor found under data_dir, then listen."""
+        self.config.data_dir.mkdir(parents=True, exist_ok=True)
+        for entry in sorted(self.config.data_dir.iterdir()):
+            if not entry.is_dir() or not (entry / SNAPSHOT_FILE).exists():
+                continue
+            if not valid_monitor_name(entry.name):
+                continue
+            monitor = DurableMonitor.open(
+                self.config.data_dir,
+                entry.name,
+                snapshot_every=self.config.snapshot_every,
+                fsync=self.config.fsync,
+            )
+            self._register(monitor)
+            if monitor.replay:
+                self.metrics.increment("monitors_recovered")
+                self.metrics.counters["replayed_records"] += (
+                    monitor.replay.replayed_records
+                )
+                self.metrics.latency.observe(
+                    "replay", monitor.replay.elapsed_seconds
+                )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — useful when port 0 was requested."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for runtime in self._monitors.values():
+            if runtime.worker is not None:
+                runtime.worker.cancel()
+            runtime.monitor.close()
+
+    def _register(self, monitor: DurableMonitor) -> _MonitorRuntime:
+        runtime = _MonitorRuntime(
+            monitor=monitor,
+            queue=asyncio.Queue(maxsize=self.config.queue_size),
+        )
+        runtime.worker = asyncio.get_running_loop().create_task(
+            self._drain_ingests(runtime)
+        )
+        self._monitors[monitor.name] = runtime
+        return runtime
+
+    # -- ingest path ---------------------------------------------------------
+
+    async def _drain_ingests(self, runtime: _MonitorRuntime) -> None:
+        """Writer task: journal + apply queued ingests one at a time."""
+        while True:
+            states, when, future = await runtime.queue.get()
+            try:
+                update = runtime.monitor.ingest(states, when)
+            except MonitorError as exc:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            except Exception as exc:  # pragma: no cover - defensive
+                if not future.cancelled():
+                    future.set_exception(exc)
+            else:
+                self.metrics.increment("rounds_ingested")
+                if update.is_event:
+                    self.metrics.increment("events_detected")
+                if update.is_new_mode:
+                    self.metrics.increment("modes_opened")
+                if update.recurred:
+                    self.metrics.increment("recurrences")
+                if not future.cancelled():
+                    future.set_result(update)
+            finally:
+                runtime.queue.task_done()
+
+    async def _ingest(self, request: dict, request_id) -> dict:
+        runtime = self._runtime_for(request)
+        when = _parse_time(request.get("time"))
+        states = request.get("states")
+        if not isinstance(states, dict):
+            raise _RequestError(ERR_BAD_REQUEST, "ingest needs a 'states' object")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            runtime.queue.put_nowait((states, when, future))
+        except asyncio.QueueFull:
+            self.metrics.increment("overload_rejections")
+            return error_response(
+                ERR_OVERLOADED,
+                f"monitor {runtime.monitor.name!r} ingest queue is full",
+                request_id,
+                queue_depth=runtime.queue.qsize(),
+            )
+        try:
+            update = await future
+        except MonitorError as exc:
+            return error_response(ERR_OUT_OF_ORDER, str(exc), request_id)
+        return {
+            "id": request_id,
+            "ok": True,
+            "seq": runtime.monitor.seq,
+            "update": {
+                "time": update.time.isoformat(),
+                "step_change": update.step_change,
+                "is_event": update.is_event,
+                "mode_id": update.mode_id,
+                "is_new_mode": update.is_new_mode,
+                "mode_similarity": update.mode_similarity,
+                "recurred": update.recurred,
+            },
+        }
+
+    # -- other commands ------------------------------------------------------
+
+    def _runtime_for(self, request: dict) -> _MonitorRuntime:
+        name = request.get("monitor")
+        if not isinstance(name, str):
+            raise _RequestError(ERR_BAD_REQUEST, "request needs a 'monitor' name")
+        runtime = self._monitors.get(name)
+        if runtime is None:
+            raise _RequestError(ERR_NO_SUCH_MONITOR, f"no such monitor: {name!r}")
+        return runtime
+
+    def _create(self, request: dict, request_id) -> dict:
+        name = request.get("monitor")
+        networks = request.get("networks")
+        if not isinstance(name, str) or not valid_monitor_name(name):
+            raise _RequestError(ERR_BAD_REQUEST, f"invalid monitor name: {name!r}")
+        if name in self._monitors:
+            raise _RequestError(ERR_MONITOR_EXISTS, f"monitor exists: {name!r}")
+        if not isinstance(networks, list) or not networks:
+            raise _RequestError(
+                ERR_BAD_REQUEST, "create needs a non-empty 'networks' list"
+            )
+        try:
+            policy = UnknownPolicy(request.get("policy", "pessimistic"))
+        except ValueError as exc:
+            raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
+        try:
+            monitor = DurableMonitor.create(
+                self.config.data_dir,
+                name,
+                networks=[str(network) for network in networks],
+                event_threshold=float(request.get("event_threshold", 0.1)),
+                mode_threshold=float(request.get("mode_threshold", 0.7)),
+                policy=policy,
+                snapshot_every=self.config.snapshot_every,
+                fsync=self.config.fsync,
+            )
+        except (MonitorError, ValueError) as exc:
+            raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
+        self._register(monitor)
+        self.metrics.increment("monitors_created")
+        return {"id": request_id, "ok": True, "monitor": name}
+
+    def _query(self, request: dict, request_id) -> dict:
+        runtime = self._runtime_for(request)
+        response = {"id": request_id, "ok": True, **runtime.monitor.describe()}
+        states = request.get("states")
+        if states is not None:
+            if not isinstance(states, dict):
+                raise _RequestError(ERR_BAD_REQUEST, "'states' must be an object")
+            mode_id, similarity = runtime.monitor.tracker.match(states)
+            response["match"] = {
+                "mode_id": mode_id,
+                "similarity": similarity,
+                "would_open_new_mode": mode_id is None,
+            }
+        return response
+
+    def _timeline(self, request: dict, request_id) -> dict:
+        runtime = self._runtime_for(request)
+        return {
+            "id": request_id,
+            "ok": True,
+            "monitor": runtime.monitor.name,
+            "segments": [
+                {
+                    "mode_id": mode_id,
+                    "start": start.isoformat(),
+                    "end": end.isoformat(),
+                }
+                for mode_id, start, end in runtime.monitor.tracker.mode_timeline()
+            ],
+        }
+
+    def _stats(self, request_id) -> dict:
+        document = self.metrics.snapshot()
+        document["uptime_seconds"] = round(time.time() - self._started, 3)
+        document["monitors"] = {
+            name: {
+                **runtime.monitor.describe(),
+                "queue_depth": runtime.queue.qsize(),
+                "queue_capacity": self.config.queue_size,
+                "replay": (
+                    {
+                        "snapshot_seq": runtime.monitor.replay.snapshot_seq,
+                        "replayed_records": runtime.monitor.replay.replayed_records,
+                        "dropped_lines": runtime.monitor.replay.dropped_lines,
+                        "elapsed_seconds": round(
+                            runtime.monitor.replay.elapsed_seconds, 6
+                        ),
+                    }
+                    if runtime.monitor.replay
+                    else None
+                ),
+            }
+            for name, runtime in sorted(self._monitors.items())
+        }
+        return {"id": request_id, "ok": True, **document}
+
+    async def _snapshot(self, request: dict, request_id) -> dict:
+        runtime = self._runtime_for(request)
+        # Quiesce: let queued ingests land so the checkpoint covers them.
+        await runtime.queue.join()
+        seq = runtime.monitor.snapshot()
+        self.metrics.increment("snapshots_taken")
+        return {"id": request_id, "ok": True, "monitor": runtime.monitor.name, "seq": seq}
+
+    # -- connection handling -------------------------------------------------
+
+    async def _dispatch(self, request: dict) -> dict:
+        request_id = request.get("id")
+        command = request.get("cmd")
+        started = time.perf_counter()
+        try:
+            if command == "ingest":
+                response = await self._ingest(request, request_id)
+            elif command == "create":
+                response = self._create(request, request_id)
+            elif command == "query":
+                response = self._query(request, request_id)
+            elif command == "timeline":
+                response = self._timeline(request, request_id)
+            elif command == "stats":
+                response = self._stats(request_id)
+            elif command == "snapshot":
+                response = await self._snapshot(request, request_id)
+            elif command == "list":
+                response = {
+                    "id": request_id,
+                    "ok": True,
+                    "monitors": sorted(self._monitors),
+                }
+            else:
+                response = error_response(
+                    ERR_BAD_REQUEST, f"unknown command: {command!r}", request_id
+                )
+        except _RequestError as exc:
+            response = error_response(exc.code, exc.message, request_id)
+        except JournalError as exc:
+            response = error_response(ERR_INTERNAL, str(exc), request_id)
+        if isinstance(command, str):
+            self.metrics.latency.observe(command, time.perf_counter() - started)
+        return response
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One request/response loop per connection, in order.
+
+        Responses go through ``drain()``, so a slow reader backpressures
+        its own connection (the server stops reading further requests
+        from it) without affecting anyone else's.
+        """
+        self.metrics.increment("connections_accepted")
+        try:
+            while True:
+                try:
+                    request = await protocol.read_frame(
+                        reader, self.config.max_frame
+                    )
+                except FrameTooLarge as exc:
+                    # The declared length is unreadable garbage or abuse;
+                    # answer, then drop the connection (resync is
+                    # impossible mid-stream).
+                    self.metrics.increment("frames_oversized")
+                    await protocol.write_frame(
+                        writer, error_response(ERR_FRAME_TOO_LARGE, str(exc))
+                    )
+                    break
+                except FrameError as exc:
+                    self.metrics.increment("frames_malformed")
+                    try:
+                        await protocol.write_frame(
+                            writer, error_response(ERR_BAD_FRAME, str(exc))
+                        )
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                await protocol.write_frame(writer, response, self.config.max_frame)
+        except (ConnectionError, OSError):
+            pass  # peer vanished; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # teardown during loop shutdown; socket is closed anyway
+
+
+class _RequestError(Exception):
+    """Internal: maps straight to an error response."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def _parse_time(value) -> datetime:
+    if not isinstance(value, str):
+        raise _RequestError(ERR_BAD_REQUEST, "ingest needs an ISO-8601 'time'")
+    try:
+        return datetime.fromisoformat(value)
+    except ValueError as exc:
+        raise _RequestError(ERR_BAD_REQUEST, f"bad time {value!r}: {exc}") from exc

@@ -138,3 +138,91 @@ class TestCatalog:
         assert "B-Root/Verfploeter" in out
         assert "USC/traceroute" in out
         assert "repro.datasets" in out
+
+
+class TestServeCommands:
+    def test_serve_parser_accepts_options(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--data-dir", "/tmp/x",
+                "--port", "0",
+                "--queue-size", "8",
+                "--snapshot-every", "50",
+                "--fsync",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.queue_size == 8 and args.fsync
+
+    def test_serve_requires_data_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_client_subcommands_parse(self):
+        parser = build_parser()
+        create = parser.parse_args(
+            ["client", "create", "svc", "--networks", "a,b,c"]
+        )
+        assert create.client_command == "create"
+        ingest = parser.parse_args(
+            ["client", "ingest", "svc", "series.jsonl", "--create"]
+        )
+        assert ingest.client_command == "ingest" and ingest.create
+        for name in ("stats", "list"):
+            assert build_parser().parse_args(["client", name]).client_command == name
+
+    def test_client_end_to_end_against_live_server(self, series_file, tmp_path, capsys):
+        """`repro client ingest/timeline/stats` against a real server."""
+        import asyncio
+        import threading
+
+        from repro.serve import FenrirServer, ServeConfig
+
+        ready = threading.Event()
+        holder = {}
+
+        def run() -> None:
+            async def main_coroutine() -> None:
+                server = FenrirServer(
+                    ServeConfig(data_dir=tmp_path / "data", port=0)
+                )
+                await server.start()
+                holder["address"] = server.address
+                holder["loop"] = asyncio.get_running_loop()
+                holder["stop"] = asyncio.Event()
+                ready.set()
+                await holder["stop"].wait()
+                await server.stop()
+
+            asyncio.run(main_coroutine())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10)
+        host, port = holder["address"]
+        base = ["client", "--host", host, "--port", str(port)]
+        try:
+            assert main([*base, "ingest", "svc", str(series_file), "--create"]) == 0
+            out = capsys.readouterr().out
+            assert "ingested 10 rounds" in out
+
+            assert main([*base, "timeline", "svc"]) == 0
+            out = capsys.readouterr().out
+            assert "mode   0" in out and "mode   1" in out
+
+            assert main([*base, "stats"]) == 0
+            out = capsys.readouterr().out
+            assert '"rounds_ingested": 10' in out
+
+            assert main([*base, "snapshot", "svc"]) == 0
+            assert "seq 10" in capsys.readouterr().out
+
+            assert main([*base, "list"]) == 0
+            assert "svc" in capsys.readouterr().out
+
+            assert main([*base, "query", "svc"]) == 0
+            assert '"modes": 2' in capsys.readouterr().out
+        finally:
+            holder["loop"].call_soon_threadsafe(holder["stop"].set)
+            thread.join(timeout=10)

@@ -1,0 +1,273 @@
+"""Journal, snapshot, and JSONL-recovery durability tests."""
+
+from __future__ import annotations
+
+import io
+import json
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.online import OnlineFenrir
+from repro.io.formats import (
+    read_series_jsonl,
+    recover_series_jsonl,
+    write_series_jsonl,
+)
+from repro.serve.journal import (
+    JOURNAL_FILE,
+    JournalError,
+    JournalRecord,
+    JournalWriter,
+    read_journal,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.serve.monitor import DurableMonitor, MonitorError
+
+T0 = datetime(2025, 1, 1)
+
+
+def record(seq: int, site: str = "LAX") -> JournalRecord:
+    return JournalRecord(
+        seq=seq, time=T0 + timedelta(hours=seq), states={"n1": site}
+    )
+
+
+class TestJournal:
+    def test_append_and_replay(self, tmp_path):
+        path = tmp_path / JOURNAL_FILE
+        writer = JournalWriter(path)
+        for seq in range(1, 6):
+            writer.append(record(seq))
+        writer.close()
+        records, tail = read_journal(path)
+        assert [r.seq for r in records] == [1, 2, 3, 4, 5]
+        assert tail is None
+        assert records[0].states == {"n1": "LAX"}
+
+    def test_truncated_final_line_dropped(self, tmp_path):
+        path = tmp_path / JOURNAL_FILE
+        writer = JournalWriter(path)
+        for seq in (1, 2, 3):
+            writer.append(record(seq))
+        writer.close()
+        full = path.read_text()
+        path.write_text(full[: len(full) - 17])  # kill mid final record
+        records, tail = read_journal(path)
+        assert [r.seq for r in records] == [1, 2]
+        assert tail is not None
+        assert tail.dropped_lines == 1
+
+    def test_corrupt_crc_stops_replay(self, tmp_path):
+        path = tmp_path / JOURNAL_FILE
+        writer = JournalWriter(path)
+        for seq in (1, 2, 3):
+            writer.append(record(seq))
+        writer.close()
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace("LAX", "AMS")  # payload no longer matches crc
+        path.write_text("\n".join(lines) + "\n")
+        records, tail = read_journal(path)
+        assert [r.seq for r in records] == [1]
+        assert tail is not None
+        assert tail.first_bad_line == 2
+        assert tail.dropped_lines == 2  # the bad line and everything after
+        assert "crc" in tail.reason
+
+    def test_sequence_gap_stops_replay(self, tmp_path):
+        path = tmp_path / JOURNAL_FILE
+        writer = JournalWriter(path)
+        writer.append(record(1))
+        writer.append(record(3))  # 2 went missing
+        writer.close()
+        records, tail = read_journal(path)
+        assert [r.seq for r in records] == [1]
+        assert "gap" in tail.reason
+
+    def test_after_seq_skips_snapshotted_prefix(self, tmp_path):
+        path = tmp_path / JOURNAL_FILE
+        writer = JournalWriter(path)
+        for seq in range(1, 6):
+            writer.append(record(seq))
+        writer.close()
+        records, tail = read_journal(path, after_seq=3)
+        assert [r.seq for r in records] == [4, 5]
+        assert tail is None
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        records, tail = read_journal(tmp_path / "absent.jsonl")
+        assert records == [] and tail is None
+
+    def test_garbage_line_reported(self, tmp_path):
+        path = tmp_path / JOURNAL_FILE
+        writer = JournalWriter(path)
+        writer.append(record(1))
+        writer.close()
+        with path.open("a") as stream:
+            stream.write("}}}} not json\n")
+        records, tail = read_journal(path)
+        assert [r.seq for r in records] == [1]
+        assert tail is not None and tail.first_bad_line == 2
+
+
+class TestSnapshot:
+    def test_round_trip(self, tmp_path):
+        tracker = OnlineFenrir(networks=["a", "b"])
+        tracker.ingest({"a": "X", "b": "Y"}, T0)
+        write_snapshot(tmp_path, 7, tracker.to_state())
+        seq, state = read_snapshot(tmp_path)
+        assert seq == 7
+        restored = OnlineFenrir.from_state(state)
+        assert restored.num_modes == 1
+
+    def test_tampered_snapshot_detected(self, tmp_path):
+        tracker = OnlineFenrir(networks=["a"])
+        write_snapshot(tmp_path, 0, tracker.to_state())
+        snapshot = tmp_path / "snapshot.json"
+        snapshot.write_text(snapshot.read_text().replace('"a"', '"b"', 1))
+        with pytest.raises(JournalError, match="checksum"):
+            read_snapshot(tmp_path)
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="no snapshot"):
+            read_snapshot(tmp_path)
+
+
+class TestDurableMonitor:
+    def feed(self, monitor: DurableMonitor, sites, start=0):
+        for index, site in enumerate(sites, start=start):
+            monitor.ingest({"n1": site, "n2": site}, T0 + timedelta(hours=index))
+
+    def test_create_open_round_trip(self, tmp_path):
+        monitor = DurableMonitor.create(tmp_path, "svc", ["n1", "n2"])
+        self.feed(monitor, ["LAX", "LAX", "AMS", "LAX"])
+        monitor.close()
+        reopened = DurableMonitor.open(tmp_path, "svc")
+        assert reopened.seq == 4
+        assert reopened.replay.replayed_records == 4
+        assert reopened.tracker.num_modes == 2
+        oracle = OnlineFenrir(networks=["n1", "n2"])
+        for index, site in enumerate(["LAX", "LAX", "AMS", "LAX"]):
+            oracle.ingest({"n1": site, "n2": site}, T0 + timedelta(hours=index))
+        assert reopened.tracker.mode_timeline() == oracle.mode_timeline()
+
+    def test_snapshot_then_journal_replay(self, tmp_path):
+        monitor = DurableMonitor.create(tmp_path, "svc", ["n1", "n2"])
+        self.feed(monitor, ["LAX", "LAX"])
+        monitor.snapshot()
+        self.feed(monitor, ["AMS", "AMS"], start=2)
+        monitor.close()
+        reopened = DurableMonitor.open(tmp_path, "svc")
+        assert reopened.replay.snapshot_seq == 2
+        assert reopened.replay.replayed_records == 2
+        assert len(reopened.tracker.updates) == 4
+
+    def test_auto_snapshot_every(self, tmp_path):
+        monitor = DurableMonitor.create(
+            tmp_path, "svc", ["n1", "n2"], snapshot_every=2
+        )
+        self.feed(monitor, ["LAX", "LAX", "AMS"])
+        monitor.close()
+        reopened = DurableMonitor.open(tmp_path, "svc")
+        assert reopened.replay.snapshot_seq == 2
+        assert reopened.replay.replayed_records == 1
+
+    def test_truncated_journal_recovers_prefix(self, tmp_path):
+        monitor = DurableMonitor.create(tmp_path, "svc", ["n1", "n2"])
+        self.feed(monitor, ["LAX", "AMS", "FRA"])
+        monitor.close()
+        journal = tmp_path / "svc" / JOURNAL_FILE
+        text = journal.read_text()
+        journal.write_text(text[: len(text) - 25])
+        reopened = DurableMonitor.open(tmp_path, "svc")
+        assert reopened.seq == 2
+        assert reopened.replay.dropped_lines == 1
+        # Recovery rewrote the journal; the next ingest continues cleanly.
+        reopened.ingest({"n1": "NRT", "n2": "NRT"}, T0 + timedelta(hours=9))
+        reopened.close()
+        final = DurableMonitor.open(tmp_path, "svc")
+        assert final.seq == 3
+        assert len(final.tracker.updates) == 3
+
+    def test_duplicate_create_rejected(self, tmp_path):
+        DurableMonitor.create(tmp_path, "svc", ["n1"]).close()
+        with pytest.raises(MonitorError, match="exists"):
+            DurableMonitor.create(tmp_path, "svc", ["n1"])
+
+    @pytest.mark.parametrize("name", ["", "../evil", "a/b", ".hidden", "x" * 80])
+    def test_unsafe_names_rejected(self, tmp_path, name):
+        with pytest.raises(MonitorError, match="invalid monitor name"):
+            DurableMonitor.create(tmp_path, name, ["n1"])
+
+    def test_out_of_order_ingest_not_journaled(self, tmp_path):
+        monitor = DurableMonitor.create(tmp_path, "svc", ["n1"])
+        monitor.ingest({"n1": "LAX"}, T0)
+        with pytest.raises(MonitorError, match="forward in time"):
+            monitor.ingest({"n1": "AMS"}, T0)
+        monitor.close()
+        records, tail = read_journal(tmp_path / "svc" / JOURNAL_FILE)
+        assert len(records) == 1 and tail is None
+
+
+class TestSeriesJsonlRecovery:
+    def series_text(self) -> str:
+        from repro.core.series import VectorSeries
+        from repro.core.vector import StateCatalog
+
+        series = VectorSeries(["n1", "n2"], StateCatalog())
+        for index, site in enumerate(["LAX", "LAX", "AMS"]):
+            series.append_mapping(
+                {"n1": site, "n2": "LAX"}, T0 + timedelta(hours=index)
+            )
+        buffer = io.StringIO()
+        write_series_jsonl(series, buffer)
+        return buffer.getvalue()
+
+    def test_clean_stream_has_no_dropped_tail(self):
+        series, dropped = recover_series_jsonl(io.StringIO(self.series_text()))
+        assert len(series) == 3
+        assert dropped is None
+
+    def test_truncated_tail_recovered_and_reported(self):
+        text = self.series_text()
+        truncated = text[: len(text) - 20]  # mid final record
+        with pytest.raises(json.JSONDecodeError):
+            read_series_jsonl(io.StringIO(truncated))
+        series, dropped = recover_series_jsonl(io.StringIO(truncated))
+        assert len(series) == 2
+        assert dropped is not None
+        assert dropped.first_bad_line == 4
+        assert dropped.dropped_lines == 1
+        assert "dropped 1 line" in str(dropped)
+
+    def test_garbage_mid_file_drops_suffix(self):
+        lines = self.series_text().splitlines()
+        lines.insert(2, "!!! binary garbage !!!")
+        series, dropped = recover_series_jsonl(io.StringIO("\n".join(lines)))
+        assert len(series) == 1  # valid prefix only: later lines are suspect
+        assert dropped.first_bad_line == 3
+        assert dropped.dropped_lines == 3
+
+    def test_errors_recover_mode_returns_prefix(self):
+        text = self.series_text()[:-20]
+        series = read_series_jsonl(io.StringIO(text), errors="recover")
+        assert len(series) == 2
+
+    def test_strict_mode_still_raises(self):
+        lines = self.series_text().splitlines()
+        lines.append('{"type":"mystery"}')
+        with pytest.raises(ValueError, match="unknown line type"):
+            read_series_jsonl(io.StringIO("\n".join(lines)))
+
+    def test_bad_errors_argument(self):
+        with pytest.raises(ValueError, match="strict"):
+            read_series_jsonl(io.StringIO(""), errors="ignore")
+
+    def test_unreadable_header_still_raises(self):
+        with pytest.raises(ValueError):
+            recover_series_jsonl(io.StringIO("not json at all\n"))
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(ValueError, match="no header"):
+            recover_series_jsonl(io.StringIO(""))

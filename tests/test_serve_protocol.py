@@ -1,0 +1,49 @@
+"""Unit tests for the length-prefixed JSON frame protocol."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    FrameError,
+    FrameTooLarge,
+    decode_payload,
+    encode_frame,
+    error_response,
+)
+
+
+class TestFrames:
+    def test_round_trip(self):
+        frame = encode_frame({"cmd": "stats", "id": 1})
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == {"cmd": "stats", "id": 1}
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame({"blob": "x" * 100}, max_frame=50)
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(FrameError, match="undecodable"):
+            decode_payload(b"{not json")
+
+    def test_decode_rejects_bad_utf8(self):
+        with pytest.raises(FrameError, match="undecodable"):
+            decode_payload(b"\xff\xfe\x00")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(FrameError, match="JSON object"):
+            decode_payload(b"[1,2,3]")
+
+    def test_error_response_shape(self):
+        response = error_response("overloaded", "queue full", 7, queue_depth=3)
+        assert response == {
+            "id": 7,
+            "ok": False,
+            "error": "overloaded",
+            "message": "queue full",
+            "queue_depth": 3,
+        }

@@ -1,0 +1,405 @@
+"""End-to-end tests for the ``repro serve`` server.
+
+Covers the happy path and — per the durability story — the failure
+paths: malformed frames, oversized frames, bounded-queue overload,
+and kill-mid-write-then-replay, asserting the restored monitor's mode
+timeline matches an uninterrupted oracle run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from datetime import datetime, timedelta
+from pathlib import Path
+
+import pytest
+
+from repro.core.online import OnlineFenrir
+from repro.serve import (
+    FenrirServer,
+    OverloadedError,
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+)
+from repro.serve.protocol import recv_frame, send_frame
+
+T0 = datetime(2025, 1, 1)
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class ServerThread:
+    """A FenrirServer on its own event loop thread, for blocking clients."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.address: tuple[str, int] | None = None
+        self.server: FenrirServer | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self.server = FenrirServer(self.config)
+            await self.server.start()
+            self.address = self.server.address
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._loop is not None and self._stop is not None
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ServerThread(ServeConfig(data_dir=tmp_path / "data", port=0)) as running:
+        yield running
+
+
+def connect(server: ServerThread, **kwargs) -> ServeClient:
+    host, port = server.address
+    return ServeClient(host=host, port=port, **kwargs)
+
+
+class TestCommands:
+    def test_create_ingest_query_timeline(self, server):
+        with connect(server) as client:
+            client.create("svc", ["x", "y", "z"])
+            first = client.ingest("svc", {"x": "L", "y": "L", "z": "A"}, T0)
+            assert first["update"]["mode_id"] == 0
+            assert first["update"]["is_new_mode"]
+            assert first["seq"] == 1
+            second = client.ingest(
+                "svc", {"x": "A", "y": "A", "z": "L"}, T0 + timedelta(days=1)
+            )
+            assert second["update"]["is_event"]
+            assert second["update"]["mode_id"] == 1
+
+            summary = client.query("svc")
+            assert summary["rounds"] == 2
+            assert summary["modes"] == 2
+            assert summary["current_mode"] == 1
+
+            match = client.query("svc", states={"x": "L", "y": "L", "z": "A"})
+            assert match["match"]["mode_id"] == 0
+            assert not match["match"]["would_open_new_mode"]
+
+            timeline = client.timeline("svc")
+            assert [seg["mode_id"] for seg in timeline["segments"]] == [0, 1]
+
+    def test_multiplexed_monitors_are_independent(self, server):
+        with connect(server) as client:
+            client.create("alpha", ["x", "y"])
+            client.create("beta", ["p", "q", "r"])
+            client.ingest("alpha", {"x": "L", "y": "L"}, T0)
+            client.ingest("beta", {"p": "A", "q": "A", "r": "B"}, T0)
+            client.ingest("beta", {"p": "B", "q": "B", "r": "A"}, T0 + timedelta(1))
+            assert client.query("alpha")["rounds"] == 1
+            assert client.query("beta")["rounds"] == 2
+            assert sorted(client.list_monitors()) == ["alpha", "beta"]
+
+    def test_stats_counters_and_latency(self, server):
+        with connect(server) as client:
+            client.create("svc", ["x"])
+            client.ingest("svc", {"x": "L"}, T0)
+            stats = client.stats()
+            assert stats["counters"]["rounds_ingested"] == 1
+            assert stats["counters"]["monitors_created"] == 1
+            assert stats["monitors"]["svc"]["queue_capacity"] == 256
+            assert "ingest" in stats["latency"]
+            assert stats["latency"]["ingest"]["count"] == 1
+            assert stats["latency"]["ingest"]["p99_ms"] >= 0
+
+    def test_snapshot_command(self, server):
+        with connect(server) as client:
+            client.create("svc", ["x"])
+            client.ingest("svc", {"x": "L"}, T0)
+            response = client.snapshot("svc")
+            assert response["seq"] == 1
+            stats = client.stats()
+            assert stats["counters"]["snapshots_taken"] == 1
+
+    def test_errors_have_codes(self, server):
+        with connect(server) as client:
+            with pytest.raises(ServeClientError) as exc_info:
+                client.query("ghost")
+            assert exc_info.value.code == "no_such_monitor"
+
+            client.create("svc", ["x"])
+            with pytest.raises(ServeClientError) as exc_info:
+                client.create("svc", ["x"])
+            assert exc_info.value.code == "monitor_exists"
+
+            with pytest.raises(ServeClientError) as exc_info:
+                client.request("create", monitor="bad/../name", networks=["x"])
+            assert exc_info.value.code == "bad_request"
+
+            with pytest.raises(ServeClientError) as exc_info:
+                client.request("warp")
+            assert exc_info.value.code == "bad_request"
+
+    def test_out_of_order_ingest_rejected_but_connection_lives(self, server):
+        with connect(server) as client:
+            client.create("svc", ["x"])
+            client.ingest("svc", {"x": "L"}, T0)
+            with pytest.raises(ServeClientError) as exc_info:
+                client.ingest("svc", {"x": "A"}, T0)
+            assert exc_info.value.code == "out_of_order"
+            # Same connection still serves requests.
+            assert client.query("svc")["rounds"] == 1
+
+    def test_server_restart_recovers_monitors(self, tmp_path):
+        data_dir = tmp_path / "data"
+        with ServerThread(ServeConfig(data_dir=data_dir, port=0)) as first:
+            with connect(first) as client:
+                client.create("svc", ["x", "y"])
+                client.ingest("svc", {"x": "L", "y": "L"}, T0)
+                client.ingest("svc", {"x": "A", "y": "A"}, T0 + timedelta(1))
+                expected = client.timeline("svc")["segments"]
+        with ServerThread(ServeConfig(data_dir=data_dir, port=0)) as second:
+            with connect(second) as client:
+                assert client.timeline("svc")["segments"] == expected
+                stats = client.stats()
+                assert stats["counters"]["monitors_recovered"] == 1
+                replay = stats["monitors"]["svc"]["replay"]
+                assert replay["replayed_records"] == 2
+                # Stream continues exactly where it stopped.
+                client.ingest("svc", {"x": "L", "y": "L"}, T0 + timedelta(2))
+                assert client.query("svc")["rounds"] == 3
+
+
+class TestFailurePaths:
+    def raw_socket(self, server: ServerThread) -> socket.socket:
+        return socket.create_connection(server.address, timeout=10)
+
+    def test_malformed_frame_answered_then_closed(self, server):
+        with self.raw_socket(server) as sock:
+            payload = b"this is not json"
+            sock.sendall(struct.pack(">I", len(payload)) + payload)
+            response = recv_frame(sock)
+            assert response["ok"] is False
+            assert response["error"] == "bad_frame"
+            assert sock.recv(1) == b""  # server hung up
+
+    def test_oversized_frame_rejected_before_read(self, server):
+        with self.raw_socket(server) as sock:
+            # Declare a 1 GiB frame; never send the body.
+            sock.sendall(struct.pack(">I", 1 << 30))
+            response = recv_frame(sock)
+            assert response["ok"] is False
+            assert response["error"] == "frame_too_large"
+            assert sock.recv(1) == b""
+
+    def test_non_object_payload_rejected(self, server):
+        with self.raw_socket(server) as sock:
+            send_frame(sock, {"cmd": "stats"})  # prove the socket works
+            assert recv_frame(sock)["ok"]
+            payload = json.dumps([1, 2, 3]).encode()
+            sock.sendall(struct.pack(">I", len(payload)) + payload)
+            assert recv_frame(sock)["error"] == "bad_frame"
+
+    def test_abrupt_disconnect_leaves_server_healthy(self, server):
+        sock = self.raw_socket(server)
+        sock.sendall(struct.pack(">I", 100))  # promise 100 bytes...
+        sock.close()  # ...vanish instead
+        time.sleep(0.05)
+        with connect(server) as client:
+            assert client.stats()["ok"]
+
+    def test_overload_response_when_queue_full(self, tmp_path):
+        config = ServeConfig(data_dir=tmp_path / "data", port=0, queue_size=1)
+        with ServerThread(config) as running:
+            host, port = running.address
+            with ServeClient(host=host, port=port) as setup:
+                setup.create("svc", ["x"])
+            # Stall the drain (as a wedged disk or hot monitor would):
+            # cancel the writer task so the bounded queue can only fill.
+            runtime = running.server._monitors["svc"]
+            running._loop.call_soon_threadsafe(runtime.worker.cancel)
+
+            stalled = socket.create_connection((host, port), timeout=10)
+            try:
+                send_frame(
+                    stalled,
+                    {
+                        "cmd": "ingest",
+                        "id": 1,
+                        "monitor": "svc",
+                        "time": T0.isoformat(),
+                        "states": {"x": "L"},
+                    },
+                )  # never answered: its record sits in the full queue
+                with ServeClient(host=host, port=port) as client:
+                    deadline = time.time() + 5
+                    while time.time() < deadline:
+                        depth = client.stats()["monitors"]["svc"]["queue_depth"]
+                        if depth >= 1:
+                            break
+                        time.sleep(0.01)
+                    else:
+                        pytest.fail("queued ingest never became visible")
+                    with pytest.raises(OverloadedError) as exc_info:
+                        client.ingest("svc", {"x": "A"}, T0 + timedelta(1))
+                    assert exc_info.value.response["queue_depth"] >= 1
+            finally:
+                stalled.close()
+
+    def test_slow_reader_backpressures_only_itself(self, server):
+        """A client that never reads responses cannot wedge others."""
+        with connect(server) as active:
+            active.create("svc", ["x"])
+        slow = self.raw_socket(server)
+        try:
+            # Pipeline many requests without reading a single response:
+            # the server's drain() keeps per-connection order and bounds
+            # buffering to this socket.
+            for index in range(200):
+                send_frame(slow, {"cmd": "query", "id": index, "monitor": "svc"})
+            with connect(server) as other:
+                for index in range(20):
+                    other.ingest(
+                        "svc", {"x": f"s{index}"}, T0 + timedelta(hours=index)
+                    )
+                assert other.query("svc")["rounds"] == 20
+        finally:
+            slow.close()
+
+
+def wait_for_port_line(process: subprocess.Popen) -> tuple[str, int]:
+    line = process.stdout.readline().decode()
+    assert line.startswith("listening on "), f"unexpected readiness line: {line!r}"
+    host, _, port = line.split()[-1].rpartition(":")
+    return host, int(port)
+
+
+def serve_subprocess(data_dir: Path, snapshot_every: int = 0) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--data-dir",
+            str(data_dir),
+            "--snapshot-every",
+            str(snapshot_every),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+    )
+
+
+class TestKillAndReplay:
+    """The acceptance scenario: SIGKILL mid-ingest, restart, compare."""
+
+    SITES = ["LAX", "LAX", "AMS", "AMS", "LAX", "FRA", "LAX", "AMS"]
+
+    def rounds(self, count: int = 200):
+        for index in range(count):
+            site = self.SITES[index % len(self.SITES)]
+            flip = "AMS" if index % 17 == 0 else site
+            yield (
+                {"x": site, "y": flip, "z": "LAX"},
+                T0 + timedelta(hours=index),
+            )
+
+    def test_sigkill_mid_ingest_then_replay_matches_oracle(self, tmp_path):
+        data_dir = tmp_path / "data"
+        process = serve_subprocess(data_dir, snapshot_every=25)
+        try:
+            host, port = wait_for_port_line(process)
+            acked = []
+            with ServeClient(host=host, port=port) as client:
+                client.create("svc", ["x", "y", "z"])
+                for index, (states, when) in enumerate(self.rounds()):
+                    if index == 120:
+                        # Kill while the stream is mid-flight: no
+                        # shutdown hooks, no flush courtesy.
+                        process.send_signal(signal.SIGKILL)
+                        process.wait(timeout=10)
+                    try:
+                        client.ingest("svc", states, when)
+                    except (ConnectionError, OSError, ValueError):
+                        break
+                    acked.append((states, when))
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=10)
+
+        assert len(acked) >= 100, "kill landed before enough rounds were acked"
+
+        # Oracle: an uninterrupted in-memory run over the acked prefix.
+        oracle = OnlineFenrir(networks=["x", "y", "z"])
+        for states, when in acked:
+            oracle.ingest(states, when)
+        expected_segments = [
+            {"mode_id": mode_id, "start": start.isoformat(), "end": end.isoformat()}
+            for mode_id, start, end in oracle.mode_timeline()
+        ]
+
+        restarted = serve_subprocess(data_dir)
+        try:
+            host, port = wait_for_port_line(restarted)
+            with ServeClient(host=host, port=port) as client:
+                timeline = client.timeline("svc")["segments"]
+                summary = client.query("svc")
+        finally:
+            restarted.send_signal(signal.SIGTERM)
+            try:
+                restarted.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                restarted.kill()
+                restarted.wait(timeout=10)
+
+        # Every acknowledged round survived; the server may additionally
+        # have journaled rounds whose acks never reached the client.
+        assert summary["rounds"] >= len(acked)
+        if summary["rounds"] == len(acked):
+            assert timeline == expected_segments
+        else:
+            # Identical on the acked prefix: replay extra tail rounds
+            # into the oracle and then demand exact equality.
+            extra = summary["rounds"] - len(acked)
+            remaining = list(self.rounds())[len(acked): len(acked) + extra]
+            for states, when in remaining:
+                oracle.ingest(states, when)
+            expected_segments = [
+                {
+                    "mode_id": mode_id,
+                    "start": start.isoformat(),
+                    "end": end.isoformat(),
+                }
+                for mode_id, start, end in oracle.mode_timeline()
+            ]
+            assert timeline == expected_segments
