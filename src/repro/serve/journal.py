@@ -193,17 +193,24 @@ def write_snapshot(directory: Path, seq: int, state: dict) -> None:
         json.dumps({"files": {SNAPSHOT_FILE: sha256}, "seq": seq}, indent=2) + "\n",
         encoding="utf-8",
     )
-    # Manifest first: a manifest without a matching snapshot fails
-    # verification loudly, a snapshot without a manifest would not.
-    os.replace(manifest_temp, directory / MANIFEST_FILE)
+    # Snapshot first. A crash between the two replaces leaves the new
+    # snapshot paired with the previous manifest; the reader detects the
+    # stale manifest by its recorded seq and trusts the (atomically
+    # written, self-describing) snapshot, so both partial orders recover.
     os.replace(snapshot_temp, directory / SNAPSHOT_FILE)
+    os.replace(manifest_temp, directory / MANIFEST_FILE)
 
 
 def read_snapshot(directory: Path) -> tuple[int, dict]:
     """Load and verify a checkpoint; returns (seq, state).
 
-    Raises :class:`JournalError` on checksum mismatch — a corrupt
-    snapshot cannot be partially recovered the way a journal tail can.
+    The manifest checksum is enforced only when the manifest records
+    the same seq as the snapshot document: a manifest for a *different*
+    seq is the leftover of a crash between :func:`write_snapshot`'s two
+    atomic replaces, and the self-describing snapshot (which parsed
+    intact) is the truth. Raises :class:`JournalError` on a same-seq
+    checksum mismatch or an unparseable snapshot — corruption that
+    cannot be partially recovered the way a journal tail can.
     """
     directory = Path(directory)
     snapshot_path = directory / SNAPSHOT_FILE
@@ -211,19 +218,22 @@ def read_snapshot(directory: Path) -> tuple[int, dict]:
     if not snapshot_path.exists():
         raise JournalError(f"no snapshot in {directory}")
     body = snapshot_path.read_text(encoding="utf-8").rstrip("\n")
-    if manifest_path.exists():
-        try:
-            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-            expected = manifest["files"][SNAPSHOT_FILE]
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise JournalError(f"unreadable manifest in {directory}") from exc
-        actual = hashlib.sha256(body.encode("utf-8")).hexdigest()
-        if actual != expected:
-            raise JournalError(f"snapshot checksum mismatch in {directory}")
     try:
         document = json.loads(body)
         if document.get("type") != "fenrir-snapshot":
             raise ValueError(f"not a snapshot: {document.get('type')!r}")
-        return int(document["seq"]), document["state"]
+        seq, state = int(document["seq"]), document["state"]
     except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
         raise JournalError(f"corrupt snapshot in {directory}: {exc}") from exc
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            expected = manifest["files"][SNAPSHOT_FILE]
+            manifest_seq = int(manifest["seq"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"unreadable manifest in {directory}") from exc
+        if manifest_seq == seq:
+            actual = hashlib.sha256(body.encode("utf-8")).hexdigest()
+            if actual != expected:
+                raise JournalError(f"snapshot checksum mismatch in {directory}")
+    return seq, state

@@ -55,6 +55,26 @@ class ReplayReport:
     dropped_lines: int
     elapsed_seconds: float
     tail: Optional[JournalTail] = None
+    skipped_records: int = 0  # journaled but unapplyable (never acknowledged)
+
+
+def _validated_states(states: Mapping[str, str]) -> dict[str, str]:
+    """A plain ``{str: str}`` copy of ``states``, or :class:`MonitorError`.
+
+    The journal must never accept a record the tracker cannot apply:
+    non-string labels (JSON arrays, numbers, null) would raise only
+    inside ``StateCatalog.code``, *after* the append, poisoning the
+    journal for every later replay.
+    """
+    clean: dict[str, str] = {}
+    for key, value in states.items():
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise MonitorError(
+                "states must map network names to state labels (strings); "
+                f"got {key!r}: {value!r}"
+            )
+        clean[key] = value
+    return clean
 
 
 @dataclass
@@ -131,8 +151,17 @@ class DurableMonitor:
         snapshot_seq, state = read_snapshot(directory)
         tracker = OnlineFenrir.from_state(state)
         records, tail = read_journal(directory / JOURNAL_FILE, after_seq=snapshot_seq)
+        skipped = 0
         for record in records:
-            tracker.ingest(record.states, record.time)
+            # A record that parses but cannot be applied (e.g. written by
+            # an older server without pre-journal validation) was never
+            # acknowledged — validation happens before the append, so an
+            # apply failure implies the ack never went out. Skip it and
+            # report rather than leaving the monitor permanently unopenable.
+            try:
+                tracker.ingest(record.states, record.time)
+            except Exception:
+                skipped += 1
         seq = records[-1].seq if records else snapshot_seq
         monitor = cls(
             name=name,
@@ -143,15 +172,17 @@ class DurableMonitor:
             fsync=fsync,
             replay=ReplayReport(
                 snapshot_seq=snapshot_seq,
-                replayed_records=len(records),
+                replayed_records=len(records) - skipped,
                 dropped_lines=tail.dropped_lines if tail else 0,
                 elapsed_seconds=_time.perf_counter() - started,
                 tail=tail,
+                skipped_records=skipped,
             ),
         )
-        if tail is not None:
-            # The dropped tail is unacknowledged garbage; rewrite the
-            # journal to the valid prefix so it cannot shadow new seqs.
+        if tail is not None or skipped:
+            # Dropped tails and skipped records are unacknowledged
+            # garbage; rewrite the journal to the applied prefix so they
+            # cannot shadow new seqs on the next recovery.
             monitor.snapshot()
         return monitor
 
@@ -168,12 +199,13 @@ class DurableMonitor:
         journaled iff its update is returned — an acknowledged round is
         exactly a replayable round.
         """
+        clean = _validated_states(states)
         last = self.tracker.last_time
         if last is not None and when <= last:
             raise MonitorError(
                 f"observations must move forward in time: {when} after {last}"
             )
-        record = JournalRecord(seq=self.seq + 1, time=when, states=dict(states))
+        record = JournalRecord(seq=self.seq + 1, time=when, states=clean)
         self._journal.append(record)
         update = self.tracker.ingest(record.states, record.time)
         self.seq = record.seq

@@ -77,6 +77,7 @@ class FenrirServer:
         self.config = config
         self.metrics = ServerMetrics()
         self._monitors: dict[str, _MonitorRuntime] = {}
+        self._failed: dict[str, str] = {}  # monitor name -> recovery error
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.time()
 
@@ -90,12 +91,20 @@ class FenrirServer:
                 continue
             if not valid_monitor_name(entry.name):
                 continue
-            monitor = DurableMonitor.open(
-                self.config.data_dir,
-                entry.name,
-                snapshot_every=self.config.snapshot_every,
-                fsync=self.config.fsync,
-            )
+            try:
+                monitor = DurableMonitor.open(
+                    self.config.data_dir,
+                    entry.name,
+                    snapshot_every=self.config.snapshot_every,
+                    fsync=self.config.fsync,
+                )
+            except Exception as exc:
+                # One unrecoverable monitor (corrupt snapshot, bad state)
+                # must not take down every healthy one; serve the rest and
+                # surface the failure through stats.
+                self._failed[entry.name] = f"{type(exc).__name__}: {exc}"
+                self.metrics.increment("monitors_failed")
+                continue
             self._register(monitor)
             if monitor.replay:
                 self.metrics.increment("monitors_recovered")
@@ -167,7 +176,10 @@ class FenrirServer:
                 if update.recurred:
                     self.metrics.increment("recurrences")
                 if not future.cancelled():
-                    future.set_result(update)
+                    # Capture seq now, before yielding: by the time the
+                    # requesting coroutine resumes, this task may have
+                    # applied later records for other connections.
+                    future.set_result((runtime.monitor.seq, update))
             finally:
                 runtime.queue.task_done()
 
@@ -177,6 +189,13 @@ class FenrirServer:
         states = request.get("states")
         if not isinstance(states, dict):
             raise _RequestError(ERR_BAD_REQUEST, "ingest needs a 'states' object")
+        for key, value in states.items():
+            if not isinstance(key, str) or not isinstance(value, str):
+                raise _RequestError(
+                    ERR_BAD_REQUEST,
+                    "'states' must map network names to state label strings; "
+                    f"got {key!r}: {value!r}",
+                )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
             runtime.queue.put_nowait((states, when, future))
@@ -189,13 +208,20 @@ class FenrirServer:
                 queue_depth=runtime.queue.qsize(),
             )
         try:
-            update = await future
+            seq, update = await future
         except MonitorError as exc:
             return error_response(ERR_OUT_OF_ORDER, str(exc), request_id)
+        except Exception as exc:
+            # The writer task forwards whatever the apply raised; answer
+            # rather than letting it kill the connection handler.
+            self.metrics.increment("ingest_failures")
+            return error_response(
+                ERR_INTERNAL, f"{type(exc).__name__}: {exc}", request_id
+            )
         return {
             "id": request_id,
             "ok": True,
-            "seq": runtime.monitor.seq,
+            "seq": seq,
             "update": {
                 "time": update.time.isoformat(),
                 "step_change": update.step_change,
@@ -294,6 +320,7 @@ class FenrirServer:
                         "snapshot_seq": runtime.monitor.replay.snapshot_seq,
                         "replayed_records": runtime.monitor.replay.replayed_records,
                         "dropped_lines": runtime.monitor.replay.dropped_lines,
+                        "skipped_records": runtime.monitor.replay.skipped_records,
                         "elapsed_seconds": round(
                             runtime.monitor.replay.elapsed_seconds, 6
                         ),
@@ -304,6 +331,7 @@ class FenrirServer:
             }
             for name, runtime in sorted(self._monitors.items())
         }
+        document["failed_monitors"] = dict(sorted(self._failed.items()))
         return {"id": request_id, "ok": True, **document}
 
     async def _snapshot(self, request: dict, request_id) -> dict:
@@ -347,6 +375,13 @@ class FenrirServer:
             response = error_response(exc.code, exc.message, request_id)
         except JournalError as exc:
             response = error_response(ERR_INTERNAL, str(exc), request_id)
+        except Exception as exc:
+            # Last-resort guard: every request gets an answer; an
+            # unanswered client would hang until its socket timeout.
+            self.metrics.increment("internal_errors")
+            response = error_response(
+                ERR_INTERNAL, f"{type(exc).__name__}: {exc}", request_id
+            )
         if isinstance(command, str):
             self.metrics.latency.observe(command, time.perf_counter() - started)
         return response

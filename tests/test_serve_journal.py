@@ -133,6 +133,25 @@ class TestSnapshot:
         with pytest.raises(JournalError, match="no snapshot"):
             read_snapshot(tmp_path)
 
+    def test_stale_manifest_from_interrupted_checkpoint(self, tmp_path):
+        tracker = OnlineFenrir(networks=["a"])
+        write_snapshot(tmp_path, 1, tracker.to_state())
+        stale_manifest = (tmp_path / "MANIFEST.json").read_text()
+        tracker.ingest({"a": "X"}, T0)
+        write_snapshot(tmp_path, 2, tracker.to_state())
+        # Crash between the two replaces: new snapshot, previous manifest.
+        (tmp_path / "MANIFEST.json").write_text(stale_manifest)
+        seq, state = read_snapshot(tmp_path)
+        assert seq == 2
+        assert OnlineFenrir.from_state(state).last_time == T0
+
+    def test_unreadable_manifest_raises(self, tmp_path):
+        tracker = OnlineFenrir(networks=["a"])
+        write_snapshot(tmp_path, 0, tracker.to_state())
+        (tmp_path / "MANIFEST.json").write_text("{ not json")
+        with pytest.raises(JournalError, match="manifest"):
+            read_snapshot(tmp_path)
+
 
 class TestDurableMonitor:
     def feed(self, monitor: DurableMonitor, sites, start=0):
@@ -208,6 +227,43 @@ class TestDurableMonitor:
         monitor.close()
         records, tail = read_journal(tmp_path / "svc" / JOURNAL_FILE)
         assert len(records) == 1 and tail is None
+
+    def test_non_string_states_rejected_before_journal(self, tmp_path):
+        monitor = DurableMonitor.create(tmp_path, "svc", ["n1"])
+        with pytest.raises(MonitorError, match="state labels"):
+            monitor.ingest({"n1": ["LAX", "AMS"]}, T0)
+        assert monitor.seq == 0
+        # The stream continues cleanly: no seq burned, nothing journaled.
+        monitor.ingest({"n1": "LAX"}, T0)
+        monitor.close()
+        records, tail = read_journal(tmp_path / "svc" / JOURNAL_FILE)
+        assert [r.seq for r in records] == [1] and tail is None
+        assert DurableMonitor.open(tmp_path, "svc").seq == 1
+
+    def test_unapplyable_record_skipped_on_open(self, tmp_path):
+        monitor = DurableMonitor.create(tmp_path, "svc", ["n1"])
+        monitor.ingest({"n1": "LAX"}, T0)
+        monitor.close()
+        # An old server could journal a record the tracker cannot apply
+        # (non-string state label raised only inside the apply); recovery
+        # must skip-and-report it, not crash open() forever.
+        writer = JournalWriter(tmp_path / "svc" / JOURNAL_FILE)
+        writer.append(
+            JournalRecord(
+                seq=2, time=T0 + timedelta(hours=1), states={"n1": ["A", "B"]}
+            )
+        )
+        writer.close()
+        reopened = DurableMonitor.open(tmp_path, "svc")
+        assert reopened.replay.skipped_records == 1
+        assert reopened.replay.replayed_records == 1
+        assert len(reopened.tracker.updates) == 1
+        assert reopened.seq == 2  # the poison record's seq stays burned
+        reopened.ingest({"n1": "AMS"}, T0 + timedelta(hours=2))
+        reopened.close()
+        final = DurableMonitor.open(tmp_path, "svc")
+        assert final.replay.skipped_records == 0
+        assert len(final.tracker.updates) == 2
 
 
 class TestSeriesJsonlRecovery:

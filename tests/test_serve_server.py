@@ -267,6 +267,69 @@ class TestFailurePaths:
             finally:
                 stalled.close()
 
+    def test_non_string_state_value_rejected_before_journal(self, server):
+        with connect(server) as client:
+            client.create("svc", ["x"])
+            with pytest.raises(ServeClientError) as exc_info:
+                client.request(
+                    "ingest",
+                    monitor="svc",
+                    states={"x": ["L", "A"]},
+                    time=T0.isoformat(),
+                )
+            assert exc_info.value.code == "bad_request"
+            # The bad round was never journaled or applied: the stream
+            # continues at seq 1 and the connection stays usable.
+            assert client.ingest("svc", {"x": "L"}, T0)["seq"] == 1
+
+    def test_internal_apply_error_answered_not_hung(self, server):
+        with connect(server) as client:
+            client.create("svc", ["x"])
+            runtime = server.server._monitors["svc"]
+
+            def explode(states, when):
+                raise RuntimeError("disk on fire")
+
+            runtime.monitor.ingest = explode
+            with pytest.raises(ServeClientError) as exc_info:
+                client.ingest("svc", {"x": "L"}, T0)
+            assert exc_info.value.code == "internal"
+            del runtime.monitor.ingest  # restore the real method
+            assert client.ingest("svc", {"x": "L"}, T0)["seq"] == 1
+            assert client.stats()["counters"]["ingest_failures"] == 1
+
+    def test_internal_dispatch_error_answered_not_hung(self, server):
+        with connect(server) as client:
+            client.create("svc", ["x"])
+            runtime = server.server._monitors["svc"]
+
+            def explode():
+                raise RuntimeError("describe broke")
+
+            runtime.monitor.describe = explode
+            with pytest.raises(ServeClientError) as exc_info:
+                client.query("svc")
+            assert exc_info.value.code == "internal"
+            del runtime.monitor.describe
+            assert client.query("svc")["rounds"] == 0
+            assert client.stats()["counters"]["internal_errors"] == 1
+
+    def test_corrupt_monitor_does_not_block_startup(self, tmp_path):
+        data_dir = tmp_path / "data"
+        with ServerThread(ServeConfig(data_dir=data_dir, port=0)) as first:
+            with connect(first) as client:
+                client.create("good", ["x"])
+                client.create("bad", ["x"])
+                client.ingest("good", {"x": "L"}, T0)
+        (data_dir / "bad" / "snapshot.json").write_text("{ not json")
+        with ServerThread(ServeConfig(data_dir=data_dir, port=0)) as second:
+            with connect(second) as client:
+                assert client.list_monitors() == ["good"]
+                assert client.query("good")["rounds"] == 1
+                stats = client.stats()
+                assert stats["counters"]["monitors_failed"] == 1
+                assert "bad" in stats["failed_monitors"]
+
     def test_slow_reader_backpressures_only_itself(self, server):
         """A client that never reads responses cannot wedge others."""
         with connect(server) as active:
