@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core import Fenrir, OnlineFenrir
+from repro.core.vector import RoutingVector
 from repro.datasets import broot
 
 from common import emit
@@ -88,3 +89,55 @@ def test_ext_online_vs_batch(study, benchmark):
         return replay_tracker
 
     benchmark.pedantic(replay, rounds=2, iterations=1)
+
+
+def test_ext_match_mode_oracle_on_broot(study):
+    """Vectorized ``_match_mode`` ≡ the scalar loop on the real replay.
+
+    The property tests cover random catalogs; this drives the same
+    oracle comparison through every round of the B-Root series — real
+    unknown rates, real recurrence structure — and reports the per-path
+    timing alongside.
+    """
+    import time
+
+    from repro.core import UnknownPolicy
+
+    report = Fenrir().run(study.series)
+    cleaned = report.cleaned
+    tracker = OnlineFenrir(
+        networks=cleaned.networks,
+        event_threshold=0.10,
+        mode_threshold=0.90,
+        policy=UnknownPolicy.EXCLUDE,
+    )
+    t_vectorized = 0.0
+    t_scalar = 0.0
+    for vector in cleaned:
+        mapping = vector.to_mapping()
+        probe = tracker.match(mapping)  # the public, non-mutating form
+        incoming = RoutingVector.from_mapping(
+            mapping, catalog=tracker.catalog, networks=tracker.networks
+        )
+        started = time.perf_counter()
+        vectorized = tracker._match_mode(incoming)
+        t_vectorized += time.perf_counter() - started
+        started = time.perf_counter()
+        scalar = tracker._match_mode_scalar(incoming)
+        t_scalar += time.perf_counter() - started
+        assert vectorized == probe == scalar
+        tracker.ingest(mapping, vector.time)
+
+    rounds = len(tracker.updates)
+    emit(
+        "ext_online_match",
+        "\n".join(
+            [
+                "Extension: match-mode oracle on the B-Root replay",
+                "",
+                f"rounds: {rounds}   modes: {tracker.num_modes}",
+                f"vectorized: {t_vectorized / rounds * 1e6:8.1f} us/match",
+                f"scalar:     {t_scalar / rounds * 1e6:8.1f} us/match",
+            ]
+        ),
+    )

@@ -26,7 +26,7 @@ from repro.core.series import VectorSeries
 from repro.core.vector import StateCatalog, UNKNOWN
 from repro.parallel import SimilarityEngine
 
-from common import emit
+from common import emit, write_bench_json
 
 NUM_ROUNDS = 1000  # T ≥ 200 required; the paper's studies run to 1.9k rounds
 NUM_NETWORKS = 300
@@ -109,6 +109,21 @@ def test_parallel_speedup_and_cache(series, tmp_path_factory):
         f"/{cached_engine.stats.cache_misses}",
     ]
     emit("parallel", "\n".join(rows))
+    write_bench_json(
+        "parallel",
+        {
+            "rounds": NUM_ROUNDS,
+            "networks": NUM_NETWORKS,
+            "states": NUM_STATES,
+            "serial_ms": round(t_serial * 1e3, 3),
+            "speedup_by_jobs": {
+                str(n_jobs): round(value, 3) for n_jobs, value in speedups.items()
+            },
+            "cold_cache_ms": round(t_cold * 1e3, 3),
+            "warm_cache_ms": round(t_warm * 1e3, 3),
+            "cache_speedup": round(cache_speedup, 3),
+        },
+    )
 
     # Acceptance: ≥2x parallel at n_jobs=4, ≥10x warm-cache rerun.
     assert speedups[4] >= 2.0, f"n_jobs=4 speedup {speedups[4]:.2f}x < 2x"

@@ -8,9 +8,11 @@ the qualitative shape, and benchmarks the core computation involved.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def emit(experiment: str, text: str) -> None:
@@ -19,6 +21,19 @@ def emit(experiment: str, text: str) -> None:
     print(banner + text + "\n")
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def write_bench_json(name: str, metrics: dict) -> Path:
+    """Archive machine-readable results as ``BENCH_<name>.json``.
+
+    Written at the repo root so the perf trajectory is a first-class,
+    diffable artifact across PRs (and uploadable from CI), not just a
+    human-readable block under ``benchmarks/out/``.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+    print(f"bench json: {path}")
+    return path
 
 
 def fmt_range(pair: tuple[float, float]) -> str:

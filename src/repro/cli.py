@@ -257,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--create", action="store_true",
         help="create the monitor from the series' networks first",
     )
+    c_ingest.add_argument(
+        "--batch", type=_positive_int, default=None, metavar="N",
+        help="send rounds in ingest_batch requests of N (one group commit "
+        "per batch server-side) instead of one request per round",
+    )
 
     c_query = client_commands.add_parser("query", help="summarize a monitor")
     c_query.add_argument("monitor")
@@ -329,20 +334,8 @@ def _run_client(args: argparse.Namespace) -> int:
             series = _load_series(args.series)
             if args.create:
                 client.create(args.monitor, networks=series.networks)
-            sent = 0
-            for vector in series:
-                while True:
-                    try:
-                        response = client.ingest(
-                            args.monitor, vector.to_mapping(), vector.time
-                        )
-                        break
-                    except OverloadedError:
-                        import time as _time
 
-                        _time.sleep(0.05)
-                sent += 1
-                update = response["update"]
+            def show(update: dict) -> None:
                 if update["is_event"] or update["is_new_mode"] or update["recurred"]:
                     notes = [
                         note
@@ -357,6 +350,31 @@ def _run_client(args: argparse.Namespace) -> int:
                         f"{update['time']} change={update['step_change']:.2f} "
                         f"mode={update['mode_id']} {' '.join(notes)}"
                     )
+
+            if args.batch:
+                updates = client.ingest_many(
+                    args.monitor,
+                    [(vector.to_mapping(), vector.time) for vector in series],
+                    batch_size=args.batch,
+                )
+                for update in updates:
+                    show(update)
+                sent = len(updates)
+            else:
+                sent = 0
+                for vector in series:
+                    while True:
+                        try:
+                            response = client.ingest(
+                                args.monitor, vector.to_mapping(), vector.time
+                            )
+                            break
+                        except OverloadedError:
+                            import time as _time
+
+                            _time.sleep(0.05)
+                    sent += 1
+                    show(response["update"])
             print(f"ingested {sent} rounds into {args.monitor!r}")
         elif args.client_command == "query":
             import json as _json

@@ -12,6 +12,7 @@ from .compare import (
     UnknownPolicy,
     distance_matrix,
     phi,
+    phi_one_to_many,
     similarity_matrix,
     similarity_to_reference,
 )
@@ -95,6 +96,7 @@ __all__ = [
     "normalized",
     "percentile_by_catchment",
     "phi",
+    "phi_one_to_many",
     "similarity_matrix",
     "similarity_to_reference",
     "step_changes",

@@ -24,6 +24,7 @@ from .vector import RoutingVector, UNKNOWN_CODE
 __all__ = [
     "UnknownPolicy",
     "phi",
+    "phi_one_to_many",
     "similarity_matrix",
     "similarity_to_reference",
     "distance_matrix",
@@ -79,6 +80,49 @@ def phi(
     if denominator == 0:
         return float("nan")
     return float(w[match].sum() / denominator)
+
+
+def phi_one_to_many(
+    codes: np.ndarray,
+    exemplar_matrix: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    policy: UnknownPolicy = UnknownPolicy.PESSIMISTIC,
+    *,
+    weight_sum: Optional[float] = None,
+) -> np.ndarray:
+    """Φ of one code vector against M exemplar rows in one pass.
+
+    The streaming hot path: ``exemplar_matrix`` is ``(M, N)`` int32 (one
+    row per known mode exemplar), ``codes`` is the ``(N,)`` incoming
+    vector, and the result is the ``(M,)`` vector of similarities — the
+    vectorized equivalent of calling :func:`phi` once per exemplar.
+    ``weight_sum`` lets callers that validated weights once (e.g.
+    :class:`~repro.core.online.OnlineFenrir`) skip the per-call
+    re-summation. Under :attr:`UnknownPolicy.EXCLUDE`, rows with no
+    jointly known network come back NaN, exactly like the scalar form.
+    """
+    exemplars = np.asarray(exemplar_matrix)
+    if exemplars.ndim != 2:
+        raise ValueError(f"exemplar matrix must be 2-D, got shape {exemplars.shape}")
+    codes = np.asarray(codes)
+    if codes.shape != (exemplars.shape[1],):
+        raise ValueError(
+            f"codes shape {codes.shape} does not match exemplar row "
+            f"length {exemplars.shape[1]}"
+        )
+    num_modes = exemplars.shape[0]
+    w = _check_weights(weights, len(codes))
+    known = codes != UNKNOWN_CODE
+    match = (exemplars == codes) & known  # equal ⇒ both known or both unknown
+    if policy is UnknownPolicy.PESSIMISTIC:
+        total = float(w.sum()) if weight_sum is None else weight_sum
+        if total == 0:
+            return np.full(num_modes, np.nan)
+        return (match @ w) / total
+    both_known = known & (exemplars != UNKNOWN_CODE)
+    denominator = both_known @ w
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(denominator > 0, (match @ w) / denominator, np.nan)
 
 
 def _matches_by_state(codes: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -151,9 +195,15 @@ def similarity_to_reference(
     The 1-D profile operators actually watch: "how like mode (i)'s
     exemplar is each day?" — a single line instead of the full T×T
     heatmap. The reference must share the series' networks and catalog.
+    Computed as one :func:`phi_one_to_many` pass over the series' code
+    matrix rather than T scalar Φ calls.
     """
-    return np.array(
-        [phi(vector, reference, weights=weights, policy=policy) for vector in series]
+    if tuple(series.networks) != tuple(reference.networks):
+        raise ValueError("vectors cover different networks")
+    if series.catalog is not reference.catalog:
+        raise ValueError("vectors use different state catalogs")
+    return phi_one_to_many(
+        reference.codes, series.matrix, weights=weights, policy=policy
     )
 
 

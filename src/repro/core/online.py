@@ -11,6 +11,14 @@ whether that crosses the event threshold, and which known mode the new
 vector matches (a new mode is opened when none matches). Mode
 exemplars are fixed at mode birth so that slow drift cannot chain two
 genuinely different routing results into one mode.
+
+Hot-path layout: exemplar codes live in a geometrically grown ``(M, N)``
+int32 matrix so matching an incoming vector against every known mode is
+one :func:`~repro.core.compare.phi_one_to_many` pass; weights are
+validated and summed once at construction; event/recurrence counts are
+maintained incrementally so summaries never rescan ``updates``. The
+scalar per-exemplar loop survives as :meth:`_match_mode_scalar`, the
+oracle the vectorized kernel is property-tested against.
 """
 
 from __future__ import annotations
@@ -21,12 +29,16 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from .compare import UnknownPolicy, phi
-from .vector import SPECIAL_STATES, RoutingVector, StateCatalog
+from .compare import UnknownPolicy, _check_weights, phi, phi_one_to_many
+from .vector import SPECIAL_STATES, UNKNOWN_CODE, RoutingVector, StateCatalog
 
-__all__ = ["OnlineUpdate", "OnlineFenrir"]
+__all__ = ["OnlineUpdate", "OnlineFenrir", "fold_delta_state"]
 
 STATE_VERSION = 1
+
+#: Initial exemplar-matrix capacity; doubles whenever a new mode would
+#: overflow it, so appending M modes costs O(M·N) total copying.
+_INITIAL_MODE_CAPACITY = 4
 
 
 @dataclass(frozen=True)
@@ -40,6 +52,37 @@ class OnlineUpdate:
     is_new_mode: bool
     mode_similarity: float  # Φ against the matched mode's exemplar
     recurred: bool  # matched a mode that was not the previous one
+
+
+def _update_state(update: OnlineUpdate) -> dict:
+    return {
+        "time": update.time.isoformat(),
+        "step_change": update.step_change,
+        "is_event": update.is_event,
+        "mode_id": update.mode_id,
+        "is_new_mode": update.is_new_mode,
+        "mode_similarity": update.mode_similarity,
+        "recurred": update.recurred,
+    }
+
+
+def _update_from_state(doc: Mapping) -> OnlineUpdate:
+    return OnlineUpdate(
+        time=datetime.fromisoformat(doc["time"]),
+        step_change=doc["step_change"],
+        is_event=doc["is_event"],
+        mode_id=doc["mode_id"],
+        is_new_mode=doc["is_new_mode"],
+        mode_similarity=doc["mode_similarity"],
+        recurred=doc["recurred"],
+    )
+
+
+def _vector_state(vector: RoutingVector) -> dict:
+    return {
+        "time": vector.time.isoformat() if vector.time else None,
+        "codes": [int(code) for code in vector.codes],
+    }
 
 
 @dataclass
@@ -64,17 +107,51 @@ class OnlineFenrir:
             raise ValueError("event_threshold must be in [0, 1]")
         if not 0.0 <= self.mode_threshold <= 1.0:
             raise ValueError("mode_threshold must be in [0, 1]")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+        # Validate once, here, so a bad weight vector fails at
+        # construction instead of as a phi shape error on the first
+        # ingest — and so the hot path never re-checks or re-sums it.
+        self._checked_weights = _check_weights(self.weights, len(self.networks))
+        self._weight_sum = float(self._checked_weights.sum())
         self._exemplars: list[RoutingVector] = []
+        self._exemplar_codes = np.empty(
+            (_INITIAL_MODE_CAPACITY, len(self.networks)), dtype=np.int32
+        )
         self._previous: Optional[RoutingVector] = None
         self._previous_mode: Optional[int] = None
         self._last_time: Optional[datetime] = None
+        self._num_events = 0
+        self._num_recurrences = 0
         self.updates: list[OnlineUpdate] = []
+        # Recurring-round fast path (the paper's central observation:
+        # routing results recur, so consecutive rounds usually repeat
+        # the previous assignment verbatim). When the incoming mapping
+        # equals the last one, encoding, the step-change Φ, and — while
+        # no mode has been opened since — the mode match are all pure
+        # functions of state this tracker already computed. The memos
+        # below cache them; every value is produced by the exact same
+        # arithmetic as the slow path, so results stay bit-identical.
+        self._prev_assignment: Optional[dict] = None
+        self._prev_self_step: Optional[float] = None  # 1 - Φ(prev, prev)
+        self._memo_match: tuple[Optional[int], float] = (None, -1.0)
+        self._memo_match_modes: int = -1  # num_modes the memo was taken at
 
     # -- properties ---------------------------------------------------------
 
     @property
     def num_modes(self) -> int:
         return len(self._exemplars)
+
+    @property
+    def num_events(self) -> int:
+        """Running count of event rounds (no rescan of ``updates``)."""
+        return self._num_events
+
+    @property
+    def num_recurrences(self) -> int:
+        """Running count of recurrence rounds (no rescan of ``updates``)."""
+        return self._num_recurrences
 
     def events(self) -> list[OnlineUpdate]:
         return [update for update in self.updates if update.is_event]
@@ -89,22 +166,44 @@ class OnlineFenrir:
         """Process one measurement round and classify it."""
         if self._last_time is not None and when <= self._last_time:
             raise ValueError(f"observations must move forward in time: {when}")
-        vector = RoutingVector.from_mapping(
-            dict(assignment), catalog=self.catalog, networks=self.networks, time=when
-        )
-
-        if self._previous is None:
-            step_change = 0.0
-        else:
-            step_change = 1.0 - phi(
-                self._previous, vector, weights=self.weights, policy=self.policy
+        if self._prev_assignment is not None and assignment == self._prev_assignment:
+            # Recurring round: same mapping as last time, so the codes
+            # are the previous codes, the step change is Φ(x, x), and
+            # the match is unchanged unless a mode opened in between.
+            vector = RoutingVector._trusted(
+                self.networks, self._previous.codes, self.catalog, when
             )
+            if self._prev_self_step is None:
+                self._prev_self_step = 1.0 - self._phi_pair(
+                    vector.codes, vector.codes
+                )
+            step_change = self._prev_self_step
+            if self._memo_match_modes == len(self._exemplars):
+                mode_id, similarity = self._memo_match
+            else:
+                mode_id, similarity = self._match_mode(vector)
+                self._memo_match = (mode_id, similarity)
+                self._memo_match_modes = len(self._exemplars)
+        else:
+            vector = RoutingVector.from_mapping(
+                dict(assignment),
+                catalog=self.catalog,
+                networks=self.networks,
+                time=when,
+            )
+            if self._previous is None:
+                step_change = 0.0
+            else:
+                step_change = 1.0 - self._phi_pair(self._previous.codes, vector.codes)
+            mode_id, similarity = self._match_mode(vector)
+            self._prev_assignment = dict(assignment)
+            self._prev_self_step = None
+            self._memo_match = (mode_id, similarity)
+            self._memo_match_modes = len(self._exemplars)
         is_event = step_change > self.event_threshold
-
-        mode_id, similarity = self._match_mode(vector)
         is_new_mode = mode_id is None
         if mode_id is None:
-            self._exemplars.append(vector)
+            self._append_exemplar(vector)
             mode_id = len(self._exemplars) - 1
             similarity = 1.0
         recurred = (
@@ -123,10 +222,20 @@ class OnlineFenrir:
             recurred=recurred,
         )
         self.updates.append(update)
+        if is_event:
+            self._num_events += 1
+        if recurred:
+            self._num_recurrences += 1
         self._previous = vector
         self._previous_mode = mode_id
         self._last_time = when
         return update
+
+    def ingest_many(
+        self, rounds: Sequence[tuple[Mapping[str, str], datetime]]
+    ) -> list[OnlineUpdate]:
+        """Apply many rounds in order; the batched form of :meth:`ingest`."""
+        return [self.ingest(states, when) for states, when in rounds]
 
     @property
     def last_time(self) -> Optional[datetime]:
@@ -149,7 +258,70 @@ class OnlineFenrir:
         )
         return self._match_mode(vector)
 
+    # -- matching kernel -----------------------------------------------------
+
+    def _phi_pair(self, a_codes: np.ndarray, b_codes: np.ndarray) -> float:
+        """Scalar Φ on raw codes with the pre-validated weights.
+
+        Same arithmetic (and therefore bit-identical results) as
+        :func:`repro.core.compare.phi`, minus the per-call weight
+        validation and re-summation.
+        """
+        w = self._checked_weights
+        match = (a_codes == b_codes) & (a_codes != UNKNOWN_CODE)
+        if self.policy is UnknownPolicy.PESSIMISTIC:
+            denominator = self._weight_sum
+        else:
+            both_known = (a_codes != UNKNOWN_CODE) & (b_codes != UNKNOWN_CODE)
+            denominator = w[both_known].sum()
+            match = match & both_known
+        if denominator == 0:
+            return float("nan")
+        return float(w[match].sum() / denominator)
+
+    def _append_exemplar(self, vector: RoutingVector) -> None:
+        count = len(self._exemplars)
+        if count == len(self._exemplar_codes):
+            grown = np.empty(
+                (max(_INITIAL_MODE_CAPACITY, 2 * count), len(self.networks)),
+                dtype=np.int32,
+            )
+            grown[:count] = self._exemplar_codes[:count]
+            self._exemplar_codes = grown
+        self._exemplar_codes[count] = vector.codes
+        self._exemplars.append(vector)
+
     def _match_mode(self, vector: RoutingVector) -> tuple[Optional[int], float]:
+        """Best known mode for ``vector`` via one vectorized Φ pass."""
+        count = len(self._exemplars)
+        if not count:
+            return None, -1.0
+        similarities = phi_one_to_many(
+            vector.codes,
+            self._exemplar_codes[:count],
+            weights=self._checked_weights,
+            policy=self.policy,
+            weight_sum=self._weight_sum,
+        )
+        valid = ~np.isnan(similarities)
+        if not valid.any():
+            return None, -1.0
+        # argmax on the NaN-masked copy picks the *first* best row —
+        # the same tie-break as the scalar loop's strict ``>``.
+        best = int(np.argmax(np.where(valid, similarities, -np.inf)))
+        best_similarity = float(similarities[best])
+        if best_similarity >= self.mode_threshold:
+            return best, best_similarity
+        return None, best_similarity
+
+    def _match_mode_scalar(
+        self, vector: RoutingVector
+    ) -> tuple[Optional[int], float]:
+        """Reference implementation: the per-exemplar scalar Φ loop.
+
+        Kept as the oracle for the vectorized kernel; property tests
+        and ``benchmarks/bench_serve.py`` assert the two agree.
+        """
         best_mode: Optional[int] = None
         best_similarity = -1.0
         for mode_id, exemplar in enumerate(self._exemplars):
@@ -164,53 +336,87 @@ class OnlineFenrir:
 
     # -- checkpointing --------------------------------------------------------
 
-    def to_state(self) -> dict:
-        """A JSON-serializable snapshot of the full tracker state.
+    def to_state(
+        self,
+        updates_after: Optional[int] = None,
+        exemplars_after: Optional[int] = None,
+    ) -> dict:
+        """A JSON-serializable snapshot of the tracker state.
 
-        The snapshot is *exact*: ``from_state(to_state())`` yields a
-        tracker whose every subsequent :meth:`ingest` returns the same
-        updates (bit-identical floats — JSON round-trips Python floats
+        With no arguments the snapshot is *full and exact*:
+        ``from_state(to_state())`` yields a tracker whose every
+        subsequent :meth:`ingest` returns the same updates
+        (bit-identical floats — JSON round-trips Python floats
         losslessly via their shortest repr) as the original would have.
+
+        With ``updates_after=k`` the result is a *delta segment*: only
+        the updates (and exemplars) recorded after the first ``k``
+        plus the small mutable head (previous vector, catalog, last
+        time). Folding it onto the state it chains from with
+        :func:`fold_delta_state` reproduces the full snapshot, so
+        periodic checkpoints write O(delta) bytes instead of
+        re-serializing the whole history. ``exemplars_after`` (the
+        exemplar count already captured upstream) is derived from the
+        update flags when not given.
         """
-
-        def vector_state(vector: RoutingVector) -> dict:
+        if updates_after is None:
             return {
-                "time": vector.time.isoformat() if vector.time else None,
-                "codes": [int(code) for code in vector.codes],
+                "version": STATE_VERSION,
+                "networks": list(self.networks),
+                "event_threshold": self.event_threshold,
+                "mode_threshold": self.mode_threshold,
+                "policy": self.policy.value,
+                "weights": None
+                if self.weights is None
+                else [float(w) for w in self.weights],
+                "catalog": list(self.catalog.labels),
+                "exemplars": [_vector_state(e) for e in self._exemplars],
+                "previous": None
+                if self._previous is None
+                else _vector_state(self._previous),
+                "previous_mode": self._previous_mode,
+                "last_time": self._last_time.isoformat() if self._last_time else None,
+                "updates": [_update_state(u) for u in self.updates],
             }
-
+        if not 0 <= updates_after <= len(self.updates):
+            raise ValueError(
+                f"updates_after={updates_after} outside [0, {len(self.updates)}]"
+            )
+        if exemplars_after is None:
+            exemplars_after = sum(
+                1 for update in self.updates[:updates_after] if update.is_new_mode
+            )
+        if not 0 <= exemplars_after <= len(self._exemplars):
+            raise ValueError(
+                f"exemplars_after={exemplars_after} outside "
+                f"[0, {len(self._exemplars)}]"
+            )
         return {
             "version": STATE_VERSION,
-            "networks": list(self.networks),
-            "event_threshold": self.event_threshold,
-            "mode_threshold": self.mode_threshold,
-            "policy": self.policy.value,
-            "weights": None if self.weights is None else [float(w) for w in self.weights],
+            "kind": "delta",
+            "updates_after": updates_after,
+            "exemplars_after": exemplars_after,
             "catalog": list(self.catalog.labels),
-            "exemplars": [vector_state(exemplar) for exemplar in self._exemplars],
-            "previous": None if self._previous is None else vector_state(self._previous),
+            "exemplars": [_vector_state(e) for e in self._exemplars[exemplars_after:]],
+            "previous": None
+            if self._previous is None
+            else _vector_state(self._previous),
             "previous_mode": self._previous_mode,
             "last_time": self._last_time.isoformat() if self._last_time else None,
-            "updates": [
-                {
-                    "time": update.time.isoformat(),
-                    "step_change": update.step_change,
-                    "is_event": update.is_event,
-                    "mode_id": update.mode_id,
-                    "is_new_mode": update.is_new_mode,
-                    "mode_similarity": update.mode_similarity,
-                    "recurred": update.recurred,
-                }
-                for update in self.updates
-            ],
+            "updates": [_update_state(u) for u in self.updates[updates_after:]],
         }
 
     @classmethod
     def from_state(cls, state: Mapping) -> "OnlineFenrir":
-        """Rebuild a tracker from :meth:`to_state` output."""
+        """Rebuild a tracker from a full :meth:`to_state` snapshot."""
         version = state.get("version")
         if version != STATE_VERSION:
             raise ValueError(f"unsupported OnlineFenrir state version: {version!r}")
+        if state.get("kind") == "delta":
+            raise ValueError(
+                "cannot restore from a delta segment: fold it onto its "
+                "base state with fold_delta_state first"
+            )
         labels = list(state["catalog"])
         if tuple(labels[: len(SPECIAL_STATES)]) != SPECIAL_STATES:
             raise ValueError("state catalog does not start with the special states")
@@ -233,24 +439,16 @@ class OnlineFenrir:
                 datetime.fromisoformat(doc["time"]) if doc["time"] else None,
             )
 
-        tracker._exemplars = [restore_vector(doc) for doc in state["exemplars"]]
+        for doc in state["exemplars"]:
+            tracker._append_exemplar(restore_vector(doc))
         previous = state.get("previous")
         tracker._previous = restore_vector(previous) if previous else None
         tracker._previous_mode = state.get("previous_mode")
         last_time = state.get("last_time")
         tracker._last_time = datetime.fromisoformat(last_time) if last_time else None
-        tracker.updates = [
-            OnlineUpdate(
-                time=datetime.fromisoformat(doc["time"]),
-                step_change=doc["step_change"],
-                is_event=doc["is_event"],
-                mode_id=doc["mode_id"],
-                is_new_mode=doc["is_new_mode"],
-                mode_similarity=doc["mode_similarity"],
-                recurred=doc["recurred"],
-            )
-            for doc in state["updates"]
-        ]
+        tracker.updates = [_update_from_state(doc) for doc in state["updates"]]
+        tracker._num_events = sum(1 for u in tracker.updates if u.is_event)
+        tracker._num_recurrences = sum(1 for u in tracker.updates if u.recurred)
         return tracker
 
     def mode_timeline(self) -> list[tuple[int, datetime, datetime]]:
@@ -263,3 +461,40 @@ class OnlineFenrir:
             else:
                 segments.append((update.mode_id, update.time, update.time))
         return segments
+
+
+def fold_delta_state(state: Mapping, delta: Mapping) -> dict:
+    """Fold one ``to_state(updates_after=...)`` delta onto its base.
+
+    ``state`` is a full snapshot document; ``delta`` must chain exactly
+    from it (its ``updates_after``/``exemplars_after`` counts equal the
+    base's list lengths, and its catalog extends the base's — the
+    catalog is append-only). Returns a new full snapshot document.
+    Raises :class:`ValueError` on any chain mismatch.
+    """
+    if delta.get("version") != STATE_VERSION or delta.get("kind") != "delta":
+        raise ValueError("not a delta segment")
+    base_updates = list(state["updates"])
+    if delta["updates_after"] != len(base_updates):
+        raise ValueError(
+            f"delta chains from {delta['updates_after']} updates, "
+            f"base has {len(base_updates)}"
+        )
+    base_exemplars = list(state["exemplars"])
+    if delta["exemplars_after"] != len(base_exemplars):
+        raise ValueError(
+            f"delta chains from {delta['exemplars_after']} exemplars, "
+            f"base has {len(base_exemplars)}"
+        )
+    base_catalog = list(state["catalog"])
+    new_catalog = list(delta["catalog"])
+    if new_catalog[: len(base_catalog)] != base_catalog:
+        raise ValueError("delta catalog does not extend the base catalog")
+    folded = dict(state)
+    folded["catalog"] = new_catalog
+    folded["exemplars"] = base_exemplars + list(delta["exemplars"])
+    folded["updates"] = base_updates + list(delta["updates"])
+    folded["previous"] = delta["previous"]
+    folded["previous_mode"] = delta["previous_mode"]
+    folded["last_time"] = delta["last_time"]
+    return folded

@@ -104,6 +104,28 @@ class RoutingVector:
     # -- construction ------------------------------------------------------
 
     @classmethod
+    def _trusted(
+        cls,
+        networks: tuple[str, ...],
+        codes: np.ndarray,
+        catalog: StateCatalog,
+        time: Optional[datetime] = None,
+    ) -> "RoutingVector":
+        """Construct without re-validating ``codes``.
+
+        For hot paths that rebuild a vector from codes this class
+        already validated (e.g. re-stamping the previous round's codes
+        when an identical assignment recurs); ``codes`` must be an
+        int32 array of the right length with in-catalog values.
+        """
+        vector = cls.__new__(cls)
+        vector.networks = networks
+        vector.codes = codes
+        vector.catalog = catalog
+        vector.time = time
+        return vector
+
+    @classmethod
     def from_mapping(
         cls,
         assignment: Mapping[str, str],

@@ -20,14 +20,21 @@ long-lived, queryable network service:
 See ``docs/serving.md`` for the wire protocol and durability model.
 """
 
-from .client import OverloadedError, ServeClient, ServeClientError
+from .client import (
+    BatchRejectedError,
+    OverloadedError,
+    ServeClient,
+    ServeClientError,
+)
 from .journal import JournalError, JournalRecord, JournalWriter, read_journal
 from .metrics import LatencyRecorder, ServerMetrics
-from .monitor import DurableMonitor, MonitorError, ReplayReport
+from .monitor import BatchResult, DurableMonitor, MonitorError, ReplayReport
 from .protocol import FrameError, FrameTooLarge, MAX_FRAME
 from .server import FenrirServer, ServeConfig
 
 __all__ = [
+    "BatchRejectedError",
+    "BatchResult",
     "DurableMonitor",
     "FenrirServer",
     "FrameError",

@@ -10,12 +10,18 @@ concurrency lives.
 from __future__ import annotations
 
 import socket
+import time as _time
 from datetime import datetime
 from typing import Iterable, Mapping, Optional, Sequence
 
 from . import protocol
 
-__all__ = ["ServeClientError", "OverloadedError", "ServeClient"]
+__all__ = [
+    "ServeClientError",
+    "OverloadedError",
+    "BatchRejectedError",
+    "ServeClient",
+]
 
 
 class ServeClientError(RuntimeError):
@@ -29,6 +35,23 @@ class ServeClientError(RuntimeError):
 
 class OverloadedError(ServeClientError):
     """The monitor's ingest queue is full; back off and retry."""
+
+
+class BatchRejectedError(ServeClientError):
+    """A batched ingest hit an invalid record partway through.
+
+    Everything before ``index`` was applied and durably acknowledged —
+    ``applied`` holds those update documents — and nothing at or after
+    ``index`` was. ``index`` is absolute into the rounds the caller
+    passed, not relative to the failing wire batch.
+    """
+
+    def __init__(
+        self, code: str, message: str, response: dict, index: int, applied: list[dict]
+    ) -> None:
+        super().__init__(code, f"round {index}: {message}", response)
+        self.index = index
+        self.applied = applied
 
 
 class ServeClient:
@@ -106,8 +129,66 @@ class ServeClient:
     def ingest_series(
         self, monitor: str, rounds: Iterable[tuple[Mapping[str, str], datetime]]
     ) -> list[dict]:
-        """Ingest many rounds; returns the per-round responses."""
+        """Ingest many rounds one request each; per-round responses."""
         return [self.ingest(monitor, states, when) for states, when in rounds]
+
+    def ingest_batch(
+        self, monitor: str, rounds: Sequence[tuple[Mapping[str, str], datetime | str]]
+    ) -> dict:
+        """One ``ingest_batch`` request; returns the raw response.
+
+        The response is ``ok: true`` even on partial failure — check
+        ``failed`` (None when every round was applied). Most callers
+        want :meth:`ingest_many`, which chunks, retries overload, and
+        raises on rejected records.
+        """
+        documents = []
+        for states, when in rounds:
+            time_text = when.isoformat() if isinstance(when, datetime) else when
+            documents.append({"time": time_text, "states": dict(states)})
+        return self.request("ingest_batch", monitor=monitor, rounds=documents)
+
+    def ingest_many(
+        self,
+        monitor: str,
+        rounds: Sequence[tuple[Mapping[str, str], datetime | str]],
+        batch_size: int = 128,
+        retry_overload: bool = True,
+        backoff_seconds: float = 0.05,
+    ) -> list[dict]:
+        """Stream ``rounds`` in batches; returns one update doc per round.
+
+        Overload responses are retried after a short backoff (safe: an
+        overloaded batch was rejected before anything was enqueued, so
+        the retry cannot double-apply). A rejected record raises
+        :class:`BatchRejectedError` carrying the absolute index of the
+        bad round and every update applied before it.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        applied: list[dict] = []
+        for start in range(0, len(rounds), batch_size):
+            chunk = rounds[start : start + batch_size]
+            while True:
+                try:
+                    response = self.ingest_batch(monitor, chunk)
+                except OverloadedError:
+                    if not retry_overload:
+                        raise
+                    _time.sleep(backoff_seconds)
+                    continue
+                break
+            applied.extend(response["results"])
+            failed = response.get("failed")
+            if failed is not None:
+                raise BatchRejectedError(
+                    failed["error"],
+                    failed["message"],
+                    response,
+                    index=start + failed["index"],
+                    applied=applied,
+                )
+        return applied
 
     def query(
         self, monitor: str, states: Optional[Mapping[str, str]] = None

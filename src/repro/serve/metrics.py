@@ -8,6 +8,7 @@ sustained load.
 
 from __future__ import annotations
 
+import math
 from collections import Counter, deque
 from typing import Deque, Dict
 
@@ -31,10 +32,17 @@ class LatencyRecorder:
 
     @staticmethod
     def _percentile(ordered: list[float], fraction: float) -> float:
+        """Nearest-rank percentile: the smallest sample with at least
+        ``fraction`` of the distribution at or below it.
+
+        The rank is ``ceil(fraction · n)`` (1-based); the once-used
+        ``int(fraction · n)`` 0-based index over-read by one position —
+        p50 of ``[1, 2]`` came back 2.
+        """
         if not ordered:
             return 0.0
-        index = min(len(ordered) - 1, int(fraction * len(ordered)))
-        return ordered[index]
+        index = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[min(len(ordered) - 1, index)]
 
     def summary(self) -> dict:
         """``{command: {count, p50_ms, p99_ms, max_ms}}`` for stats."""

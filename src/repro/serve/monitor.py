@@ -27,12 +27,22 @@ from .journal import (
     JournalRecord,
     JournalTail,
     JournalWriter,
+    _canonical,
+    discard_deltas,
     read_journal,
     read_snapshot,
+    record_line,
+    write_delta,
     write_snapshot,
 )
 
-__all__ = ["MonitorError", "ReplayReport", "DurableMonitor", "valid_monitor_name"]
+__all__ = [
+    "MonitorError",
+    "ReplayReport",
+    "BatchResult",
+    "DurableMonitor",
+    "valid_monitor_name",
+]
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
@@ -56,6 +66,29 @@ class ReplayReport:
     elapsed_seconds: float
     tail: Optional[JournalTail] = None
     skipped_records: int = 0  # journaled but unapplyable (never acknowledged)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one :meth:`DurableMonitor.ingest_batch` call.
+
+    The contract is *valid prefix applied*: ``updates`` covers every
+    record up to (not including) the first invalid one, all of which
+    are journaled under a single group commit and therefore durable.
+    ``error_index``/``error`` describe the first rejected record, or
+    are None when the whole batch was accepted; ``error_kind`` is
+    ``"invalid_states"`` or ``"out_of_order"`` so callers can map the
+    rejection to their own error taxonomy without parsing the message.
+    """
+
+    updates: tuple[OnlineUpdate, ...]
+    error_index: Optional[int] = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+
+    @property
+    def accepted(self) -> int:
+        return len(self.updates)
 
 
 def _validated_states(states: Mapping[str, str]) -> dict[str, str]:
@@ -90,9 +123,24 @@ class DurableMonitor:
     replay: Optional[ReplayReport] = None
     _journal: JournalWriter = field(init=False, repr=False)
     _since_snapshot: int = field(default=0, init=False, repr=False)
+    _checkpoint_updates: int = field(default=0, init=False, repr=False)
+    _checkpoint_exemplars: int = field(default=0, init=False, repr=False)
+    # Recurring-round fast path: routing results recur, so consecutive
+    # rounds usually carry the same states mapping. Cache the last
+    # validated mapping and its canonical JSON fragment; a repeat skips
+    # re-validation and re-serialization (the journal bytes are
+    # identical either way — see journal.record_line).
+    _last_states: Optional[dict] = field(default=None, init=False, repr=False)
+    _last_states_json: Optional[str] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._journal = JournalWriter(self.directory / JOURNAL_FILE, fsync=self.fsync)
+        # The tracker state as constructed is what the on-disk
+        # checkpoint chain currently covers (create() snapshots the
+        # empty tracker; open() restores from the chain); record it so
+        # the first incremental checkpoint writes only newer rounds.
+        self._checkpoint_updates = len(self.tracker.updates)
+        self._checkpoint_exemplars = self.tracker.num_modes
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -115,7 +163,9 @@ class DurableMonitor:
         directory = Path(data_dir) / name
         if directory.exists():
             raise MonitorError(f"monitor already exists: {name!r}")
-        directory.mkdir(parents=True)
+        # Build (and thereby validate — thresholds, weight shape and
+        # signs) the tracker *before* touching the filesystem, so a bad
+        # config cannot leave an empty monitor directory behind.
         tracker = OnlineFenrir(
             networks=networks,
             event_threshold=event_threshold,
@@ -123,6 +173,7 @@ class DurableMonitor:
             policy=policy,
             weights=None if weights is None else np.asarray(weights, dtype=np.float64),
         )
+        directory.mkdir(parents=True)
         # Checkpoint the empty tracker immediately: a monitor that was
         # created but never ingested still reopens with its config.
         write_snapshot(directory, 0, tracker.to_state())
@@ -150,18 +201,30 @@ class DurableMonitor:
         started = _time.perf_counter()
         snapshot_seq, state = read_snapshot(directory)
         tracker = OnlineFenrir.from_state(state)
+        chain_updates = len(tracker.updates)
+        chain_exemplars = tracker.num_modes
         records, tail = read_journal(directory / JOURNAL_FILE, after_seq=snapshot_seq)
         skipped = 0
-        for record in records:
-            # A record that parses but cannot be applied (e.g. written by
-            # an older server without pre-journal validation) was never
-            # acknowledged — validation happens before the append, so an
-            # apply failure implies the ack never went out. Skip it and
-            # report rather than leaving the monitor permanently unopenable.
+        # Replay through the same batched apply path ingest_batch uses.
+        # A record that parses but cannot be applied (e.g. written by
+        # an older server without pre-journal validation) was never
+        # acknowledged — validation happens before the append, so an
+        # apply failure implies the ack never went out. Skip it and
+        # report rather than leaving the monitor permanently unopenable;
+        # ingest() appends nothing on failure, so the update count tells
+        # us exactly where to resume.
+        remaining = records
+        while remaining:
+            applied_before = len(tracker.updates)
             try:
-                tracker.ingest(record.states, record.time)
+                tracker.ingest_many(
+                    [(record.states, record.time) for record in remaining]
+                )
+                remaining = []
             except Exception:
+                applied_now = len(tracker.updates) - applied_before
                 skipped += 1
+                remaining = remaining[applied_now + 1:]
         seq = records[-1].seq if records else snapshot_seq
         monitor = cls(
             name=name,
@@ -179,6 +242,14 @@ class DurableMonitor:
                 skipped_records=skipped,
             ),
         )
+        # The on-disk checkpoint chain covers only the snapshot's state;
+        # replayed rounds still live in the journal. Point the
+        # incremental bookkeeping at the chain, not the live tracker, so
+        # the next checkpoint() folds the replayed rounds in instead of
+        # silently dropping them from the chain.
+        monitor._checkpoint_updates = chain_updates
+        monitor._checkpoint_exemplars = chain_exemplars
+        monitor._since_snapshot = len(records) - skipped
         if tail is not None or skipped:
             # Dropped tails and skipped records are unacknowledged
             # garbage; rewrite the journal to the applied prefix so they
@@ -191,6 +262,20 @@ class DurableMonitor:
 
     # -- operations ----------------------------------------------------------
 
+    def _clean_states(self, states: Mapping[str, str]) -> tuple[dict, str]:
+        """Validated copy of ``states`` plus its canonical JSON fragment.
+
+        A round repeating the previous round's mapping (the common case
+        in a recurring-routing stream) reuses the already-validated
+        dict and its serialization instead of redoing both.
+        """
+        if self._last_states is not None and states == self._last_states:
+            return self._last_states, self._last_states_json
+        clean = _validated_states(states)
+        self._last_states = clean
+        self._last_states_json = _canonical(clean)
+        return clean, self._last_states_json
+
     def ingest(self, states: Mapping[str, str], when: datetime) -> OnlineUpdate:
         """Durably apply one measurement round.
 
@@ -199,27 +284,109 @@ class DurableMonitor:
         journaled iff its update is returned — an acknowledged round is
         exactly a replayable round.
         """
-        clean = _validated_states(states)
+        clean, states_json = self._clean_states(states)
         last = self.tracker.last_time
         if last is not None and when <= last:
             raise MonitorError(
                 f"observations must move forward in time: {when} after {last}"
             )
         record = JournalRecord(seq=self.seq + 1, time=when, states=clean)
-        self._journal.append(record)
+        self._journal.append_lines((record_line(record, states_json),))
         update = self.tracker.ingest(record.states, record.time)
         self.seq = record.seq
         self._since_snapshot += 1
         if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
-            self.snapshot()
+            self.checkpoint()
         return update
 
-    def snapshot(self) -> int:
-        """Checkpoint now; returns the sequence number captured."""
-        write_snapshot(self.directory, self.seq, self.tracker.to_state())
+    def ingest_batch(
+        self, rounds: Sequence[tuple[Mapping[str, str], datetime]]
+    ) -> BatchResult:
+        """Durably apply many rounds under one group commit.
+
+        Validation runs record by record, in order, *before* anything
+        touches the journal: the valid prefix (everything up to the
+        first bad states mapping or time-ordering violation) is then
+        appended with a single flush/fsync, applied, and acknowledged
+        together. The tracker apply cannot fail after validation, so —
+        exactly as for single :meth:`ingest` — a record is journaled
+        iff its update is returned. The journal bytes are identical to
+        the equivalent sequence of single ingests.
+        """
+        last = self.tracker.last_time
+        accepted: list[JournalRecord] = []
+        lines: list[str] = []
+        error_index: Optional[int] = None
+        error: Optional[str] = None
+        error_kind: Optional[str] = None
+        for index, (states, when) in enumerate(rounds):
+            try:
+                clean, states_json = self._clean_states(states)
+            except MonitorError as exc:
+                error_index, error, error_kind = index, str(exc), "invalid_states"
+                break
+            if last is not None and when <= last:
+                error_index = index
+                error = f"observations must move forward in time: {when} after {last}"
+                error_kind = "out_of_order"
+                break
+            record = JournalRecord(
+                seq=self.seq + len(accepted) + 1, time=when, states=clean
+            )
+            accepted.append(record)
+            lines.append(record_line(record, states_json))
+            last = when
+        self._journal.append_lines(lines)
+        updates = self.tracker.ingest_many(
+            [(record.states, record.time) for record in accepted]
+        )
+        self.seq += len(accepted)
+        self._since_snapshot += len(accepted)
+        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
+            self.checkpoint()
+        return BatchResult(
+            updates=tuple(updates),
+            error_index=error_index,
+            error=error,
+            error_kind=error_kind,
+        )
+
+    def checkpoint(self) -> int:
+        """Incremental checkpoint: persist only rounds since the last one.
+
+        Writes a delta segment (O(rounds since last checkpoint) bytes,
+        independent of total history) and resets the journal. This is
+        what the ``snapshot_every`` cadence calls; an explicit
+        :meth:`snapshot` compacts the chain back into one base file.
+        """
+        delta = self.tracker.to_state(
+            updates_after=self._checkpoint_updates,
+            exemplars_after=self._checkpoint_exemplars,
+        )
+        write_delta(self.directory, self.seq, delta)
         self._journal.reset()
-        self._since_snapshot = 0
+        self._mark_checkpoint()
         return self.seq
+
+    def snapshot(self) -> int:
+        """Full checkpoint + compaction; returns the sequence captured.
+
+        Rewrites the base snapshot from the live tracker, then discards
+        the (now redundant) delta segments and journal. Crash-safe in
+        any interleaving: leftover deltas carry a seq at or below the
+        new base's and are skipped at read time, leftover journal
+        entries likewise.
+        """
+        write_snapshot(self.directory, self.seq, self.tracker.to_state())
+        discard_deltas(self.directory)
+        self._journal.reset()
+        self._mark_checkpoint()
+        return self.seq
+
+    def _mark_checkpoint(self) -> None:
+        self._checkpoint_updates = len(self.tracker.updates)
+        self._checkpoint_exemplars = self.tracker.num_modes
+        self._since_snapshot = 0
 
     def describe(self) -> dict:
         """Summary document served by the ``query`` command."""
@@ -230,8 +397,8 @@ class DurableMonitor:
             "networks": len(tracker.networks),
             "rounds": len(tracker.updates),
             "modes": tracker.num_modes,
-            "events": len(tracker.events()),
-            "recurrences": len(tracker.recurrences()),
+            "events": tracker.num_events,
+            "recurrences": tracker.num_recurrences,
             "seq": self.seq,
             "last_time": last.isoformat() if last else None,
             "current_mode": tracker.updates[-1].mode_id if tracker.updates else None,

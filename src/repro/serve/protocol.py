@@ -51,7 +51,16 @@ _LENGTH = struct.Struct(">I")
 #: that a garbage length prefix cannot make the server buffer gigabytes.
 MAX_FRAME = 4 * 1024 * 1024
 
-COMMANDS = ("create", "ingest", "query", "timeline", "stats", "snapshot", "list")
+COMMANDS = (
+    "create",
+    "ingest",
+    "ingest_batch",
+    "query",
+    "timeline",
+    "stats",
+    "snapshot",
+    "list",
+)
 
 ERR_BAD_FRAME = "bad_frame"
 ERR_BAD_REQUEST = "bad_request"

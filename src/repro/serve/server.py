@@ -155,31 +155,45 @@ class FenrirServer:
 
     # -- ingest path ---------------------------------------------------------
 
+    def _count_update(self, update) -> None:
+        self.metrics.increment("rounds_ingested")
+        if update.is_event:
+            self.metrics.increment("events_detected")
+        if update.is_new_mode:
+            self.metrics.increment("modes_opened")
+        if update.recurred:
+            self.metrics.increment("recurrences")
+
     async def _drain_ingests(self, runtime: _MonitorRuntime) -> None:
-        """Writer task: journal + apply queued ingests one at a time."""
+        """Writer task: journal + apply queued ingests one at a time.
+
+        Queue entries are tagged ``("one", (states, when), future)`` or
+        ``("batch", rounds, future)``; batches go through the monitor's
+        group-commit path (one journal flush for the whole batch).
+        """
         while True:
-            states, when, future = await runtime.queue.get()
+            kind, payload, future = await runtime.queue.get()
             try:
-                update = runtime.monitor.ingest(states, when)
-            except MonitorError as exc:
-                if not future.cancelled():
-                    future.set_exception(exc)
-            except Exception as exc:  # pragma: no cover - defensive
-                if not future.cancelled():
-                    future.set_exception(exc)
-            else:
-                self.metrics.increment("rounds_ingested")
-                if update.is_event:
-                    self.metrics.increment("events_detected")
-                if update.is_new_mode:
-                    self.metrics.increment("modes_opened")
-                if update.recurred:
-                    self.metrics.increment("recurrences")
-                if not future.cancelled():
+                if kind == "one":
+                    states, when = payload
+                    update = runtime.monitor.ingest(states, when)
+                    self._count_update(update)
                     # Capture seq now, before yielding: by the time the
                     # requesting coroutine resumes, this task may have
                     # applied later records for other connections.
-                    future.set_result((runtime.monitor.seq, update))
+                    result = (runtime.monitor.seq, update)
+                else:
+                    batch = runtime.monitor.ingest_batch(payload)
+                    self.metrics.increment("batches_ingested")
+                    for update in batch.updates:
+                        self._count_update(update)
+                    result = (runtime.monitor.seq, batch)
+            except Exception as exc:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            else:
+                if not future.cancelled():
+                    future.set_result(result)
             finally:
                 runtime.queue.task_done()
 
@@ -196,17 +210,9 @@ class FenrirServer:
                     "'states' must map network names to state label strings; "
                     f"got {key!r}: {value!r}",
                 )
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        try:
-            runtime.queue.put_nowait((states, when, future))
-        except asyncio.QueueFull:
-            self.metrics.increment("overload_rejections")
-            return error_response(
-                ERR_OVERLOADED,
-                f"monitor {runtime.monitor.name!r} ingest queue is full",
-                request_id,
-                queue_depth=runtime.queue.qsize(),
-            )
+        future = self._enqueue(runtime, "one", (states, when))
+        if future is None:
+            return self._overloaded_response(runtime, request_id)
         try:
             seq, update = await future
         except MonitorError as exc:
@@ -222,15 +228,79 @@ class FenrirServer:
             "id": request_id,
             "ok": True,
             "seq": seq,
-            "update": {
-                "time": update.time.isoformat(),
-                "step_change": update.step_change,
-                "is_event": update.is_event,
-                "mode_id": update.mode_id,
-                "is_new_mode": update.is_new_mode,
-                "mode_similarity": update.mode_similarity,
-                "recurred": update.recurred,
-            },
+            "update": _update_document(update),
+        }
+
+    def _enqueue(
+        self, runtime: _MonitorRuntime, kind: str, payload
+    ) -> Optional[asyncio.Future]:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            runtime.queue.put_nowait((kind, payload, future))
+        except asyncio.QueueFull:
+            self.metrics.increment("overload_rejections")
+            return None
+        return future
+
+    def _overloaded_response(self, runtime: _MonitorRuntime, request_id) -> dict:
+        return error_response(
+            ERR_OVERLOADED,
+            f"monitor {runtime.monitor.name!r} ingest queue is full",
+            request_id,
+            queue_depth=runtime.queue.qsize(),
+        )
+
+    async def _ingest_batch(self, request: dict, request_id) -> dict:
+        """Batched ingest: valid prefix applied + acked under one commit.
+
+        The response is ``ok: true`` whenever the *request shape* was
+        acceptable, even if some trailing records were rejected:
+        ``results`` holds one update document per applied record, and
+        ``failed`` (null on full success) reports the first rejected
+        record's index, error code, and message. Everything before
+        ``failed.index`` is durable; everything at and after it was not
+        applied.
+        """
+        runtime = self._runtime_for(request)
+        rounds = request.get("rounds")
+        if not isinstance(rounds, list):
+            raise _RequestError(ERR_BAD_REQUEST, "ingest_batch needs a 'rounds' list")
+        parsed, shape_failure = _parse_rounds(rounds)
+        future = self._enqueue(runtime, "batch", parsed)
+        if future is None:
+            return self._overloaded_response(runtime, request_id)
+        try:
+            seq, batch = await future
+        except Exception as exc:
+            self.metrics.increment("ingest_failures")
+            return error_response(
+                ERR_INTERNAL, f"{type(exc).__name__}: {exc}", request_id
+            )
+        # A monitor-level rejection happened inside the parsed prefix,
+        # so it precedes (and supersedes) any shape failure.
+        if batch.error_index is not None:
+            code = (
+                ERR_OUT_OF_ORDER
+                if batch.error_kind == "out_of_order"
+                else ERR_BAD_REQUEST
+            )
+            failed = {
+                "index": batch.error_index,
+                "error": code,
+                "message": batch.error,
+            }
+        elif shape_failure is not None:
+            index, message = shape_failure
+            failed = {"index": index, "error": ERR_BAD_REQUEST, "message": message}
+        else:
+            failed = None
+        return {
+            "id": request_id,
+            "ok": True,
+            "seq": seq,
+            "accepted": batch.accepted,
+            "results": [_update_document(update) for update in batch.updates],
+            "failed": failed,
         }
 
     # -- other commands ------------------------------------------------------
@@ -259,6 +329,15 @@ class FenrirServer:
             policy = UnknownPolicy(request.get("policy", "pessimistic"))
         except ValueError as exc:
             raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
+        weights = request.get("weights")
+        if weights is not None:
+            if not isinstance(weights, list) or not all(
+                isinstance(w, (int, float)) and not isinstance(w, bool)
+                for w in weights
+            ):
+                raise _RequestError(
+                    ERR_BAD_REQUEST, "'weights' must be a list of numbers"
+                )
         try:
             monitor = DurableMonitor.create(
                 self.config.data_dir,
@@ -267,6 +346,7 @@ class FenrirServer:
                 event_threshold=float(request.get("event_threshold", 0.1)),
                 mode_threshold=float(request.get("mode_threshold", 0.7)),
                 policy=policy,
+                weights=weights,
                 snapshot_every=self.config.snapshot_every,
                 fsync=self.config.fsync,
             )
@@ -351,6 +431,8 @@ class FenrirServer:
         try:
             if command == "ingest":
                 response = await self._ingest(request, request_id)
+            elif command == "ingest_batch":
+                response = await self._ingest_batch(request, request_id)
             elif command == "create":
                 response = self._create(request, request_id)
             elif command == "query":
@@ -450,3 +532,43 @@ def _parse_time(value) -> datetime:
         return datetime.fromisoformat(value)
     except ValueError as exc:
         raise _RequestError(ERR_BAD_REQUEST, f"bad time {value!r}: {exc}") from exc
+
+
+def _update_document(update) -> dict:
+    return {
+        "time": update.time.isoformat(),
+        "step_change": update.step_change,
+        "is_event": update.is_event,
+        "mode_id": update.mode_id,
+        "is_new_mode": update.is_new_mode,
+        "mode_similarity": update.mode_similarity,
+        "recurred": update.recurred,
+    }
+
+
+def _parse_rounds(
+    rounds: list,
+) -> tuple[list[tuple[dict, datetime]], Optional[tuple[int, str]]]:
+    """Shape-check a batch: the parseable prefix plus the first failure.
+
+    Mirrors the monitor's valid-prefix contract at the wire layer: the
+    returned prefix is every round up to (not including) the first one
+    that is not ``{"time": <ISO-8601>, "states": {str: str}}``; the
+    failure (when any) is ``(index, message)``. Deeper validation —
+    string-ness of individual labels, time ordering — happens in
+    :meth:`DurableMonitor.ingest_batch` so the journal contract has a
+    single owner.
+    """
+    parsed: list[tuple[dict, datetime]] = []
+    for index, item in enumerate(rounds):
+        if not isinstance(item, dict):
+            return parsed, (index, f"round {index} must be an object")
+        states = item.get("states")
+        if not isinstance(states, dict):
+            return parsed, (index, f"round {index} needs a 'states' object")
+        try:
+            when = _parse_time(item.get("time"))
+        except _RequestError as exc:
+            return parsed, (index, f"round {index}: {exc.message}")
+        parsed.append((states, when))
+    return parsed, None

@@ -1,0 +1,314 @@
+"""Batched ingest and incremental checkpoints on DurableMonitor.
+
+Two contracts under test:
+
+* ``ingest_batch`` ≡ sequential ``ingest`` — same updates, *identical
+  journal bytes*, same replay state — with the valid-prefix partial
+  failure semantics on top;
+* periodic checkpoints write O(delta) bytes (delta segments), not a
+  full re-serialization of the history, and fold back losslessly on
+  recovery and compaction.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineFenrir
+from repro.serve.journal import JOURNAL_FILE, SNAPSHOT_FILE, read_snapshot
+from repro.serve.monitor import DurableMonitor, MonitorError
+
+BASE = datetime(2025, 1, 1)
+NETWORKS = ["n0", "n1", "n2", "n3", "n4"]
+SITES = ["LAX", "MIA", "AMS"]
+
+
+def make_rounds(count, start=0, seed=0, networks=NETWORKS):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            {n: SITES[int(rng.integers(0, len(SITES)))] for n in networks},
+            BASE + timedelta(hours=start + i),
+        )
+        for i in range(count)
+    ]
+
+
+class TestBatchEquivalence:
+    def test_batch_equals_sequential(self, tmp_path):
+        rounds = make_rounds(40)
+        seq_monitor = DurableMonitor.create(tmp_path, "seq", networks=NETWORKS)
+        for states, when in rounds:
+            seq_monitor.ingest(states, when)
+        batch_monitor = DurableMonitor.create(tmp_path, "bat", networks=NETWORKS)
+        result = batch_monitor.ingest_batch(rounds)
+
+        assert result.error_index is None
+        assert result.accepted == len(rounds)
+        assert list(result.updates) == seq_monitor.tracker.updates
+        assert batch_monitor.seq == seq_monitor.seq
+        assert (
+            batch_monitor.tracker.to_state() == seq_monitor.tracker.to_state()
+        )
+
+    def test_journal_bytes_identical(self, tmp_path):
+        rounds = make_rounds(25)
+        seq_monitor = DurableMonitor.create(tmp_path, "seq", networks=NETWORKS)
+        for states, when in rounds:
+            seq_monitor.ingest(states, when)
+        batch_monitor = DurableMonitor.create(tmp_path, "bat", networks=NETWORKS)
+        batch_monitor.ingest_batch(rounds)
+
+        seq_bytes = (tmp_path / "seq" / JOURNAL_FILE).read_bytes()
+        batch_bytes = (tmp_path / "bat" / JOURNAL_FILE).read_bytes()
+        assert seq_bytes == batch_bytes
+
+    def test_replay_state_identical(self, tmp_path):
+        rounds = make_rounds(30)
+        monitor = DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+        monitor.ingest_batch(rounds)
+        monitor.close()
+
+        oracle = OnlineFenrir(networks=NETWORKS)
+        for states, when in rounds:
+            oracle.ingest(states, when)
+
+        reopened = DurableMonitor.open(tmp_path, "m")
+        assert reopened.tracker.to_state() == oracle.to_state()
+        assert reopened.seq == len(rounds)
+        reopened.close()
+
+    def test_batches_compose_with_single_ingests(self, tmp_path):
+        rounds = make_rounds(30)
+        monitor = DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+        monitor.ingest(*rounds[0])
+        monitor.ingest_batch(rounds[1:20])
+        monitor.ingest(*rounds[20])
+        monitor.ingest_batch(rounds[21:])
+        oracle = OnlineFenrir(networks=NETWORKS)
+        for states, when in rounds:
+            oracle.ingest(states, when)
+        assert monitor.tracker.to_state() == oracle.to_state()
+        assert monitor.seq == len(rounds)
+
+    def test_empty_batch(self, tmp_path):
+        monitor = DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+        result = monitor.ingest_batch([])
+        assert result.accepted == 0
+        assert result.error_index is None
+        assert monitor.seq == 0
+
+
+class TestBatchPartialFailure:
+    def test_invalid_states_mid_batch(self, tmp_path):
+        rounds = make_rounds(10)
+        rounds[6] = ({"n0": 42}, rounds[6][1])  # non-string label
+        monitor = DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+        result = monitor.ingest_batch(rounds)
+        assert result.accepted == 6
+        assert result.error_index == 6
+        assert result.error_kind == "invalid_states"
+        assert monitor.seq == 6
+        # the durable prefix is exactly the accepted records
+        monitor.close()
+        reopened = DurableMonitor.open(tmp_path, "m")
+        assert len(reopened.tracker.updates) == 6
+        reopened.close()
+
+    def test_out_of_order_mid_batch(self, tmp_path):
+        rounds = make_rounds(10)
+        rounds[4] = (rounds[4][0], rounds[2][1])  # time goes backwards
+        monitor = DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+        result = monitor.ingest_batch(rounds)
+        assert result.accepted == 4
+        assert result.error_index == 4
+        assert result.error_kind == "out_of_order"
+        assert "move forward in time" in result.error
+
+    def test_first_record_older_than_monitor(self, tmp_path):
+        rounds = make_rounds(5)
+        monitor = DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+        monitor.ingest_batch(rounds)
+        result = monitor.ingest_batch(rounds)  # same times again
+        assert result.accepted == 0
+        assert result.error_index == 0
+        assert result.error_kind == "out_of_order"
+
+    def test_prefix_before_failure_is_applied_and_durable(self, tmp_path):
+        rounds = make_rounds(8)
+        bad = rounds[:5] + [({"n0": None}, rounds[5][1])] + rounds[6:]
+        monitor = DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+        monitor.ingest_batch(bad)
+        oracle = OnlineFenrir(networks=NETWORKS)
+        for states, when in rounds[:5]:
+            oracle.ingest(states, when)
+        monitor.close()
+        reopened = DurableMonitor.open(tmp_path, "m")
+        assert reopened.tracker.to_state() == oracle.to_state()
+        reopened.close()
+
+
+class TestIncrementalCheckpoints:
+    def test_cadence_writes_delta_segments(self, tmp_path):
+        monitor = DurableMonitor.create(
+            tmp_path, "m", networks=NETWORKS, snapshot_every=10
+        )
+        monitor.ingest_batch(make_rounds(35))
+        deltas = sorted((tmp_path / "m").glob("delta-*.json"))
+        assert len(deltas) == 1  # one batch crossing the cadence once
+        monitor.ingest_batch(make_rounds(10, start=35))
+        deltas = sorted((tmp_path / "m").glob("delta-*.json"))
+        assert len(deltas) == 2
+
+    def test_checkpoint_cost_does_not_grow_with_history(self, tmp_path):
+        """The delta written after a long history is no bigger than one
+        written early: checkpoint cost is O(rounds since checkpoint),
+        not O(total rounds)."""
+        monitor = DurableMonitor.create(
+            tmp_path, "m", networks=NETWORKS, snapshot_every=100
+        )
+        for chunk_start in range(0, 3000, 100):
+            monitor.ingest_batch(make_rounds(100, start=chunk_start))
+        deltas = sorted((tmp_path / "m").glob("delta-*.json"))
+        assert len(deltas) == 30
+        sizes = [path.stat().st_size for path in deltas]
+        # every delta covers 100 rounds; the last (written with 3000
+        # rounds of history behind it) must not have absorbed that
+        # history
+        assert max(sizes) < 2 * min(sizes)
+        full_size = len(
+            json.dumps(monitor.tracker.to_state(), separators=(",", ":"))
+        )
+        assert max(sizes) < full_size / 5
+        monitor.close()
+
+    def test_recovery_folds_deltas(self, tmp_path):
+        rounds = make_rounds(250)
+        monitor = DurableMonitor.create(
+            tmp_path, "m", networks=NETWORKS, snapshot_every=50
+        )
+        monitor.ingest_batch(rounds[:120])
+        monitor.ingest_batch(rounds[120:])
+        monitor.close()
+        oracle = OnlineFenrir(networks=NETWORKS)
+        for states, when in rounds:
+            oracle.ingest(states, when)
+        reopened = DurableMonitor.open(tmp_path, "m")
+        assert reopened.tracker.to_state() == oracle.to_state()
+        assert reopened.seq == len(rounds)
+        reopened.close()
+
+    def test_recovery_folds_deltas_plus_journal_tail(self, tmp_path):
+        """Rounds after the last checkpoint live only in the journal;
+        recovery must fold deltas *and* replay the journal tail."""
+        rounds = make_rounds(130)
+        monitor = DurableMonitor.create(
+            tmp_path, "m", networks=NETWORKS, snapshot_every=50
+        )
+        monitor.ingest_batch(rounds[:100])  # crosses the cadence: checkpoint
+        monitor.ingest_batch(rounds[100:])  # 30 rounds, journal only
+        assert (tmp_path / "m" / JOURNAL_FILE).stat().st_size > 0
+        monitor.close()
+        oracle = OnlineFenrir(networks=NETWORKS)
+        for states, when in rounds:
+            oracle.ingest(states, when)
+        reopened = DurableMonitor.open(tmp_path, "m")
+        assert reopened.tracker.to_state() == oracle.to_state()
+        reopened.close()
+
+    def test_explicit_snapshot_compacts(self, tmp_path):
+        monitor = DurableMonitor.create(
+            tmp_path, "m", networks=NETWORKS, snapshot_every=20
+        )
+        monitor.ingest_batch(make_rounds(75))
+        assert list((tmp_path / "m").glob("delta-*.json"))
+        monitor.snapshot()
+        assert not list((tmp_path / "m").glob("delta-*.json"))
+        assert (tmp_path / "m" / JOURNAL_FILE).stat().st_size == 0
+        seq, state = read_snapshot(tmp_path / "m")
+        assert seq == 75
+        assert state == monitor.tracker.to_state()
+        monitor.close()
+
+    def test_checkpoint_after_reopen_keeps_chain_consistent(self, tmp_path):
+        """Replayed journal rounds are not yet in the checkpoint chain;
+        the first checkpoint after a reopen must fold them in."""
+        rounds = make_rounds(60)
+        monitor = DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+        monitor.ingest_batch(rounds)  # journal only, no checkpoints
+        monitor.close()
+        reopened = DurableMonitor.open(tmp_path, "m")
+        reopened.checkpoint()
+        reopened.close()
+        recovered = DurableMonitor.open(tmp_path, "m")
+        oracle = OnlineFenrir(networks=NETWORKS)
+        for states, when in rounds:
+            oracle.ingest(states, when)
+        assert recovered.tracker.to_state() == oracle.to_state()
+        recovered.close()
+
+    def test_snapshot_file_untouched_by_cadence(self, tmp_path):
+        """Periodic checkpoints must not rewrite the base snapshot —
+        that is the O(rounds²) behaviour being removed."""
+        monitor = DurableMonitor.create(
+            tmp_path, "m", networks=NETWORKS, snapshot_every=10
+        )
+        base_bytes = (tmp_path / "m" / SNAPSHOT_FILE).read_bytes()
+        monitor.ingest_batch(make_rounds(50))
+        assert (tmp_path / "m" / SNAPSHOT_FILE).read_bytes() == base_bytes
+        monitor.close()
+
+
+class TestCreateValidation:
+    def test_bad_weights_fail_before_directory_exists(self, tmp_path):
+        with pytest.raises(ValueError, match="shape"):
+            DurableMonitor.create(
+                tmp_path, "bad", networks=NETWORKS, weights=[1.0, 2.0]
+            )
+        assert not (tmp_path / "bad").exists()
+
+    def test_negative_weights_fail_before_directory_exists(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            DurableMonitor.create(
+                tmp_path, "bad", networks=NETWORKS, weights=[-1.0] * len(NETWORKS)
+            )
+        assert not (tmp_path / "bad").exists()
+
+    def test_bad_threshold_fails_before_directory_exists(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurableMonitor.create(
+                tmp_path, "bad", networks=NETWORKS, event_threshold=3.0
+            )
+        assert not (tmp_path / "bad").exists()
+
+    def test_good_weights_round_trip(self, tmp_path):
+        weights = [2.0, 1.0, 1.0, 0.5, 3.0]
+        monitor = DurableMonitor.create(
+            tmp_path, "m", networks=NETWORKS, weights=weights
+        )
+        monitor.ingest_batch(make_rounds(10))
+        monitor.close()
+        reopened = DurableMonitor.open(tmp_path, "m")
+        assert list(reopened.tracker.weights) == weights
+        assert reopened.tracker.to_state() == monitor.tracker.to_state()
+        reopened.close()
+
+    def test_duplicate_name_still_rejected(self, tmp_path):
+        DurableMonitor.create(tmp_path, "m", networks=NETWORKS).close()
+        with pytest.raises(MonitorError, match="exists"):
+            DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+
+
+class TestDescribeCounters:
+    def test_describe_matches_rescan(self, tmp_path):
+        monitor = DurableMonitor.create(tmp_path, "m", networks=NETWORKS)
+        monitor.ingest_batch(make_rounds(50))
+        description = monitor.describe()
+        assert description["events"] == len(monitor.tracker.events())
+        assert description["recurrences"] == len(monitor.tracker.recurrences())
+        assert description["rounds"] == 50
+        monitor.close()

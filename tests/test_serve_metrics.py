@@ -1,0 +1,58 @@
+"""Unit tests for the stats-layer percentile math.
+
+The original nearest-rank implementation indexed ``int(fraction · n)``
+(0-based), which over-reads by one position — the p50 of ``[1, 2]``
+came back 2. The correct nearest rank is ``ceil(fraction · n)`` in
+1-based terms.
+"""
+
+from __future__ import annotations
+
+from repro.serve.metrics import LatencyRecorder, ServerMetrics
+
+
+class TestPercentile:
+    def test_p50_of_two_samples_is_the_lower(self):
+        assert LatencyRecorder._percentile([1.0, 2.0], 0.50) == 1.0
+
+    def test_p50_of_odd_sample_is_the_median(self):
+        assert LatencyRecorder._percentile([1.0, 2.0, 3.0], 0.50) == 2.0
+
+    def test_known_small_samples(self):
+        ordered = [10.0, 20.0, 30.0, 40.0]
+        assert LatencyRecorder._percentile(ordered, 0.25) == 10.0
+        assert LatencyRecorder._percentile(ordered, 0.50) == 20.0
+        assert LatencyRecorder._percentile(ordered, 0.75) == 30.0
+        assert LatencyRecorder._percentile(ordered, 1.00) == 40.0
+
+    def test_p99_of_hundred_samples(self):
+        ordered = [float(i) for i in range(1, 101)]
+        assert LatencyRecorder._percentile(ordered, 0.99) == 99.0
+        assert LatencyRecorder._percentile(ordered, 0.50) == 50.0
+
+    def test_single_sample(self):
+        assert LatencyRecorder._percentile([5.0], 0.50) == 5.0
+        assert LatencyRecorder._percentile([5.0], 0.99) == 5.0
+
+    def test_empty_is_zero(self):
+        assert LatencyRecorder._percentile([], 0.50) == 0.0
+
+    def test_zero_fraction_is_minimum(self):
+        assert LatencyRecorder._percentile([3.0, 7.0], 0.0) == 3.0
+
+
+class TestSummary:
+    def test_summary_reports_correct_p50(self):
+        recorder = LatencyRecorder()
+        recorder.observe("ingest", 0.001)
+        recorder.observe("ingest", 0.002)
+        summary = recorder.summary()
+        assert summary["ingest"]["count"] == 2
+        assert summary["ingest"]["p50_ms"] == 1.0
+        assert summary["ingest"]["max_ms"] == 2.0
+
+    def test_metrics_snapshot_includes_counters(self):
+        metrics = ServerMetrics()
+        metrics.increment("rounds_ingested", 3)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["rounds_ingested"] == 3

@@ -25,6 +25,7 @@ import pytest
 
 from repro.core.online import OnlineFenrir
 from repro.serve import (
+    BatchRejectedError,
     FenrirServer,
     OverloadedError,
     ServeClient,
@@ -351,6 +352,140 @@ class TestFailurePaths:
             slow.close()
 
 
+class TestBatchCommands:
+    """Wire-level ``ingest_batch``: one round trip, many rounds."""
+
+    def rounds(self, count, start=0):
+        return [
+            (
+                {"x": "LAX" if (start + i) % 3 else "AMS", "y": "LAX"},
+                T0 + timedelta(hours=start + i),
+            )
+            for i in range(count)
+        ]
+
+    def test_batch_matches_sequential_ingest(self, tmp_path):
+        rounds = self.rounds(50)
+        with ServerThread(
+            ServeConfig(data_dir=tmp_path / "data", port=0)
+        ) as running:
+            with connect(running) as client:
+                client.create("one", ["x", "y"])
+                client.create("bat", ["x", "y"])
+                sequential = [
+                    client.ingest("one", states, when)["update"]
+                    for states, when in rounds
+                ]
+                response = client.ingest_batch("bat", rounds)
+                assert response["accepted"] == 50
+                assert response["failed"] is None
+                assert response["seq"] == 50
+                assert response["results"] == sequential
+                one, bat = client.query("one"), client.query("bat")
+                for document in (one, bat):
+                    document.pop("id")
+                    document.pop("monitor")
+                assert one == bat
+
+    def test_ingest_many_returns_all_updates(self, server):
+        rounds = self.rounds(45)
+        with connect(server) as client:
+            client.create("svc", ["x", "y"])
+            updates = client.ingest_many("svc", rounds, batch_size=16)
+            assert len(updates) == 45
+            assert client.query("svc")["rounds"] == 45
+            stats = client.stats()
+            assert stats["counters"]["rounds_ingested"] == 45
+            assert stats["counters"]["batches_ingested"] == 3
+
+    def test_partial_failure_reports_first_bad_record(self, server):
+        rounds = self.rounds(10)
+        rounds[6] = ({"x": 42, "y": "LAX"}, rounds[6][1])  # non-string label
+        with connect(server) as client:
+            client.create("svc", ["x", "y"])
+            response = client.ingest_batch("svc", rounds)
+            assert response["accepted"] == 6
+            assert response["failed"]["index"] == 6
+            assert response["failed"]["error"] == "bad_request"
+            assert client.query("svc")["rounds"] == 6
+            # the stream continues after the durable prefix
+            assert client.ingest("svc", *self.rounds(1, start=20)[0])["seq"] == 7
+
+    def test_out_of_order_round_mid_batch(self, server):
+        rounds = self.rounds(10)
+        rounds[4] = (rounds[4][0], rounds[2][1])
+        with connect(server) as client:
+            client.create("svc", ["x", "y"])
+            response = client.ingest_batch("svc", rounds)
+            assert response["accepted"] == 4
+            assert response["failed"]["index"] == 4
+            assert response["failed"]["error"] == "out_of_order"
+
+    def test_malformed_round_shape_reported(self, server):
+        with connect(server) as client:
+            client.create("svc", ["x", "y"])
+            response = client.request(
+                "ingest_batch",
+                monitor="svc",
+                rounds=[
+                    {"time": T0.isoformat(), "states": {"x": "L", "y": "L"}},
+                    "not a round",
+                ],
+            )
+            assert response["accepted"] == 1
+            assert response["failed"]["index"] == 1
+            assert response["failed"]["error"] == "bad_request"
+
+    def test_rounds_must_be_a_list(self, server):
+        with connect(server) as client:
+            client.create("svc", ["x", "y"])
+            with pytest.raises(ServeClientError) as exc_info:
+                client.request("ingest_batch", monitor="svc", rounds="nope")
+            assert exc_info.value.code == "bad_request"
+
+    def test_ingest_many_raises_with_absolute_index(self, server):
+        rounds = self.rounds(40)
+        rounds[25] = ({"x": None, "y": "LAX"}, rounds[25][1])
+        with connect(server) as client:
+            client.create("svc", ["x", "y"])
+            with pytest.raises(BatchRejectedError) as exc_info:
+                client.ingest_many("svc", rounds, batch_size=10)
+            assert exc_info.value.index == 25
+            assert len(exc_info.value.applied) == 25
+            assert client.query("svc")["rounds"] == 25
+
+    def test_batch_replay_after_restart(self, tmp_path):
+        data_dir = tmp_path / "data"
+        rounds = self.rounds(60)
+        with ServerThread(ServeConfig(data_dir=data_dir, port=0)) as first:
+            with connect(first) as client:
+                client.create("svc", ["x", "y"])
+                client.ingest_many("svc", rounds, batch_size=16)
+                expected = client.timeline("svc")["segments"]
+        with ServerThread(ServeConfig(data_dir=data_dir, port=0)) as second:
+            with connect(second) as client:
+                assert client.timeline("svc")["segments"] == expected
+                assert client.query("svc")["rounds"] == 60
+
+    def test_create_with_weights_over_the_wire(self, server):
+        with connect(server) as client:
+            client.request(
+                "create", monitor="svc", networks=["x", "y"], weights=[2.0, 1.0]
+            )
+            assert client.ingest("svc", {"x": "L", "y": "L"}, T0)["seq"] == 1
+            with pytest.raises(ServeClientError) as exc_info:
+                client.request(
+                    "create", monitor="bad", networks=["x", "y"], weights=[1.0]
+                )
+            assert exc_info.value.code == "bad_request"
+            with pytest.raises(ServeClientError) as exc_info:
+                client.request(
+                    "create", monitor="bad", networks=["x", "y"], weights="heavy"
+                )
+            assert exc_info.value.code == "bad_request"
+            assert client.list_monitors() == ["svc"]
+
+
 def wait_for_port_line(process: subprocess.Popen) -> tuple[str, int]:
     line = process.stdout.readline().decode()
     assert line.startswith("listening on "), f"unexpected readiness line: {line!r}"
@@ -466,3 +601,67 @@ class TestKillAndReplay:
                 for mode_id, start, end in oracle.mode_timeline()
             ]
             assert timeline == expected_segments
+
+    def test_sigkill_mid_batch_then_replay_matches_oracle(self, tmp_path):
+        """Same contract under batched ingest: acked batches survive
+        exactly; an in-flight batch may be journaled wholly, partially
+        (group commit cut mid-write), or not at all — whatever replays
+        must match the oracle extended by the journaled tail."""
+        data_dir = tmp_path / "data"
+        batch_size = 16
+        all_rounds = list(self.rounds(400))
+        process = serve_subprocess(data_dir, snapshot_every=25)
+        try:
+            host, port = wait_for_port_line(process)
+            acked = []
+            with ServeClient(host=host, port=port) as client:
+                client.create("svc", ["x", "y", "z"])
+                for start in range(0, len(all_rounds), batch_size):
+                    if start == 7 * batch_size:
+                        # Kill with a batch about to be in flight.
+                        process.send_signal(signal.SIGKILL)
+                        process.wait(timeout=10)
+                    chunk = all_rounds[start : start + batch_size]
+                    try:
+                        response = client.ingest_batch("svc", chunk)
+                    except (ConnectionError, OSError, ValueError):
+                        break
+                    assert response["failed"] is None
+                    acked.extend(chunk[: response["accepted"]])
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=10)
+
+        assert len(acked) >= 5 * batch_size, "kill landed too early"
+
+        oracle = OnlineFenrir(networks=["x", "y", "z"])
+        for states, when in acked:
+            oracle.ingest(states, when)
+
+        restarted = serve_subprocess(data_dir)
+        try:
+            host, port = wait_for_port_line(restarted)
+            with ServeClient(host=host, port=port) as client:
+                timeline = client.timeline("svc")["segments"]
+                summary = client.query("svc")
+        finally:
+            restarted.send_signal(signal.SIGTERM)
+            try:
+                restarted.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                restarted.kill()
+                restarted.wait(timeout=10)
+
+        # Acked prefix applied; the journal may carry an unacked tail
+        # (the killed batch's group commit landed but its ack did not).
+        assert summary["rounds"] >= len(acked)
+        extra = summary["rounds"] - len(acked)
+        assert extra <= batch_size
+        for states, when in all_rounds[len(acked): len(acked) + extra]:
+            oracle.ingest(states, when)
+        expected_segments = [
+            {"mode_id": mode_id, "start": start.isoformat(), "end": end.isoformat()}
+            for mode_id, start, end in oracle.mode_timeline()
+        ]
+        assert timeline == expected_segments
