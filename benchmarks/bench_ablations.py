@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import Fenrir, FenrirConfig, UnknownPolicy, find_modes
+from repro.core import Fenrir, UnknownPolicy
 from repro.core.cleaning import interpolate_series
 from repro.core.compare import similarity_matrix
 from repro.core.cluster import adaptive_clusters, cut_linkage, hac_linkage

@@ -8,7 +8,6 @@ a smaller CMH shift (toward SAT) lasts two days from 2020-03-06.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.compare import similarity_matrix

@@ -16,7 +16,7 @@ from repro.core import Fenrir
 from repro.core.compare import similarity_matrix
 from repro.datasets import broot
 
-from common import emit, fmt_range
+from common import emit
 
 
 @pytest.fixture(scope="module")

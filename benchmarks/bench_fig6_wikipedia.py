@@ -64,7 +64,7 @@ def test_fig6_wikipedia_drain(study, benchmark):
         else "",
         "",
         "codfw drain destination split "
-        f"(paper: ~75% eqiad / ~25% ulsfo): "
+        "(paper: ~75% eqiad / ~25% ulsfo): "
         + ", ".join(
             f"{site} {count / moved:.0%}" for site, count in sorted(departures.items())
         ),

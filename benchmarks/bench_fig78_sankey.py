@@ -52,7 +52,7 @@ def test_fig78_sankey_flows(study, benchmark):
     lines.append(render_sankey(after_flows, top_per_level=5))
     lines += [
         "",
-        f"share into ARN-A at the second transit hop: "
+        "share into ARN-A at the second transit hop: "
         f"{_share(before_flows, 0, 'ARN-A'):.0%} -> {_share(after_flows, 0, 'ARN-A'):.0%} "
         "(paper: 80% -> 13% at hop 3)",
         f"share into NTT:  {_share(before_flows, 1, 'NTT'):.0%} -> "

@@ -20,7 +20,6 @@ from repro.bgp.policy import Announcement
 from repro.bgp.routing import compute_routes
 from repro.bgp.topology import generate_internet_like
 from repro.core.cluster import hac_linkage
-from repro.core.compare import similarity_matrix
 from repro.core.series import VectorSeries
 from repro.core.vector import StateCatalog
 from repro.parallel import SimilarityEngine

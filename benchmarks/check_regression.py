@@ -1,0 +1,102 @@
+"""Compare two BENCH_serve.json files and fail on throughput regression.
+
+Usage::
+
+    python benchmarks/check_regression.py baseline.json candidate.json \
+        [--max-drop 0.40]
+
+Reads ``throughput_by_batch`` from both files and exits non-zero if any
+batch size present in both dropped by more than ``--max-drop`` (a
+fraction: 0.40 means a 40% drop fails). Improvements and new batch
+sizes never fail; a batch size that vanished from the candidate does,
+because silently losing a measurement is how regressions hide.
+
+The generous default threshold is deliberate: CI runners are noisy
+shared machines, and this gate exists to catch "someone serialized the
+hot path", not a 5% wobble. Tighten it locally on quiet hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+UPDATE_HINT = """\
+If this slowdown is expected (e.g. the batch path deliberately trades
+throughput for a new guarantee), refresh the committed baseline:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    git add BENCH_serve.json
+
+and explain the trade-off in the commit message. Otherwise, profile the
+serve ingest path before merging — `repro client metrics` exposes
+per-command latency histograms and journal fsync timings."""
+
+
+def load_throughput(path: Path) -> dict[str, float]:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"error: {path} does not exist")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+    throughput = document.get("throughput_by_batch")
+    if not isinstance(throughput, dict) or not throughput:
+        sys.exit(f"error: {path} has no throughput_by_batch section")
+    return {str(key): float(value) for key, value in throughput.items()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_serve.json")
+    parser.add_argument("candidate", type=Path, help="freshly measured BENCH_serve.json")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.40,
+        help="fractional throughput drop that fails (default 0.40 = 40%%)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.max_drop < 1.0:
+        parser.error("--max-drop must be a fraction in (0, 1)")
+
+    baseline = load_throughput(args.baseline)
+    candidate = load_throughput(args.candidate)
+
+    failures: list[str] = []
+    for batch in sorted(baseline, key=lambda key: int(key)):
+        before = baseline[batch]
+        after = candidate.get(batch)
+        if after is None:
+            failures.append(
+                f"batch {batch}: present in baseline ({before:.1f} rounds/s) "
+                "but missing from candidate"
+            )
+            continue
+        change = (after - before) / before if before else 0.0
+        marker = "OK"
+        if change < -args.max_drop:
+            marker = "FAIL"
+            failures.append(
+                f"batch {batch}: {before:.1f} -> {after:.1f} rounds/s "
+                f"({change:+.1%}, limit -{args.max_drop:.0%})"
+            )
+        print(
+            f"[{marker:>4}] batch {batch:>4}: baseline {before:>9.1f}  "
+            f"candidate {after:>9.1f}  ({change:+.1%})"
+        )
+
+    if failures:
+        print("\nthroughput regression detected:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        print(f"\n{UPDATE_HINT}", file=sys.stderr)
+        return 1
+    print("no throughput regression beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,6 @@ from datetime import datetime, timedelta
 
 from repro.anycast import (
     AnycastService,
-    AnycastSite,
     AtlasFleet,
     build_playbook,
     recommend,

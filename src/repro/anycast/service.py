@@ -10,7 +10,7 @@ and exposes per-time catchment lookups that the measurement simulators
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime
 from typing import Optional, Sequence
 

@@ -20,7 +20,6 @@ catchment maps between two outcomes:
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from .routing import RoutingOutcome
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from datetime import datetime
-from typing import Optional, Sequence
 
 from .policy import Announcement, Scope
 from .routing import RoutingOutcome, compute_routes

@@ -20,7 +20,7 @@ The three phases implement Gao–Rexford preference exactly:
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from .policy import Announcement, Route, RouteKind, Scope
 from .topology import ASTopology

@@ -150,6 +150,15 @@ def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--interpolation-limit", type=int, default=3)
     parser.add_argument("--no-interpolate", action="store_true")
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="enable tracing and write the run's span tree to PATH "
+        "(.json = JSON tree, anything else = flame-style text)",
+    )
+    parser.add_argument(
+        "--metrics-file", type=Path, default=None, metavar="PATH",
+        help="after the run, dump process metrics to PATH as Prometheus text",
+    )
     parser.add_argument("--heatmap", action="store_true", help="print the Φ heatmap")
     parser.add_argument("--heatmap-size", type=int, default=50)
     parser.add_argument("--stackplot", action="store_true")
@@ -228,6 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync", action="store_true",
         help="fsync each journal append (survives power loss, much slower)",
     )
+    serve.add_argument(
+        "--metrics-file", type=Path, default=None, metavar="PATH",
+        help="periodically dump server metrics to PATH as Prometheus text "
+        "(atomic replace; see --metrics-interval)",
+    )
+    serve.add_argument(
+        "--metrics-interval", type=float, default=10.0, metavar="SECONDS",
+        help="seconds between --metrics-file dumps (default: 10)",
+    )
 
     client = commands.add_parser(
         "client", help="talk to a running repro serve instance"
@@ -273,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     client_commands.add_parser("stats", help="print server counters and latency")
 
+    client_commands.add_parser(
+        "metrics", help="print the server's Prometheus text exposition"
+    )
+
     c_snapshot = client_commands.add_parser(
         "snapshot", help="force a monitor checkpoint now"
     )
@@ -280,6 +302,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     client_commands.add_parser("list", help="list monitors")
     return parser
+
+
+def _with_observability(args: argparse.Namespace, action):
+    """Run ``action`` honoring ``--trace`` / ``--metrics-file``.
+
+    ``--trace`` enables span collection for the duration of the run and
+    writes the tree afterwards — as a JSON document when the path ends
+    in ``.json``, as the flame-style text summary otherwise. The dump
+    happens even when the run raises, so a trace of a failing pipeline
+    shows *which* stage blew up. ``--metrics-file`` writes the process
+    registry as Prometheus text after the run (the offline counterpart
+    of ``repro client metrics``).
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_file", None)
+    if trace_path is None and metrics_path is None:
+        return action()
+    from . import obs
+
+    tracer = obs.get_tracer()
+    was_enabled = obs.enabled()
+    if trace_path is not None:
+        tracer.clear()
+        obs.enable()
+    try:
+        return action()
+    finally:
+        if trace_path is not None:
+            if not was_enabled:
+                obs.disable()
+            text = (
+                tracer.to_json()
+                if trace_path.suffix == ".json"
+                else tracer.flame_text()
+            )
+            trace_path.write_text(text)
+            print(f"trace written to {trace_path}", file=sys.stderr)
+        if metrics_path is not None:
+            obs.write_metrics_file(metrics_path)
+            print(f"metrics written to {metrics_path}", file=sys.stderr)
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -296,6 +358,16 @@ def _run_serve(args: argparse.Namespace) -> int:
         fsync=args.fsync,
     )
 
+    async def dump_metrics_forever(server: FenrirServer) -> None:
+        from .obs import write_metrics_file
+
+        while True:
+            await asyncio.sleep(args.metrics_interval)
+            try:
+                write_metrics_file(args.metrics_file, server.registry)
+            except OSError as exc:
+                print(f"metrics dump failed: {exc}", file=sys.stderr)
+
     async def run() -> None:
         server = FenrirServer(config)
         await server.start()
@@ -303,11 +375,22 @@ def _run_serve(args: argparse.Namespace) -> int:
         # Machine-readable readiness line: tests and the bench harness
         # parse it to learn an OS-assigned port.
         print(f"listening on {host}:{port}", flush=True)
+        dumper = None
+        if args.metrics_file is not None:
+            dumper = asyncio.get_running_loop().create_task(
+                dump_metrics_forever(server)
+            )
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
             pass
         finally:
+            if dumper is not None:
+                dumper.cancel()
+                # Final dump so short-lived runs still leave a snapshot.
+                from .obs import write_metrics_file
+
+                write_metrics_file(args.metrics_file, server.registry)
             await server.stop()
 
     try:
@@ -391,6 +474,8 @@ def _run_client(args: argparse.Namespace) -> int:
             import json as _json
 
             print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.client_command == "metrics":
+            print(client.metrics(), end="")
         elif args.client_command == "snapshot":
             response = client.snapshot(args.monitor)
             print(f"snapshot of {args.monitor!r} at seq {response['seq']}")
@@ -404,17 +489,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "analyze":
-        _print_report(_load_series(args.series), args)
+        _with_observability(args, lambda: _print_report(_load_series(args.series), args))
     elif args.command == "demo":
         print(f"generating scaled scenario {args.name!r}...", file=sys.stderr)
-        _print_report(_demo_series(args.name), args)
+        series = _demo_series(args.name)
+        _with_observability(args, lambda: _print_report(series, args))
     elif args.command == "convert":
         _save_series(_load_series(args.source), args.destination)
         print(f"wrote {args.destination}")
     elif args.command == "export":
         from .io.plotdata import export_report
 
-        report = Fenrir(_config_from(args)).run(_load_series(args.series))
+        report = _with_observability(
+            args, lambda: Fenrir(_config_from(args)).run(_load_series(args.series))
+        )
         written = export_report(report, args.directory)
         if args.svg:
             written |= {
@@ -426,7 +514,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "explain":
         from .core.explain import explain_event
 
-        report = Fenrir(_config_from(args)).run(_load_series(args.series))
+        report = _with_observability(
+            args, lambda: Fenrir(_config_from(args)).run(_load_series(args.series))
+        )
         if not report.events:
             print("no events detected")
         for event in report.events:

@@ -14,9 +14,9 @@ and distilled into routing vectors for Fenrir (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..bgp.events import RoutingScenario
 from ..bgp.table import RibEntry, RoutingTable

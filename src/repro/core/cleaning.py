@@ -25,7 +25,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from .series import VectorSeries
-from .vector import OTHER, OTHER_CODE, UNKNOWN_CODE, RoutingVector
+from .vector import OTHER_CODE, UNKNOWN_CODE, RoutingVector
 
 __all__ = [
     "map_unmapped_states",

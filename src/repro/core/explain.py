@@ -9,7 +9,6 @@ from a pipeline report and an optional RTT source.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from datetime import datetime
 from typing import Mapping, Optional
 
 from .detect import DetectedEvent

@@ -14,11 +14,14 @@ set, detected events, aggregates for stack plots).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..obs import get_registry, span
 from .cleaning import fold_micro_catchments, interpolate_series, map_unmapped_states
 from .cluster import LinkageMethod
 from .compare import UnknownPolicy, similarity_matrix
@@ -131,6 +134,21 @@ class Fenrir:
         self.config = config
         self.weight_fn = weight_fn
 
+    @contextmanager
+    def _stage(self, name: str, observations: int):
+        """One pipeline stage: a trace span plus a stage-time histogram."""
+        histogram = get_registry().histogram(
+            "pipeline_stage_seconds",
+            labels={"stage": name},
+            help="Wall time of each Fenrir pipeline stage",
+        )
+        started = perf_counter()
+        try:
+            with span(name, observations=observations):
+                yield
+        finally:
+            histogram.observe(perf_counter() - started)
+
     def clean(self, series: VectorSeries) -> tuple[VectorSeries, list[str]]:
         """§2.4: incorrect-data mapping, micro-catchment fold, gap fill."""
         cleaned = series
@@ -173,28 +191,47 @@ class Fenrir:
         return engine.similarity_matrix(cleaned, weights, config.unknown_policy)
 
     def run(self, series: VectorSeries) -> FenrirReport:
-        """Run the full pipeline and return the report."""
+        """Run the full pipeline and return the report.
+
+        Each of the five stages — clean → weight → compare → cluster →
+        transition — runs inside a :func:`repro.obs.span` (a no-op
+        unless tracing is enabled) and reports its wall time to the
+        process registry's ``pipeline_stage_seconds{stage=...}``
+        histogram, so a ``--trace`` dump and the Prometheus exposition
+        tell the same story about where a run spent its time.
+        """
         if len(series) < 2:
             raise ValueError("Fenrir needs at least two observations")
-        cleaned, folded = self.clean(series)
-        weights = self.weight_fn(cleaned.networks) if self.weight_fn else None
-        similarity = self._similarity(cleaned, weights)
-        modes = find_modes(
-            cleaned,
-            weights=weights,
-            policy=self.config.unknown_policy,
-            method=self.config.linkage,
-            max_clusters=self.config.max_clusters,
-            min_cluster_size=self.config.min_cluster_size,
-            similarity=similarity,
-        )
-        events = detect_events(
-            cleaned,
-            weights=weights,
-            policy=self.config.unknown_policy,
-            threshold=self.config.detection_threshold,
-            sensitivity=self.config.detection_sensitivity,
-        )
+        with span("pipeline", observations=len(series)):
+            with self._stage("clean", len(series)):
+                cleaned, folded = self.clean(series)
+            with self._stage("weight", len(cleaned)):
+                weights = (
+                    self.weight_fn(cleaned.networks) if self.weight_fn else None
+                )
+            with self._stage("compare", len(cleaned)):
+                similarity = self._similarity(cleaned, weights)
+            with self._stage("cluster", len(cleaned)):
+                modes = find_modes(
+                    cleaned,
+                    weights=weights,
+                    policy=self.config.unknown_policy,
+                    method=self.config.linkage,
+                    max_clusters=self.config.max_clusters,
+                    min_cluster_size=self.config.min_cluster_size,
+                    similarity=similarity,
+                )
+            with self._stage("transition", len(cleaned)):
+                events = detect_events(
+                    cleaned,
+                    weights=weights,
+                    policy=self.config.unknown_policy,
+                    threshold=self.config.detection_threshold,
+                    sensitivity=self.config.detection_sensitivity,
+                )
+        get_registry().counter(
+            "pipeline_runs_total", help="Completed Fenrir.run invocations"
+        ).inc()
         return FenrirReport(
             raw=series,
             cleaned=cleaned,

@@ -27,7 +27,6 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from datetime import datetime, timedelta
-from typing import Optional
 
 from ..anycast.service import AnycastService, AnycastSite
 from ..anycast.verfploeter import VerfploeterMapper

@@ -7,7 +7,7 @@ keys with arbitrary values and answers longest-prefix-match in O(32).
 
 from __future__ import annotations
 
-from typing import Any, Generic, Iterator, Optional, TypeVar
+from typing import Generic, Iterator, Optional, TypeVar
 
 from .addr import IPv4Address, IPv4Prefix
 

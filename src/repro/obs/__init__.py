@@ -1,0 +1,62 @@
+"""``repro.obs``: the dependency-free observability layer.
+
+Every hot path in the reproduction reports through this package:
+
+* :mod:`~repro.obs.registry` — the process-wide
+  :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms (plus the bounded-window :class:`LatencyRecorder` the
+  serve ``stats`` command keeps its exact recent percentiles in);
+* :mod:`~repro.obs.trace` — ``span("phase", **tags)`` context
+  managers building a parent/child timing tree, dumpable as JSON or a
+  flame-style text summary, free when disabled;
+* :mod:`~repro.obs.export` — Prometheus text exposition
+  (:func:`render_prometheus`) and atomic metrics-file dumps, the one
+  format behind the serve ``metrics`` wire command, ``repro client
+  metrics``, and ``--metrics-file``.
+
+See ``docs/observability.md`` for the operator-facing story.
+"""
+
+from .export import CONTENT_TYPE, render_prometheus, write_metrics_file
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyRecorder,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .trace import (
+    Span,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LatencyRecorder",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "render_prometheus",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "write_metrics_file",
+]

@@ -1,0 +1,99 @@
+"""Export surfaces: Prometheus text exposition and metrics-file dumps.
+
+:func:`render_prometheus` turns a :class:`MetricsRegistry` into the
+Prometheus text format (version 0.0.4): ``# HELP`` / ``# TYPE``
+headers once per metric family, one sample line per labeled series,
+histograms expanded into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``. Output is deterministically ordered (families
+alphabetically, label sets within a family alphabetically) so it can
+be golden-file tested and diffed across runs.
+
+This is what the serve ``metrics`` wire command returns and what
+``--metrics-file`` writes for offline runs — one format, two
+transports.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+from typing import Optional
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "write_metrics_file"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels, extra: Optional[tuple[str, str]] = None) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry as Prometheus text exposition (sorted, stable)."""
+    if registry is None:
+        registry = get_registry()
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.collect():
+        name = metric.name
+        if name not in seen_headers:
+            seen_headers.add(name)
+            help_text = registry.help_of(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {registry.kind_of(name)}")
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for bound, count in zip(metric.bounds, cumulative):
+                labels = _format_labels(
+                    metric.labels, extra=("le", _format_value(bound))
+                )
+                lines.append(f"{name}_bucket{labels} {count}")
+            labels = _format_labels(metric.labels, extra=("le", "+Inf"))
+            lines.append(f"{name}_bucket{labels} {metric.count}")
+            labels = _format_labels(metric.labels)
+            lines.append(f"{name}_sum{labels} {_format_value(metric.total)}")
+            lines.append(f"{name}_count{labels} {metric.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            labels = _format_labels(metric.labels)
+            lines.append(f"{name}{labels} {_format_value(metric.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_metrics_file(path, registry: Optional[MetricsRegistry] = None) -> Path:
+    """Atomically write the exposition to ``path`` (tmp + replace).
+
+    Scrape-by-file for offline runs: a pipeline batch job or the serve
+    process (``--metrics-file`` with a period) dumps here and a node
+    exporter's textfile collector — or a human with ``cat`` — reads a
+    complete, never half-written snapshot.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(render_prometheus(registry), encoding="utf-8")
+    os.replace(temp, path)
+    return path

@@ -24,12 +24,14 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter as _perf_counter
 from typing import Optional, Union
 
 import numpy as np
 
 from ..core.compare import UnknownPolicy, _check_weights, similarity_matrix
 from ..core.series import VectorSeries
+from ..obs import get_registry, span
 from .cache import MatrixCache, matrix_cache_key
 from .sharedmem import AttachedBundle, BundleSpec, SharedBundle, attach
 from .tiling import (
@@ -89,13 +91,19 @@ def _worker_init(spec: BundleSpec, num_features: int, with_denominators: bool) -
 
 def _worker_tile(
     tile_tuple: tuple[int, int, int, int],
-) -> tuple[tuple[int, int, int, int], np.ndarray, Optional[np.ndarray]]:
+) -> tuple[tuple[int, int, int, int], np.ndarray, Optional[np.ndarray], float]:
+    # Workers time their own compute: the parent cannot see per-tile
+    # cost from the result stream (arrival order reflects scheduling),
+    # and worker processes have no channel to the parent's registry —
+    # so the elapsed seconds ride back with the tile payload and the
+    # parent observes them into `parallel_tile_seconds`.
+    started = _perf_counter()
     tile = Tile(*tile_tuple)
     matches = match_tile(_worker_factored, tile)
     denominators = None
     if _worker_factored.known_weighted is not None:
         denominators = denominator_tile(_worker_factored, tile)
-    return tile_tuple, matches, denominators
+    return tile_tuple, matches, denominators, _perf_counter() - started
 
 
 # -- parent side --------------------------------------------------------------
@@ -129,6 +137,7 @@ class SimilarityEngine:
         codes = series.matrix
         num_times, num_networks = codes.shape
         checked_weights = _check_weights(weights, num_networks)
+        registry = get_registry()
 
         key = None
         if self.cache is not None:
@@ -136,15 +145,32 @@ class SimilarityEngine:
             cached = self.cache.load(key, num_times)
             if cached is not None:
                 self.stats.cache_hits += 1
+                registry.counter(
+                    "parallel_cache_hits_total",
+                    help="Similarity-matrix cache hits",
+                ).inc()
                 return cached
             self.stats.cache_misses += 1
+            registry.counter(
+                "parallel_cache_misses_total",
+                help="Similarity-matrix cache misses",
+            ).inc()
 
         if self.n_jobs == 1 or num_times < 2:
-            result = similarity_matrix(series, weights, policy)
+            with span("similarity.serial", observations=num_times):
+                result = similarity_matrix(series, weights, policy)
             self.stats.serial_runs += 1
+            registry.counter("parallel_serial_runs_total").inc()
         else:
-            result = self._parallel(codes, checked_weights, policy)
+            with span(
+                "similarity.parallel",
+                observations=num_times,
+                jobs=self.n_jobs,
+                tile_size=self.tile_size,
+            ):
+                result = self._parallel(codes, checked_weights, policy)
             self.stats.parallel_runs += 1
+            registry.counter("parallel_runs_total").inc()
 
         if self.cache is not None and key is not None:
             self.cache.store(key, result)
@@ -195,12 +221,24 @@ class SimilarityEngine:
                 initializer=_worker_init,
                 initargs=(shared.spec, features.shape[1], exclude),
             ) as pool:
+                tile_histogram = get_registry().histogram(
+                    "parallel_tile_seconds",
+                    help="Per-tile similarity kernel compute time (worker-side)",
+                )
+                tiles_counter = get_registry().counter(
+                    "parallel_tiles_computed_total"
+                )
                 tile_results = pool.map(
                     _worker_tile,
                     [tile.as_tuple() for tile in tiles],
                     chunksize=max(1, len(tiles) // (4 * workers)),
                 )
-                for tile_tuple, tile_matches, tile_denominators in tile_results:
+                for (
+                    tile_tuple,
+                    tile_matches,
+                    tile_denominators,
+                    tile_seconds,
+                ) in tile_results:
                     tile = Tile(*tile_tuple)
                     matches[
                         tile.row_start : tile.row_stop,
@@ -212,6 +250,8 @@ class SimilarityEngine:
                             tile.col_start : tile.col_stop,
                         ] = tile_denominators
                     self.stats.tiles_computed += 1
+                    tiles_counter.inc()
+                    tile_histogram.observe(tile_seconds)
 
         reflect_lower(matches)
         if not exclude:

@@ -15,7 +15,9 @@ long-lived, queryable network service:
 * :mod:`~repro.serve.client` — the blocking client used by the CLI,
   tests, and load generator;
 * :mod:`~repro.serve.metrics` — counters and latency percentiles for
-  the ``stats`` command.
+  the ``stats`` command, backed by the per-server
+  :class:`repro.obs.MetricsRegistry` that the ``metrics`` command
+  renders as Prometheus text.
 
 See ``docs/serving.md`` for the wire protocol and durability model.
 """

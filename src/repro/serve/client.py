@@ -203,6 +203,10 @@ class ServeClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def metrics(self) -> str:
+        """The server's metrics as Prometheus text exposition."""
+        return self.request("metrics")["text"]
+
     def snapshot(self, monitor: str) -> dict:
         return self.request("snapshot", monitor=monitor)
 

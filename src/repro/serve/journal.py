@@ -40,6 +40,7 @@ import hashlib
 import json
 import os
 import zlib
+from time import perf_counter as _perf_counter
 from dataclasses import dataclass
 from datetime import datetime
 from pathlib import Path
@@ -154,11 +155,20 @@ class JournalWriter:
     append (survives power loss, ~100x slower); the default flush
     survives any death of the *process*, which is the failure mode the
     kill-and-restart tests exercise.
+
+    ``flush_histogram`` (a :class:`repro.obs.Histogram`, optional)
+    observes the wall time of each durability commit — write + flush +
+    fsync when enabled. This is the ``serve_journal_fsync_seconds``
+    series in the server's Prometheus exposition; when None (offline
+    library use) the writer never reads the clock.
     """
 
-    def __init__(self, path: Path, fsync: bool = False) -> None:
+    def __init__(
+        self, path: Path, fsync: bool = False, flush_histogram=None
+    ) -> None:
         self.path = Path(path)
         self.fsync = fsync
+        self.flush_histogram = flush_histogram
         self._stream = self.path.open("a", encoding="utf-8")
 
     def append(self, record: JournalRecord) -> None:
@@ -180,10 +190,18 @@ class JournalWriter:
         payload = "".join(line + "\n" for line in lines)
         if not payload:
             return
+        if self.flush_histogram is None:
+            self._stream.write(payload)
+            self._stream.flush()
+            if self.fsync:
+                os.fsync(self._stream.fileno())
+            return
+        started = _perf_counter()
         self._stream.write(payload)
         self._stream.flush()
         if self.fsync:
             os.fsync(self._stream.fileno())
+        self.flush_histogram.observe(_perf_counter() - started)
 
     def reset(self) -> None:
         """Atomically replace the journal with an empty one."""

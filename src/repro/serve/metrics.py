@@ -1,75 +1,75 @@
-"""Operational counters and latency percentiles for the server.
+"""Server metrics, backed by the unified ``repro.obs`` registry.
 
-Latencies are kept per command in a bounded ring (the most recent
-samples), so ``stats`` reports recent behaviour rather than a lifetime
-average that hides regressions, and memory stays constant under
-sustained load.
+Historically this module owned its own ``Counter`` and latency rings;
+both now live in :mod:`repro.obs` and this is the serve-flavoured view
+over one :class:`~repro.obs.MetricsRegistry`. The ``stats`` command's
+wire format is unchanged — plain counters plus exact recent
+percentiles from the bounded :class:`~repro.obs.LatencyRecorder`
+windows — but every observation also lands in the registry (counters
+as ``serve_<name>_total``, latencies as cumulative
+``serve_command_latency_seconds{command=...}`` histograms), which is
+what the ``metrics`` wire command and ``repro client metrics`` render
+as Prometheus text.
+
+Each :class:`FenrirServer` gets its own registry so servers sharing a
+process (tests, embedded use) never mix their numbers.
 """
 
 from __future__ import annotations
 
-import math
-from collections import Counter, deque
-from typing import Deque, Dict
+from typing import Dict, Optional
+
+from ..obs import Counter, LatencyRecorder, MetricsRegistry
 
 __all__ = ["LatencyRecorder", "ServerMetrics"]
 
 _DEFAULT_WINDOW = 4096
 
-
-class LatencyRecorder:
-    """Per-command ring buffer of recent latencies, in seconds."""
-
-    def __init__(self, window: int = _DEFAULT_WINDOW) -> None:
-        self.window = window
-        self._samples: Dict[str, Deque[float]] = {}
-
-    def observe(self, command: str, seconds: float) -> None:
-        ring = self._samples.get(command)
-        if ring is None:
-            ring = self._samples[command] = deque(maxlen=self.window)
-        ring.append(seconds)
-
-    @staticmethod
-    def _percentile(ordered: list[float], fraction: float) -> float:
-        """Nearest-rank percentile: the smallest sample with at least
-        ``fraction`` of the distribution at or below it.
-
-        The rank is ``ceil(fraction · n)`` (1-based); the once-used
-        ``int(fraction · n)`` 0-based index over-read by one position —
-        p50 of ``[1, 2]`` came back 2.
-        """
-        if not ordered:
-            return 0.0
-        index = max(0, math.ceil(fraction * len(ordered)) - 1)
-        return ordered[min(len(ordered) - 1, index)]
-
-    def summary(self) -> dict:
-        """``{command: {count, p50_ms, p99_ms, max_ms}}`` for stats."""
-        report = {}
-        for command, ring in sorted(self._samples.items()):
-            ordered = sorted(ring)
-            report[command] = {
-                "count": len(ordered),
-                "p50_ms": round(self._percentile(ordered, 0.50) * 1000, 3),
-                "p99_ms": round(self._percentile(ordered, 0.99) * 1000, 3),
-                "max_ms": round(ordered[-1] * 1000, 3) if ordered else 0.0,
-            }
-        return report
+#: Prometheus naming for the registry mirror of each stats counter.
+_COUNTER_PREFIX = "serve_"
+_COUNTER_SUFFIX = "_total"
 
 
 class ServerMetrics:
-    """Everything the ``stats`` command reports about the server."""
+    """Everything the ``stats`` command reports about the server.
 
-    def __init__(self, latency_window: int = _DEFAULT_WINDOW) -> None:
-        self.counters: Counter[str] = Counter()
-        self.latency = LatencyRecorder(latency_window)
+    ``increment``/``counters``/``latency``/``snapshot`` keep their PR 2
+    semantics; the registry passed in (or created here) is the single
+    sink both the ``stats`` and ``metrics`` commands read from.
+    """
+
+    def __init__(
+        self,
+        latency_window: int = _DEFAULT_WINDOW,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.latency = LatencyRecorder(
+            latency_window,
+            registry=self.registry,
+            histogram_name="serve_command_latency_seconds",
+            label_name="command",
+        )
+        self._counters: Dict[str, Counter] = {}  # stats name -> registry counter
 
     def increment(self, name: str, amount: int = 1) -> None:
-        self.counters[name] += amount
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = self.registry.counter(
+                f"{_COUNTER_PREFIX}{name}{_COUNTER_SUFFIX}"
+            )
+        counter.inc(amount)
+
+    @property
+    def counters(self) -> dict:
+        """Stats-shaped ``{name: count}`` view of the registry counters."""
+        return {
+            name: int(counter.value)
+            for name, counter in sorted(self._counters.items())
+        }
 
     def snapshot(self) -> dict:
         return {
-            "counters": dict(sorted(self.counters.items())),
+            "counters": self.counters,
             "latency": self.latency.summary(),
         }

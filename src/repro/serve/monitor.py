@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.compare import UnknownPolicy
 from ..core.online import OnlineFenrir, OnlineUpdate
+from ..obs import MetricsRegistry, span
 from .journal import (
     JOURNAL_FILE,
     JournalRecord,
@@ -121,6 +122,7 @@ class DurableMonitor:
     snapshot_every: int = 0  # 0 = only explicit snapshots
     fsync: bool = False
     replay: Optional[ReplayReport] = None
+    registry: Optional[MetricsRegistry] = None  # observability sink, if any
     _journal: JournalWriter = field(init=False, repr=False)
     _since_snapshot: int = field(default=0, init=False, repr=False)
     _checkpoint_updates: int = field(default=0, init=False, repr=False)
@@ -134,7 +136,19 @@ class DurableMonitor:
     _last_states_json: Optional[str] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._journal = JournalWriter(self.directory / JOURNAL_FILE, fsync=self.fsync)
+        flush_histogram = (
+            self.registry.histogram(
+                "serve_journal_fsync_seconds",
+                help="Journal group-commit latency (write + flush + fsync)",
+            )
+            if self.registry is not None
+            else None
+        )
+        self._journal = JournalWriter(
+            self.directory / JOURNAL_FILE,
+            fsync=self.fsync,
+            flush_histogram=flush_histogram,
+        )
         # The tracker state as constructed is what the on-disk
         # checkpoint chain currently covers (create() snapshots the
         # empty tracker; open() restores from the chain); record it so
@@ -156,6 +170,7 @@ class DurableMonitor:
         weights: Optional[Sequence[float]] = None,
         snapshot_every: int = 0,
         fsync: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "DurableMonitor":
         """Create a new monitor directory with an initial checkpoint."""
         if not valid_monitor_name(name):
@@ -184,6 +199,7 @@ class DurableMonitor:
             seq=0,
             snapshot_every=snapshot_every,
             fsync=fsync,
+            registry=registry,
         )
 
     @classmethod
@@ -193,38 +209,43 @@ class DurableMonitor:
         name: str,
         snapshot_every: int = 0,
         fsync: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "DurableMonitor":
         """Recover a monitor from its snapshot plus journal replay."""
         if not valid_monitor_name(name):
             raise MonitorError(f"invalid monitor name: {name!r}")
         directory = Path(data_dir) / name
         started = _time.perf_counter()
-        snapshot_seq, state = read_snapshot(directory)
-        tracker = OnlineFenrir.from_state(state)
-        chain_updates = len(tracker.updates)
-        chain_exemplars = tracker.num_modes
-        records, tail = read_journal(directory / JOURNAL_FILE, after_seq=snapshot_seq)
-        skipped = 0
-        # Replay through the same batched apply path ingest_batch uses.
-        # A record that parses but cannot be applied (e.g. written by
-        # an older server without pre-journal validation) was never
-        # acknowledged — validation happens before the append, so an
-        # apply failure implies the ack never went out. Skip it and
-        # report rather than leaving the monitor permanently unopenable;
-        # ingest() appends nothing on failure, so the update count tells
-        # us exactly where to resume.
-        remaining = records
-        while remaining:
-            applied_before = len(tracker.updates)
-            try:
-                tracker.ingest_many(
-                    [(record.states, record.time) for record in remaining]
-                )
-                remaining = []
-            except Exception:
-                applied_now = len(tracker.updates) - applied_before
-                skipped += 1
-                remaining = remaining[applied_now + 1:]
+        with span("serve.replay", monitor=name):
+            snapshot_seq, state = read_snapshot(directory)
+            tracker = OnlineFenrir.from_state(state)
+            chain_updates = len(tracker.updates)
+            chain_exemplars = tracker.num_modes
+            records, tail = read_journal(
+                directory / JOURNAL_FILE, after_seq=snapshot_seq
+            )
+            skipped = 0
+            # Replay through the same batched apply path ingest_batch
+            # uses. A record that parses but cannot be applied (e.g.
+            # written by an older server without pre-journal validation)
+            # was never acknowledged — validation happens before the
+            # append, so an apply failure implies the ack never went
+            # out. Skip it and report rather than leaving the monitor
+            # permanently unopenable; ingest() appends nothing on
+            # failure, so the update count tells us exactly where to
+            # resume.
+            remaining = records
+            while remaining:
+                applied_before = len(tracker.updates)
+                try:
+                    tracker.ingest_many(
+                        [(record.states, record.time) for record in remaining]
+                    )
+                    remaining = []
+                except Exception:
+                    applied_now = len(tracker.updates) - applied_before
+                    skipped += 1
+                    remaining = remaining[applied_now + 1:]
         seq = records[-1].seq if records else snapshot_seq
         monitor = cls(
             name=name,
@@ -233,6 +254,7 @@ class DurableMonitor:
             seq=seq,
             snapshot_every=snapshot_every,
             fsync=fsync,
+            registry=registry,
             replay=ReplayReport(
                 snapshot_seq=snapshot_seq,
                 replayed_records=len(records) - skipped,
@@ -284,20 +306,21 @@ class DurableMonitor:
         journaled iff its update is returned — an acknowledged round is
         exactly a replayable round.
         """
-        clean, states_json = self._clean_states(states)
-        last = self.tracker.last_time
-        if last is not None and when <= last:
-            raise MonitorError(
-                f"observations must move forward in time: {when} after {last}"
-            )
-        record = JournalRecord(seq=self.seq + 1, time=when, states=clean)
-        self._journal.append_lines((record_line(record, states_json),))
-        update = self.tracker.ingest(record.states, record.time)
-        self.seq = record.seq
-        self._since_snapshot += 1
-        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
-            self.checkpoint()
-        return update
+        with span("serve.ingest", monitor=self.name):
+            clean, states_json = self._clean_states(states)
+            last = self.tracker.last_time
+            if last is not None and when <= last:
+                raise MonitorError(
+                    f"observations must move forward in time: {when} after {last}"
+                )
+            record = JournalRecord(seq=self.seq + 1, time=when, states=clean)
+            self._journal.append_lines((record_line(record, states_json),))
+            update = self.tracker.ingest(record.states, record.time)
+            self.seq = record.seq
+            self._since_snapshot += 1
+            if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
+                self.checkpoint()
+            return update
 
     def ingest_batch(
         self, rounds: Sequence[tuple[Mapping[str, str], datetime]]
@@ -313,43 +336,46 @@ class DurableMonitor:
         iff its update is returned. The journal bytes are identical to
         the equivalent sequence of single ingests.
         """
-        last = self.tracker.last_time
-        accepted: list[JournalRecord] = []
-        lines: list[str] = []
-        error_index: Optional[int] = None
-        error: Optional[str] = None
-        error_kind: Optional[str] = None
-        for index, (states, when) in enumerate(rounds):
-            try:
-                clean, states_json = self._clean_states(states)
-            except MonitorError as exc:
-                error_index, error, error_kind = index, str(exc), "invalid_states"
-                break
-            if last is not None and when <= last:
-                error_index = index
-                error = f"observations must move forward in time: {when} after {last}"
-                error_kind = "out_of_order"
-                break
-            record = JournalRecord(
-                seq=self.seq + len(accepted) + 1, time=when, states=clean
+        with span("serve.ingest_batch", monitor=self.name, rounds=len(rounds)):
+            last = self.tracker.last_time
+            accepted: list[JournalRecord] = []
+            lines: list[str] = []
+            error_index: Optional[int] = None
+            error: Optional[str] = None
+            error_kind: Optional[str] = None
+            for index, (states, when) in enumerate(rounds):
+                try:
+                    clean, states_json = self._clean_states(states)
+                except MonitorError as exc:
+                    error_index, error, error_kind = index, str(exc), "invalid_states"
+                    break
+                if last is not None and when <= last:
+                    error_index = index
+                    error = (
+                        f"observations must move forward in time: {when} after {last}"
+                    )
+                    error_kind = "out_of_order"
+                    break
+                record = JournalRecord(
+                    seq=self.seq + len(accepted) + 1, time=when, states=clean
+                )
+                accepted.append(record)
+                lines.append(record_line(record, states_json))
+                last = when
+            self._journal.append_lines(lines)
+            updates = self.tracker.ingest_many(
+                [(record.states, record.time) for record in accepted]
             )
-            accepted.append(record)
-            lines.append(record_line(record, states_json))
-            last = when
-        self._journal.append_lines(lines)
-        updates = self.tracker.ingest_many(
-            [(record.states, record.time) for record in accepted]
-        )
-        self.seq += len(accepted)
-        self._since_snapshot += len(accepted)
-        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
-            self.checkpoint()
-        return BatchResult(
-            updates=tuple(updates),
-            error_index=error_index,
-            error=error,
-            error_kind=error_kind,
-        )
+            self.seq += len(accepted)
+            self._since_snapshot += len(accepted)
+            if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
+                self.checkpoint()
+            return BatchResult(
+                updates=tuple(updates),
+                error_index=error_index,
+                error=error,
+                error_kind=error_kind,
+            )
 
     def checkpoint(self) -> int:
         """Incremental checkpoint: persist only rounds since the last one.

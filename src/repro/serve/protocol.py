@@ -58,6 +58,7 @@ COMMANDS = (
     "query",
     "timeline",
     "stats",
+    "metrics",
     "snapshot",
     "list",
 )

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Optional
 
 from ..core.compare import UnknownPolicy
+from ..obs import CONTENT_TYPE, MetricsRegistry, render_prometheus
 from .journal import SNAPSHOT_FILE, JournalError
 from .metrics import ServerMetrics
 from .monitor import DurableMonitor, MonitorError, valid_monitor_name
@@ -75,11 +76,18 @@ class FenrirServer:
 
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
-        self.metrics = ServerMetrics()
+        # One registry per server: the single sink behind both the
+        # `stats` counters/percentiles and the `metrics` Prometheus
+        # exposition. Monitors and journals report into it too.
+        self.registry = MetricsRegistry()
+        self.metrics = ServerMetrics(registry=self.registry)
         self._monitors: dict[str, _MonitorRuntime] = {}
         self._failed: dict[str, str] = {}  # monitor name -> recovery error
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.time()
+        self.registry.gauge(
+            "serve_uptime_seconds", help="Seconds since this server constructed"
+        ).set_function(lambda: time.time() - self._started)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -97,6 +105,7 @@ class FenrirServer:
                     entry.name,
                     snapshot_every=self.config.snapshot_every,
                     fsync=self.config.fsync,
+                    registry=self.registry,
                 )
             except Exception as exc:
                 # One unrecoverable monitor (corrupt snapshot, bad state)
@@ -108,8 +117,8 @@ class FenrirServer:
             self._register(monitor)
             if monitor.replay:
                 self.metrics.increment("monitors_recovered")
-                self.metrics.counters["replayed_records"] += (
-                    monitor.replay.replayed_records
+                self.metrics.increment(
+                    "replayed_records", monitor.replay.replayed_records
                 )
                 self.metrics.latency.observe(
                     "replay", monitor.replay.elapsed_seconds
@@ -151,6 +160,16 @@ class FenrirServer:
             self._drain_ingests(runtime)
         )
         self._monitors[monitor.name] = runtime
+        # Depth is read from the live queue at collection time rather
+        # than mirrored on every put/get — the ingest path stays clean.
+        self.registry.gauge(
+            "serve_queue_depth",
+            labels={"monitor": monitor.name},
+            help="Pending ingests in the monitor's bounded queue",
+        ).set_function(runtime.queue.qsize)
+        self.registry.gauge(
+            "serve_queue_capacity", labels={"monitor": monitor.name}
+        ).set(self.config.queue_size)
         return runtime
 
     # -- ingest path ---------------------------------------------------------
@@ -349,6 +368,7 @@ class FenrirServer:
                 weights=weights,
                 snapshot_every=self.config.snapshot_every,
                 fsync=self.config.fsync,
+                registry=self.registry,
             )
         except (MonitorError, ValueError) as exc:
             raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
@@ -441,6 +461,13 @@ class FenrirServer:
                 response = self._timeline(request, request_id)
             elif command == "stats":
                 response = self._stats(request_id)
+            elif command == "metrics":
+                response = {
+                    "id": request_id,
+                    "ok": True,
+                    "content_type": CONTENT_TYPE,
+                    "text": render_prometheus(self.registry),
+                }
             elif command == "snapshot":
                 response = await self._snapshot(request, request_id)
             elif command == "list":

@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..net.addr import IPv4Address, IPv4Prefix
 from ..net.geo import GeoPoint

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import random
-from datetime import datetime, timedelta
+from datetime import timedelta
 
 import pytest
 
 from repro.anycast.atlas import AtlasFleet, AtlasVP
-from repro.anycast.service import UNREACHABLE, AnycastService, AnycastSite
+from repro.anycast.service import AnycastService, AnycastSite
 from repro.anycast.verfploeter import VerfploeterMapper
 from repro.bgp.clients import allocate_clients
 from repro.bgp.events import SiteDrain

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 import io
 import random
-from datetime import datetime, timedelta
+from datetime import timedelta
 
 import pytest
 
-from repro.bgp.clients import ClientSpace, allocate_clients, zipf_block_counts
+from repro.bgp.clients import allocate_clients, zipf_block_counts
 from repro.bgp.events import (
     InternalMaintenance,
     LinkAdd,
@@ -24,7 +24,7 @@ from repro.bgp.events import (
 )
 from repro.bgp.policy import Announcement, Scope
 from repro.bgp.table import RibEntry, RoutingTable, dump_table, parse_table, routable_blocks
-from repro.net.addr import IPv4Prefix, parse_address, parse_prefix
+from repro.net.addr import parse_address, parse_prefix
 
 
 class TestRibTable:

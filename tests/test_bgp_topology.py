@@ -7,7 +7,6 @@ import random
 import pytest
 
 from repro.bgp.topology import (
-    ASTopology,
     Relationship,
     generate_internet_like,
     stub_ases,

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from datetime import datetime, timedelta
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.cleaning import fold_micro_catchments
 from repro.core.series import VectorSeries
-from repro.core.vector import OTHER, StateCatalog
+from repro.core.vector import StateCatalog
 from repro.core.viz import render_heatmap
 from repro.core.weighting import representation_weights
 from repro.net.addr import parse_prefix
@@ -200,7 +200,6 @@ class TestEcsSupportProbe:
         fleet = GeoFleet(
             sites=[GeoSite("us", city("NYC")), GeoSite("eu", city("LHR"))]
         )
-        locations = {}
 
         def select(prefix, when):
             point = city("NYC") if (prefix.network >> 8) % 2 == 0 else city("LHR")

@@ -15,7 +15,6 @@ import pytest
 
 from repro.core import (
     Fenrir,
-    FenrirConfig,
     detect_events,
     group_entries,
     phi,

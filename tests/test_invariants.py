@@ -7,7 +7,6 @@ interpolation, and weighting must commute with aggregation.
 
 from __future__ import annotations
 
-import random
 from datetime import datetime, timedelta
 
 import numpy as np

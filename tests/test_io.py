@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import io
-from datetime import datetime, timedelta
+from datetime import timedelta
 
 import pytest
 

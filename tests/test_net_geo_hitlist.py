@@ -9,7 +9,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.net.addr import IPv4Prefix, parse_prefix
-from repro.net.geo import CITIES, GeoPoint, city, haversine_km, propagation_rtt_ms
+from repro.net.geo import CITIES, city, haversine_km, propagation_rtt_ms
 from repro.net.hitlist import Hitlist, HitlistEntry
 
 

@@ -1,0 +1,168 @@
+"""Prometheus text exposition: golden file, escaping, file dumps.
+
+The golden file in ``tests/golden/metrics.prom`` pins the exact bytes
+:func:`render_prometheus` emits for a representative registry —
+counters with and without labels, a gauge, a callback gauge, and a
+histogram with its cumulative ``_bucket``/``_sum``/``_count`` series.
+Any formatting drift (ordering, float rendering, header placement)
+shows up as a readable diff against that file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import (
+    CONTENT_TYPE,
+    MetricsRegistry,
+    render_prometheus,
+    write_metrics_file,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+
+def build_reference_registry() -> MetricsRegistry:
+    """A registry exercising every sample shape the renderer emits."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "serve_rounds_ingested_total", help="Rounds accepted by the server"
+    ).inc(42)
+    registry.counter("pipeline_runs_total").inc(3)
+    errors = registry.counter(
+        "serve_errors_total", labels={"command": "ingest"}, help="Errors by command"
+    )
+    errors.inc(2)
+    registry.counter("serve_errors_total", labels={"command": "query"}).inc()
+    depth = registry.gauge(
+        "serve_queue_depth", labels={"monitor": "svc1"}, help="Pending records"
+    )
+    depth.set(7)
+    uptime = registry.gauge("serve_uptime_seconds", help="Seconds since start")
+    uptime.set_function(lambda: 12.5)
+    fsync = registry.histogram(
+        "serve_journal_fsync_seconds",
+        buckets=(0.001, 0.01, 0.1),
+        help="Journal flush+fsync latency",
+    )
+    for value in (0.0005, 0.002, 0.002, 0.05, 2.0):
+        fsync.observe(value)
+    return registry
+
+
+class TestGoldenFile:
+    def test_matches_committed_golden(self):
+        rendered = render_prometheus(build_reference_registry())
+        assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+    def test_deterministic_across_insertion_order(self):
+        # Same series registered in a different order render identically.
+        registry = MetricsRegistry()
+        registry.counter("serve_errors_total", labels={"command": "query"}).inc()
+        registry.gauge("serve_uptime_seconds", help="Seconds since start").set_function(
+            lambda: 12.5
+        )
+        fsync = registry.histogram(
+            "serve_journal_fsync_seconds",
+            buckets=(0.001, 0.01, 0.1),
+            help="Journal flush+fsync latency",
+        )
+        for value in (0.0005, 0.002, 0.002, 0.05, 2.0):
+            fsync.observe(value)
+        registry.counter("pipeline_runs_total").inc(3)
+        registry.gauge(
+            "serve_queue_depth", labels={"monitor": "svc1"}, help="Pending records"
+        ).set(7)
+        registry.counter(
+            "serve_errors_total", labels={"command": "ingest"}, help="Errors by command"
+        ).inc(2)
+        registry.counter(
+            "serve_rounds_ingested_total", help="Rounds accepted by the server"
+        ).inc(42)
+        assert render_prometheus(registry) == GOLDEN.read_text(encoding="utf-8")
+
+
+class TestFormatDetails:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_content_type_pins_text_format(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "x_total", labels={"path": 'a"b\\c\nd'}
+        ).inc()
+        rendered = render_prometheus(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in rendered
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 9.0):
+            histogram.observe(value)
+        rendered = render_prometheus(registry)
+        assert 'h_seconds_bucket{le="1"} 1' in rendered
+        assert 'h_seconds_bucket{le="2"} 2' in rendered
+        assert 'h_seconds_bucket{le="+Inf"} 3' in rendered
+        assert "h_seconds_count 3" in rendered
+
+    def test_nan_gauge_renders_nan(self):
+        registry = MetricsRegistry()
+
+        def boom() -> float:
+            raise RuntimeError("torn down")
+
+        registry.gauge("g").set_function(boom)
+        assert "g NaN" in render_prometheus(registry)
+
+    def test_help_emitted_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels={"k": "a"}, help="things").inc()
+        registry.counter("x_total", labels={"k": "b"}).inc()
+        rendered = render_prometheus(registry)
+        assert rendered.count("# HELP x_total things") == 1
+        assert rendered.count("# TYPE x_total counter") == 1
+
+
+class TestMetricsFile:
+    def test_write_creates_parents_and_content(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc(5)
+        target = tmp_path / "deep" / "nested" / "metrics.prom"
+        written = write_metrics_file(target, registry)
+        assert written == target
+        assert target.read_text(encoding="utf-8") == "# TYPE x_total counter\nx_total 5\n"
+
+    def test_write_replaces_atomically(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total")
+        target = tmp_path / "metrics.prom"
+        counter.inc()
+        write_metrics_file(target, registry)
+        counter.inc()
+        write_metrics_file(target, registry)
+        assert "x_total 2" in target.read_text(encoding="utf-8")
+        assert not target.with_name(target.name + ".tmp").exists()
+
+    def test_default_registry_used_when_none(self, tmp_path):
+        from repro.obs import get_registry, set_registry
+
+        fresh = MetricsRegistry()
+        previous = get_registry()
+        set_registry(fresh)
+        try:
+            fresh.counter("only_here_total").inc()
+            target = write_metrics_file(tmp_path / "m.prom")
+        finally:
+            set_registry(previous)
+        assert "only_here_total 1" in target.read_text(encoding="utf-8")
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    # Regenerate the golden file after an intentional format change:
+    #   PYTHONPATH=src python tests/test_obs_export.py
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(render_prometheus(build_reference_registry()), encoding="utf-8")
+    print(f"wrote {GOLDEN}")

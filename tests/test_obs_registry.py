@@ -1,0 +1,214 @@
+"""Unit and property tests for the ``repro.obs`` metrics registry.
+
+The load-bearing property (a satellite of the observability PR): the
+exact nearest-rank percentiles the ``stats`` command computes from
+:class:`LatencyRecorder` windows and the bucket-bracket estimates the
+Prometheus histograms can give MUST agree — for any workload, the
+histogram's ``percentile_bounds(q)`` brackets the recorder's exact
+``_percentile(sorted(samples), q)``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    LatencyRecorder,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("requests_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_label_sets_are_distinct_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"kind": "a"})
+        b = registry.counter("x_total", labels={"kind": "b"})
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"a": "1", "b": "2"})
+        b = registry.counter("x_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_callback_wins_over_static(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set_function(lambda: 42)
+        assert gauge.value == 42
+        gauge.set(1)  # setting a static value drops the callback
+        assert gauge.value == 1
+
+    def test_dead_callback_reads_nan_not_raises(self):
+        gauge = MetricsRegistry().gauge("depth")
+
+        def boom() -> float:
+            raise RuntimeError("queue torn down")
+
+        gauge.set_function(boom)
+        assert math.isnan(gauge.value)
+
+
+class TestKindCollisions:
+    def test_same_name_different_kind_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="counter"):
+            registry.gauge("thing")
+        with pytest.raises(ValueError, match="counter"):
+            registry.histogram("thing")
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus `le` is inclusive: observe(bound) counts in bound.
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.bucket_counts == [1, 0, 0]
+
+    def test_overflow_goes_to_inf_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(99.0)
+        assert histogram.bucket_counts == [0, 0, 1]
+        assert histogram.cumulative_counts() == [0, 0, 1]
+
+    def test_sum_and_count(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        for value in (0.5, 1.5, 2.5):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(4.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_inf_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+    def test_percentile_bounds_empty(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        assert histogram.percentile_bounds(0.5) == (0.0, 0.0)
+
+    def test_percentile_bounds_simple(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            histogram.observe(value)
+        # nearest-rank p50 of 4 samples = 2nd = 1.5, in (1.0, 2.0]
+        assert histogram.percentile_bounds(0.5) == (1.0, 2.0)
+        assert histogram.percentile_bounds(1.0) == (2.0, 4.0)
+
+    def test_observe_is_thread_tolerant(self):
+        # Not a strict linearizability claim — just that concurrent
+        # observes neither crash nor lose the total count under the GIL.
+        histogram = Histogram("h", buckets=DEFAULT_LATENCY_BUCKETS)
+
+        def hammer() -> None:
+            for _ in range(1000):
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 4000
+        assert sum(histogram.bucket_counts) == 4000
+
+
+class TestLatencyRecorderRegistryMirror:
+    def test_observations_feed_registry_histogram(self):
+        registry = MetricsRegistry()
+        recorder = LatencyRecorder(
+            registry=registry, histogram_name="cmd_seconds", label_name="command"
+        )
+        recorder.observe("ingest", 0.001)
+        recorder.observe("ingest", 0.002)
+        recorder.observe("query", 0.1)
+        ingest = registry.histogram("cmd_seconds", labels={"command": "ingest"})
+        query = registry.histogram("cmd_seconds", labels={"command": "query"})
+        assert ingest.count == 2
+        assert query.count == 1
+
+    def test_without_registry_stays_standalone(self):
+        recorder = LatencyRecorder()
+        recorder.observe("ingest", 0.001)
+        assert recorder.summary()["ingest"]["count"] == 1
+
+
+# -- the recorder/histogram agreement property --------------------------------
+
+_WORKLOADS = st.lists(
+    st.floats(min_value=1e-6, max_value=30.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=300,
+)
+_FRACTIONS = st.sampled_from([0.25, 0.5, 0.75, 0.9, 0.99, 1.0])
+
+
+class TestPercentileAgreement:
+    @settings(max_examples=200, deadline=None)
+    @given(samples=_WORKLOADS, fraction=_FRACTIONS)
+    def test_histogram_bounds_bracket_nearest_rank(self, samples, fraction):
+        """For any workload, the histogram's percentile bucket brackets
+        the exact nearest-rank percentile the recorder reports."""
+        recorder = LatencyRecorder(window=len(samples))
+        histogram = Histogram("h", buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in samples:
+            recorder.observe("cmd", value)
+            histogram.observe(value)
+        exact = recorder._percentile(sorted(samples), fraction)
+        lower, upper = histogram.percentile_bounds(fraction)
+        assert lower <= exact <= upper, (
+            f"exact nearest-rank {exact} outside histogram bracket "
+            f"({lower}, {upper}] for q={fraction} over {len(samples)} samples"
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(samples=_WORKLOADS)
+    def test_recorder_window_and_histogram_counts_agree(self, samples):
+        recorder = LatencyRecorder(window=len(samples))
+        histogram = Histogram("h", buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in samples:
+            recorder.observe("cmd", value)
+            histogram.observe(value)
+        assert recorder.summary()["cmd"]["count"] == histogram.count
+        assert histogram.total == pytest.approx(sum(samples), rel=1e-9)

@@ -1,0 +1,227 @@
+"""Span-tree correctness for ``repro.obs.trace``.
+
+Covers nesting (parent/child structure matches lexical nesting),
+exception safety (spans close, record the error, and never swallow the
+exception), disabled-mode no-ops (the shared noop span allocates no
+tree), and both dump formats.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import disable, enable, enabled, set_tracer, span
+from repro.obs.trace import Tracer, _NOOP
+
+
+@pytest.fixture
+def tracer():
+    """A fresh enabled tracer installed for the test, restored after."""
+    fresh = Tracer()
+    previous = set_tracer(fresh)
+    was_enabled = enabled()
+    enable()
+    try:
+        yield fresh
+    finally:
+        set_tracer(previous)
+        if not was_enabled:
+            disable()
+
+
+class TestNesting:
+    def test_children_attach_to_lexical_parent(self, tracer):
+        with span("root"):
+            with span("a"):
+                with span("a1"):
+                    pass
+            with span("b"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "root"
+        assert [child.name for child in root.children] == ["a", "b"]
+        assert [child.name for child in root.children[0].children] == ["a1"]
+
+    def test_sequential_roots_accumulate(self, tracer):
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_only_roots_in_finished_list(self, tracer):
+        with span("root"):
+            with span("child"):
+                pass
+        assert [root.name for root in tracer.roots] == ["root"]
+
+    def test_elapsed_covers_children(self, tracer):
+        with span("root"):
+            with span("child"):
+                pass
+        (root,) = tracer.roots
+        (child,) = root.children
+        assert root.elapsed >= child.elapsed >= 0.0
+
+    def test_tags_are_recorded(self, tracer):
+        with span("root", stage="compare", n=7):
+            pass
+        (root,) = tracer.roots
+        assert root.tags == {"stage": "compare", "n": 7}
+        assert root.to_dict()["tags"] == {"stage": "compare", "n": "7"}
+
+    def test_threads_get_independent_trees(self, tracer):
+        # The context variable isolates the current span per thread: a
+        # span opened on another thread must not nest under this one.
+        done = threading.Event()
+
+        def other() -> None:
+            with span("thread-root"):
+                pass
+            done.set()
+
+        with span("main-root"):
+            worker = threading.Thread(target=other)
+            worker.start()
+            assert done.wait(5)
+            worker.join()
+        names = sorted(root.name for root in tracer.roots)
+        assert names == ["main-root", "thread-root"]
+        for root in tracer.roots:
+            assert root.children == []
+
+    def test_bounded_memory(self):
+        fresh = Tracer(max_roots=4)
+        previous = set_tracer(fresh)
+        enable()
+        try:
+            for index in range(10):
+                with span(f"s{index}"):
+                    pass
+        finally:
+            set_tracer(previous)
+            disable()
+        assert [root.name for root in fresh.roots] == ["s6", "s7", "s8", "s9"]
+
+
+class TestExceptionSafety:
+    def test_exception_propagates_and_is_recorded(self, tracer):
+        with pytest.raises(ValueError, match="boom"):
+            with span("root"):
+                raise ValueError("boom")
+        (root,) = tracer.roots
+        assert root.status == "error"
+        assert root.error == "ValueError: boom"
+        assert root.elapsed >= 0.0
+
+    def test_failed_child_leaves_parent_usable(self, tracer):
+        with span("root"):
+            with pytest.raises(RuntimeError):
+                with span("bad"):
+                    raise RuntimeError("inner")
+            with span("good"):
+                pass
+        (root,) = tracer.roots
+        assert root.status == "ok"
+        assert [child.name for child in root.children] == ["bad", "good"]
+        assert root.children[0].status == "error"
+        assert root.children[1].status == "ok"
+
+    def test_error_marker_in_dumps(self, tracer):
+        with pytest.raises(RuntimeError):
+            with span("root"):
+                raise RuntimeError("x")
+        document = json.loads(tracer.to_json())
+        assert document["traces"][0]["status"] == "error"
+        assert "RuntimeError" in document["traces"][0]["error"]
+        assert "!" in tracer.flame_text()
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_shared_noop(self):
+        disable()
+        assert span("anything", big="tag") is _NOOP
+        assert span("other") is _NOOP
+
+    def test_disabled_spans_build_no_tree(self):
+        fresh = Tracer()
+        previous = set_tracer(fresh)
+        disable()
+        try:
+            with span("root"):
+                with span("child"):
+                    pass
+        finally:
+            set_tracer(previous)
+        assert fresh.roots == []
+
+    def test_noop_does_not_swallow_exceptions(self):
+        disable()
+        with pytest.raises(ValueError):
+            with span("root"):
+                raise ValueError("still visible")
+
+    def test_enable_disable_toggles(self):
+        enable()
+        assert enabled()
+        assert span("x") is not _NOOP
+        disable()
+        assert not enabled()
+
+
+class TestDumps:
+    def test_json_round_trips(self, tracer):
+        with span("pipeline", series="demo"):
+            with span("compare"):
+                pass
+        document = json.loads(tracer.to_json())
+        (trace,) = document["traces"]
+        assert trace["name"] == "pipeline"
+        assert trace["tags"] == {"series": "demo"}
+        assert trace["children"][0]["name"] == "compare"
+        assert trace["status"] == "ok"
+
+    def test_flame_text_shape(self, tracer):
+        with span("pipeline"):
+            with span("compare"):
+                pass
+            with span("clean"):
+                pass
+        text = tracer.flame_text()
+        lines = [line for line in text.splitlines() if line.strip()]
+        assert lines[0].startswith("pipeline")
+        assert "100.0%" in lines[0]
+        # Children indented beneath the root, slowest first.
+        assert all(line.startswith("  ") for line in lines[1:])
+        assert {line.split()[0] for line in lines[1:]} == {"compare", "clean"}
+
+    def test_clear_resets(self, tracer):
+        with span("root"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.flame_text() == ""
+
+
+class TestPipelineIntegration:
+    def test_run_produces_all_five_stages(self, tracer):
+        from datetime import datetime, timedelta
+
+        from repro.core.pipeline import Fenrir
+        from repro.core.series import VectorSeries
+        from repro.core.vector import StateCatalog
+
+        t0 = datetime(2025, 1, 1)
+        series = VectorSeries(["n1", "n2"], StateCatalog())
+        for index in range(6):
+            series.append_mapping(
+                {"n1": "A", "n2": "B" if index % 2 else "A"},
+                t0 + timedelta(days=index),
+            )
+        Fenrir().run(series)
+        (root,) = [r for r in tracer.roots if r.name == "pipeline"]
+        stages = [child.name for child in root.children]
+        assert stages == ["clean", "weight", "compare", "cluster", "transition"]

@@ -53,7 +53,6 @@ class TestSeasonality:
     def test_period_none_on_recurring_modes(self):
         # Two long modes that recur: similarity climbs back up at long
         # lags, which a schedule never does.
-        size = 30
         labels = np.array([0] * 10 + [1] * 10 + [0] * 10)
         matrix = np.where(labels[:, None] == labels[None, :], 0.9, 0.2)
         np.fill_diagonal(matrix, 1.0)

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.compare import UnknownPolicy, phi
-from repro.core.stats import PhiEstimate, bootstrap_phi, permutation_change_test
+from repro.core.stats import bootstrap_phi, permutation_change_test
 from repro.core.vector import UNKNOWN, RoutingVector, StateCatalog
 from repro.viz_svg import Svg, heatmap_svg, latency_svg, sankey_svg, stackplot_svg
 

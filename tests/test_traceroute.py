@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 import io
-import random
-from datetime import datetime, timedelta
+from datetime import timedelta
 
 import pytest
 
