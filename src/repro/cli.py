@@ -11,6 +11,8 @@ Commands:
 * ``serve`` — run the durable streaming monitoring service
   (``repro.serve``: many named monitors, journaled ingests).
 * ``client CMD`` — create/feed/query monitors on a running server.
+* ``lint`` — fenlint, the repo-specific static-analysis pass
+  (delegates to :mod:`repro.lint.cli`; see ``repro lint --help``).
 """
 
 from __future__ import annotations
@@ -301,6 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
     c_snapshot.add_argument("monitor")
 
     client_commands.add_parser("list", help="list monitors")
+
+    # Registered for `repro --help` discoverability only; `main`
+    # delegates to repro.lint.cli before this parser ever sees the
+    # arguments, so fenlint's own flag set stays in one place.
+    commands.add_parser(
+        "lint",
+        help="fenlint: repo-specific invariant checks (repro lint --help)",
+        add_help=False,
+    )
     return parser
 
 
@@ -486,7 +497,12 @@ def _run_client(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
 
     if args.command == "analyze":
         _with_observability(args, lambda: _print_report(_load_series(args.series), args))

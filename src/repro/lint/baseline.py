@@ -1,0 +1,99 @@
+"""The committed JSON baseline of grandfathered findings.
+
+The baseline maps finding fingerprints (line-independent — see
+:meth:`repro.lint.findings.Finding.fingerprint`) to how many findings
+with that fingerprint are tolerated. A lint run subtracts matches from
+the budget and reports only the overflow, so pre-existing debt can be
+frozen without letting *new* instances of the same violation in the
+same function slip past.
+
+The repo policy (docs/static-analysis.md) is an **empty baseline**:
+every rule's true positives were fixed when the rule shipped, and the
+file exists so the mechanism is exercised and future grandfathering is
+a reviewed, committed diff rather than a lint flag nobody sees.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "fenlint-baseline.json"
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> tolerated-count budget, with a provenance note."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        if document.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {document.get('version')!r} "
+                f"in {path} (expected {_VERSION})"
+            )
+        findings = document.get("findings", {})
+        counts: dict[str, int] = {}
+        notes: dict[str, str] = {}
+        for fingerprint, entry in findings.items():
+            counts[fingerprint] = int(entry["count"])
+            if entry.get("note"):
+                notes[fingerprint] = str(entry["note"])
+        return cls(counts=counts, notes=notes)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            baseline.counts[fingerprint] = baseline.counts.get(fingerprint, 0) + 1
+            baseline.notes.setdefault(
+                fingerprint,
+                f"{finding.rule} at {finding.path}"
+                + (f" in {finding.context}" if finding.context else ""),
+            )
+        return baseline
+
+    def write(self, path: Path) -> None:
+        document = {
+            "version": _VERSION,
+            "findings": {
+                fingerprint: {
+                    "count": count,
+                    **(
+                        {"note": self.notes[fingerprint]}
+                        if fingerprint in self.notes
+                        else {}
+                    ),
+                }
+                for fingerprint, count in sorted(self.counts.items())
+            },
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def filter(self, findings: Iterable[Finding]) -> tuple[list[Finding], int]:
+        """(surviving findings, number absorbed by the baseline)."""
+        budget = dict(self.counts)
+        surviving: list[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if budget.get(fingerprint, 0) > 0:
+                budget[fingerprint] -= 1
+                absorbed += 1
+            else:
+                surviving.append(finding)
+        return surviving, absorbed

@@ -1,0 +1,43 @@
+"""The :class:`Finding` record every rule emits.
+
+A finding pins a rule violation to a file position, but its
+*fingerprint* deliberately excludes the line number: baselines must
+survive unrelated edits above a grandfathered finding, so identity is
+(rule, file, enclosing definition, message) — stable under line drift,
+invalidated the moment the offending code actually changes shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source position."""
+
+    path: str  # project-relative, POSIX separators
+    line: int  # 1-based
+    col: int  # 0-based, matching ast.col_offset
+    rule: str
+    message: str
+    context: str = ""  # dotted enclosing class/function chain, if any
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        body = f"{self.rule}::{self.path}::{self.context}::{self.message}"
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+    def to_document(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "context": self.context,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,69 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = [
+    "call_name",
+    "dotted_name",
+    "iter_calls",
+    "literal_str_arg",
+    "walk_skipping_defs",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        prefix = dotted_name(node.value)
+        if prefix is None:
+            return None
+        return f"{prefix}.{node.attr}"
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The dotted name a call targets, when statically resolvable."""
+    return dotted_name(call.func)
+
+
+def walk_skipping_defs(node: ast.AST) -> Iterator[ast.AST]:
+    """Every descendant of ``node``, not descending into nested
+    function/class definitions or lambdas (their bodies execute in a
+    different context than the enclosing one)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Calls in ``node``'s own execution context (skips nested defs)."""
+    for child in walk_skipping_defs(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def literal_str_arg(call: ast.Call, position: int, keyword: str) -> Optional[str]:
+    """The given argument when it is a literal string, else None."""
+    node: Optional[ast.expr] = None
+    if len(call.args) > position:
+        node = call.args[position]
+    else:
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                node = kw.value
+                break
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

@@ -1,0 +1,84 @@
+"""Rule: ``blocking-io-in-async``.
+
+One synchronous syscall inside a coroutine stalls the whole event loop
+— in ``repro.serve`` that means *every* monitor's ingest path, not
+just the offender's, because one process multiplexes them all. The
+rule flags direct calls to unambiguously blocking primitives inside
+``async def`` bodies; the fix is ``await asyncio.to_thread(...)`` /
+``run_in_executor`` or restructuring.
+
+The blocking set is deliberately tight (no ``Path.mkdir``, no
+``.exists()``): sub-millisecond metadata calls on startup paths are
+not worth an executor hop, and a rule that cries wolf gets disabled.
+Nested ``def``/``lambda`` bodies are skipped — they run wherever they
+are *called*, which per-file AST analysis cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Rule, SourceFile, register
+from ..findings import Finding
+from ._util import call_name, iter_calls
+
+__all__ = ["BlockingIoInAsync"]
+
+#: dotted call targets that always block the calling thread.
+_BLOCKING_DOTTED = {
+    "open",
+    "time.sleep",
+    "os.fsync",
+    "os.fdatasync",
+    "os.replace",
+    "os.rename",
+    "socket.create_connection",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "urllib.request.urlopen",
+}
+
+#: attribute names that block regardless of receiver (Path I/O).
+_BLOCKING_ATTRS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+
+@register
+class BlockingIoInAsync(Rule):
+    name = "blocking-io-in-async"
+    description = (
+        "blocking I/O primitive called directly inside an async def; "
+        "one stalled coroutine stalls every monitor on the loop"
+    )
+    scopes = ("serve",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in iter_calls(node):
+                target = call_name(call)
+                blocking = None
+                if target is not None and target in _BLOCKING_DOTTED:
+                    blocking = target
+                elif (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _BLOCKING_ATTRS
+                ):
+                    blocking = f"<obj>.{call.func.attr}"
+                if blocking is not None:
+                    yield source.finding(
+                        self.name,
+                        call,
+                        f"blocking call {blocking}() inside async def "
+                        f"{node.name!r}; offload with asyncio.to_thread or "
+                        f"run_in_executor",
+                    )

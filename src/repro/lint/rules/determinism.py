@@ -1,0 +1,93 @@
+"""Rule: ``nondeterminism``.
+
+The reproduction substitutes *deterministic seeded substrates* for the
+paper's BGP / Verfploeter / Atlas measurements (PAPER.md §2): two runs
+with the same seed must produce byte-identical catchment series, or
+"rediscovering recurring results" stops meaning anything — a recurring
+mode might just be a re-rolled RNG. The codebase's idiom is an
+explicit ``rng: random.Random`` (or ``np.random.default_rng(seed)``)
+threaded through every builder.
+
+Inside :mod:`repro.core`, :mod:`repro.bgp`, and :mod:`repro.datasets`
+this rule therefore flags the ambient sources of nondeterminism:
+
+* module-level RNG calls — ``random.random()``, ``random.choice()``,
+  an unseeded ``random.Random()`` or ``np.random.default_rng()``, or
+  any legacy ``np.random.*`` global-state function;
+* wall-clock reads — ``time.time()``, ``datetime.now()``,
+  ``date.today()`` and friends. (``perf_counter`` is *not* flagged:
+  measuring elapsed time is fine, deriving data from the clock is
+  not.)
+
+Seeded construction (``random.Random(seed)``,
+``np.random.default_rng(seed)``) and calls on an ``rng`` object are
+exempt by construction — they are the fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..base import Rule, SourceFile, register
+from ..findings import Finding
+from ._util import call_name
+
+__all__ = ["Nondeterminism"]
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "date.today",
+    "datetime.date.today",
+}
+
+
+def _violation(call: ast.Call) -> Optional[str]:
+    dotted = call_name(call)
+    if dotted is None:
+        return None
+    if dotted in _CLOCK_CALLS:
+        return f"wall-clock read {dotted}()"
+    if dotted == "random.Random" or dotted.endswith(".default_rng"):
+        prefix = dotted.rsplit(".", 1)[0]
+        if dotted == "random.Random" or prefix in ("np.random", "numpy.random"):
+            if not call.args and not call.keywords:
+                return f"unseeded {dotted}()"
+            return None
+    if dotted.startswith("random."):
+        return f"module-level RNG call {dotted}()"
+    if dotted.startswith(("np.random.", "numpy.random.")):
+        return f"global-state RNG call {dotted}()"
+    return None
+
+
+@register
+class Nondeterminism(Rule):
+    name = "nondeterminism"
+    description = (
+        "ambient RNG or wall-clock in seeded-substrate code; thread an "
+        "explicit rng/clock parameter so runs are reproducible"
+    )
+    scopes = ("core", "bgp", "datasets")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        # Unlike the async rule, nesting context is irrelevant here: an
+        # ambient RNG call is a violation wherever it sits, so walk
+        # every Call in the file.
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = _violation(node)
+            if message is not None:
+                yield source.finding(
+                    self.name,
+                    node,
+                    f"{message} breaks seeded reproducibility; accept an "
+                    f"explicit rng/clock parameter instead",
+                )

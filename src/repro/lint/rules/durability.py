@@ -1,0 +1,227 @@
+"""Rule: ``journal-durability``.
+
+The write-ahead journal's contract (PR 2/3) is *acknowledged iff
+replayable*: a record is flushed to the OS before the tracker applies
+it and the ack goes out. A ``.write(...)`` to the journal stream that
+can reach a ``return`` without an intervening ``flush()`` leaves the
+record in userspace buffers — the process dies, the ack was sent, the
+round is gone, and no test notices until a kill lands in exactly that
+window.
+
+The rule finds writes to journal-ish streams (receiver named
+``*stream*``, ``*journal*``, or ``*wal*``) and walks the statements
+that execute *after* the write, level by level out of nested blocks,
+asking whether a flush is guaranteed before the function can return:
+
+* a flush call (``.flush()``, ``os.fsync``, or any helper whose name
+  contains ``flush``) guarantees it — including when it sits in an
+  ``if`` with *both* branches flushing, a ``with`` body, or a ``try``
+  ``finally``;
+* a ``return`` reached first is a violation — that path exits with
+  buffered data;
+* a ``raise`` reached first is fine: the append failed, so no ack can
+  have gone out — durability of unacknowledged data is not promised;
+* a flush inside only *one* branch of an ``if``, or inside a loop
+  body, guarantees nothing and the scan continues outward.
+
+This is a conservative approximation of per-path analysis, tuned so
+that ``journal.py``'s real flush discipline (two-branch append with an
+early return, group commit, histogram-timed commit) passes untouched
+— see the good fixture — while dropped flushes on any branch fail.
+"""
+
+from __future__ import annotations
+
+import ast
+from enum import Enum
+from typing import Iterator, Optional
+
+from ..base import Rule, SourceFile, register
+from ..findings import Finding
+from ._util import dotted_name, walk_skipping_defs
+
+__all__ = ["JournalDurability"]
+
+_STREAM_TOKENS = ("stream", "journal", "wal")
+_FSYNC_DOTTED = {"os.fsync", "os.fdatasync"}
+
+
+def _is_journal_write(call: ast.Call) -> bool:
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "write"):
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Attribute):
+        terminal = receiver.attr
+    elif isinstance(receiver, ast.Name):
+        terminal = receiver.id
+    else:
+        return False
+    lowered = terminal.lower()
+    return any(token in lowered for token in _STREAM_TOKENS)
+
+
+def _is_flush_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and "flush" in func.attr.lower():
+        return True
+    if isinstance(func, ast.Name) and "flush" in func.id.lower():
+        return True
+    dotted = dotted_name(func)
+    return dotted in _FSYNC_DOTTED
+
+
+def _contains_flush(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call) and _is_flush_call(node):
+        return True
+    for child in walk_skipping_defs(node):
+        if isinstance(child, ast.Call) and _is_flush_call(child):
+            return True
+    return False
+
+
+def _guarantees_flush(stmt: ast.stmt) -> bool:
+    """Does executing ``stmt`` unconditionally flush?"""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    if isinstance(stmt, ast.If):
+        return (
+            bool(stmt.orelse)
+            and any(_guarantees_flush(s) for s in stmt.body)
+            and any(_guarantees_flush(s) for s in stmt.orelse)
+        )
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return any(_guarantees_flush(s) for s in stmt.body)
+    if isinstance(stmt, ast.Try):
+        if any(_guarantees_flush(s) for s in stmt.finalbody):
+            return True
+        return any(_guarantees_flush(s) for s in stmt.body)
+    if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+        return False  # may run zero iterations
+    return _contains_flush(stmt)
+
+
+class _Verdict(Enum):
+    FLUSH = "flush"
+    EXIT_NO_FLUSH = "exit-no-flush"
+    EXIT_OK = "exit-ok"
+    NEUTRAL = "neutral"
+
+
+def _verdict(stmt: ast.stmt) -> _Verdict:
+    if _guarantees_flush(stmt):
+        return _Verdict.FLUSH
+    if isinstance(stmt, ast.Return):
+        return _Verdict.EXIT_NO_FLUSH
+    if isinstance(stmt, ast.Raise):
+        return _Verdict.EXIT_OK  # no ack without a normal return
+    if isinstance(stmt, (ast.Continue, ast.Break)):
+        return _Verdict.EXIT_NO_FLUSH  # conservative: next iteration/exit
+    return _Verdict.NEUTRAL
+
+
+def _expression_parts(stmt: ast.stmt) -> list[ast.AST]:
+    """The expression-level children of ``stmt`` — the parts that
+    execute at the statement's own position, excluding nested blocks."""
+    if isinstance(stmt, ast.If):
+        return [stmt.test]
+    if isinstance(stmt, (ast.While,)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return list(stmt.items)
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def _sub_blocks(stmt: ast.stmt) -> list[tuple[ast.stmt, list[ast.stmt]]]:
+    blocks: list[tuple[ast.stmt, list[ast.stmt]]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            blocks.append((stmt, block))
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append((stmt, handler.body))
+    return blocks
+
+
+@register
+class JournalDurability(Rule):
+    name = "journal-durability"
+    description = (
+        "journal stream write can reach a return without a flush/fsync; "
+        "an acked record would not survive a kill"
+    )
+    scopes = ("serve",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        writes: list[tuple[ast.Call, list[tuple[Optional[ast.stmt], list, int]]]]
+        writes = []
+
+        def scan(
+            block: list[ast.stmt],
+            owner: Optional[ast.stmt],
+            stack: list[tuple[Optional[ast.stmt], list, int]],
+        ) -> None:
+            for index, stmt in enumerate(block):
+                position = stack + [(owner, block, index)]
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    for part in _expression_parts(stmt):
+                        for call in [
+                            c
+                            for c in walk_skipping_defs(part)
+                            if isinstance(c, ast.Call)
+                        ] + ([part] if isinstance(part, ast.Call) else []):
+                            if _is_journal_write(call):
+                                writes.append((call, position))
+                    for sub_owner, sub_block in _sub_blocks(stmt):
+                        scan(sub_block, sub_owner, position)
+
+        scan(fn.body, None, [])
+
+        for call, position in writes:
+            if not self._flush_guaranteed(position):
+                yield source.finding(
+                    self.name,
+                    call,
+                    "journal write is not followed by a guaranteed "
+                    "flush/fsync on every path before returning; the "
+                    "acknowledged-iff-replayable contract needs "
+                    "write -> flush -> apply -> ack",
+                )
+
+    @staticmethod
+    def _flush_guaranteed(
+        position: list[tuple[Optional[ast.stmt], list, int]]
+    ) -> bool:
+        for level in range(len(position) - 1, -1, -1):
+            owner, block, index = position[level]
+            for stmt in block[index + 1 :]:
+                verdict = _verdict(stmt)
+                if verdict is _Verdict.FLUSH:
+                    return True
+                if verdict is _Verdict.EXIT_NO_FLUSH:
+                    return False
+                if verdict is _Verdict.EXIT_OK:
+                    return True
+            # Ascending out of a try body/handler: the finally block (if
+            # any) runs before anything after the try statement.
+            if (
+                isinstance(owner, ast.Try)
+                and block is not owner.finalbody
+                and any(_guarantees_flush(s) for s in owner.finalbody)
+            ):
+                return True
+        return False  # fell off the end of the function: implicit return

@@ -1,0 +1,95 @@
+"""Rule: ``swallowed-exception``.
+
+A broad ``except Exception`` that neither re-raises, logs, forwards,
+nor increments an observability counter turns failures into silence —
+the exact failure mode PR 2's review fixes chased through
+``serve/server.py`` by hand. The contract this rule encodes: a broad
+handler must leave a *visible trace*. Acceptable traces, any one of:
+
+* a ``raise`` anywhere in the handler (re-raise or translate);
+* an obs-counter bump — a call to ``.inc()`` / ``.increment()`` /
+  ``.internal_error()`` / ``.observe()``;
+* forwarding — ``future.set_exception(...)``;
+* logging — ``logging``-style ``.warning/.error/.exception/...`` or a
+  ``print(...)`` (stderr diagnostics in CLI paths count).
+
+Narrow handlers (``except ValueError``) are exempt: catching a named
+exception is a statement of intent; catching *everything* without a
+trace is a bug magnet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Rule, SourceFile, register
+from ..findings import Finding
+
+__all__ = ["SwallowedException"]
+
+_BROAD = {"Exception", "BaseException"}
+
+_TRACE_ATTRS = {
+    "inc",
+    "increment",
+    "internal_error",
+    "observe",
+    "set_exception",
+    "warning",
+    "error",
+    "exception",
+    "critical",
+    "fatal",
+    "log",
+}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:  # bare except:
+        return True
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD:
+            return True
+        if isinstance(candidate, ast.Attribute) and candidate.attr in _BROAD:
+            return True
+    return False
+
+
+def _leaves_trace(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _TRACE_ATTRS:
+                return True
+            if isinstance(func, ast.Name) and func.id == "print":
+                return True
+    return False
+
+
+@register
+class SwallowedException(Rule):
+    name = "swallowed-exception"
+    description = (
+        "broad except handler leaves no visible trace (no re-raise, "
+        "log, counter increment, or future.set_exception)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _leaves_trace(node):
+                caught = "bare except" if node.type is None else "except Exception"
+                yield source.finding(
+                    self.name,
+                    node,
+                    f"{caught} swallows the failure silently; re-raise, "
+                    f"log, or increment an obs counter "
+                    f"(e.g. serve_internal_errors_total)",
+                )

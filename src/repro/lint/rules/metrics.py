@@ -1,0 +1,160 @@
+"""Rule: ``metric-naming``.
+
+Every metric in the repo flows through one :class:`repro.obs.
+MetricsRegistry` and out one Prometheus exposition; naming discipline
+is what keeps that surface queryable. The conventions (PR 4,
+docs/observability.md):
+
+* ``snake_case`` — ``^[a-z][a-z0-9_]*$``;
+* counters end ``_total`` (Prometheus counter convention);
+* histograms end in a base unit — ``_seconds`` or ``_bytes`` (or
+  ``_ratio``);
+* gauges must *not* end ``_total`` (that suffix promises a counter).
+
+Checked at registration sites: literal first arguments of
+``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` calls on a
+registry-ish receiver (``*registry*`` or ``get_registry()``), so
+``itertools``-style lookalikes never fire. f-string names are checked
+on their constant tail when there is one (the ``serve_*_total`` mirror
+idiom), and skipped when fully dynamic.
+
+This is a cross-file pass: besides per-site naming it also detects the
+same metric name registered with two different *kinds* in different
+files — a clash the registry can only catch at runtime, on whichever
+process happens to touch both sites first.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from ..base import CrossFileRule, SourceFile, register
+from ..findings import Finding
+from ._util import dotted_name
+
+__all__ = ["MetricNaming"]
+
+_KINDS = ("counter", "gauge", "histogram")
+_SNAKE = re.compile(r"^[a-z][a-z0-9_]*$")
+_HISTOGRAM_UNITS = ("_seconds", "_bytes", "_ratio")
+
+
+def _registryish(receiver: ast.AST) -> bool:
+    dotted = dotted_name(receiver)
+    if dotted is not None:
+        return "registry" in dotted.lower()
+    if isinstance(receiver, ast.Call):
+        func = dotted_name(receiver.func)
+        return func is not None and "registry" in func.lower()
+    return False
+
+
+def _name_argument(call: ast.Call) -> Optional[ast.expr]:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+def _registration_sites(
+    source: SourceFile,
+) -> Iterator[tuple[ast.Call, str, Optional[str], Optional[str]]]:
+    """(call, kind, literal_name, constant_tail) per registration."""
+    assert source.tree is not None
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _KINDS):
+            continue
+        if not _registryish(func.value):
+            continue
+        argument = _name_argument(node)
+        literal: Optional[str] = None
+        tail: Optional[str] = None
+        if isinstance(argument, ast.Constant) and isinstance(argument.value, str):
+            literal = argument.value
+            tail = argument.value
+        elif isinstance(argument, ast.JoinedStr) and argument.values:
+            last = argument.values[-1]
+            if isinstance(last, ast.Constant) and isinstance(last.value, str):
+                tail = last.value
+        yield node, func.attr, literal, tail
+
+
+@register
+class MetricNaming(CrossFileRule):
+    name = "metric-naming"
+    description = (
+        "metric name breaks Prometheus conventions (snake_case, _total "
+        "counters, unit-suffixed histograms) or clashes kinds cross-file"
+    )
+
+    def check_project(
+        self, files: Iterable[SourceFile], root: Path
+    ) -> Iterator[Finding]:
+        first_seen: dict[str, tuple[str, str]] = {}  # name -> (kind, relpath)
+        for source in files:
+            if source.tree is None:
+                continue
+            for call, kind, literal, tail in _registration_sites(source):
+                if literal is not None:
+                    yield from self._check_name(source, call, kind, literal)
+                    previous = first_seen.get(literal)
+                    if previous is None:
+                        first_seen[literal] = (kind, source.relpath)
+                    elif previous[0] != kind:
+                        yield source.finding(
+                            self.name,
+                            call,
+                            f"metric {literal!r} registered as a {kind} "
+                            f"here but as a {previous[0]} in {previous[1]}; "
+                            f"one name maps to one kind",
+                        )
+                elif tail is not None:
+                    # Dynamic name with a constant suffix: enforce the
+                    # kind conventions on what we can see.
+                    yield from self._check_suffix(source, call, kind, tail)
+
+    def _check_name(
+        self, source: SourceFile, call: ast.Call, kind: str, name: str
+    ) -> Iterator[Finding]:
+        if not _SNAKE.match(name):
+            yield source.finding(
+                self.name,
+                call,
+                f"metric name {name!r} is not snake_case "
+                f"([a-z][a-z0-9_]*)",
+            )
+            return
+        yield from self._check_suffix(source, call, kind, name)
+
+    def _check_suffix(
+        self, source: SourceFile, call: ast.Call, kind: str, name: str
+    ) -> Iterator[Finding]:
+        if kind == "counter" and not name.endswith("_total"):
+            yield source.finding(
+                self.name,
+                call,
+                f"counter {name!r} must end with '_total' "
+                f"(Prometheus counter convention)",
+            )
+        elif kind == "histogram" and not name.endswith(_HISTOGRAM_UNITS):
+            yield source.finding(
+                self.name,
+                call,
+                f"histogram {name!r} must end with a base unit suffix "
+                f"({', '.join(_HISTOGRAM_UNITS)})",
+            )
+        elif kind == "gauge" and name.endswith("_total"):
+            yield source.finding(
+                self.name,
+                call,
+                f"gauge {name!r} must not end with '_total' (that suffix "
+                f"promises a counter)",
+            )

@@ -1,0 +1,156 @@
+"""Rule: ``wire-protocol-consistency``.
+
+The serve wire protocol has three surfaces that must agree: the
+server's ``_dispatch`` command chain, the blocking
+``ServeClient``'s ``self.request("<cmd>", ...)`` methods, and the
+command table in ``docs/serving.md``. They live in three files, so no
+per-file rule can hold them together — a handler added server-side
+without a client method is dead weight, a client method without a
+handler is a guaranteed ``bad_request`` at runtime, and an
+undocumented command is invisible to operators.
+
+Detection is structural, not name-based: the *server* is any file with
+a ``_dispatch`` function comparing a ``command``/``cmd`` variable
+against string literals; the *client* is any file issuing
+``self.request("<literal>", ...)`` calls. Documentation is a word
+match in ``<root>/docs/serving.md``. Files that match neither shape
+are ignored, so the rule is silent on unrelated trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..base import CrossFileRule, SourceFile, register
+from ..findings import Finding
+
+__all__ = ["WireProtocolConsistency"]
+
+_DOCS_RELPATH = Path("docs") / "serving.md"
+_COMMAND_VARS = {"command", "cmd"}
+
+
+def _dispatch_commands(source: SourceFile) -> dict[str, int]:
+    """``{command: line}`` from a ``_dispatch`` equality chain, if any."""
+    assert source.tree is not None
+    commands: dict[str, int] = {}
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name != "_dispatch":
+            continue
+        for compare in ast.walk(node):
+            if not isinstance(compare, ast.Compare):
+                continue
+            if len(compare.ops) != 1 or not isinstance(compare.ops[0], ast.Eq):
+                continue
+            left, right = compare.left, compare.comparators[0]
+            name_node, literal = (
+                (left, right)
+                if isinstance(left, ast.Name)
+                else (right, left)
+                if isinstance(right, ast.Name)
+                else (None, None)
+            )
+            if (
+                isinstance(name_node, ast.Name)
+                and name_node.id in _COMMAND_VARS
+                and isinstance(literal, ast.Constant)
+                and isinstance(literal.value, str)
+            ):
+                commands.setdefault(literal.value, compare.lineno)
+    return commands
+
+
+def _client_requests(source: SourceFile) -> dict[str, int]:
+    """``{command: line}`` from ``self.request("<cmd>", ...)`` calls."""
+    assert source.tree is not None
+    requests: dict[str, int] = {}
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "request"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                requests.setdefault(value, node.lineno)
+    return requests
+
+
+@register
+class WireProtocolConsistency(CrossFileRule):
+    name = "wire-protocol-consistency"
+    description = (
+        "server command handlers, ServeClient methods, and "
+        "docs/serving.md must stay in step"
+    )
+
+    def check_project(
+        self, files: Iterable[SourceFile], root: Path
+    ) -> Iterator[Finding]:
+        servers: list[tuple[SourceFile, dict[str, int]]] = []
+        client_commands: dict[str, tuple[SourceFile, int]] = {}
+        for source in files:
+            if source.tree is None:
+                continue
+            dispatched = _dispatch_commands(source)
+            if dispatched:
+                servers.append((source, dispatched))
+            for command, line in _client_requests(source).items():
+                client_commands.setdefault(command, (source, line))
+        if not servers:
+            return  # nothing protocol-shaped in this tree
+
+        docs_path = root / _DOCS_RELPATH
+        docs_text = (
+            docs_path.read_text(encoding="utf-8") if docs_path.exists() else None
+        )
+
+        server_commands: set[str] = set()
+        for source, dispatched in servers:
+            server_commands.update(dispatched)
+            for command, line in sorted(dispatched.items()):
+                if command not in client_commands:
+                    yield source.finding(
+                        self.name,
+                        None,
+                        f"server command {command!r} has no ServeClient "
+                        f"method issuing self.request({command!r}, ...)",
+                        line=line,
+                    )
+                if docs_text is None:
+                    yield source.finding(
+                        self.name,
+                        None,
+                        f"server command {command!r} cannot be checked "
+                        f"against {_DOCS_RELPATH.as_posix()}: file missing",
+                        line=line,
+                    )
+                elif re.search(rf"\b{re.escape(command)}\b", docs_text) is None:
+                    yield source.finding(
+                        self.name,
+                        None,
+                        f"server command {command!r} is not documented in "
+                        f"{_DOCS_RELPATH.as_posix()}",
+                        line=line,
+                    )
+
+        for command, (source, line) in sorted(client_commands.items()):
+            if command not in server_commands:
+                yield source.finding(
+                    self.name,
+                    None,
+                    f"client sends command {command!r} that no server "
+                    f"_dispatch handler answers",
+                    line=line,
+                )

@@ -1,0 +1,55 @@
+"""``# fenlint: disable=<rule>`` comment scanning.
+
+A suppression comment silences named rules (comma-separated, or
+``all``) for the line it sits on — either trailing the offending
+statement or on its own line immediately above it, mirroring how
+``noqa``-style markers are used in practice. Multi-line statements are
+covered by suppressing the line the finding anchors to (the AST node's
+``lineno``).
+
+Scanning is a line-level regex rather than ``tokenize`` so that a file
+with a syntax error can still report its suppressions (the engine
+turns unparseable files into ``parse-error`` findings, which must be
+suppressible like any other).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions"]
+
+_PATTERN = re.compile(r"#\s*fenlint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass
+class Suppressions:
+    """Per-line rule-name sets parsed from one file's comments."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        by_line: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PATTERN.search(text)
+            if match is None:
+                continue
+            names = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if not names:
+                continue
+            by_line[lineno] = by_line.get(lineno, frozenset()) | names
+            # A standalone marker line covers the statement below it.
+            if text.lstrip().startswith("#"):
+                covered = lineno + 1
+                by_line[covered] = by_line.get(covered, frozenset()) | names
+        return cls(by_line=by_line)
+
+    def silences(self, rule: str, line: int) -> bool:
+        names = self.by_line.get(line)
+        if names is None:
+            return False
+        return rule in names or "all" in names

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import os
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Optional, Union
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 
@@ -41,7 +41,9 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def _format_labels(labels, extra: Optional[tuple[str, str]] = None) -> str:
+def _format_labels(
+    labels: Iterable[tuple[str, str]], extra: Optional[tuple[str, str]] = None
+) -> str:
     pairs = list(labels)
     if extra is not None:
         pairs.append(extra)
@@ -83,7 +85,9 @@ def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
-def write_metrics_file(path, registry: Optional[MetricsRegistry] = None) -> Path:
+def write_metrics_file(
+    path: Union[str, Path], registry: Optional[MetricsRegistry] = None
+) -> Path:
     """Atomically write the exposition to ``path`` (tmp + replace).
 
     Scrape-by-file for offline runs: a pipeline batch job or the serve

@@ -35,7 +35,7 @@ import math
 import threading
 from bisect import bisect_left
 from collections import deque
-from typing import Callable, Deque, Dict, Iterator, Mapping, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, Mapping, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -129,9 +129,9 @@ class Gauge:
         if self._fn is not None:
             try:
                 return float(self._fn())
-            except Exception:
-                # A dead callback (e.g. a queue torn down mid-collect)
-                # must not break the whole exposition.
+            # NaN in the exposition *is* the visible trace here; a
+            # counter would recurse into the registry mid-collect.
+            except Exception:  # fenlint: disable=swallowed-exception
                 return float("nan")
         return self._value
 
@@ -231,7 +231,7 @@ class MetricsRegistry:
         labels: Optional[Mapping[str, str]],
         help_text: str,
         factory: Callable[[str, LabelPair], object],
-    ):
+    ) -> Any:
         key = (name, _label_key(labels))
         with self._lock:
             existing_kind = self._kinds.get(name)

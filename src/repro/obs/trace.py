@@ -30,7 +30,8 @@ import os
 import time
 from contextvars import ContextVar
 from collections import deque
-from typing import Deque, Iterator, Optional
+from types import TracebackType
+from typing import Deque, Iterator, Optional, Union
 
 __all__ = [
     "Span",
@@ -80,7 +81,12 @@ class Span:
         self.started = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, _tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        _tb: Optional[TracebackType],
+    ) -> bool:
         self.elapsed = time.perf_counter() - self.started
         self._tracer._current.reset(self._token)
         if exc_type is not None:
@@ -120,7 +126,7 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, *_exc_info) -> bool:
+    def __exit__(self, *_exc_info: object) -> bool:
         return False
 
 
@@ -136,7 +142,7 @@ class Tracer:
         )
         self._finished: Deque[Span] = deque(maxlen=max_roots)
 
-    def span(self, name: str, **tags) -> Span:
+    def span(self, name: str, **tags: object) -> Span:
         return Span(name, tags, self)
 
     @property
@@ -217,7 +223,7 @@ def enabled() -> bool:
     return _enabled
 
 
-def span(name: str, **tags):
+def span(name: str, **tags: object) -> Union[Span, _NoopSpan]:
     """A timed region: ``with span("compare", engine="tiled"): ...``.
 
     When tracing is disabled this is one boolean check and a shared

@@ -24,6 +24,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..core.compare import UnknownPolicy
+from ..obs import get_registry
 
 __all__ = ["matrix_cache_key", "MatrixCache"]
 
@@ -93,6 +94,10 @@ class MatrixCache:
         except Exception:
             # Truncated download, torn write, or tampering: evict and
             # let the caller recompute rather than crash.
+            get_registry().counter(
+                "parallel_cache_corrupt_evictions_total",
+                help="cache entries evicted after failing validation",
+            ).inc()
             self.evict(key)
             self.misses += 1
             return None

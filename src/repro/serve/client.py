@@ -75,12 +75,12 @@ class ServeClient:
     def __enter__(self) -> "ServeClient":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- request plumbing ----------------------------------------------------
 
-    def request(self, command: str, **fields) -> dict:
+    def request(self, command: str, **fields: object) -> dict:
         """Send one command and return its ``ok`` response.
 
         Error responses raise :class:`ServeClientError`

@@ -44,7 +44,10 @@ from time import perf_counter as _perf_counter
 from dataclasses import dataclass
 from datetime import datetime
 from pathlib import Path
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # circular-import-free type for flush_histogram
+    from ..obs import Histogram
 
 from ..core.online import fold_delta_state
 
@@ -164,7 +167,10 @@ class JournalWriter:
     """
 
     def __init__(
-        self, path: Path, fsync: bool = False, flush_histogram=None
+        self,
+        path: Path,
+        fsync: bool = False,
+        flush_histogram: Optional["Histogram"] = None,
     ) -> None:
         self.path = Path(path)
         self.fsync = fsync

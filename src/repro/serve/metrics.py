@@ -51,6 +51,7 @@ class ServerMetrics:
             label_name="command",
         )
         self._counters: Dict[str, Counter] = {}  # stats name -> registry counter
+        self._internal_errors: Dict[str, Counter] = {}  # site -> labeled counter
 
     def increment(self, name: str, amount: int = 1) -> None:
         counter = self._counters.get(name)
@@ -59,6 +60,25 @@ class ServerMetrics:
                 f"{_COUNTER_PREFIX}{name}{_COUNTER_SUFFIX}"
             )
         counter.inc(amount)
+
+    def internal_error(self, site: str) -> None:
+        """Count a broad-except recovery, labeled by handler site.
+
+        Every ``except Exception`` in the server answers the client and
+        keeps serving, which makes the failure easy to never notice.
+        This is the visible trace: one ``serve_internal_errors_total``
+        series per site (``recover``, ``writer``, ``ingest``,
+        ``ingest_batch``, ``dispatch``), rendered by the ``metrics``
+        wire command and ``repro client metrics``.
+        """
+        counter = self._internal_errors.get(site)
+        if counter is None:
+            counter = self._internal_errors[site] = self.registry.counter(
+                "serve_internal_errors_total",
+                labels={"site": site},
+                help="exceptions caught and answered by broad handlers",
+            )
+        counter.inc()
 
     @property
     def counters(self) -> dict:

@@ -245,6 +245,12 @@ class DurableMonitor:
                 except Exception:
                     applied_now = len(tracker.updates) - applied_before
                     skipped += 1
+                    if registry is not None:
+                        registry.counter(
+                            "serve_replay_skipped_records_total",
+                            labels={"monitor": name},
+                            help="journal records skipped during replay",
+                        ).inc()
                     remaining = remaining[applied_now + 1:]
         seq = records[-1].seq if records else snapshot_seq
         monitor = cls(

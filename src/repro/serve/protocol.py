@@ -98,7 +98,9 @@ def decode_payload(payload: bytes) -> dict:
     return message
 
 
-def error_response(code: str, message: str, request_id=None, **extra) -> dict:
+def error_response(
+    code: str, message: str, request_id: object = None, **extra: object
+) -> dict:
     response = {"id": request_id, "ok": False, "error": code, "message": message}
     response.update(extra)
     return response

@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 from datetime import datetime
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.compare import UnknownPolicy
 from ..obs import CONTENT_TYPE, MetricsRegistry, render_prometheus
@@ -113,6 +113,7 @@ class FenrirServer:
                 # surface the failure through stats.
                 self._failed[entry.name] = f"{type(exc).__name__}: {exc}"
                 self.metrics.increment("monitors_failed")
+                self.metrics.internal_error("recover")
                 continue
             self._register(monitor)
             if monitor.replay:
@@ -174,7 +175,7 @@ class FenrirServer:
 
     # -- ingest path ---------------------------------------------------------
 
-    def _count_update(self, update) -> None:
+    def _count_update(self, update: Any) -> None:
         self.metrics.increment("rounds_ingested")
         if update.is_event:
             self.metrics.increment("events_detected")
@@ -208,6 +209,11 @@ class FenrirServer:
                         self._count_update(update)
                     result = (runtime.monitor.seq, batch)
             except Exception as exc:
+                # MonitorError is a routine client rejection (out of
+                # order, bad round) answered with its own error code —
+                # only count genuinely unexpected failures here.
+                if not isinstance(exc, MonitorError):
+                    self.metrics.internal_error("writer")
                 if not future.cancelled():
                     future.set_exception(exc)
             else:
@@ -216,7 +222,7 @@ class FenrirServer:
             finally:
                 runtime.queue.task_done()
 
-    async def _ingest(self, request: dict, request_id) -> dict:
+    async def _ingest(self, request: dict, request_id: object) -> dict:
         runtime = self._runtime_for(request)
         when = _parse_time(request.get("time"))
         states = request.get("states")
@@ -240,6 +246,7 @@ class FenrirServer:
             # The writer task forwards whatever the apply raised; answer
             # rather than letting it kill the connection handler.
             self.metrics.increment("ingest_failures")
+            self.metrics.internal_error("ingest")
             return error_response(
                 ERR_INTERNAL, f"{type(exc).__name__}: {exc}", request_id
             )
@@ -251,7 +258,7 @@ class FenrirServer:
         }
 
     def _enqueue(
-        self, runtime: _MonitorRuntime, kind: str, payload
+        self, runtime: _MonitorRuntime, kind: str, payload: Any
     ) -> Optional[asyncio.Future]:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
@@ -261,7 +268,7 @@ class FenrirServer:
             return None
         return future
 
-    def _overloaded_response(self, runtime: _MonitorRuntime, request_id) -> dict:
+    def _overloaded_response(self, runtime: _MonitorRuntime, request_id: object) -> dict:
         return error_response(
             ERR_OVERLOADED,
             f"monitor {runtime.monitor.name!r} ingest queue is full",
@@ -269,7 +276,7 @@ class FenrirServer:
             queue_depth=runtime.queue.qsize(),
         )
 
-    async def _ingest_batch(self, request: dict, request_id) -> dict:
+    async def _ingest_batch(self, request: dict, request_id: object) -> dict:
         """Batched ingest: valid prefix applied + acked under one commit.
 
         The response is ``ok: true`` whenever the *request shape* was
@@ -292,6 +299,7 @@ class FenrirServer:
             seq, batch = await future
         except Exception as exc:
             self.metrics.increment("ingest_failures")
+            self.metrics.internal_error("ingest_batch")
             return error_response(
                 ERR_INTERNAL, f"{type(exc).__name__}: {exc}", request_id
             )
@@ -333,7 +341,7 @@ class FenrirServer:
             raise _RequestError(ERR_NO_SUCH_MONITOR, f"no such monitor: {name!r}")
         return runtime
 
-    def _create(self, request: dict, request_id) -> dict:
+    def _create(self, request: dict, request_id: object) -> dict:
         name = request.get("monitor")
         networks = request.get("networks")
         if not isinstance(name, str) or not valid_monitor_name(name):
@@ -376,7 +384,7 @@ class FenrirServer:
         self.metrics.increment("monitors_created")
         return {"id": request_id, "ok": True, "monitor": name}
 
-    def _query(self, request: dict, request_id) -> dict:
+    def _query(self, request: dict, request_id: object) -> dict:
         runtime = self._runtime_for(request)
         response = {"id": request_id, "ok": True, **runtime.monitor.describe()}
         states = request.get("states")
@@ -391,7 +399,7 @@ class FenrirServer:
             }
         return response
 
-    def _timeline(self, request: dict, request_id) -> dict:
+    def _timeline(self, request: dict, request_id: object) -> dict:
         runtime = self._runtime_for(request)
         return {
             "id": request_id,
@@ -407,7 +415,7 @@ class FenrirServer:
             ],
         }
 
-    def _stats(self, request_id) -> dict:
+    def _stats(self, request_id: object) -> dict:
         document = self.metrics.snapshot()
         document["uptime_seconds"] = round(time.time() - self._started, 3)
         document["monitors"] = {
@@ -434,7 +442,7 @@ class FenrirServer:
         document["failed_monitors"] = dict(sorted(self._failed.items()))
         return {"id": request_id, "ok": True, **document}
 
-    async def _snapshot(self, request: dict, request_id) -> dict:
+    async def _snapshot(self, request: dict, request_id: object) -> dict:
         runtime = self._runtime_for(request)
         # Quiesce: let queued ingests land so the checkpoint covers them.
         await runtime.queue.join()
@@ -488,6 +496,7 @@ class FenrirServer:
             # Last-resort guard: every request gets an answer; an
             # unanswered client would hang until its socket timeout.
             self.metrics.increment("internal_errors")
+            self.metrics.internal_error("dispatch")
             response = error_response(
                 ERR_INTERNAL, f"{type(exc).__name__}: {exc}", request_id
             )
@@ -552,7 +561,7 @@ class _RequestError(Exception):
         self.message = message
 
 
-def _parse_time(value) -> datetime:
+def _parse_time(value: object) -> datetime:
     if not isinstance(value, str):
         raise _RequestError(ERR_BAD_REQUEST, "ingest needs an ISO-8601 'time'")
     try:
@@ -561,7 +570,7 @@ def _parse_time(value) -> datetime:
         raise _RequestError(ERR_BAD_REQUEST, f"bad time {value!r}: {exc}") from exc
 
 
-def _update_document(update) -> dict:
+def _update_document(update: Any) -> dict:
     return {
         "time": update.time.isoformat(),
         "step_change": update.step_change,

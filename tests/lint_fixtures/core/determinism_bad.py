@@ -1,0 +1,28 @@
+"""Bad: ambient RNG and wall-clock reads in substrate code."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    return random.random()  # [bad]
+
+
+def stamp():
+    return time.time()  # [bad]
+
+
+def build(count):
+    rng = np.random.default_rng()  # [bad]
+    values = list(range(count))
+    np.random.shuffle(values)  # [bad]
+    roller = random.Random()  # [bad]
+    return rng, values, roller
+
+
+def today():
+    import datetime
+
+    return datetime.date.today()  # [bad]

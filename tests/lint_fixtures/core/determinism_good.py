@@ -1,0 +1,22 @@
+"""Good: explicit seeded substrates and elapsed-time measurement."""
+
+import random
+import time
+
+import numpy as np
+
+
+def build(seed, count):
+    rng = np.random.default_rng(seed)
+    roller = random.Random(seed)
+    return rng, roller, count
+
+
+def sample(rng, values):
+    return rng.choice(values)
+
+
+def timed(fn):
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

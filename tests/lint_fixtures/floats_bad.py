@@ -1,0 +1,13 @@
+"""Bad: exact equality on similarity floats."""
+
+
+def same_mode(phi, mode_phi):
+    return phi == mode_phi  # [bad]
+
+
+def changed(update):
+    return update.similarity != update.prev_similarity  # [bad]
+
+
+def zeroed(best_phi):
+    return 0.0 == best_phi  # [bad]

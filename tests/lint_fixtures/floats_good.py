@@ -1,0 +1,19 @@
+"""Good: tolerance/threshold comparisons; sentinels and lookalikes."""
+
+import math
+
+
+def same_mode(phi, mode_phi, eps):
+    return math.isclose(phi, mode_phi, abs_tol=eps)
+
+
+def above_threshold(similarity, threshold):
+    return similarity >= threshold
+
+
+def sentinel(phi_label):
+    return phi_label == "unknown"
+
+
+def lookalike(graph, matrix):
+    return graph == matrix and matrix.ndim != 2

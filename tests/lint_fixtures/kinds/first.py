@@ -1,0 +1,5 @@
+"""Registers io_wait_seconds as a gauge (see second.py for the clash)."""
+
+
+def install(registry):
+    registry.gauge("io_wait_seconds")

@@ -1,0 +1,5 @@
+"""Registers io_wait_seconds as a histogram: kind clash with first.py."""
+
+
+def install(registry):
+    registry.histogram("io_wait_seconds")  # [bad]

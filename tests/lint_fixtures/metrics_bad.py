@@ -1,0 +1,9 @@
+"""Bad metric registrations: naming convention violations."""
+
+
+def install(registry, name):
+    registry.counter("serve_requests")  # [bad]
+    registry.histogram("serve_latency")  # [bad]
+    registry.gauge("serve_depth_total")  # [bad]
+    registry.counter("Serve-Requests_total")  # [bad]
+    registry.counter(f"serve_{name}_count")  # [bad]

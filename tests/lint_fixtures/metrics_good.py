@@ -1,0 +1,11 @@
+"""Good metric registrations, plus non-registry lookalikes."""
+
+
+def install(registry, name, counters):
+    registry.counter("serve_requests_total")
+    registry.histogram("serve_latency_seconds")
+    registry.histogram("journal_write_bytes")
+    registry.histogram("cache_hit_ratio")
+    registry.gauge("serve_queue_depth")
+    registry.counter(f"serve_{name}_total")
+    counters.counter("Not A Metric")  # non-registry receiver: ignored

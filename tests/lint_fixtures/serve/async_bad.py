@@ -1,0 +1,16 @@
+"""Bad: blocking I/O called directly inside async defs."""
+
+import os
+import time
+
+
+async def handler(path):
+    with open(path) as stream:  # [bad]
+        data = stream.read()
+    time.sleep(0.1)  # [bad]
+    os.replace(path, path + ".bak")  # [bad]
+    return data
+
+
+async def save(path, text):
+    path.write_text(text)  # [bad]

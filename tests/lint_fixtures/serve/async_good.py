@@ -1,0 +1,22 @@
+"""Good: offloaded I/O in coroutines; blocking calls stay in sync defs."""
+
+import asyncio
+
+
+async def handler(path):
+    data = await asyncio.to_thread(path.read_text)
+    await asyncio.sleep(0.1)
+    return data
+
+
+def sync_write(path, text):
+    path.write_text(text)
+    with open(path) as stream:
+        return stream.read()
+
+
+async def nested_escape(path):
+    def loader():
+        return path.read_text()
+
+    return await asyncio.to_thread(loader)

@@ -1,0 +1,19 @@
+"""Bad: journal writes that can reach a return without a flush."""
+
+
+class Writer:
+    def __init__(self, stream):
+        self._stream = stream
+
+    def append(self, line):
+        self._stream.write(line)  # [bad]
+        return len(line)
+
+    def append_maybe(self, line, durable):
+        self._stream.write(line)  # [bad]
+        if durable:
+            self._stream.flush()
+        return True
+
+    def append_tail(self, line):
+        self._stream.write(line)  # [bad]

@@ -1,0 +1,32 @@
+"""Good: every journal write is flushed (or raises) before returning."""
+
+import os
+
+
+class Writer:
+    def __init__(self, stream, fsync):
+        self._stream = stream
+        self._fsync = fsync
+
+    def append(self, line):
+        self._stream.write(line)
+        if self._fsync:
+            self._stream.flush()
+            os.fsync(self._stream.fileno())
+        else:
+            self._stream.flush()
+        return len(line)
+
+    def append_finally(self, line):
+        try:
+            self._stream.write(line)
+        finally:
+            self._stream.flush()
+
+    def append_or_die(self, line, ok):
+        if not ok:
+            self._stream.write(line)
+            raise ValueError("append failed before the ack")
+        self._stream.write(line)
+        self._stream.flush()
+        return True

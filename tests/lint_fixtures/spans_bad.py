@@ -1,0 +1,11 @@
+"""Bad: spans built without the REPRO_OBS gate."""
+
+from repro.obs.trace import Span, get_tracer
+
+
+def timed(tracer, work):
+    with tracer.span("compare"):  # [bad]
+        work()
+    with get_tracer().span("compare"):  # [bad]
+        work()
+    return Span("compare", {}, tracer)  # [bad]

@@ -1,0 +1,8 @@
+"""Good: spans created through the gated helper."""
+
+from repro.obs import span
+
+
+def timed(work):
+    with span("compare", engine="tiled"):
+        work()

@@ -1,0 +1,30 @@
+"""Suppression fixture: identical findings silenced three ways."""
+
+
+def trailing(work):
+    try:
+        work()
+    except Exception:  # fenlint: disable=swallowed-exception
+        return None
+
+
+def above(work):
+    try:
+        work()
+    # fenlint: disable=swallowed-exception
+    except Exception:
+        return None
+
+
+def wildcard(work):
+    try:
+        work()
+    except Exception:  # fenlint: disable=all
+        return None
+
+
+def unsuppressed(work):
+    try:
+        work()
+    except Exception:  # [bad]
+        return None

@@ -1,0 +1,24 @@
+"""Bad: broad handlers that leave no visible trace."""
+
+
+def quiet(work):
+    try:
+        work()
+    except Exception:  # [bad]
+        pass
+
+
+def quiet_bare(work):
+    try:
+        work()
+    except:  # [bad]  # noqa: E722
+        return None
+
+
+def quiet_tuple(work):
+    result = ""
+    try:
+        work()
+    except (ValueError, Exception) as exc:  # [bad]
+        result = str(exc)
+    return result

@@ -1,0 +1,36 @@
+"""Good: broad handlers with a trace, and narrow handlers."""
+
+
+def translated(work):
+    try:
+        work()
+    except Exception as exc:
+        raise RuntimeError("work failed") from exc
+
+
+def counted(work, metrics):
+    try:
+        work()
+    except Exception:
+        metrics.increment("failures")
+
+
+def logged(work, log):
+    try:
+        work()
+    except Exception as exc:
+        log.warning("work failed: %s", exc)
+
+
+def forwarded(work, future):
+    try:
+        work()
+    except Exception as exc:
+        future.set_exception(exc)
+
+
+def narrow(work):
+    try:
+        work()
+    except ValueError:
+        return None

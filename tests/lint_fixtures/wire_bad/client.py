@@ -1,0 +1,12 @@
+"""Client with an orphaned command no handler answers."""
+
+
+class Client:
+    def request(self, command, **fields):
+        return {"cmd": command, **fields}
+
+    def ingest(self, states):
+        return self.request("ingest", states=states)
+
+    def orphan(self):
+        return self.request("orphan")  # no server handler

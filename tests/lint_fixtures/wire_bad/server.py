@@ -1,0 +1,12 @@
+"""Inconsistent protocol: handlers without clients/docs, and vice versa."""
+
+
+class Server:
+    async def _dispatch(self, command, request):
+        if command == "ingest":
+            return {"ok": True}
+        elif command == "snapshot":  # no client method issues this
+            return {"ok": True}
+        elif command == "mystery":  # no client method AND undocumented
+            return {"ok": True}
+        return {"ok": False, "error": "bad_request"}

@@ -1,0 +1,15 @@
+"""Client side of the consistent protocol surface."""
+
+
+class Client:
+    def request(self, command, **fields):
+        return {"cmd": command, **fields}
+
+    def ingest(self, states):
+        return self.request("ingest", states=states)
+
+    def stats(self):
+        return self.request("stats")
+
+    def snapshot(self):
+        return self.request("snapshot")

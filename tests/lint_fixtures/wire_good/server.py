@@ -1,0 +1,12 @@
+"""A consistent protocol surface: every command has a client + docs."""
+
+
+class Server:
+    async def _dispatch(self, command, request):
+        if command == "ingest":
+            return {"ok": True}
+        elif command == "stats":
+            return {"ok": True}
+        elif command == "snapshot":
+            return {"ok": True}
+        return {"ok": False, "error": "bad_request"}

@@ -1,0 +1,418 @@
+"""fenlint: golden-fixture rule tests plus framework behavior.
+
+Each rule has a paired bad/good fixture under ``tests/lint_fixtures/``.
+Expected finding lines are the fixture lines tagged ``# [bad]`` — the
+table test asserts the *exact* (rule, line) set so a rule that drifts
+(extra findings, missed findings, off-by-one anchors) fails loudly.
+Scoped rules get their fixtures under matching path segments
+(``serve/``, ``core/``) because scoping matches directory parts.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    all_rules,
+    lint_paths,
+    render_github,
+    render_json,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import PARSE_ERROR_RULE, lint_files
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+BAD_MARKER = "# [bad]"
+
+
+def marker_lines(fixture: Path) -> set[int]:
+    return {
+        lineno
+        for lineno, text in enumerate(
+            fixture.read_text(encoding="utf-8").splitlines(), start=1
+        )
+        if BAD_MARKER in text
+    }
+
+
+def run_rule(rule: str, *relpaths: str, root: Path = FIXTURES):
+    return lint_paths(list(relpaths), root=root, select=[rule])
+
+
+RULE_FIXTURES = [
+    ("blocking-io-in-async", "serve/async_bad.py", "serve/async_good.py"),
+    ("journal-durability", "serve/durability_bad.py", "serve/durability_good.py"),
+    ("nondeterminism", "core/determinism_bad.py", "core/determinism_good.py"),
+    ("swallowed-exception", "swallow_bad.py", "swallow_good.py"),
+    ("float-similarity-compare", "floats_bad.py", "floats_good.py"),
+    ("metric-naming", "metrics_bad.py", "metrics_good.py"),
+    ("unguarded-span", "spans_bad.py", "spans_good.py"),
+]
+
+
+@pytest.mark.parametrize("rule,bad,good", RULE_FIXTURES)
+def test_bad_fixture_exact_findings(rule, bad, good):
+    expected = marker_lines(FIXTURES / bad)
+    assert expected, f"fixture {bad} has no {BAD_MARKER} markers"
+    result = run_rule(rule, bad)
+    found = {(f.rule, f.line) for f in result.findings}
+    assert found == {(rule, line) for line in sorted(expected)}
+
+
+@pytest.mark.parametrize("rule,bad,good", RULE_FIXTURES)
+def test_good_fixture_is_clean(rule, bad, good):
+    result = run_rule(rule, good)
+    assert result.findings == []
+    assert result.exit_code == 0
+
+
+def test_every_rule_has_a_fixture_pair():
+    covered = {rule for rule, _, _ in RULE_FIXTURES} | {"wire-protocol-consistency"}
+    assert {r.name for r in all_rules()} == covered
+
+
+# -- cross-file rules ---------------------------------------------------------
+
+
+def test_metric_kind_clash_across_files():
+    result = run_rule("metric-naming", "kinds/first.py", "kinds/second.py")
+    assert {(f.rule, f.path, f.line) for f in result.findings} == {
+        ("metric-naming", "kinds/second.py", 5)
+    }
+    (finding,) = result.findings
+    assert "histogram" in finding.message and "gauge" in finding.message
+
+
+def test_wire_protocol_consistent_surface_is_clean():
+    root = FIXTURES / "wire_good"
+    result = lint_paths(["."], root=root, select=["wire-protocol-consistency"])
+    assert result.findings == []
+
+
+def test_wire_protocol_inconsistencies():
+    root = FIXTURES / "wire_bad"
+    result = lint_paths(["."], root=root, select=["wire-protocol-consistency"])
+    messages = sorted(f.message for f in result.findings)
+    assert len(messages) == 4
+    assert any("'snapshot' has no ServeClient" in m for m in messages)
+    assert any("'mystery' has no ServeClient" in m for m in messages)
+    assert any("'mystery' is not documented" in m for m in messages)
+    assert any("'orphan' that no server _dispatch handler" in m for m in messages)
+    by_file = {f.path for f in result.findings}
+    assert by_file == {"server.py", "client.py"}
+
+
+def test_wire_protocol_silent_without_server_shape():
+    # Trees with no _dispatch chain (all other fixtures) produce nothing.
+    result = run_rule("wire-protocol-consistency", "swallow_bad.py", "floats_bad.py")
+    assert result.findings == []
+
+
+# -- suppressions -------------------------------------------------------------
+
+
+def test_suppressions_trailing_above_and_wildcard():
+    result = run_rule("swallowed-exception", "suppressed.py")
+    assert result.suppressed == 3
+    assert {(f.rule, f.line) for f in result.findings} == {
+        ("swallowed-exception", line)
+        for line in marker_lines(FIXTURES / "suppressed.py")
+    }
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def test_baseline_absorbs_and_overflows(tmp_path):
+    result = run_rule("swallowed-exception", "swallow_bad.py")
+    assert len(result.findings) == 3
+
+    baseline = Baseline.from_findings(result.findings)
+    rerun = lint_paths(
+        ["swallow_bad.py"],
+        root=FIXTURES,
+        select=["swallowed-exception"],
+        baseline=baseline,
+    )
+    assert rerun.findings == []
+    assert rerun.baselined == 3
+    assert rerun.exit_code == 0
+
+    # A *new* violation is not absorbed by the grandfathered budget.
+    extra = tmp_path / "swallow_new.py"
+    extra.write_text(
+        "def fresh(work):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        pass\n",
+        encoding="utf-8",
+    )
+    overflow = lint_files(
+        [FIXTURES / "swallow_bad.py", extra],
+        root=FIXTURES,
+        select=["swallowed-exception"],
+        baseline=baseline,
+    )
+    assert len(overflow.findings) == 1
+    assert overflow.findings[0].path.endswith("swallow_new.py")
+    assert overflow.exit_code == 1
+
+
+def test_baseline_fingerprints_survive_line_drift(tmp_path):
+    original = (FIXTURES / "swallow_bad.py").read_text(encoding="utf-8")
+    copy = tmp_path / "swallow_bad.py"
+    copy.write_text(original, encoding="utf-8")
+    before = lint_files([copy], root=tmp_path, select=["swallowed-exception"])
+    baseline = Baseline.from_findings(before.findings)
+
+    # Shift every finding down three lines; fingerprints must not move.
+    copy.write_text("# drift\n# drift\n# drift\n" + original, encoding="utf-8")
+    after = lint_files(
+        [copy], root=tmp_path, select=["swallowed-exception"], baseline=baseline
+    )
+    assert after.findings == []
+    assert after.baselined == 3
+
+
+def test_baseline_round_trips_through_json(tmp_path):
+    result = run_rule("swallowed-exception", "swallow_bad.py")
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(result.findings).write(path)
+    loaded = Baseline.load(path)
+    surviving, absorbed = loaded.filter(result.findings)
+    assert surviving == [] and absorbed == 3
+
+
+def test_committed_baseline_is_empty():
+    document = json.loads(
+        (REPO_ROOT / "fenlint-baseline.json").read_text(encoding="utf-8")
+    )
+    assert document["version"] == 1
+    assert document["findings"] == {}
+
+
+# -- determinism of output ----------------------------------------------------
+
+
+def test_json_report_is_deterministic_across_runs():
+    first = render_json(run_rule("swallowed-exception", "swallow_bad.py"))
+    second = render_json(run_rule("swallowed-exception", "swallow_bad.py"))
+    assert first == second
+    document = json.loads(first)
+    assert document["version"] == 1
+    assert [f["line"] for f in document["findings"]] == sorted(
+        f["line"] for f in document["findings"]
+    )
+
+
+# -- GitHub annotations (what the CI gate consumes) ---------------------------
+
+
+def test_github_format_emits_error_commands_for_seeded_violation():
+    result = run_rule("swallowed-exception", "swallow_bad.py")
+    output = render_github(result)
+    lines = output.splitlines()
+    errors = [line for line in lines if line.startswith("::error ")]
+    assert len(errors) == 3
+    for line in errors:
+        assert "file=swallow_bad.py" in line
+        assert "title=fenlint(swallowed-exception)" in line
+    assert lines[-1].startswith("fenlint: 3 finding(s)")
+
+
+def test_github_format_escapes_workflow_command_data():
+    result = run_rule("swallowed-exception", "swallow_bad.py")
+    finding = result.findings[0]
+    hacked = finding.__class__(
+        path=finding.path,
+        line=finding.line,
+        col=finding.col,
+        rule=finding.rule,
+        message="evil %0A\r\ninjection",
+        context=finding.context,
+    )
+    result.findings[0] = hacked
+    output = render_github(result)
+    assert "evil %250A%0D%0Ainjection" in output
+    assert "\r" not in output.split("::error ", 1)[1].splitlines()[0]
+
+
+# -- parse errors -------------------------------------------------------------
+
+
+def test_unparseable_file_reports_parse_error(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def half(:\n", encoding="utf-8")
+    result = lint_files([broken], root=tmp_path)
+    assert [f.rule for f in result.findings] == [PARSE_ERROR_RULE]
+    assert result.exit_code == 1
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_report_artifact(tmp_path, capsys):
+    report = tmp_path / "report.json"
+    code = lint_main(
+        [
+            "swallow_bad.py",
+            "--root",
+            str(FIXTURES),
+            "--select",
+            "swallowed-exception",
+            "--format",
+            "github",
+            "--report",
+            str(report),
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert out.count("::error ") == 3
+    document = json.loads(report.read_text(encoding="utf-8"))
+    assert len(document["findings"]) == 3
+
+    assert (
+        lint_main(
+            [
+                "swallow_good.py",
+                "--root",
+                str(FIXTURES),
+                "--select",
+                "swallowed-exception",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+
+def test_cli_unreadable_baseline_exits_2(tmp_path, capsys):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{\"version\": 99}", encoding="utf-8")
+    code = lint_main(
+        ["swallow_bad.py", "--root", str(FIXTURES), "--baseline", str(bad)]
+    )
+    assert code == 2
+    assert "unreadable baseline" in capsys.readouterr().err
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert (
+        lint_main(
+            [
+                "swallow_bad.py",
+                "--root",
+                str(FIXTURES),
+                "--select",
+                "swallowed-exception",
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ]
+        )
+        == 0
+    )
+    assert (
+        lint_main(
+            [
+                "swallow_bad.py",
+                "--root",
+                str(FIXTURES),
+                "--select",
+                "swallowed-exception",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+
+# -- --changed ----------------------------------------------------------------
+
+
+def git(*args: str, cwd: Path) -> None:
+    subprocess.run(
+        ["git", *args],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(cwd),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+def test_changed_lints_only_touched_files(tmp_path):
+    git("init", "-q", cwd=tmp_path)
+    committed = tmp_path / "committed.py"
+    committed.write_text(
+        "def old(work):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        pass\n",
+        encoding="utf-8",
+    )
+    git("add", "committed.py", cwd=tmp_path)
+    git("commit", "-q", "-m", "seed", cwd=tmp_path)
+
+    fresh = tmp_path / "fresh.py"
+    fresh.write_text(
+        "def new(work):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        pass\n",
+        encoding="utf-8",
+    )
+    result = lint_paths(
+        ["."],
+        root=tmp_path,
+        select=["swallowed-exception"],
+        changed_ref="HEAD",
+    )
+    # Only the untracked file is linted; the committed violation is not.
+    assert {f.path for f in result.findings} == {"fresh.py"}
+    assert result.files_checked == 1
+
+
+# -- the repo itself ----------------------------------------------------------
+
+
+def test_src_tree_is_fenlint_clean():
+    """``repro lint src/`` must exit 0 with an *empty* baseline."""
+    result = lint_paths(["src"], root=REPO_ROOT)
+    rendered = "\n".join(
+        f"{f.path}:{f.line}: {f.rule}: {f.message}" for f in result.findings
+    )
+    assert result.findings == [], f"fenlint findings in src:\n{rendered}"
+
+
+def test_module_entry_point_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--list-rules"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0
+    assert "journal-durability" in completed.stdout

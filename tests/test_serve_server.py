@@ -298,6 +298,12 @@ class TestFailurePaths:
             del runtime.monitor.ingest  # restore the real method
             assert client.ingest("svc", {"x": "L"}, T0)["seq"] == 1
             assert client.stats()["counters"]["ingest_failures"] == 1
+            # The broad handler's visible trace: a per-site labeled
+            # counter in the Prometheus exposition (`repro client metrics`).
+            assert (
+                'serve_internal_errors_total{site="ingest"} 1'
+                in client.metrics()
+            )
 
     def test_internal_dispatch_error_answered_not_hung(self, server):
         with connect(server) as client:
@@ -314,6 +320,10 @@ class TestFailurePaths:
             del runtime.monitor.describe
             assert client.query("svc")["rounds"] == 0
             assert client.stats()["counters"]["internal_errors"] == 1
+            assert (
+                'serve_internal_errors_total{site="dispatch"} 1'
+                in client.metrics()
+            )
 
     def test_corrupt_monitor_does_not_block_startup(self, tmp_path):
         data_dir = tmp_path / "data"
