@@ -16,13 +16,22 @@ laptop-class machine:
   oracle equivalence asserted on every probe. ≥5× at 256 modes.
 * **Cold-start replay**: wall time for a restarted server to rebuild
   every monitor's exact mode state from snapshot + deltas + journal.
+* **Shard sweep** (``--shards N``): the same batch-128 fleet against
+  ``repro serve --shards {1,2,N}`` clusters vs the single-process
+  server. On a box with >= 4 cores the 4-shard tier must ingest >= 3x
+  the single process (each shard is its own process and GIL); on
+  fewer cores that is physically impossible — everything timeshares
+  one core — so the assertion degrades to an overhead floor: the
+  sharded tier must retain a documented fraction of single-process
+  throughput. The JSON records ``cpus`` and which gate applied.
 
 Human-readable results go to ``benchmarks/out/serve.txt``; the
 machine-readable trajectory goes to ``BENCH_serve.json`` at the repo
 root (uploaded as a CI artifact).
 
 Run directly: ``PYTHONPATH=src python benchmarks/bench_serve.py``
-(``--quick`` for the CI smoke variant).
+(``--quick`` for the CI smoke variant, ``--shards 4`` to add the
+cluster sweep).
 """
 
 from __future__ import annotations
@@ -64,6 +73,15 @@ MAX_OBS_OVERHEAD = 0.03  # span-enabled ingest may cost at most 3%
 # hardware; batched ingest on a CI runner must clear that baseline.
 QUICK_MIN_THROUGHPUT_128 = 2500.0
 
+# Shard-sweep targets. The >= 3x claim needs real parallel hardware:
+# each shard is its own process, so with >= 4 cores four shards ingest
+# on four GILs. On a 1-core box the same processes timeshare one core
+# and the only honest assertion is bounded overhead: the tier (router
+# hop + supervisor + consistent-hash fan-out) must keep at least this
+# fraction of single-process throughput.
+MIN_SHARD4_SPEEDUP = 3.0
+SINGLE_CORE_RETENTION = 0.35
+
 T0 = datetime(2025, 1, 1)
 SITES = ["LAX", "AMS", "FRA", "NRT", "GRU"]
 
@@ -104,6 +122,108 @@ def start_server(data_dir: str, snapshot_every: int = 1000, obs: bool = False):
 def stop_server(process: subprocess.Popen) -> None:
     process.terminate()
     process.wait(timeout=30)
+
+
+def start_cluster(data_dir: str, num_shards: int):
+    """A sharded tier under test: supervisor + N shards + router."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_OBS"] = "0"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--shards",
+            str(num_shards),
+            "--port",
+            "0",
+            "--data-dir",
+            data_dir,
+            "--exit-on-stdin-close",
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+    )
+    while True:
+        line = process.stdout.readline().decode()
+        assert line, "cluster exited during startup"
+        if line.startswith("listening on "):
+            break
+    host, _, port = line.split()[-1].rpartition(":")
+    return process, host, int(port)
+
+
+def stop_cluster(process: subprocess.Popen) -> None:
+    # Closing stdin retires the supervisor and, through the stdin-EOF
+    # pipes it holds, every shard — even if it were SIGKILLed instead.
+    process.stdin.close()
+    process.wait(timeout=30)
+
+
+def run_cluster_throughput(
+    num_shards: int, rounds_per_client: int, num_clients: int, batch_size: int = 128
+) -> dict:
+    """One fresh cluster + fleet run at a given shard count.
+
+    ``num_shards == 0`` measures the single-process server with the
+    identical workload — the sweep's baseline.
+    """
+    data_dir = tempfile.mkdtemp(prefix=f"bench_serve_s{num_shards}_")
+    if num_shards == 0:
+        server, host, port = start_server(data_dir)
+    else:
+        server, host, port = start_cluster(data_dir, num_shards)
+    networks = [f"n{i}" for i in range(NUM_NETWORKS)]
+    with ServeClient(host=host, port=port) as admin:
+        for client_index in range(num_clients):
+            admin.create(f"svc{client_index}", networks)
+
+    barrier = multiprocessing.Barrier(num_clients + 1)
+    workers = [
+        multiprocessing.Process(
+            target=feeder,
+            args=(host, port, index, rounds_per_client, batch_size, barrier),
+        )
+        for index in range(num_clients)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+
+    with ServeClient(host=host, port=port) as admin:
+        stats = admin.stats()
+    if num_shards == 0:
+        stop_server(server)
+        shard_load = None
+    else:
+        stop_cluster(server)
+        shard_load = {
+            shard: status.get("monitors")
+            for shard, status in stats["cluster"]["shard_status"].items()
+        }
+    failed = [worker.exitcode for worker in workers if worker.exitcode != 0]
+    assert not failed, f"feeders failed at {num_shards} shards: {failed}"
+    total_rounds = num_clients * rounds_per_client
+    # The router sums shard counters; acked == applied across the tier.
+    assert stats["counters"]["rounds_ingested"] == total_rounds
+
+    return {
+        "shards": num_shards,
+        "rounds": total_rounds,
+        "wall_seconds": round(elapsed, 4),
+        "throughput": round(total_rounds / elapsed, 1),
+        "monitors_per_shard": shard_load,
+    }
 
 
 def monitor_rounds(monitor_index: int, count: int):
@@ -291,7 +411,26 @@ def run_match_bench(num_modes: int, probes: int = MATCH_PROBES) -> dict:
     }
 
 
-def run(quick: bool = False) -> dict:
+def run_shard_sweep(
+    max_shards: int, rounds_per_client: int, num_clients: int, repeats: int
+) -> list:
+    """Best-of-N batch-128 runs at 0 (single-process), 1, 2, N shards."""
+    shard_counts = sorted({0, 1, 2, max_shards})
+    return [
+        max(
+            (
+                run_cluster_throughput(
+                    num_shards, rounds_per_client, num_clients
+                )
+                for _ in range(repeats)
+            ),
+            key=lambda entry: entry["throughput"],
+        )
+        for num_shards in shard_counts
+    ]
+
+
+def run(quick: bool = False, shards: int | None = None) -> dict:
     if quick:
         batch_sizes = (1, 128)
         rounds_per_client, num_clients, repeats = 250, 4, 1
@@ -337,6 +476,13 @@ def run(quick: bool = False) -> dict:
     obs_throughput = obs_entry["throughput"]
     obs_overhead = 1.0 - obs_throughput / batched
 
+    shard_sweep = (
+        run_shard_sweep(shards, rounds_per_client, num_clients, repeats)
+        if shards is not None
+        else None
+    )
+    cpus = os.cpu_count() or 1
+
     lines = [
         f"mode={'quick' if quick else 'full'} clients={num_clients} "
         f"monitors={num_clients} networks={NUM_NETWORKS} "
@@ -369,6 +515,22 @@ def run(quick: bool = False) -> dict:
             f"{entry['scalar_us_per_match']:8.1f} us scalar "
             f"({entry['speedup']:.1f}x)"
         )
+    if shard_sweep is not None:
+        single = shard_sweep[0]["throughput"]  # shards == 0 entry
+        lines += [
+            "",
+            f"shard sweep (batch 128, {cpus} cpu(s)):",
+        ]
+        for entry in shard_sweep:
+            label = (
+                "single-process"
+                if entry["shards"] == 0
+                else f"{entry['shards']} shard(s)"
+            )
+            lines.append(
+                f"  {label:>15}: {entry['throughput']:10.0f}/s  "
+                f"({entry['throughput'] / single:.2f}x single-process)"
+            )
     emit("serve", "\n".join(lines))
 
     metrics = {
@@ -386,6 +548,31 @@ def run(quick: bool = False) -> dict:
         "sweep": sweep,
         "match_bench": matches,
     }
+    if shard_sweep is not None:
+        single = shard_sweep[0]["throughput"]
+        clustered = next(
+            entry["throughput"]
+            for entry in shard_sweep
+            if entry["shards"] == shards
+        )
+        shard_speedup = clustered / single
+        gate = (
+            "min_shard4_speedup"
+            if cpus >= 4
+            else "single_core_retention"
+        )
+        metrics.update(
+            {
+                "cpus": cpus,
+                "shard_sweep": shard_sweep,
+                "throughput_by_shards": {
+                    str(entry["shards"]): entry["throughput"]
+                    for entry in shard_sweep
+                },
+                "shard_speedup": round(shard_speedup, 2),
+                "shard_gate": gate,
+            }
+        )
     write_bench_json("serve", metrics)
 
     match_256 = next(m for m in matches if m["modes"] == 256)
@@ -421,6 +608,22 @@ def run(quick: bool = False) -> dict:
             f"observability overhead {obs_overhead:.1%} exceeds the "
             f"{MAX_OBS_OVERHEAD:.0%} budget at batch 128"
         )
+    if shard_sweep is not None:
+        if cpus >= 4:
+            assert shard_speedup >= MIN_SHARD4_SPEEDUP, (
+                f"{shards}-shard throughput {clustered:.0f}/s is only "
+                f"{shard_speedup:.2f}x single-process ({single:.0f}/s); "
+                f"target {MIN_SHARD4_SPEEDUP:.0f}x on {cpus} cores"
+            )
+        else:
+            # One core: no parallelism to win, so assert the tier's
+            # overhead stays bounded instead (see module docstring).
+            assert shard_speedup >= SINGLE_CORE_RETENTION, (
+                f"{shards}-shard throughput {clustered:.0f}/s retains "
+                f"only {shard_speedup:.2f}x of single-process "
+                f"({single:.0f}/s); floor {SINGLE_CORE_RETENTION:.2f}x "
+                f"on {cpus} cpu(s)"
+            )
     return metrics
 
 
@@ -435,4 +638,12 @@ if __name__ == "__main__":
         action="store_true",
         help="CI smoke variant: smaller fleet, absolute floor only",
     )
-    run(quick=parser.parse_args().quick)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="add the cluster shard sweep up to N shards",
+    )
+    arguments = parser.parse_args()
+    run(quick=arguments.quick, shards=arguments.shards)

@@ -9,7 +9,9 @@ Reads ``throughput_by_batch`` from both files and exits non-zero if any
 batch size present in both dropped by more than ``--max-drop`` (a
 fraction: 0.40 means a 40% drop fails). Improvements and new batch
 sizes never fail; a batch size that vanished from the candidate does,
-because silently losing a measurement is how regressions hide.
+because silently losing a measurement is how regressions hide. When the
+baseline carries a ``throughput_by_shards`` section (from a
+``--shards N`` run), the same rules apply shard-count by shard-count.
 
 The generous default threshold is deliberate: CI runners are noisy
 shared machines, and this gate exists to catch "someone serialized the
@@ -27,7 +29,7 @@ UPDATE_HINT = """\
 If this slowdown is expected (e.g. the batch path deliberately trades
 throughput for a new guarantee), refresh the committed baseline:
 
-    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick --shards 4
     git add BENCH_serve.json
 
 and explain the trade-off in the commit message. Otherwise, profile the
@@ -35,17 +37,58 @@ serve ingest path before merging — `repro client metrics` exposes
 per-command latency histograms and journal fsync timings."""
 
 
-def load_throughput(path: Path) -> dict[str, float]:
+def load_document(path: Path) -> dict:
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
         sys.exit(f"error: {path} does not exist")
     except json.JSONDecodeError as exc:
         sys.exit(f"error: {path} is not valid JSON: {exc}")
-    throughput = document.get("throughput_by_batch")
+    return document
+
+
+def extract_section(document: dict, path: Path, section: str, required: bool):
+    throughput = document.get(section)
     if not isinstance(throughput, dict) or not throughput:
-        sys.exit(f"error: {path} has no throughput_by_batch section")
+        if required:
+            sys.exit(f"error: {path} has no {section} section")
+        return None
     return {str(key): float(value) for key, value in throughput.items()}
+
+
+def compare_section(
+    label: str,
+    baseline: dict[str, float],
+    candidate: dict[str, float] | None,
+    max_drop: float,
+    failures: list[str],
+) -> None:
+    if candidate is None:
+        failures.append(
+            f"{label}: section present in baseline but missing from candidate"
+        )
+        return
+    for key in sorted(baseline, key=lambda value: int(value)):
+        before = baseline[key]
+        after = candidate.get(key)
+        if after is None:
+            failures.append(
+                f"{label} {key}: present in baseline ({before:.1f} rounds/s) "
+                "but missing from candidate"
+            )
+            continue
+        change = (after - before) / before if before else 0.0
+        marker = "OK"
+        if change < -max_drop:
+            marker = "FAIL"
+            failures.append(
+                f"{label} {key}: {before:.1f} -> {after:.1f} rounds/s "
+                f"({change:+.1%}, limit -{max_drop:.0%})"
+            )
+        print(
+            f"[{marker:>4}] {label} {key:>4}: baseline {before:>9.1f}  "
+            f"candidate {after:>9.1f}  ({change:+.1%})"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,30 +105,26 @@ def main(argv: list[str] | None = None) -> int:
     if not 0.0 < args.max_drop < 1.0:
         parser.error("--max-drop must be a fraction in (0, 1)")
 
-    baseline = load_throughput(args.baseline)
-    candidate = load_throughput(args.candidate)
+    baseline_doc = load_document(args.baseline)
+    candidate_doc = load_document(args.candidate)
+    baseline = extract_section(
+        baseline_doc, args.baseline, "throughput_by_batch", required=True
+    )
+    candidate = extract_section(
+        candidate_doc, args.candidate, "throughput_by_batch", required=True
+    )
 
     failures: list[str] = []
-    for batch in sorted(baseline, key=lambda key: int(key)):
-        before = baseline[batch]
-        after = candidate.get(batch)
-        if after is None:
-            failures.append(
-                f"batch {batch}: present in baseline ({before:.1f} rounds/s) "
-                "but missing from candidate"
-            )
-            continue
-        change = (after - before) / before if before else 0.0
-        marker = "OK"
-        if change < -args.max_drop:
-            marker = "FAIL"
-            failures.append(
-                f"batch {batch}: {before:.1f} -> {after:.1f} rounds/s "
-                f"({change:+.1%}, limit -{args.max_drop:.0%})"
-            )
-        print(
-            f"[{marker:>4}] batch {batch:>4}: baseline {before:>9.1f}  "
-            f"candidate {after:>9.1f}  ({change:+.1%})"
+    compare_section("batch", baseline, candidate, args.max_drop, failures)
+    baseline_shards = extract_section(
+        baseline_doc, args.baseline, "throughput_by_shards", required=False
+    )
+    if baseline_shards is not None:
+        candidate_shards = extract_section(
+            candidate_doc, args.candidate, "throughput_by_shards", required=False
+        )
+        compare_section(
+            "shards", baseline_shards, candidate_shards, args.max_drop, failures
         )
 
     if failures:

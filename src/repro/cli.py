@@ -248,6 +248,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-interval", type=float, default=10.0, metavar="SECONDS",
         help="seconds between --metrics-file dumps (default: 10)",
     )
+    serve.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="N",
+        help="run a sharded cluster: N worker processes behind a router "
+        "front-end speaking the same wire protocol (docs/cluster.md)",
+    )
+    serve.add_argument(
+        "--replicate", action="store_true",
+        help="with --shards: give every shard a replication follower, "
+        "promoted automatically when its primary dies",
+    )
+    serve.add_argument(
+        "--sync-interval", type=float, default=0.5, metavar="SECONDS",
+        help="replication pull cadence for followers (default: 0.5)",
+    )
+    serve.add_argument(
+        "--follow", default=None, metavar="HOST:PORT",
+        help="run as a replication follower of the given primary "
+        "(normally set by the cluster supervisor, not by hand)",
+    )
+    serve.add_argument(
+        "--exit-on-stdin-close", action="store_true",
+        help="exit when stdin reaches EOF (supervised-child mode: a dead "
+        "supervisor's pipe retires its shards instead of leaking them)",
+    )
 
     client = commands.add_parser(
         "client", help="talk to a running repro serve instance"
@@ -355,8 +379,41 @@ def _with_observability(args: argparse.Namespace, action):
             print(f"metrics written to {metrics_path}", file=sys.stderr)
 
 
+def _stdin_eof_event() -> "asyncio.Event":  # noqa: F821 (import in function)
+    """An asyncio Event set when this process's stdin reaches EOF.
+
+    The read happens on a daemon thread so it cannot block interpreter
+    shutdown, and the event is set via ``call_soon_threadsafe`` so the
+    loop wakes immediately. Used by supervised children (and the
+    supervisor itself under a harness): the parent holds the write end
+    of the pipe, so its death — even by SIGKILL — retires the child.
+    """
+    import asyncio
+    import threading
+
+    loop = asyncio.get_running_loop()
+    event = asyncio.Event()
+
+    def watch() -> None:
+        try:
+            while sys.stdin.buffer.read(65536):
+                pass
+        except (OSError, ValueError):
+            pass
+        loop.call_soon_threadsafe(event.set)
+
+    threading.Thread(target=watch, name="stdin-eof-watch", daemon=True).start()
+    return event
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
+
+    if args.shards is not None:
+        return _run_cluster(args)
+    if args.replicate:
+        print("--replicate requires --shards", file=sys.stderr)
+        return 2
 
     from .serve import FenrirServer, ServeConfig
 
@@ -382,20 +439,35 @@ def _run_serve(args: argparse.Namespace) -> int:
     async def run() -> None:
         server = FenrirServer(config)
         await server.start()
+        if args.follow is not None:
+            from .serve.cluster import ReplicationFollower
+
+            follow_host, _, follow_port = args.follow.rpartition(":")
+            server.follower = ReplicationFollower(
+                server,
+                (follow_host, int(follow_port)),
+                interval=args.sync_interval,
+            )
+            server.follower.start()
         host, port = server.address
-        # Machine-readable readiness line: tests and the bench harness
-        # parse it to learn an OS-assigned port.
+        # Machine-readable readiness line: tests, the bench harness, and
+        # the cluster supervisor parse it to learn an OS-assigned port.
         print(f"listening on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
         dumper = None
         if args.metrics_file is not None:
-            dumper = asyncio.get_running_loop().create_task(
-                dump_metrics_forever(server)
-            )
+            dumper = loop.create_task(dump_metrics_forever(server))
+        serving = loop.create_task(server.serve_forever())
+        waiters = {serving}
+        if args.exit_on_stdin_close:
+            waiters.add(loop.create_task(_stdin_eof_event().wait()))
         try:
-            await server.serve_forever()
+            await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
         except asyncio.CancelledError:
             pass
         finally:
+            for task in waiters:
+                task.cancel()
             if dumper is not None:
                 dumper.cancel()
                 # Final dump so short-lived runs still leave a snapshot.
@@ -403,6 +475,72 @@ def _run_serve(args: argparse.Namespace) -> int:
 
                 write_metrics_file(args.metrics_file, server.registry)
             await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.cluster import ClusterConfig, ClusterSupervisor
+
+    if args.follow is not None:
+        print("--follow cannot be combined with --shards", file=sys.stderr)
+        return 2
+
+    config = ClusterConfig(
+        data_dir=args.data_dir,
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        replicate=args.replicate,
+        sync_interval=args.sync_interval,
+        queue_size=args.queue_size,
+        snapshot_every=args.snapshot_every,
+        fsync=args.fsync,
+    )
+
+    async def dump_metrics_forever(supervisor: ClusterSupervisor) -> None:
+        from .obs import write_metrics_file
+
+        while True:
+            await asyncio.sleep(args.metrics_interval)
+            try:
+                write_metrics_file(args.metrics_file, supervisor.registry)
+            except OSError as exc:
+                print(f"metrics dump failed: {exc}", file=sys.stderr)
+
+    async def run() -> None:
+        supervisor = ClusterSupervisor(config)
+        await supervisor.start()
+        # One line per child first (harnesses learn pids and shard
+        # addresses), the router's own readiness line last.
+        for line in supervisor.describe_processes():
+            print(line, flush=True)
+        host, port = supervisor.address
+        print(f"listening on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        dumper = None
+        if args.metrics_file is not None:
+            dumper = loop.create_task(dump_metrics_forever(supervisor))
+        serving = loop.create_task(supervisor.serve_forever())
+        waiters = {serving}
+        if args.exit_on_stdin_close:
+            waiters.add(loop.create_task(_stdin_eof_event().wait()))
+        try:
+            await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for task in waiters:
+                task.cancel()
+            if dumper is not None:
+                dumper.cancel()
+            await supervisor.stop()
 
     try:
         asyncio.run(run())

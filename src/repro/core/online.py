@@ -451,6 +451,62 @@ class OnlineFenrir:
         tracker._num_recurrences = sum(1 for u in tracker.updates if u.recurred)
         return tracker
 
+    def apply_delta(self, delta: Mapping) -> None:
+        """Apply a ``to_state(updates_after=...)`` delta to this live tracker.
+
+        The in-memory analogue of :func:`fold_delta_state`: the delta
+        must chain exactly from this tracker's current counts (its
+        ``updates_after``/``exemplars_after`` equal the live list
+        lengths and its catalog extends the live catalog), and applying
+        it costs O(delta) — this is how a replication follower keeps up
+        with a primary without re-serializing or re-ingesting history.
+        Raises :class:`ValueError` on any chain mismatch, *before*
+        mutating anything.
+        """
+        if delta.get("version") != STATE_VERSION or delta.get("kind") != "delta":
+            raise ValueError("not a delta segment")
+        if delta["updates_after"] != len(self.updates):
+            raise ValueError(
+                f"delta chains from {delta['updates_after']} updates, "
+                f"tracker has {len(self.updates)}"
+            )
+        if delta["exemplars_after"] != len(self._exemplars):
+            raise ValueError(
+                f"delta chains from {delta['exemplars_after']} exemplars, "
+                f"tracker has {len(self._exemplars)}"
+            )
+        live_labels = list(self.catalog.labels)
+        new_labels = list(delta["catalog"])
+        if new_labels[: len(live_labels)] != live_labels:
+            raise ValueError("delta catalog does not extend the tracker's catalog")
+        for label in new_labels[len(live_labels):]:
+            self.catalog.code(label)
+
+        def restore_vector(doc: Mapping) -> RoutingVector:
+            return RoutingVector(
+                self.networks,
+                np.asarray(doc["codes"], dtype=np.int32),
+                self.catalog,
+                datetime.fromisoformat(doc["time"]) if doc["time"] else None,
+            )
+
+        for doc in delta["exemplars"]:
+            self._append_exemplar(restore_vector(doc))
+        previous = delta.get("previous")
+        self._previous = restore_vector(previous) if previous else None
+        self._previous_mode = delta.get("previous_mode")
+        last_time = delta.get("last_time")
+        self._last_time = datetime.fromisoformat(last_time) if last_time else None
+        new_updates = [_update_from_state(doc) for doc in delta["updates"]]
+        self.updates.extend(new_updates)
+        self._num_events += sum(1 for u in new_updates if u.is_event)
+        self._num_recurrences += sum(1 for u in new_updates if u.recurred)
+        # The recurring-round memos cache state the delta just replaced.
+        self._prev_assignment = None
+        self._prev_self_step = None
+        self._memo_match = (None, -1.0)
+        self._memo_match_modes = -1
+
     def mode_timeline(self) -> list[tuple[int, datetime, datetime]]:
         """Contiguous (mode_id, start, end) segments seen so far."""
         segments: list[tuple[int, datetime, datetime]] = []

@@ -17,9 +17,16 @@ long-lived, queryable network service:
 * :mod:`~repro.serve.metrics` — counters and latency percentiles for
   the ``stats`` command, backed by the per-server
   :class:`repro.obs.MetricsRegistry` that the ``metrics`` command
-  renders as Prometheus text.
+  renders as Prometheus text;
+* :mod:`~repro.serve.ring` — consistent hashing (virtual nodes over a
+  stable digest) assigning monitors to shards;
+* :mod:`~repro.serve.router` — the cluster front-end proxying the same
+  wire protocol to the owning shard;
+* :mod:`~repro.serve.cluster` — the shard supervisor (spawn, watch,
+  restart, failover, rebalance) and the replication follower loop.
 
-See ``docs/serving.md`` for the wire protocol and durability model.
+See ``docs/serving.md`` for the wire protocol and durability model,
+and ``docs/cluster.md`` for the sharded tier.
 """
 
 from .client import (
@@ -27,20 +34,32 @@ from .client import (
     OverloadedError,
     ServeClient,
     ServeClientError,
+    ServeTimeout,
+)
+from .cluster import (
+    ClusterConfig,
+    ClusterSupervisor,
+    ReplicationFollower,
 )
 from .journal import JournalError, JournalRecord, JournalWriter, read_journal
 from .metrics import LatencyRecorder, ServerMetrics
 from .monitor import BatchResult, DurableMonitor, MonitorError, ReplayReport
 from .protocol import FrameError, FrameTooLarge, MAX_FRAME
+from .ring import HashRing
+from .router import ClusterState, ShardRouter
 from .server import FenrirServer, ServeConfig
 
 __all__ = [
     "BatchRejectedError",
     "BatchResult",
+    "ClusterConfig",
+    "ClusterState",
+    "ClusterSupervisor",
     "DurableMonitor",
     "FenrirServer",
     "FrameError",
     "FrameTooLarge",
+    "HashRing",
     "JournalError",
     "JournalRecord",
     "JournalWriter",
@@ -49,9 +68,12 @@ __all__ = [
     "MonitorError",
     "OverloadedError",
     "ReplayReport",
+    "ReplicationFollower",
     "ServeClient",
     "ServeClientError",
     "ServeConfig",
+    "ServeTimeout",
     "ServerMetrics",
+    "ShardRouter",
     "read_journal",
 ]

@@ -18,6 +18,7 @@ from . import protocol
 
 __all__ = [
     "ServeClientError",
+    "ServeTimeout",
     "OverloadedError",
     "BatchRejectedError",
     "ServeClient",
@@ -31,6 +32,19 @@ class ServeClientError(RuntimeError):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.response = response
+
+
+class ServeTimeout(OSError):
+    """The server (or the route to it) stopped answering in time.
+
+    Raised when connecting exceeds ``connect_timeout`` or a request
+    exceeds ``timeout``. Distinct from :class:`ServeClientError`: no
+    response was received at all, so the request's fate is unknown —
+    behind a router this usually means the owning shard is dead and a
+    restart or failover is in progress. The connection is closed (a
+    late response would desynchronize the request/response pairing);
+    reconnect before retrying.
+    """
 
 
 class OverloadedError(ServeClientError):
@@ -62,11 +76,30 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int = 7339,
         timeout: Optional[float] = 30.0,
+        connect_timeout: Optional[float] = None,
         max_frame: int = protocol.MAX_FRAME,
     ) -> None:
+        """Connect to ``host:port``.
+
+        ``timeout`` bounds every subsequent socket read/write (None =
+        block forever — only sensible in debugging); ``connect_timeout``
+        bounds the initial connect and defaults to ``timeout``. Both
+        raise :class:`ServeTimeout` on expiry.
+        """
         self.max_frame = max_frame
+        self.timeout = timeout
         self._next_id = 0
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        if connect_timeout is None:
+            connect_timeout = timeout
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except socket.timeout as exc:
+            raise ServeTimeout(
+                f"connecting to {host}:{port} exceeded {connect_timeout}s"
+            ) from exc
+        self._sock.settimeout(timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     def close(self) -> None:
@@ -89,8 +122,17 @@ class ServeClient:
         """
         self._next_id += 1
         message = {"cmd": command, "id": self._next_id, **fields}
-        protocol.send_frame(self._sock, message, self.max_frame)
-        response = protocol.recv_frame(self._sock, self.max_frame)
+        try:
+            protocol.send_frame(self._sock, message, self.max_frame)
+            response = protocol.recv_frame(self._sock, self.max_frame)
+        except socket.timeout as exc:
+            # The stream position is now unknowable (a late response
+            # would be mistaken for the next request's answer); close so
+            # any further use fails fast instead of desynchronizing.
+            self._sock.close()
+            raise ServeTimeout(
+                f"no response to {command!r} within {self.timeout}s"
+            ) from exc
         if not response.get("ok"):
             code = response.get("error", "unknown")
             text = response.get("message", "")
@@ -212,3 +254,28 @@ class ServeClient:
 
     def list_monitors(self) -> list[str]:
         return list(self.request("list")["monitors"])
+
+    # -- cluster commands (state shipping and failover) ----------------------
+
+    def handoff(self, monitor: str, after_rounds: Optional[int] = None) -> dict:
+        """Export a monitor's state document for shipping elsewhere.
+
+        Without ``after_rounds`` the response carries the full state
+        (``kind: "full"``); with it, a delta covering only newer rounds
+        (``kind: "delta"``, or ``"unchanged"`` when already current).
+        """
+        if after_rounds is None:
+            return self.request("handoff", monitor=monitor)
+        return self.request("handoff", monitor=monitor, after_rounds=after_rounds)
+
+    def install(self, monitor: str, seq: int, state: Mapping) -> dict:
+        """Install a state document shipped from a ``handoff``."""
+        return self.request("install", monitor=monitor, seq=seq, state=dict(state))
+
+    def retire(self, monitor: str) -> dict:
+        """Drop a monitor after its state moved to another shard."""
+        return self.request("retire", monitor=monitor)
+
+    def promote(self) -> dict:
+        """Tell a replication follower to stop following and serve."""
+        return self.request("promote")

@@ -285,6 +285,76 @@ class DurableMonitor:
             monitor.snapshot()
         return monitor
 
+    @classmethod
+    def install(
+        cls,
+        data_dir: Path | str,
+        name: str,
+        seq: int,
+        state: Mapping,
+        snapshot_every: int = 0,
+        fsync: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "DurableMonitor":
+        """Materialize a monitor from a shipped full ``to_state`` document.
+
+        The receiving half of the ``handoff`` wire command: the state is
+        validated (:meth:`OnlineFenrir.from_state` rejects deltas and
+        malformed documents) *before* anything touches disk, then any
+        stale incarnation's journal and delta segments are discarded and
+        the shipped state becomes the new base snapshot at ``seq``. The
+        returned monitor is immediately ingestable; replaying it later
+        recovers exactly the shipped state.
+        """
+        if not valid_monitor_name(name):
+            raise MonitorError(f"invalid monitor name: {name!r}")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise MonitorError(f"install seq must be a non-negative int: {seq!r}")
+        try:
+            tracker = OnlineFenrir.from_state(state)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise MonitorError(f"uninstallable state: {exc}") from exc
+        directory = Path(data_dir) / name
+        directory.mkdir(parents=True, exist_ok=True)
+        # A previous incarnation's journal/deltas describe history this
+        # install supersedes; drop them before the snapshot lands so a
+        # crash in between cannot resurrect them over the new base.
+        (directory / JOURNAL_FILE).unlink(missing_ok=True)
+        discard_deltas(directory)
+        write_snapshot(directory, seq, dict(state))
+        return cls(
+            name=name,
+            directory=directory,
+            tracker=tracker,
+            seq=seq,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+            registry=registry,
+        )
+
+    def install_delta(self, seq: int, delta: Mapping) -> None:
+        """Apply a shipped delta segment that chains from the live state.
+
+        Replication followers call this on every sync: the delta is
+        applied in memory first (:meth:`OnlineFenrir.apply_delta`
+        raises on any chain mismatch before disk is touched), then
+        persisted as a delta segment at ``seq`` and the journal is
+        reset — the on-disk chain stays exactly equivalent to the
+        in-memory tracker.
+        """
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < self.seq:
+            raise MonitorError(
+                f"delta seq {seq!r} must be an int >= current seq {self.seq}"
+            )
+        try:
+            self.tracker.apply_delta(delta)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise MonitorError(f"unapplyable delta: {exc}") from exc
+        write_delta(self.directory, seq, delta)
+        self._journal.reset()
+        self.seq = seq
+        self._mark_checkpoint()
+
     def close(self) -> None:
         self._journal.close()
 

@@ -25,12 +25,15 @@ from typing import Optional
 __all__ = [
     "MAX_FRAME",
     "COMMANDS",
+    "MONITOR_COMMANDS",
     "FrameError",
     "FrameTooLarge",
     "encode_frame",
     "decode_payload",
     "read_frame",
+    "read_frame_bytes",
     "write_frame",
+    "write_frame_bytes",
     "send_frame",
     "recv_frame",
     "error_response",
@@ -42,6 +45,7 @@ __all__ = [
     "ERR_OVERLOADED",
     "ERR_OUT_OF_ORDER",
     "ERR_INTERNAL",
+    "ERR_SHARD_DOWN",
 ]
 
 _LENGTH = struct.Struct(">I")
@@ -61,6 +65,28 @@ COMMANDS = (
     "metrics",
     "snapshot",
     "list",
+    # Cluster support: state shipping and failover (docs/cluster.md).
+    "handoff",
+    "install",
+    "retire",
+    "promote",
+)
+
+#: Commands addressed to one monitor — the router routes these to the
+#: ring owner's shard; everything else is answered by the router itself
+#: or fanned out to every shard.
+MONITOR_COMMANDS = frozenset(
+    {
+        "create",
+        "ingest",
+        "ingest_batch",
+        "query",
+        "timeline",
+        "snapshot",
+        "handoff",
+        "install",
+        "retire",
+    }
 )
 
 ERR_BAD_FRAME = "bad_frame"
@@ -71,6 +97,10 @@ ERR_MONITOR_EXISTS = "monitor_exists"
 ERR_OVERLOADED = "overloaded"
 ERR_OUT_OF_ORDER = "out_of_order"
 ERR_INTERNAL = "internal"
+#: Router-originated: the shard owning the addressed monitor is down or
+#: unreachable. Retryable — the supervisor restarts or fails over the
+#: shard; clients should back off and resend.
+ERR_SHARD_DOWN = "shard_unavailable"
 
 
 class FrameError(ValueError):
@@ -129,10 +159,40 @@ async def read_frame(
     return decode_payload(payload)
 
 
+async def read_frame_bytes(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME
+) -> Optional[bytes]:
+    """Read one frame's raw payload bytes; None on clean EOF.
+
+    The router's proxy path: a frame can be relayed to a shard (or
+    back to the client) verbatim — length prefix recomputed, payload
+    untouched — without a decode/re-encode round trip.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid length prefix") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > max_frame:
+        raise FrameTooLarge(f"declared frame of {length} bytes exceeds {max_frame}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid frame") from exc
+
+
 async def write_frame(
     writer: asyncio.StreamWriter, message: dict, max_frame: int = MAX_FRAME
 ) -> None:
     writer.write(encode_frame(message, max_frame))
+    await writer.drain()
+
+
+async def write_frame_bytes(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Relay an already-validated payload as one frame."""
+    writer.write(_LENGTH.pack(len(payload)) + payload)
     await writer.drain()
 
 

@@ -1,0 +1,418 @@
+"""The cluster front-end: one address, N shards behind it.
+
+:class:`ShardRouter` speaks the exact wire protocol of a single
+``repro serve`` process, so existing clients need no changes. Each
+request is routed by the consistent-hash ring: monitor-scoped commands
+go verbatim to the owning shard, ``list``/``stats`` fan out to every
+shard and come back merged, and ``metrics`` answers from the router's
+own registry (pass ``"shard": <id>`` to proxy a specific shard's
+exposition instead).
+
+Proxy hot path: the router never re-serializes a routed request or its
+response. The payload bytes are read once, the command and monitor
+name are extracted with an anchored regex over the canonical key order
+our clients emit (full JSON parse as fallback), and the same bytes are
+relayed upstream; the response bytes come back the same way. Routing a
+round therefore costs two frame copies, not two JSON round trips.
+
+Liveness is the supervisor's job, not the router's: when a shard's
+connection fails the router answers ``shard_unavailable`` (a retryable
+error — the supervisor is already restarting or failing over the
+shard) and drops its cached connection so the next request dials the
+current address.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..obs import CONTENT_TYPE, MetricsRegistry, render_prometheus
+from . import protocol
+from .protocol import (
+    ERR_BAD_FRAME,
+    ERR_BAD_REQUEST,
+    ERR_FRAME_TOO_LARGE,
+    ERR_SHARD_DOWN,
+    FrameError,
+    FrameTooLarge,
+    error_response,
+)
+from .ring import HashRing
+
+__all__ = ["ClusterState", "ShardRouter"]
+
+
+@dataclass
+class ClusterState:
+    """What the router needs to know about the shards, live-updated.
+
+    The supervisor mutates ``addresses`` (and bumps ``generation``) on
+    restart and failover; the router reads it per request. One object
+    is shared — there is no copy to go stale.
+    """
+
+    ring: HashRing
+    addresses: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+    generation: int = 0
+
+    def set_address(self, shard: int, address: Optional[Tuple[str, int]]) -> None:
+        if address is None:
+            self.addresses.pop(shard, None)
+        else:
+            self.addresses[shard] = address
+        self.generation += 1
+
+    def owner(self, monitor: str) -> int:
+        return self.ring.owner(monitor)
+
+
+#: Canonical request prefix: ``{"cmd":"<x>","id":<n>`` with an optional
+#: ``,"monitor":"<name>"`` right after — exactly what ServeClient (and
+#: any json.dumps of ``{"cmd", "id", "monitor", ...}``) emits. Anchored
+#: at byte 0, so a match can only be the real top-level keys.
+_FAST_REQUEST = re.compile(
+    rb'^\{"cmd":"([a-z_]+)","id":(\d+)(?:,"monitor":"([A-Za-z0-9._-]+)")?'
+)
+
+#: Per-shard upstream connection as cached by one client connection.
+_Upstream = Tuple[int, asyncio.StreamReader, asyncio.StreamWriter]
+
+
+class ShardRouter:
+    """Protocol-transparent front-end multiplexing N shard servers."""
+
+    def __init__(
+        self,
+        state: ClusterState,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame: int = protocol.MAX_FRAME,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.state = state
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started = time.time()
+        self.registry.gauge(
+            "cluster_uptime_seconds", help="Seconds since this router constructed"
+        ).set_function(lambda: time.time() - self._started)
+        self._requests_total = self.registry.counter(
+            "cluster_requests_total", help="Requests handled by the router"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("router is not listening")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- upstream connections ------------------------------------------------
+
+    async def _upstream(
+        self, upstreams: Dict[int, _Upstream], shard: int
+    ) -> _Upstream:
+        """The cached connection to ``shard``, re-dialed when stale.
+
+        A connection is stale when the cluster generation moved (the
+        supervisor restarted or failed over some shard — cheap to
+        re-dial, and correctness demands it when the address changed).
+        """
+        cached = upstreams.pop(shard, None)
+        if cached is not None:
+            if cached[0] == self.state.generation:
+                upstreams[shard] = cached
+                return cached
+            cached[2].close()
+        address = self.state.addresses.get(shard)
+        if address is None:
+            raise ConnectionError(f"shard {shard} has no live address")
+        reader, writer = await asyncio.open_connection(address[0], address[1])
+        fresh: _Upstream = (self.state.generation, reader, writer)
+        upstreams[shard] = fresh
+        return fresh
+
+    async def _forward(
+        self, upstreams: Dict[int, _Upstream], shard: int, payload: bytes
+    ) -> bytes:
+        """Relay ``payload`` to ``shard`` and return the response bytes."""
+        _generation, reader, writer = await self._upstream(upstreams, shard)
+        await protocol.write_frame_bytes(writer, payload)
+        response = await protocol.read_frame_bytes(reader, self.max_frame)
+        if response is None:
+            raise ConnectionError(f"shard {shard} closed mid request")
+        return response
+
+    async def _request_shard(
+        self, upstreams: Dict[int, _Upstream], shard: int, message: dict
+    ) -> dict:
+        """A parsed request/response round trip (the fan-out path)."""
+        payload = protocol.encode_frame(message, self.max_frame)[4:]
+        return protocol.decode_payload(
+            await self._forward(upstreams, shard, payload)
+        )
+
+    def _count_shard_error(self, shard: int) -> None:
+        self.registry.counter(
+            "cluster_shard_errors_total",
+            labels={"shard": str(shard)},
+            help="Upstream shard failures observed by the router",
+        ).inc()
+
+    def _drop_upstream(self, upstreams: Dict[int, _Upstream], shard: int) -> None:
+        cached = upstreams.pop(shard, None)
+        if cached is not None:
+            cached[2].close()
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Per-connection loop, mirroring the single server's contract."""
+        self.registry.counter(
+            "cluster_connections_total", help="Client connections accepted"
+        ).inc()
+        upstreams: Dict[int, _Upstream] = {}
+        try:
+            while True:
+                try:
+                    payload = await protocol.read_frame_bytes(
+                        reader, self.max_frame
+                    )
+                except FrameTooLarge as exc:
+                    await protocol.write_frame(
+                        writer, error_response(ERR_FRAME_TOO_LARGE, str(exc))
+                    )
+                    break
+                except FrameError as exc:
+                    try:
+                        await protocol.write_frame(
+                            writer, error_response(ERR_BAD_FRAME, str(exc))
+                        )
+                    except (ConnectionError, OSError):
+                        pass
+                    break
+                if payload is None:
+                    break
+                response = await self._route(upstreams, payload)
+                await protocol.write_frame_bytes(writer, response)
+        except (ConnectionError, OSError):
+            pass  # client vanished; nothing to answer
+        finally:
+            for shard in list(upstreams):
+                self._drop_upstream(upstreams, shard)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _route(
+        self, upstreams: Dict[int, _Upstream], payload: bytes
+    ) -> bytes:
+        """One request in, one response out — both as raw payload bytes."""
+        command: Optional[str] = None
+        monitor: Optional[str] = None
+        request_id: object = None
+        request: Optional[dict] = None
+        match = _FAST_REQUEST.match(payload)
+        if match is not None:
+            command = match.group(1).decode("ascii")
+            request_id = int(match.group(2))
+            if match.group(3) is not None:
+                monitor = match.group(3).decode("ascii")
+        if command is None or (
+            monitor is None and command in protocol.MONITOR_COMMANDS
+        ):
+            # Non-canonical key order (hand-rolled client) or a command
+            # that needs fields the fast path does not extract.
+            try:
+                request = protocol.decode_payload(payload)
+            except FrameError as exc:
+                return self._encode(error_response(ERR_BAD_FRAME, str(exc)))
+            command = str(request.get("cmd"))
+            request_id = request.get("id")
+            raw_monitor = request.get("monitor")
+            monitor = raw_monitor if isinstance(raw_monitor, str) else None
+        self._requests_total.inc()
+        if command in protocol.MONITOR_COMMANDS:
+            if monitor is None:
+                return self._encode(
+                    error_response(
+                        ERR_BAD_REQUEST, "request needs a 'monitor' name", request_id
+                    )
+                )
+            return await self._route_to_owner(upstreams, monitor, payload, request_id)
+        # The remaining commands need parsed fields (id, shard).
+        if request is None:
+            try:
+                request = protocol.decode_payload(payload)
+            except FrameError as exc:
+                return self._encode(error_response(ERR_BAD_FRAME, str(exc)))
+            request_id = request.get("id")
+        if command == "list":
+            return self._encode(await self._fan_out_list(upstreams, request_id))
+        if command == "stats":
+            return self._encode(await self._fan_out_stats(upstreams, request_id))
+        if command == "metrics":
+            return await self._metrics(upstreams, request, request_id)
+        if command == "promote":
+            # Promotion addresses one concrete server, never the tier.
+            return self._encode(
+                error_response(
+                    ERR_BAD_REQUEST,
+                    "promote must be sent to a shard directly, not the router",
+                    request_id,
+                )
+            )
+        return self._encode(
+            error_response(ERR_BAD_REQUEST, f"unknown command: {command!r}", request_id)
+        )
+
+    def _encode(self, message: dict) -> bytes:
+        return protocol.encode_frame(message, self.max_frame)[4:]
+
+    async def _route_to_owner(
+        self,
+        upstreams: Dict[int, _Upstream],
+        monitor: str,
+        payload: bytes,
+        request_id: object,
+    ) -> bytes:
+        shard = self.state.owner(monitor)
+        try:
+            return await self._forward(upstreams, shard, payload)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError, FrameError):
+            self._drop_upstream(upstreams, shard)
+            self._count_shard_error(shard)
+            return self._encode(
+                error_response(
+                    ERR_SHARD_DOWN,
+                    f"shard {shard} (owner of {monitor!r}) is unavailable; "
+                    "retry after failover",
+                    request_id,
+                    shard=shard,
+                )
+            )
+
+    async def _fan_out_list(
+        self, upstreams: Dict[int, _Upstream], request_id: object
+    ) -> dict:
+        """Union of every live shard's monitors, sorted."""
+        monitors: set[str] = set()
+        down: list[int] = []
+        for shard in self.state.ring.shards:
+            try:
+                response = await self._request_shard(
+                    upstreams, shard, {"cmd": "list", "id": request_id}
+                )
+                monitors.update(response.get("monitors", ()))
+            except (ConnectionError, OSError, FrameError):
+                self._drop_upstream(upstreams, shard)
+                self._count_shard_error(shard)
+                down.append(shard)
+        document: dict = {"id": request_id, "ok": True, "monitors": sorted(monitors)}
+        if down:
+            document["shards_down"] = down
+        return document
+
+    async def _fan_out_stats(
+        self, upstreams: Dict[int, _Upstream], request_id: object
+    ) -> dict:
+        """Every shard's stats, merged: summed counters, tagged monitors."""
+        counters: Dict[str, float] = {}
+        monitors: dict = {}
+        failed: dict = {}
+        per_shard: dict = {}
+        for shard in self.state.ring.shards:
+            try:
+                response = await self._request_shard(
+                    upstreams, shard, {"cmd": "stats", "id": request_id}
+                )
+            except (ConnectionError, OSError, FrameError):
+                self._drop_upstream(upstreams, shard)
+                self._count_shard_error(shard)
+                per_shard[str(shard)] = {"up": False}
+                continue
+            for name, value in response.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, document in response.get("monitors", {}).items():
+                monitors[name] = {**document, "shard": shard}
+            for name, message in response.get("failed_monitors", {}).items():
+                failed[name] = message
+            per_shard[str(shard)] = {
+                "up": True,
+                "uptime_seconds": response.get("uptime_seconds"),
+                "monitors": len(response.get("monitors", {})),
+            }
+        return {
+            "id": request_id,
+            "ok": True,
+            "cluster": {
+                "shards": len(self.state.ring.shards),
+                "router_uptime_seconds": round(time.time() - self._started, 3),
+                "shard_status": per_shard,
+            },
+            "counters": counters,
+            "monitors": dict(sorted(monitors.items())),
+            "failed_monitors": dict(sorted(failed.items())),
+        }
+
+    async def _metrics(
+        self, upstreams: Dict[int, _Upstream], request: dict, request_id: object
+    ) -> bytes:
+        """Router registry by default; one shard's exposition on demand."""
+        shard = request.get("shard")
+        if shard is None:
+            return self._encode(
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "content_type": CONTENT_TYPE,
+                    "text": render_prometheus(self.registry),
+                }
+            )
+        if not isinstance(shard, int) or shard not in self.state.ring.shards:
+            return self._encode(
+                error_response(ERR_BAD_REQUEST, f"unknown shard: {shard!r}", request_id)
+            )
+        try:
+            response = await self._request_shard(
+                upstreams, shard, {"cmd": "metrics", "id": request_id}
+            )
+        except (ConnectionError, OSError, FrameError):
+            self._drop_upstream(upstreams, shard)
+            self._count_shard_error(shard)
+            return self._encode(
+                error_response(
+                    ERR_SHARD_DOWN, f"shard {shard} is unavailable", request_id
+                )
+            )
+        return self._encode(response)

@@ -15,11 +15,15 @@ a kill — see :mod:`repro.serve.journal` for the recovery half.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass, field
 from datetime import datetime
 from pathlib import Path
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
+    from .cluster import ReplicationFollower
 
 from ..core.compare import UnknownPolicy
 from ..obs import CONTENT_TYPE, MetricsRegistry, render_prometheus
@@ -84,6 +88,10 @@ class FenrirServer:
         self._monitors: dict[str, _MonitorRuntime] = {}
         self._failed: dict[str, str] = {}  # monitor name -> recovery error
         self._server: Optional[asyncio.AbstractServer] = None
+        # When this process is a replication follower, the cluster glue
+        # (repro.serve.cluster) attaches the sync loop here so the
+        # `promote` command can stop it and take writes.
+        self.follower: Optional["ReplicationFollower"] = None
         self._started = time.time()
         self.registry.gauge(
             "serve_uptime_seconds", help="Seconds since this server constructed"
@@ -144,6 +152,9 @@ class FenrirServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self.follower is not None:
+            await self.follower.stop()
+            self.follower = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -442,6 +453,176 @@ class FenrirServer:
         document["failed_monitors"] = dict(sorted(self._failed.items()))
         return {"id": request_id, "ok": True, **document}
 
+    # -- handoff / install / retire / promote (cluster support) --------------
+
+    def _unregister(self, runtime: _MonitorRuntime) -> None:
+        """Tear down a runtime: stop its writer, fail queued ingests."""
+        if runtime.worker is not None:
+            runtime.worker.cancel()
+        while not runtime.queue.empty():
+            _kind, _payload, future = runtime.queue.get_nowait()
+            if not future.cancelled():
+                future.set_exception(
+                    MonitorError("monitor was replaced or retired mid-ingest")
+                )
+            runtime.queue.task_done()
+        runtime.monitor.close()
+
+    def install_state(self, name: str, seq: int, state: Mapping) -> _MonitorRuntime:
+        """Install a shipped state document, replacing any current monitor.
+
+        A ``kind: delta`` document is applied onto the existing monitor
+        in O(delta) (it must chain exactly — the follower sync path);
+        a full document replaces the monitor and its on-disk chain
+        wholesale. Raises :class:`MonitorError` on anything that does
+        not validate; nothing is mutated in that case.
+        """
+        if not isinstance(state, Mapping):
+            raise MonitorError("install 'state' must be a state document object")
+        existing = self._monitors.get(name)
+        if state.get("kind") == "delta":
+            if existing is None:
+                raise MonitorError(
+                    f"delta install for {name!r} needs an existing monitor"
+                )
+            existing.monitor.install_delta(seq, state)
+            return existing
+        monitor = DurableMonitor.install(
+            self.config.data_dir,
+            name,
+            seq=seq,
+            state=state,
+            snapshot_every=self.config.snapshot_every,
+            fsync=self.config.fsync,
+            registry=self.registry,
+        )
+        if existing is not None:
+            self._unregister(existing)
+            del self._monitors[name]
+        # A monitor that failed recovery is healed by a fresh install.
+        self._failed.pop(name, None)
+        return self._register(monitor)
+
+    async def _handoff(self, request: dict, request_id: object) -> dict:
+        """Export a monitor's state for shipping to another shard.
+
+        With ``after_rounds`` the export is a delta segment covering
+        only the rounds past that count (``kind: "delta"``, or
+        ``"unchanged"`` when the caller is already current); without it
+        the export is the full state. The monitor's queue is quiesced
+        first so the export covers every acknowledged ingest.
+        """
+        runtime = self._runtime_for(request)
+        await runtime.queue.join()
+        monitor = runtime.monitor
+        rounds = len(monitor.tracker.updates)
+        after = request.get("after_rounds")
+        if after is not None:
+            if not isinstance(after, int) or isinstance(after, bool) or after < 0:
+                raise _RequestError(
+                    ERR_BAD_REQUEST, "'after_rounds' must be a non-negative int"
+                )
+            if after > rounds:
+                raise _RequestError(
+                    ERR_BAD_REQUEST,
+                    f"'after_rounds' {after} is ahead of the monitor ({rounds})",
+                )
+            if after == rounds:
+                self.metrics.increment("handoffs_served")
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "monitor": monitor.name,
+                    "kind": "unchanged",
+                    "seq": monitor.seq,
+                    "rounds": rounds,
+                }
+            state = monitor.tracker.to_state(updates_after=after)
+            kind = "delta"
+        else:
+            state = monitor.tracker.to_state()
+            kind = "full"
+        self.metrics.increment("handoffs_served")
+        return {
+            "id": request_id,
+            "ok": True,
+            "monitor": monitor.name,
+            "kind": kind,
+            "seq": monitor.seq,
+            "rounds": rounds,
+            "state": state,
+        }
+
+    def _install(self, request: dict, request_id: object) -> dict:
+        name = request.get("monitor")
+        if not isinstance(name, str) or not valid_monitor_name(name):
+            raise _RequestError(ERR_BAD_REQUEST, f"invalid monitor name: {name!r}")
+        seq = request.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise _RequestError(ERR_BAD_REQUEST, "install needs an int 'seq' >= 0")
+        state = request.get("state")
+        if not isinstance(state, dict):
+            raise _RequestError(ERR_BAD_REQUEST, "install needs a 'state' object")
+        try:
+            runtime = self.install_state(name, seq, state)
+        except MonitorError as exc:
+            raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
+        self.metrics.increment("installs_applied")
+        return {
+            "id": request_id,
+            "ok": True,
+            "monitor": name,
+            "seq": runtime.monitor.seq,
+            "rounds": len(runtime.monitor.tracker.updates),
+        }
+
+    async def retire_monitor(self, name: str) -> int:
+        """Drop a monitor and move its directory out of recovery's scan.
+
+        The directory is renamed to ``_retired-<name>-<seq>`` — a
+        leading underscore fails :func:`valid_monitor_name`, so restart
+        recovery skips it — rather than deleted, keeping the data
+        available for manual inspection after a rebalance. Returns the
+        retired monitor's final seq; raises :class:`MonitorError` when
+        no such monitor exists.
+        """
+        runtime = self._monitors.get(name)
+        if runtime is None:
+            raise MonitorError(f"no such monitor: {name!r}")
+        await runtime.queue.join()
+        seq = runtime.monitor.seq
+        self._unregister(runtime)
+        del self._monitors[name]
+        directory = runtime.monitor.directory
+        target = directory.with_name(f"_retired-{name}-{seq}")
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = directory.with_name(f"_retired-{name}-{seq}.{suffix}")
+        await asyncio.to_thread(os.rename, directory, target)
+        self.metrics.increment("monitors_retired")
+        return seq
+
+    async def _retire(self, request: dict, request_id: object) -> dict:
+        runtime = self._runtime_for(request)  # maps the usual error codes
+        name = runtime.monitor.name
+        seq = await self.retire_monitor(name)
+        return {"id": request_id, "ok": True, "monitor": name, "seq": seq}
+
+    async def _promote(self, request_id: object) -> dict:
+        """Stop following a primary (if we were) and accept writes.
+
+        Idempotent: promoting a server that was never a follower is an
+        ``ok`` no-op, so the supervisor can fire-and-forget during
+        failover races.
+        """
+        was_following = self.follower is not None
+        if self.follower is not None:
+            await self.follower.stop()
+            self.follower = None
+            self.metrics.increment("promotions")
+        return {"id": request_id, "ok": True, "was_following": was_following}
+
     async def _snapshot(self, request: dict, request_id: object) -> dict:
         runtime = self._runtime_for(request)
         # Quiesce: let queued ingests land so the checkpoint covers them.
@@ -478,6 +659,14 @@ class FenrirServer:
                 }
             elif command == "snapshot":
                 response = await self._snapshot(request, request_id)
+            elif command == "handoff":
+                response = await self._handoff(request, request_id)
+            elif command == "install":
+                response = self._install(request, request_id)
+            elif command == "retire":
+                response = await self._retire(request, request_id)
+            elif command == "promote":
+                response = await self._promote(request_id)
             elif command == "list":
                 response = {
                     "id": request_id,
