@@ -1,17 +1,25 @@
-"""Compare two BENCH_serve.json files and fail on throughput regression.
+"""Compare committed vs fresh bench JSON and fail on throughput regression.
 
 Usage::
 
     python benchmarks/check_regression.py baseline.json candidate.json \
+        [--vps-baseline BENCH_vps.json --vps-candidate fresh_vps.json] \
         [--max-drop 0.40]
 
-Reads ``throughput_by_batch`` from both files and exits non-zero if any
-batch size present in both dropped by more than ``--max-drop`` (a
-fraction: 0.40 means a 40% drop fails). Improvements and new batch
+Reads ``throughput_by_batch`` from both serve files and exits non-zero
+if any batch size present in both dropped by more than ``--max-drop``
+(a fraction: 0.40 means a 40% drop fails). Improvements and new batch
 sizes never fail; a batch size that vanished from the candidate does,
 because silently losing a measurement is how regressions hide. When the
 baseline carries a ``throughput_by_shards`` section (from a
 ``--shards N`` run), the same rules apply shard-count by shard-count.
+
+``--vps-baseline``/``--vps-candidate`` add the same comparison for
+``BENCH_vps.json``'s ``ingest_rounds_per_second`` section (the fixed
+micro-bench workload, identical across quick and full runs). A missing
+vps *baseline* is tolerated with a notice — the first PR that ships
+``bench_vps.py`` has no committed baseline to compare against — but
+once a baseline exists, a missing or section-less candidate fails.
 
 The generous default threshold is deliberate: CI runners are noisy
 shared machines, and this gate exists to catch "someone serialized the
@@ -36,11 +44,23 @@ and explain the trade-off in the commit message. Otherwise, profile the
 serve ingest path before merging — `repro client metrics` exposes
 per-command latency histograms and journal fsync timings."""
 
+VPS_UPDATE_HINT = """\
+If the vps baseline is missing or stale, refresh it:
 
-def load_document(path: Path) -> dict:
+    PYTHONPATH=src python benchmarks/bench_vps.py --quick
+    git add BENCH_vps.json"""
+
+
+def load_document(path: Path, optional: bool = False) -> dict | None:
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
+        if optional:
+            print(
+                f"notice: {path} does not exist; skipping its comparison.\n"
+                f"{VPS_UPDATE_HINT}"
+            )
+            return None
         sys.exit(f"error: {path} does not exist")
     except json.JSONDecodeError as exc:
         sys.exit(f"error: {path} is not valid JSON: {exc}")
@@ -68,7 +88,12 @@ def compare_section(
             f"{label}: section present in baseline but missing from candidate"
         )
         return
-    for key in sorted(baseline, key=lambda value: int(value)):
+    # Serve sections key by batch/shard counts, vps by workload names;
+    # sort numerically when possible, lexically otherwise.
+    def sort_key(value: str) -> tuple:
+        return (0, int(value), "") if value.isdigit() else (1, 0, value)
+
+    for key in sorted(baseline, key=sort_key):
         before = baseline[key]
         after = candidate.get(key)
         if after is None:
@@ -95,6 +120,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed BENCH_serve.json")
     parser.add_argument("candidate", type=Path, help="freshly measured BENCH_serve.json")
+    parser.add_argument(
+        "--vps-baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_vps.json (missing file tolerated)",
+    )
+    parser.add_argument(
+        "--vps-candidate",
+        type=Path,
+        default=None,
+        help="freshly measured BENCH_vps.json",
+    )
     parser.add_argument(
         "--max-drop",
         type=float,
@@ -126,6 +163,28 @@ def main(argv: list[str] | None = None) -> int:
         compare_section(
             "shards", baseline_shards, candidate_shards, args.max_drop, failures
         )
+
+    if args.vps_baseline is not None:
+        vps_baseline_doc = load_document(args.vps_baseline, optional=True)
+        if vps_baseline_doc is not None:
+            if args.vps_candidate is None:
+                sys.exit("error: --vps-baseline given without --vps-candidate")
+            vps_candidate_doc = load_document(args.vps_candidate)
+            vps_baseline = extract_section(
+                vps_baseline_doc,
+                args.vps_baseline,
+                "ingest_rounds_per_second",
+                required=True,
+            )
+            vps_candidate = extract_section(
+                vps_candidate_doc,
+                args.vps_candidate,
+                "ingest_rounds_per_second",
+                required=False,
+            )
+            compare_section(
+                "vps", vps_baseline, vps_candidate, args.max_drop, failures
+            )
 
     if failures:
         print("\nthroughput regression detected:", file=sys.stderr)

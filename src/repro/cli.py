@@ -98,8 +98,29 @@ def _config_from(args: argparse.Namespace) -> FenrirConfig:
     )
 
 
+def _apply_vp_plan(series: VectorSeries, args: argparse.Namespace):
+    """Honor ``--vp-plan``: project onto the kept VPs, rescale weights.
+
+    Returns the (possibly reduced) series plus the ``weight_fn`` the
+    pipeline should run with (None when no plan was given).
+    """
+    plan_path = getattr(args, "vp_plan", None)
+    if plan_path is None:
+        return series, None
+    from .vps import VPPlan
+
+    plan = VPPlan.load(plan_path)
+    reduced, _ = plan.apply(series)
+    return reduced, plan.weight_array
+
+
+def _run_pipeline(args: argparse.Namespace, series: VectorSeries):
+    series, weight_fn = _apply_vp_plan(series, args)
+    return Fenrir(_config_from(args), weight_fn=weight_fn).run(series)
+
+
 def _print_report(series: VectorSeries, args: argparse.Namespace) -> None:
-    report = Fenrir(_config_from(args)).run(series)
+    report = _run_pipeline(args, series)
     print(report.summary())
     print()
     print(report.mode_timeline())
@@ -152,6 +173,11 @@ def _add_analysis_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--interpolation-limit", type=int, default=3)
     parser.add_argument("--no-interpolate", action="store_true")
+    parser.add_argument(
+        "--vp-plan", type=Path, default=None, metavar="PLAN",
+        help="VPPlan JSON from `repro vps select`: analyze only the "
+        "plan's kept VPs with its per-VP weight rescaling",
+    )
     parser.add_argument(
         "--trace", type=Path, default=None, metavar="PATH",
         help="enable tracing and write the run's span tree to PATH "
@@ -215,6 +241,64 @@ def build_parser() -> argparse.ArgumentParser:
     bundle.add_argument("directory", type=Path)
 
     commands.add_parser("catalog", help="print the paper's dataset catalog")
+
+    vps = commands.add_parser(
+        "vps", help="most-valuable-VP selection (docs/vps.md)"
+    )
+    vps_commands = vps.add_subparsers(dest="vps_command", required=True)
+
+    v_select = vps_commands.add_parser(
+        "select", help="greedily select a budgeted VP subset from a series"
+    )
+    v_select.add_argument("series", type=Path)
+    v_select.add_argument(
+        "--output", "-o", type=Path, required=True, metavar="PLAN",
+        help="where to write the VPPlan JSON artifact",
+    )
+    v_budget = v_select.add_mutually_exclusive_group()
+    v_budget.add_argument(
+        "--keep", type=_positive_int, default=None, metavar="N",
+        help="absolute number of VPs to keep",
+    )
+    v_budget.add_argument(
+        "--budget-fraction", type=float, default=None, metavar="F",
+        help="keep F of all VPs (default: 0.2, the paper's ≤20%% target)",
+    )
+    v_select.add_argument(
+        "--alpha", type=float, default=1.0,
+        help="weight of the representation/redundancy term (default: 1.0)",
+    )
+    v_select.add_argument(
+        "--beta", type=float, default=1.0,
+        help="weight of the transition-detection term (default: 1.0)",
+    )
+    v_select.add_argument(
+        "--gamma", type=float, default=0.25,
+        help="weight of the catchment-coverage term (default: 0.25)",
+    )
+    v_select.add_argument(
+        "--change-threshold", type=float, default=0.02,
+        help="moved-VP fraction that makes a step 'active' (default: 0.02)",
+    )
+    v_select.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="threads for the agreement-count matmuls; the plan is "
+        "byte-identical for every setting (default: 1)",
+    )
+    v_select.add_argument(
+        "--tile-size", type=_positive_int, default=128, metavar="COLS",
+        help="output-tile width of the agreement kernel (default: 128)",
+    )
+
+    v_apply = vps_commands.add_parser(
+        "apply", help="project a series onto a plan's kept VPs"
+    )
+    v_apply.add_argument("series", type=Path)
+    v_apply.add_argument("plan", type=Path)
+    v_apply.add_argument("destination", type=Path)
+
+    v_show = vps_commands.add_parser("show", help="summarize a plan file")
+    v_show.add_argument("plan", type=Path)
 
     serve = commands.add_parser(
         "serve", help="run the durable streaming monitoring service"
@@ -325,6 +409,33 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshot", help="force a monitor checkpoint now"
     )
     c_snapshot.add_argument("monitor")
+
+    c_vps = client_commands.add_parser(
+        "vps", help="create a monitor from a VP plan, or show its stored plan"
+    )
+    c_vps.add_argument("monitor")
+    c_vps.add_argument(
+        "--plan", type=Path, default=None, metavar="PLAN",
+        help="VPPlan JSON to create the monitor from (omit to query)",
+    )
+    c_vps.add_argument(
+        "--no-dedup", action="store_true",
+        help="create the plan monitor with ingest dedup off",
+    )
+    c_vps.add_argument("--event-threshold", type=float, default=0.1)
+    c_vps.add_argument("--mode-threshold", type=float, default=0.7)
+    c_vps.add_argument(
+        "--policy", choices=["pessimistic", "exclude"], default="pessimistic"
+    )
+
+    c_dedup = client_commands.add_parser(
+        "dedup", help="show or toggle a monitor's ingest dedup mode"
+    )
+    c_dedup.add_argument("monitor")
+    c_dedup.add_argument(
+        "--mode", choices=["on", "off"], default=None,
+        help="toggle dedup (omit to just report)",
+    )
 
     client_commands.add_parser("list", help="list monitors")
 
@@ -549,6 +660,68 @@ def _run_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_vps(args: argparse.Namespace) -> int:
+    from .vps import PlanError, SelectionConfig, VPPlan, select_vps
+
+    if args.vps_command == "select":
+        series = _load_series(args.series)
+        fraction = args.budget_fraction
+        if args.keep is None and fraction is None:
+            fraction = 0.2  # the paper's ≤20% volume target
+        try:
+            plan = select_vps(
+                series,
+                SelectionConfig(
+                    budget=args.keep,
+                    fraction=fraction,
+                    alpha=args.alpha,
+                    beta=args.beta,
+                    gamma=args.gamma,
+                    change_threshold=args.change_threshold,
+                    tile_size=args.tile_size,
+                    jobs=args.jobs,
+                ),
+            )
+        except PlanError as exc:
+            raise SystemExit(str(exc)) from exc
+        plan.save(args.output)
+        print(
+            f"kept {plan.budget}/{plan.total_networks} VPs "
+            f"({plan.volume_fraction:.0%} of volume) -> {args.output}"
+        )
+    elif args.vps_command == "apply":
+        series = _load_series(args.series)
+        try:
+            plan = VPPlan.load(args.plan)
+            reduced, _ = plan.apply(series)
+        except PlanError as exc:
+            raise SystemExit(str(exc)) from exc
+        _save_series(reduced, args.destination)
+        print(
+            f"wrote {args.destination}: {len(reduced.networks)} of "
+            f"{len(series.networks)} VPs, {len(reduced)} rounds"
+        )
+    elif args.vps_command == "show":
+        try:
+            plan = VPPlan.load(args.plan)
+        except PlanError as exc:
+            raise SystemExit(str(exc)) from exc
+        print(
+            f"plan: {plan.budget}/{plan.total_networks} VPs "
+            f"({plan.volume_fraction:.0%} of volume)"
+        )
+        provenance = dict(plan.provenance)
+        digest = provenance.get("series_sha256")
+        if digest:
+            print(f"series: sha256 {digest}")
+        objective = provenance.get("objective")
+        if objective:
+            print(f"objective: {objective}")
+        for name in plan.kept:
+            print(f"  {name:<24} weight {plan.weights[name]:g}")
+    return 0
+
+
 def _run_client(args: argparse.Namespace) -> int:
     from .serve import OverloadedError, ServeClient
 
@@ -628,6 +801,38 @@ def _run_client(args: argparse.Namespace) -> int:
         elif args.client_command == "snapshot":
             response = client.snapshot(args.monitor)
             print(f"snapshot of {args.monitor!r} at seq {response['seq']}")
+        elif args.client_command == "vps":
+            import json as _json
+
+            if args.plan is None:
+                print(
+                    _json.dumps(client.vps(args.monitor), indent=2, sort_keys=True)
+                )
+            else:
+                from .vps import VPPlan
+
+                plan = VPPlan.load(args.plan)
+                response = client.vps(
+                    args.monitor,
+                    plan=plan.to_document(),
+                    dedup=not args.no_dedup,
+                    event_threshold=args.event_threshold,
+                    mode_threshold=args.mode_threshold,
+                    policy=args.policy,
+                )
+                print(
+                    f"created monitor {response['monitor']!r} from plan: "
+                    f"{response['kept']}/{response['total_networks']} VPs "
+                    f"({response['volume_fraction']:.0%}), "
+                    f"dedup {'on' if response['dedup'] else 'off'}"
+                )
+        elif args.client_command == "dedup":
+            response = client.dedup(args.monitor, mode=args.mode)
+            print(
+                f"{args.monitor!r}: dedup {response['mode']}, "
+                f"{response['deduped_records']} records deduped, "
+                f"{response['bytes_saved']} journal bytes saved"
+            )
         elif args.client_command == "list":
             for name in client.list_monitors():
                 print(name)
@@ -655,7 +860,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .io.plotdata import export_report
 
         report = _with_observability(
-            args, lambda: Fenrir(_config_from(args)).run(_load_series(args.series))
+            args, lambda: _run_pipeline(args, _load_series(args.series))
         )
         written = export_report(report, args.directory)
         if args.svg:
@@ -669,7 +874,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .core.explain import explain_event
 
         report = _with_observability(
-            args, lambda: Fenrir(_config_from(args)).run(_load_series(args.series))
+            args, lambda: _run_pipeline(args, _load_series(args.series))
         )
         if not report.events:
             print("no events detected")
@@ -712,6 +917,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             {"generator": f"repro.datasets.{args.name}", "scale": "demo"},
         )
         print(f"bundle written to {directory}")
+    elif args.command == "vps":
+        return _run_vps(args)
     elif args.command == "serve":
         return _run_serve(args)
     elif args.command == "client":

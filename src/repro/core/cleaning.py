@@ -25,7 +25,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from .series import VectorSeries
-from .vector import OTHER_CODE, UNKNOWN_CODE, RoutingVector
+from .vector import ERROR_CODE, OTHER_CODE, UNKNOWN_CODE, RoutingVector
 
 __all__ = [
     "map_unmapped_states",
@@ -98,7 +98,9 @@ def drop_networks(
     return series.select_networks(keep)
 
 
-def interpolate_series(series: VectorSeries, limit: int = 3) -> VectorSeries:
+def interpolate_series(
+    series: VectorSeries, limit: int = 3, repair_errors: bool = False
+) -> VectorSeries:
     """Nearest-neighbour interpolation of unknown runs (§2.4).
 
     Each unknown cell copies the nearer of the previous/next known
@@ -106,6 +108,15 @@ def interpolate_series(series: VectorSeries, limit: int = 3) -> VectorSeries:
     ``limit`` steps away; ties go to the earlier observation, matching
     the paper's first-half/second-half rule. Cells with no known
     neighbour within reach stay unknown.
+
+    ``repair_errors`` treats ``err`` observations (query loss, the
+    other face of "missing data") as gaps too. At full VP volume a
+    one-round err blip is sub-threshold noise and the default leaves
+    it alone; at reduced volume (``repro vps``), where one VP carries
+    the weight of its whole catchment, repairing these blips is what
+    keeps loss noise from masquerading as routing change. Err runs
+    longer than ``limit`` — a genuinely unreachable service — stay
+    err either way.
     """
     if limit < 0:
         raise ValueError("limit must be non-negative")
@@ -115,6 +126,8 @@ def interpolate_series(series: VectorSeries, limit: int = 3) -> VectorSeries:
         return series.copy()
 
     known = codes != UNKNOWN_CODE
+    if repair_errors:
+        known &= codes != ERROR_CODE
     time_index = np.arange(num_times)[:, None]
 
     # Forward pass: index of the most recent known observation at or

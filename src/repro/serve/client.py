@@ -252,6 +252,35 @@ class ServeClient:
     def snapshot(self, monitor: str) -> dict:
         return self.request("snapshot", monitor=monitor)
 
+    def vps(
+        self,
+        monitor: str,
+        plan: Optional[Mapping] = None,
+        dedup: bool = True,
+        **options: object,
+    ) -> dict:
+        """Create a monitor from a VP plan, or query its stored plan.
+
+        With ``plan`` (a ``VPPlan.to_document()`` mapping) the server
+        creates a monitor over the plan's kept VPs with the plan's
+        weight rescaling; ``dedup`` controls the new monitor's ingest
+        dedup mode (on by default). Without ``plan`` the call reports
+        the stored plan summary and live dedup stats. Extra keyword
+        options (``event_threshold``, ``mode_threshold``, ``policy``)
+        pass through to creation.
+        """
+        if plan is None:
+            return self.request("vps", monitor=monitor)
+        return self.request(
+            "vps", monitor=monitor, plan=dict(plan), dedup=dedup, **options
+        )
+
+    def dedup(self, monitor: str, mode: Optional[str] = None) -> dict:
+        """Report a monitor's dedup stats; ``mode='on'|'off'`` toggles."""
+        if mode is None:
+            return self.request("dedup", monitor=monitor)
+        return self.request("dedup", monitor=monitor, mode=mode)
+
     def list_monitors(self) -> list[str]:
         return list(self.request("list")["monitors"])
 

@@ -16,6 +16,19 @@ or a sequence gap) and drops, recovering the exact acknowledged
 prefix: the same last-valid-record semantics as
 :func:`repro.io.formats.recover_series_jsonl`.
 
+Recurring rounds can be journaled as *dedup reference records*
+(``repro.vps``'s ingest-dedup mode): when a round's states mapping is
+byte-identical to the most recent fully journaled one, the line
+``{"ref": <full seq>, "seq": ..., "time": ..., "crc": ...}`` is
+written instead of repeating the states. :func:`read_journal` expands
+references while scanning — it only ever needs the last full record's
+states, because a valid writer always refs the most recent full line
+in the same journal (the reference chain never crosses a journal
+reset). Replay is therefore byte-equal to the undeduplicated stream;
+only the on-disk encoding is compact. A reference that does not point
+at the last full record is treated like any other corrupt line: the
+valid prefix is kept and the tail is dropped.
+
 Snapshots are written atomically (temp file + ``os.replace``) together
 with a checksum manifest; the journal is then reset. A crash between
 the two leaves journal entries at or below the snapshot's sequence
@@ -57,6 +70,7 @@ __all__ = [
     "JournalTail",
     "JournalWriter",
     "record_line",
+    "ref_record_line",
     "read_journal",
     "write_snapshot",
     "read_snapshot",
@@ -136,6 +150,20 @@ def record_line(record: "JournalRecord", states_json: Optional[str] = None) -> s
         f'{{"seq":{record.seq},"states":{states_json},'
         f'"time":"{record.time.isoformat()}"}}'
     )
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f'{body[:-1]},"crc":"{crc:08x}"}}'
+
+
+def ref_record_line(seq: int, time: datetime, ref: int) -> str:
+    """A dedup reference line: same round as full record ``ref``.
+
+    The composed bytes match :func:`_with_crc` of
+    ``{"ref": ref, "seq": seq, "time": ...}`` (canonical key order
+    ``ref`` < ``seq`` < ``time``), so the checker treats both record
+    kinds uniformly. The states are *not* repeated — the reader
+    materializes them from the referenced full record.
+    """
+    body = f'{{"ref":{ref},"seq":{seq},"time":"{time.isoformat()}"}}'
     crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
     return f'{body[:-1]},"crc":"{crc:08x}"}}'
 
@@ -229,6 +257,13 @@ def read_journal(
     Stops at the first unparseable, checksum-failing, or out-of-order
     line — everything a crashed writer can leave behind — and reports
     the dropped tail instead of raising.
+
+    Dedup reference lines (``{"ref": ..., "seq": ..., "time": ...}``)
+    are expanded in place: the record's states are materialized from
+    the referenced full record, so callers see the exact stream an
+    undeduplicated writer would have produced. A reference that does
+    not point at the most recent full record is corruption and drops
+    the tail like any other bad line.
     """
     path = Path(path)
     if not path.exists():
@@ -236,6 +271,7 @@ def read_journal(
     records: list[JournalRecord] = []
     tail: Optional[JournalTail] = None
     expected = after_seq
+    last_full: Optional[tuple[int, dict]] = None
     with path.open("r", encoding="utf-8") as stream:
         iterator: Iterator[tuple[int, str]] = enumerate(stream, start=1)
         for line_number, line in iterator:
@@ -243,9 +279,22 @@ def read_journal(
             if not stripped:
                 continue
             try:
-                record = JournalRecord.from_document(
-                    _check_crc(json.loads(stripped))
-                )
+                document = _check_crc(json.loads(stripped))
+                if "ref" in document:
+                    ref = document["ref"]
+                    if last_full is None or ref != last_full[0]:
+                        raise ValueError(
+                            f"dangling dedup reference: {ref!r} does not name "
+                            "the most recent full record"
+                        )
+                    record = JournalRecord(
+                        seq=int(document["seq"]),
+                        time=datetime.fromisoformat(document["time"]),
+                        states=last_full[1],
+                    )
+                else:
+                    record = JournalRecord.from_document(document)
+                    last_full = (record.seq, record.states)
                 if record.seq <= after_seq:
                     continue  # already folded into the snapshot
                 if record.seq != expected + 1:

@@ -11,6 +11,8 @@ the acknowledged prefix.
 
 from __future__ import annotations
 
+import json
+import os
 import re
 import time as _time
 from dataclasses import dataclass, field
@@ -22,7 +24,7 @@ import numpy as np
 
 from ..core.compare import UnknownPolicy
 from ..core.online import OnlineFenrir, OnlineUpdate
-from ..obs import MetricsRegistry, span
+from ..obs import Counter, MetricsRegistry, span
 from .journal import (
     JOURNAL_FILE,
     JournalRecord,
@@ -33,6 +35,7 @@ from .journal import (
     read_journal,
     read_snapshot,
     record_line,
+    ref_record_line,
     write_delta,
     write_snapshot,
 )
@@ -43,7 +46,10 @@ __all__ = [
     "BatchResult",
     "DurableMonitor",
     "valid_monitor_name",
+    "OPTIONS_FILE",
 ]
+
+OPTIONS_FILE = "options.json"  # durable per-monitor settings (dedup mode)
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
@@ -111,6 +117,22 @@ def _validated_states(states: Mapping[str, str]) -> dict[str, str]:
     return clean
 
 
+def _read_options(directory: Path) -> bool:
+    """The durable dedup setting, tolerant of missing/corrupt files.
+
+    Options are a convenience, not state: a monitor whose options file
+    is unreadable recovers with dedup off (safe — dedup only changes
+    the journal encoding, never the replayed stream).
+    """
+    try:
+        document = json.loads(
+            (directory / OPTIONS_FILE).read_text(encoding="utf-8")
+        )
+        return bool(document.get("dedup", False))
+    except (OSError, ValueError):
+        return False
+
+
 @dataclass
 class DurableMonitor:
     """Crash-safe wrapper around one :class:`OnlineFenrir`."""
@@ -123,6 +145,9 @@ class DurableMonitor:
     fsync: bool = False
     replay: Optional[ReplayReport] = None
     registry: Optional[MetricsRegistry] = None  # observability sink, if any
+    # Ingest-dedup mode (repro.vps): recurring identical rounds journal
+    # a compact reference record instead of repeating the states.
+    dedup: bool = False
     _journal: JournalWriter = field(init=False, repr=False)
     _since_snapshot: int = field(default=0, init=False, repr=False)
     _checkpoint_updates: int = field(default=0, init=False, repr=False)
@@ -134,6 +159,23 @@ class DurableMonitor:
     # identical either way — see journal.record_line).
     _last_states: Optional[dict] = field(default=None, init=False, repr=False)
     _last_states_json: Optional[str] = field(default=None, init=False, repr=False)
+    # The most recent *full* record in the current journal file — the
+    # only legal target for a dedup reference. Tracked unconditionally
+    # (cheap) so toggling dedup on mid-stream is immediately correct,
+    # and cleared on every journal reset because references never cross
+    # one. After open() it starts as None: the first post-recovery round
+    # is journaled full even if it repeats, which keeps recovery free of
+    # any re-derivation of the tail's last full line.
+    _last_full_seq: Optional[int] = field(default=None, init=False, repr=False)
+    _last_full_json: Optional[str] = field(default=None, init=False, repr=False)
+    deduped_records: int = field(default=0, init=False, repr=False)
+    dedup_bytes_saved: int = field(default=0, init=False, repr=False)
+    _dedup_records_counter: Optional[Counter] = field(
+        default=None, init=False, repr=False
+    )
+    _dedup_bytes_counter: Optional[Counter] = field(
+        default=None, init=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         flush_histogram = (
@@ -149,6 +191,17 @@ class DurableMonitor:
             fsync=self.fsync,
             flush_histogram=flush_histogram,
         )
+        if self.registry is not None:
+            self._dedup_records_counter = self.registry.counter(
+                "serve_dedup_records_total",
+                labels={"monitor": self.name},
+                help="Recurring rounds journaled as compact dedup references",
+            )
+            self._dedup_bytes_counter = self.registry.counter(
+                "serve_dedup_bytes_saved_total",
+                labels={"monitor": self.name},
+                help="Journal bytes saved by dedup reference records",
+            )
         # The tracker state as constructed is what the on-disk
         # checkpoint chain currently covers (create() snapshots the
         # empty tracker; open() restores from the chain); record it so
@@ -171,6 +224,7 @@ class DurableMonitor:
         snapshot_every: int = 0,
         fsync: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        dedup: bool = False,
     ) -> "DurableMonitor":
         """Create a new monitor directory with an initial checkpoint."""
         if not valid_monitor_name(name):
@@ -192,7 +246,7 @@ class DurableMonitor:
         # Checkpoint the empty tracker immediately: a monitor that was
         # created but never ingested still reopens with its config.
         write_snapshot(directory, 0, tracker.to_state())
-        return cls(
+        monitor = cls(
             name=name,
             directory=directory,
             tracker=tracker,
@@ -200,7 +254,11 @@ class DurableMonitor:
             snapshot_every=snapshot_every,
             fsync=fsync,
             registry=registry,
+            dedup=dedup,
         )
+        if dedup:
+            monitor._write_options()
+        return monitor
 
     @classmethod
     def open(
@@ -261,6 +319,7 @@ class DurableMonitor:
             snapshot_every=snapshot_every,
             fsync=fsync,
             registry=registry,
+            dedup=_read_options(directory),
             replay=ReplayReport(
                 snapshot_seq=snapshot_seq,
                 replayed_records=len(records) - skipped,
@@ -330,6 +389,7 @@ class DurableMonitor:
             snapshot_every=snapshot_every,
             fsync=fsync,
             registry=registry,
+            dedup=_read_options(directory),
         )
 
     def install_delta(self, seq: int, delta: Mapping) -> None:
@@ -351,12 +411,82 @@ class DurableMonitor:
         except (ValueError, KeyError, TypeError) as exc:
             raise MonitorError(f"unapplyable delta: {exc}") from exc
         write_delta(self.directory, seq, delta)
-        self._journal.reset()
+        self._reset_journal()
         self.seq = seq
         self._mark_checkpoint()
 
     def close(self) -> None:
         self._journal.close()
+
+    # -- dedup ---------------------------------------------------------------
+
+    def set_dedup(self, enabled: bool) -> None:
+        """Toggle dedup-mode journaling; the setting survives restarts."""
+        self.dedup = bool(enabled)
+        self._write_options()
+
+    def dedup_stats(self) -> dict:
+        """Dedup status document (served by the ``dedup`` wire command)."""
+        return {
+            "mode": "on" if self.dedup else "off",
+            "deduped_records": self.deduped_records,
+            "bytes_saved": self.dedup_bytes_saved,
+        }
+
+    def _write_options(self) -> None:
+        temp = self.directory / (OPTIONS_FILE + ".tmp")
+        temp.write_text(
+            json.dumps({"dedup": self.dedup}, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(temp, self.directory / OPTIONS_FILE)
+
+    def _encode_line(self, record: JournalRecord, states_json: str) -> str:
+        """The journal line for ``record``: full, or a dedup reference.
+
+        In dedup mode a round whose canonical states JSON is
+        byte-identical to the most recent full record's journals as a
+        reference; replay materializes the states from the referenced
+        line, so the recovered stream is byte-equal either way.
+        """
+        if (
+            self.dedup
+            and self._last_full_seq is not None
+            and states_json == self._last_full_json
+        ):
+            ref = self._last_full_seq
+            # Full line carries `"states":<json>,`; a ref line carries
+            # `"ref":<seq>,` in its place.
+            self._note_dedup(1, len(states_json) + 3 - len(str(ref)))
+            return ref_record_line(record.seq, record.time, ref)
+        self._last_full_seq = record.seq
+        self._last_full_json = states_json
+        return record_line(record, states_json)
+
+    def _note_dedup(self, records: int, saved: int) -> None:
+        self.deduped_records += records
+        self.dedup_bytes_saved += saved
+        if self._dedup_records_counter is not None:
+            self._dedup_records_counter.inc(records)
+        if self._dedup_bytes_counter is not None:
+            self._dedup_bytes_counter.inc(saved)
+
+    def _append_lines(self, lines: Sequence[str]) -> None:
+        try:
+            self._journal.append_lines(lines)
+        except BaseException:
+            # The append may not have landed; a later reference to a
+            # record that never hit disk would poison replay. Force the
+            # next round to journal full.
+            self._last_full_seq = None
+            self._last_full_json = None
+            raise
+
+    def _reset_journal(self) -> None:
+        self._journal.reset()
+        # References never cross a reset: the next record must be full.
+        self._last_full_seq = None
+        self._last_full_json = None
 
     # -- operations ----------------------------------------------------------
 
@@ -390,7 +520,7 @@ class DurableMonitor:
                     f"observations must move forward in time: {when} after {last}"
                 )
             record = JournalRecord(seq=self.seq + 1, time=when, states=clean)
-            self._journal.append_lines((record_line(record, states_json),))
+            self._append_lines((self._encode_line(record, states_json),))
             update = self.tracker.ingest(record.states, record.time)
             self.seq = record.seq
             self._since_snapshot += 1
@@ -436,9 +566,9 @@ class DurableMonitor:
                     seq=self.seq + len(accepted) + 1, time=when, states=clean
                 )
                 accepted.append(record)
-                lines.append(record_line(record, states_json))
+                lines.append(self._encode_line(record, states_json))
                 last = when
-            self._journal.append_lines(lines)
+            self._append_lines(lines)
             updates = self.tracker.ingest_many(
                 [(record.states, record.time) for record in accepted]
             )
@@ -466,7 +596,7 @@ class DurableMonitor:
             exemplars_after=self._checkpoint_exemplars,
         )
         write_delta(self.directory, self.seq, delta)
-        self._journal.reset()
+        self._reset_journal()
         self._mark_checkpoint()
         return self.seq
 
@@ -481,7 +611,7 @@ class DurableMonitor:
         """
         write_snapshot(self.directory, self.seq, self.tracker.to_state())
         discard_deltas(self.directory)
-        self._journal.reset()
+        self._reset_journal()
         self._mark_checkpoint()
         return self.seq
 
@@ -504,4 +634,5 @@ class DurableMonitor:
             "seq": self.seq,
             "last_time": last.isoformat() if last else None,
             "current_mode": tracker.updates[-1].mode_id if tracker.updates else None,
+            "dedup": self.dedup_stats(),
         }

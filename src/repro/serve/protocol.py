@@ -65,6 +65,9 @@ COMMANDS = (
     "metrics",
     "snapshot",
     "list",
+    # VP-plan monitors and ingest dedup (docs/vps.md).
+    "vps",
+    "dedup",
     # Cluster support: state shipping and failover (docs/cluster.md).
     "handoff",
     "install",
@@ -83,6 +86,8 @@ MONITOR_COMMANDS = frozenset(
         "query",
         "timeline",
         "snapshot",
+        "vps",
+        "dedup",
         "handoff",
         "install",
         "retire",

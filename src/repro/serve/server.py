@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
 
 from ..core.compare import UnknownPolicy
 from ..obs import CONTENT_TYPE, MetricsRegistry, render_prometheus
+from ..vps import PlanError, VPPlan
 from .journal import SNAPSHOT_FILE, JournalError
 from .metrics import ServerMetrics
 from .monitor import DurableMonitor, MonitorError, valid_monitor_name
@@ -45,7 +46,11 @@ from .protocol import (
     error_response,
 )
 
-__all__ = ["ServeConfig", "FenrirServer"]
+__all__ = ["ServeConfig", "FenrirServer", "VPPLAN_FILE"]
+
+#: A monitor created from a VP plan keeps the plan in its directory so
+#: operators (and the ``vps`` query) can trace kept VPs and weights.
+VPPLAN_FILE = "vpplan.json"
 
 
 @dataclass
@@ -388,12 +393,105 @@ class FenrirServer:
                 snapshot_every=self.config.snapshot_every,
                 fsync=self.config.fsync,
                 registry=self.registry,
+                dedup=bool(request.get("dedup", False)),
             )
         except (MonitorError, ValueError) as exc:
             raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
         self._register(monitor)
         self.metrics.increment("monitors_created")
         return {"id": request_id, "ok": True, "monitor": name}
+
+    def _vps(self, request: dict, request_id: object) -> dict:
+        """Create a monitor from a VP plan, or report the stored plan.
+
+        With a ``plan`` object the request creates a new monitor whose
+        networks are the plan's kept VPs and whose Φ weights are the
+        plan's rescaled per-VP weights (dedup defaults on — a reduced
+        stream is exactly the workload dedup targets); the plan is kept
+        in the monitor directory. Without ``plan`` it reports the
+        stored plan summary plus the live dedup stats.
+        """
+        plan_document = request.get("plan")
+        if plan_document is None:
+            runtime = self._runtime_for(request)
+            plan_path = runtime.monitor.directory / VPPLAN_FILE
+            summary = None
+            if plan_path.exists():
+                plan = VPPlan.load(plan_path)
+                summary = {
+                    "kept": plan.budget,
+                    "total_networks": plan.total_networks,
+                    "volume_fraction": plan.volume_fraction,
+                    "provenance": dict(plan.provenance),
+                }
+            return {
+                "id": request_id,
+                "ok": True,
+                "monitor": runtime.monitor.name,
+                "plan": summary,
+                "dedup": runtime.monitor.dedup_stats(),
+            }
+        name = request.get("monitor")
+        if not isinstance(name, str) or not valid_monitor_name(name):
+            raise _RequestError(ERR_BAD_REQUEST, f"invalid monitor name: {name!r}")
+        if name in self._monitors:
+            raise _RequestError(ERR_MONITOR_EXISTS, f"monitor exists: {name!r}")
+        try:
+            plan = VPPlan.from_document(plan_document)
+        except PlanError as exc:
+            raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
+        try:
+            policy = UnknownPolicy(request.get("policy", "pessimistic"))
+        except ValueError as exc:
+            raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
+        dedup = bool(request.get("dedup", True))
+        try:
+            monitor = DurableMonitor.create(
+                self.config.data_dir,
+                name,
+                networks=list(plan.kept),
+                event_threshold=float(request.get("event_threshold", 0.1)),
+                mode_threshold=float(request.get("mode_threshold", 0.7)),
+                policy=policy,
+                weights=[plan.weights[vp] for vp in plan.kept],
+                snapshot_every=self.config.snapshot_every,
+                fsync=self.config.fsync,
+                registry=self.registry,
+                dedup=dedup,
+            )
+        except (MonitorError, ValueError) as exc:
+            raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
+        plan.save(monitor.directory / VPPLAN_FILE)
+        self._register(monitor)
+        self.metrics.increment("monitors_created")
+        self.metrics.increment("vps_monitors_created")
+        return {
+            "id": request_id,
+            "ok": True,
+            "monitor": name,
+            "kept": plan.budget,
+            "total_networks": plan.total_networks,
+            "volume_fraction": plan.volume_fraction,
+            "dedup": dedup,
+        }
+
+    def _dedup(self, request: dict, request_id: object) -> dict:
+        """Report (and optionally toggle) a monitor's dedup mode."""
+        runtime = self._runtime_for(request)
+        mode = request.get("mode")
+        if mode is not None:
+            if mode not in ("on", "off"):
+                raise _RequestError(
+                    ERR_BAD_REQUEST, f"'mode' must be 'on' or 'off', got {mode!r}"
+                )
+            runtime.monitor.set_dedup(mode == "on")
+            self.metrics.increment("dedup_mode_changes")
+        return {
+            "id": request_id,
+            "ok": True,
+            "monitor": runtime.monitor.name,
+            **runtime.monitor.dedup_stats(),
+        }
 
     def _query(self, request: dict, request_id: object) -> dict:
         runtime = self._runtime_for(request)
@@ -657,6 +755,10 @@ class FenrirServer:
                     "content_type": CONTENT_TYPE,
                     "text": render_prometheus(self.registry),
                 }
+            elif command == "vps":
+                response = self._vps(request, request_id)
+            elif command == "dedup":
+                response = self._dedup(request, request_id)
             elif command == "snapshot":
                 response = await self._snapshot(request, request_id)
             elif command == "handoff":

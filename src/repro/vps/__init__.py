@@ -1,0 +1,38 @@
+"""``repro.vps``: most-valuable-VP selection and ingest deduplication.
+
+Fenrir's inputs are massively redundant in two independent ways:
+
+* **across vantage points** — most VPs sit in the same catchment as a
+  neighbour and observe the same state at every round; and
+* **across time** — routing results recur, so consecutive rounds
+  usually repeat the previous round's vector byte for byte.
+
+This package attacks the first kind ("Measuring Internet Routing from
+the Most Valuable Points", arXiv 2405.13172): :func:`select_vps`
+greedily picks a budgeted subset of VPs maximizing a monotone
+submodular objective (catchment representation, transition-step
+detection power, catchment-state coverage) and emits a deterministic
+:class:`VPPlan` artifact — kept VPs plus per-VP weight rescaling —
+that the offline pipeline and the serve tier both consume. The second
+kind is handled server-side by ``DurableMonitor``'s dedup mode (see
+``repro.serve.monitor``), which journals recurring identical rounds
+as compact reference records.
+
+See ``docs/vps.md`` for the full story, ``repro vps select`` for the
+CLI entry point, and ``benchmarks/bench_vps.py`` for the end-to-end
+proof that the Table 4 confusion matrix and the mode timelines survive
+at ≤20% of the original VP/ingest volume.
+"""
+
+from .plan import PLAN_VERSION, PlanError, VPPlan, series_digest
+from .score import SelectionConfig, agreement_counts, select_vps
+
+__all__ = [
+    "PLAN_VERSION",
+    "PlanError",
+    "VPPlan",
+    "series_digest",
+    "SelectionConfig",
+    "agreement_counts",
+    "select_vps",
+]

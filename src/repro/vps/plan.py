@@ -1,0 +1,176 @@
+"""The :class:`VPPlan` artifact: which VPs to keep, at what weight.
+
+A plan is the contract between the selection stage (``repro vps
+select``) and everything downstream: the offline pipeline projects a
+series onto the kept VPs and feeds the rescaled weights into
+Φ/detection, and the serve tier creates monitors directly from a plan
+(``vps`` wire command). Plans serialize as *canonical JSON* — sorted
+keys, no whitespace, trailing newline — so a byte-level comparison is
+a semantic comparison; the determinism tests rely on this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.series import VectorSeries
+
+__all__ = ["PLAN_VERSION", "PLAN_TYPE", "PlanError", "VPPlan", "series_digest"]
+
+PLAN_VERSION = 1
+PLAN_TYPE = "fenrir-vpplan"
+
+
+class PlanError(ValueError):
+    """Raised for malformed or inapplicable plans."""
+
+
+def series_digest(series: VectorSeries) -> str:
+    """Content hash of a series: networks, times, and the code matrix.
+
+    Stored in plan provenance so a plan can be traced to the exact
+    measurement window it was selected from.
+    """
+    digest = hashlib.sha256()
+    digest.update("\x00".join(series.networks).encode("utf-8"))
+    digest.update(b"\x01")
+    digest.update(
+        "\x00".join(time.isoformat() for time in series.times).encode("utf-8")
+    )
+    digest.update(b"\x01")
+    digest.update(np.ascontiguousarray(series.matrix, dtype=np.int32).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class VPPlan:
+    """A budgeted VP subset plus per-VP weight rescaling.
+
+    ``weights[vp]`` is the number of original VPs the kept VP
+    represents (itself included), so the weights sum to
+    ``total_networks`` and weighted aggregates over the kept subset
+    approximate unweighted aggregates over the full set.
+    """
+
+    kept: Tuple[str, ...]
+    weights: Mapping[str, float]
+    total_networks: int
+    provenance: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kept:
+            raise PlanError("a plan must keep at least one VP")
+        if len(set(self.kept)) != len(self.kept):
+            raise PlanError("kept VPs must be unique")
+        if set(self.weights) != set(self.kept):
+            raise PlanError("weights must cover exactly the kept VPs")
+        for name, weight in self.weights.items():
+            if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+                raise PlanError(f"weight for {name!r} must be a number")
+            if not np.isfinite(weight) or weight <= 0:
+                raise PlanError(f"weight for {name!r} must be positive and finite")
+        if self.total_networks < len(self.kept):
+            raise PlanError("total_networks cannot be below the kept count")
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def budget(self) -> int:
+        return len(self.kept)
+
+    @property
+    def volume_fraction(self) -> float:
+        """Kept fraction of the original VP volume (the ≤0.20 target)."""
+        return len(self.kept) / self.total_networks
+
+    # -- serialization -------------------------------------------------------
+
+    def to_document(self) -> dict:
+        return {
+            "type": PLAN_TYPE,
+            "version": PLAN_VERSION,
+            "kept": list(self.kept),
+            "weights": {name: float(w) for name, w in self.weights.items()},
+            "total_networks": self.total_networks,
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "VPPlan":
+        if not isinstance(document, Mapping):
+            raise PlanError(f"plan must be an object, got {type(document).__name__}")
+        if document.get("type") != PLAN_TYPE:
+            raise PlanError(f"not a VP plan: type={document.get('type')!r}")
+        if document.get("version") != PLAN_VERSION:
+            raise PlanError(f"unsupported plan version: {document.get('version')!r}")
+        kept = document.get("kept")
+        weights = document.get("weights")
+        total = document.get("total_networks")
+        if not isinstance(kept, Sequence) or isinstance(kept, str):
+            raise PlanError("plan 'kept' must be a list of VP names")
+        if not all(isinstance(name, str) for name in kept):
+            raise PlanError("plan 'kept' must contain only strings")
+        if not isinstance(weights, Mapping):
+            raise PlanError("plan 'weights' must be an object")
+        if not isinstance(total, int) or isinstance(total, bool):
+            raise PlanError("plan 'total_networks' must be an integer")
+        provenance = document.get("provenance", {})
+        if not isinstance(provenance, Mapping):
+            raise PlanError("plan 'provenance' must be an object")
+        return cls(
+            kept=tuple(kept),
+            weights={str(k): v for k, v in weights.items()},
+            total_networks=total,
+            provenance=dict(provenance),
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic byte encoding: equal plans ⇔ equal bytes."""
+        return (
+            json.dumps(self.to_document(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(self.canonical_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "VPPlan":
+        try:
+            document = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise PlanError(f"unreadable plan file {path}: {exc}") from exc
+        return cls.from_document(document)
+
+    # -- application ---------------------------------------------------------
+
+    def weight_array(self, networks: Sequence[str]) -> np.ndarray:
+        """Plan weights aligned to ``networks`` (all must be kept)."""
+        missing = [name for name in networks if name not in self.weights]
+        if missing:
+            raise PlanError(f"networks not in plan: {missing[:5]!r}")
+        return np.asarray(
+            [self.weights[name] for name in networks], dtype=np.float64
+        )
+
+    def apply(self, series: VectorSeries) -> tuple[VectorSeries, np.ndarray]:
+        """Project ``series`` onto the kept VPs, with aligned weights.
+
+        The kept VPs must all exist in the series; the reduced series
+        preserves the series' network order (``select_networks``
+        semantics), and the returned weights align with it.
+        """
+        missing = [name for name in self.kept if name not in series.networks]
+        if missing:
+            raise PlanError(
+                f"plan VPs missing from series: {missing[:5]!r}"
+                + ("..." if len(missing) > 5 else "")
+            )
+        reduced = series.select_networks(list(self.kept))
+        return reduced, self.weight_array(reduced.networks)

@@ -9,4 +9,6 @@ class Server:
             return {"ok": True}
         elif command == "mystery":  # no client method AND undocumented
             return {"ok": True}
+        elif command == "dedup":  # documented, but no client method
+            return {"ok": True}
         return {"ok": False, "error": "bad_request"}

@@ -13,3 +13,11 @@ class Client:
 
     def snapshot(self):
         return self.request("snapshot")
+
+    def vps(self, plan=None):
+        if plan is None:
+            return self.request("vps")
+        return self.request("vps", plan=plan)
+
+    def dedup(self, mode=None):
+        return self.request("dedup", mode=mode)

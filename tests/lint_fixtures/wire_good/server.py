@@ -9,4 +9,8 @@ class Server:
             return {"ok": True}
         elif command == "snapshot":
             return {"ok": True}
+        elif command == "vps":
+            return {"ok": True}
+        elif command == "dedup":
+            return {"ok": True}
         return {"ok": False, "error": "bad_request"}

@@ -101,10 +101,12 @@ def test_wire_protocol_inconsistencies():
     root = FIXTURES / "wire_bad"
     result = lint_paths(["."], root=root, select=["wire-protocol-consistency"])
     messages = sorted(f.message for f in result.findings)
-    assert len(messages) == 4
+    assert len(messages) == 5
     assert any("'snapshot' has no ServeClient" in m for m in messages)
     assert any("'mystery' has no ServeClient" in m for m in messages)
     assert any("'mystery' is not documented" in m for m in messages)
+    # Documented and handled, but clientless, is still a finding.
+    assert any("'dedup' has no ServeClient" in m for m in messages)
     assert any("'orphan' that no server _dispatch handler" in m for m in messages)
     by_file = {f.path for f in result.findings}
     assert by_file == {"server.py", "client.py"}
