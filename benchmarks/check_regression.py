@@ -10,9 +10,20 @@ Reads ``throughput_by_batch`` from both serve files and exits non-zero
 if any batch size present in both dropped by more than ``--max-drop``
 (a fraction: 0.40 means a 40% drop fails). Improvements and new batch
 sizes never fail; a batch size that vanished from the candidate does,
-because silently losing a measurement is how regressions hide. When the
-baseline carries a ``throughput_by_shards`` section (from a
-``--shards N`` run), the same rules apply shard-count by shard-count.
+because silently losing a measurement is how regressions hide. When
+the baseline carries a ``throughput_by_shards`` section (from a
+``--shards N`` run), the same rules apply shard-count by shard-count —
+likewise ``throughput_by_concurrency`` (the async load generator vs
+the blocking client) and ``throughput_router_vs_direct`` (the
+ring-aware path vs the proxy hop).
+
+``latency_p99_ms_by_concurrency`` gates the opposite direction: p99
+request latency under load, where an *increase* beyond
+``--max-latency-rise`` is the regression. Its threshold is far more
+generous than the throughput one because tail latency on a shared
+runner is the noisiest number this suite records; the gate exists to
+catch "the pipelined server now convoys requests", a multiple, not a
+wobble.
 
 ``--vps-baseline``/``--vps-candidate`` add the same comparison for
 ``BENCH_vps.json``'s ``ingest_rounds_per_second`` section (the fixed
@@ -80,9 +91,16 @@ def compare_section(
     label: str,
     baseline: dict[str, float],
     candidate: dict[str, float] | None,
-    max_drop: float,
+    limit: float,
     failures: list[str],
+    higher_is_better: bool = True,
+    unit: str = "rounds/s",
 ) -> None:
+    """Row-by-row delta check; direction of "worse" is configurable.
+
+    Throughput sections fail on a drop beyond ``limit``; latency
+    sections (``higher_is_better=False``) fail on a *rise* beyond it.
+    """
     if candidate is None:
         failures.append(
             f"{label}: section present in baseline but missing from candidate"
@@ -98,20 +116,22 @@ def compare_section(
         after = candidate.get(key)
         if after is None:
             failures.append(
-                f"{label} {key}: present in baseline ({before:.1f} rounds/s) "
+                f"{label} {key}: present in baseline ({before:.1f} {unit}) "
                 "but missing from candidate"
             )
             continue
         change = (after - before) / before if before else 0.0
+        worse = change < -limit if higher_is_better else change > limit
         marker = "OK"
-        if change < -max_drop:
+        if worse:
             marker = "FAIL"
+            sign = "-" if higher_is_better else "+"
             failures.append(
-                f"{label} {key}: {before:.1f} -> {after:.1f} rounds/s "
-                f"({change:+.1%}, limit -{max_drop:.0%})"
+                f"{label} {key}: {before:.1f} -> {after:.1f} {unit} "
+                f"({change:+.1%}, limit {sign}{limit:.0%})"
             )
         print(
-            f"[{marker:>4}] {label} {key:>4}: baseline {before:>9.1f}  "
+            f"[{marker:>4}] {label} {key:>12}: baseline {before:>9.1f}  "
             f"candidate {after:>9.1f}  ({change:+.1%})"
         )
 
@@ -138,9 +158,20 @@ def main(argv: list[str] | None = None) -> int:
         default=0.40,
         help="fractional throughput drop that fails (default 0.40 = 40%%)",
     )
+    parser.add_argument(
+        "--max-latency-rise",
+        type=float,
+        default=2.0,
+        help=(
+            "fractional p99 latency rise that fails (default 2.0 = a "
+            "tripling); tail latency is the suite's noisiest number"
+        ),
+    )
     args = parser.parse_args(argv)
     if not 0.0 < args.max_drop < 1.0:
         parser.error("--max-drop must be a fraction in (0, 1)")
+    if args.max_latency_rise <= 0.0:
+        parser.error("--max-latency-rise must be positive")
 
     baseline_doc = load_document(args.baseline)
     candidate_doc = load_document(args.candidate)
@@ -153,15 +184,46 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     compare_section("batch", baseline, candidate, args.max_drop, failures)
-    baseline_shards = extract_section(
-        baseline_doc, args.baseline, "throughput_by_shards", required=False
+    for label, section in (
+        ("shards", "throughput_by_shards"),
+        ("concurrency", "throughput_by_concurrency"),
+        ("route", "throughput_router_vs_direct"),
+    ):
+        section_baseline = extract_section(
+            baseline_doc, args.baseline, section, required=False
+        )
+        if section_baseline is not None:
+            section_candidate = extract_section(
+                candidate_doc, args.candidate, section, required=False
+            )
+            compare_section(
+                label,
+                section_baseline,
+                section_candidate,
+                args.max_drop,
+                failures,
+            )
+    baseline_p99 = extract_section(
+        baseline_doc,
+        args.baseline,
+        "latency_p99_ms_by_concurrency",
+        required=False,
     )
-    if baseline_shards is not None:
-        candidate_shards = extract_section(
-            candidate_doc, args.candidate, "throughput_by_shards", required=False
+    if baseline_p99 is not None:
+        candidate_p99 = extract_section(
+            candidate_doc,
+            args.candidate,
+            "latency_p99_ms_by_concurrency",
+            required=False,
         )
         compare_section(
-            "shards", baseline_shards, candidate_shards, args.max_drop, failures
+            "p99",
+            baseline_p99,
+            candidate_p99,
+            args.max_latency_rise,
+            failures,
+            higher_is_better=False,
+            unit="ms",
         )
 
     if args.vps_baseline is not None:

@@ -390,6 +390,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="send rounds in ingest_batch requests of N (one group commit "
         "per batch server-side) instead of one request per round",
     )
+    c_ingest.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="use the pipelined asyncio client (keeps up to --concurrency "
+        "rounds in flight on one connection; round order is preserved)",
+    )
+    c_ingest.add_argument(
+        "--concurrency", type=_positive_int, default=32, metavar="N",
+        help="in-flight request window for --async ingest (default 32; "
+        "keep below the server's --queue-size)",
+    )
 
     c_query = client_commands.add_parser("query", help="summarize a monitor")
     c_query.add_argument("monitor")
@@ -722,9 +732,89 @@ def _run_vps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _show_update(update: dict) -> None:
+    """Print one ingest update's notable flags (shared by both paths)."""
+    if update["is_event"] or update["is_new_mode"] or update["recurred"]:
+        notes = [
+            note
+            for flag, note in [
+                (update["is_new_mode"], "new mode"),
+                (update["recurred"], "recurrence"),
+                (update["is_event"], "event"),
+            ]
+            if flag
+        ]
+        print(
+            f"{update['time']} change={update['step_change']:.2f} "
+            f"mode={update['mode_id']} {' '.join(notes)}"
+        )
+
+
+def _run_client_async_ingest(args: argparse.Namespace) -> int:
+    """Pipelined ingest: a sliding window of rounds on one connection.
+
+    One connection, because the server applies a *connection's* ingests
+    in frame order — that is what keeps a monitor's strictly-increasing
+    timestamps valid while ``--concurrency`` rounds are in flight. The
+    window should stay under the server's ``--queue-size``: an
+    ``overloaded`` response cannot be transparently retried here (later
+    rounds are already on the wire), so it aborts with advice instead.
+    """
+    import asyncio
+    from collections import deque
+
+    from .serve import OverloadedError
+    from .serve.aio import AsyncConnection
+    from .serve.protocol import check_response
+
+    series = _load_series(args.series)
+
+    async def run() -> int:
+        connection = await AsyncConnection.open(
+            args.host, args.port, max_inflight=args.concurrency
+        )
+        sent = 0
+        try:
+            if args.create:
+                await connection.request("create", monitor=args.monitor,
+                                         networks=list(series.networks))
+            window: deque = deque()
+            for vector in series:
+                if len(window) >= args.concurrency:
+                    _show_update(check_response(await window.popleft())["update"])
+                    sent += 1
+                window.append(
+                    connection.submit(
+                        "ingest",
+                        monitor=args.monitor,
+                        states=vector.to_mapping(),
+                        time=vector.time.isoformat(),
+                    )
+                )
+                await connection.drain()
+            while window:
+                _show_update(check_response(await window.popleft())["update"])
+                sent += 1
+        except OverloadedError as exc:
+            raise SystemExit(
+                f"server overloaded with {args.concurrency} rounds in "
+                f"flight ({exc}); rerun with a smaller --concurrency or a "
+                "larger server --queue-size"
+            ) from exc
+        finally:
+            await connection.close()
+        return sent
+
+    sent = asyncio.run(run())
+    print(f"ingested {sent} rounds into {args.monitor!r}")
+    return 0
+
+
 def _run_client(args: argparse.Namespace) -> int:
     from .serve import OverloadedError, ServeClient
 
+    if args.client_command == "ingest" and args.use_async:
+        return _run_client_async_ingest(args)
     with ServeClient(host=args.host, port=args.port) as client:
         if args.client_command == "create":
             response = client.create(
@@ -740,22 +830,7 @@ def _run_client(args: argparse.Namespace) -> int:
             if args.create:
                 client.create(args.monitor, networks=series.networks)
 
-            def show(update: dict) -> None:
-                if update["is_event"] or update["is_new_mode"] or update["recurred"]:
-                    notes = [
-                        note
-                        for flag, note in [
-                            (update["is_new_mode"], "new mode"),
-                            (update["recurred"], "recurrence"),
-                            (update["is_event"], "event"),
-                        ]
-                        if flag
-                    ]
-                    print(
-                        f"{update['time']} change={update['step_change']:.2f} "
-                        f"mode={update['mode_id']} {' '.join(notes)}"
-                    )
-
+            show = _show_update
             if args.batch:
                 updates = client.ingest_many(
                     args.monitor,

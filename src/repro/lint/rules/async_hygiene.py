@@ -34,6 +34,8 @@ _BLOCKING_DOTTED = {
     "os.replace",
     "os.rename",
     "socket.create_connection",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
     "subprocess.run",
     "subprocess.call",
     "subprocess.check_call",
@@ -41,12 +43,20 @@ _BLOCKING_DOTTED = {
     "urllib.request.urlopen",
 }
 
-#: attribute names that block regardless of receiver (Path I/O).
+#: attribute names that block regardless of receiver: Path I/O, plus
+#: the classic blocking socket methods (``repro.serve.aio`` multiplexes
+#: over asyncio streams — a raw ``sendall``/``recv`` in a coroutine
+#: would stall every request in flight, exactly the failure mode the
+#: async client exists to avoid).
 _BLOCKING_ATTRS = {
     "read_text",
     "write_text",
     "read_bytes",
     "write_bytes",
+    "sendall",
+    "recv",
+    "recv_into",
+    "accept",
 }
 
 

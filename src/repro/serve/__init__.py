@@ -14,6 +14,9 @@ long-lived, queryable network service:
   monitors with bounded queues and explicit overload responses;
 * :mod:`~repro.serve.client` — the blocking client used by the CLI,
   tests, and load generator;
+* :mod:`~repro.serve.aio` — the asyncio client: pipelined connections
+  multiplexing many requests by correlation id behind a bounded pool,
+  with optional ring-aware direct-to-shard routing;
 * :mod:`~repro.serve.metrics` — counters and latency percentiles for
   the ``stats`` command, backed by the per-server
   :class:`repro.obs.MetricsRegistry` that the ``metrics`` command
@@ -29,6 +32,7 @@ See ``docs/serving.md`` for the wire protocol and durability model,
 and ``docs/cluster.md`` for the sharded tier.
 """
 
+from .aio import AsyncConnection, AsyncServeClient, ConnectionPool
 from .client import (
     BatchRejectedError,
     OverloadedError,
@@ -50,11 +54,14 @@ from .router import ClusterState, ShardRouter
 from .server import FenrirServer, ServeConfig
 
 __all__ = [
+    "AsyncConnection",
+    "AsyncServeClient",
     "BatchRejectedError",
     "BatchResult",
     "ClusterConfig",
     "ClusterState",
     "ClusterSupervisor",
+    "ConnectionPool",
     "DurableMonitor",
     "FenrirServer",
     "FrameError",

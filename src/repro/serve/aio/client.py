@@ -1,0 +1,378 @@
+""":class:`AsyncServeClient`: the pooled, optionally ring-aware client.
+
+The command surface mirrors the blocking
+:class:`~repro.serve.client.ServeClient` coroutine-for-method, so
+callers port by adding ``await``; under the hood every call borrows a
+slot from a :class:`~repro.serve.aio.pool.ConnectionPool`, which means
+thousands of logical requests can be in flight from one process over a
+handful of sockets.
+
+Ring-aware mode (``ring_aware=True``) additionally learns the cluster
+shape from the ``topology`` command and sends monitor-scoped commands
+straight to the owning shard, skipping the router's proxy hop. The
+router stays the fallback: an unreachable shard (failover in progress)
+or a detected ring drift (ownership math gone stale) sends the request
+through the router, which always knows the current addresses, and the
+cached topology is refetched before trusting direct routing again.
+See ``docs/async-client.md`` for when the direct path is worth it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from datetime import datetime
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .. import protocol
+from ..protocol import (
+    ERR_NO_SUCH_MONITOR,
+    BatchRejectedError,
+    OverloadedError,
+    ServeTimeout,
+)
+from ..ring import HashRing
+from .pool import ConnectionPool
+
+__all__ = ["AsyncServeClient"]
+
+
+class _Topology:
+    """A cached ``topology`` response, decoded for local routing."""
+
+    __slots__ = ("ring", "addresses", "digest", "generation", "router", "fetched")
+
+    def __init__(self, response: dict, fetched: float) -> None:
+        shards = {
+            int(shard): (str(address[0]), int(address[1]))
+            for shard, address in response.get("shards", {}).items()
+        }
+        self.addresses: Dict[int, Tuple[str, int]] = shards
+        self.ring = HashRing(shards or [0], vnodes=int(response.get("vnodes", 1)))
+        self.digest = str(response.get("ring_digest", ""))
+        self.generation = int(response.get("generation", 0))
+        self.router = bool(response.get("router", False))
+        self.fetched = fetched
+
+
+class AsyncServeClient:
+    """Async client for one server or a cluster router.
+
+    Use as an async context manager::
+
+        async with AsyncServeClient(host, port) as client:
+            await client.create("mon", networks)
+            await asyncio.gather(*(client.ingest("mon", ...) for ...))
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7339,
+        timeout: Optional[float] = 30.0,
+        connect_timeout: Optional[float] = None,
+        max_frame: int = protocol.MAX_FRAME,
+        max_connections: int = 4,
+        max_inflight: int = 64,
+        ring_aware: bool = False,
+        topology_ttl: float = 5.0,
+        reconnect_backoff: float = 0.05,
+        reconnect_attempts: int = 5,
+    ) -> None:
+        """Configure the client; connections are dialed on first use.
+
+        ``timeout`` bounds each request's slot wait and response wait
+        (:class:`~repro.serve.protocol.ServeTimeout` on expiry), as in
+        the blocking client. ``max_connections × max_inflight`` is the
+        hard cap on requests in flight; the excess waits FIFO.
+        ``ring_aware`` turns on direct-to-shard routing against a
+        router, refreshed every ``topology_ttl`` seconds.
+        """
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        self.max_frame = max_frame
+        self.max_connections = max_connections
+        self.max_inflight = max_inflight
+        self.ring_aware = ring_aware
+        self.topology_ttl = topology_ttl
+        self._reconnect_backoff = reconnect_backoff
+        self._reconnect_attempts = reconnect_attempts
+        self._pool = self._make_pool(host, port)
+        self._shard_pools: Dict[Tuple[str, int], ConnectionPool] = {}
+        self._topology: Optional[_Topology] = None
+        self._topology_lock = asyncio.Lock()
+
+    def _make_pool(self, host: str, port: int) -> ConnectionPool:
+        return ConnectionPool(
+            host,
+            port,
+            max_connections=self.max_connections,
+            max_inflight=self.max_inflight,
+            connect_timeout=self.connect_timeout,
+            max_frame=self.max_frame,
+            reconnect_backoff=self._reconnect_backoff,
+            reconnect_attempts=self._reconnect_attempts,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def close(self) -> None:
+        await self._pool.close()
+        for pool in self._shard_pools.values():
+            await pool.close()
+        self._shard_pools.clear()
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # -- request plumbing ----------------------------------------------------
+
+    async def request(self, command: str, **fields: object) -> dict:
+        """Send one command; same exception mapping as the blocking client."""
+        monitor = fields.get("monitor")
+        if (
+            self.ring_aware
+            and command in protocol.MONITOR_COMMANDS
+            and isinstance(monitor, str)
+        ):
+            return await self._request_ring_aware(command, monitor, fields)
+        return await self._pool.request(command, self.timeout, **fields)
+
+    async def _request_ring_aware(
+        self, command: str, monitor: str, fields: Mapping[str, object]
+    ) -> dict:
+        """Direct-to-owner dispatch with router fallback.
+
+        Fallback triggers, in order of likelihood:
+
+        * no usable topology (single server, or fetch failed) — the
+          router path *is* the request path;
+        * owning shard unreachable — failover in progress; the router
+          answers ``shard_unavailable`` or routes to the successor, and
+          the cached topology is dropped so the next request refetches;
+        * ``no_such_monitor`` from the direct shard while the ring
+          digest moved — the monitor was rebalanced off the shard our
+          stale ring chose. Nothing was applied, so routing the same
+          request through the router is safe.
+        """
+        topology = await self._current_topology()
+        if topology is None or not topology.router:
+            return await self._pool.request(command, self.timeout, **fields)
+        shard = topology.ring.owner(monitor)
+        address = topology.addresses.get(shard)
+        if address is None:
+            return await self._pool.request(command, self.timeout, **fields)
+        pool = self._shard_pool(address)
+        try:
+            return await pool.request(command, self.timeout, **fields)
+        except (ConnectionError, ServeTimeout):
+            self._topology = None
+            return await self._pool.request(command, self.timeout, **fields)
+        except protocol.ServeClientError as exc:
+            if exc.code == ERR_NO_SUCH_MONITOR:
+                refreshed = await self._refresh_topology()
+                if refreshed is not None and refreshed.digest != topology.digest:
+                    return await self._pool.request(
+                        command, self.timeout, **fields
+                    )
+            raise
+
+    def _shard_pool(self, address: Tuple[str, int]) -> ConnectionPool:
+        pool = self._shard_pools.get(address)
+        if pool is None:
+            pool = self._shard_pools[address] = self._make_pool(*address)
+        return pool
+
+    # -- topology cache ------------------------------------------------------
+
+    async def _current_topology(self) -> Optional[_Topology]:
+        cached = self._topology
+        if cached is not None and (
+            time.monotonic() - cached.fetched < self.topology_ttl
+        ):
+            return cached
+        return await self._refresh_topology()
+
+    async def _refresh_topology(self) -> Optional[_Topology]:
+        """Fetch ``topology`` through the router; None when unavailable.
+
+        The lock collapses a thundering herd of expired-TTL callers
+        into one wire fetch; latecomers reuse the fresh cache.
+        """
+        async with self._topology_lock:
+            cached = self._topology
+            if cached is not None and (
+                time.monotonic() - cached.fetched < self.topology_ttl
+            ):
+                return cached
+            try:
+                response = await self._pool.request("topology", self.timeout)
+            except (ConnectionError, ServeTimeout, protocol.ServeClientError):
+                # No topology is not an error: fall back to routed mode
+                # until the tier answers again.
+                self._topology = None
+                return None
+            self._topology = _Topology(response, time.monotonic())
+            return self._topology
+
+    # -- commands (mirror ServeClient) ---------------------------------------
+
+    async def create(
+        self,
+        monitor: str,
+        networks: Sequence[str],
+        event_threshold: float = 0.1,
+        mode_threshold: float = 0.7,
+        policy: str = "pessimistic",
+    ) -> dict:
+        return await self.request(
+            "create",
+            monitor=monitor,
+            networks=list(networks),
+            event_threshold=event_threshold,
+            mode_threshold=mode_threshold,
+            policy=policy,
+        )
+
+    async def ingest(
+        self, monitor: str, states: Mapping[str, str], when: datetime | str
+    ) -> dict:
+        time_text = when.isoformat() if isinstance(when, datetime) else when
+        return await self.request(
+            "ingest", monitor=monitor, states=dict(states), time=time_text
+        )
+
+    async def ingest_series(
+        self, monitor: str, rounds: Iterable[Tuple[Mapping[str, str], datetime]]
+    ) -> list[dict]:
+        """Ingest rounds one request each, *serially* — a monitor's
+        timestamps must arrive in order, so its rounds cannot be raced.
+        Concurrency comes from many monitors, not one monitor's rounds.
+        """
+        results = []
+        for states, when in rounds:
+            results.append(await self.ingest(monitor, states, when))
+        return results
+
+    async def ingest_batch(
+        self,
+        monitor: str,
+        rounds: Sequence[Tuple[Mapping[str, str], datetime | str]],
+    ) -> dict:
+        documents = []
+        for states, when in rounds:
+            time_text = when.isoformat() if isinstance(when, datetime) else when
+            documents.append({"time": time_text, "states": dict(states)})
+        return await self.request("ingest_batch", monitor=monitor, rounds=documents)
+
+    async def ingest_many(
+        self,
+        monitor: str,
+        rounds: Sequence[Tuple[Mapping[str, str], datetime | str]],
+        batch_size: int = 128,
+        retry_overload: bool = True,
+        backoff_seconds: float = 0.05,
+    ) -> list[dict]:
+        """Batched streaming ingest with overload retry, as in the
+        blocking client (see :meth:`ServeClient.ingest_many`); batches
+        go serially because rounds are ordered.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        applied: list[dict] = []
+        for start in range(0, len(rounds), batch_size):
+            chunk = rounds[start : start + batch_size]
+            while True:
+                try:
+                    response = await self.ingest_batch(monitor, chunk)
+                except OverloadedError:
+                    if not retry_overload:
+                        raise
+                    await asyncio.sleep(backoff_seconds)
+                    continue
+                break
+            applied.extend(response["results"])
+            failed = response.get("failed")
+            if failed is not None:
+                raise BatchRejectedError(
+                    failed["error"],
+                    failed["message"],
+                    response,
+                    index=start + failed["index"],
+                    applied=applied,
+                )
+        return applied
+
+    async def query(
+        self, monitor: str, states: Optional[Mapping[str, str]] = None
+    ) -> dict:
+        if states is None:
+            return await self.request("query", monitor=monitor)
+        return await self.request("query", monitor=monitor, states=dict(states))
+
+    async def timeline(self, monitor: str) -> dict:
+        return await self.request("timeline", monitor=monitor)
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def metrics(self) -> str:
+        response = await self.request("metrics")
+        return str(response["text"])
+
+    async def snapshot(self, monitor: str) -> dict:
+        return await self.request("snapshot", monitor=monitor)
+
+    async def vps(
+        self,
+        monitor: str,
+        plan: Optional[Mapping[str, object]] = None,
+        dedup: bool = True,
+        **options: object,
+    ) -> dict:
+        if plan is None:
+            return await self.request("vps", monitor=monitor)
+        return await self.request(
+            "vps", monitor=monitor, plan=dict(plan), dedup=dedup, **options
+        )
+
+    async def dedup(self, monitor: str, mode: Optional[str] = None) -> dict:
+        if mode is None:
+            return await self.request("dedup", monitor=monitor)
+        return await self.request("dedup", monitor=monitor, mode=mode)
+
+    async def list_monitors(self) -> list[str]:
+        response = await self.request("list")
+        return list(response["monitors"])
+
+    async def handoff(
+        self, monitor: str, after_rounds: Optional[int] = None
+    ) -> dict:
+        if after_rounds is None:
+            return await self.request("handoff", monitor=monitor)
+        return await self.request(
+            "handoff", monitor=monitor, after_rounds=after_rounds
+        )
+
+    async def install(
+        self, monitor: str, seq: int, state: Mapping[str, object]
+    ) -> dict:
+        return await self.request(
+            "install", monitor=monitor, seq=seq, state=dict(state)
+        )
+
+    async def retire(self, monitor: str) -> dict:
+        return await self.request("retire", monitor=monitor)
+
+    async def promote(self) -> dict:
+        return await self.request("promote")
+
+    async def topology(self) -> dict:
+        return await self.request("topology")

@@ -1,0 +1,249 @@
+"""One pipelined connection: many logical requests, one socket.
+
+The server answers pipelined frames out of order, correlated by
+``id`` (see ``docs/serving.md``). :class:`AsyncConnection` exploits
+that: each request registers a future in a table keyed by its
+correlation id and writes its frame; a single background reader task
+resolves futures as response frames arrive, in whatever order the
+server finished them. ``N`` logical requests therefore share one
+socket, one reader, and one TCP round-trip pipeline instead of ``N``
+connections.
+
+A timed-out request does **not** poison the connection the way it does
+the blocking client's: the late response still carries its id, is
+matched to the (by then cancelled) future, and is dropped — every
+other request keeps its pairing. Only a transport failure kills the
+connection, and then every pending future fails promptly with
+:class:`ConnectionError` so callers can retry against a fresh one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Dict, Optional, Tuple
+
+from .. import protocol
+from ..protocol import FrameError, RequestIds, ServeTimeout, check_response
+
+__all__ = ["AsyncConnection", "RequestNotSent"]
+
+
+class RequestNotSent(ConnectionError):
+    """The request frame never reached the server.
+
+    Raised when the write itself fails — the server cannot have seen
+    any byte of the request, so resending on a fresh connection is
+    always safe (the pool does exactly that, once). Contrast with a
+    plain :class:`ConnectionError` after a successful write: the
+    request's fate is unknown and an automatic retry could
+    double-apply.
+    """
+
+
+class AsyncConnection:
+    """A multiplexed client connection to one server or router."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_inflight: int = 64,
+        max_frame: int = protocol.MAX_FRAME,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.max_inflight = max_inflight
+        self.max_frame = max_frame
+        self._reader = reader
+        self._writer = writer
+        self._ids = RequestIds()
+        self._pending: Dict[int, "asyncio.Future[dict]"] = {}
+        self._closed: Optional[ConnectionError] = None
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        connect_timeout: Optional[float] = None,
+        max_inflight: int = 64,
+        max_frame: int = protocol.MAX_FRAME,
+    ) -> "AsyncConnection":
+        """Dial ``host:port``; :class:`ServeTimeout` on a slow connect."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise ServeTimeout(
+                f"connecting to {host}:{port} exceeded {connect_timeout}s"
+            ) from exc
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(reader, writer, max_inflight=max_inflight, max_frame=max_frame)
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        """True while the transport and its reader task are alive."""
+        return self._closed is None and not self._reader_task.done()
+
+    @property
+    def in_flight(self) -> int:
+        """Requests awaiting a response right now."""
+        return len(self._pending)
+
+    # -- requests ------------------------------------------------------------
+
+    def submit(self, command: str, **fields: object) -> "asyncio.Future[dict]":
+        """Write one request *now* and return the future for its response.
+
+        Synchronous by design: the frame goes into the transport buffer
+        before this returns, so a sequence of ``submit`` calls is sent
+        in exactly call order — the property pipelined same-monitor
+        ingest depends on (the server applies one connection's ingests
+        in frame order, see :meth:`FenrirServer._handle_connection`).
+        Callers doing sustained submission should ``await drain()``
+        between submits to respect transport backpressure.
+
+        The future resolves to the *raw* response document; pass it
+        through :func:`~repro.serve.protocol.check_response` to get the
+        blocking client's exception mapping. Raises
+        :class:`RequestNotSent` if the connection is already dead — the
+        frame provably never left, so resending elsewhere is safe.
+        """
+        if self._closed is not None:
+            raise RequestNotSent(f"connection is closed: {self._closed}")
+        if len(self._pending) >= self.max_inflight:
+            # The pool never lets this happen; direct users get a loud
+            # error rather than silent unbounded queueing.
+            raise RuntimeError(
+                f"connection already has {len(self._pending)} requests in "
+                f"flight (cap {self.max_inflight})"
+            )
+        request_id = self._ids.next()
+        message = {"cmd": command, "id": request_id, **fields}
+        frame = protocol.encode_frame(message, self.max_frame)
+        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(frame)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise RequestNotSent(f"send failed: {exc}") from exc
+        return future
+
+    async def drain(self) -> None:
+        """Wait for the transport's write buffer to flush below its mark."""
+        await self._writer.drain()
+
+    async def request(
+        self, command: str, timeout: Optional[float] = None, **fields: object
+    ) -> dict:
+        """Send one command; resolve when *its* response arrives.
+
+        Many callers may be inside this method concurrently — that is
+        the point. Error responses raise the same exceptions as the
+        blocking client (via :func:`~repro.serve.protocol.check_response`);
+        ``timeout`` bounds the wait for this request's response only
+        and raises :class:`~repro.serve.protocol.ServeTimeout` without
+        disturbing the other requests in flight — their correlation ids
+        keep every other pairing intact, unlike the blocking client,
+        which must burn its connection on timeout.
+        """
+        future = self.submit(command, **fields)
+        try:
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            # The frame was handed to the transport before the failure:
+            # its fate is unknown, so this is NOT RequestNotSent and
+            # must not be auto-retried.
+            raise ConnectionError(f"connection lost during send: {exc}") from exc
+        try:
+            if timeout is None:
+                response = await future
+            else:
+                response = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError as exc:
+            raise ServeTimeout(
+                f"no response to {command!r} within {timeout}s"
+            ) from exc
+        return check_response(response)
+
+    # -- reader task ---------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        """Resolve pending futures from response frames until EOF/error."""
+        try:
+            while True:
+                response = await protocol.read_frame(self._reader, self.max_frame)
+                if response is None:
+                    self._fail(ConnectionError("server closed the connection"))
+                    return
+                self._resolve(response)
+        except asyncio.CancelledError:
+            self._fail(ConnectionError("connection closed"))
+            raise
+        except (FrameError, OSError) as exc:
+            self._fail(ConnectionError(f"connection lost: {exc}"))
+
+    def _resolve(self, response: dict) -> None:
+        request_id = response.get("id")
+        future = (
+            self._pending.pop(request_id, None)
+            if isinstance(request_id, int)
+            else None
+        )
+        if future is not None and not future.done():
+            future.set_result(response)
+        # Unknown or already-done ids are dropped on the floor: the
+        # late answer to a request that timed out, or (unknown) a
+        # server bug we must not crash the reader over.
+
+    def _fail(self, error: ConnectionError) -> None:
+        """Mark the connection dead and fail everything in flight."""
+        if self._closed is None:
+            self._closed = error
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        self._writer.close()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def close(self) -> None:
+        """Tear down: cancel the reader, fail pending, close the socket.
+
+        ``_fail`` runs here too, not only in the reader's cancellation
+        handler: a task cancelled before its first scheduling never
+        executes that handler at all, and the transport would otherwise
+        never be closed (``wait_closed`` would hang forever).
+        """
+        self._reader_task.cancel()
+        await asyncio.gather(self._reader_task, return_exceptions=True)
+        self._fail(ConnectionError("connection closed"))
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncConnection":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    @property
+    def peer(self) -> Optional[Tuple[str, int]]:
+        """The remote ``(host, port)``, while the socket is open."""
+        peername = self._writer.get_extra_info("peername")
+        if peername is None:
+            return None
+        return str(peername[0]), int(peername[1])

@@ -1,0 +1,210 @@
+"""A bounded pool of pipelined connections.
+
+Capacity is ``max_connections × max_inflight`` logical request slots,
+guarded by one semaphore whose waiters are FIFO — request capacity+1
+queues behind everyone already waiting instead of dialing without
+bound or failing. Within that budget the pool keeps connections
+least-loaded-first: each request picks the member with the fewest
+checked-out slots, so depth stays even and no connection exceeds its
+pipelining cap (the selection and counter bump happen with no ``await``
+in between, hence atomically on the event loop).
+
+Dead connections are replaced lazily, at the moment a request lands on
+them: the re-dial is health-checked (a cheap ``topology`` round trip
+must succeed, proving the far end *speaks the protocol* rather than
+merely accepting TCP — exactly the difference between a restarting
+shard's listener and a serving one) and retried under exponential
+backoff with jitter, so a thousand concurrent requests against a
+restarting server do not stampede it with synchronized dials.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import List, Optional
+
+from .. import protocol
+from ..protocol import ServeClientError, ServeTimeout
+from .connection import AsyncConnection, RequestNotSent
+
+__all__ = ["ConnectionPool"]
+
+
+class _Member:
+    """One pool slot's connection and its checked-out request count."""
+
+    __slots__ = ("connection", "checked_out", "dial_lock")
+
+    def __init__(self) -> None:
+        self.connection: Optional[AsyncConnection] = None
+        self.checked_out = 0
+        self.dial_lock = asyncio.Lock()
+
+
+class ConnectionPool:
+    """Bounded, self-healing pool of :class:`AsyncConnection`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_connections: int = 4,
+        max_inflight: int = 64,
+        connect_timeout: Optional[float] = 5.0,
+        max_frame: int = protocol.MAX_FRAME,
+        reconnect_backoff: float = 0.05,
+        reconnect_attempts: int = 5,
+        health_check: bool = True,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError("max_connections must be at least 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if reconnect_attempts < 1:
+            raise ValueError("reconnect_attempts must be at least 1")
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_inflight = max_inflight
+        self.connect_timeout = connect_timeout
+        self.max_frame = max_frame
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_attempts = reconnect_attempts
+        self.health_check = health_check
+        self._members: List[_Member] = [_Member() for _ in range(max_connections)]
+        self._slots = asyncio.Semaphore(max_connections * max_inflight)
+        self._closed = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total logical request slots (connections × in-flight cap)."""
+        return self.max_connections * self.max_inflight
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently holding a slot."""
+        return sum(member.checked_out for member in self._members)
+
+    # -- requests ------------------------------------------------------------
+
+    async def request(
+        self, command: str, timeout: Optional[float] = None, **fields: object
+    ) -> dict:
+        """One command through the pool; waits FIFO when it is full.
+
+        ``timeout`` bounds both the wait for a free slot and the wait
+        for the response (each separately — a saturated pool is server
+        backpressure, not a dead server, and deserves its own clock).
+        A request whose frame provably never reached the server
+        (:class:`RequestNotSent` — the connection died between pooled
+        requests) is resent once on a fresh connection; a failure
+        after the send is never retried here, because the request may
+        already have been applied.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        try:
+            await asyncio.wait_for(self._slots.acquire(), timeout)
+        except asyncio.TimeoutError as exc:
+            raise ServeTimeout(
+                f"no free pool slot for {command!r} within {timeout}s "
+                f"({self.capacity} slots, all in flight)"
+            ) from exc
+        try:
+            member = min(self._members, key=lambda m: m.checked_out)
+            member.checked_out += 1
+            try:
+                connection = await self._ensure(member)
+                try:
+                    return await connection.request(command, timeout, **fields)
+                except RequestNotSent:
+                    # Stale socket (server restarted between requests):
+                    # the frame never left, so one resend is safe.
+                    connection = await self._ensure(member)
+                    return await connection.request(command, timeout, **fields)
+            finally:
+                member.checked_out -= 1
+        finally:
+            self._slots.release()
+
+    # -- connection management -----------------------------------------------
+
+    async def _ensure(self, member: _Member) -> AsyncConnection:
+        """The member's live connection, (re)dialed if dead.
+
+        The dial lock makes concurrent requests on a dead member wait
+        for one re-dial rather than racing their own.
+        """
+        connection = member.connection
+        if connection is not None and connection.healthy:
+            return connection
+        async with member.dial_lock:
+            connection = member.connection
+            if connection is not None and connection.healthy:
+                return connection  # re-dialed while we waited on the lock
+            if connection is not None:
+                await connection.close()
+                member.connection = None
+            member.connection = await self._dial()
+            return member.connection
+
+    async def _dial(self) -> AsyncConnection:
+        """Dial with health check, exponential backoff, and jitter."""
+        delay = self.reconnect_backoff
+        last_error: Exception | None = None
+        for attempt in range(self.reconnect_attempts):
+            if attempt:
+                # Jitter in [0.5, 1.5)× so a fleet of waiters does not
+                # re-dial a recovering server in lockstep.
+                await asyncio.sleep(delay * (0.5 + random.random()))
+                delay *= 2
+            try:
+                connection = await AsyncConnection.open(
+                    self.host,
+                    self.port,
+                    connect_timeout=self.connect_timeout,
+                    max_inflight=self.max_inflight,
+                    max_frame=self.max_frame,
+                )
+            except (ConnectionError, OSError, ServeTimeout) as exc:
+                last_error = exc
+                continue
+            if not self.health_check:
+                return connection
+            try:
+                # topology is answered locally by both the single
+                # server and the router — the cheapest proof that the
+                # peer speaks the protocol and is actually serving.
+                await connection.request("topology", self.connect_timeout)
+                return connection
+            except (ConnectionError, OSError, ServeTimeout) as exc:
+                last_error = exc
+                await connection.close()
+            except ServeClientError:
+                # An error *response* still proves a live server;
+                # old servers without the command would answer
+                # bad_request, which is healthy enough.
+                return connection
+        raise ConnectionError(
+            f"could not reach {self.host}:{self.port} after "
+            f"{self.reconnect_attempts} attempts: {last_error}"
+        ) from last_error
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def close(self) -> None:
+        """Close every member connection; pending requests fail fast."""
+        self._closed = True
+        for member in self._members:
+            if member.connection is not None:
+                await member.connection.close()
+                member.connection = None
+
+    async def __aenter__(self) -> "ConnectionPool":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

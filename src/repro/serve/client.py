@@ -15,6 +15,14 @@ from datetime import datetime
 from typing import Iterable, Mapping, Optional, Sequence
 
 from . import protocol
+from .protocol import (
+    BatchRejectedError,
+    OverloadedError,
+    RequestIds,
+    ServeClientError,
+    ServeTimeout,
+    check_response,
+)
 
 __all__ = [
     "ServeClientError",
@@ -23,49 +31,6 @@ __all__ = [
     "BatchRejectedError",
     "ServeClient",
 ]
-
-
-class ServeClientError(RuntimeError):
-    """An error response from the server."""
-
-    def __init__(self, code: str, message: str, response: dict) -> None:
-        super().__init__(f"{code}: {message}")
-        self.code = code
-        self.response = response
-
-
-class ServeTimeout(OSError):
-    """The server (or the route to it) stopped answering in time.
-
-    Raised when connecting exceeds ``connect_timeout`` or a request
-    exceeds ``timeout``. Distinct from :class:`ServeClientError`: no
-    response was received at all, so the request's fate is unknown —
-    behind a router this usually means the owning shard is dead and a
-    restart or failover is in progress. The connection is closed (a
-    late response would desynchronize the request/response pairing);
-    reconnect before retrying.
-    """
-
-
-class OverloadedError(ServeClientError):
-    """The monitor's ingest queue is full; back off and retry."""
-
-
-class BatchRejectedError(ServeClientError):
-    """A batched ingest hit an invalid record partway through.
-
-    Everything before ``index`` was applied and durably acknowledged —
-    ``applied`` holds those update documents — and nothing at or after
-    ``index`` was. ``index`` is absolute into the rounds the caller
-    passed, not relative to the failing wire batch.
-    """
-
-    def __init__(
-        self, code: str, message: str, response: dict, index: int, applied: list[dict]
-    ) -> None:
-        super().__init__(code, f"round {index}: {message}", response)
-        self.index = index
-        self.applied = applied
 
 
 class ServeClient:
@@ -88,19 +53,25 @@ class ServeClient:
         """
         self.max_frame = max_frame
         self.timeout = timeout
-        self._next_id = 0
-        if connect_timeout is None:
-            connect_timeout = timeout
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self._ids = RequestIds()
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
         try:
-            self._sock = socket.create_connection(
-                (host, port), timeout=connect_timeout
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
             )
         except socket.timeout as exc:
             raise ServeTimeout(
-                f"connecting to {host}:{port} exceeded {connect_timeout}s"
+                f"connecting to {self.host}:{self.port} exceeded "
+                f"{self.connect_timeout}s"
             ) from exc
-        self._sock.settimeout(timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
 
     def close(self) -> None:
         self._sock.close()
@@ -119,11 +90,25 @@ class ServeClient:
         Error responses raise :class:`ServeClientError`
         (:class:`OverloadedError` for explicit backpressure, so callers
         can distinguish "retry later" from "you sent garbage").
+
+        A connection that died *between* requests — a pooled client
+        reused after the server restarted, a NAT timeout — fails at
+        send time with ``ECONNRESET``/``EPIPE``. The server cannot have
+        seen any of the request, so one transparent reconnect-and-resend
+        is always safe; a failure after the send phase is not retried
+        (the request may have been applied).
         """
-        self._next_id += 1
-        message = {"cmd": command, "id": self._next_id, **fields}
+        message = {"cmd": command, "id": self._ids.next(), **fields}
         try:
             protocol.send_frame(self._sock, message, self.max_frame)
+        except (ConnectionResetError, BrokenPipeError):
+            # Stale socket: reconnect once and resend. The frame never
+            # reached the server (sendall raised), so this cannot
+            # double-apply.
+            self._sock.close()
+            self._sock = self._connect()
+            protocol.send_frame(self._sock, message, self.max_frame)
+        try:
             response = protocol.recv_frame(self._sock, self.max_frame)
         except socket.timeout as exc:
             # The stream position is now unknowable (a late response
@@ -133,13 +118,7 @@ class ServeClient:
             raise ServeTimeout(
                 f"no response to {command!r} within {self.timeout}s"
             ) from exc
-        if not response.get("ok"):
-            code = response.get("error", "unknown")
-            text = response.get("message", "")
-            if code == protocol.ERR_OVERLOADED:
-                raise OverloadedError(code, text, response)
-            raise ServeClientError(code, text, response)
-        return response
+        return check_response(response)
 
     # -- commands ------------------------------------------------------------
 
@@ -308,3 +287,15 @@ class ServeClient:
     def promote(self) -> dict:
         """Tell a replication follower to stop following and serve."""
         return self.request("promote")
+
+    def topology(self) -> dict:
+        """The serving tier's shape: ring members, digest, addresses.
+
+        Against a cluster router the response carries every shard's
+        id and dialable address plus the ring parameters (``vnodes``,
+        ``ring_digest``) a ring-aware client needs to compute ownership
+        locally; against a single server it reports the one-shard
+        degenerate topology. ``generation`` bumps on every failover or
+        restart, so clients can detect drift cheaply.
+        """
+        return self.request("topology")

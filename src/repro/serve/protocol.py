@@ -28,6 +28,12 @@ __all__ = [
     "MONITOR_COMMANDS",
     "FrameError",
     "FrameTooLarge",
+    "ServeClientError",
+    "ServeTimeout",
+    "OverloadedError",
+    "BatchRejectedError",
+    "RequestIds",
+    "check_response",
     "encode_frame",
     "decode_payload",
     "read_frame",
@@ -73,6 +79,8 @@ COMMANDS = (
     "install",
     "retire",
     "promote",
+    # Cluster shape for ring-aware clients (docs/async-client.md).
+    "topology",
 )
 
 #: Commands addressed to one monitor — the router routes these to the
@@ -114,6 +122,93 @@ class FrameError(ValueError):
 
 class FrameTooLarge(FrameError):
     """Frame payload exceeds the configured maximum."""
+
+
+# -- client-side error surface ------------------------------------------------
+#
+# Both clients — the blocking ServeClient and the asyncio
+# AsyncServeClient — map error responses to the same exception types
+# and allocate correlation ids the same way, so those pieces live here
+# rather than being copied into each client module.
+
+
+class ServeClientError(RuntimeError):
+    """An error response from the server."""
+
+    def __init__(self, code: str, message: str, response: dict) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.response = response
+
+
+class ServeTimeout(OSError):
+    """The server (or the route to it) stopped answering in time.
+
+    Raised when connecting exceeds ``connect_timeout`` or a request
+    exceeds ``timeout``. Distinct from :class:`ServeClientError`: no
+    response was received at all, so the request's fate is unknown —
+    behind a router this usually means the owning shard is dead and a
+    restart or failover is in progress. The connection is closed (a
+    late response would desynchronize the request/response pairing);
+    reconnect before retrying.
+    """
+
+
+class OverloadedError(ServeClientError):
+    """Explicit backpressure: a bounded queue or in-flight cap is full."""
+
+
+class BatchRejectedError(ServeClientError):
+    """A batched ingest hit an invalid record partway through.
+
+    Everything before ``index`` was applied and durably acknowledged —
+    ``applied`` holds those update documents — and nothing at or after
+    ``index`` was. ``index`` is absolute into the rounds the caller
+    passed, not relative to the failing wire batch.
+    """
+
+    def __init__(
+        self, code: str, message: str, response: dict, index: int, applied: list[dict]
+    ) -> None:
+        super().__init__(code, f"round {index}: {message}", response)
+        self.index = index
+        self.applied = applied
+
+
+class RequestIds:
+    """Monotonic correlation-id allocator, one per connection.
+
+    Ids only need to be unique among the requests in flight on one
+    connection — the pipelined server echoes whatever it was sent — so
+    a plain counter suffices and stays debuggable (id order == send
+    order).
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def next(self) -> int:
+        self._next += 1
+        return self._next
+
+
+def check_response(response: dict) -> dict:
+    """Return an ``ok`` response, or raise the mapped client exception.
+
+    ``overloaded`` raises :class:`OverloadedError` so callers can
+    distinguish "back off and retry" from "you sent garbage"; every
+    other error code raises plain :class:`ServeClientError` with the
+    code preserved on the exception.
+    """
+    if not response.get("ok"):
+        code = str(response.get("error", "unknown"))
+        text = str(response.get("message", ""))
+        if code == ERR_OVERLOADED:
+            raise OverloadedError(code, text, response)
+        raise ServeClientError(code, text, response)
+    return response
 
 
 def encode_frame(message: dict, max_frame: int = MAX_FRAME) -> bytes:

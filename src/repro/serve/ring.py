@@ -83,6 +83,17 @@ class HashRing:
             counts[self.owner(key)] += 1
         return counts
 
+    def digest(self) -> str:
+        """A short stable fingerprint of the ring's shape.
+
+        Two rings agree on every key's owner iff they were built from
+        the same (shards, vnodes) pair, so the digest covers exactly
+        that. Ring-aware clients compare it against the ``topology``
+        response to detect drift without re-fetching the full ring.
+        """
+        body = f"vnodes={self.vnodes};shards={','.join(map(str, self._shards))}"
+        return hashlib.sha1(body.encode("utf-8")).hexdigest()[:16]
+
     def with_shard(self, shard: int) -> "HashRing":
         """A new ring with ``shard`` added (no-op if present)."""
         return HashRing((*self._shards, shard), vnodes=self.vnodes)

@@ -36,6 +36,7 @@ from .protocol import (
     ERR_BAD_FRAME,
     ERR_BAD_REQUEST,
     ERR_FRAME_TOO_LARGE,
+    ERR_OVERLOADED,
     ERR_SHARD_DOWN,
     FrameError,
     FrameTooLarge,
@@ -82,6 +83,38 @@ _FAST_REQUEST = re.compile(
 _Upstream = Tuple[int, asyncio.StreamReader, asyncio.StreamWriter]
 
 
+class _Upstreams:
+    """One client connection's cache of shard connections.
+
+    Pipelined requests serialize per shard (each upstream connection is
+    strictly request/response, so a round trip must finish before the
+    next begins) but run concurrently across shards — that is where the
+    pipelined router's parallelism comes from. The shard lock also
+    covers dialing, so two racing requests never double-dial one shard.
+    """
+
+    __slots__ = ("connections", "_locks")
+
+    def __init__(self) -> None:
+        self.connections: Dict[int, _Upstream] = {}
+        self._locks: Dict[int, asyncio.Lock] = {}
+
+    def lock(self, shard: int) -> asyncio.Lock:
+        lock = self._locks.get(shard)
+        if lock is None:
+            lock = self._locks[shard] = asyncio.Lock()
+        return lock
+
+    def drop(self, shard: int) -> None:
+        cached = self.connections.pop(shard, None)
+        if cached is not None:
+            cached[2].close()
+
+    def drop_all(self) -> None:
+        for shard in list(self.connections):
+            self.drop(shard)
+
+
 class ShardRouter:
     """Protocol-transparent front-end multiplexing N shard servers."""
 
@@ -91,12 +124,16 @@ class ShardRouter:
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame: int = protocol.MAX_FRAME,
+        max_inflight: int = 512,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
         self.state = state
         self.host = host
         self.port = port
         self.max_frame = max_frame
+        self.max_inflight = max_inflight
         self.registry = registry if registry is not None else MetricsRegistry()
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = time.time()
@@ -135,19 +172,18 @@ class ShardRouter:
 
     # -- upstream connections ------------------------------------------------
 
-    async def _upstream(
-        self, upstreams: Dict[int, _Upstream], shard: int
-    ) -> _Upstream:
+    async def _upstream(self, upstreams: _Upstreams, shard: int) -> _Upstream:
         """The cached connection to ``shard``, re-dialed when stale.
 
         A connection is stale when the cluster generation moved (the
         supervisor restarted or failed over some shard — cheap to
         re-dial, and correctness demands it when the address changed).
+        Callers hold the shard's lock, so there is never a racing dial.
         """
-        cached = upstreams.pop(shard, None)
+        cached = upstreams.connections.pop(shard, None)
         if cached is not None:
             if cached[0] == self.state.generation:
-                upstreams[shard] = cached
+                upstreams.connections[shard] = cached
                 return cached
             cached[2].close()
         address = self.state.addresses.get(shard)
@@ -155,22 +191,23 @@ class ShardRouter:
             raise ConnectionError(f"shard {shard} has no live address")
         reader, writer = await asyncio.open_connection(address[0], address[1])
         fresh: _Upstream = (self.state.generation, reader, writer)
-        upstreams[shard] = fresh
+        upstreams.connections[shard] = fresh
         return fresh
 
     async def _forward(
-        self, upstreams: Dict[int, _Upstream], shard: int, payload: bytes
+        self, upstreams: _Upstreams, shard: int, payload: bytes
     ) -> bytes:
         """Relay ``payload`` to ``shard`` and return the response bytes."""
-        _generation, reader, writer = await self._upstream(upstreams, shard)
-        await protocol.write_frame_bytes(writer, payload)
-        response = await protocol.read_frame_bytes(reader, self.max_frame)
+        async with upstreams.lock(shard):
+            _generation, reader, writer = await self._upstream(upstreams, shard)
+            await protocol.write_frame_bytes(writer, payload)
+            response = await protocol.read_frame_bytes(reader, self.max_frame)
         if response is None:
             raise ConnectionError(f"shard {shard} closed mid request")
         return response
 
     async def _request_shard(
-        self, upstreams: Dict[int, _Upstream], shard: int, message: dict
+        self, upstreams: _Upstreams, shard: int, message: dict
     ) -> dict:
         """A parsed request/response round trip (the fan-out path)."""
         payload = protocol.encode_frame(message, self.max_frame)[4:]
@@ -185,21 +222,45 @@ class ShardRouter:
             help="Upstream shard failures observed by the router",
         ).inc()
 
-    def _drop_upstream(self, upstreams: Dict[int, _Upstream], shard: int) -> None:
-        cached = upstreams.pop(shard, None)
-        if cached is not None:
-            cached[2].close()
+    def _drop_upstream(self, upstreams: _Upstreams, shard: int) -> None:
+        upstreams.drop(shard)
 
     # -- request handling ----------------------------------------------------
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Per-connection loop, mirroring the single server's contract."""
+        """Pipelined per-connection loop, mirroring the server's contract.
+
+        Each frame is routed as its own task and its response written in
+        completion order — requests for *different* shards overlap even
+        though each shard's upstream round trips stay serialized (see
+        :class:`_Upstreams`). A one-at-a-time client sees unchanged
+        behaviour; past ``max_inflight`` pending requests further frames
+        get the same explicit ``overloaded`` answer the single server
+        gives.
+        """
         self.registry.counter(
             "cluster_connections_total", help="Client connections accepted"
         ).inc()
-        upstreams: Dict[int, _Upstream] = {}
+        upstreams = _Upstreams()
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+
+        async def reply_bytes(response: bytes) -> None:
+            async with write_lock:
+                await protocol.write_frame_bytes(writer, response)
+
+        async def reply(response: dict) -> None:
+            await reply_bytes(self._encode(response))
+
+        async def route_and_reply(payload: bytes) -> None:
+            try:
+                await reply_bytes(await self._route(upstreams, payload))
+            except (ConnectionError, OSError):
+                pass  # client vanished mid-response; reader loop will notice
+
         try:
             while True:
                 try:
@@ -207,36 +268,47 @@ class ShardRouter:
                         reader, self.max_frame
                     )
                 except FrameTooLarge as exc:
-                    await protocol.write_frame(
-                        writer, error_response(ERR_FRAME_TOO_LARGE, str(exc))
-                    )
+                    await reply(error_response(ERR_FRAME_TOO_LARGE, str(exc)))
                     break
                 except FrameError as exc:
                     try:
-                        await protocol.write_frame(
-                            writer, error_response(ERR_BAD_FRAME, str(exc))
-                        )
+                        await reply(error_response(ERR_BAD_FRAME, str(exc)))
                     except (ConnectionError, OSError):
                         pass
                     break
                 if payload is None:
                     break
-                response = await self._route(upstreams, payload)
-                await protocol.write_frame_bytes(writer, response)
+                if len(inflight) >= self.max_inflight:
+                    match = _FAST_REQUEST.match(payload)
+                    request_id = int(match.group(2)) if match else None
+                    await reply(
+                        error_response(
+                            ERR_OVERLOADED,
+                            f"connection has {len(inflight)} requests in "
+                            f"flight (cap {self.max_inflight})",
+                            request_id,
+                            in_flight=len(inflight),
+                        )
+                    )
+                    continue
+                task = loop.create_task(route_and_reply(payload))
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
         except (ConnectionError, OSError):
             pass  # client vanished; nothing to answer
         finally:
-            for shard in list(upstreams):
-                self._drop_upstream(upstreams, shard)
+            for task in list(inflight):
+                task.cancel()
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            upstreams.drop_all()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    async def _route(
-        self, upstreams: Dict[int, _Upstream], payload: bytes
-    ) -> bytes:
+    async def _route(self, upstreams: _Upstreams, payload: bytes) -> bytes:
         """One request in, one response out — both as raw payload bytes."""
         command: Optional[str] = None
         monitor: Optional[str] = None
@@ -283,6 +355,8 @@ class ShardRouter:
             return self._encode(await self._fan_out_stats(upstreams, request_id))
         if command == "metrics":
             return await self._metrics(upstreams, request, request_id)
+        if command == "topology":
+            return self._encode(self._topology(request_id))
         if command == "promote":
             # Promotion addresses one concrete server, never the tier.
             return self._encode(
@@ -299,9 +373,31 @@ class ShardRouter:
     def _encode(self, message: dict) -> bytes:
         return protocol.encode_frame(message, self.max_frame)[4:]
 
+    def _topology(self, request_id: object) -> dict:
+        """The cluster's live shape, for ring-aware clients.
+
+        Carries everything needed to route monitor commands locally:
+        each shard's dialable address, the ring parameters, and a
+        ``ring_digest``/``generation`` pair for cheap drift detection
+        (a client whose cached digest stops matching refetches before
+        trusting its ownership math).
+        """
+        return {
+            "id": request_id,
+            "ok": True,
+            "shards": {
+                str(shard): list(address)
+                for shard, address in sorted(self.state.addresses.items())
+            },
+            "vnodes": self.state.ring.vnodes,
+            "ring_digest": self.state.ring.digest(),
+            "generation": self.state.generation,
+            "router": True,
+        }
+
     async def _route_to_owner(
         self,
-        upstreams: Dict[int, _Upstream],
+        upstreams: _Upstreams,
         monitor: str,
         payload: bytes,
         request_id: object,
@@ -323,7 +419,7 @@ class ShardRouter:
             )
 
     async def _fan_out_list(
-        self, upstreams: Dict[int, _Upstream], request_id: object
+        self, upstreams: _Upstreams, request_id: object
     ) -> dict:
         """Union of every live shard's monitors, sorted."""
         monitors: set[str] = set()
@@ -344,7 +440,7 @@ class ShardRouter:
         return document
 
     async def _fan_out_stats(
-        self, upstreams: Dict[int, _Upstream], request_id: object
+        self, upstreams: _Upstreams, request_id: object
     ) -> dict:
         """Every shard's stats, merged: summed counters, tagged monitors."""
         counters: Dict[str, float] = {}
@@ -386,7 +482,7 @@ class ShardRouter:
         }
 
     async def _metrics(
-        self, upstreams: Dict[int, _Upstream], request: dict, request_id: object
+        self, upstreams: _Upstreams, request: dict, request_id: object
     ) -> bytes:
         """Router registry by default; one shard's exposition on demand."""
         shard = request.get("shard")

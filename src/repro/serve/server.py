@@ -31,6 +31,7 @@ from ..vps import PlanError, VPPlan
 from .journal import SNAPSHOT_FILE, JournalError
 from .metrics import ServerMetrics
 from .monitor import DurableMonitor, MonitorError, valid_monitor_name
+from .ring import HashRing
 from . import protocol
 from .protocol import (
     ERR_BAD_FRAME,
@@ -64,11 +65,17 @@ class ServeConfig:
     snapshot_every: int = 1000  # auto-checkpoint cadence per monitor; 0 = never
     max_frame: int = protocol.MAX_FRAME
     fsync: bool = False
+    #: Pipelining cap: how many requests one connection may have in
+    #: flight before further frames are answered with an ``overloaded``
+    #: error (docs/async-client.md). One-at-a-time clients never notice.
+    max_inflight: int = 512
 
     def __post_init__(self) -> None:
         self.data_dir = Path(self.data_dir)
         if self.queue_size < 1:
             raise ValueError("queue_size must be at least 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
 
 
 @dataclass
@@ -101,6 +108,20 @@ class FenrirServer:
         self.registry.gauge(
             "serve_uptime_seconds", help="Seconds since this server constructed"
         ).set_function(lambda: time.time() - self._started)
+        # Pipelining instrumentation: total requests currently being
+        # dispatched (all connections) and, per request arrival, how
+        # full the per-connection in-flight window was.
+        self._inflight = 0
+        self.registry.gauge(
+            "serve_inflight_requests",
+            help="Requests currently in flight across all connections",
+        ).set_function(lambda: self._inflight)
+        self._fill_histogram = self.registry.histogram(
+            "serve_pipeline_fill_ratio",
+            buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+            help="Per-connection in-flight depth over max_inflight, "
+            "observed at each request arrival",
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -721,6 +742,28 @@ class FenrirServer:
             self.metrics.increment("promotions")
         return {"id": request_id, "ok": True, "was_following": was_following}
 
+    def _topology(self, request_id: object) -> dict:
+        """The degenerate single-server topology.
+
+        A ring-aware client asks ``topology`` to learn where to send
+        monitor-scoped commands directly. A standalone server *is* the
+        whole tier: one shard (id 0) at its own address, a one-member
+        ring. The cluster router overrides this with the real ring —
+        same response shape, so clients need not care which tier
+        answered (docs/async-client.md).
+        """
+        host, port = self.address
+        ring = HashRing.for_cluster(1)
+        return {
+            "id": request_id,
+            "ok": True,
+            "shards": {"0": [host, port]},
+            "vnodes": ring.vnodes,
+            "ring_digest": ring.digest(),
+            "generation": 0,
+            "router": False,
+        }
+
     async def _snapshot(self, request: dict, request_id: object) -> dict:
         runtime = self._runtime_for(request)
         # Quiesce: let queued ingests land so the checkpoint covers them.
@@ -769,6 +812,8 @@ class FenrirServer:
                 response = await self._retire(request, request_id)
             elif command == "promote":
                 response = await self._promote(request_id)
+            elif command == "topology":
+                response = self._topology(request_id)
             elif command == "list":
                 response = {
                     "id": request_id,
@@ -798,13 +843,51 @@ class FenrirServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """One request/response loop per connection, in order.
+        """Pipelined request loop: many frames in flight per connection.
 
-        Responses go through ``drain()``, so a slow reader backpressures
-        its own connection (the server stops reading further requests
-        from it) without affecting anyone else's.
+        Every request frame carries an ``id`` and every response echoes
+        it, so responses may be written in *completion* order, not
+        arrival order: each request is dispatched as its own task and
+        its response written (under a per-connection lock — frames must
+        never interleave mid-write) as soon as it is ready. A client
+        that sends one request and waits — the blocking
+        :class:`~repro.serve.client.ServeClient` — only ever has one
+        task in flight and observes the exact pre-pipelining behaviour,
+        byte for byte.
+
+        Two bounds keep a fast sender honest: responses go through
+        ``drain()``, so a slow reader backpressures its own connection;
+        and at most ``max_inflight`` requests may be pending — further
+        frames are answered immediately with an ``overloaded`` error
+        carrying the current depth, the same explicit-backpressure
+        contract as the bounded ingest queues.
+
+        Ordering note: tasks are created in frame order and asyncio
+        runs each new task synchronously up to its first suspension in
+        that order, and ``_ingest``/``_ingest_batch`` enqueue onto the
+        monitor's queue *before* first suspending — so pipelined
+        ingests on one connection are applied in the order sent even
+        though their responses may interleave.
         """
         self.metrics.increment("connections_accepted")
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+
+        async def reply(response: dict) -> None:
+            async with write_lock:
+                await protocol.write_frame(writer, response, self.config.max_frame)
+
+        async def dispatch_and_reply(request: dict) -> None:
+            self._inflight += 1
+            try:
+                response = await self._dispatch(request)
+                await reply(response)
+            except (ConnectionError, OSError):
+                pass  # peer vanished mid-response; reader loop will notice
+            finally:
+                self._inflight -= 1
+
         try:
             while True:
                 try:
@@ -816,26 +899,47 @@ class FenrirServer:
                     # answer, then drop the connection (resync is
                     # impossible mid-stream).
                     self.metrics.increment("frames_oversized")
-                    await protocol.write_frame(
-                        writer, error_response(ERR_FRAME_TOO_LARGE, str(exc))
-                    )
+                    await reply(error_response(ERR_FRAME_TOO_LARGE, str(exc)))
                     break
                 except FrameError as exc:
                     self.metrics.increment("frames_malformed")
                     try:
-                        await protocol.write_frame(
-                            writer, error_response(ERR_BAD_FRAME, str(exc))
-                        )
+                        await reply(error_response(ERR_BAD_FRAME, str(exc)))
                     except (ConnectionError, OSError):
                         pass
                     break
                 if request is None:
                     break
-                response = await self._dispatch(request)
-                await protocol.write_frame(writer, response, self.config.max_frame)
+                self._fill_histogram.observe(
+                    len(inflight) / self.config.max_inflight
+                )
+                if len(inflight) >= self.config.max_inflight:
+                    self.metrics.increment("pipeline_overloads")
+                    await reply(
+                        error_response(
+                            ERR_OVERLOADED,
+                            f"connection has {len(inflight)} requests in "
+                            f"flight (cap {self.config.max_inflight})",
+                            request.get("id"),
+                            in_flight=len(inflight),
+                        )
+                    )
+                    continue
+                task = loop.create_task(dispatch_and_reply(request))
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
         except (ConnectionError, OSError):
             pass  # peer vanished; nothing to answer
         finally:
+            # The peer is gone (or sent garbage): nothing started after
+            # this point could be answered, so cancel what is still
+            # pending and wait the cancellations out before closing —
+            # an enqueued ingest's future is simply abandoned (the
+            # writer task checks ``future.cancelled()``).
+            for task in list(inflight):
+                task.cancel()
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
             writer.close()
             try:
                 await writer.wait_closed()

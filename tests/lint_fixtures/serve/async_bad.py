@@ -14,3 +14,14 @@ async def handler(path):
 
 async def save(path, text):
     path.write_text(text)  # [bad]
+
+
+async def proxy(sock, payload):
+    sock.sendall(payload)  # [bad]
+    return sock.recv(4096)  # [bad]
+
+
+async def resolve(host):
+    import socket
+
+    return socket.getaddrinfo(host, 7339)  # [bad]

@@ -20,3 +20,14 @@ async def nested_escape(path):
         return path.read_text()
 
     return await asyncio.to_thread(loader)
+
+
+async def proxy(reader, writer, payload):
+    writer.write(payload)
+    await writer.drain()
+    return await reader.readexactly(4)
+
+
+def sync_proxy(sock, payload):
+    sock.sendall(payload)
+    return sock.recv(4096)

@@ -1,0 +1,521 @@
+"""Tests for ``repro.serve.aio`` and the pipelined wire protocol.
+
+Three layers, matching the tentpole's risk surface:
+
+* **correlation** — a Hypothesis property that *any* completion order
+  of pipelined responses (a fake server answering in a shuffled
+  permutation of arrival order) resolves every ``AsyncServeClient``
+  future exactly once with the matching ``id``;
+* **server pipelining** — deterministic out-of-order completion and
+  the per-connection in-flight cap's explicit ``overloaded`` answer,
+  driven through a gated ``_dispatch`` so nothing depends on timing;
+* **pool & retry** — bounded concurrency, FIFO admission, reconnect
+  after a server restart, and the blocking client's one safe resend
+  on a stale socket; plus the slow-marked SIGKILL-under-concurrent-
+  load chaos test asserting byte-equality with the oracle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from datetime import datetime, timedelta
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    AsyncServeClient,
+    FenrirServer,
+    OverloadedError,
+    ServeClient,
+    ServeConfig,
+)
+from repro.serve.aio import AsyncConnection, ConnectionPool, RequestNotSent
+from repro.serve.protocol import ServeTimeout, check_response
+from cluster_chaos import (
+    ClusterHarness,
+    canonical,
+    generate_rounds,
+    oracle_state,
+)
+from test_serve_server import ServerThread
+
+T0 = datetime(2025, 1, 1)
+NETWORKS = [f"10.0.{i}.0/24" for i in range(6)]
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def start_server(tmp_path: Path, **overrides) -> FenrirServer:
+    config = ServeConfig(data_dir=tmp_path / "data", port=0, **overrides)
+    server = FenrirServer(config)
+    await server.start()
+    return server
+
+
+# -- correlation under arbitrary completion order ----------------------------
+
+
+class ShuffledResponder:
+    """A wire-protocol server answering in a chosen permutation.
+
+    Collects ``expect`` requests, then writes their responses in
+    ``order`` (indices into arrival order), echoing each request's
+    ``id`` and ``marker``. ``topology`` frames (the pool's health
+    check) are answered immediately and don't count toward ``expect``.
+    """
+
+    def __init__(self, expect: int, order: list[int]) -> None:
+        self.expect = expect
+        self.order = order
+        self._server: asyncio.AbstractServer | None = None
+
+    async def __aenter__(self) -> "ShuffledResponder":
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        from repro.serve import protocol
+
+        held: list[dict] = []
+        try:
+            while len(held) < self.expect:
+                request = await protocol.read_frame(reader)
+                if request is None:
+                    return
+                if request.get("cmd") == "topology":
+                    await protocol.write_frame(
+                        writer, {"id": request.get("id"), "ok": True}
+                    )
+                    continue
+                held.append(request)
+            for index in self.order:
+                request = held[index]
+                await protocol.write_frame(
+                    writer,
+                    {
+                        "id": request.get("id"),
+                        "ok": True,
+                        "marker": request.get("marker"),
+                    },
+                )
+            while True:  # keep the connection open until the client leaves
+                if await protocol.read_frame(reader) is None:
+                    return
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+
+class TestCorrelationProperty:
+    @given(order=st.permutations(tuple(range(12))))
+    @settings(max_examples=25, deadline=None)
+    def test_any_completion_order_resolves_every_future_once(self, order):
+        async def main() -> None:
+            async with ShuffledResponder(expect=12, order=list(order)) as fake:
+                host, port = fake.address
+                async with AsyncServeClient(
+                    host, port, timeout=10.0, max_connections=1, max_inflight=16
+                ) as client:
+                    responses = await asyncio.gather(
+                        *(
+                            client.request("query", monitor="m", marker=i)
+                            for i in range(12)
+                        )
+                    )
+            # Exactly once, each with its own answer: marker i came back
+            # to the caller that sent marker i, whatever the order.
+            assert [r["marker"] for r in responses] == list(range(12))
+            assert len({r["id"] for r in responses}) == 12
+
+        run(main())
+
+
+# -- server pipelining -------------------------------------------------------
+
+
+def gate_dispatch(server: FenrirServer) -> asyncio.Event:
+    """Replace ``_dispatch`` so ``cmd=wait`` blocks on the returned event.
+
+    Everything else passes through, which lets a test hold one request
+    in flight for as long as it needs — deterministically — while
+    later frames on the same connection are read and answered.
+    """
+    release = asyncio.Event()
+    original = server._dispatch
+
+    async def gated(request: dict) -> dict:
+        if request.get("cmd") == "wait":
+            await release.wait()
+            return {"id": request.get("id"), "ok": True, "waited": True}
+        return await original(request)
+
+    server._dispatch = gated  # type: ignore[method-assign]
+    return release
+
+
+class TestServerPipelining:
+    def test_out_of_order_completion_and_inflight_cap(self, tmp_path):
+        async def main() -> None:
+            server = await start_server(tmp_path, max_inflight=1)
+            release = gate_dispatch(server)
+            try:
+                host, port = server.address
+                connection = await AsyncConnection.open(host, port, max_inflight=8)
+                try:
+                    blocked = connection.submit("wait")
+                    await connection.drain()
+                    # Give the reader loop one turn to create the task;
+                    # frames after this point exceed the cap of 1.
+                    rejected = connection.submit("stats")
+                    await connection.drain()
+                    overloaded = await asyncio.wait_for(rejected, 5.0)
+                    # The capped frame is answered immediately — out of
+                    # order, before the first request has completed —
+                    # with the explicit backpressure error and depth.
+                    assert not blocked.done()
+                    assert overloaded["ok"] is False
+                    assert overloaded["error"] == "overloaded"
+                    assert overloaded["in_flight"] == 1
+                    with pytest.raises(OverloadedError):
+                        check_response(overloaded)
+                    release.set()
+                    first = await asyncio.wait_for(blocked, 5.0)
+                    assert first["waited"] is True
+                finally:
+                    await connection.close()
+            finally:
+                await server.stop()
+
+        run(main())
+
+    def test_timeout_does_not_poison_the_connection(self, tmp_path):
+        async def main() -> None:
+            server = await start_server(tmp_path)
+            release = gate_dispatch(server)
+            try:
+                host, port = server.address
+                connection = await AsyncConnection.open(host, port)
+                try:
+                    with pytest.raises(ServeTimeout):
+                        await connection.request("wait", timeout=0.05)
+                    # Unlike the blocking client, the connection stays
+                    # usable: correlation ids keep later pairings intact
+                    # and the late response is dropped by id.
+                    response = await connection.request("stats", timeout=5.0)
+                    assert response["ok"] is True
+                    assert connection.healthy
+                    release.set()
+                finally:
+                    await connection.close()
+            finally:
+                await server.stop()
+
+        run(main())
+
+    def test_pipelined_same_monitor_ingest_applies_in_send_order(self, tmp_path):
+        async def main() -> None:
+            server = await start_server(tmp_path)
+            try:
+                host, port = server.address
+                connection = await AsyncConnection.open(host, port, max_inflight=64)
+                try:
+                    await connection.request(
+                        "create", monitor="mon", networks=NETWORKS
+                    )
+                    futures = []
+                    for index in range(40):
+                        states = {
+                            name: ("up" if (index + i) % 3 else "down")
+                            for i, name in enumerate(NETWORKS)
+                        }
+                        futures.append(
+                            connection.submit(
+                                "ingest",
+                                monitor="mon",
+                                states=states,
+                                time=(T0 + timedelta(minutes=index)).isoformat(),
+                            )
+                        )
+                    await connection.drain()
+                    responses = [
+                        check_response(await future) for future in futures
+                    ]
+                    # Strictly-increasing timestamps survived 40 rounds
+                    # in flight at once: frame order == apply order.
+                    assert len(responses) == 40
+                    query = await connection.request("query", monitor="mon")
+                    assert query["rounds"] == 40
+                finally:
+                    await connection.close()
+            finally:
+                await server.stop()
+
+        run(main())
+
+
+# -- pool behaviour ----------------------------------------------------------
+
+
+class TestConnectionPool:
+    def test_bounded_inflight_and_fifo_completion(self, tmp_path):
+        async def main() -> None:
+            server = await start_server(tmp_path)
+            release = gate_dispatch(server)
+            try:
+                host, port = server.address
+                pool = ConnectionPool(
+                    host, port, max_connections=1, max_inflight=2,
+                    health_check=False,
+                )
+                try:
+                    tasks = [
+                        asyncio.ensure_future(pool.request("wait", 10.0))
+                        for _ in range(4)
+                    ]
+                    await asyncio.sleep(0.1)
+                    # Two hold slots; two wait FIFO on the semaphore.
+                    assert pool.in_flight == 2
+                    assert not any(task.done() for task in tasks)
+                    release.set()
+                    responses = await asyncio.gather(*tasks)
+                    assert all(r["waited"] for r in responses)
+                    assert pool.in_flight == 0
+                finally:
+                    await pool.close()
+            finally:
+                await server.stop()
+
+        run(main())
+
+    def test_reconnects_after_server_restart(self, tmp_path):
+        async def main() -> None:
+            server = await start_server(tmp_path)
+            host, port = server.address
+            pool = ConnectionPool(host, port, max_connections=1)
+            try:
+                first = await pool.request("stats", 5.0)
+                assert first["ok"] is True
+                await server.stop()
+                server = FenrirServer(
+                    ServeConfig(data_dir=tmp_path / "data", host=host, port=port)
+                )
+                await server.start()
+                # The pooled connection died with the old server; the
+                # next request health-checks and re-dials transparently.
+                second = await pool.request("stats", 5.0)
+                assert second["ok"] is True
+            finally:
+                await pool.close()
+                await server.stop()
+
+        run(main())
+
+    def test_request_not_sent_when_connection_already_dead(self, tmp_path):
+        async def main() -> None:
+            server = await start_server(tmp_path)
+            try:
+                host, port = server.address
+                connection = await AsyncConnection.open(host, port)
+                await connection.close()
+                with pytest.raises(RequestNotSent):
+                    connection.submit("stats")
+            finally:
+                await server.stop()
+
+        run(main())
+
+
+# -- ring-aware client -------------------------------------------------------
+
+
+class TestRingAware:
+    def test_single_server_topology_falls_back_to_routed(self, tmp_path):
+        async def main() -> None:
+            server = await start_server(tmp_path)
+            try:
+                host, port = server.address
+                async with AsyncServeClient(
+                    host, port, timeout=5.0, ring_aware=True
+                ) as client:
+                    topology = await client.topology()
+                    assert topology["router"] is False
+                    assert list(topology["shards"]) == ["0"]
+                    await client.create("mon", NETWORKS)
+                    await client.ingest(
+                        "mon",
+                        {name: "up" for name in NETWORKS},
+                        T0,
+                    )
+                    assert (await client.query("mon"))["rounds"] == 1
+                    # No shard pools were dialed: a non-router topology
+                    # means the main pool *is* the direct path.
+                    assert client._shard_pools == {}
+            finally:
+                await server.stop()
+
+        run(main())
+
+
+# -- blocking client stale-socket retry --------------------------------------
+
+
+class _DeadSocket:
+    """A socket whose peer reset while it sat in a pool, distilled."""
+
+    def __init__(self, fail_on: str) -> None:
+        self.fail_on = fail_on
+
+    def sendall(self, data: bytes) -> None:
+        if self.fail_on == "send":
+            raise ConnectionResetError("peer reset while idle")
+
+    def recv(self, count: int) -> bytes:
+        raise ConnectionResetError("peer reset after send")
+
+    def close(self) -> None:
+        pass
+
+
+class TestBlockingClientRetry:
+    def test_send_phase_reset_reconnects_and_resends(self, tmp_path):
+        # Server on a thread loop so the blocking client can talk to it.
+        with ServerThread(
+            ServeConfig(data_dir=tmp_path / "data", port=0)
+        ) as running:
+            host, port = running.address
+            with ServeClient(host, port, timeout=5.0) as client:
+                assert client.stats()["ok"] is True
+                # Swap in a socket that dies on the *send* — the frame
+                # provably never left, so the client must reconnect and
+                # resend rather than surface the reset.
+                client._sock = _DeadSocket(fail_on="send")
+                assert client.stats()["ok"] is True
+
+    def test_recv_phase_reset_is_not_retried(self, tmp_path):
+        with ServerThread(
+            ServeConfig(data_dir=tmp_path / "data", port=0)
+        ) as running:
+            host, port = running.address
+            with ServeClient(host, port, timeout=5.0) as client:
+                client._sock = _DeadSocket(fail_on="recv")
+                # After a successful send the request's fate is unknown:
+                # a transparent retry could double-apply, so the error
+                # surfaces.
+                with pytest.raises(ConnectionResetError):
+                    client.stats()
+
+
+# -- chaos: SIGKILL a shard under concurrent async load ----------------------
+
+
+@pytest.mark.slow
+class TestKillAShardUnderAsyncLoad:
+    def test_pool_fallback_matches_oracle(self, tmp_path):
+        """SIGKILL the victim's owning shard while four monitor streams
+        are being fed concurrently through one async client; the pool's
+        reconnect plus resume-from-applied-count must land every
+        monitor byte-equal to its uninterrupted oracle.
+        """
+        monitors = [f"victim-{i}" for i in range(4)]
+        per_monitor = {
+            name: generate_rounds(NETWORKS, 100, seed=11 + i)
+            for i, name in enumerate(monitors)
+        }
+        chunk = 10
+        kill_at = 40
+        with ClusterHarness(tmp_path / "cluster", shards=2) as harness:
+            owner = harness.owner_of(monitors[0])
+            host, port = harness.address
+            killed: list[int] = []
+
+            async def applied_rounds(
+                client: AsyncServeClient, name: str
+            ) -> int:
+                from repro.serve import ServeClientError
+
+                deadline = time.monotonic() + 60.0
+                while True:
+                    try:
+                        return int((await client.query(name))["rounds"])
+                    except ServeClientError as exc:
+                        if exc.code == "no_such_monitor":
+                            return 0
+                        if time.monotonic() > deadline:
+                            raise
+                    except Exception:
+                        if time.monotonic() > deadline:
+                            raise
+                    await asyncio.sleep(0.2)
+
+            async def feed_stream(client: AsyncServeClient, name: str) -> int:
+                rounds = per_monitor[name]
+                applied = 0
+                created = False
+                deadline = time.monotonic() + 180.0
+                while applied < len(rounds):
+                    if time.monotonic() > deadline:
+                        raise TimeoutError(f"{name}: fed {applied} rounds")
+                    if (
+                        name == monitors[0]
+                        and not killed
+                        and applied >= kill_at
+                    ):
+                        killed.append(applied)
+                        threading.Timer(
+                            0.005, harness.kill_child, args=(owner, "primary")
+                        ).start()
+                    try:
+                        if not created:
+                            if name not in await client.list_monitors():
+                                await client.create(name, NETWORKS)
+                            created = True
+                        await client.ingest_many(
+                            name,
+                            rounds[applied : applied + chunk],
+                            batch_size=chunk,
+                        )
+                        applied += len(rounds[applied : applied + chunk])
+                    except Exception:
+                        await asyncio.sleep(0.2)
+                        applied = await applied_rounds(client, name)
+                        created = applied > 0 or created
+                return applied
+
+            async def feed_all() -> list[int]:
+                async with AsyncServeClient(
+                    host, port, timeout=10.0, max_connections=2, max_inflight=32
+                ) as client:
+                    return await asyncio.gather(
+                        *(feed_stream(client, name) for name in monitors)
+                    )
+
+            fed = asyncio.run(feed_all())
+            assert fed == [100, 100, 100, 100]
+            assert killed, "chaos hook never fired"
+            harness.wait_shard_up(owner)
+            finals = {name: harness.monitor_state(name) for name in monitors}
+        for name in monitors:
+            assert canonical(finals[name]) == canonical(
+                oracle_state(NETWORKS, per_monitor[name])
+            ), f"{name} diverged from its oracle"
