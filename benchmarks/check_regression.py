@@ -1,36 +1,34 @@
-"""Compare committed vs fresh bench JSON and fail on throughput regression.
+"""Compare committed vs fresh bench JSON and fail on regression.
 
 Usage::
 
     python benchmarks/check_regression.py baseline.json candidate.json \
         [--vps-baseline BENCH_vps.json --vps-candidate fresh_vps.json] \
-        [--max-drop 0.40]
+        [--classify-baseline BENCH_classify.json \
+         --classify-candidate fresh_classify.json] \
+        [--max-drop 0.40] [--max-latency-rise 2.0]
 
-Reads ``throughput_by_batch`` from both serve files and exits non-zero
-if any batch size present in both dropped by more than ``--max-drop``
-(a fraction: 0.40 means a 40% drop fails). Improvements and new batch
-sizes never fail; a batch size that vanished from the candidate does,
-because silently losing a measurement is how regressions hide. When
-the baseline carries a ``throughput_by_shards`` section (from a
-``--shards N`` run), the same rules apply shard-count by shard-count —
-likewise ``throughput_by_concurrency`` (the async load generator vs
-the blocking client) and ``throughput_router_vs_direct`` (the
-ring-aware path vs the proxy hop).
+Each benchmark is a *suite*: a baseline/candidate document pair plus
+the sections to compare row by row. The serve suite (the positional
+arguments) gates ``throughput_by_batch`` (required) and, when the
+baseline recorded them, ``throughput_by_shards``,
+``throughput_by_concurrency``, ``throughput_router_vs_direct`` and
+``latency_p99_ms_by_concurrency``. The vps suite gates the fixed
+``ingest_rounds_per_second`` micro-bench; the classify suite gates
+held-out ``macro_f1`` (a drop is the regression) and
+``classify_latency_ms`` (a p99 rise is the regression).
 
-``latency_p99_ms_by_concurrency`` gates the opposite direction: p99
-request latency under load, where an *increase* beyond
-``--max-latency-rise`` is the regression. Its threshold is far more
-generous than the throughput one because tail latency on a shared
-runner is the noisiest number this suite records; the gate exists to
-catch "the pipelined server now convoys requests", a multiple, not a
-wobble.
+Shared rules: improvements and new rows never fail; a row that
+vanished from the candidate does, because silently losing a
+measurement is how regressions hide. Throughput/score sections fail on
+a drop beyond ``--max-drop``; latency sections fail on a *rise* beyond
+``--max-latency-rise`` (far more generous, because tail latency on a
+shared runner is the noisiest number this harness records).
 
-``--vps-baseline``/``--vps-candidate`` add the same comparison for
-``BENCH_vps.json``'s ``ingest_rounds_per_second`` section (the fixed
-micro-bench workload, identical across quick and full runs). A missing
-vps *baseline* is tolerated with a notice — the first PR that ships
-``bench_vps.py`` has no committed baseline to compare against — but
-once a baseline exists, a missing or section-less candidate fails.
+The vps and classify suites tolerate a missing *baseline* file with a
+notice and a refresh hint — the first PR that ships a bench has no
+committed baseline to compare against — but once a baseline exists, a
+missing or section-less candidate fails.
 
 The generous default threshold is deliberate: CI runners are noisy
 shared machines, and this gate exists to catch "someone serialized the
@@ -42,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
 UPDATE_HINT = """\
@@ -61,15 +60,23 @@ If the vps baseline is missing or stale, refresh it:
     PYTHONPATH=src python benchmarks/bench_vps.py --quick
     git add BENCH_vps.json"""
 
+CLASSIFY_UPDATE_HINT = """\
+If the classify baseline is missing or stale, refresh it:
 
-def load_document(path: Path, optional: bool = False) -> dict | None:
+    PYTHONPATH=src python benchmarks/bench_classify.py --quick
+    git add BENCH_classify.json"""
+
+
+def load_document(
+    path: Path, optional: bool = False, hint: str = VPS_UPDATE_HINT
+) -> dict | None:
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
         if optional:
             print(
                 f"notice: {path} does not exist; skipping its comparison.\n"
-                f"{VPS_UPDATE_HINT}"
+                f"{hint}"
             )
             return None
         sys.exit(f"error: {path} does not exist")
@@ -136,6 +143,94 @@ def compare_section(
         )
 
 
+@dataclass(frozen=True)
+class SectionSpec:
+    """One comparable section of a bench document."""
+
+    label: str
+    section: str
+    required: bool = False  # hard-exit if the baseline lacks it
+    higher_is_better: bool = True
+    unit: str = "rounds/s"
+    gate: str = "drop"  # "drop" -> --max-drop, "rise" -> --max-latency-rise
+
+
+#: What each bench suite compares. The serve suite is the positional
+#: pair; vps and classify are opt-in flag pairs with a tolerated
+#: missing baseline (their first PR has nothing committed to compare
+#: against) and a suite-specific refresh hint.
+SERVE_SECTIONS = (
+    SectionSpec("batch", "throughput_by_batch", required=True),
+    SectionSpec("shards", "throughput_by_shards"),
+    SectionSpec("concurrency", "throughput_by_concurrency"),
+    SectionSpec("route", "throughput_router_vs_direct"),
+    SectionSpec(
+        "p99",
+        "latency_p99_ms_by_concurrency",
+        higher_is_better=False,
+        unit="ms",
+        gate="rise",
+    ),
+)
+VPS_SECTIONS = (
+    SectionSpec("vps", "ingest_rounds_per_second", required=True),
+)
+CLASSIFY_SECTIONS = (
+    SectionSpec(
+        "classify-f1", "macro_f1", required=True, unit="macro-F1"
+    ),
+    SectionSpec(
+        "classify-latency",
+        "classify_latency_ms",
+        higher_is_better=False,
+        unit="ms",
+        gate="rise",
+    ),
+)
+
+
+def compare_suite(
+    name: str,
+    baseline_path: Path,
+    candidate_path: Path | None,
+    sections: tuple[SectionSpec, ...],
+    limits: dict[str, float],
+    failures: list[str],
+    optional_baseline: bool = False,
+    hint: str = VPS_UPDATE_HINT,
+) -> None:
+    """Load one baseline/candidate pair and compare its sections.
+
+    With ``optional_baseline`` a missing baseline file prints the
+    suite's refresh hint and skips the comparison entirely; once the
+    baseline loads, the candidate is mandatory.
+    """
+    baseline_doc = load_document(baseline_path, optional=optional_baseline, hint=hint)
+    if baseline_doc is None:
+        return
+    if candidate_path is None:
+        sys.exit(f"error: --{name}-baseline given without --{name}-candidate")
+    candidate_doc = load_document(candidate_path)
+    for spec in sections:
+        baseline = extract_section(
+            baseline_doc, baseline_path, spec.section, required=spec.required
+        )
+        if baseline is None:
+            continue
+        candidate = extract_section(
+            candidate_doc, candidate_path, spec.section, required=spec.required
+        )
+        compare_section(
+            spec.label,
+            baseline,
+            candidate,
+            limits[spec.gate],
+            failures,
+            higher_is_better=spec.higher_is_better,
+            unit=spec.unit,
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed BENCH_serve.json")
@@ -153,10 +248,22 @@ def main(argv: list[str] | None = None) -> int:
         help="freshly measured BENCH_vps.json",
     )
     parser.add_argument(
+        "--classify-baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_classify.json (missing file tolerated)",
+    )
+    parser.add_argument(
+        "--classify-candidate",
+        type=Path,
+        default=None,
+        help="freshly measured BENCH_classify.json",
+    )
+    parser.add_argument(
         "--max-drop",
         type=float,
         default=0.40,
-        help="fractional throughput drop that fails (default 0.40 = 40%%)",
+        help="fractional throughput/score drop that fails (default 0.40 = 40%%)",
     )
     parser.add_argument(
         "--max-latency-rise",
@@ -172,89 +279,42 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-drop must be a fraction in (0, 1)")
     if args.max_latency_rise <= 0.0:
         parser.error("--max-latency-rise must be positive")
-
-    baseline_doc = load_document(args.baseline)
-    candidate_doc = load_document(args.candidate)
-    baseline = extract_section(
-        baseline_doc, args.baseline, "throughput_by_batch", required=True
-    )
-    candidate = extract_section(
-        candidate_doc, args.candidate, "throughput_by_batch", required=True
-    )
+    limits = {"drop": args.max_drop, "rise": args.max_latency_rise}
 
     failures: list[str] = []
-    compare_section("batch", baseline, candidate, args.max_drop, failures)
-    for label, section in (
-        ("shards", "throughput_by_shards"),
-        ("concurrency", "throughput_by_concurrency"),
-        ("route", "throughput_router_vs_direct"),
-    ):
-        section_baseline = extract_section(
-            baseline_doc, args.baseline, section, required=False
-        )
-        if section_baseline is not None:
-            section_candidate = extract_section(
-                candidate_doc, args.candidate, section, required=False
-            )
-            compare_section(
-                label,
-                section_baseline,
-                section_candidate,
-                args.max_drop,
-                failures,
-            )
-    baseline_p99 = extract_section(
-        baseline_doc,
-        args.baseline,
-        "latency_p99_ms_by_concurrency",
-        required=False,
+    compare_suite(
+        "serve", args.baseline, args.candidate, SERVE_SECTIONS, limits, failures
     )
-    if baseline_p99 is not None:
-        candidate_p99 = extract_section(
-            candidate_doc,
-            args.candidate,
-            "latency_p99_ms_by_concurrency",
-            required=False,
-        )
-        compare_section(
-            "p99",
-            baseline_p99,
-            candidate_p99,
-            args.max_latency_rise,
-            failures,
-            higher_is_better=False,
-            unit="ms",
-        )
-
     if args.vps_baseline is not None:
-        vps_baseline_doc = load_document(args.vps_baseline, optional=True)
-        if vps_baseline_doc is not None:
-            if args.vps_candidate is None:
-                sys.exit("error: --vps-baseline given without --vps-candidate")
-            vps_candidate_doc = load_document(args.vps_candidate)
-            vps_baseline = extract_section(
-                vps_baseline_doc,
-                args.vps_baseline,
-                "ingest_rounds_per_second",
-                required=True,
-            )
-            vps_candidate = extract_section(
-                vps_candidate_doc,
-                args.vps_candidate,
-                "ingest_rounds_per_second",
-                required=False,
-            )
-            compare_section(
-                "vps", vps_baseline, vps_candidate, args.max_drop, failures
-            )
+        compare_suite(
+            "vps",
+            args.vps_baseline,
+            args.vps_candidate,
+            VPS_SECTIONS,
+            limits,
+            failures,
+            optional_baseline=True,
+            hint=VPS_UPDATE_HINT,
+        )
+    if args.classify_baseline is not None:
+        compare_suite(
+            "classify",
+            args.classify_baseline,
+            args.classify_candidate,
+            CLASSIFY_SECTIONS,
+            limits,
+            failures,
+            optional_baseline=True,
+            hint=CLASSIFY_UPDATE_HINT,
+        )
 
     if failures:
-        print("\nthroughput regression detected:", file=sys.stderr)
+        print("\nbench regression detected:", file=sys.stderr)
         for line in failures:
             print(f"  - {line}", file=sys.stderr)
         print(f"\n{UPDATE_HINT}", file=sys.stderr)
         return 1
-    print("no throughput regression beyond the threshold")
+    print("no bench regression beyond the threshold")
     return 0
 
 

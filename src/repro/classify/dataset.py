@@ -1,0 +1,306 @@
+"""Labeled transition datasets from the ground-truth study generator.
+
+:func:`repro.datasets.groundtruth.generate` scripts every event class
+the taxonomy names — site drains and traffic engineering from the
+operator log, permanent third-party link cuts, and (with
+``num_flaps``) transient third-party link flaps. This module replays
+the fleet around each scripted event time and featurizes the
+transition, yielding a labeled matrix for training and evaluation:
+
+* ``drain`` — :class:`SiteDrain`, a site vanishes and comes back;
+* ``traffic-engineering`` — :class:`ScopeChange` to the customer
+  cone, a site's announcement scope shrinks permanently;
+* ``third-party-flap`` — :class:`LinkOutage`, a transit link down
+  transiently; catchments shift and shift back;
+* ``cable-cut`` — :class:`LinkRemove`, the same shift, permanent.
+
+Every measurement is driven by the study's seeded rng chain, the VP
+iteration order is sorted, and the featurizer rounds before
+serializing — so the same ``DatasetConfig`` always produces the same
+:meth:`TransitionDataset.digest`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..anycast.atlas import AtlasFleet
+from ..anycast.service import AnycastService
+from ..core.detect import MaintenanceKind
+from ..core.vector import RoutingVector, StateCatalog
+from ..datasets import groundtruth
+from ..datasets.builders import SiteSpec
+from ..latency.model import RttModel
+from ..net.addr import IPv4Address
+from ..net.geo import GeoPoint
+from ..traceroute.engine import TracerouteEngine
+from .features import FEATURE_NAMES, FEATURE_WIDTH, featurize
+from .model import LABELS, dataset_digest
+
+__all__ = [
+    "DatasetConfig",
+    "TransitionDataset",
+    "build_dataset",
+    "QUICK_TRAIN",
+    "QUICK_EVAL",
+    "FULL_TRAIN",
+    "FULL_EVAL",
+]
+
+#: Anycast destination probed by the synthetic traceroutes (TEST-NET-1).
+_TRACE_DESTINATION = IPv4Address((192 << 24) | (0 << 16) | (2 << 8) | 1)
+
+#: How many moved VPs get traceroute hop features per event.
+_TRACE_SAMPLE = 8
+
+#: Measurement offsets around each scripted event time. The revert
+#: probe lands after every transient window (drains cap at 36 minutes,
+#: flaps at ``flap_duration``), which is what separates the transient
+#: classes from the permanent ones.
+_BEFORE = timedelta(minutes=6)
+_AFTER = timedelta(minutes=6)
+_REVERT = timedelta(minutes=66)
+
+
+#: Classification studies use more sites and richer multihoming than
+#: Table 4: the cuts-only third-party candidate pool must be deep
+#: enough to place every scripted cut *and* flap with a visible
+#: catchment shift, and TE events must land on distinct sites.
+_SITE_SPECS = [
+    SiteSpec("LAX", "LAX", num_providers=4),
+    SiteSpec("MIA", "MIA", num_providers=3),
+    SiteSpec("SIN", "SIN", num_providers=3),
+    SiteSpec("IAD", "IAD", num_providers=4),
+    SiteSpec("AMS", "AMS", num_providers=3),
+    SiteSpec("NRT", "NRT", num_providers=3),
+    SiteSpec("GRU", "GRU", num_providers=3),
+    SiteSpec("FRA", "FRA", num_providers=4),
+    SiteSpec("SYD", "SYD", num_providers=3),
+    SiteSpec("ORD", "ORD", num_providers=4),
+]
+
+#: TE windows are bounded (long enough to read as permanent at the
+#: revert probe, short enough that scoped sites free up again).
+_TE_DURATION = timedelta(days=2)
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Everything :func:`build_dataset` needs; hashable and explicit."""
+
+    seed: int
+    events_per_class: int = 10
+    num_vps: int = 150
+    days: int = 40
+    num_tier1: int = 4
+    num_tier2: int = 44
+    num_stubs: int = 360
+    loss_probability: float = 0.0005
+    min_visible_shift: float = 0.015
+
+
+#: The canonical train/eval study pairs: different seeds, therefore
+#: different topologies, fleets, and event placements — evaluation
+#: measures generalization, not memorization.
+QUICK_TRAIN = DatasetConfig(seed=1103, events_per_class=8)
+QUICK_EVAL = DatasetConfig(seed=2207, events_per_class=8)
+FULL_TRAIN = DatasetConfig(seed=1103, events_per_class=10)
+FULL_EVAL = DatasetConfig(seed=2207, events_per_class=10)
+
+
+@dataclass
+class TransitionDataset:
+    """A labeled feature matrix plus enough context to benchmark on."""
+
+    features: np.ndarray  # (n, FEATURE_WIDTH) float64
+    labels: Tuple[str, ...]
+    times: Tuple[str, ...]  # event times, isoformat
+    config: DatasetConfig
+    #: A few raw (before, after) state mappings, for latency
+    #: benchmarking of the wire-shaped featurize path.
+    sample_transitions: List[Tuple[Dict[str, str], Dict[str, str]]] = field(
+        default_factory=list
+    )
+
+    def digest(self) -> str:
+        """sha256 over the canonical feature/label bytes."""
+        return dataset_digest(self.features, list(self.labels))
+
+    def counts(self) -> Dict[str, int]:
+        return {label: self.labels.count(label) for label in LABELS}
+
+
+def _client_locations(
+    fleet: AtlasFleet, service: AnycastService
+) -> Dict[str, GeoPoint]:
+    locations: Dict[str, GeoPoint] = {}
+    for vp in fleet.vps:
+        node = service.scenario.topology.nodes.get(vp.asn)
+        if node is not None and node.location is not None:
+            locations[vp.network_id] = node.location
+    return locations
+
+
+def _hop_paths(
+    service: AnycastService,
+    fleet: AtlasFleet,
+    engine: TracerouteEngine,
+    before_map: Dict[str, str],
+    after_map: Dict[str, str],
+    before_when: datetime,
+    after_when: datetime,
+) -> List[Tuple[Sequence[int], Sequence[int]]]:
+    """Traceroute the first few moved VPs before and after the event."""
+    moved = sorted(
+        vp.network_id
+        for vp in fleet.vps
+        if before_map.get(vp.network_id) != after_map.get(vp.network_id)
+    )[:_TRACE_SAMPLE]
+    by_network = {vp.network_id: vp for vp in fleet.vps}
+    outcome_before = service.scenario.outcome_at(before_when)
+    outcome_after = service.scenario.outcome_at(after_when)
+    pairs: List[Tuple[Sequence[int], Sequence[int]]] = []
+    for network_id in moved:
+        vp = by_network[network_id]
+        path_before = outcome_before.path_of(vp.asn)
+        path_after = outcome_after.path_of(vp.asn)
+        if path_before is None or path_after is None:
+            continue
+        record_before = engine.trace(path_before, _TRACE_DESTINATION)
+        record_after = engine.trace(path_after, _TRACE_DESTINATION)
+        pairs.append((record_before.as_path(), record_after.as_path()))
+    return pairs
+
+
+#: Operator events (drains, TE) are scripted but not pre-validated
+#: against the routing oracle — a drain of an empty site moves nobody
+#: and carries no signal. Overscript by this many events per class,
+#: then drop unobservable transitions and rebalance.
+_OVERSCRIPT = 4
+
+#: A transition is a usable sample only if something actually moved.
+_MIN_MOVED_FRACTION = 0.005
+
+
+def build_dataset(config: DatasetConfig) -> TransitionDataset:
+    """Generate a study with ``config`` and featurize its labeled events."""
+    per_class = config.events_per_class
+    # Third-party events are visibility-validated inside the generator
+    # (placement retries until the catchment shift clears
+    # ``min_visible_shift``), so only the operator classes need the
+    # overscript margin.
+    scripted = per_class + _OVERSCRIPT
+    study = groundtruth.generate(
+        seed=config.seed,
+        num_vps=config.num_vps,
+        days=config.days,
+        cadence=timedelta(hours=6),  # the dataset probes instants directly
+        num_drains=scripted,
+        num_te=scripted,
+        num_internal=2,
+        num_coinciding=0,
+        num_standalone=per_class,
+        extra_log_entries=0,
+        loss_probability=config.loss_probability,
+        min_visible_shift=config.min_visible_shift,
+        num_flaps=per_class,
+        third_party_cuts_only=True,
+        num_tier1=config.num_tier1,
+        num_tier2=config.num_tier2,
+        num_stubs=config.num_stubs,
+        site_specs=list(_SITE_SPECS),
+        te_duration=_TE_DURATION,
+    )
+    fleet = study.fleet
+    service = study.service
+
+    events: List[Tuple[datetime, str]] = []
+    for entry in study.log:
+        if entry.kind is MaintenanceKind.SITE_DRAIN:
+            events.append((entry.time, "drain"))
+        elif entry.kind is MaintenanceKind.TRAFFIC_ENGINEERING:
+            events.append((entry.time, "traffic-engineering"))
+    for when, kind in zip(study.third_party_times, study.third_party_kinds):
+        if kind == "cut":
+            events.append((when, "cable-cut"))
+    for when in study.flap_times:
+        events.append((when, "third-party-flap"))
+    events.sort()
+
+    rtt_model = RttModel(jitter_ms=0.0, rng=None)
+    client_locations = _client_locations(fleet, service)
+    site_locations = {
+        label: service.location_of(label) for label in service.site_labels()
+    }
+    engine = TracerouteEngine(
+        service.scenario.topology,
+        rng=random.Random(config.seed ^ 0x5EED),
+        max_ttl=16,
+    )
+
+    rows: List[np.ndarray] = []
+    labels: List[str] = []
+    times: List[str] = []
+    sample_transitions: List[Tuple[Dict[str, str], Dict[str, str]]] = []
+    networks = tuple(fleet.network_ids())
+    catalog = StateCatalog()
+    kept = {label: 0 for label in LABELS}
+    moved_index = FEATURE_NAMES.index("moved_fraction")
+    for when, label in events:
+        if kept[label] >= per_class:
+            continue
+        before_when = when - _BEFORE
+        after_when = when + _AFTER
+        revert_when = when + _REVERT
+        before_map = fleet.measure(before_when)
+        after_map = fleet.measure(after_when)
+        revert_map = fleet.measure(revert_when)
+        before = RoutingVector.from_mapping(before_map, catalog, networks)
+        after = RoutingVector.from_mapping(after_map, catalog, networks)
+        revert = RoutingVector.from_mapping(revert_map, catalog, networks)
+        rtts_before = rtt_model.table(before_map, client_locations, site_locations)
+        rtts_after = rtt_model.table(after_map, client_locations, site_locations)
+        hop_paths = _hop_paths(
+            service, fleet, engine, before_map, after_map, before_when, after_when
+        )
+        row = featurize(
+            before,
+            after,
+            revert=revert,
+            rtts_before=rtts_before,
+            rtts_after=rtts_after,
+            hop_paths=hop_paths,
+        )
+        if row[moved_index] < _MIN_MOVED_FRACTION:
+            # Scripted but unobservable (e.g. a drain of a site that
+            # held no catchment at event time) — no signal, skip it.
+            continue
+        rows.append(row)
+        labels.append(label)
+        times.append(when.isoformat())
+        kept[label] += 1
+        if len(sample_transitions) < _TRACE_SAMPLE:
+            sample_transitions.append((dict(before_map), dict(after_map)))
+
+    short = {label: n for label, n in kept.items() if n < per_class}
+    if short:
+        raise RuntimeError(
+            f"not enough observable events after filtering: {short} "
+            f"(wanted {per_class} per class; raise the overscript margin)"
+        )
+
+    features = (
+        np.vstack(rows) if rows else np.empty((0, FEATURE_WIDTH), dtype=np.float64)
+    )
+    return TransitionDataset(
+        features=features,
+        labels=tuple(labels),
+        times=tuple(times),
+        config=config,
+        sample_transitions=sample_transitions,
+    )

@@ -1,0 +1,307 @@
+"""Fixed-width, byte-deterministic features for one mode transition.
+
+A detected transition (the round pair Fenrir flagged as an event) is
+reduced to :data:`FEATURE_WIDTH` floats capturing *what kind* of
+routing change happened:
+
+* transition-matrix shape — how much moved, whether whole sites
+  vanished or appeared, how concentrated the flows are;
+* Φ drop magnitude between the two rounds;
+* persistence — similarity against a later "revert" round, the axis
+  that separates transient changes (drains, flaps) from permanent ones
+  (traffic engineering, cable cuts);
+* per-site latency deltas from :mod:`repro.core.latency`;
+* traceroute hop-level diff features from :mod:`repro.traceroute`.
+
+Determinism contract: the same inputs produce the exact same bytes
+(:func:`feature_bytes`) on every run, interpreter, and pytest worker —
+values are pure arithmetic over deterministically ordered inputs and
+are rounded to a fixed precision before serialization, so a feature
+vector can be hashed, journaled, and compared byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.compare import UnknownPolicy, phi
+from ..core.latency import compare_latency
+from ..core.transition import transition_matrix
+from ..core.vector import ERROR, OTHER, UNKNOWN, RoutingVector, StateCatalog
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURE_WIDTH",
+    "feature_bytes",
+    "features_digest",
+    "featurize",
+    "featurize_mappings",
+]
+
+#: Column names, fixed order — the model artifact records them and
+#: refuses to load against a different schema.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "phi_drop",
+    "moved_fraction",
+    "vanished_site_fraction",
+    "appeared_site_fraction",
+    "emptied_site_fraction",
+    "active_sites_before",
+    "active_sites_after",
+    "top_flow_fraction",
+    "flow_entropy",
+    "revert_phi",
+    "revert_vs_after_phi",
+    "reverted_fraction",
+    "persisted_fraction",
+    "error_fraction_delta",
+    "mean_delta_ms",
+    "moved_delta_ms",
+    "hop_length_delta",
+    "hop_jaccard",
+    "first_hop_change_fraction",
+)
+
+FEATURE_WIDTH: int = len(FEATURE_NAMES)
+
+#: Decimal places kept before hashing/serializing. Wide enough that no
+#: real signal is lost, tight enough to absorb last-ulp wobble.
+_ROUND_DECIMALS = 9
+
+_SPECIAL_LABELS = frozenset((UNKNOWN, ERROR, OTHER))
+
+HopPath = Sequence[int]
+HopPathPair = Tuple[HopPath, HopPath]
+
+
+def feature_bytes(features: Sequence[float]) -> bytes:
+    """Canonical little-endian float64 bytes of a feature vector."""
+    values = np.asarray(features, dtype=np.float64)
+    if values.shape != (FEATURE_WIDTH,):
+        raise ValueError(
+            f"expected {FEATURE_WIDTH} features, got shape {values.shape}"
+        )
+    rounded = np.round(values, _ROUND_DECIMALS) + 0.0  # normalize -0.0
+    return rounded.astype("<f8").tobytes()
+
+
+def features_digest(features: Sequence[float]) -> str:
+    """sha256 hex digest of :func:`feature_bytes`."""
+    return hashlib.sha256(feature_bytes(features)).hexdigest()
+
+
+def _site_occupancy(row_sums: Mapping[str, float]) -> set:
+    return {
+        label
+        for label, weight in row_sums.items()
+        if weight > 0.0 and label not in _SPECIAL_LABELS
+    }
+
+
+def _flow_shape(flows: Sequence[float], moved: float) -> Tuple[float, float]:
+    """(largest-flow fraction, normalized entropy) of off-diagonal flows."""
+    if not flows or moved <= 0.0:
+        return 0.0, 0.0
+    weights = np.asarray(sorted(flows, reverse=True), dtype=np.float64)
+    top = float(weights[0] / moved)
+    if len(weights) == 1:
+        return top, 0.0
+    p = weights / weights.sum()
+    entropy = float(-(p * np.log(p)).sum() / np.log(len(p)))
+    return top, entropy
+
+
+def _error_fraction(vector: RoutingVector) -> float:
+    if len(vector) == 0:
+        return 0.0
+    code = vector.catalog.lookup(ERROR)
+    if code is None:
+        return 0.0
+    return float(np.mean(vector.codes == code))
+
+
+def _hop_features(
+    hop_paths: Optional[Sequence[HopPathPair]],
+) -> Tuple[float, float, float]:
+    """(mean length delta, mean AS-set Jaccard, first-transit-hop change)."""
+    if not hop_paths:
+        return 0.0, 1.0, 0.0
+    length_deltas = []
+    jaccards = []
+    first_hop_changes = []
+    for before_path, after_path in hop_paths:
+        before_ases = tuple(before_path)
+        after_ases = tuple(after_path)
+        length_deltas.append(float(len(after_ases) - len(before_ases)))
+        union = set(before_ases) | set(after_ases)
+        if union:
+            shared = set(before_ases) & set(after_ases)
+            jaccards.append(len(shared) / len(union))
+        else:
+            jaccards.append(1.0)
+        # The first transit hop is the AS after the probing network
+        # itself; a change there is the classic "my provider swapped"
+        # signature of a nearby third-party event.
+        before_first = before_ases[1] if len(before_ases) > 1 else None
+        after_first = after_ases[1] if len(after_ases) > 1 else None
+        first_hop_changes.append(1.0 if before_first != after_first else 0.0)
+    count = float(len(length_deltas))
+    return (
+        float(sum(length_deltas) / count),
+        float(sum(jaccards) / count),
+        float(sum(first_hop_changes) / count),
+    )
+
+
+def featurize(
+    before: RoutingVector,
+    after: RoutingVector,
+    *,
+    revert: Optional[RoutingVector] = None,
+    rtts_before: Optional[Mapping[str, float]] = None,
+    rtts_after: Optional[Mapping[str, float]] = None,
+    hop_paths: Optional[Sequence[HopPathPair]] = None,
+    weights: Optional[np.ndarray] = None,
+    policy: UnknownPolicy = UnknownPolicy.PESSIMISTIC,
+) -> np.ndarray:
+    """Feature vector for the transition ``before -> after``.
+
+    ``revert`` is a round taken comfortably after the transition (past
+    any transient window); without it the persistence features default
+    to "the change has held so far" — ``revert_phi = Φ(before, after)``
+    and ``revert_vs_after_phi = 1.0`` — which is what a streaming
+    classifier knows at event time. Latency tables and traceroute hop
+    path pairs are optional; their features are 0/neutral when absent.
+    """
+    matrix = transition_matrix(before, after, weights)
+    total = matrix.total
+    moved = matrix.moved()
+    moved_fraction = float(moved / total) if total else 0.0
+    phi_drop = 1.0 - phi(before, after, weights=weights, policy=policy)
+
+    row_sums = matrix.row_sums()
+    column_sums = matrix.column_sums()
+    active_before = _site_occupancy(row_sums)
+    active_after = _site_occupancy(column_sums)
+    vanished = len(active_before - active_after)
+    appeared = len(active_after - active_before)
+    vanished_fraction = vanished / len(active_before) if active_before else 0.0
+    appeared_fraction = appeared / len(active_after) if active_after else 0.0
+    # Operator actions (drains, scope changes) *empty* a site — nearly
+    # all of its catchment departs — where third-party reroutes peel
+    # off a slice and leave the site serving. The max departure
+    # fraction over meaningfully populated sites captures that without
+    # requiring the site to reach exactly zero (stragglers happen).
+    emptied_fraction = 0.0
+    for label in active_before:
+        population = row_sums[label]
+        if population < 2.0:
+            continue
+        remaining = column_sums.get(label, 0.0)
+        emptied_fraction = max(
+            emptied_fraction, 1.0 - min(remaining, population) / population
+        )
+
+    flows = [weight for _, _, weight in matrix.top_movements(limit=len(before) + 1)]
+    top_flow, flow_entropy = _flow_shape(flows, moved)
+
+    moved_mask = before.codes != after.codes
+    if revert is not None:
+        revert_phi = phi(before, revert, weights=weights, policy=policy)
+        revert_vs_after = phi(after, revert, weights=weights, policy=policy)
+        # Per-moved-network persistence is crisper than whole-vector
+        # similarity when the shift is small: of the networks that
+        # moved, how many snapped back vs how many stayed put?
+        moved_count = int(moved_mask.sum())
+        if moved_count:
+            reverted = float(
+                ((revert.codes == before.codes) & moved_mask).sum() / moved_count
+            )
+            persisted = float(
+                ((revert.codes == after.codes) & moved_mask).sum() / moved_count
+            )
+        else:
+            reverted, persisted = 0.0, 1.0
+    else:
+        revert_phi = 1.0 - phi_drop
+        revert_vs_after = 1.0
+        reverted, persisted = 0.0, 1.0
+
+    error_delta = _error_fraction(after) - _error_fraction(before)
+
+    mean_delta_ms = 0.0
+    moved_delta_ms = 0.0
+    if rtts_before:
+        impact = compare_latency(
+            before, after, rtts_before, rtts_after, weights=weights
+        )
+        # A moved population with no usable RTT on one side (e.g. all
+        # landed in err) yields nan means; a feature vector must stay
+        # finite and byte-stable, so missing signal reads as 0.
+        mean_delta_ms = float(np.nan_to_num(impact["delta_ms"]))
+        moved_delta_ms = float(np.nan_to_num(impact["moved_delta_ms"]))
+
+    hop_length_delta, hop_jaccard, first_hop_change = _hop_features(hop_paths)
+
+    values = np.array(
+        [
+            phi_drop,
+            moved_fraction,
+            vanished_fraction,
+            appeared_fraction,
+            emptied_fraction,
+            float(len(active_before)),
+            float(len(active_after)),
+            top_flow,
+            flow_entropy,
+            revert_phi,
+            revert_vs_after,
+            reverted,
+            persisted,
+            error_delta,
+            mean_delta_ms,
+            moved_delta_ms,
+            hop_length_delta,
+            hop_jaccard,
+            first_hop_change,
+        ],
+        dtype=np.float64,
+    )
+    return np.round(values, _ROUND_DECIMALS) + 0.0
+
+
+def featurize_mappings(
+    before: Mapping[str, str],
+    after: Mapping[str, str],
+    *,
+    revert: Optional[Mapping[str, str]] = None,
+    rtts_before: Optional[Mapping[str, float]] = None,
+    rtts_after: Optional[Mapping[str, float]] = None,
+    hop_paths: Optional[Sequence[HopPathPair]] = None,
+) -> np.ndarray:
+    """Featurize raw ``{network: state}`` rounds (the wire-level shape).
+
+    Vectors are built over the sorted union of network names with a
+    fresh catalog, so two calls with equal mappings produce identical
+    bytes regardless of dict insertion order.
+    """
+    networks = tuple(sorted(set(before) | set(after) | set(revert or ())))
+    catalog = StateCatalog()
+    before_vector = RoutingVector.from_mapping(before, catalog, networks)
+    after_vector = RoutingVector.from_mapping(after, catalog, networks)
+    revert_vector = (
+        RoutingVector.from_mapping(revert, catalog, networks)
+        if revert is not None
+        else None
+    )
+    return featurize(
+        before_vector,
+        after_vector,
+        revert=revert_vector,
+        rtts_before=rtts_before,
+        rtts_after=rtts_after,
+        hop_paths=hop_paths,
+    )

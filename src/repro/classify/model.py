@@ -1,0 +1,469 @@
+"""Hand-rolled decision-forest classifier with a versioned JSON artifact.
+
+No sklearn (the repo's no-deps constraint): training is a small bagged
+forest of depth-limited CART trees — Gini splits over midpoint
+thresholds, bootstrap resampling from an explicit ``random.Random``
+seed — which is plenty for four well-separated classes and keeps the
+whole model a plain JSON document.
+
+Determinism contract (mirrors :class:`repro.vps.VPPlan`): training is
+a pure function of ``(features, labels, seed, hyperparameters)`` —
+ties in the split search break toward the lowest feature index and
+threshold, bootstrap draws come only from the seeded rng — so two
+training runs produce byte-identical artifacts. Equal models ⇔ equal
+``canonical_json()`` bytes, and ``from_document(to_document(m))``
+round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .features import FEATURE_NAMES, feature_bytes
+
+__all__ = [
+    "LABELS",
+    "MODEL_TYPE",
+    "MODEL_VERSION",
+    "ClassifierModel",
+    "ModelError",
+    "dataset_digest",
+    "evaluate",
+    "macro_f1",
+    "train_forest",
+]
+
+MODEL_VERSION = 1
+MODEL_TYPE = "fenrir-classifier"
+
+#: The label taxonomy, in presentation order (docs/classification.md).
+#: Prediction ties break toward the earlier label.
+LABELS: Tuple[str, ...] = (
+    "drain",
+    "traffic-engineering",
+    "third-party-flap",
+    "cable-cut",
+)
+
+#: Strict-improvement epsilon for the split search: a candidate must
+#: beat the incumbent by more than this, so float noise cannot flip
+#: which of two near-equal splits wins between runs.
+_GINI_EPSILON = 1e-12
+
+TreeNode = Dict[str, Any]
+
+
+class ModelError(ValueError):
+    """A classifier document that cannot be trusted."""
+
+
+def dataset_digest(features: np.ndarray, labels: Sequence[str]) -> str:
+    """sha256 over the canonical bytes of a labeled feature matrix."""
+    digest = hashlib.sha256()
+    for row in np.asarray(features, dtype=np.float64):
+        digest.update(feature_bytes(row))
+    digest.update("\x00".join(labels).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# -- training -----------------------------------------------------------------
+
+
+def _gini(counts: Mapping[str, int]) -> float:
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    return 1.0 - sum((count / total) ** 2 for count in counts.values())
+
+
+def _label_counts(labels: Sequence[str], indices: Sequence[int]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for index in indices:
+        label = labels[index]
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def _best_split(
+    features: np.ndarray,
+    labels: Sequence[str],
+    indices: List[int],
+    candidate_features: Sequence[int],
+    min_leaf: int,
+) -> Optional[Tuple[int, float, List[int], List[int]]]:
+    """The (feature, threshold, left, right) split minimizing Gini."""
+    parent = _gini(_label_counts(labels, indices))
+    if parent == 0.0:
+        return None
+    best: Optional[Tuple[int, float, List[int], List[int]]] = None
+    best_score = parent - _GINI_EPSILON
+    total = len(indices)
+    for feature in sorted(candidate_features):
+        column = [(float(features[index, feature]), index) for index in indices]
+        column.sort()
+        values = sorted({value for value, _ in column})
+        for lower, upper in zip(values, values[1:]):
+            threshold = (lower + upper) / 2.0
+            left = [index for value, index in column if value <= threshold]
+            right = [index for value, index in column if value > threshold]
+            if len(left) < min_leaf or len(right) < min_leaf:
+                continue
+            score = (
+                len(left) * _gini(_label_counts(labels, left))
+                + len(right) * _gini(_label_counts(labels, right))
+            ) / total
+            if score < best_score - _GINI_EPSILON:
+                best_score = score
+                best = (feature, threshold, left, right)
+    return best
+
+
+def _grow_tree(
+    features: np.ndarray,
+    labels: Sequence[str],
+    indices: List[int],
+    depth: int,
+    max_depth: int,
+    min_leaf: int,
+    feature_count: int,
+    features_per_split: int,
+    rng: random.Random,
+) -> TreeNode:
+    counts = _label_counts(labels, indices)
+    if depth >= max_depth or len(counts) <= 1 or len(indices) < 2 * min_leaf:
+        return {"leaf": dict(sorted(counts.items()))}
+    candidates = sorted(rng.sample(range(feature_count), features_per_split))
+    split = _best_split(features, labels, indices, candidates, min_leaf)
+    if split is None:
+        return {"leaf": dict(sorted(counts.items()))}
+    feature, threshold, left, right = split
+    return {
+        "feature": feature,
+        "threshold": threshold,
+        "left": _grow_tree(
+            features, labels, left, depth + 1, max_depth, min_leaf,
+            feature_count, features_per_split, rng,
+        ),
+        "right": _grow_tree(
+            features, labels, right, depth + 1, max_depth, min_leaf,
+            feature_count, features_per_split, rng,
+        ),
+    }
+
+
+def train_forest(
+    features: np.ndarray,
+    labels: Sequence[str],
+    *,
+    seed: int,
+    num_trees: int = 32,
+    max_depth: int = 6,
+    min_leaf: int = 1,
+    label_order: Sequence[str] = LABELS,
+    feature_names: Sequence[str] = FEATURE_NAMES,
+    provenance: Optional[Mapping[str, object]] = None,
+) -> "ClassifierModel":
+    """Train a seeded bagged forest; byte-deterministic in its inputs."""
+    matrix = np.asarray(features, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != len(feature_names):
+        raise ModelError(
+            f"features must be (n, {len(feature_names)}), got {matrix.shape}"
+        )
+    if matrix.shape[0] != len(labels):
+        raise ModelError("features and labels disagree on sample count")
+    if matrix.shape[0] == 0:
+        raise ModelError("cannot train on an empty dataset")
+    unknown = sorted(set(labels) - set(label_order))
+    if unknown:
+        raise ModelError(f"labels outside the taxonomy: {unknown}")
+    if num_trees < 1 or max_depth < 1 or min_leaf < 1:
+        raise ModelError("num_trees, max_depth and min_leaf must be >= 1")
+
+    rng = random.Random(seed)
+    samples = matrix.shape[0]
+    feature_count = matrix.shape[1]
+    features_per_split = max(1, int(round(feature_count ** 0.5)))
+    trees: List[TreeNode] = []
+    for _ in range(num_trees):
+        indices = sorted(rng.randrange(samples) for _ in range(samples))
+        trees.append(
+            _grow_tree(
+                matrix, labels, indices, 0, max_depth, min_leaf,
+                feature_count, features_per_split, rng,
+            )
+        )
+
+    document_provenance: Dict[str, object] = {
+        "seed": seed,
+        "num_trees": num_trees,
+        "max_depth": max_depth,
+        "min_leaf": min_leaf,
+        "samples": samples,
+        "dataset_sha256": dataset_digest(matrix, labels),
+    }
+    if provenance:
+        document_provenance.update(provenance)
+    return ClassifierModel(
+        labels=tuple(label_order),
+        feature_names=tuple(feature_names),
+        trees=tuple(trees),
+        provenance=document_provenance,
+    )
+
+
+# -- the artifact -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassifierModel:
+    """A trained forest plus everything needed to trust and reuse it."""
+
+    labels: Tuple[str, ...]
+    feature_names: Tuple[str, ...]
+    trees: Tuple[TreeNode, ...]
+    provenance: Mapping[str, object]
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ModelError("a classifier needs at least one label")
+        if not self.trees:
+            raise ModelError("a classifier needs at least one tree")
+        for tree in self.trees:
+            _check_node(tree, len(self.feature_names), set(self.labels))
+
+    # -- inference ----------------------------------------------------------
+
+    def predict_scores(self, features: Sequence[float]) -> Dict[str, float]:
+        """Mean leaf-distribution vote of every tree, per label."""
+        values = np.asarray(features, dtype=np.float64)
+        if values.shape != (len(self.feature_names),):
+            raise ModelError(
+                f"expected {len(self.feature_names)} features, "
+                f"got shape {values.shape}"
+            )
+        totals = {label: 0.0 for label in self.labels}
+        for tree in self.trees:
+            node = tree
+            while "leaf" not in node:
+                index = int(node["feature"])
+                branch = "left" if values[index] <= float(node["threshold"]) else "right"
+                node = node[branch]
+            counts: Mapping[str, int] = node["leaf"]
+            weight = float(sum(counts.values()))
+            if weight == 0.0:
+                continue
+            for label, count in counts.items():
+                totals[label] += count / weight
+        scale = len(self.trees)
+        return {
+            label: round(total / scale, 9) for label, total in totals.items()
+        }
+
+    def predict(self, features: Sequence[float]) -> Tuple[str, Dict[str, float]]:
+        """(label, scores); ties break toward the earlier taxonomy label."""
+        scores = self.predict_scores(features)
+        best = self.labels[0]
+        for label in self.labels[1:]:
+            if scores[label] > scores[best]:
+                best = label
+        return best, scores
+
+    # -- serialization (VPPlan idiom: equal models <=> equal bytes) ---------
+
+    def to_document(self) -> Dict[str, object]:
+        return {
+            "type": MODEL_TYPE,
+            "version": MODEL_VERSION,
+            "labels": list(self.labels),
+            "feature_names": list(self.feature_names),
+            "trees": [_copy_node(tree) for tree in self.trees],
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_document(cls, document: object) -> "ClassifierModel":
+        if not isinstance(document, Mapping):
+            raise ModelError(f"classifier document must be an object, got {type(document).__name__}")
+        if document.get("type") != MODEL_TYPE:
+            raise ModelError(f"not a classifier document: type={document.get('type')!r}")
+        if document.get("version") != MODEL_VERSION:
+            raise ModelError(
+                f"unsupported classifier version: {document.get('version')!r} "
+                f"(this build reads version {MODEL_VERSION})"
+            )
+        labels = document.get("labels")
+        feature_names = document.get("feature_names")
+        trees = document.get("trees")
+        provenance = document.get("provenance", {})
+        if not isinstance(labels, list) or not all(isinstance(v, str) for v in labels):
+            raise ModelError("'labels' must be a list of strings")
+        if not isinstance(feature_names, list) or not all(
+            isinstance(v, str) for v in feature_names
+        ):
+            raise ModelError("'feature_names' must be a list of strings")
+        if not isinstance(trees, list) or not trees:
+            raise ModelError("'trees' must be a non-empty list")
+        if not isinstance(provenance, Mapping):
+            raise ModelError("'provenance' must be an object")
+        return cls(
+            labels=tuple(labels),
+            feature_names=tuple(feature_names),
+            trees=tuple(_copy_node(tree) for tree in trees),
+            provenance=dict(provenance),
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical serialization: equal models produce equal bytes."""
+        return (
+            json.dumps(self.to_document(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+
+    def content_digest(self) -> str:
+        """sha256 hex digest of :meth:`canonical_json`."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def save(self, path: Path) -> None:
+        path.write_text(self.canonical_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Path) -> "ClassifierModel":
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_document(document)
+
+    def summary(self) -> Dict[str, object]:
+        """The compact description the serve tier reports for a monitor."""
+        return {
+            "version": MODEL_VERSION,
+            "labels": list(self.labels),
+            "trees": len(self.trees),
+            "features": len(self.feature_names),
+            "digest": self.content_digest(),
+            "provenance": dict(self.provenance),
+        }
+
+
+def _copy_node(node: object) -> TreeNode:
+    """Deep-copy a tree node document with shape normalization."""
+    if not isinstance(node, Mapping):
+        raise ModelError(f"tree node must be an object, got {type(node).__name__}")
+    if "leaf" in node:
+        leaf = node["leaf"]
+        if not isinstance(leaf, Mapping):
+            raise ModelError("'leaf' must be a label->count object")
+        return {
+            "leaf": {
+                str(label): int(count) for label, count in sorted(leaf.items())
+            }
+        }
+    return {
+        "feature": int(node["feature"]) if "feature" in node else -1,
+        "threshold": float(node["threshold"]) if "threshold" in node else 0.0,
+        "left": _copy_node(node.get("left")),
+        "right": _copy_node(node.get("right")),
+    }
+
+
+def _check_node(node: object, feature_count: int, labels: set) -> None:
+    if not isinstance(node, Mapping):
+        raise ModelError(f"tree node must be an object, got {type(node).__name__}")
+    if "leaf" in node:
+        leaf = node["leaf"]
+        if not isinstance(leaf, Mapping) or not leaf:
+            raise ModelError("'leaf' must be a non-empty label->count object")
+        for label, count in leaf.items():
+            if label not in labels:
+                raise ModelError(f"leaf label outside the taxonomy: {label!r}")
+            if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+                raise ModelError(f"leaf count for {label!r} must be a non-negative int")
+        return
+    feature = node.get("feature")
+    threshold = node.get("threshold")
+    if not isinstance(feature, int) or isinstance(feature, bool):
+        raise ModelError("split node needs an integer 'feature'")
+    if not 0 <= feature < feature_count:
+        raise ModelError(f"split feature {feature} out of range 0..{feature_count - 1}")
+    if not isinstance(threshold, (int, float)) or isinstance(threshold, bool):
+        raise ModelError("split node needs a numeric 'threshold'")
+    _check_node(node.get("left"), feature_count, labels)
+    _check_node(node.get("right"), feature_count, labels)
+
+
+# -- evaluation ---------------------------------------------------------------
+
+
+def macro_f1(
+    truths: Sequence[str],
+    predictions: Sequence[str],
+    labels: Sequence[str] = LABELS,
+) -> float:
+    """Unweighted mean per-label F1 over the full taxonomy."""
+    report = evaluate_predictions(truths, predictions, labels)
+    return float(report["macro_f1"])
+
+
+def evaluate_predictions(
+    truths: Sequence[str],
+    predictions: Sequence[str],
+    labels: Sequence[str] = LABELS,
+) -> Dict[str, object]:
+    """Per-label precision/recall/F1, confusion matrix and macro-F1."""
+    if len(truths) != len(predictions):
+        raise ModelError("truths and predictions disagree on sample count")
+    confusion: Dict[str, Dict[str, int]] = {
+        truth: {predicted: 0 for predicted in labels} for truth in labels
+    }
+    for truth, predicted in zip(truths, predictions):
+        confusion.setdefault(truth, {})[predicted] = (
+            confusion.setdefault(truth, {}).get(predicted, 0) + 1
+        )
+    per_label: Dict[str, Dict[str, float]] = {}
+    f1_sum = 0.0
+    for label in labels:
+        true_positive = confusion.get(label, {}).get(label, 0)
+        support = sum(confusion.get(label, {}).values())
+        predicted_positive = sum(
+            row.get(label, 0) for row in confusion.values()
+        )
+        precision = true_positive / predicted_positive if predicted_positive else 0.0
+        recall = true_positive / support if support else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        per_label[label] = {
+            "precision": round(precision, 6),
+            "recall": round(recall, 6),
+            "f1": round(f1, 6),
+            "support": float(support),
+        }
+        f1_sum += f1
+    correct = sum(1 for t, p in zip(truths, predictions) if t == p)
+    return {
+        "macro_f1": round(f1_sum / len(labels), 6) if labels else 0.0,
+        "accuracy": round(correct / len(truths), 6) if truths else 0.0,
+        "per_label": per_label,
+        "confusion": confusion,
+    }
+
+
+def evaluate(
+    model: ClassifierModel,
+    features: np.ndarray,
+    labels: Sequence[str],
+) -> Dict[str, object]:
+    """Run ``model`` over a labeled feature matrix and score it."""
+    matrix = np.asarray(features, dtype=np.float64)
+    predictions = [model.predict(row)[0] for row in matrix]
+    return evaluate_predictions(labels, predictions, model.labels)

@@ -300,6 +300,52 @@ def build_parser() -> argparse.ArgumentParser:
     v_show = vps_commands.add_parser("show", help="summarize a plan file")
     v_show.add_argument("plan", type=Path)
 
+    classify = commands.add_parser(
+        "classify",
+        help="route-change cause classification (docs/classification.md)",
+    )
+    classify_commands = classify.add_subparsers(
+        dest="classify_command", required=True
+    )
+
+    k_train = classify_commands.add_parser(
+        "train", help="train a classifier on the canonical labeled study"
+    )
+    k_train.add_argument(
+        "--output", "-o", type=Path, required=True, metavar="MODEL",
+        help="where to write the ClassifierModel JSON artifact",
+    )
+    k_train.add_argument(
+        "--seed", type=int, default=7,
+        help="forest seed; same seed + same data = identical bytes (default: 7)",
+    )
+    k_train.add_argument(
+        "--quick", action="store_true",
+        help="train on the smaller quick study (CI-sized)",
+    )
+    k_train.add_argument(
+        "--trees", type=_positive_int, default=32, metavar="N",
+        help="trees in the forest (default: 32)",
+    )
+    k_train.add_argument(
+        "--depth", type=_positive_int, default=6, metavar="D",
+        help="maximum tree depth (default: 6)",
+    )
+
+    k_eval = classify_commands.add_parser(
+        "eval", help="evaluate a model artifact on the held-out study"
+    )
+    k_eval.add_argument("model", type=Path)
+    k_eval.add_argument(
+        "--quick", action="store_true",
+        help="evaluate on the smaller quick study (CI-sized)",
+    )
+
+    k_show = classify_commands.add_parser(
+        "show", help="summarize a model artifact"
+    )
+    k_show.add_argument("model", type=Path)
+
     serve = commands.add_parser(
         "serve", help="run the durable streaming monitoring service"
     )
@@ -436,6 +482,20 @@ def build_parser() -> argparse.ArgumentParser:
     c_vps.add_argument("--mode-threshold", type=float, default=0.7)
     c_vps.add_argument(
         "--policy", choices=["pessimistic", "exclude"], default="pessimistic"
+    )
+
+    c_classify = client_commands.add_parser(
+        "classify",
+        help="install/inspect a monitor's route-change classifier",
+    )
+    c_classify.add_argument("monitor")
+    c_classify.add_argument(
+        "--model", type=Path, default=None, metavar="MODEL",
+        help="ClassifierModel JSON to install (omit to report)",
+    )
+    c_classify.add_argument(
+        "--stream", choices=["on", "off"], default=None,
+        help="toggle labeling mode transitions at ingest time",
     )
 
     c_dedup = client_commands.add_parser(
@@ -732,6 +792,69 @@ def _run_vps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_classify(args: argparse.Namespace) -> int:
+    from .classify import (
+        FULL_EVAL,
+        FULL_TRAIN,
+        QUICK_EVAL,
+        QUICK_TRAIN,
+        ClassifierModel,
+        ModelError,
+        build_dataset,
+        evaluate,
+        train_forest,
+    )
+
+    if args.classify_command == "train":
+        config = QUICK_TRAIN if args.quick else FULL_TRAIN
+        print(f"building labeled study (seed {config.seed})...", file=sys.stderr)
+        dataset = build_dataset(config)
+        model = train_forest(
+            dataset.features,
+            list(dataset.labels),
+            seed=args.seed,
+            num_trees=args.trees,
+            max_depth=args.depth,
+        )
+        model.save(args.output)
+        counts = ", ".join(
+            f"{label}: {count}" for label, count in dataset.counts().items()
+        )
+        print(f"trained on {len(dataset.labels)} events ({counts})")
+        print(f"model sha256 {model.content_digest()} -> {args.output}")
+    elif args.classify_command == "eval":
+        try:
+            model = ClassifierModel.load(args.model)
+        except (ModelError, OSError) as exc:
+            raise SystemExit(str(exc)) from exc
+        config = QUICK_EVAL if args.quick else FULL_EVAL
+        print(f"building held-out study (seed {config.seed})...", file=sys.stderr)
+        dataset = build_dataset(config)
+        report = evaluate(model, dataset.features, list(dataset.labels))
+        print(f"macro-F1 {report['macro_f1']:.3f}  accuracy {report['accuracy']:.3f}")
+        for label, stats in report["per_label"].items():
+            print(
+                f"  {label:<22} precision {stats['precision']:.3f}  "
+                f"recall {stats['recall']:.3f}  f1 {stats['f1']:.3f}  "
+                f"n={stats['support']:g}"
+            )
+    elif args.classify_command == "show":
+        try:
+            model = ClassifierModel.load(args.model)
+        except (ModelError, OSError) as exc:
+            raise SystemExit(str(exc)) from exc
+        summary = model.summary()
+        print(
+            f"model: v{summary['version']}, {summary['trees']} trees, "
+            f"{summary['features']} features"
+        )
+        print(f"labels: {', '.join(summary['labels'])}")
+        print(f"digest: {summary['digest']}")
+        for key, value in sorted(summary["provenance"].items()):
+            print(f"  {key}: {value}")
+    return 0
+
+
 def _show_update(update: dict) -> None:
     """Print one ingest update's notable flags (shared by both paths)."""
     if update["is_event"] or update["is_new_mode"] or update["recurred"]:
@@ -901,6 +1024,44 @@ def _run_client(args: argparse.Namespace) -> int:
                     f"({response['volume_fraction']:.0%}), "
                     f"dedup {'on' if response['dedup'] else 'off'}"
                 )
+        elif args.client_command == "classify":
+            if args.model is not None:
+                import json as _json
+
+                from .classify import ModelError as _ModelError
+                from .classify import ClassifierModel as _ClassifierModel
+
+                try:
+                    model = _ClassifierModel.load(args.model)
+                except (_ModelError, OSError, _json.JSONDecodeError) as exc:
+                    raise SystemExit(str(exc)) from exc
+                response = client.classify(args.monitor, model=model.to_document())
+                print(
+                    f"installed model {response['model']['digest'][:12]} "
+                    f"on {args.monitor!r}"
+                )
+            if args.stream is not None:
+                response = client.classify(args.monitor, stream=args.stream)
+                print(
+                    f"{args.monitor!r}: streaming "
+                    f"{'on' if response['stream'] else 'off'}"
+                )
+            if args.model is None and args.stream is None:
+                response = client.classify(args.monitor)
+                model_summary = response["model"]
+                if model_summary is None:
+                    print(f"{args.monitor!r}: no classifier installed")
+                else:
+                    print(
+                        f"{args.monitor!r}: model {model_summary['digest'][:12]} "
+                        f"({model_summary['trees']} trees), streaming "
+                        f"{'on' if response['stream'] else 'off'}"
+                    )
+                for event in response["recent"]:
+                    print(
+                        f"  {event['time']} {event['label']} "
+                        f"(mode {event['mode_id']})"
+                    )
         elif args.client_command == "dedup":
             response = client.dedup(args.monitor, mode=args.mode)
             print(
@@ -994,6 +1155,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"bundle written to {directory}")
     elif args.command == "vps":
         return _run_vps(args)
+    elif args.command == "classify":
+        return _run_classify(args)
     elif args.command == "serve":
         return _run_serve(args)
     elif args.command == "client":

@@ -24,12 +24,12 @@ were externally visible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime, timedelta
 
 from ..anycast.atlas import AtlasFleet
 from ..anycast.service import AnycastService
-from ..bgp.events import LinkAdd, LinkRemove, ScopeChange, SiteDrain
+from ..bgp.events import LinkAdd, LinkOutage, LinkRemove, ScopeChange, SiteDrain
 from ..bgp.policy import Scope
 from ..bgp.topology import ASTopology, stub_ases
 from ..core.detect import GroundTruthEntry, MaintenanceKind
@@ -65,6 +65,13 @@ class GroundTruthStudy:
     third_party_times: list[datetime]  # scripted changes NOT in the log
     coinciding_third_party: int  # how many overlap internal windows
     cadence: timedelta
+    #: Per-event kind for ``third_party_times`` ("cut" or "peer-add"),
+    #: in the same order. Empty on studies generated before the field
+    #: existed (unpickled fixtures); callers must tolerate that.
+    third_party_kinds: list[str] = field(default_factory=list)
+    #: Scripted *transient* third-party link flaps (LinkOutage), also
+    #: not in the operator log. Empty unless ``num_flaps`` > 0.
+    flap_times: list[datetime] = field(default_factory=list)
 
 
 def _spread_times(
@@ -116,12 +123,36 @@ def generate(
     extra_log_entries: int = 42,
     loss_probability: float = 0.001,
     min_visible_shift: float = 0.03,
+    num_flaps: int = 0,
+    flap_duration: timedelta = timedelta(minutes=36),
+    third_party_cuts_only: bool = False,
+    num_tier1: int = 5,
+    num_tier2: int = 30,
+    num_stubs: int = 300,
+    site_specs: list[SiteSpec] | None = None,
+    te_duration: timedelta | None = None,
 ) -> GroundTruthStudy:
-    """Build the Table 4 validation study (deterministic in ``seed``)."""
+    """Build the Table 4 validation study (deterministic in ``seed``).
+
+    The defaults reproduce Table 4 byte for byte. The trailing knobs
+    exist for :mod:`repro.classify` training studies: ``num_flaps``
+    scripts *transient* third-party link outages (LinkOutage, duration
+    ``flap_duration``) on top of the permanent LinkRemove cuts,
+    ``third_party_cuts_only`` drops the peer-add candidates so every
+    permanent third-party change is a link cut, the topology sizes
+    shrink the simulation for fast repeated studies, and
+    ``te_duration`` bounds each traffic-engineering window (default:
+    to end of study, Table 4's permanent scoping) so many TE events do
+    not saturate every site at once. With the defaults none of them
+    consumes randomness, so existing seeds are unchanged.
+    """
     rng = random.Random(seed)
     end = START + timedelta(days=days)
-    topo = build_topology(rng, num_tier1=5, num_tier2=30, num_stubs=300)
-    sites = attach_sites(topo, SITES)
+    topo = build_topology(
+        rng, num_tier1=num_tier1, num_tier2=num_tier2, num_stubs=num_stubs
+    )
+    specs = SITES if site_specs is None else site_specs
+    sites = attach_sites(topo, specs)
     service = AnycastService(topo, sites)
     fleet = AtlasFleet.place_vps(
         service, stub_ases(topo), count=num_vps, rng=rng, loss=IidLoss(loss_probability, rng)
@@ -135,14 +166,15 @@ def generate(
     # TE permanently scopes a site down to its customer cone; draining a
     # scoped site would be externally invisible, so drains avoid sites
     # whose TE has already taken effect.
-    site_labels = [spec.label for spec in SITES]
+    site_labels = [spec.label for spec in specs]
     te_times = _spread_times(rng, num_te, START + timedelta(days=2), end - timedelta(days=2), min_gap, taken)
     taken += te_times
-    te_by_site: dict[str, datetime] = {}
+    te_windows: dict[str, list[tuple[datetime, datetime]]] = {}
     for index, when in enumerate(te_times):
         site = site_labels[(index + 1) % len(site_labels)]
-        te_by_site[site] = when
-        service.add_event(ScopeChange(site, Scope.CUSTOMER_CONE, when, end))
+        te_end = end if te_duration is None else min(end, when + te_duration)
+        te_windows.setdefault(site, []).append((when, te_end))
+        service.add_event(ScopeChange(site, Scope.CUSTOMER_CONE, when, te_end))
         operator = rng.choice(OPERATORS)
         log.append(
             GroundTruthEntry(
@@ -156,8 +188,12 @@ def generate(
         eligible = [
             label
             for label in site_labels
-            if label not in te_by_site or when < te_by_site[label]
+            if not any(
+                start <= when < te_end for start, te_end in te_windows.get(label, [])
+            )
         ]
+        if not eligible:
+            raise RuntimeError("every site is TE-scoped at a drain time")
         site = eligible[index % len(eligible)]
         duration = timedelta(minutes=rng.choice([24, 30, 36]))
         service.add_event(SiteDrain(site, when, when + duration))
@@ -199,12 +235,34 @@ def generate(
         for tier2 in tier2s:
             if tier2 != provider and topo.relationship(provider, tier2) is None:
                 candidates.append(("peer-add", provider, tier2))
+    if third_party_cuts_only:
+        candidates = [entry for entry in candidates if entry[0] == "cut"]
+        # Classification studies need a much deeper pool of *visible*
+        # cuts — a catchment only moves when the losing site's best
+        # path dies, which most near-origin de-peerings don't do — so
+        # widen to every transit link in the topology: tier-2 uplinks
+        # and all peerings. Gated so Table 4's candidate order (and
+        # thus its rng stream) is untouched.
+        seen = set(map(tuple, candidates))
+        for asn in tier2s:
+            for upstream in sorted(topo.providers_of(asn)):
+                entry = ("cut", asn, upstream)
+                if entry not in seen:
+                    seen.add(entry)
+                    candidates.append(entry)
+            for peer in sorted(topo.peers_of(asn)):
+                entry = ("cut", asn, peer)
+                mirrored = ("cut", peer, asn)
+                if entry not in seen and mirrored not in seen:
+                    seen.add(entry)
+                    candidates.append(entry)
     rng.shuffle(candidates)
 
-    third_party_times: list[datetime] = []
+    third_party: list[tuple[datetime, str]] = []
     standalone_slots = _spread_times(
         rng, num_standalone, START + timedelta(days=1), end - timedelta(days=1), min_gap, taken
     )
+    taken += standalone_slots
     coinciding_slots = [
         when + timedelta(minutes=3) for when in internal_times[:num_coinciding]
     ]
@@ -224,13 +282,47 @@ def generate(
                 slot + timedelta(minutes=1),
                 min_fraction=min_visible_shift,
             ):
-                third_party_times.append(slot)
+                third_party.append((slot, kind))
                 placed = True
             else:
                 service.scenario.events.remove(probe_event)
                 service.scenario.invalidate_cache()
         if not placed:
             raise RuntimeError("ran out of third-party candidate links")
+    third_party.sort()
+
+    # -- transient third-party link flaps (classify training only) ----------
+    # Same candidate pool and visibility pre-validation as the permanent
+    # cuts, but the link comes back after ``flap_duration`` — the
+    # "third-party-flap" class a classifier must tell apart from a cut.
+    flap_times: list[datetime] = []
+    flap_slots = _spread_times(
+        rng, num_flaps, START + timedelta(days=1), end - timedelta(days=1), min_gap, taken
+    )
+    taken += flap_slots
+    for slot in flap_slots:
+        placed = False
+        while candidates and not placed:
+            kind, a, b = candidates.pop()
+            if kind != "cut":
+                continue
+            flap_event = LinkOutage(a, b, slot, slot + flap_duration)
+            service.add_event(flap_event)
+            if _visible_shift(
+                service,
+                fleet,
+                slot - timedelta(minutes=1),
+                slot + timedelta(minutes=1),
+                min_fraction=min_visible_shift,
+            ):
+                flap_times.append(slot)
+                placed = True
+            else:
+                service.scenario.events.remove(flap_event)
+                service.scenario.invalidate_cache()
+        if not placed:
+            raise RuntimeError("ran out of third-party flap candidate links")
+    flap_times.sort()
 
     # -- pad the log to ~98 raw entries via within-group companions ---------
     group_seeds = [entry for entry in log]
@@ -261,7 +353,9 @@ def generate(
         fleet=fleet,
         series=series,
         log=log,
-        third_party_times=sorted(third_party_times),
+        third_party_times=[slot for slot, _ in third_party],
         coinciding_third_party=num_coinciding,
         cadence=cadence,
+        third_party_kinds=[kind for _, kind in third_party],
+        flap_times=flap_times,
     )

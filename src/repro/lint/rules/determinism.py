@@ -73,7 +73,7 @@ class Nondeterminism(Rule):
         "ambient RNG or wall-clock in seeded-substrate code; thread an "
         "explicit rng/clock parameter so runs are reproducible"
     )
-    scopes = ("core", "bgp", "datasets")
+    scopes = ("core", "bgp", "datasets", "classify")
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         assert source.tree is not None

@@ -348,6 +348,34 @@ class AsyncServeClient:
             return await self.request("dedup", monitor=monitor)
         return await self.request("dedup", monitor=monitor, mode=mode)
 
+    async def classify(
+        self,
+        monitor: str,
+        *,
+        model: Optional[Mapping[str, object]] = None,
+        stream: Optional[str] = None,
+        features: Optional[Sequence[float]] = None,
+        before: Optional[Mapping[str, str]] = None,
+        after: Optional[Mapping[str, str]] = None,
+        revert: Optional[Mapping[str, str]] = None,
+    ) -> dict:
+        """Async mirror of :meth:`ServeClient.classify` — one optional
+        argument group per request shape (docs/classification.md)."""
+        fields: dict = {}
+        if model is not None:
+            fields["model"] = dict(model)
+        if stream is not None:
+            fields["stream"] = stream
+        if features is not None:
+            fields["features"] = [float(value) for value in features]
+        if before is not None:
+            fields["before"] = dict(before)
+        if after is not None:
+            fields["after"] = dict(after)
+        if revert is not None:
+            fields["revert"] = dict(revert)
+        return await self.request("classify", monitor=monitor, **fields)
+
     async def list_monitors(self) -> list[str]:
         response = await self.request("list")
         return list(response["monitors"])

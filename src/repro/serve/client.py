@@ -260,6 +260,42 @@ class ServeClient:
             return self.request("dedup", monitor=monitor)
         return self.request("dedup", monitor=monitor, mode=mode)
 
+    def classify(
+        self,
+        monitor: str,
+        *,
+        model: Optional[Mapping] = None,
+        stream: Optional[str] = None,
+        features: Optional[Sequence[float]] = None,
+        before: Optional[Mapping[str, str]] = None,
+        after: Optional[Mapping[str, str]] = None,
+        revert: Optional[Mapping[str, str]] = None,
+    ) -> dict:
+        """Classify a transition, manage the model, or report state.
+
+        One optional argument group per request shape
+        (docs/classification.md): ``model`` installs a
+        ``ClassifierModel.to_document()`` mapping; ``stream`` toggles
+        labeling at ingest time (``'on'``/``'off'``); ``features`` or
+        ``before``/``after`` (plus optional ``revert``) classify one
+        transition; no arguments reports the installed model summary,
+        streaming flag, and recent streamed labels.
+        """
+        fields: dict = {}
+        if model is not None:
+            fields["model"] = dict(model)
+        if stream is not None:
+            fields["stream"] = stream
+        if features is not None:
+            fields["features"] = [float(value) for value in features]
+        if before is not None:
+            fields["before"] = dict(before)
+        if after is not None:
+            fields["after"] = dict(after)
+        if revert is not None:
+            fields["revert"] = dict(revert)
+        return self.request("classify", monitor=monitor, **fields)
+
     def list_monitors(self) -> list[str]:
         return list(self.request("list")["monitors"])
 

@@ -74,6 +74,8 @@ COMMANDS = (
     # VP-plan monitors and ingest dedup (docs/vps.md).
     "vps",
     "dedup",
+    # Route-change cause classification (docs/classification.md).
+    "classify",
     # Cluster support: state shipping and failover (docs/cluster.md).
     "handoff",
     "install",
@@ -96,6 +98,7 @@ MONITOR_COMMANDS = frozenset(
         "snapshot",
         "vps",
         "dedup",
+        "classify",
         "handoff",
         "install",
         "retire",

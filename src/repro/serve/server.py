@@ -17,6 +17,7 @@ from __future__ import annotations
 import asyncio
 import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from datetime import datetime
 from pathlib import Path
@@ -25,6 +26,8 @@ from typing import TYPE_CHECKING, Any, Mapping, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports us)
     from .cluster import ReplicationFollower
 
+from ..classify.features import FEATURE_WIDTH, featurize_mappings
+from ..classify.model import ClassifierModel, ModelError
 from ..core.compare import UnknownPolicy
 from ..obs import CONTENT_TYPE, MetricsRegistry, render_prometheus
 from ..vps import PlanError, VPPlan
@@ -47,11 +50,19 @@ from .protocol import (
     error_response,
 )
 
-__all__ = ["ServeConfig", "FenrirServer", "VPPLAN_FILE"]
+__all__ = ["ServeConfig", "FenrirServer", "VPPLAN_FILE", "CLASSIFIER_FILE"]
 
 #: A monitor created from a VP plan keeps the plan in its directory so
 #: operators (and the ``vps`` query) can trace kept VPs and weights.
 VPPLAN_FILE = "vpplan.json"
+
+#: An installed classifier model lives in the monitor directory and is
+#: re-armed (though not re-streamed) across restarts.
+CLASSIFIER_FILE = "classifier.json"
+
+#: How many recent streaming classifications each monitor retains for
+#: the ``classify`` report.
+_CLASSIFIED_WINDOW = 64
 
 
 @dataclass
@@ -85,6 +96,16 @@ class _MonitorRuntime:
     monitor: DurableMonitor
     queue: asyncio.Queue = field(default_factory=asyncio.Queue)
     worker: Optional[asyncio.Task] = None
+    # Route-change classification (docs/classification.md): the armed
+    # model, whether streaming labels on mode transitions is on, the
+    # previous ingested round (the "before" side of a transition), and
+    # the recent labeled events served by the `classify` report.
+    classifier: Optional[ClassifierModel] = None
+    classify_stream: bool = False
+    last_states: Optional[dict] = None
+    classified: deque = field(
+        default_factory=lambda: deque(maxlen=_CLASSIFIED_WINDOW)
+    )
 
 
 class FenrirServer:
@@ -121,6 +142,21 @@ class FenrirServer:
             buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
             help="Per-connection in-flight depth over max_inflight, "
             "observed at each request arrival",
+        )
+        # Classification instrumentation (docs/classification.md):
+        # request counts, streaming labels emitted, and how long one
+        # featurize+predict takes.
+        self._classify_requests = self.registry.counter(
+            "classify_requests_total",
+            help="classify wire commands handled",
+        )
+        self._classify_stream_events = self.registry.counter(
+            "classify_stream_events_total",
+            help="Mode transitions labeled by the streaming classifier",
+        )
+        self._classify_latency = self.registry.histogram(
+            "classify_latency_seconds",
+            help="Featurize + predict time per classification",
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -194,6 +230,15 @@ class FenrirServer:
             monitor=monitor,
             queue=asyncio.Queue(maxsize=self.config.queue_size),
         )
+        classifier_path = monitor.directory / CLASSIFIER_FILE
+        if classifier_path.exists():
+            try:
+                runtime.classifier = ClassifierModel.load(classifier_path)
+            except (ModelError, OSError):
+                # A bad artifact must not block the monitor itself;
+                # classification stays unarmed and the failure is
+                # visible in the error series.
+                self.metrics.internal_error("classifier_load")
         runtime.worker = asyncio.get_running_loop().create_task(
             self._drain_ingests(runtime)
         )
@@ -235,6 +280,7 @@ class FenrirServer:
                     states, when = payload
                     update = runtime.monitor.ingest(states, when)
                     self._count_update(update)
+                    self._stream_classify(runtime, states, update)
                     # Capture seq now, before yielding: by the time the
                     # requesting coroutine resumes, this task may have
                     # applied later records for other connections.
@@ -242,8 +288,9 @@ class FenrirServer:
                 else:
                     batch = runtime.monitor.ingest_batch(payload)
                     self.metrics.increment("batches_ingested")
-                    for update in batch.updates:
+                    for (states, _when), update in zip(payload, batch.updates):
                         self._count_update(update)
+                        self._stream_classify(runtime, states, update)
                     result = (runtime.monitor.seq, batch)
             except Exception as exc:
                 # MonitorError is a routine client rejection (out of
@@ -258,6 +305,44 @@ class FenrirServer:
                     future.set_result(result)
             finally:
                 runtime.queue.task_done()
+
+    def _stream_classify(
+        self, runtime: _MonitorRuntime, states: dict, update: Any
+    ) -> None:
+        """Label a just-ingested mode transition, if streaming is armed.
+
+        Runs on the writer task between ingests; a classification
+        failure must never fail (or slow) the acknowledged ingest, so
+        errors are counted and dropped. The previous round is always
+        captured — it is the "before" side of the next transition.
+        """
+        previous = runtime.last_states
+        runtime.last_states = dict(states)
+        if (
+            not runtime.classify_stream
+            or runtime.classifier is None
+            or previous is None
+            or not update.is_event
+        ):
+            return
+        started = time.perf_counter()
+        try:
+            features = featurize_mappings(previous, states)
+            label, scores = runtime.classifier.predict(features)
+        except Exception:
+            self.metrics.internal_error("classify")
+            return
+        self._classify_latency.observe(time.perf_counter() - started)
+        self._classify_stream_events.inc()
+        runtime.classified.append(
+            {
+                "time": update.time.isoformat(),
+                "label": label,
+                "scores": scores,
+                "mode_id": update.mode_id,
+                "is_new_mode": update.is_new_mode,
+            }
+        )
 
     async def _ingest(self, request: dict, request_id: object) -> dict:
         runtime = self._runtime_for(request)
@@ -512,6 +597,139 @@ class FenrirServer:
             "ok": True,
             "monitor": runtime.monitor.name,
             **runtime.monitor.dedup_stats(),
+        }
+
+    def _classify(self, request: dict, request_id: object) -> dict:
+        """Classify a transition, manage the model, or report state.
+
+        Four request shapes, dispatched on which argument is present:
+
+        * ``model``: install a :class:`ClassifierModel` document — it
+          is persisted to the monitor directory (re-armed on restart)
+          and used for every later classification;
+        * ``stream``: ``"on"``/``"off"`` toggles labeling mode
+          transitions at ingest time (``"on"`` requires an installed
+          model and resets the remembered previous round);
+        * ``features`` (a full feature vector) or ``before``/``after``
+          (raw ``{network: state}`` rounds, optional ``revert``):
+          classify one transition and answer label + per-class scores;
+        * none of the above: report the installed model summary, the
+          streaming flag, and recent streamed labels.
+        """
+        runtime = self._runtime_for(request)
+        self._classify_requests.inc()
+        monitor_name = runtime.monitor.name
+
+        model_document = request.get("model")
+        if model_document is not None:
+            try:
+                model = ClassifierModel.from_document(model_document)
+            except ModelError as exc:
+                raise _RequestError(ERR_BAD_REQUEST, str(exc)) from exc
+            model.save(runtime.monitor.directory / CLASSIFIER_FILE)
+            runtime.classifier = model
+            self.metrics.increment("classify_models_installed")
+            return {
+                "id": request_id,
+                "ok": True,
+                "monitor": monitor_name,
+                "installed": True,
+                "model": model.summary(),
+            }
+
+        stream = request.get("stream")
+        if stream is not None:
+            if stream not in ("on", "off"):
+                raise _RequestError(
+                    ERR_BAD_REQUEST,
+                    f"'stream' must be 'on' or 'off', got {stream!r}",
+                )
+            if stream == "on" and runtime.classifier is None:
+                raise _RequestError(
+                    ERR_BAD_REQUEST,
+                    "streaming needs an installed model; send 'model' first",
+                )
+            runtime.classify_stream = stream == "on"
+            # The first post-toggle round becomes the new "before";
+            # anything remembered from earlier is stale.
+            runtime.last_states = None
+            return {
+                "id": request_id,
+                "ok": True,
+                "monitor": monitor_name,
+                "stream": runtime.classify_stream,
+            }
+
+        features = request.get("features")
+        before = request.get("before")
+        after = request.get("after")
+        if features is not None or before is not None or after is not None:
+            if runtime.classifier is None:
+                raise _RequestError(
+                    ERR_BAD_REQUEST,
+                    "no classifier installed; send 'model' first",
+                )
+            started = time.perf_counter()
+            if features is not None:
+                if (
+                    not isinstance(features, list)
+                    or len(features) != FEATURE_WIDTH
+                    or not all(
+                        isinstance(value, (int, float))
+                        and not isinstance(value, bool)
+                        for value in features
+                    )
+                ):
+                    raise _RequestError(
+                        ERR_BAD_REQUEST,
+                        f"'features' must be a list of {FEATURE_WIDTH} numbers",
+                    )
+                vector = [float(value) for value in features]
+            else:
+                for key, mapping in (("before", before), ("after", after)):
+                    if not isinstance(mapping, dict) or not all(
+                        isinstance(k, str) and isinstance(v, str)
+                        for k, v in mapping.items()
+                    ):
+                        raise _RequestError(
+                            ERR_BAD_REQUEST,
+                            f"'{key}' must map network names to state labels",
+                        )
+                revert = request.get("revert")
+                if revert is not None and (
+                    not isinstance(revert, dict)
+                    or not all(
+                        isinstance(k, str) and isinstance(v, str)
+                        for k, v in revert.items()
+                    )
+                ):
+                    raise _RequestError(
+                        ERR_BAD_REQUEST,
+                        "'revert' must map network names to state labels",
+                    )
+                vector = featurize_mappings(before, after, revert=revert).tolist()
+            label, scores = runtime.classifier.predict(vector)
+            self._classify_latency.observe(time.perf_counter() - started)
+            return {
+                "id": request_id,
+                "ok": True,
+                "monitor": monitor_name,
+                "label": label,
+                "scores": scores,
+                "features": vector,
+            }
+
+        return {
+            "id": request_id,
+            "ok": True,
+            "monitor": monitor_name,
+            "model": (
+                runtime.classifier.summary()
+                if runtime.classifier is not None
+                else None
+            ),
+            "stream": runtime.classify_stream,
+            "recent": list(runtime.classified),
         }
 
     def _query(self, request: dict, request_id: object) -> dict:
@@ -802,6 +1020,8 @@ class FenrirServer:
                 response = self._vps(request, request_id)
             elif command == "dedup":
                 response = self._dedup(request, request_id)
+            elif command == "classify":
+                response = self._classify(request, request_id)
             elif command == "snapshot":
                 response = await self._snapshot(request, request_id)
             elif command == "handoff":

@@ -21,3 +21,8 @@ class Client:
 
     def dedup(self, mode=None):
         return self.request("dedup", mode=mode)
+
+    def classify(self, model=None):
+        if model is None:
+            return self.request("classify")
+        return self.request("classify", model=model)

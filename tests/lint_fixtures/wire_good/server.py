@@ -13,4 +13,6 @@ class Server:
             return {"ok": True}
         elif command == "dedup":
             return {"ok": True}
+        elif command == "classify":
+            return {"ok": True}
         return {"ok": False, "error": "bad_request"}

@@ -1,0 +1,134 @@
+"""Unit tests for the bench-delta gate (benchmarks/check_regression.py).
+
+The script is loaded by file path (benchmarks/ is not a package) and
+driven through ``main(argv)``. Focus: the suite helper's shared rules
+— missing optional baselines are tolerated with the suite-specific
+refresh hint, vanished rows fail, and the classify sections gate in
+the right directions (macro-F1 drop fails, latency rise fails).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+)
+check_regression = importlib.util.module_from_spec(spec)
+assert spec.loader is not None
+# @dataclass resolves its field types via sys.modules[cls.__module__],
+# so the module must be registered before exec.
+sys.modules[spec.name] = check_regression
+spec.loader.exec_module(check_regression)
+
+
+SERVE_DOC = {"throughput_by_batch": {"1": 1000.0, "128": 9000.0}}
+CLASSIFY_DOC = {
+    "macro_f1": {"holdout": 0.95},
+    "classify_latency_ms": {"p50": 0.4, "p99": 1.2},
+}
+
+
+def write(path: Path, document: dict) -> Path:
+    path.write_text(json.dumps(document))
+    return path
+
+
+@pytest.fixture
+def serve_pair(tmp_path):
+    baseline = write(tmp_path / "serve_baseline.json", SERVE_DOC)
+    candidate = write(tmp_path / "serve_candidate.json", SERVE_DOC)
+    return [str(baseline), str(candidate)]
+
+
+class TestServeSuite:
+    def test_identical_documents_pass(self, serve_pair):
+        assert check_regression.main(serve_pair) == 0
+
+    def test_throughput_drop_fails(self, tmp_path, serve_pair):
+        slower = dict(SERVE_DOC)
+        slower["throughput_by_batch"] = {"1": 1000.0, "128": 4000.0}
+        candidate = write(tmp_path / "slower.json", slower)
+        argv = [serve_pair[0], str(candidate), "--max-drop", "0.40"]
+        assert check_regression.main(argv) == 1
+
+    def test_vanished_row_fails(self, tmp_path, serve_pair):
+        partial = {"throughput_by_batch": {"1": 1000.0}}
+        candidate = write(tmp_path / "partial.json", partial)
+        assert check_regression.main([serve_pair[0], str(candidate)]) == 1
+
+
+class TestOptionalBaselines:
+    def test_missing_classify_baseline_tolerated_with_hint(
+        self, tmp_path, serve_pair, capsys
+    ):
+        candidate = write(tmp_path / "classify.json", CLASSIFY_DOC)
+        argv = serve_pair + [
+            "--classify-baseline", str(tmp_path / "absent.json"),
+            "--classify-candidate", str(candidate),
+        ]
+        assert check_regression.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "does not exist; skipping" in out
+        assert "bench_classify.py --quick" in out
+        assert "git add BENCH_classify.json" in out
+
+    def test_missing_vps_baseline_gets_vps_hint(self, tmp_path, serve_pair, capsys):
+        candidate = write(tmp_path / "vps.json", {"ingest_rounds_per_second": {}})
+        argv = serve_pair + [
+            "--vps-baseline", str(tmp_path / "absent.json"),
+            "--vps-candidate", str(candidate),
+        ]
+        assert check_regression.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "bench_vps.py --quick" in out
+        assert "git add BENCH_vps.json" in out
+
+    def test_baseline_without_candidate_flag_exits(self, tmp_path, serve_pair):
+        baseline = write(tmp_path / "classify.json", CLASSIFY_DOC)
+        argv = serve_pair + ["--classify-baseline", str(baseline)]
+        with pytest.raises(SystemExit):
+            check_regression.main(argv)
+
+
+class TestClassifySuite:
+    def run(self, tmp_path, serve_pair, candidate_doc, extra=()):
+        baseline = write(tmp_path / "classify_baseline.json", CLASSIFY_DOC)
+        candidate = write(tmp_path / "classify_candidate.json", candidate_doc)
+        argv = serve_pair + [
+            "--classify-baseline", str(baseline),
+            "--classify-candidate", str(candidate),
+            *extra,
+        ]
+        return check_regression.main(argv)
+
+    def test_identical_pass(self, tmp_path, serve_pair):
+        assert self.run(tmp_path, serve_pair, CLASSIFY_DOC) == 0
+
+    def test_macro_f1_drop_fails(self, tmp_path, serve_pair):
+        worse = {**CLASSIFY_DOC, "macro_f1": {"holdout": 0.5}}
+        assert self.run(tmp_path, serve_pair, worse) == 1
+
+    def test_latency_rise_fails(self, tmp_path, serve_pair):
+        worse = {
+            **CLASSIFY_DOC,
+            "classify_latency_ms": {"p50": 0.4, "p99": 5.0},
+        }
+        assert (
+            self.run(tmp_path, serve_pair, worse, ["--max-latency-rise", "2.0"]) == 1
+        )
+
+    def test_latency_improvement_passes(self, tmp_path, serve_pair):
+        better = {
+            **CLASSIFY_DOC,
+            "macro_f1": {"holdout": 1.0},
+            "classify_latency_ms": {"p50": 0.1, "p99": 0.2},
+        }
+        assert self.run(tmp_path, serve_pair, better) == 0

@@ -1,0 +1,342 @@
+"""Route-change cause classification: features, model, wire command.
+
+Three contracts under test (docs/classification.md):
+
+* the featurizer is byte-deterministic — the same transition yields
+  the exact same bytes regardless of dict insertion order, run, or
+  process (pinned by a golden digest);
+* the model artifact round-trips exactly — ``from_document`` of
+  ``to_document`` reproduces ``canonical_json`` byte for byte, and
+  training twice from the same data and seed does too;
+* the ``classify`` wire command covers its four request shapes
+  (install / stream toggle / classify / report), persists the model
+  across restarts, and streams labels on ingest-time mode transitions.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classify import (
+    FEATURE_NAMES,
+    FEATURE_WIDTH,
+    LABELS,
+    ClassifierModel,
+    ModelError,
+    dataset_digest,
+    evaluate_predictions,
+    feature_bytes,
+    features_digest,
+    featurize_mappings,
+    macro_f1,
+    train_forest,
+)
+from repro.serve import ServeClientError, ServeConfig
+from repro.serve.protocol import COMMANDS, MONITOR_COMMANDS
+from repro.serve.server import CLASSIFIER_FILE
+
+from test_serve_server import ServerThread, connect
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ServerThread(ServeConfig(data_dir=tmp_path / "data", port=0)) as running:
+        yield running
+
+T0 = datetime(2025, 6, 1)
+
+SITES = ["LAX", "MIA", "SIN", "AMS"]
+
+#: Byte-determinism pin for a fixed transition: if this digest ever
+#: changes, the featurizer's output bytes changed — a breaking change
+#: for persisted models and journaled features, version accordingly.
+GOLDEN_BEFORE = {"vp0": "LAX", "vp1": "LAX", "vp2": "MIA", "vp3": "MIA", "vp4": "SIN"}
+GOLDEN_AFTER = {"vp0": "MIA", "vp1": "MIA", "vp2": "MIA", "vp3": "MIA", "vp4": "SIN"}
+GOLDEN_DIGEST = "ce906209c750f84cc3cb0debff19666d5e89f75e2f24a584904556106148475e"
+
+
+def synthetic_dataset(samples_per_class: int = 8, seed: int = 0):
+    """Separable labeled features, one cluster per taxonomy label."""
+    rng = random.Random(seed)
+    prototypes = {
+        "drain": [0.3, 0.12, 0.2, 0.0, 1.0, 4, 3, 0.9, 0.1, 0.99, 0.99, 1.0, 0.0],
+        "traffic-engineering": [0.25, 0.1, 0.2, 0.0, 0.95, 4, 3, 0.9, 0.1, 0.75, 0.99, 0.0, 1.0],
+        "third-party-flap": [0.05, 0.03, 0.0, 0.0, 0.2, 4, 4, 0.6, 0.4, 0.99, 0.97, 0.9, 0.1],
+        "cable-cut": [0.05, 0.03, 0.0, 0.0, 0.2, 4, 4, 0.6, 0.4, 0.96, 0.99, 0.0, 1.0],
+    }
+    rows, labels = [], []
+    for label, prototype in prototypes.items():
+        for _ in range(samples_per_class):
+            row = [value + rng.uniform(-0.02, 0.02) for value in prototype]
+            row += [rng.uniform(-0.01, 0.01) for _ in range(FEATURE_WIDTH - len(row))]
+            rows.append(row)
+            labels.append(label)
+    return np.asarray(rows, dtype=np.float64), labels
+
+
+mappings = st.dictionaries(
+    st.sampled_from([f"vp{i}" for i in range(12)]),
+    st.sampled_from(SITES + ["err"]),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestFeaturizer:
+    def test_schema(self):
+        assert FEATURE_WIDTH == len(FEATURE_NAMES)
+        assert len(set(FEATURE_NAMES)) == FEATURE_WIDTH
+
+    def test_golden_digest(self):
+        vector = featurize_mappings(GOLDEN_BEFORE, GOLDEN_AFTER, revert=GOLDEN_BEFORE)
+        assert features_digest(vector) == GOLDEN_DIGEST
+
+    def test_insertion_order_is_irrelevant(self):
+        shuffled_before = dict(reversed(list(GOLDEN_BEFORE.items())))
+        shuffled_after = dict(reversed(list(GOLDEN_AFTER.items())))
+        a = featurize_mappings(GOLDEN_BEFORE, GOLDEN_AFTER)
+        b = featurize_mappings(shuffled_before, shuffled_after)
+        assert feature_bytes(a) == feature_bytes(b)
+
+    @given(before=mappings, after=mappings)
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_bytes(self, before, after):
+        first = featurize_mappings(before, after)
+        second = featurize_mappings(dict(sorted(before.items())), dict(after))
+        assert feature_bytes(first) == feature_bytes(second)
+        assert first.shape == (FEATURE_WIDTH,)
+        assert np.isfinite(first).all()
+
+    def test_revert_separates_transient_from_permanent(self):
+        reverted_i = FEATURE_NAMES.index("reverted_fraction")
+        persisted_i = FEATURE_NAMES.index("persisted_fraction")
+        transient = featurize_mappings(
+            GOLDEN_BEFORE, GOLDEN_AFTER, revert=GOLDEN_BEFORE
+        )
+        assert transient[reverted_i] == 1.0
+        assert transient[persisted_i] == 0.0
+        permanent = featurize_mappings(
+            GOLDEN_BEFORE, GOLDEN_AFTER, revert=GOLDEN_AFTER
+        )
+        assert permanent[reverted_i] == 0.0
+        assert permanent[persisted_i] == 1.0
+
+    def test_feature_bytes_normalizes_negative_zero(self):
+        zeros = [0.0] * FEATURE_WIDTH
+        negative = [-0.0] * FEATURE_WIDTH
+        assert feature_bytes(zeros) == feature_bytes(negative)
+
+    def test_feature_bytes_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            feature_bytes([1.0, 2.0])
+
+
+class TestModel:
+    def test_training_is_byte_deterministic(self):
+        features, labels = synthetic_dataset()
+        first = train_forest(features, labels, seed=13)
+        second = train_forest(features, labels, seed=13)
+        assert first.canonical_json() == second.canonical_json()
+        assert first.content_digest() == second.content_digest()
+        different = train_forest(features, labels, seed=14)
+        assert different.canonical_json() != first.canonical_json()
+
+    def test_round_trip_is_exact(self, tmp_path):
+        features, labels = synthetic_dataset()
+        model = train_forest(features, labels, seed=5)
+        clone = ClassifierModel.from_document(model.to_document())
+        assert clone.canonical_json() == model.canonical_json()
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = ClassifierModel.load(path)
+        assert loaded.canonical_json() == model.canonical_json()
+        assert path.read_text(encoding="utf-8") == model.canonical_json()
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_round_trip_property(self, seed):
+        features, labels = synthetic_dataset(samples_per_class=3, seed=seed)
+        model = train_forest(features, labels, seed=seed, num_trees=4, max_depth=3)
+        document = json.loads(model.canonical_json())
+        clone = ClassifierModel.from_document(document)
+        assert clone.canonical_json() == model.canonical_json()
+
+    def test_predict_shape(self):
+        features, labels = synthetic_dataset()
+        model = train_forest(features, labels, seed=5)
+        label, scores = model.predict(features[0])
+        assert label in LABELS
+        assert set(scores) == set(LABELS)
+        assert abs(sum(scores.values()) - 1.0) < 1e-6
+
+    def test_learns_the_synthetic_classes(self):
+        train_features, train_labels = synthetic_dataset(seed=1)
+        eval_features, eval_labels = synthetic_dataset(seed=2)
+        model = train_forest(train_features, train_labels, seed=5)
+        predictions = [model.predict(row)[0] for row in eval_features]
+        assert macro_f1(eval_labels, predictions) > 0.95
+
+    def test_from_document_rejects_garbage(self):
+        features, labels = synthetic_dataset(samples_per_class=2)
+        document = train_forest(features, labels, seed=5).to_document()
+        for mutation in (
+            {"type": "not-a-classifier"},
+            {"version": 99},
+            {"labels": ["drain"]},
+            {"feature_names": ["just_one"]},
+            {"trees": [{"leaf": {"no-such-label": 1}}]},
+            {"trees": [{"feature": 99, "threshold": 0.5}]},
+        ):
+            broken = {**document, **mutation}
+            with pytest.raises(ModelError):
+                ClassifierModel.from_document(broken)
+
+    def test_evaluation_report(self):
+        truths = ["drain", "drain", "cable-cut", "third-party-flap"]
+        predictions = ["drain", "cable-cut", "cable-cut", "third-party-flap"]
+        report = evaluate_predictions(truths, predictions, LABELS)
+        assert report["accuracy"] == 0.75
+        assert report["per_label"]["drain"]["recall"] == 0.5
+        assert report["confusion"]["drain"]["cable-cut"] == 1
+
+    def test_dataset_digest_tracks_content(self):
+        features, labels = synthetic_dataset(samples_per_class=2)
+        digest = dataset_digest(features, labels)
+        assert digest == dataset_digest(features.copy(), list(labels))
+        bumped = features.copy()
+        bumped[0, 0] += 1.0
+        assert digest != dataset_digest(bumped, labels)
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    features, labels = synthetic_dataset(samples_per_class=4, seed=3)
+    return train_forest(features, labels, seed=11, num_trees=8, max_depth=4)
+
+
+class TestWireContract:
+    def test_command_registered(self):
+        assert "classify" in COMMANDS
+        assert "classify" in MONITOR_COMMANDS
+
+    def test_install_classify_and_stream(self, server, tiny_model):
+        with connect(server) as client:
+            networks = sorted(GOLDEN_BEFORE)
+            client.create("svc", networks)
+
+            report = client.classify("svc")
+            assert report["model"] is None
+            assert report["stream"] is False
+            assert report["recent"] == []
+
+            installed = client.classify("svc", model=tiny_model.to_document())
+            assert installed["installed"] is True
+            assert installed["model"]["digest"] == tiny_model.content_digest()
+
+            by_mapping = client.classify(
+                "svc", before=GOLDEN_BEFORE, after=GOLDEN_AFTER
+            )
+            assert by_mapping["label"] in LABELS
+            assert set(by_mapping["scores"]) == set(LABELS)
+            assert len(by_mapping["features"]) == FEATURE_WIDTH
+
+            # The features echoed back classify to the same label.
+            by_features = client.classify("svc", features=by_mapping["features"])
+            assert by_features["label"] == by_mapping["label"]
+
+            client.classify("svc", stream="on")
+            client.ingest("svc", GOLDEN_BEFORE, T0)
+            client.ingest("svc", GOLDEN_AFTER, T0 + timedelta(hours=1))
+            report = client.classify("svc")
+            assert report["stream"] is True
+            assert len(report["recent"]) == 1
+            event = report["recent"][0]
+            assert event["label"] in LABELS
+            assert event["mode_id"] == 1
+
+            client.classify("svc", stream="off")
+            assert client.classify("svc")["stream"] is False
+
+    def test_streaming_only_labels_events(self, server, tiny_model):
+        with connect(server) as client:
+            client.create("calm", sorted(GOLDEN_BEFORE))
+            client.classify("calm", model=tiny_model.to_document())
+            client.classify("calm", stream="on")
+            for step in range(3):  # identical rounds: no transitions
+                client.ingest("calm", GOLDEN_BEFORE, T0 + timedelta(hours=step))
+            assert client.classify("calm")["recent"] == []
+
+    def test_error_cases(self, server, tiny_model):
+        with connect(server) as client:
+            client.create("svc", sorted(GOLDEN_BEFORE))
+            with pytest.raises(ServeClientError) as excinfo:
+                client.classify("missing")
+            assert excinfo.value.code == "no_such_monitor"
+            with pytest.raises(ServeClientError) as excinfo:
+                client.classify("svc", stream="on")  # no model yet
+            assert excinfo.value.code == "bad_request"
+            with pytest.raises(ServeClientError) as excinfo:
+                client.classify("svc", before=GOLDEN_BEFORE, after=GOLDEN_AFTER)
+            assert excinfo.value.code == "bad_request"
+            client.classify("svc", model=tiny_model.to_document())
+            with pytest.raises(ServeClientError) as excinfo:
+                client.classify("svc", stream="sometimes")
+            assert excinfo.value.code == "bad_request"
+            with pytest.raises(ServeClientError) as excinfo:
+                client.classify("svc", features=[1.0, 2.0])
+            assert excinfo.value.code == "bad_request"
+            with pytest.raises(ServeClientError) as excinfo:
+                client.request("classify", monitor="svc", model={"type": "junk"})
+            assert excinfo.value.code == "bad_request"
+
+    def test_model_persists_across_restart(self, tmp_path, tiny_model):
+        config = ServeConfig(data_dir=tmp_path / "data", port=0)
+        with ServerThread(config) as server, connect(server) as client:
+            client.create("svc", sorted(GOLDEN_BEFORE))
+            client.classify("svc", model=tiny_model.to_document())
+            client.classify("svc", stream="on")
+        artifact = tmp_path / "data" / "svc" / CLASSIFIER_FILE
+        assert artifact.exists()
+        assert artifact.read_text(encoding="utf-8") == tiny_model.canonical_json()
+        with ServerThread(config) as server, connect(server) as client:
+            report = client.classify("svc")
+            assert report["model"]["digest"] == tiny_model.content_digest()
+            # Streaming is a runtime toggle, not persisted state.
+            assert report["stream"] is False
+
+    def test_classify_metrics_exposed(self, server, tiny_model):
+        with connect(server) as client:
+            client.create("svc", sorted(GOLDEN_BEFORE))
+            client.classify("svc", model=tiny_model.to_document())
+            client.classify("svc", before=GOLDEN_BEFORE, after=GOLDEN_AFTER)
+            text = client.request("metrics")["text"]
+        assert "classify_requests_total" in text
+        assert "classify_latency_seconds" in text
+        assert "serve_classify_models_installed_total" in text
+
+
+class TestCli:
+    def test_show(self, tmp_path, tiny_model, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "model.json"
+        tiny_model.save(path)
+        assert main(["classify", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert tiny_model.content_digest() in out
+        assert "drain" in out
+
+    def test_show_rejects_garbage(self, tmp_path, tiny_model):
+        from repro.cli import main
+
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps({"type": "junk"}))
+        with pytest.raises(SystemExit):
+            main(["classify", "show", str(path)])
