@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -79,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="print the wall-clock runtime to stderr and exit 2 if it "
+        "exceeds SECONDS; CI's guard against analysis cost creeping up",
+    )
     return parser
 
 
@@ -95,7 +101,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             scope = f" [{','.join(rule.scopes)}]" if rule.scopes else ""
-            print(f"{rule.name:<28}{scope} {rule.description}")
+            print(
+                f"{rule.name:<28} {rule.severity:<8}{scope} {rule.description}"
+            )
         return 0
 
     baseline_path = args.baseline
@@ -112,6 +120,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
+    started = time.monotonic()
     try:
         result = lint_paths(
             args.paths,
@@ -137,4 +146,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sys.stdout.write(_FORMATS[args.format](result))
     if args.report is not None:
         args.report.write_text(render_json(result), encoding="utf-8")
+    if args.time_budget is not None:
+        elapsed = time.monotonic() - started
+        print(
+            f"fenlint: analyzed {result.files_checked} file(s) in "
+            f"{elapsed:.2f}s (budget {args.time_budget:.0f}s)",
+            file=sys.stderr,
+        )
+        if elapsed > args.time_budget:
+            print(
+                f"fenlint: runtime budget exceeded "
+                f"({elapsed:.2f}s > {args.time_budget:.0f}s)",
+                file=sys.stderr,
+            )
+            return 2
     return result.exit_code

@@ -13,9 +13,9 @@ file it should be reporting is useless in CI.
 from __future__ import annotations
 
 import subprocess
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from .base import CrossFileRule, Rule, SourceFile, all_rules
 from .baseline import Baseline
@@ -56,7 +56,18 @@ def collect_files(paths: Sequence[Path | str], root: Path) -> list[Path]:
 
 
 def changed_files(ref: str, root: Path) -> list[Path]:
-    """Files changed relative to ``ref`` (git diff + untracked)."""
+    """Files changed relative to ``ref`` (git diff + untracked).
+
+    Diffs against ``git merge-base ref HEAD`` rather than ``ref``
+    itself: on a feature branch, ``--changed main`` must mean "what
+    this branch touched", not "every file main changed since the
+    branch point" — the naive ``git diff main`` answer includes the
+    latter and lints code the branch never modified. Deleted and
+    renamed-away paths are excluded (``--diff-filter=d`` plus an
+    existence check) so a removal doesn't crash the run on a file
+    that is no longer there.
+    """
+
     def run(*args: str) -> list[str]:
         completed = subprocess.run(
             ["git", *args],
@@ -67,9 +78,26 @@ def changed_files(ref: str, root: Path) -> list[Path]:
         )
         return [line for line in completed.stdout.splitlines() if line.strip()]
 
-    names = run("diff", "--name-only", ref, "--", "*.py")
+    try:
+        base = run("merge-base", ref, "HEAD")[0]
+    except (subprocess.CalledProcessError, IndexError):
+        raise ValueError(
+            f"cannot resolve merge base of {ref!r} and HEAD; "
+            f"is {ref!r} a valid ref?"
+        ) from None
+    names = run("diff", "--name-only", "--diff-filter=d", base, "--", "*.py")
     names += run("ls-files", "--others", "--exclude-standard", "--", "*.py")
-    return sorted({(root / name).resolve() for name in names})
+    paths = {(root / name).resolve() for name in names}
+    return sorted(path for path in paths if path.exists())
+
+
+def _stamped(rule: Rule, findings: Iterable[Finding]) -> Iterator[Finding]:
+    """Apply the producing rule's severity to its findings."""
+    for finding in findings:
+        if rule.severity == "error":
+            yield finding
+        else:
+            yield replace(finding, severity=rule.severity)
 
 
 def _select(
@@ -119,10 +147,10 @@ def lint_files(
             continue
         for rule in per_file:
             if rule.applies_to(source):
-                raw.extend(rule.check(source))
+                raw.extend(_stamped(rule, rule.check(source)))
 
     for rule in cross_file:
-        raw.extend(rule.check_project(sources, root))
+        raw.extend(_stamped(rule, rule.check_project(sources, root)))
 
     by_relpath = {source.relpath: source for source in sources}
     visible: list[Finding] = []

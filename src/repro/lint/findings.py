@@ -25,6 +25,11 @@ class Finding:
     rule: str
     message: str
     context: str = ""  # dotted enclosing class/function chain, if any
+    #: the producing rule's severity ("error" or "warning"); stamped by
+    #: the engine, rendered by the GitHub/JSON reporters, excluded from
+    #: the fingerprint (a severity re-grade must not invalidate a
+    #: baseline).
+    severity: str = "error"
 
     def fingerprint(self) -> str:
         """Line-independent identity used for baseline matching."""
@@ -39,5 +44,6 @@ class Finding:
             "rule": self.rule,
             "message": self.message,
             "context": self.context,
+            "severity": self.severity,
             "fingerprint": self.fingerprint(),
         }

@@ -1,0 +1,53 @@
+"""Flow-sensitive analysis for fenlint rules.
+
+Layers, bottom up: :mod:`.cfg` builds one control-flow graph per
+function with yield points marked; :mod:`.dataflow` runs worklist
+analyses over a graph (reaching definitions, locks-held, guaranteed
+effect); :mod:`.summaries` lifts the per-function results to a
+module-local call graph with effect summaries. All dependency-free,
+all pure ``ast`` — see docs/static-analysis.md ("Flow analysis").
+"""
+
+from .cfg import (
+    CFG,
+    CFGNode,
+    ENTRY,
+    EXIT,
+    RAISE_EXIT,
+    STMT,
+    WITH_EXIT,
+    build_cfg,
+    expression_parts,
+    walk_expressions,
+)
+from .dataflow import (
+    Definition,
+    assigned_names,
+    guarantees_effect,
+    locks_held,
+    reaching_definitions,
+    yield_on_some_path,
+)
+from .summaries import DYNAMIC, FunctionInfo, ModuleGraph
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "DYNAMIC",
+    "Definition",
+    "ENTRY",
+    "EXIT",
+    "FunctionInfo",
+    "ModuleGraph",
+    "RAISE_EXIT",
+    "STMT",
+    "WITH_EXIT",
+    "assigned_names",
+    "build_cfg",
+    "expression_parts",
+    "guarantees_effect",
+    "locks_held",
+    "reaching_definitions",
+    "walk_expressions",
+    "yield_on_some_path",
+]

@@ -1,0 +1,389 @@
+"""Intraprocedural control-flow graphs for Python functions.
+
+One :class:`CFG` per ``def``/``async def``. Every statement in the
+function body (not descending into nested function/class definitions)
+maps to exactly one node; three synthetic nodes bound the graph:
+
+* ``entry`` — where parameters are bound;
+* ``exit`` — the single normal-return target (explicit ``return`` and
+  falling off the end both edge here);
+* ``raise-exit`` — where uncaught ``raise`` statements land. Analyses
+  that reason about the *acknowledged* path (durability) treat it as
+  benign: no normal return means no ack went out.
+
+Compound statements get a node for their header — the part that
+executes at the statement's own position (``if``/``while`` tests,
+``for`` iterables, ``with`` context expressions) — and their blocks
+are wired with the usual edges: both arms of an ``if`` rejoin, loops
+get back edges and a false-exit, ``try`` bodies edge into every
+handler (any statement may raise), and ``break``/``continue``/
+``return``/``raise`` are routed *through* every enclosing ``finally``
+block before reaching their target. ``with`` statements additionally
+get a synthetic ``with-exit`` node so a "locks held" analysis sees the
+release as an explicit kill point.
+
+*Yield points* are nodes whose header contains an ``await`` (or a
+``yield``), plus ``async for`` headers and both ends of ``async
+with``: the places where the event loop may run another coroutine.
+The async-interleaving-race rule is built entirely on this marking.
+
+The graph is an over-approximation: a single ``finally`` instance
+serves every continuation that routes through it, so paths exist in
+the CFG that no execution takes. That is the safe direction for the
+must-analyses layered on top (a lock is "held" on fewer nodes, a
+flush is "guaranteed" on fewer writes than in reality).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "ENTRY",
+    "EXIT",
+    "FunctionNode",
+    "RAISE_EXIT",
+    "STMT",
+    "WITH_EXIT",
+    "build_cfg",
+    "expression_parts",
+    "walk_expressions",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+ENTRY = "entry"
+EXIT = "exit"
+RAISE_EXIT = "raise-exit"
+STMT = "stmt"
+WITH_EXIT = "with-exit"
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def expression_parts(stmt: ast.stmt) -> list[ast.AST]:
+    """The expression-level children evaluated at ``stmt``'s own CFG
+    node — header expressions for compound statements, the whole
+    statement for simple ones, nothing for ``try`` (it evaluates no
+    expression of its own) and nested definitions (their bodies run
+    elsewhere)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return list(stmt.items)
+    if isinstance(stmt, (ast.Try, *_SCOPE_BARRIERS[:-1])):
+        return []
+    return [stmt]
+
+
+def walk_expressions(node: ast.AST) -> Iterator[ast.AST]:
+    """``node`` and every descendant, not descending into nested
+    function/class definitions or lambdas."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, _SCOPE_BARRIERS):
+                continue
+            stack.append(child)
+
+
+@dataclass
+class CFGNode:
+    """One vertex: a statement, a ``with`` exit, or a synthetic bound."""
+
+    index: int
+    kind: str
+    stmt: Optional[ast.stmt] = None
+    #: the ``with``/``async with`` statement a ``with-exit`` node closes.
+    ref: Optional[ast.stmt] = None
+    is_yield: bool = False
+    succs: set[int] = field(default_factory=set)
+    preds: set[int] = field(default_factory=set)
+    #: enclosing ``with``/``async with`` statements, outermost first.
+    enclosing_with: tuple[ast.stmt, ...] = ()
+
+    @property
+    def line(self) -> int:
+        anchor = self.stmt if self.stmt is not None else self.ref
+        return getattr(anchor, "lineno", 0)
+
+
+@dataclass
+class CFG:
+    """The finished graph plus the statement-to-node index."""
+
+    function: FunctionNode
+    nodes: list[CFGNode]
+    entry: int
+    exit: int
+    raise_exit: int
+    by_stmt: dict[ast.stmt, int]
+
+    def node(self, index: int) -> CFGNode:
+        return self.nodes[index]
+
+    def stmt_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.kind == STMT:
+                yield node
+
+    def reachable(self, start: Optional[int] = None) -> set[int]:
+        """Node indices reachable from ``start`` (default: entry)."""
+        frontier = [self.entry if start is None else start]
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for succ in self.nodes[current].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+
+@dataclass
+class _LoopFrame:
+    head: int
+    breaks: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _FinallyFrame:
+    abrupt_preds: set[int] = field(default_factory=set)
+    kinds: set[str] = field(default_factory=set)
+
+
+_Frame = Union[_LoopFrame, _FinallyFrame]
+
+
+class _Builder:
+    def __init__(self, fn: FunctionNode) -> None:
+        self.fn = fn
+        self.nodes: list[CFGNode] = []
+        self.by_stmt: dict[ast.stmt, int] = {}
+        self.with_stack: list[ast.stmt] = []
+        self.entry = self._new(ENTRY).index
+        self.exit = self._new(EXIT).index
+        self.raise_exit = self._new(RAISE_EXIT).index
+
+    def build(self) -> CFG:
+        frontier = self._block(self.fn.body, {self.entry}, [])
+        for pred in frontier:
+            self._edge(pred, self.exit)
+        return CFG(
+            function=self.fn,
+            nodes=self.nodes,
+            entry=self.entry,
+            exit=self.exit,
+            raise_exit=self.raise_exit,
+            by_stmt=self.by_stmt,
+        )
+
+    # -- graph assembly ----------------------------------------------
+
+    def _new(
+        self,
+        kind: str,
+        stmt: Optional[ast.stmt] = None,
+        ref: Optional[ast.stmt] = None,
+    ) -> CFGNode:
+        node = CFGNode(
+            index=len(self.nodes),
+            kind=kind,
+            stmt=stmt,
+            ref=ref,
+            enclosing_with=tuple(self.with_stack),
+        )
+        self.nodes.append(node)
+        return node
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.nodes[src].succs.add(dst)
+        self.nodes[dst].preds.add(src)
+
+    def _block(
+        self,
+        stmts: list[ast.stmt],
+        preds: set[int],
+        frames: list[_Frame],
+    ) -> set[int]:
+        current = set(preds)
+        for stmt in stmts:
+            node = self._stmt_node(stmt)
+            for pred in current:
+                self._edge(pred, node.index)
+            current = self._visit(stmt, node, frames)
+        return current
+
+    def _stmt_node(self, stmt: ast.stmt) -> CFGNode:
+        node = self._new(STMT, stmt=stmt)
+        self.by_stmt[stmt] = node.index
+        node.is_yield = self._yields(stmt)
+        return node
+
+    @staticmethod
+    def _yields(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, (ast.AsyncFor, ast.AsyncWith)):
+            return True
+        for part in expression_parts(stmt):
+            for child in walk_expressions(part):
+                if isinstance(child, (ast.Await, ast.Yield, ast.YieldFrom)):
+                    return True
+        return False
+
+    # -- statement dispatch ------------------------------------------
+
+    def _visit(
+        self, stmt: ast.stmt, node: CFGNode, frames: list[_Frame]
+    ) -> set[int]:
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, node, frames)
+        if isinstance(stmt, (ast.While,)):
+            return self._visit_loop(stmt, node, frames, may_skip=True)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._visit_loop(stmt, node, frames, may_skip=False)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._visit_with(stmt, node, frames)
+        if isinstance(stmt, ast.Try):
+            return self._visit_try(stmt, node, frames)
+        if isinstance(stmt, ast.Return):
+            self._route("return", {node.index}, frames)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            self._route("raise", {node.index}, frames)
+            return set()
+        if isinstance(stmt, ast.Break):
+            self._route("break", {node.index}, frames)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            self._route("continue", {node.index}, frames)
+            return set()
+        if isinstance(stmt, _SCOPE_BARRIERS[:-1]):
+            return {node.index}
+        return self._visit_generic(stmt, node, frames)
+
+    def _route(self, kind: str, preds: set[int], frames: list[_Frame]) -> None:
+        """Wire an abrupt exit to its target, detouring through the
+        innermost enclosing ``finally`` when one exists."""
+        for frame in reversed(frames):
+            if isinstance(frame, _FinallyFrame):
+                frame.abrupt_preds |= preds
+                frame.kinds.add(kind)
+                return
+            if isinstance(frame, _LoopFrame) and kind in ("break", "continue"):
+                if kind == "break":
+                    frame.breaks.extend(sorted(preds))
+                else:
+                    for pred in preds:
+                        self._edge(pred, frame.head)
+                return
+        target = self.raise_exit if kind == "raise" else self.exit
+        for pred in preds:
+            self._edge(pred, target)
+
+    def _visit_if(
+        self, stmt: ast.If, node: CFGNode, frames: list[_Frame]
+    ) -> set[int]:
+        body = self._block(stmt.body, {node.index}, frames)
+        orelse = (
+            self._block(stmt.orelse, {node.index}, frames)
+            if stmt.orelse
+            else {node.index}
+        )
+        return body | orelse
+
+    def _visit_loop(
+        self,
+        stmt: Union[ast.While, ast.For, ast.AsyncFor],
+        node: CFGNode,
+        frames: list[_Frame],
+        may_skip: bool,
+    ) -> set[int]:
+        loop = _LoopFrame(head=node.index)
+        body = self._block(stmt.body, {node.index}, frames + [loop])
+        for pred in body:
+            self._edge(pred, node.index)
+        infinite = (
+            may_skip
+            and isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        exits: set[int] = set() if infinite else {node.index}
+        if stmt.orelse:
+            exits = self._block(stmt.orelse, exits, frames)
+        return exits | set(loop.breaks)
+
+    def _visit_with(
+        self,
+        stmt: Union[ast.With, ast.AsyncWith],
+        node: CFGNode,
+        frames: list[_Frame],
+    ) -> set[int]:
+        self.with_stack.append(stmt)
+        try:
+            body = self._block(stmt.body, {node.index}, frames)
+        finally:
+            self.with_stack.pop()
+        if not body:
+            return set()  # every path in the body exits abruptly
+        exit_node = self._new(WITH_EXIT, ref=stmt)
+        exit_node.is_yield = isinstance(stmt, ast.AsyncWith)
+        for pred in body:
+            self._edge(pred, exit_node.index)
+        return {exit_node.index}
+
+    def _visit_try(
+        self, stmt: ast.Try, node: CFGNode, frames: list[_Frame]
+    ) -> set[int]:
+        fin = _FinallyFrame() if stmt.finalbody else None
+        inner: list[_Frame] = frames + [fin] if fin is not None else frames
+        body_start = len(self.nodes)
+        body = self._block(stmt.body, {node.index}, inner)
+        # Any statement in the body may raise into any handler.
+        raise_sources = {node.index} | set(range(body_start, len(self.nodes)))
+        handler_frontier: set[int] = set()
+        for handler in stmt.handlers:
+            handler_frontier |= self._block(
+                handler.body, set(raise_sources), inner
+            )
+        else_frontier = (
+            self._block(stmt.orelse, body, inner) if stmt.orelse else body
+        )
+        after = else_frontier | handler_frontier
+        if fin is None:
+            return after
+        fin_preds = after | fin.abrupt_preds
+        if not fin_preds:
+            fin_preds = {node.index}
+        fin_frontier = self._block(stmt.finalbody, fin_preds, frames)
+        # Re-dispatch the abrupt continuations from the finally's end.
+        for kind in sorted(fin.kinds):
+            self._route(kind, set(fin_frontier), frames)
+        return fin_frontier if after else set()
+
+    def _visit_generic(
+        self, stmt: ast.stmt, node: CFGNode, frames: list[_Frame]
+    ) -> set[int]:
+        """Unknown compound statements (e.g. ``match``): every block
+        hangs off the header and all frontiers merge — conservative."""
+        frontier = {node.index}
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                frontier |= self._block(list(block), {node.index}, frames)
+        for case in getattr(stmt, "cases", []) or []:
+            frontier |= self._block(list(case.body), {node.index}, frames)
+        return frontier
+
+
+def build_cfg(fn: FunctionNode) -> CFG:
+    """The control-flow graph of one function body."""
+    return _Builder(fn).build()

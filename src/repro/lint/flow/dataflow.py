@@ -1,0 +1,225 @@
+"""Worklist dataflow analyses over :mod:`repro.lint.flow.cfg` graphs.
+
+Three analyses, each a small fixpoint over the finite lattices the
+flow rules need:
+
+* :func:`reaching_definitions` — forward *may*: which assignments of
+  each local can reach a node. The interleaving-race rule uses it to
+  taint locals that were computed from ``self`` state.
+* :func:`locks_held` — forward *must*: which ``with``-acquired locks
+  are held on every path into a node. Acquisition happens at the
+  ``with`` header node, release at the synthetic ``with-exit`` node,
+  and the meet is intersection, so a lock only counts as held where
+  *all* paths hold it.
+* :func:`guarantees_effect` — backward *must*: from a given node, does
+  every path to the normal exit pass a node satisfying the effect
+  predicate first? Paths ending at the raise-exit are vacuously fine
+  (no normal return, no ack). This is the engine behind the
+  interprocedural ``guarantees-flush`` summaries.
+
+:func:`yield_on_some_path` is the *may* query the race detector asks:
+is there any path from a read to a write that crosses a yield point?
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Callable, Optional
+
+from .cfg import CFG, CFGNode, STMT, WITH_EXIT, expression_parts, walk_expressions
+
+__all__ = [
+    "Definition",
+    "assigned_names",
+    "guarantees_effect",
+    "locks_held",
+    "reaching_definitions",
+    "yield_on_some_path",
+]
+
+#: one definition: (local name, index of the defining CFG node).
+Definition = tuple[str, int]
+
+
+def _target_names(target: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    return names
+
+
+def assigned_names(stmt: Optional[ast.stmt]) -> set[str]:
+    """Local names ``stmt`` (re)binds at its own CFG node."""
+    if stmt is None:
+        return set()
+    names: set[str] = set()
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names |= _target_names(target)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        names |= _target_names(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names |= _target_names(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names |= _target_names(item.optional_vars)
+    for part in expression_parts(stmt):
+        for node in walk_expressions(part):
+            if isinstance(node, ast.NamedExpr):
+                names |= _target_names(node.target)
+    return names
+
+
+def reaching_definitions(cfg: CFG) -> dict[int, frozenset[Definition]]:
+    """Definitions reaching each node (state *before* the node runs).
+
+    Function parameters count as definitions at the entry node.
+    """
+    gen: dict[int, frozenset[Definition]] = {}
+    defs_of: dict[str, set[int]] = {}
+    for node in cfg.nodes:
+        names = assigned_names(node.stmt) if node.kind == STMT else set()
+        if node.index == cfg.entry:
+            args = cfg.function.args
+            names = {
+                arg.arg
+                for arg in (
+                    *args.posonlyargs,
+                    *args.args,
+                    *args.kwonlyargs,
+                    *((args.vararg,) if args.vararg else ()),
+                    *((args.kwarg,) if args.kwarg else ()),
+                )
+            }
+        gen[node.index] = frozenset((name, node.index) for name in names)
+        for name in names:
+            defs_of.setdefault(name, set()).add(node.index)
+
+    incoming: dict[int, frozenset[Definition]] = {
+        node.index: frozenset() for node in cfg.nodes
+    }
+    outgoing: dict[int, frozenset[Definition]] = dict(incoming)
+    worklist = deque(node.index for node in cfg.nodes)
+    while worklist:
+        index = worklist.popleft()
+        node = cfg.nodes[index]
+        in_state = frozenset().union(*(outgoing[p] for p in node.preds)) if node.preds else frozenset()
+        killed = {
+            name for name, _ in gen[index]
+        }
+        out_state = gen[index] | frozenset(
+            d for d in in_state if d[0] not in killed
+        )
+        if in_state != incoming[index] or out_state != outgoing[index]:
+            incoming[index] = in_state
+            outgoing[index] = out_state
+            worklist.extend(node.succs)
+    return incoming
+
+
+def locks_held(
+    cfg: CFG, lock_key: Callable[[ast.expr], Optional[str]]
+) -> dict[int, frozenset[str]]:
+    """Locks held on *every* path into each node (must-analysis).
+
+    ``lock_key`` names the lock a ``with`` item acquires, or returns
+    None for non-lock context managers.
+    """
+
+    def keys_of(stmt: Optional[ast.stmt]) -> frozenset[str]:
+        if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return frozenset()
+        found = {lock_key(item.context_expr) for item in stmt.items}
+        return frozenset(key for key in found if key is not None)
+
+    gen: dict[int, frozenset[str]] = {}
+    kill: dict[int, frozenset[str]] = {}
+    universe: set[str] = set()
+    for node in cfg.nodes:
+        acquired = keys_of(node.stmt) if node.kind == STMT else frozenset()
+        released = keys_of(node.ref) if node.kind == WITH_EXIT else frozenset()
+        gen[node.index] = acquired
+        kill[node.index] = released
+        universe |= acquired
+
+    top = frozenset(universe)
+    incoming: dict[int, frozenset[str]] = {
+        node.index: top for node in cfg.nodes
+    }
+    incoming[cfg.entry] = frozenset()
+    outgoing: dict[int, frozenset[str]] = {
+        index: (state | gen[index]) - kill[index]
+        for index, state in incoming.items()
+    }
+    worklist = deque(node.index for node in cfg.nodes)
+    while worklist:
+        index = worklist.popleft()
+        if index == cfg.entry:
+            continue
+        node = cfg.nodes[index]
+        preds = [outgoing[p] for p in node.preds]
+        in_state = frozenset.intersection(*preds) if preds else top
+        out_state = (in_state | gen[index]) - kill[index]
+        if in_state != incoming[index] or out_state != outgoing[index]:
+            incoming[index] = in_state
+            outgoing[index] = out_state
+            worklist.extend(node.succs)
+    return incoming
+
+
+def guarantees_effect(
+    cfg: CFG, start: int, is_effect: Callable[[CFGNode], bool]
+) -> bool:
+    """Does every path from ``start`` to the normal exit pass an
+    effect node first? Paths that end at the raise-exit are fine."""
+    ok = [True] * len(cfg.nodes)
+    ok[cfg.exit] = False
+    ok[cfg.raise_exit] = True
+    effect = [
+        node.index != cfg.exit
+        and node.index != cfg.raise_exit
+        and is_effect(node)
+        for node in cfg.nodes
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            if node.index in (cfg.exit, cfg.raise_exit) or effect[node.index]:
+                continue
+            value = (
+                all(ok[s] for s in node.succs) if node.succs else False
+            )
+            if value != ok[node.index]:
+                ok[node.index] = value
+                changed = True
+    succs = cfg.nodes[start].succs
+    if not succs:
+        return False
+    return all(ok[s] for s in succs)
+
+
+def yield_on_some_path(cfg: CFG, src: int, dst: int) -> bool:
+    """Is there a path ``src`` → ``dst`` that crosses a yield point?
+
+    The endpoints count: an ``await`` inside the source statement runs
+    after its reads, one inside the destination before its store.
+    """
+    start_crossed = cfg.nodes[src].is_yield
+    if src == dst:
+        return start_crossed
+    seen: set[tuple[int, bool]] = set()
+    queue: deque[tuple[int, bool]] = deque([(src, start_crossed)])
+    while queue:
+        index, crossed = queue.popleft()
+        for succ in cfg.nodes[index].succs:
+            now = crossed or cfg.nodes[succ].is_yield
+            if succ == dst and now:
+                return True
+            if (succ, now) not in seen:
+                seen.add((succ, now))
+                queue.append((succ, now))
+    return False

@@ -1,0 +1,427 @@
+"""Module-level call graph with per-function effect summaries.
+
+fenlint is per-file, so "interprocedural" here means *module-local*:
+``self.helper()`` resolves to a method on the same class, ``helper()``
+to a module-level function, and anything else (other objects, imports,
+dynamic dispatch) resolves to nothing and contributes no effects.
+That keeps every summary grounded in code the rule can actually see —
+a *must* property (``guarantees_flush``) is never asserted on faith,
+and a *may* property (``may_block``, escaping exceptions) never
+invents behavior for foreign callees.
+
+Summaries:
+
+* ``may_await`` — syntactic: the body contains an ``await`` /
+  ``async for`` / ``async with`` (only coroutines can await, so there
+  is nothing to propagate through sync callees).
+* ``may_block`` — the body calls a blocking primitive, or any resolved
+  callee may block; fixpoint over the call graph.
+* ``flush_guarantees`` — every path from entry to the normal exit
+  passes a flush (direct flush call, or a call to a module-local
+  callee already proven to guarantee one); computed with
+  :func:`~repro.lint.flow.dataflow.guarantees_effect` to a fixpoint,
+  so a helper named ``_commit`` proves itself by its control flow, not
+  by its name.
+* ``escaping_exceptions`` — which exception types can propagate out of
+  each function, tracking ``raise`` sites through enclosing handlers
+  and resolved call sites; the ``absorbing`` callback lets a rule
+  demand more of a handler than merely catching (the dispatch rule
+  requires an ``ERR_*`` mapping).
+
+Exception-type reasoning is by name with a small builtin hierarchy
+(``FileNotFoundError`` is caught by ``except OSError``); custom types
+are assumed to derive from ``Exception``, and a raise of a non-class
+expression is tracked as ``<dynamic>`` — caught only by broad
+handlers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from .cfg import (
+    CFG,
+    CFGNode,
+    FunctionNode,
+    build_cfg,
+    expression_parts,
+    walk_expressions,
+)
+from .dataflow import guarantees_effect
+
+__all__ = ["DYNAMIC", "FunctionInfo", "ModuleGraph"]
+
+#: stand-in type name for raises whose class is not statically known.
+DYNAMIC = "<dynamic>"
+
+_BROAD = ("Exception", "BaseException")
+
+#: just enough of the builtin exception hierarchy for handler matching.
+_BUILTIN_PARENTS = {
+    "FileNotFoundError": "OSError",
+    "FileExistsError": "OSError",
+    "PermissionError": "OSError",
+    "NotADirectoryError": "OSError",
+    "IsADirectoryError": "OSError",
+    "InterruptedError": "OSError",
+    "TimeoutError": "OSError",
+    "ConnectionError": "OSError",
+    "ConnectionResetError": "ConnectionError",
+    "ConnectionAbortedError": "ConnectionError",
+    "ConnectionRefusedError": "ConnectionError",
+    "BrokenPipeError": "ConnectionError",
+    "KeyError": "LookupError",
+    "IndexError": "LookupError",
+    "UnicodeDecodeError": "ValueError",
+    "UnicodeEncodeError": "ValueError",
+    "JSONDecodeError": "ValueError",
+}
+
+
+def _ancestry(name: str) -> set[str]:
+    chain = {name}
+    current = name
+    while current in _BUILTIN_PARENTS:
+        current = _BUILTIN_PARENTS[current]
+        chain.add(current)
+    chain.update(_BROAD)  # assume Exception-derived
+    return chain
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def handler_catches(handler: ast.ExceptHandler, name: str) -> bool:
+    """Would ``except <handler.type>`` catch an exception named ``name``?"""
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    if name == DYNAMIC:
+        return any(_terminal_name(t) in _BROAD for t in types)
+    ancestry = _ancestry(name)
+    return any(_terminal_name(t) in ancestry for t in types)
+
+
+def handler_names(handler: ast.ExceptHandler) -> tuple[str, ...]:
+    """The type names a handler catches (``<dynamic>`` when broad)."""
+    if handler.type is None:
+        return (DYNAMIC,)
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names = tuple(
+        name for name in (_terminal_name(t) for t in types) if name is not None
+    )
+    if not names or any(name in _BROAD for name in names):
+        return (DYNAMIC,)
+    return names
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or method in the call graph."""
+
+    qualname: str
+    name: str
+    class_name: Optional[str]
+    node: FunctionNode
+
+
+@dataclass
+class _Site:
+    """One place a function can originate or propagate an exception."""
+
+    anchor: ast.stmt
+    handlers: tuple[ast.ExceptHandler, ...]
+    raised: tuple[str, ...] = ()
+    callee: Optional[str] = None
+
+
+class ModuleGraph:
+    """Call graph + effect summaries for one parsed module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        for child in tree.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[child.name] = FunctionInfo(
+                    qualname=child.name,
+                    name=child.name,
+                    class_name=None,
+                    node=child,
+                )
+            elif isinstance(child, ast.ClassDef):
+                for member in child.body:
+                    if isinstance(
+                        member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        qualname = f"{child.name}.{member.name}"
+                        self.functions[qualname] = FunctionInfo(
+                            qualname=qualname,
+                            name=member.name,
+                            class_name=child.name,
+                            node=member,
+                        )
+        self._cfgs: dict[str, CFG] = {}
+        self._calls: dict[str, list[tuple[ast.Call, Optional[str]]]] = {}
+        self._callers: Optional[dict[str, set[str]]] = None
+
+    # -- structure ----------------------------------------------------
+
+    def cfg(self, qualname: str) -> CFG:
+        if qualname not in self._cfgs:
+            self._cfgs[qualname] = build_cfg(self.functions[qualname].node)
+        return self._cfgs[qualname]
+
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> Optional[str]:
+        """Qualname of a module-local callee, or None (foreign call)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id if func.id in self.functions else None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and caller.class_name is not None
+        ):
+            qualname = f"{caller.class_name}.{func.attr}"
+            return qualname if qualname in self.functions else None
+        return None
+
+    def calls_in(self, qualname: str) -> list[tuple[ast.Call, Optional[str]]]:
+        """Every call in the function body (skipping nested defs),
+        paired with its resolved module-local callee when there is one."""
+        if qualname not in self._calls:
+            info = self.functions[qualname]
+            found: list[tuple[ast.Call, Optional[str]]] = []
+            for node in walk_expressions(info.node):
+                if isinstance(node, ast.Call):
+                    found.append((node, self.resolve_call(node, info)))
+            self._calls[qualname] = found
+        return self._calls[qualname]
+
+    def callers_of(self, qualname: str) -> set[str]:
+        if self._callers is None:
+            callers: dict[str, set[str]] = {q: set() for q in self.functions}
+            for caller in self.functions:
+                for _, callee in self.calls_in(caller):
+                    if callee is not None:
+                        callers[callee].add(caller)
+            self._callers = callers
+        return self._callers.get(qualname, set())
+
+    # -- effect summaries ---------------------------------------------
+
+    def may_await(self, qualname: str) -> bool:
+        for node in walk_expressions(self.functions[qualname].node):
+            if isinstance(node, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+                return True
+        return False
+
+    def may_block(
+        self, is_blocking: Callable[[ast.Call], bool]
+    ) -> dict[str, bool]:
+        """Transitive may-block over the module-local call graph."""
+        blocks = {
+            qualname: any(
+                is_blocking(call) for call, _ in self.calls_in(qualname)
+            )
+            for qualname in self.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname in self.functions:
+                if blocks[qualname]:
+                    continue
+                if any(
+                    callee is not None and blocks[callee]
+                    for _, callee in self.calls_in(qualname)
+                ):
+                    blocks[qualname] = True
+                    changed = True
+        return blocks
+
+    def flush_guarantees(
+        self, is_direct_flush: Callable[[ast.Call], bool]
+    ) -> dict[str, bool]:
+        """Which functions flush on every normal-return path.
+
+        Grows monotonically: a function proven to flush lets its
+        callers count a call to it as a flush, which may prove them in
+        the next round.
+        """
+        proven = {qualname: False for qualname in self.functions}
+        changed = True
+        while changed:
+            changed = False
+            for qualname, info in self.functions.items():
+                if proven[qualname]:
+                    continue
+
+                def is_flush_call(call: ast.Call) -> bool:
+                    if is_direct_flush(call):
+                        return True
+                    callee = self.resolve_call(call, info)
+                    return callee is not None and proven[callee]
+
+                def node_flushes(node: CFGNode) -> bool:
+                    if node.stmt is None:
+                        return False
+                    for part in expression_parts(node.stmt):
+                        for child in walk_expressions(part):
+                            if isinstance(child, ast.Call) and is_flush_call(
+                                child
+                            ):
+                                return True
+                    return False
+
+                cfg = self.cfg(qualname)
+                if guarantees_effect(cfg, cfg.entry, node_flushes):
+                    proven[qualname] = True
+                    changed = True
+        return proven
+
+    # -- escaping exceptions ------------------------------------------
+
+    def _exception_sites(self, info: FunctionInfo) -> list[_Site]:
+        sites: list[_Site] = []
+
+        def add_calls(
+            stmt: ast.stmt, handlers: tuple[ast.ExceptHandler, ...]
+        ) -> None:
+            for part in expression_parts(stmt):
+                for node in walk_expressions(part):
+                    if isinstance(node, ast.Call):
+                        callee = self.resolve_call(node, info)
+                        if callee is not None:
+                            sites.append(
+                                _Site(
+                                    anchor=stmt,
+                                    handlers=handlers,
+                                    callee=callee,
+                                )
+                            )
+
+        def raised_names(
+            stmt: ast.Raise, current: Optional[ast.ExceptHandler]
+        ) -> tuple[str, ...]:
+            if stmt.exc is None:  # bare re-raise
+                return handler_names(current) if current is not None else (DYNAMIC,)
+            target = stmt.exc.func if isinstance(stmt.exc, ast.Call) else stmt.exc
+            name = _terminal_name(target)
+            if name is None or not name[:1].isupper():
+                # ``raise exc`` of a captured variable re-raises the
+                # handler's types; anything else is dynamic.
+                if (
+                    current is not None
+                    and isinstance(stmt.exc, ast.Name)
+                    and stmt.exc.id == current.name
+                ):
+                    return handler_names(current)
+                return (DYNAMIC,)
+            return (name,)
+
+        def walk_block(
+            stmts: list[ast.stmt],
+            handlers: tuple[ast.ExceptHandler, ...],
+            current: Optional[ast.ExceptHandler],
+        ) -> None:
+            for stmt in stmts:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                if isinstance(stmt, ast.Raise):
+                    sites.append(
+                        _Site(
+                            anchor=stmt,
+                            handlers=handlers,
+                            raised=raised_names(stmt, current),
+                        )
+                    )
+                    continue
+                add_calls(stmt, handlers)
+                if isinstance(stmt, ast.Try):
+                    walk_block(
+                        stmt.body, handlers + tuple(stmt.handlers), current
+                    )
+                    for handler in stmt.handlers:
+                        walk_block(handler.body, handlers, handler)
+                    walk_block(stmt.orelse, handlers, current)
+                    walk_block(stmt.finalbody, handlers, current)
+                else:
+                    for attr in ("body", "orelse", "finalbody"):
+                        block = getattr(stmt, attr, None)
+                        if (
+                            isinstance(block, list)
+                            and block
+                            and isinstance(block[0], ast.stmt)
+                        ):
+                            walk_block(list(block), handlers, current)
+
+        walk_block(info.node.body, (), None)
+        return sites
+
+    def escaping_exceptions(
+        self,
+        absorbing: Optional[
+            Callable[[FunctionInfo, ast.ExceptHandler], bool]
+        ] = None,
+    ) -> dict[str, dict[str, ast.stmt]]:
+        """Per function: exception type name → the raise statement it
+        originates from (module-local), for types that can escape.
+
+        ``absorbing(info, handler)`` may veto a handler: a vetoed
+        handler still *catches* syntactically but does not absorb, so
+        the type keeps escaping (used to demand ERR_* mapping in
+        dispatch functions). Default: every catching handler absorbs.
+        """
+        sites = {
+            qualname: self._exception_sites(info)
+            for qualname, info in self.functions.items()
+        }
+        escaping: dict[str, dict[str, ast.stmt]] = {
+            qualname: {} for qualname in self.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, info in self.functions.items():
+                for site in sites[qualname]:
+                    items: Iterator[tuple[str, ast.stmt]]
+                    if site.callee is not None:
+                        items = iter(escaping[site.callee].items())
+                    else:
+                        items = iter(
+                            (name, site.anchor) for name in site.raised
+                        )
+                    for name, anchor in items:
+                        if any(
+                            handler_catches(handler, name)
+                            and (
+                                absorbing is None
+                                or absorbing(info, handler)
+                            )
+                            for handler in site.handlers
+                        ):
+                            continue
+                        if name not in escaping[qualname]:
+                            escaping[qualname][name] = anchor
+                            changed = True
+        return escaping

@@ -47,9 +47,10 @@ def _escape_github(text: str) -> str:
 
 
 def render_github(result: LintResult) -> str:
-    """``::error`` workflow commands, one per finding, for CI logs."""
+    """``::error``/``::warning`` workflow commands, one per finding,
+    for CI logs — the level follows the producing rule's severity."""
     lines = [
-        f"::error file={finding.path},line={finding.line},"
+        f"::{finding.severity} file={finding.path},line={finding.line},"
         f"col={finding.col + 1},title=fenlint({finding.rule})::"
         f"{_escape_github(finding.message)}"
         for finding in result.findings

@@ -12,8 +12,11 @@ from . import (  # noqa: F401  (imports register the rules)
     async_hygiene,
     determinism,
     durability,
+    exception_flow,
     exceptions,
     floats,
+    interleaving,
+    locks,
     metrics,
     spans,
     wire_protocol,
@@ -23,8 +26,11 @@ __all__ = [
     "async_hygiene",
     "determinism",
     "durability",
+    "exception_flow",
     "exceptions",
     "floats",
+    "interleaving",
+    "locks",
     "metrics",
     "spans",
     "wire_protocol",

@@ -10,8 +10,14 @@ __all__ = [
     "dotted_name",
     "iter_calls",
     "literal_str_arg",
+    "lock_key",
     "walk_skipping_defs",
 ]
+
+#: identifier segments that mark a name as a concurrency lock. Matched
+#: against underscore-split segments, not substrings — ``blocked``
+#: contains "lock" but is not one.
+_LOCK_TOKENS = frozenset({"lock", "locks", "mutex", "sem", "semaphore"})
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -52,6 +58,26 @@ def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
     for child in walk_skipping_defs(node):
         if isinstance(child, ast.Call):
             yield child
+
+
+def lock_key(expr: ast.AST) -> Optional[str]:
+    """A stable identity string when ``expr`` names a lock, else None.
+
+    Locks are recognized by name: the terminal identifier of the
+    dotted chain (``self._topology_lock`` → ``_topology_lock``,
+    ``upstreams.lock(shard)`` → ``lock``) must contain a lock-ish
+    segment. Calls keep a ``()`` suffix so a lock factory is not
+    conflated with an attribute of the same name.
+    """
+    base = expr.func if isinstance(expr, ast.Call) else expr
+    dotted = dotted_name(base)
+    if dotted is None:
+        return None
+    terminal = dotted.rsplit(".", 1)[-1]
+    segments = terminal.lower().split("_")
+    if not any(segment in _LOCK_TOKENS for segment in segments if segment):
+        return None
+    return f"{dotted}()" if isinstance(expr, ast.Call) else dotted
 
 
 def literal_str_arg(call: ast.Call, position: int, keyword: str) -> Optional[str]:

@@ -13,9 +13,8 @@ The rule finds writes to journal-ish streams (receiver named
 that execute *after* the write, level by level out of nested blocks,
 asking whether a flush is guaranteed before the function can return:
 
-* a flush call (``.flush()``, ``os.fsync``, or any helper whose name
-  contains ``flush``) guarantees it — including when it sits in an
-  ``if`` with *both* branches flushing, a ``with`` body, or a ``try``
+* a flush call guarantees it — including when it sits in an ``if``
+  with *both* branches flushing, a ``with`` body, or a ``try``
   ``finally``;
 * a ``return`` reached first is a violation — that path exits with
   buffered data;
@@ -24,26 +23,44 @@ asking whether a flush is guaranteed before the function can return:
 * a flush inside only *one* branch of an ``if``, or inside a loop
   body, guarantees nothing and the scan continues outward.
 
-This is a conservative approximation of per-path analysis, tuned so
-that ``journal.py``'s real flush discipline (two-branch append with an
-early return, group commit, histogram-timed commit) passes untouched
-— see the good fixture — while dropped flushes on any branch fail.
+What counts as a flush is *interprocedural* (module-local): a direct
+``.flush()`` / ``os.fsync`` / ``os.fdatasync``, any helper whose name
+contains ``flush``, **or any module-local function proven by its
+control flow to flush on every normal-return path** — the
+``guarantees-flush`` effect summary from :mod:`repro.lint.flow`. A
+group-commit helper named ``_commit`` no longer needs a flush-ish name
+or a suppression; its CFG proves it.
+
+Write obligations travel the other way too: a call to a module-local
+helper that performs a journal write *without* flushing internally is
+itself a write site in the caller, and must be followed by a
+guaranteed flush there. When such a helper has local callers, the
+helper's own body is not separately flagged — the obligation lives at
+the call sites (that is the write-in-helper / flush-in-caller
+group-commit split). A helper nobody local calls keeps the old
+behavior: its write must flush before it returns.
 """
 
 from __future__ import annotations
 
 import ast
 from enum import Enum
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..base import Rule, SourceFile, register
 from ..findings import Finding
+from ..flow import FunctionInfo, ModuleGraph
 from ._util import dotted_name, walk_skipping_defs
 
 __all__ = ["JournalDurability"]
 
 _STREAM_TOKENS = ("stream", "journal", "wal")
 _FSYNC_DOTTED = {"os.fsync", "os.fdatasync"}
+
+_IsCall = Callable[[ast.Call], bool]
+
+#: position of one statement: (owning compound stmt, block, index).
+_Position = list[tuple[Optional[ast.stmt], list, int]]
 
 
 def _is_journal_write(call: ast.Call) -> bool:
@@ -62,6 +79,7 @@ def _is_journal_write(call: ast.Call) -> bool:
 
 
 def _is_flush_call(call: ast.Call) -> bool:
+    """Syntactic flushes: named like one, or the os sync primitives."""
     func = call.func
     if isinstance(func, ast.Attribute) and "flush" in func.attr.lower():
         return True
@@ -71,34 +89,34 @@ def _is_flush_call(call: ast.Call) -> bool:
     return dotted in _FSYNC_DOTTED
 
 
-def _contains_flush(node: ast.AST) -> bool:
-    if isinstance(node, ast.Call) and _is_flush_call(node):
+def _contains_flush(node: ast.AST, is_flush: _IsCall) -> bool:
+    if isinstance(node, ast.Call) and is_flush(node):
         return True
     for child in walk_skipping_defs(node):
-        if isinstance(child, ast.Call) and _is_flush_call(child):
+        if isinstance(child, ast.Call) and is_flush(child):
             return True
     return False
 
 
-def _guarantees_flush(stmt: ast.stmt) -> bool:
+def _guarantees_flush(stmt: ast.stmt, is_flush: _IsCall) -> bool:
     """Does executing ``stmt`` unconditionally flush?"""
     if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
         return False
     if isinstance(stmt, ast.If):
         return (
             bool(stmt.orelse)
-            and any(_guarantees_flush(s) for s in stmt.body)
-            and any(_guarantees_flush(s) for s in stmt.orelse)
+            and any(_guarantees_flush(s, is_flush) for s in stmt.body)
+            and any(_guarantees_flush(s, is_flush) for s in stmt.orelse)
         )
     if isinstance(stmt, (ast.With, ast.AsyncWith)):
-        return any(_guarantees_flush(s) for s in stmt.body)
+        return any(_guarantees_flush(s, is_flush) for s in stmt.body)
     if isinstance(stmt, ast.Try):
-        if any(_guarantees_flush(s) for s in stmt.finalbody):
+        if any(_guarantees_flush(s, is_flush) for s in stmt.finalbody):
             return True
-        return any(_guarantees_flush(s) for s in stmt.body)
+        return any(_guarantees_flush(s, is_flush) for s in stmt.body)
     if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
         return False  # may run zero iterations
-    return _contains_flush(stmt)
+    return _contains_flush(stmt, is_flush)
 
 
 class _Verdict(Enum):
@@ -108,8 +126,8 @@ class _Verdict(Enum):
     NEUTRAL = "neutral"
 
 
-def _verdict(stmt: ast.stmt) -> _Verdict:
-    if _guarantees_flush(stmt):
+def _verdict(stmt: ast.stmt, is_flush: _IsCall) -> _Verdict:
+    if _guarantees_flush(stmt, is_flush):
         return _Verdict.FLUSH
     if isinstance(stmt, ast.Return):
         return _Verdict.EXIT_NO_FLUSH
@@ -147,6 +165,59 @@ def _sub_blocks(stmt: ast.stmt) -> list[tuple[ast.stmt, list[ast.stmt]]]:
     return blocks
 
 
+def _scan_writes(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, is_write: _IsCall
+) -> list[tuple[ast.Call, _Position]]:
+    """Every write-site call in ``fn`` with its nested block position."""
+    writes: list[tuple[ast.Call, _Position]] = []
+
+    def scan(
+        block: list[ast.stmt],
+        owner: Optional[ast.stmt],
+        stack: _Position,
+    ) -> None:
+        for index, stmt in enumerate(block):
+            position = stack + [(owner, block, index)]
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                for part in _expression_parts(stmt):
+                    for call in [
+                        c
+                        for c in walk_skipping_defs(part)
+                        if isinstance(c, ast.Call)
+                    ] + ([part] if isinstance(part, ast.Call) else []):
+                        if is_write(call):
+                            writes.append((call, position))
+                for sub_owner, sub_block in _sub_blocks(stmt):
+                    scan(sub_block, sub_owner, position)
+
+    scan(fn.body, None, [])
+    return writes
+
+
+def _flush_guaranteed(position: _Position, is_flush: _IsCall) -> bool:
+    for level in range(len(position) - 1, -1, -1):
+        owner, block, index = position[level]
+        for stmt in block[index + 1 :]:
+            verdict = _verdict(stmt, is_flush)
+            if verdict is _Verdict.FLUSH:
+                return True
+            if verdict is _Verdict.EXIT_NO_FLUSH:
+                return False
+            if verdict is _Verdict.EXIT_OK:
+                return True
+        # Ascending out of a try body/handler: the finally block (if
+        # any) runs before anything after the try statement.
+        if (
+            isinstance(owner, ast.Try)
+            and block is not owner.finalbody
+            and any(_guarantees_flush(s, is_flush) for s in owner.finalbody)
+        ):
+            return True
+    return False  # fell off the end of the function: implicit return
+
+
 @register
 class JournalDurability(Rule):
     name = "journal-durability"
@@ -158,41 +229,100 @@ class JournalDurability(Rule):
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         assert source.tree is not None
+        graph = ModuleGraph(source.tree)
+        proven = graph.flush_guarantees(_is_flush_call)
+        unflushed = self._unflushed_helpers(graph, proven)
+        by_node = {info.node: info for info in graph.functions.values()}
+
         for node in ast.walk(source.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from self._check_function(source, node)
+                info = by_node.get(node)
+                yield from self._check_function(
+                    source, node, graph, info, proven, unflushed
+                )
+
+    @staticmethod
+    def _flush_predicate(
+        graph: ModuleGraph,
+        info: Optional[FunctionInfo],
+        proven: dict[str, bool],
+    ) -> _IsCall:
+        """Direct flushes plus module-local callees proven to flush."""
+
+        def is_flush(call: ast.Call) -> bool:
+            if _is_flush_call(call):
+                return True
+            if info is None:
+                return False
+            callee = graph.resolve_call(call, info)
+            return callee is not None and proven[callee]
+
+        return is_flush
+
+    @staticmethod
+    def _write_predicate(
+        graph: ModuleGraph,
+        info: Optional[FunctionInfo],
+        unflushed: dict[str, bool],
+    ) -> _IsCall:
+        """Direct journal writes plus calls to module-local helpers
+        that write without flushing internally."""
+
+        def is_write(call: ast.Call) -> bool:
+            if _is_journal_write(call):
+                return True
+            if info is None:
+                return False
+            callee = graph.resolve_call(call, info)
+            return callee is not None and unflushed[callee]
+
+        return is_write
+
+    def _unflushed_helpers(
+        self, graph: ModuleGraph, proven: dict[str, bool]
+    ) -> dict[str, bool]:
+        """Which functions leave a journal write unflushed on some
+        normal-return path (transitively through local helper calls)."""
+        unflushed = {qualname: False for qualname in graph.functions}
+        changed = True
+        while changed:
+            changed = False
+            for qualname, info in graph.functions.items():
+                if unflushed[qualname]:
+                    continue
+                is_flush = self._flush_predicate(graph, info, proven)
+                is_write = self._write_predicate(graph, info, unflushed)
+                writes = _scan_writes(info.node, is_write)
+                if any(
+                    not _flush_guaranteed(position, is_flush)
+                    for _, position in writes
+                ):
+                    unflushed[qualname] = True
+                    changed = True
+        return unflushed
 
     def _check_function(
-        self, source: SourceFile, fn: ast.FunctionDef | ast.AsyncFunctionDef
+        self,
+        source: SourceFile,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        graph: ModuleGraph,
+        info: Optional[FunctionInfo],
+        proven: dict[str, bool],
+        unflushed: dict[str, bool],
     ) -> Iterator[Finding]:
-        writes: list[tuple[ast.Call, list[tuple[Optional[ast.stmt], list, int]]]]
-        writes = []
-
-        def scan(
-            block: list[ast.stmt],
-            owner: Optional[ast.stmt],
-            stack: list[tuple[Optional[ast.stmt], list, int]],
-        ) -> None:
-            for index, stmt in enumerate(block):
-                position = stack + [(owner, block, index)]
-                if not isinstance(
-                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
-                ):
-                    for part in _expression_parts(stmt):
-                        for call in [
-                            c
-                            for c in walk_skipping_defs(part)
-                            if isinstance(c, ast.Call)
-                        ] + ([part] if isinstance(part, ast.Call) else []):
-                            if _is_journal_write(call):
-                                writes.append((call, position))
-                    for sub_owner, sub_block in _sub_blocks(stmt):
-                        scan(sub_block, sub_owner, position)
-
-        scan(fn.body, None, [])
-
-        for call, position in writes:
-            if not self._flush_guaranteed(position):
+        is_flush = self._flush_predicate(graph, info, proven)
+        is_write = self._write_predicate(graph, info, unflushed)
+        has_local_callers = (
+            info is not None and bool(graph.callers_of(info.qualname))
+        )
+        for call, position in _scan_writes(fn, is_write):
+            if _flush_guaranteed(position, is_flush):
+                continue
+            if _is_journal_write(call):
+                if has_local_callers:
+                    # The obligation lives at the local call sites,
+                    # where this call counts as a write site.
+                    continue
                 yield source.finding(
                     self.name,
                     call,
@@ -201,27 +331,17 @@ class JournalDurability(Rule):
                     "acknowledged-iff-replayable contract needs "
                     "write -> flush -> apply -> ack",
                 )
-
-    @staticmethod
-    def _flush_guaranteed(
-        position: list[tuple[Optional[ast.stmt], list, int]]
-    ) -> bool:
-        for level in range(len(position) - 1, -1, -1):
-            owner, block, index = position[level]
-            for stmt in block[index + 1 :]:
-                verdict = _verdict(stmt)
-                if verdict is _Verdict.FLUSH:
-                    return True
-                if verdict is _Verdict.EXIT_NO_FLUSH:
-                    return False
-                if verdict is _Verdict.EXIT_OK:
-                    return True
-            # Ascending out of a try body/handler: the finally block (if
-            # any) runs before anything after the try statement.
-            if (
-                isinstance(owner, ast.Try)
-                and block is not owner.finalbody
-                and any(_guarantees_flush(s) for s in owner.finalbody)
-            ):
-                return True
-        return False  # fell off the end of the function: implicit return
+            else:
+                callee = (
+                    graph.resolve_call(call, info)
+                    if info is not None
+                    else None
+                )
+                yield source.finding(
+                    self.name,
+                    call,
+                    f"call to {callee}() performs a journal write without "
+                    f"flushing internally, and no flush is guaranteed "
+                    f"here after it; group commits need the caller to "
+                    f"flush before returning",
+                )

@@ -1,0 +1,109 @@
+"""Rule: ``unmapped-exception-flow``.
+
+The wire protocol's error surface is the ``ERR_*`` response family: a
+client sees a structured error line, logs it, and moves on. An
+exception that escapes ``_dispatch`` instead unwinds the connection
+handler — the client gets a dropped connection, in-flight pipelined
+requests die with it, and the failure is indistinguishable from a
+crash. So the dispatch contract is: every exception raisable in
+``_dispatch``-reachable code is either caught somewhere on the way up
+or mapped to an ``ERR_*`` response by a ``_dispatch`` handler.
+
+The rule is module-interprocedural: it builds the call graph from
+every function named ``_dispatch``, computes which exception types can
+escape each reachable function (``raise`` sites filtered through
+enclosing handlers; resolved call sites import their callee's escape
+set), and flags any type that makes it out of ``_dispatch`` itself.
+Handlers *inside* ``_dispatch`` only absorb a type when their body
+actually maps it — references an ``ERR_*`` name or calls an
+``error_response``-style helper; a dispatch handler that catches and
+produces nothing is a silent protocol hole, not a mapping. Deeper
+helpers absorb with any catch (handling an exception internally is a
+fine way to never raise it).
+
+Files with no ``_dispatch`` produce nothing — the rule describes the
+dispatch contract, not exception style in general. Calls that do not
+resolve module-locally (other objects, imports) contribute no raises:
+the rule only argues from code it can see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Rule, SourceFile, register
+from ..findings import Finding
+from ..flow import DYNAMIC, FunctionInfo, ModuleGraph
+
+__all__ = ["UnmappedExceptionFlow"]
+
+
+def _handler_maps_to_error(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body produce a protocol error response?"""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Name) and node.id.startswith("ERR_"):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr.startswith("ERR_"):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else ""
+            )
+            if "error_response" in name:
+                return True
+    return False
+
+
+@register
+class UnmappedExceptionFlow(Rule):
+    name = "unmapped-exception-flow"
+    description = (
+        "exception can escape _dispatch without being mapped to an "
+        "ERR_* response; the client sees a dropped connection instead "
+        "of a protocol error"
+    )
+    scopes = ("serve",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        graph = ModuleGraph(source.tree)
+        dispatches = [
+            qualname
+            for qualname, info in graph.functions.items()
+            if info.name == "_dispatch"
+        ]
+        if not dispatches:
+            return
+
+        def absorbing(info: FunctionInfo, handler: ast.ExceptHandler) -> bool:
+            if info.name != "_dispatch":
+                return True
+            return _handler_maps_to_error(handler)
+
+        escaping = graph.escaping_exceptions(absorbing=absorbing)
+        seen: set[tuple[str, int]] = set()
+        for qualname in sorted(dispatches):
+            for name, anchor in sorted(
+                escaping[qualname].items(), key=lambda kv: (kv[1].lineno, kv[0])
+            ):
+                if (name, anchor.lineno) in seen:
+                    continue
+                seen.add((name, anchor.lineno))
+                label = (
+                    "an exception of statically-unknown type"
+                    if name == DYNAMIC
+                    else name
+                )
+                yield source.finding(
+                    self.name,
+                    anchor,
+                    f"{label} raised here can escape {qualname}() without "
+                    f"being mapped to an ERR_* response; catch it or add "
+                    f"a mapping handler in _dispatch",
+                )

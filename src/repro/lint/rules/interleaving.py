@@ -1,0 +1,211 @@
+"""Rule: ``async-interleaving-race``.
+
+An asyncio event loop only switches coroutines at ``await`` points, so
+a read-modify-write of shared state is atomic *unless* an ``await``
+sits between the read and the write. The classic bug:
+
+    seq = self._seq          # read
+    await self._journal(x)   # yield point: another coroutine runs
+    self._seq = seq + 1      # write of the stale value
+
+Two concurrent requests both read ``seq == 7``, both write ``8``, one
+increment is lost — and in this repo that means a duplicated journal
+sequence number, exactly the kind of corruption the byte-exactness
+claims cannot absorb.
+
+The rule runs on every ``async def``: it builds the function's CFG,
+finds writes to ``self.X`` (or to names declared ``global``) whose
+right-hand side *depends* on an earlier read of the same state — the
+value flows through a local that was assigned from ``self.X``
+(tracked with reaching definitions), or the write statement itself
+awaits between its read and its store — and flags the pair when some
+CFG path from read to write crosses a yield point and no single
+``async with <lock>`` statement covers both ends. Covering means the
+*same* ``with`` statement: releasing and re-acquiring the lock between
+read and write is exactly the hole the rule exists to catch, so two
+separate acquisitions of the same lock do not count.
+
+Deliberately not flagged:
+
+* ``self._inflight += 1`` — an augmented assignment reads and writes
+  in one statement with no internal ``await``; it is atomic on the
+  loop.
+* ``self._topology = _Topology(payload)`` after an ``await`` — the
+  written value does not derive from ``self._topology``, so the write
+  is a plain publish, not a lost update. (Check-then-act races on
+  *independent* writes are out of scope; flagging them drowns the
+  signal in event-loop idioms that are actually fine.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..base import Rule, SourceFile, register
+from ..findings import Finding
+from ..flow import (
+    CFG,
+    build_cfg,
+    reaching_definitions,
+    yield_on_some_path,
+)
+from ..flow.cfg import expression_parts, walk_expressions
+from ._util import lock_key
+
+__all__ = ["AsyncInterleavingRace"]
+
+
+def _keys_loaded(parts: list[ast.AST], globals_: frozenset[str]) -> set[str]:
+    """Shared-state keys read by the given expression parts."""
+    keys: set[str] = set()
+    for part in parts:
+        for node in walk_expressions(part):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                keys.add(f"self.{node.attr}")
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in globals_
+            ):
+                keys.add(f"global {node.id}")
+    return keys
+
+
+def _target_keys(
+    target: ast.expr, globals_: frozenset[str]
+) -> list[str]:
+    """Shared-state keys a store target writes."""
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return [f"self.{target.attr}"]
+    if isinstance(target, ast.Subscript):
+        return _target_keys(target.value, globals_)  # self.x[k] mutates self.x
+    if isinstance(target, ast.Name) and target.id in globals_:
+        return [f"global {target.id}"]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        keys: list[str] = []
+        for element in target.elts:
+            keys.extend(_target_keys(element, globals_))
+        return keys
+    return []
+
+
+def _writes_of(
+    stmt: ast.stmt, globals_: frozenset[str]
+) -> list[tuple[str, ast.expr]]:
+    """(key, value expression) pairs for shared-state stores in ``stmt``.
+
+    Augmented assignments are excluded on purpose: their read and
+    write share one statement and cannot be interleaved unless the
+    statement awaits, which ``self.x += await f()`` makes syntactically
+    loud enough to leave to review.
+    """
+    targets: list[ast.expr]
+    value: Optional[ast.expr]
+    if isinstance(stmt, ast.Assign):
+        targets, value = list(stmt.targets), stmt.value
+    elif isinstance(stmt, ast.AnnAssign):
+        targets, value = [stmt.target], stmt.value
+    else:
+        return []
+    if value is None:
+        return []
+    pairs: list[tuple[str, ast.expr]] = []
+    for target in targets:
+        for key in _target_keys(target, globals_):
+            pairs.append((key, value))
+    return pairs
+
+
+def _shares_lock_frame(cfg: CFG, read: int, write: int) -> bool:
+    """Does one ``with``/``async with`` statement acquiring a lock
+    lexically cover both nodes? Identity matters: the same statement,
+    not merely the same lock."""
+    common = set(cfg.nodes[read].enclosing_with) & set(
+        cfg.nodes[write].enclosing_with
+    )
+    for stmt in common:
+        items = getattr(stmt, "items", [])
+        if any(lock_key(item.context_expr) is not None for item in items):
+            return True
+    return False
+
+
+@register
+class AsyncInterleavingRace(Rule):
+    name = "async-interleaving-race"
+    description = (
+        "read of shared state and a dependent write are separated by an "
+        "await with no lock covering both; a concurrent coroutine can "
+        "interleave and the write clobbers its update"
+    )
+    scopes = ("serve",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, fn: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        globals_ = frozenset(
+            name
+            for stmt in walk_expressions(fn)
+            if isinstance(stmt, ast.Global)
+            for name in stmt.names
+        )
+        cfg = build_cfg(fn)
+        loads: dict[int, set[str]] = {}
+        for node in cfg.stmt_nodes():
+            assert node.stmt is not None
+            keys = _keys_loaded(expression_parts(node.stmt), globals_)
+            if keys:
+                loads[node.index] = keys
+        rdefs = reaching_definitions(cfg)
+
+        for node in cfg.stmt_nodes():
+            assert node.stmt is not None
+            for key, value in _writes_of(node.stmt, globals_):
+                read_nodes: set[int] = set()
+                rhs_keys = _keys_loaded([value], globals_)
+                if key in rhs_keys and node.is_yield:
+                    # e.g. ``self.x = await f(self.x)``: read, suspend,
+                    # then store — interleavable within one statement.
+                    read_nodes.add(node.index)
+                rhs_names = {
+                    part.id
+                    for part in walk_expressions(value)
+                    if isinstance(part, ast.Name)
+                    and isinstance(part.ctx, ast.Load)
+                }
+                for name, definition in rdefs[node.index]:
+                    if name in rhs_names and key in loads.get(definition, ()):
+                        read_nodes.add(definition)
+                racy = sorted(
+                    read
+                    for read in read_nodes
+                    if yield_on_some_path(cfg, read, node.index)
+                    and not _shares_lock_frame(cfg, read, node.index)
+                )
+                if racy:
+                    read_line = cfg.nodes[racy[0]].line
+                    yield source.finding(
+                        self.name,
+                        node.stmt,
+                        f"{key} is read (line {read_line}) and a dependent "
+                        f"write lands here with an await between them on "
+                        f"some path and no async with lock covering both; "
+                        f"a concurrent request can interleave at the yield "
+                        f"point and this write clobbers its update",
+                    )

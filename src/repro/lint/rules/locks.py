@@ -1,0 +1,195 @@
+"""Rule: ``lock-discipline``.
+
+Three invariants about locks in the serve tier, each of which has
+burned a real asyncio codebase:
+
+1. **Acquire with ``async with``, never bare ``.acquire()``.** A
+   manual acquire needs a manual release on *every* exit path; one
+   missed exception path deadlocks every later request. The context
+   manager form makes the release structural. (Receivers are matched
+   by name — see :func:`~repro.lint.rules._util.lock_key` — so a
+   semaphore wrapped in ``wait_for(sem.acquire(), timeout)`` under a
+   non-lock name stays expressible.)
+
+2. **Never hold a lock across a blocking call.** A blocked thread
+   holding an asyncio lock stalls not just the loop but every
+   coroutine queued on that lock. The check is flow-sensitive: the
+   locks-held lattice says which locks are held on *every* path into a
+   statement, the blocking set is the PR-8 table shared with
+   ``blocking-io-in-async``, and module-local helpers are resolved
+   through the call graph so hiding the ``open()`` one call deep does
+   not help.
+
+3. **Acquire multiple locks in one global order.** Two functions
+   nesting the same pair of locks in opposite orders deadlock the
+   first time they interleave. Lock identity is textual per file
+   (``self._a_lock`` before ``self._b_lock`` everywhere); the later
+   inversion site in the file is the one flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import Rule, SourceFile, register
+from ..findings import Finding
+from ..flow import ModuleGraph, locks_held
+from ..flow.cfg import expression_parts, walk_expressions
+from .async_hygiene import _BLOCKING_ATTRS, _BLOCKING_DOTTED
+from ._util import call_name, lock_key
+
+__all__ = ["LockDiscipline"]
+
+
+def _is_blocking_call(call: ast.Call) -> bool:
+    """The PR-8 blocking-primitive table, shared with
+    ``blocking-io-in-async``."""
+    target = call_name(call)
+    if target is not None and target in _BLOCKING_DOTTED:
+        return True
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in _BLOCKING_ATTRS
+    )
+
+
+def _blocking_label(call: ast.Call) -> str:
+    target = call_name(call)
+    if target is not None and target in _BLOCKING_DOTTED:
+        return target
+    if isinstance(call.func, ast.Attribute):
+        return f"<obj>.{call.func.attr}"
+    return "<call>"
+
+
+@register
+class LockDiscipline(Rule):
+    name = "lock-discipline"
+    description = (
+        "locks must be acquired via async with, never held across "
+        "blocking calls, and nested in one consistent order"
+    )
+    scopes = ("serve",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        yield from self._check_bare_acquire(source)
+        yield from self._check_blocking_under_lock(source)
+        yield from self._check_ordering(source)
+
+    # -- 1: bare acquire/release --------------------------------------
+
+    def _check_bare_acquire(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("acquire", "release")
+                and lock_key(func.value) is not None
+            ):
+                yield source.finding(
+                    self.name,
+                    node,
+                    f"bare .{func.attr}() on lock "
+                    f"{ast.unparse(func.value)}; acquire locks with "
+                    f"'async with' so every exit path releases",
+                )
+
+    # -- 2: blocking call while a lock is held ------------------------
+
+    def _check_blocking_under_lock(
+        self, source: SourceFile
+    ) -> Iterator[Finding]:
+        assert source.tree is not None
+        graph = ModuleGraph(source.tree)
+        may_block = graph.may_block(_is_blocking_call)
+        for qualname, info in graph.functions.items():
+            if not isinstance(info.node, ast.AsyncFunctionDef):
+                continue
+            cfg = graph.cfg(qualname)
+            held = locks_held(cfg, lock_key)
+            for node in cfg.stmt_nodes():
+                locks = held[node.index]
+                if not locks:
+                    continue
+                assert node.stmt is not None
+                for part in expression_parts(node.stmt):
+                    for child in walk_expressions(part):
+                        if not isinstance(child, ast.Call):
+                            continue
+                        lock_list = ", ".join(sorted(locks))
+                        if _is_blocking_call(child):
+                            yield source.finding(
+                                self.name,
+                                child,
+                                f"blocking call "
+                                f"{_blocking_label(child)}() while "
+                                f"holding {lock_list}; every coroutine "
+                                f"queued on the lock stalls with it",
+                            )
+                        else:
+                            callee = graph.resolve_call(child, info)
+                            if callee is not None and may_block[callee]:
+                                yield source.finding(
+                                    self.name,
+                                    child,
+                                    f"call to {callee}() may block "
+                                    f"(resolved through the module call "
+                                    f"graph) while holding {lock_list}",
+                                )
+
+    # -- 3: consistent acquisition order ------------------------------
+
+    def _check_ordering(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        edges: dict[tuple[str, str], ast.stmt] = {}
+
+        def scan(node: ast.AST, stack: list[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                ):
+                    scan(child, [])  # fresh lexical lock stack per function
+                    continue
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    inner = list(stack)
+                    for item in child.items:
+                        key = lock_key(item.context_expr)
+                        if key is None:
+                            continue
+                        for outer in inner:
+                            if outer != key:
+                                edges.setdefault((outer, key), child)
+                        inner.append(key)
+                    scan(child, inner)
+                    continue
+                scan(child, stack)
+
+        scan(source.tree, [])
+
+        reported: set[frozenset[str]] = set()
+        for (first, second), site in sorted(
+            edges.items(), key=lambda kv: (kv[1].lineno, kv[0])
+        ):
+            reverse = edges.get((second, first))
+            pair = frozenset((first, second))
+            if reverse is None or pair in reported:
+                continue
+            reported.add(pair)
+            later = site if site.lineno >= reverse.lineno else reverse
+            inner_name, outer_name = (
+                (second, first) if later is site else (first, second)
+            )
+            yield source.finding(
+                self.name,
+                later,
+                f"locks {first} and {second} are nested in both orders "
+                f"in this module; acquiring {inner_name} under "
+                f"{outer_name} here inverts the order used at line "
+                f"{min(site.lineno, reverse.lineno)} and can deadlock",
+            )

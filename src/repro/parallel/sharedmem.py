@@ -84,7 +84,7 @@ class SharedBundle:
     def __enter__(self) -> "SharedBundle":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

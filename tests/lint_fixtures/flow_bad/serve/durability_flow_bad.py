@@ -1,0 +1,33 @@
+"""journal-durability bad fixture for the call-graph upgrade.
+
+A call to a module-local helper that writes without flushing is a
+write site in the caller; a conditional commit guarantees nothing.
+"""
+
+import os
+
+
+class Journal:
+    def __init__(self, stream, fsync):
+        self._stream = stream
+        self.fsync = fsync
+
+    def _commit(self):
+        self._stream.flush()
+        if self.fsync:
+            os.fsync(self._stream.fileno())
+
+    def _write_record(self, line):
+        # Not flagged here: local callers exist, so the flush
+        # obligation lives at the call sites.
+        self._stream.write(line + "\n")
+
+    def append_unflushed(self, line):
+        self._write_record(line)  # [bad]
+        return True
+
+    def append_half_committed(self, lines):
+        for line in lines:
+            self._stream.write(line + "\n")  # [bad]
+        if lines:
+            self._commit()  # one branch only: guarantees nothing

@@ -1,0 +1,38 @@
+"""unmapped-exception-flow bad fixture.
+
+Findings anchor at the originating ``raise``: one escapes through a
+module-local helper, one is raised in ``_dispatch`` itself, and one is
+caught by a dispatch handler that maps nothing.
+"""
+
+ERR_BAD_COMMAND = "ERR bad_command"
+
+
+class ProtocolError(Exception):
+    pass
+
+
+class Handler:
+    def _lookup(self, key):
+        if not key:
+            raise KeyError(key)  # [bad]
+        return key
+
+    def _decode(self, line):
+        if line is None:
+            raise ProtocolError("empty")
+        return line.split()
+
+    async def _dispatch(self, line):
+        try:
+            command, *args = self._decode(line)
+        except ProtocolError:
+            return ERR_BAD_COMMAND  # mapped: absorbed
+        try:
+            if command == "stats":
+                raise RuntimeError("not wired up")  # [bad]
+        except RuntimeError:
+            pass  # a dispatch handler that maps nothing is a hole
+        if command == "get":
+            return self._lookup(args[0])
+        raise ValueError(command)  # [bad]

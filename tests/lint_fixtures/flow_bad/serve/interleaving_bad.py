@@ -1,0 +1,49 @@
+"""async-interleaving-race bad fixture.
+
+Every marked line is a shared-state write whose value depends on a
+read separated from it by an ``await`` with no single lock statement
+covering both ends.
+"""
+
+import asyncio
+
+_EPOCH = 0
+
+
+class Tracker:
+    def __init__(self):
+        self._seq = 0
+        self._cache = {}
+        self._lock = asyncio.Lock()
+
+    async def _journal(self, value):
+        await asyncio.sleep(0)
+        return value
+
+    async def lost_increment(self, payload):
+        seq = self._seq
+        await self._journal(payload)
+        self._seq = seq + 1  # [bad]
+
+    async def same_statement(self):
+        self._seq = await self._journal(self._seq)  # [bad]
+
+    async def stale_cache_row(self, key):
+        row = self._cache[key]
+        await self._journal(key)
+        self._cache[key] = row + 1  # [bad]
+
+    async def reacquired_lock(self, payload):
+        # Two separate acquisitions of the same lock do NOT cover the
+        # read/write pair: the yield point sits between them.
+        async with self._lock:
+            seq = self._seq
+        await self._journal(payload)
+        async with self._lock:
+            self._seq = seq + 1  # [bad]
+
+    async def bump_epoch(self):
+        global _EPOCH
+        snapshot = _EPOCH
+        await asyncio.sleep(0)
+        _EPOCH = snapshot + 1  # [bad]

@@ -1,0 +1,45 @@
+"""lock-discipline bad fixture.
+
+One marked line per violation class: bare acquire/release, a blocking
+call while a lock is held (directly and one module-local call deep),
+and a lock-order inversion.
+"""
+
+import asyncio
+import time
+
+
+def _load_snapshot(path):
+    with open(path) as handle:  # blocking, hidden one call deep
+        return handle.read()
+
+
+class Coordinator:
+    def __init__(self):
+        self._state_lock = asyncio.Lock()
+        self._io_lock = asyncio.Lock()
+
+    async def manual_acquire(self):
+        await self._state_lock.acquire()  # [bad]
+        try:
+            return 1
+        finally:
+            self._state_lock.release()  # [bad]
+
+    async def sleeps_under_lock(self):
+        async with self._state_lock:
+            time.sleep(0.1)  # [bad]
+
+    async def blocking_helper_under_lock(self, path):
+        async with self._io_lock:
+            return _load_snapshot(path)  # [bad]
+
+    async def state_then_io(self):
+        async with self._state_lock:
+            async with self._io_lock:
+                return 1
+
+    async def io_then_state(self):
+        async with self._io_lock:
+            async with self._state_lock:  # [bad]
+                return 2

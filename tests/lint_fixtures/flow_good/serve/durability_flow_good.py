@@ -1,0 +1,32 @@
+"""journal-durability good fixture for the call-graph upgrade.
+
+``_commit`` has no flush-ish name; the CFG effect summary proves it
+flushes on every normal-return path, so the group-commit split
+(write in a helper, flush in the caller) needs no suppression.
+"""
+
+import os
+
+
+class Journal:
+    def __init__(self, stream, fsync):
+        self._stream = stream
+        self.fsync = fsync
+
+    def _commit(self):
+        self._stream.flush()
+        if self.fsync:
+            os.fsync(self._stream.fileno())
+
+    def _write_record(self, line):
+        self._stream.write(line + "\n")
+
+    def append(self, line):
+        self._write_record(line)
+        self._commit()
+        return True
+
+    def append_group(self, lines):
+        for line in lines:
+            self._write_record(line)
+        self._commit()

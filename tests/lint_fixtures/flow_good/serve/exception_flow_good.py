@@ -1,0 +1,43 @@
+"""unmapped-exception-flow good fixture.
+
+Every raisable type either never escapes its helper or is mapped to
+an ``ERR_*`` response by a ``_dispatch`` handler.
+"""
+
+ERR_BAD_COMMAND = "ERR bad_command"
+ERR_INTERNAL = "ERR internal"
+
+
+class ProtocolError(Exception):
+    pass
+
+
+class Handler:
+    def __init__(self, table):
+        self._table = table
+
+    def _lookup(self, key):
+        try:
+            return self._table[key]
+        except KeyError:
+            return None  # handled internally: nothing escapes
+
+    def _decode(self, line):
+        if line is None:
+            raise ProtocolError("empty")
+        return line.split()
+
+    def error_response(self, command):
+        return ERR_INTERNAL + " " + command
+
+    async def _dispatch(self, line):
+        try:
+            command, *args = self._decode(line)
+        except ProtocolError:
+            return ERR_BAD_COMMAND
+        try:
+            if command == "get":
+                return self._lookup(args[0])
+            raise ValueError(command)
+        except ValueError:
+            return self.error_response(command)

@@ -1,0 +1,42 @@
+"""async-interleaving-race good fixture.
+
+Each function is a pattern the rule must stay silent on: a lock
+covering both ends, an atomic augmented assignment, an independent
+publish, and a read/write pair with no yield point between them.
+"""
+
+import asyncio
+
+
+class Tracker:
+    def __init__(self):
+        self._seq = 0
+        self._inflight = 0
+        self._topology = None
+        self._lock = asyncio.Lock()
+
+    async def _journal(self, value):
+        await asyncio.sleep(0)
+        return value
+
+    async def locked_increment(self, payload):
+        async with self._lock:
+            seq = self._seq
+            await self._journal(payload)
+            self._seq = seq + 1  # one acquisition covers read and write
+
+    async def atomic_counter(self, payload):
+        self._inflight += 1  # AugAssign: atomic on the event loop
+        try:
+            await self._journal(payload)
+        finally:
+            self._inflight -= 1
+
+    async def independent_publish(self, payload):
+        data = await self._journal(payload)
+        self._topology = data  # plain publish, not a lost update
+
+    async def no_yield_between(self, payload):
+        await self._journal(payload)
+        seq = self._seq
+        self._seq = seq + 1  # read and write with no await between them

@@ -1,0 +1,53 @@
+"""lock-discipline good fixture.
+
+Structured acquisition, awaiting (not blocking) under a lock, one
+consistent nesting order, blocking work only after release, and the
+semaphore-under-a-non-lock-name carve-out used by the client pool.
+"""
+
+import asyncio
+
+
+async def _fetch(payload):
+    await asyncio.sleep(0)
+    return payload
+
+
+class Coordinator:
+    def __init__(self):
+        self._state_lock = asyncio.Lock()
+        self._io_lock = asyncio.Lock()
+        self._slots = asyncio.Semaphore(8)
+
+    async def structured_acquire(self):
+        async with self._state_lock:
+            return 1
+
+    async def awaits_under_lock(self, payload):
+        async with self._state_lock:
+            return await _fetch(payload)  # awaiting under a lock is fine
+
+    async def consistent_order(self):
+        async with self._state_lock:
+            async with self._io_lock:
+                return 1
+
+    async def consistent_order_again(self):
+        async with self._state_lock:
+            async with self._io_lock:
+                return 2
+
+    async def blocking_after_release(self, path):
+        async with self._io_lock:
+            payload = 1
+        with open(path) as handle:  # lock already released here
+            return handle.read() and payload
+
+    async def bounded_slot(self):
+        # Not named like a lock: the timeout-wrapped semaphore idiom
+        # stays expressible (see repro.serve.pool).
+        await asyncio.wait_for(self._slots.acquire(), timeout=1.0)
+        try:
+            return 1
+        finally:
+            self._slots.release()

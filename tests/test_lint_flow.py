@@ -1,0 +1,451 @@
+"""The flow layer: CFG construction properties plus dataflow/summary
+unit tests.
+
+The Hypothesis half generates random-but-live function bodies (abrupt
+exits only in positions that leave a fall-through path, opaque
+conditions everywhere) and checks structural invariants the rules rely
+on: every statement owns exactly one node, nothing the generator wrote
+is unreachable, try/finally statements funnel every continuation
+through the finally block, and the graph is a pure function of the
+source text. The deterministic half pins down the individual analyses
+on hand-written functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.flow import (
+    DYNAMIC,
+    STMT,
+    WITH_EXIT,
+    ModuleGraph,
+    build_cfg,
+    guarantees_effect,
+    locks_held,
+    reaching_definitions,
+    yield_on_some_path,
+)
+from repro.lint.rules._util import lock_key
+
+# -- random program generator -------------------------------------------------
+
+_SIMPLE = st.sampled_from(
+    [("assign", "x"), ("assign", "y"), ("call",), ("awaitstmt",)]
+)
+
+
+def _extend(stmt: st.SearchStrategy) -> st.SearchStrategy:
+    block = st.lists(stmt, min_size=1, max_size=3)
+    body_tail = st.sampled_from([None, ("return",), ("raise",)])
+    loop_tail = st.sampled_from(
+        [None, ("break",), ("continue",), ("return",)]
+    )
+    return st.one_of(
+        st.tuples(
+            st.just("if"),
+            st.tuples(block, body_tail),
+            st.one_of(st.none(), block),
+        ),
+        st.tuples(st.just("while"), st.tuples(block, loop_tail)),
+        st.tuples(st.just("for"), st.tuples(block, loop_tail)),
+        st.tuples(st.just("with"), block),
+        st.tuples(st.just("awith"), block),
+        st.tuples(st.just("tryfin"), block, block),
+        st.tuples(st.just("tryexc"), st.tuples(block, body_tail), block),
+    )
+
+
+_STMT_TREES = st.recursive(_SIMPLE, _extend, max_leaves=12)
+
+_FUNCTIONS = st.tuples(
+    st.lists(_STMT_TREES, min_size=1, max_size=4),
+    st.booleans(),  # trailing return
+    st.booleans(),  # async def
+)
+
+
+def _render_stmt(tree, indent: int, lines: list[str], is_async: bool) -> None:
+    pad = "    " * indent
+    kind = tree[0]
+    if kind == "assign":
+        lines.append(f"{pad}{tree[1]} = cond()")
+    elif kind == "call":
+        lines.append(f"{pad}helper(x)")
+    elif kind == "awaitstmt":
+        lines.append(f"{pad}await gate()" if is_async else f"{pad}helper(y)")
+    elif kind == "return":
+        lines.append(f"{pad}return None")
+    elif kind == "raise":
+        lines.append(f"{pad}raise ValueError()")
+    elif kind in ("break", "continue"):
+        lines.append(f"{pad}{kind}")
+    elif kind == "if":
+        (body, tail), orelse = tree[1], tree[2]
+        lines.append(f"{pad}if cond():")
+        _render_block(body, indent + 1, lines, is_async, tail)
+        if orelse is not None:
+            lines.append(f"{pad}else:")
+            _render_block(orelse, indent + 1, lines, is_async, None)
+    elif kind in ("while", "for"):
+        body, tail = tree[1]
+        header = "while cond():" if kind == "while" else "for item in seq:"
+        lines.append(f"{pad}{header}")
+        _render_block(body, indent + 1, lines, is_async, tail)
+    elif kind in ("with", "awith"):
+        prefix = "async " if kind == "awith" and is_async else ""
+        lines.append(f"{pad}{prefix}with ctx() as handle:")
+        _render_block(tree[1], indent + 1, lines, is_async, None)
+    elif kind == "tryfin":
+        lines.append(f"{pad}try:")
+        _render_block(tree[1], indent + 1, lines, is_async, None)
+        lines.append(f"{pad}finally:")
+        _render_block(tree[2], indent + 1, lines, is_async, None)
+    elif kind == "tryexc":
+        body, tail = tree[1]
+        lines.append(f"{pad}try:")
+        _render_block(body, indent + 1, lines, is_async, tail)
+        lines.append(f"{pad}except ValueError:")
+        _render_block(tree[2], indent + 1, lines, is_async, None)
+    else:  # pragma: no cover - generator and renderer must agree
+        raise AssertionError(kind)
+
+
+def _render_block(block, indent, lines, is_async, tail) -> None:
+    for tree in block:
+        _render_stmt(tree, indent, lines, is_async)
+    if tail is not None:
+        _render_stmt(tail, indent, lines, is_async)
+
+
+def _render_function(spec) -> str:
+    trees, trailing_return, is_async = spec
+    lines = ["async def fn(x, seq):" if is_async else "def fn(x, seq):"]
+    _render_block(trees, 1, lines, is_async, None)
+    if trailing_return:
+        lines.append("    return x")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_fn(source: str):
+    node = ast.parse(source).body[0]
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return node
+
+
+def _lexical_stmts(fn) -> list[ast.stmt]:
+    """Every statement in the function body, in source order, not
+    descending into nested definitions (the generator emits none)."""
+    out: list[ast.stmt] = []
+
+    def rec(block: list[ast.stmt]) -> None:
+        for stmt in block:
+            out.append(stmt)
+            for attr in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, attr, None)
+                if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                    rec(sub)
+            for handler in getattr(stmt, "handlers", []) or []:
+                rec(handler.body)
+
+    rec(fn.body)
+    return out
+
+
+# -- CFG properties -----------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(_FUNCTIONS)
+def test_every_statement_owns_exactly_one_node(spec):
+    fn = _parse_fn(_render_function(spec))
+    cfg = build_cfg(fn)
+    stmts = _lexical_stmts(fn)
+    assert set(cfg.by_stmt) == set(stmts)
+    assert len(cfg.by_stmt) == len(stmts)
+    stmt_nodes = list(cfg.stmt_nodes())
+    assert len(stmt_nodes) == len(stmts)
+    assert len({node.index for node in stmt_nodes}) == len(stmt_nodes)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_FUNCTIONS)
+def test_generated_code_is_fully_reachable(spec):
+    fn = _parse_fn(_render_function(spec))
+    cfg = build_cfg(fn)
+    reachable = cfg.reachable()
+    assert cfg.exit in reachable
+    for node in cfg.nodes:
+        if node.kind in (STMT, WITH_EXIT):
+            assert node.index in reachable, ast.unparse(node.stmt or node.ref)
+
+
+def _reaches_without(cfg, start: int, banned: int, targets: set[int]) -> bool:
+    queue = deque([start])
+    seen = {start, banned}
+    while queue:
+        for succ in cfg.nodes[queue.popleft()].succs:
+            if succ in targets:
+                return True
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return False
+
+
+def _unguarded_finally_trys(fn) -> list[ast.Try]:
+    """``try/finally`` statements not nested inside the body of a
+    ``try`` that has handlers. Inside such a body the builder's "any
+    statement may raise into the handler" edge legitimately bypasses
+    the nested finally (an over-approximation, safe for the
+    must-analyses), so the interception property only holds outside.
+    """
+    found: list[ast.Try] = []
+
+    def rec(block: list[ast.stmt], guarded: bool) -> None:
+        for stmt in block:
+            if isinstance(stmt, ast.Try):
+                if stmt.finalbody and not guarded:
+                    found.append(stmt)
+                inner = guarded or bool(stmt.handlers)
+                rec(stmt.body, inner)
+                rec(stmt.orelse, guarded)
+                rec(stmt.finalbody, guarded)
+                for handler in stmt.handlers:
+                    rec(handler.body, guarded)
+            else:
+                for attr in ("body", "orelse"):
+                    sub = getattr(stmt, attr, None)
+                    if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+                        rec(sub, guarded)
+
+    rec(fn.body, False)
+    return found
+
+
+@settings(max_examples=120, deadline=None)
+@given(_FUNCTIONS)
+def test_try_finally_intercepts_every_continuation(spec):
+    fn = _parse_fn(_render_function(spec))
+    cfg = build_cfg(fn)
+    exits = {cfg.exit, cfg.raise_exit}
+    for stmt in _unguarded_finally_trys(fn):
+        finally_head = cfg.by_stmt[stmt.finalbody[0]]
+        inner: list[ast.stmt] = []
+        for block in (stmt.body, *[h.body for h in stmt.handlers]):
+            sub = ast.Module(body=list(block), type_ignores=[])
+            inner.extend(
+                s for s in ast.walk(sub) if isinstance(s, ast.stmt)
+            )
+        for body_stmt in inner:
+            index = cfg.by_stmt.get(body_stmt)
+            if index is None:
+                continue
+            assert not _reaches_without(cfg, index, finally_head, exits), (
+                f"{ast.unparse(body_stmt)} escapes the finally block"
+            )
+
+
+@settings(max_examples=80, deadline=None)
+@given(_FUNCTIONS)
+def test_cfg_is_stable_across_reparses(spec):
+    source = _render_function(spec)
+    first = build_cfg(_parse_fn(source))
+    second = build_cfg(_parse_fn(source))
+
+    def shape(cfg):
+        return [
+            (
+                node.kind,
+                node.is_yield,
+                node.line,
+                tuple(sorted(node.succs)),
+                tuple(sorted(node.preds)),
+            )
+            for node in cfg.nodes
+        ]
+
+    assert shape(first) == shape(second)
+
+
+def test_return_routes_through_finally():
+    fn = _parse_fn(
+        "def fn(stream):\n"
+        "    try:\n"
+        "        return stream.read()\n"
+        "    finally:\n"
+        "        stream.close()\n"
+    )
+    cfg = build_cfg(fn)
+    ret = cfg.by_stmt[fn.body[0].body[0]]
+    close = cfg.by_stmt[fn.body[0].finalbody[0]]
+    assert cfg.nodes[ret].succs == {close}
+    assert cfg.exit in cfg.nodes[close].succs
+
+
+def test_yield_points_cover_await_and_async_with():
+    fn = _parse_fn(
+        "async def fn(self):\n"
+        "    value = await self.fetch()\n"
+        "    plain = self.peek()\n"
+        "    async with self.lock:\n"
+        "        plain = value\n"
+    )
+    cfg = build_cfg(fn)
+    flags = {
+        ast.unparse(node.stmt): node.is_yield for node in cfg.stmt_nodes()
+    }
+    assert flags["value = await self.fetch()"]
+    assert not flags["plain = self.peek()"]
+    assert flags["async with self.lock:\n    plain = value"]
+    with_exits = [n for n in cfg.nodes if n.kind == WITH_EXIT]
+    assert len(with_exits) == 1 and with_exits[0].is_yield
+
+
+# -- dataflow -----------------------------------------------------------------
+
+
+def test_reaching_definitions_kill_and_merge():
+    fn = _parse_fn(
+        "def fn(flag):\n"
+        "    value = 1\n"
+        "    if flag:\n"
+        "        value = 2\n"
+        "    sink(value)\n"
+    )
+    cfg = build_cfg(fn)
+    rdefs = reaching_definitions(cfg)
+    sink = cfg.by_stmt[fn.body[2]]
+    first = cfg.by_stmt[fn.body[0]]
+    second = cfg.by_stmt[fn.body[1].body[0]]
+    value_defs = {d for name, d in rdefs[sink] if name == "value"}
+    assert value_defs == {first, second}  # merge keeps both
+    assert ("flag", cfg.entry) in rdefs[sink]  # params defined at entry
+    # The redefinition kills the first assignment on its own path.
+    assert {d for name, d in rdefs[second] if name == "value"} == {first}
+
+
+def test_locks_held_is_a_must_analysis():
+    fn = _parse_fn(
+        "async def fn(self, flag):\n"
+        "    if flag:\n"
+        "        async with self._state_lock:\n"
+        "            inside = 1\n"
+        "    after = 2\n"
+    )
+    cfg = build_cfg(fn)
+    held = locks_held(cfg, lock_key)
+    inside = cfg.by_stmt[fn.body[0].body[0].body[0]]
+    after = cfg.by_stmt[fn.body[1]]
+    assert held[inside] == {"self._state_lock"}
+    assert held[after] == frozenset()  # released on one path, absent on the other
+
+
+def test_guarantees_effect_needs_every_path():
+    source = (
+        "def one_branch(stream, flag):\n"
+        "    stream.write(b'x')\n"
+        "    if flag:\n"
+        "        stream.flush()\n"
+        "def finally_block(stream):\n"
+        "    stream.write(b'x')\n"
+        "    try:\n"
+        "        stream.seek(0)\n"
+        "    finally:\n"
+        "        stream.flush()\n"
+    )
+    module = ast.parse(source)
+
+    def flushes(node) -> bool:
+        # Only simple expression statements: an ``if`` node's own
+        # execution is just its test, not the flush in its body.
+        if not isinstance(node.stmt, ast.Expr):
+            return False
+        return "flush" in ast.unparse(node.stmt)
+
+    partial = build_cfg(module.body[0])
+    write = partial.by_stmt[module.body[0].body[0]]
+    assert not guarantees_effect(partial, write, flushes)
+
+    total = build_cfg(module.body[1])
+    write = total.by_stmt[module.body[1].body[0]]
+    assert guarantees_effect(total, write, flushes)
+
+
+def test_yield_on_some_path_endpoints_count():
+    fn = _parse_fn(
+        "async def fn(self):\n"
+        "    a = self.x\n"
+        "    await self.gate()\n"
+        "    self.x = a\n"
+        "    b = self.x\n"
+        "    self.x = b\n"
+    )
+    cfg = build_cfg(fn)
+    read_a = cfg.by_stmt[fn.body[0]]
+    write_a = cfg.by_stmt[fn.body[2]]
+    read_b = cfg.by_stmt[fn.body[3]]
+    write_b = cfg.by_stmt[fn.body[4]]
+    assert yield_on_some_path(cfg, read_a, write_a)
+    assert not yield_on_some_path(cfg, read_b, write_b)
+    # A statement that itself awaits is its own yield point.
+    awaits = cfg.by_stmt[fn.body[1]]
+    assert yield_on_some_path(cfg, awaits, awaits)
+
+
+# -- module summaries ---------------------------------------------------------
+
+_JOURNAL = (
+    "import os\n"
+    "class Journal:\n"
+    "    def _commit(self):\n"
+    "        self._stream.flush()\n"
+    "        if self.fsync:\n"
+    "            os.fsync(self._stream.fileno())\n"
+    "    def _maybe(self):\n"
+    "        if self.fsync:\n"
+    "            self._stream.flush()\n"
+    "    def append(self, line):\n"
+    "        self._stream.write(line)\n"
+    "        self._commit()\n"
+)
+
+
+def _is_flush(call: ast.Call) -> bool:
+    func = call.func
+    return isinstance(func, ast.Attribute) and "flush" in func.attr.lower()
+
+
+def test_flush_guarantees_proves_helpers_by_cfg():
+    graph = ModuleGraph(ast.parse(_JOURNAL))
+    proven = graph.flush_guarantees(_is_flush)
+    assert proven["Journal._commit"]  # no "flush" in the name: proved by CFG
+    assert not proven["Journal._maybe"]  # one branch only
+    assert proven["Journal.append"]  # transitively through _commit
+
+
+def test_escaping_exceptions_respects_handlers():
+    source = (
+        "class H:\n"
+        "    def _helper(self):\n"
+        "        raise KeyError('k')\n"
+        "    def _caught(self):\n"
+        "        try:\n"
+        "            self._helper()\n"
+        "        except KeyError:\n"
+        "            return None\n"
+        "    def _dispatch(self):\n"
+        "        self._caught()\n"
+        "        self._helper()\n"
+        "        raise weird()\n"
+    )
+    graph = ModuleGraph(ast.parse(source))
+    escaping = graph.escaping_exceptions()
+    assert set(escaping["H._caught"]) == set()
+    assert set(escaping["H._helper"]) == {"KeyError"}
+    # The dispatch sees the helper's KeyError plus its own opaque raise.
+    assert set(escaping["H._dispatch"]) == {"KeyError", DYNAMIC}

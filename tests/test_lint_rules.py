@@ -24,8 +24,9 @@ from repro.lint import (
     render_github,
     render_json,
 )
+from repro.lint.base import Rule
 from repro.lint.cli import main as lint_main
-from repro.lint.engine import PARSE_ERROR_RULE, lint_files
+from repro.lint.engine import PARSE_ERROR_RULE, changed_files, lint_files
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 REPO_ROOT = Path(__file__).parent.parent
@@ -50,6 +51,26 @@ def run_rule(rule: str, *relpaths: str, root: Path = FIXTURES):
 RULE_FIXTURES = [
     ("blocking-io-in-async", "serve/async_bad.py", "serve/async_good.py"),
     ("journal-durability", "serve/durability_bad.py", "serve/durability_good.py"),
+    (
+        "journal-durability",
+        "flow_bad/serve/durability_flow_bad.py",
+        "flow_good/serve/durability_flow_good.py",
+    ),
+    (
+        "async-interleaving-race",
+        "flow_bad/serve/interleaving_bad.py",
+        "flow_good/serve/interleaving_good.py",
+    ),
+    (
+        "lock-discipline",
+        "flow_bad/serve/locks_bad.py",
+        "flow_good/serve/locks_good.py",
+    ),
+    (
+        "unmapped-exception-flow",
+        "flow_bad/serve/exception_flow_bad.py",
+        "flow_good/serve/exception_flow_good.py",
+    ),
     ("nondeterminism", "core/determinism_bad.py", "core/determinism_good.py"),
     ("swallowed-exception", "swallow_bad.py", "swallow_good.py"),
     ("float-similarity-compare", "floats_bad.py", "floats_good.py"),
@@ -394,6 +415,111 @@ def test_changed_lints_only_touched_files(tmp_path):
     # Only the untracked file is linted; the committed violation is not.
     assert {f.path for f in result.findings} == {"fresh.py"}
     assert result.files_checked == 1
+
+
+_SWALLOW = (
+    "def handle(work):\n"
+    "    try:\n"
+    "        work()\n"
+    "    except Exception:\n"
+    "        pass\n"
+)
+
+
+def test_changed_diffs_against_merge_base(tmp_path):
+    """``--changed main`` on a feature branch must mean "what this
+    branch touched", not "every file main changed since the branch
+    point"."""
+    git("init", "-q", cwd=tmp_path)
+    shared = tmp_path / "shared.py"
+    shared.write_text("def shared():\n    return 1\n", encoding="utf-8")
+    git("add", "shared.py", cwd=tmp_path)
+    git("commit", "-q", "-m", "seed", cwd=tmp_path)
+    git("branch", "-m", "main", cwd=tmp_path)
+
+    git("checkout", "-q", "-b", "feature", cwd=tmp_path)
+    (tmp_path / "feature.py").write_text(_SWALLOW, encoding="utf-8")
+    git("add", "feature.py", cwd=tmp_path)
+    git("commit", "-q", "-m", "feature work", cwd=tmp_path)
+
+    # main moves on and edits shared.py (introducing a violation there).
+    git("checkout", "-q", "main", cwd=tmp_path)
+    shared.write_text(_SWALLOW, encoding="utf-8")
+    git("add", "shared.py", cwd=tmp_path)
+    git("commit", "-q", "-m", "main-only change", cwd=tmp_path)
+    git("checkout", "-q", "feature", cwd=tmp_path)
+
+    result = lint_paths(
+        ["."],
+        root=tmp_path,
+        select=["swallowed-exception"],
+        changed_ref="main",
+    )
+    # shared.py differs between main's tip and this branch, but the
+    # branch never touched it: only feature.py is linted.
+    assert result.files_checked == 1
+    assert {f.path for f in result.findings} == {"feature.py"}
+
+
+def test_changed_skips_deleted_files(tmp_path):
+    git("init", "-q", cwd=tmp_path)
+    keep = tmp_path / "keep.py"
+    gone = tmp_path / "gone.py"
+    keep.write_text("def keep():\n    return 1\n", encoding="utf-8")
+    gone.write_text("def gone():\n    return 2\n", encoding="utf-8")
+    git("add", "keep.py", "gone.py", cwd=tmp_path)
+    git("commit", "-q", "-m", "seed", cwd=tmp_path)
+
+    keep.write_text(_SWALLOW, encoding="utf-8")
+    gone.unlink()
+
+    assert gone.resolve() not in changed_files("HEAD", tmp_path)
+    result = lint_paths(
+        ["."],
+        root=tmp_path,
+        select=["swallowed-exception"],
+        changed_ref="HEAD",
+    )
+    assert result.files_checked == 1
+    assert {f.path for f in result.findings} == {"keep.py"}
+
+
+def test_changed_rejects_unknown_ref(tmp_path):
+    git("init", "-q", cwd=tmp_path)
+    (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+    git("add", "a.py", cwd=tmp_path)
+    git("commit", "-q", "-m", "seed", cwd=tmp_path)
+    with pytest.raises(ValueError, match="no-such-ref"):
+        changed_files("no-such-ref", tmp_path)
+
+
+# -- severity and the time budget ---------------------------------------------
+
+
+def test_severity_is_stamped_and_rendered(tmp_path):
+    class SoftRule(Rule):
+        name = "soft-launch-test"
+        description = "test-only warning-severity rule"
+        severity = "warning"
+
+        def check(self, source):
+            yield source.finding(self.name, None, "soft finding", line=1)
+
+    target = tmp_path / "m.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    result = lint_files([target], tmp_path, rules=[SoftRule()])
+    assert [f.severity for f in result.findings] == ["warning"]
+    assert "::warning file=m.py" in render_github(result)
+    assert json.loads(render_json(result))["findings"][0]["severity"] == "warning"
+
+
+def test_time_budget_flag(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("x = 1\n", encoding="utf-8")
+    argv = [str(tmp_path), "--root", str(tmp_path)]
+    assert lint_main([*argv, "--time-budget", "600"]) == 0
+    assert "budget 600s" in capsys.readouterr().err
+    assert lint_main([*argv, "--time-budget", "0"]) == 2
+    assert "budget exceeded" in capsys.readouterr().err
 
 
 # -- the repo itself ----------------------------------------------------------
